@@ -1,0 +1,250 @@
+//! Baselines the paper compares against (§1.2):
+//!
+//! * [`baswana_sen`] — the classic static randomized (2k−1)-spanner of
+//!   [BS07], O(k·n^{1+1/k}) expected edges, O(k·m) time.
+//! * [`recompute`] — the natural dynamic baseline: recompute a static
+//!   spanner from scratch after every batch (what the batch-dynamic
+//!   algorithms must beat on amortized work).
+//! * [`static_sparsifier`] — the Koutis-style static sparsifier [Kou14]:
+//!   iterate "compute a spanner, keep it, sample the rest at ¼ / weight 4".
+
+use bds_dstruct::{FxHashMap, FxHashSet};
+use bds_graph::types::{Edge, V};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Static Baswana–Sen (2k−1)-spanner.
+///
+/// k rounds of cluster sampling: in round i every cluster survives with
+/// probability n^{-1/k}; a vertex adjacent to a surviving cluster joins
+/// it through one edge, a vertex with no sampled neighbor cluster keeps
+/// one edge per adjacent (old) cluster. After round k−1, every vertex
+/// keeps one edge into each remaining adjacent cluster.
+pub fn baswana_sen(n: usize, edges: &[Edge], k: u32, seed: u64) -> Vec<Edge> {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<FxHashMap<V, ()>> = vec![FxHashMap::default(); n];
+    for e in edges {
+        adj[e.u as usize].insert(e.v, ());
+        adj[e.v as usize].insert(e.u, ());
+    }
+    let mut spanner: FxHashSet<Edge> = FxHashSet::default();
+    // cluster[v] = center id, or NONE if v has left the clustering.
+    const NONE: V = V::MAX;
+    let mut cluster: Vec<V> = (0..n as V).collect();
+    let p = (n as f64).powf(-1.0 / k as f64);
+
+    for _phase in 0..k.saturating_sub(1) {
+        // Sample surviving centers.
+        let mut sampled: FxHashSet<V> = FxHashSet::default();
+        for c in 0..n as V {
+            if rng.gen_bool(p) {
+                sampled.insert(c);
+            }
+        }
+        let mut new_cluster = vec![NONE; n];
+        for v in 0..n as V {
+            if cluster[v as usize] == NONE {
+                continue;
+            }
+            if cluster[v as usize] != NONE && sampled.contains(&cluster[v as usize]) {
+                new_cluster[v as usize] = cluster[v as usize];
+                continue;
+            }
+            // Neighbor edges grouped by current cluster.
+            let mut best_sampled: Option<(V, V)> = None; // (neighbor, cluster)
+            let mut per_cluster: FxHashMap<V, V> = FxHashMap::default();
+            for (&w, _) in &adj[v as usize] {
+                let cw = cluster[w as usize];
+                if cw == NONE {
+                    continue;
+                }
+                per_cluster.entry(cw).or_insert(w);
+                if sampled.contains(&cw) && best_sampled.is_none() {
+                    best_sampled = Some((w, cw));
+                }
+            }
+            match best_sampled {
+                Some((w, cw)) => {
+                    // Join the sampled cluster through one edge.
+                    spanner.insert(Edge::new(v, w));
+                    new_cluster[v as usize] = cw;
+                }
+                None => {
+                    // Keep one edge per adjacent cluster; leave.
+                    for (_, w) in per_cluster {
+                        spanner.insert(Edge::new(v, w));
+                    }
+                    new_cluster[v as usize] = NONE;
+                }
+            }
+        }
+        cluster = new_cluster;
+    }
+    // Final phase: one edge into every adjacent remaining cluster.
+    for v in 0..n as V {
+        let mut per_cluster: FxHashMap<V, V> = FxHashMap::default();
+        for (&w, _) in &adj[v as usize] {
+            let cw = cluster[w as usize];
+            if cw == NONE || cw == cluster[v as usize] {
+                continue;
+            }
+            per_cluster.entry(cw).or_insert(w);
+        }
+        for (_, w) in per_cluster {
+            spanner.insert(Edge::new(v, w));
+        }
+    }
+    // Intra-cluster trees: one edge towards the center joining step is
+    // already kept; for vertices that stayed clustered across phases the
+    // join edges above form the tree.
+    spanner.into_iter().collect()
+}
+
+/// The recompute-from-scratch dynamic baseline: holds the live edge set
+/// and rebuilds a Baswana–Sen spanner after every batch. O(k·m) work per
+/// batch regardless of batch size — the foil for experiment E3.
+pub struct RecomputeBaseline {
+    n: usize,
+    k: u32,
+    live: FxHashSet<Edge>,
+    seed: u64,
+    spanner: Vec<Edge>,
+}
+
+impl RecomputeBaseline {
+    pub fn new(n: usize, k: u32, edges: &[Edge], seed: u64) -> Self {
+        let mut b = Self {
+            n,
+            k,
+            live: edges.iter().copied().collect(),
+            seed,
+            spanner: Vec::new(),
+        };
+        b.rebuild();
+        b
+    }
+
+    fn rebuild(&mut self) {
+        self.seed = self.seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let edges: Vec<Edge> = self.live.iter().copied().collect();
+        self.spanner = baswana_sen(self.n, &edges, self.k, self.seed);
+    }
+
+    pub fn process_batch(&mut self, ins: &[Edge], del: &[Edge]) {
+        for e in del {
+            assert!(self.live.remove(e), "absent {e:?}");
+        }
+        for e in ins {
+            assert!(self.live.insert(*e), "dup {e:?}");
+        }
+        self.rebuild();
+    }
+
+    pub fn spanner_edges(&self) -> &[Edge] {
+        &self.spanner
+    }
+
+    pub fn num_live_edges(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Koutis-style static sparsifier: `rounds` iterations of (spanner → keep
+/// at current weight → ¼-sample the rest at 4× weight), then keep the
+/// remainder. `t` spanners are packed per round for quality.
+pub fn static_sparsifier(
+    n: usize,
+    edges: &[Edge],
+    rounds: u32,
+    t: u32,
+    k: u32,
+    seed: u64,
+) -> Vec<(Edge, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(Edge, f64)> = Vec::new();
+    let mut cur: Vec<Edge> = edges.to_vec();
+    let mut weight = 1.0;
+    for r in 0..rounds {
+        if cur.len() <= 4 * n.max(2).ilog2() as usize {
+            break;
+        }
+        // t-bundle of spanners.
+        let mut bundle: FxHashSet<Edge> = FxHashSet::default();
+        let mut rest: Vec<Edge> = cur.clone();
+        for j in 0..t {
+            let sp = baswana_sen(n, &rest, k, seed ^ (r as u64 * 131 + j as u64));
+            bundle.extend(sp.iter().copied());
+            rest.retain(|e| !bundle.contains(e));
+        }
+        for e in &bundle {
+            out.push((*e, weight));
+        }
+        let mut next = Vec::new();
+        for e in rest {
+            if rng.gen_bool(0.25) {
+                next.push(e);
+            }
+        }
+        cur = next;
+        weight *= 4.0;
+    }
+    for e in cur {
+        out.push((e, weight));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_graph::csr::edge_stretch;
+    use bds_graph::cuts::sparsifier_error;
+    use bds_graph::gen;
+
+    #[test]
+    fn baswana_sen_stretch_and_size() {
+        for (n, k, seed) in [(200usize, 2u32, 1u64), (200, 3, 2), (300, 4, 3)] {
+            let edges = gen::gnm_connected(n, 8 * n, seed);
+            let sp = baswana_sen(n, &edges, k, seed * 31);
+            let st = edge_stretch(n, &edges, &sp, n, 7);
+            assert!(
+                st <= (2 * k - 1) as f64,
+                "n={n} k={k}: stretch {st} > {}",
+                2 * k - 1
+            );
+            let bound = 4.0 * k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64);
+            assert!((sp.len() as f64) < bound, "size {} vs bound {bound}", sp.len());
+        }
+    }
+
+    #[test]
+    fn baswana_sen_k1_keeps_everything_spanned() {
+        let edges = gen::gnm_connected(50, 120, 5);
+        let sp = baswana_sen(50, &edges, 1, 9);
+        let st = edge_stretch(50, &edges, &sp, 50, 3);
+        assert!(st <= 1.0);
+    }
+
+    #[test]
+    fn recompute_baseline_tracks_graph() {
+        let n = 60;
+        let edges = gen::gnm_connected(n, 200, 7);
+        let mut b = RecomputeBaseline::new(n, 2, &edges, 11);
+        let del = [edges[0], edges[1]];
+        b.process_batch(&[], &del);
+        assert_eq!(b.num_live_edges(), edges.len() - 2);
+        let live: Vec<Edge> = edges[2..].to_vec();
+        let st = edge_stretch(n, &live, b.spanner_edges(), n, 3);
+        assert!(st <= 3.0);
+    }
+
+    #[test]
+    fn static_sparsifier_quality() {
+        let n = 150;
+        let edges = gen::gnm_connected(n, 2500, 13);
+        let h = static_sparsifier(n, &edges, 4, 3, 2, 17);
+        let err = sparsifier_error(n, &edges, &h, 30, 19);
+        assert!(err < 0.9, "error {err}");
+        assert!(h.len() < edges.len());
+    }
+}

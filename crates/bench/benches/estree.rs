@@ -1,0 +1,52 @@
+//! E5 timing: decremental BFS (Theorem 1.2) deletion batches across depth
+//! limits L.
+
+use bds_graph::gen;
+use bds_graph::types::{Edge, V};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn directed(edges: &[Edge]) -> Vec<(V, V, u64)> {
+    edges
+        .iter()
+        .flat_map(|e| {
+            [
+                (e.u, e.v, ((e.u as u64) << 32) | e.u as u64),
+                (e.v, e.u, ((e.v as u64) << 32) | e.v as u64),
+            ]
+        })
+        .collect()
+}
+
+fn bench_estree(c: &mut Criterion) {
+    let n = 1 << 12;
+    let mut g = c.benchmark_group("estree_delete_batch64");
+    for &l in &[8u32, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |bench, &l| {
+            let edges = gen::gnm_connected(n, 6 * n, l as u64);
+            let dirs = directed(&edges);
+            bench.iter_batched(
+                || {
+                    let t = bds_estree::EsTree::new(n, 0, l, &dirs);
+                    let mut live = edges.clone();
+                    use rand::{seq::SliceRandom, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                    live.shuffle(&mut rng);
+                    live.truncate(64);
+                    let batch: Vec<(V, V)> =
+                        live.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+                    (t, batch)
+                },
+                |(mut t, batch)| t.delete_batch(&batch),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estree
+}
+criterion_main!(benches);

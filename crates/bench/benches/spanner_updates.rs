@@ -1,0 +1,39 @@
+//! E3 timing: amortized batch-update latency of the fully-dynamic
+//! (2k−1)-spanner vs batch size, against the recompute baseline.
+
+use bds_baseline::RecomputeBaseline;
+use bds_bench::standard_workload;
+use bds_core::{BatchDynamicSpanner, FullyDynamicSpanner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_updates(c: &mut Criterion) {
+    let n = 1 << 12;
+    let mut g = c.benchmark_group("spanner_batch_update");
+    for &b in &[16usize, 256, 2048] {
+        g.throughput(Throughput::Elements(b as u64));
+        g.bench_with_input(BenchmarkId::new("dynamic_k3", b), &b, |bench, &b| {
+            let (edges, mut stream) = standard_workload(n, 7);
+            let mut s = FullyDynamicSpanner::new(n, 3, &edges, 11);
+            bench.iter(|| {
+                let batch = stream.next_batch(b / 2 + 1, b / 2);
+                s.process_batch(&batch)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("recompute_k3", b), &b, |bench, &b| {
+            let (edges, mut stream) = standard_workload(n, 7);
+            let mut s = RecomputeBaseline::new(n, 3, &edges, 13);
+            bench.iter(|| {
+                let batch = stream.next_batch(b / 2 + 1, b / 2);
+                s.process_batch(&batch.insertions, &batch.deletions);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

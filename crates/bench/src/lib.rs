@@ -1,0 +1,22 @@
+//! Shared workload construction for the benches and the table generator.
+
+use bds_graph::gen;
+use bds_graph::stream::UpdateStream;
+use bds_graph::types::Edge;
+
+/// The standard workload of the experiment suite: a connected G(n, 8n)
+/// with a seeded update stream.
+pub fn standard_workload(n: usize, seed: u64) -> (Vec<Edge>, UpdateStream) {
+    let edges = gen::gnm_connected(n, 8 * n, seed);
+    let stream = UpdateStream::new(n, &edges, seed ^ 0x5eed_cafe);
+    (edges, stream)
+}
+
+/// Geometric-ish parameter grid helper.
+pub fn ns(small: bool) -> Vec<usize> {
+    if small {
+        vec![1 << 10, 1 << 11, 1 << 12]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    }
+}

@@ -1,0 +1,16 @@
+//! Spanner bundles (§6.2–6.3 of the paper).
+//!
+//! * [`monotone`] — **Lemma 6.4**: a decremental O(log n)-spanner with the
+//!   *monotonicity* property (edges never re-enter after leaving), built
+//!   from O(log n) independent [MPX13] clustering instances each
+//!   maintained by a batched Even–Shiloach tree. Instances process a
+//!   deletion batch in parallel — the depth win of the parallel model.
+//! * [`bundle`] — **Theorem 1.5**: the decremental t-bundle spanner
+//!   B = H₁ ∪ … ∪ H_t with the J_i monotonicity lists and cascaded
+//!   deletions, the engine behind the spectral sparsifier.
+
+pub mod bundle;
+pub mod monotone;
+
+pub use bundle::{BundleDelta, BundleSpanner};
+pub use monotone::MonotoneSpanner;

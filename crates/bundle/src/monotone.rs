@@ -1,0 +1,242 @@
+//! **Lemma 6.4** — decremental O(log n)-spanner with monotone recourse.
+//!
+//! Algorithm 8 of the paper: run O(log n) independent copies of the
+//! [MPX13] exponential-shift clustering with a *constant* β chosen so
+//! that each edge is intra-cluster with probability ≥ ½ per copy
+//! (Lemma 6.5), and take the union of the cluster spanning forests. Each
+//! copy is exactly the shifted-graph Even–Shiloach construction of §3.3,
+//! with two simplifications the paper points out: no inter-cluster edges,
+//! and static per-vertex priorities (the random permutation only orders
+//! each in-list; no cluster labels are maintained).
+
+use bds_core::SpannerSet;
+use bds_estree::{EsTree, ShiftedGraph, NO_VERTEX};
+use bds_graph::types::{Edge, SpannerDelta, V};
+use rayon::prelude::*;
+
+/// Default β: empirically ≤ ½ edge-cut probability (experiment E11
+/// sweeps this and EXPERIMENTS.md records the measured cut rates).
+pub const DEFAULT_BETA: f64 = 0.25;
+
+struct Instance {
+    sg: ShiftedGraph,
+    es: EsTree,
+}
+
+impl Instance {
+    /// Tree edges between original vertices.
+    fn forest_edges(&self, n: usize) -> Vec<Edge> {
+        (0..n as V)
+            .filter_map(|v| {
+                let p = self.es.parent(v)?;
+                (!self.sg.is_p(p)).then(|| Edge::new(p, v))
+            })
+            .collect()
+    }
+}
+
+/// Decremental monotone O(log n)-spanner (Lemma 6.4).
+pub struct MonotoneSpanner {
+    n: usize,
+    instances: Vec<Instance>,
+    spanner: SpannerSet,
+    num_edges: usize,
+}
+
+impl MonotoneSpanner {
+    /// `copies` clustering instances (≈ 2·log₂ n for the w.h.p. coverage
+    /// bound), shift rate `beta`.
+    pub fn with_params(n: usize, edges: &[Edge], copies: usize, beta: f64, seed: u64) -> Self {
+        assert!(n >= 1 && copies >= 1);
+        let instances: Vec<Instance> = (0..copies)
+            .into_par_iter()
+            .map(|i| {
+                let sg = ShiftedGraph::sample(n, beta, None, seed ^ (0xabcd + i as u64 * 7919));
+                let es =
+                    EsTree::new(sg.total_vertices(), sg.source(), sg.t, &sg.static_edges(edges));
+                Instance { sg, es }
+            })
+            .collect();
+        let mut spanner = SpannerSet::new();
+        for inst in &instances {
+            for e in inst.forest_edges(n) {
+                spanner.add(e);
+            }
+        }
+        let _ = spanner.take_delta();
+        Self { n, instances, spanner, num_edges: edges.len() }
+    }
+
+    /// Default parameterization: 2·log₂ n + 2 copies, β = 0.25.
+    pub fn new(n: usize, edges: &[Edge], seed: u64) -> Self {
+        let copies = 2 * (usize::BITS - n.max(2).leading_zeros()) as usize + 2;
+        Self::with_params(n, edges, copies, DEFAULT_BETA, seed)
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn copies(&self) -> usize {
+        self.instances.len()
+    }
+
+    pub fn num_live_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    pub fn spanner_edges(&self) -> Vec<Edge> {
+        self.spanner.edges()
+    }
+
+    pub fn spanner_size(&self) -> usize {
+        self.spanner.len()
+    }
+
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.instances[0].es.has_edge(e.u, e.v)
+    }
+
+    /// Delete a batch of edges; all instances process it in parallel
+    /// (independent random copies — this is where the poly(log n) depth
+    /// per batch comes from). Returns the spanner delta.
+    pub fn delete_batch(&mut self, batch: &[Edge]) -> SpannerDelta {
+        let n = self.n;
+        let dirs: Vec<(V, V)> = batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+        let change_sets: Vec<Vec<(Edge, bool)>> = self
+            .instances
+            .par_iter_mut()
+            .map(|inst| {
+                let (changes, _stats) = inst.es.delete_batch(&dirs);
+                let mut out = Vec::with_capacity(changes.len() * 2);
+                for c in changes {
+                    if c.vertex as usize >= n {
+                        continue; // p-node bookkeeping (never happens)
+                    }
+                    if c.old_parent != NO_VERTEX && !inst.sg.is_p(c.old_parent) {
+                        out.push((Edge::new(c.old_parent, c.vertex), false));
+                    }
+                    if c.new_parent != NO_VERTEX && !inst.sg.is_p(c.new_parent) {
+                        out.push((Edge::new(c.new_parent, c.vertex), true));
+                    }
+                }
+                out
+            })
+            .collect();
+        for set in change_sets {
+            for (e, add) in set {
+                if add {
+                    self.spanner.add(e);
+                } else {
+                    self.spanner.remove(e);
+                }
+            }
+        }
+        self.num_edges -= batch.len();
+        self.spanner.take_delta()
+    }
+
+    /// Test oracle: per-instance ES validation plus spanner composition.
+    pub fn validate(&self) {
+        for inst in &self.instances {
+            inst.es.validate();
+        }
+        let mut want = SpannerSet::new();
+        for inst in &self.instances {
+            for e in inst.forest_edges(self.n) {
+                want.add(e);
+            }
+        }
+        let mut got = self.spanner.edges();
+        let mut exp = want.edges();
+        got.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(got, exp, "monotone spanner diverged");
+    }
+
+    /// Fraction of live edges that are inter-cluster in instance 0 — the
+    /// Lemma 6.5 quantity (experiment E11).
+    pub fn cut_fraction(&self, edges: &[Edge]) -> f64 {
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let inst = &self.instances[0];
+        // Cluster of v = root of its parent chain below the p-nodes.
+        let mut cluster = vec![NO_VERTEX; self.n];
+        let mut order: Vec<V> = (0..self.n as V).collect();
+        order.sort_unstable_by_key(|&v| inst.es.dist(v));
+        for v in order {
+            let p = inst.es.parent(v).expect("clustered");
+            cluster[v as usize] =
+                if inst.sg.is_p(p) { v } else { cluster[p as usize] };
+        }
+        let cut = edges
+            .iter()
+            .filter(|e| cluster[e.u as usize] != cluster[e.v as usize])
+            .count();
+        cut as f64 / edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_dstruct::FxHashSet;
+    use bds_graph::csr::edge_stretch;
+    use bds_graph::gen;
+    use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+
+    #[test]
+    fn init_covers_graph_with_log_stretch() {
+        let n = 150;
+        let edges = gen::gnm_connected(n, 600, 3);
+        let s = MonotoneSpanner::new(n, &edges, 42);
+        s.validate();
+        let st = edge_stretch(n, &edges, &s.spanner_edges(), n, 7);
+        // O(log n) stretch with generous constant (shift radius ≈ 10/β·ln n).
+        assert!(st.is_finite(), "some edge uncovered");
+        assert!(st < 40.0 * (n as f64).ln(), "stretch {st}");
+        // Size O(n log n): copies × forest ≤ copies × n.
+        assert!(s.spanner_size() <= s.copies() * n);
+    }
+
+    #[test]
+    fn deletions_validate_and_replay() {
+        let n = 60;
+        let edges = gen::gnm_connected(n, 200, 5);
+        let mut s = MonotoneSpanner::with_params(n, &edges, 6, 0.3, 17);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        let mut live = edges.clone();
+        let mut rng = StdRng::seed_from_u64(23);
+        live.shuffle(&mut rng);
+        while live.len() > 40 {
+            let b = rng.gen_range(1..=15.min(live.len()));
+            let batch: Vec<Edge> = live.split_off(live.len() - b);
+            let d = s.delete_batch(&batch);
+            d.apply_to(&mut shadow);
+            s.validate();
+        }
+        assert_eq!(s.num_live_edges(), live.len());
+    }
+
+    #[test]
+    fn cut_fraction_small_for_small_beta() {
+        let n = 300;
+        let edges = gen::gnm_connected(n, 1200, 9);
+        let s = MonotoneSpanner::with_params(n, &edges, 1, 0.25, 31);
+        let f = s.cut_fraction(&edges);
+        assert!(f < 0.55, "cut fraction {f} too high for beta=0.25");
+    }
+
+    #[test]
+    fn delete_everything() {
+        let n = 40;
+        let edges = gen::gnm(n, 100, 11);
+        let mut s = MonotoneSpanner::with_params(n, &edges, 4, 0.3, 13);
+        for chunk in edges.chunks(9) {
+            s.delete_batch(chunk);
+            s.validate();
+        }
+        assert_eq!(s.spanner_size(), 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! One dynamically maintained `Contract(G_i, x_i)` level (§4.3).
+//!
+//! Vertices of V_{i+1} ⊆ V_i are sampled once at construction (the
+//! sampling is independent of the edges, so the oblivious-adversary
+//! argument composes across levels). Each vertex's adjacency lives in a
+//! treap ordered by `(unmark, rand, neighbor)` where `unmark = 1` iff the
+//! neighbor is *not* sampled and `rand` is a fresh 64-bit draw per entry:
+//! `Head(v)` is the sampled neighbor of minimum rand (the treap minimum,
+//! when marked), `v` itself if sampled, and ⊥ otherwise. A head changes
+//! only when the treap minimum changes — expected O(1) incident-edge work
+//! per update, exactly the paper's analysis.
+//!
+//! The level exposes: the H_i edge set (edges with a ⊥ endpoint plus the
+//! (v, Head(v)) star edges) as a refcounted [`SpannerSet`]; the
+//! `NextLevelEdges` buckets keyed by the contracted pair
+//! (Head(u), Head(v)) with a deterministic representative (the
+//! `BwdCorrespondence`); and the net E_{i+1} insertions/deletions plus
+//! representative-change events of each batch.
+
+use bds_core::SpannerSet;
+use bds_dstruct::{FxHashMap, FxHashSet, Treap};
+use bds_graph::types::{Edge, SpannerDelta, V};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+pub const NO_HEAD: V = V::MAX;
+
+/// A representative (BwdCorrespondence) change for a surviving contracted
+/// edge: `(contracted, old_rep, new_rep)`.
+pub type RepEvent = (Edge, Edge, Edge);
+
+/// Output of one batch at one level.
+#[derive(Debug, Default)]
+pub struct LevelBatchResult {
+    /// Net E_{i+1} insertions (new contracted edges).
+    pub next_ins: Vec<Edge>,
+    /// Net E_{i+1} deletions.
+    pub next_del: Vec<Edge>,
+    /// Net H_i membership changes.
+    pub h_delta: SpannerDelta,
+    /// Chronological representative changes of surviving contracted edges.
+    pub rep_events: Vec<RepEvent>,
+}
+
+/// One contraction level.
+pub struct ContractLevel {
+    n: usize,
+    /// V_i membership (vertices that may carry edges at this level).
+    pub in_level: Vec<bool>,
+    /// V_{i+1} membership (the sampled set D).
+    pub in_next: Vec<bool>,
+    head: Vec<V>,
+    adj: Vec<Treap<(u8, u64, V), ()>>,
+    /// directed (owner, neighbor) -> the entry's random key.
+    rand_of: FxHashMap<(V, V), u64>,
+    edges: FxHashSet<Edge>,
+    h_set: SpannerSet,
+    /// NextLevelEdges: contracted edge -> supporting level edges.
+    buckets: FxHashMap<Edge, BTreeSet<Edge>>,
+    /// BwdCorrespondence: contracted edge -> representative support.
+    rep: FxHashMap<Edge, Edge>,
+    rng: StdRng,
+    /// Count of head recomputations (the expected-O(1) quantity).
+    pub head_changes: u64,
+}
+
+impl ContractLevel {
+    /// Sample V_{i+1} from the `universe` (V_i) with probability 1/x and
+    /// ingest the initial edge set.
+    pub fn new(n: usize, universe: &[bool], x: f64, edges: &[Edge], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let in_next: Vec<bool> = universe
+            .iter()
+            .map(|&inl| inl && rng.gen_bool((1.0 / x).clamp(0.0, 1.0)))
+            .collect();
+        let mut lvl = Self {
+            n,
+            in_level: universe.to_vec(),
+            in_next,
+            head: vec![NO_HEAD; n],
+            adj: (0..n).map(|v| Treap::new(0x1234_5678 ^ (v as u64 * 2 + 1))).collect(),
+            rand_of: FxHashMap::default(),
+            edges: FxHashSet::default(),
+            h_set: SpannerSet::new(),
+            buckets: FxHashMap::default(),
+            rep: FxHashMap::default(),
+            rng,
+            head_changes: 0,
+        };
+        // Sampled vertices head to themselves.
+        for v in 0..n as V {
+            if lvl.in_next[v as usize] {
+                lvl.head[v as usize] = v;
+            }
+        }
+        let mut r = LevelBatchResult::default();
+        lvl.apply(edges, &[], &mut r);
+        // Initialization deltas are consumed by the caller via fresh reads.
+        lvl
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn live_edges(&self) -> Vec<Edge> {
+        self.edges.iter().copied().collect()
+    }
+
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.edges.contains(&e)
+    }
+
+    pub fn head(&self, v: V) -> Option<V> {
+        let h = self.head[v as usize];
+        (h != NO_HEAD).then_some(h)
+    }
+
+    pub fn h_edges(&self) -> Vec<Edge> {
+        self.h_set.edges()
+    }
+
+    pub fn h_size(&self) -> usize {
+        self.h_set.len()
+    }
+
+    /// Contracted edge set E_{i+1} (bucket keys).
+    pub fn next_edges(&self) -> Vec<Edge> {
+        self.buckets.keys().copied().collect()
+    }
+
+    /// Current representative of a contracted edge.
+    pub fn rep_of(&self, contracted: Edge) -> Option<Edge> {
+        self.rep.get(&contracted).copied()
+    }
+
+    /// Number of sampled (V_{i+1}) vertices.
+    pub fn next_vertex_count(&self) -> usize {
+        self.in_next.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of reasons edge `e` belongs to H_i under heads `(hu, hv)`.
+    fn h_reasons(e: Edge, hu: V, hv: V) -> u32 {
+        let mut c = 0;
+        if hu == NO_HEAD {
+            c += 1;
+        }
+        if hv == NO_HEAD {
+            c += 1;
+        }
+        if hu == e.v {
+            c += 1; // e is u's head edge
+        }
+        if hv == e.u {
+            c += 1; // e is v's head edge
+        }
+        c
+    }
+
+    /// Contracted bucket key for edge `e` under heads `(hu, hv)`, if any.
+    fn bucket_key(e: Edge, hu: V, hv: V) -> Option<Edge> {
+        let _ = e;
+        if hu == NO_HEAD || hv == NO_HEAD || hu == hv {
+            None
+        } else {
+            Some(Edge::new(hu, hv))
+        }
+    }
+
+    fn bucket_add(&mut self, key: Edge, e: Edge, r: &mut LevelBatchResult, born: &mut FxHashSet<Edge>, died: &mut FxHashMap<Edge, Edge>) {
+        let b = self.buckets.entry(key).or_default();
+        let was_empty = b.is_empty();
+        b.insert(e);
+        if was_empty {
+            self.rep.insert(key, e);
+            if let Some(old_rep) = died.remove(&key) {
+                // Rebirth within the batch: net-zero for E_{i+1}, but the
+                // representative changed — emit a rep event.
+                if old_rep != e {
+                    r.rep_events.push((key, old_rep, e));
+                }
+            } else {
+                born.insert(key);
+            }
+        }
+    }
+
+    fn bucket_remove(&mut self, key: Edge, e: Edge, r: &mut LevelBatchResult, born: &mut FxHashSet<Edge>, died: &mut FxHashMap<Edge, Edge>) {
+        let b = self.buckets.get_mut(&key).expect("bucket exists");
+        assert!(b.remove(&e), "support {e:?} missing from bucket {key:?}");
+        if b.is_empty() {
+            self.buckets.remove(&key);
+            let old_rep = self.rep.remove(&key).expect("rep of live bucket");
+            if !born.remove(&key) {
+                died.insert(key, old_rep);
+            }
+            // If it was born this batch, birth + death cancel entirely.
+        } else if self.rep[&key] == e {
+            let new_rep = *self.buckets[&key].first().expect("nonempty");
+            self.rep.insert(key, new_rep);
+            r.rep_events.push((key, e, new_rep));
+        }
+    }
+
+    /// Update the H reasons and bucket membership of `e` from heads
+    /// `(old_hu, old_hv)` to `(new_hu, new_hv)`.
+    fn retag_edge(
+        &mut self,
+        e: Edge,
+        old: (V, V),
+        new: (V, V),
+        r: &mut LevelBatchResult,
+        born: &mut FxHashSet<Edge>,
+        died: &mut FxHashMap<Edge, Edge>,
+    ) {
+        let oc = Self::h_reasons(e, old.0, old.1);
+        let nc = Self::h_reasons(e, new.0, new.1);
+        for _ in nc..oc {
+            self.h_set.remove(e);
+        }
+        for _ in oc..nc {
+            self.h_set.add(e);
+        }
+        let ok = Self::bucket_key(e, old.0, old.1);
+        let nk = Self::bucket_key(e, new.0, new.1);
+        if ok != nk {
+            if let Some(k) = ok {
+                self.bucket_remove(k, e, r, born, died);
+            }
+            if let Some(k) = nk {
+                self.bucket_add(k, e, r, born, died);
+            }
+        }
+    }
+
+    /// Apply a batch (deletions then insertions, the paper's order) and
+    /// report the level's outputs.
+    pub fn apply(&mut self, ins: &[Edge], del: &[Edge], out: &mut LevelBatchResult) {
+        let mut born: FxHashSet<Edge> = FxHashSet::default();
+        let mut died: FxHashMap<Edge, Edge> = FxHashMap::default();
+        let mut touched: FxHashSet<V> = FxHashSet::default();
+
+        // --- deletions ---
+        for &e in del {
+            assert!(self.edges.remove(&e), "delete of absent level edge {e:?}");
+            let (hu, hv) = (self.head[e.u as usize], self.head[e.v as usize]);
+            // Drop H reasons and bucket membership under current heads.
+            for _ in 0..Self::h_reasons(e, hu, hv) {
+                self.h_set.remove(e);
+            }
+            if let Some(k) = Self::bucket_key(e, hu, hv) {
+                self.bucket_remove(k, e, out, &mut born, &mut died);
+            }
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let rnd = self.rand_of.remove(&(a, b)).expect("entry");
+                let key = (!self.in_next[b as usize] as u8, rnd, b);
+                self.adj[a as usize].remove(&key).expect("adj entry");
+            }
+            touched.insert(e.u);
+            touched.insert(e.v);
+        }
+
+        // --- insertions ---
+        for &e in ins {
+            assert!(
+                self.in_level[e.u as usize] && self.in_level[e.v as usize],
+                "edge {e:?} outside the level universe"
+            );
+            assert!(self.edges.insert(e), "insert of present level edge {e:?}");
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let rnd: u64 = self.rng.gen();
+                self.rand_of.insert((a, b), rnd);
+                let key = (!self.in_next[b as usize] as u8, rnd, b);
+                self.adj[a as usize].insert(key, ());
+            }
+            let (hu, hv) = (self.head[e.u as usize], self.head[e.v as usize]);
+            for _ in 0..Self::h_reasons(e, hu, hv) {
+                self.h_set.add(e);
+            }
+            if let Some(k) = Self::bucket_key(e, hu, hv) {
+                self.bucket_add(k, e, out, &mut born, &mut died);
+            }
+            touched.insert(e.u);
+            touched.insert(e.v);
+        }
+
+        // --- head recomputation for touched unsampled vertices ---
+        for &w in &touched {
+            if self.in_next[w as usize] {
+                continue; // head(w) = w forever
+            }
+            let new_head = match self.adj[w as usize].first() {
+                Some((k, _)) if k.0 == 0 => k.2,
+                _ => NO_HEAD,
+            };
+            let old_head = self.head[w as usize];
+            if new_head == old_head {
+                continue;
+            }
+            self.head_changes += 1;
+            // Re-tag every incident edge: the w-side head flips.
+            let neighbors: Vec<V> =
+                self.adj[w as usize].iter().into_iter().map(|(k, _)| k.2).collect();
+            for x in neighbors {
+                let e = Edge::new(w, x);
+                let hx = self.head[x as usize];
+                let (old_pair, new_pair) = if w == e.u {
+                    ((old_head, hx), (new_head, hx))
+                } else {
+                    ((hx, old_head), (hx, new_head))
+                };
+                self.retag_edge(e, old_pair, new_pair, out, &mut born, &mut died);
+            }
+            self.head[w as usize] = new_head;
+        }
+
+        out.next_ins.extend(born);
+        out.next_del.extend(died.into_keys());
+        out.h_delta.merge(self.h_set.take_delta());
+    }
+
+    /// Test oracle: recompute heads, H reasons, and buckets from scratch
+    /// (same rand keys) and compare.
+    pub fn validate(&self) {
+        for v in 0..self.n as V {
+            if !self.in_level[v as usize] {
+                assert_eq!(self.adj[v as usize].len(), 0);
+                continue;
+            }
+            let want = if self.in_next[v as usize] {
+                v
+            } else {
+                match self.adj[v as usize].first() {
+                    Some((k, _)) if k.0 == 0 => k.2,
+                    _ => NO_HEAD,
+                }
+            };
+            assert_eq!(self.head[v as usize], want, "head mismatch at {v}");
+        }
+        let mut want_h = SpannerSet::new();
+        let mut want_buckets: FxHashMap<Edge, BTreeSet<Edge>> = FxHashMap::default();
+        for &e in &self.edges {
+            let (hu, hv) = (self.head[e.u as usize], self.head[e.v as usize]);
+            for _ in 0..Self::h_reasons(e, hu, hv) {
+                want_h.add(e);
+            }
+            if let Some(k) = Self::bucket_key(e, hu, hv) {
+                want_buckets.entry(k).or_default().insert(e);
+            }
+        }
+        let mut got = self.h_set.edges();
+        let mut exp = want_h.edges();
+        got.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(got, exp, "H set diverged");
+        assert_eq!(self.buckets, want_buckets, "buckets diverged");
+        for (k, b) in &self.buckets {
+            let rep = self.rep.get(k).expect("rep for live bucket");
+            assert!(b.contains(rep), "rep {rep:?} not a support of {k:?}");
+        }
+        assert_eq!(self.rep.len(), self.buckets.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_graph::gen;
+    use bds_graph::stream::UpdateStream;
+
+    fn full_universe(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn init_heads_and_buckets() {
+        let n = 60;
+        let edges = gen::gnm_connected(n, 200, 3);
+        let lvl = ContractLevel::new(n, &full_universe(n), 4.0, &edges, 7);
+        lvl.validate();
+        // Expected |V'| ≈ n/x.
+        let nv = lvl.next_vertex_count();
+        assert!(nv >= 4 && nv <= 40, "sampled {nv} of {n}");
+        // E[|H|] = O(nx): loose sanity bound.
+        assert!(lvl.h_size() <= edges.len());
+    }
+
+    #[test]
+    fn updates_keep_invariants() {
+        let n = 50;
+        let init = gen::gnm_connected(n, 150, 5);
+        let mut lvl = ContractLevel::new(n, &full_universe(n), 3.0, &init, 11);
+        let mut stream = UpdateStream::new(n, &init, 13);
+        let mut next_shadow: FxHashSet<Edge> = lvl.next_edges().into_iter().collect();
+        let mut h_shadow: FxHashSet<Edge> = lvl.h_edges().into_iter().collect();
+        for _ in 0..40 {
+            let b = stream.next_batch(4, 4);
+            let mut r = LevelBatchResult::default();
+            lvl.apply(&b.insertions, &b.deletions, &mut r);
+            lvl.validate();
+            for e in &r.next_del {
+                assert!(next_shadow.remove(e), "E' delta removes absent {e:?}");
+            }
+            for e in &r.next_ins {
+                assert!(next_shadow.insert(*e), "E' delta inserts dup {e:?}");
+            }
+            r.h_delta.apply_to(&mut h_shadow);
+            let mut got: Vec<Edge> = lvl.next_edges();
+            let mut want: Vec<Edge> = next_shadow.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "E' replay diverged");
+            let mut got: Vec<Edge> = lvl.h_edges();
+            let mut want: Vec<Edge> = h_shadow.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "H replay diverged");
+        }
+    }
+
+    #[test]
+    fn rep_events_track_representatives() {
+        let n = 40;
+        let init = gen::gnm_connected(n, 120, 17);
+        let mut lvl = ContractLevel::new(n, &full_universe(n), 3.0, &init, 19);
+        let mut reps: FxHashMap<Edge, Edge> =
+            lvl.next_edges().into_iter().map(|k| (k, lvl.rep_of(k).unwrap())).collect();
+        let mut stream = UpdateStream::new(n, &init, 23);
+        for _ in 0..40 {
+            let b = stream.next_batch(3, 3);
+            let mut r = LevelBatchResult::default();
+            lvl.apply(&b.insertions, &b.deletions, &mut r);
+            for e in &r.next_del {
+                reps.remove(e).expect("rep for deleted E' edge");
+            }
+            for e in &r.next_ins {
+                reps.insert(*e, lvl.rep_of(*e).unwrap());
+            }
+            for (k, old, new) in &r.rep_events {
+                if let Some(cur) = reps.get_mut(k) {
+                    assert_eq!(cur, old, "rep event chain broken for {k:?}");
+                    *cur = *new;
+                }
+            }
+            // Shadow reps must now match the live ones exactly.
+            for (k, rep) in &reps {
+                assert_eq!(lvl.rep_of(*k), Some(*rep), "rep of {k:?}");
+            }
+            assert_eq!(reps.len(), lvl.next_edges().len());
+        }
+    }
+
+    #[test]
+    fn head_change_probability_is_small() {
+        // Expected O(1) head recomputations per update (the 1/(deg+1)
+        // argument): across many single-edge updates on a dense-ish graph
+        // the average must be well below the trivial bound of 2.
+        let n = 100;
+        let init = gen::gnm_connected(n, 800, 29);
+        let mut lvl = ContractLevel::new(n, &full_universe(n), 3.0, &init, 31);
+        let mut stream = UpdateStream::new(n, &init, 37);
+        let before = lvl.head_changes;
+        let rounds = 300;
+        for _ in 0..rounds {
+            let b = stream.next_batch(1, 1);
+            let mut r = LevelBatchResult::default();
+            lvl.apply(&b.insertions, &b.deletions, &mut r);
+        }
+        let per_update = (lvl.head_changes - before) as f64 / (2.0 * rounds as f64);
+        assert!(per_update < 0.9, "head-change rate {per_update} too high");
+    }
+}

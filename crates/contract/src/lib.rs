@@ -1,0 +1,16 @@
+//! **Theorem 1.3** — batch-dynamic sparse spanners via nested contractions.
+//!
+//! * [`schedule`] — the contraction-rate sequences of Lemmas 4.2/4.3.
+//! * [`level`] — one `Contract(G, x)` level maintained dynamically
+//!   (§4.3): per-vertex adjacency treaps with per-entry random keys,
+//!   `Head` = the minimum *marked* entry, the H_i edge set, the
+//!   `NextLevelEdges` buckets and the Bwd/Fwd correspondence.
+//! * [`sparse`] — the nested tower: L contraction levels below a
+//!   Theorem 1.1 instance, with exact level-0 delta propagation through
+//!   the representative chains.
+
+pub mod level;
+pub mod schedule;
+pub mod sparse;
+
+pub use sparse::SparseSpanner;

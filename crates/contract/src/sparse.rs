@@ -1,0 +1,355 @@
+//! **Theorem 1.3** — the nested-contraction sparse spanner tower.
+//!
+//! L contraction levels (usually one at practical n; the schedule of
+//! Lemma 4.3 generalizes) sit below a Theorem 1.1 instance with
+//! k = ⌈log₂ |V_L|⌉. Updates flow *upward*: each level turns its batch
+//! into net E_{i+1} updates plus H_i and representative deltas. Spanner
+//! membership then flows *downward*: `Active_i = H_i ∪ rep_i(Active_{i+1})`
+//! is maintained with refcounts and a `counted_rep` registry recording
+//! exactly which level-i edge currently stands in for each active
+//! contracted edge — so every batch yields an exact level-0 (δH_ins,
+//! δH_del) pair, the interface of Theorem 1.3.
+
+use crate::level::{ContractLevel, LevelBatchResult};
+use crate::schedule::{contraction_sequence, sparse_target};
+use bds_core::{BatchDynamicSpanner, FullyDynamicSpanner, SpannerSet};
+use bds_dstruct::FxHashMap;
+use bds_graph::types::{Edge, SpannerDelta, UpdateBatch};
+
+/// Batch-dynamic sparse spanner (Theorem 1.3).
+pub struct SparseSpanner {
+    n: usize,
+    levels: Vec<ContractLevel>,
+    top: FullyDynamicSpanner,
+    /// Active_i for i = 0..=L (level L = the top spanner's edges).
+    active: Vec<SpannerSet>,
+    /// Per level i (< L): contracted edge -> the level-i edge currently
+    /// counted in Active_i on its behalf.
+    counted_rep: Vec<FxHashMap<Edge, Edge>>,
+}
+
+impl SparseSpanner {
+    /// Contraction rates from Lemma 4.3 with the Θ(log n) target and a
+    /// top instance with k = ⌈log₂ |V_L|⌉.
+    pub fn new(n: usize, edges: &[Edge], seed: u64) -> Self {
+        Self::with_rates(n, edges, &contraction_sequence(sparse_target(n)), seed)
+    }
+
+    /// Explicit contraction rates (the ultra-sparse spanner passes the
+    /// squared schedule here — the paper's white-box modification).
+    pub fn with_rates(n: usize, edges: &[Edge], rates: &[f64], seed: u64) -> Self {
+        assert!(!rates.is_empty());
+        let mut levels: Vec<ContractLevel> = Vec::with_capacity(rates.len());
+        let mut universe = vec![true; n];
+        let mut cur_edges: Vec<Edge> = edges.to_vec();
+        for (i, &x) in rates.iter().enumerate() {
+            let lvl = ContractLevel::new(
+                n,
+                &universe,
+                x,
+                &cur_edges,
+                seed ^ (0xc0ffee + i as u64 * 104_729),
+            );
+            universe = lvl.in_next.clone();
+            cur_edges = lvl.next_edges();
+            levels.push(lvl);
+        }
+        let top_n = levels.last().unwrap().next_vertex_count().max(2);
+        let k_top = (top_n as f64).log2().ceil().max(1.0) as u32;
+        let top = FullyDynamicSpanner::new(n, k_top, &cur_edges, seed ^ 0xf00d);
+
+        // Assemble the initial Active chain.
+        let l = levels.len();
+        let mut active: Vec<SpannerSet> = (0..=l).map(|_| SpannerSet::new()).collect();
+        let mut counted_rep: Vec<FxHashMap<Edge, Edge>> =
+            (0..l).map(|_| FxHashMap::default()).collect();
+        for e in top.spanner_edges() {
+            active[l].add(e);
+        }
+        for i in (0..l).rev() {
+            for e in levels[i].h_edges() {
+                active[i].add(e);
+            }
+            let upstairs: Vec<Edge> = active[i + 1].edges();
+            for e_up in upstairs {
+                let rep = levels[i].rep_of(e_up).expect("active contracted edge has a rep");
+                active[i].add(rep);
+                counted_rep[i].insert(e_up, rep);
+            }
+        }
+        for a in &mut active {
+            let _ = a.take_delta();
+        }
+        Self { n, levels, top, active, counted_rep }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn num_live_edges(&self) -> usize {
+        self.levels[0].num_edges()
+    }
+
+    pub fn live_edges(&self) -> Vec<Edge> {
+        self.levels[0].live_edges()
+    }
+
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.levels[0].contains_edge(e)
+    }
+
+    pub fn spanner_size(&self) -> usize {
+        self.active[0].len()
+    }
+
+    /// Total head recomputations across levels (recourse statistic).
+    pub fn head_changes(&self) -> u64 {
+        self.levels.iter().map(|l| l.head_changes).sum()
+    }
+
+    pub fn top_spanner_size(&self) -> usize {
+        self.top.spanner_size()
+    }
+
+    /// Insert a batch of absent edges.
+    pub fn insert_batch(&mut self, edges: &[Edge]) -> SpannerDelta {
+        self.process(&UpdateBatch::insert_only(edges.to_vec()))
+    }
+
+    /// Delete a batch of present edges.
+    pub fn delete_batch(&mut self, edges: &[Edge]) -> SpannerDelta {
+        self.process(&UpdateBatch::delete_only(edges.to_vec()))
+    }
+
+    fn process(&mut self, batch: &UpdateBatch) -> SpannerDelta {
+        let l = self.levels.len();
+        // --- Phase A: upward through the contraction levels. ---
+        let mut results: Vec<LevelBatchResult> = Vec::with_capacity(l);
+        let mut ins = batch.insertions.clone();
+        let mut del = batch.deletions.clone();
+        for lvl in self.levels.iter_mut() {
+            let mut r = LevelBatchResult::default();
+            lvl.apply(&ins, &del, &mut r);
+            ins = r.next_ins.clone();
+            del = r.next_del.clone();
+            results.push(r);
+        }
+        // --- Top instance. ---
+        let top_delta = self.top.process_batch(&UpdateBatch {
+            insertions: ins,
+            deletions: del,
+        });
+        for e in top_delta.deleted {
+            self.active[l].remove(e);
+        }
+        for e in top_delta.inserted {
+            self.active[l].add(e);
+        }
+
+        // --- Phase B: downward membership propagation. ---
+        for i in (0..l).rev() {
+            // 1. Representative swaps for contracted edges that are (still)
+            //    counted — chronological, so chains compose.
+            for &(e_up, old, new) in &results[i].rep_events {
+                if let Some(cur) = self.counted_rep[i].get_mut(&e_up) {
+                    debug_assert_eq!(*cur, old, "rep chain broken for {e_up:?}");
+                    self.active[i].remove(old);
+                    self.active[i].add(new);
+                    *cur = new;
+                }
+            }
+            // 2. Net membership transitions one level up.
+            let up_delta = self.active[i + 1].take_delta();
+            for e_up in up_delta.deleted {
+                let rep = self.counted_rep[i]
+                    .remove(&e_up)
+                    .unwrap_or_else(|| panic!("no counted rep for {e_up:?}"));
+                self.active[i].remove(rep);
+            }
+            for e_up in up_delta.inserted {
+                let rep = self.levels[i].rep_of(e_up).expect("live contracted edge");
+                self.active[i].add(rep);
+                let dup = self.counted_rep[i].insert(e_up, rep);
+                debug_assert!(dup.is_none());
+            }
+            // 3. H_i membership changes.
+            for e in &results[i].h_delta.deleted {
+                self.active[i].remove(*e);
+            }
+            for e in &results[i].h_delta.inserted {
+                self.active[i].add(*e);
+            }
+        }
+        self.active[0].take_delta()
+    }
+
+    /// The maintained sparse spanner (level-0 edges).
+    pub fn spanner_edges(&self) -> Vec<Edge> {
+        self.active[0].edges()
+    }
+
+    /// Test oracle: per-level validation, top validation, and a from-
+    /// scratch recomputation of the Active chain.
+    pub fn validate(&self) {
+        let l = self.levels.len();
+        for (i, lvl) in self.levels.iter().enumerate() {
+            lvl.validate();
+            // Level i+1's graph must equal level i's contracted edges.
+            let mut want = lvl.next_edges();
+            let mut got = if i + 1 < l {
+                self.levels[i + 1].live_edges()
+            } else {
+                // Top instance's live edges.
+                let mut v = Vec::new();
+                for e in self.top_live_edges() {
+                    v.push(e);
+                }
+                v
+            };
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(want, got, "graph chain broken between {i} and {}", i + 1);
+        }
+        self.top.validate();
+        // Recompute Active from scratch.
+        let mut want_active: Vec<SpannerSet> = (0..=l).map(|_| SpannerSet::new()).collect();
+        for e in self.top.spanner_edges() {
+            want_active[l].add(e);
+        }
+        for i in (0..l).rev() {
+            for e in self.levels[i].h_edges() {
+                want_active[i].add(e);
+            }
+            for e_up in want_active[i + 1].edges() {
+                let rep = self.levels[i].rep_of(e_up).expect("rep");
+                want_active[i].add(rep);
+                // counted_rep must agree with the live reps.
+                assert_eq!(
+                    self.counted_rep[i].get(&e_up),
+                    Some(&rep),
+                    "counted rep stale for {e_up:?} at level {i}"
+                );
+            }
+            assert_eq!(
+                self.counted_rep[i].len(),
+                want_active[i + 1].len(),
+                "counted reps outnumber active contracted edges at {i}"
+            );
+            let mut got = self.active[i].edges();
+            let mut exp = want_active[i].edges();
+            got.sort_unstable();
+            exp.sort_unstable();
+            assert_eq!(got, exp, "Active_{i} diverged");
+        }
+    }
+
+    fn top_live_edges(&self) -> Vec<Edge> {
+        // The top instance doesn't expose live edges directly; reconstruct
+        // from the last level's buckets (its graph by construction).
+        self.levels.last().unwrap().next_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_dstruct::FxHashSet;
+    use bds_graph::csr::edge_stretch;
+    use bds_graph::gen;
+    use bds_graph::stream::UpdateStream;
+
+    #[test]
+    fn init_validates_with_bounded_stretch() {
+        let n = 120;
+        let edges = gen::gnm_connected(n, 600, 3);
+        let s = SparseSpanner::new(n, &edges, 7);
+        s.validate();
+        let st = edge_stretch(n, &edges, &s.spanner_edges(), n, 5);
+        assert!(st.is_finite(), "disconnected spanner");
+        // Per-level stretch transform L -> 3L+2 on top of O(log n).
+        let logn = (n as f64).log2();
+        assert!(st <= 3.0 * (2.0 * logn) + 10.0, "stretch {st}");
+    }
+
+    #[test]
+    fn two_level_tower_works() {
+        // Force a 2-level schedule to exercise the general tower.
+        let n = 200;
+        let edges = gen::gnm_connected(n, 900, 5);
+        let s = SparseSpanner::with_rates(n, &edges, &[4.0, 3.0], 11);
+        s.validate();
+        let st = edge_stretch(n, &edges, &s.spanner_edges(), n, 5);
+        assert!(st.is_finite());
+    }
+
+    #[test]
+    fn mixed_updates_validate_and_replay() {
+        let n = 70;
+        let init = gen::gnm_connected(n, 260, 13);
+        let mut s = SparseSpanner::with_rates(n, &init, &[3.0], 17);
+        let mut stream = UpdateStream::new(n, &init, 19);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        for round in 0..30 {
+            let b = stream.next_batch(6, 5);
+            let d = s.process(&b);
+            d.apply_to(&mut shadow);
+            s.validate();
+            let mut got = s.spanner_edges();
+            let mut want: Vec<Edge> = shadow.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "round {round}");
+            let st = edge_stretch(n, stream.live_edges(), &s.spanner_edges(), 30, 3);
+            assert!(st.is_finite(), "round {round}: spanner lost connectivity");
+        }
+    }
+
+    #[test]
+    fn two_level_updates_validate() {
+        let n = 90;
+        let init = gen::gnm_connected(n, 350, 23);
+        let mut s = SparseSpanner::with_rates(n, &init, &[3.0, 2.5], 29);
+        let mut stream = UpdateStream::new(n, &init, 31);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        for _ in 0..20 {
+            let b = stream.next_batch(5, 5);
+            let d = s.process(&b);
+            d.apply_to(&mut shadow);
+            s.validate();
+        }
+    }
+
+    #[test]
+    fn delete_to_empty() {
+        let n = 40;
+        let edges = gen::gnm(n, 120, 31);
+        let mut s = SparseSpanner::with_rates(n, &edges, &[3.0], 37);
+        let mut live = edges;
+        use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        live.shuffle(&mut rng);
+        while !live.is_empty() {
+            let k = rng.gen_range(1..=10.min(live.len()));
+            let batch: Vec<Edge> = live.split_off(live.len() - k);
+            s.delete_batch(&batch);
+            s.validate();
+        }
+        assert_eq!(s.spanner_size(), 0);
+    }
+
+    #[test]
+    fn linear_size_trend() {
+        // E6 shape: sparse-spanner size stays a bounded multiple of n.
+        for (n, seed) in [(300usize, 1u64), (600, 2), (1200, 3)] {
+            let edges = gen::gnm_connected(n, 8 * n, seed);
+            let s = SparseSpanner::new(n, &edges, seed * 97);
+            let ratio = s.spanner_size() as f64 / n as f64;
+            assert!(ratio < 12.0, "n={n}: ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,799 @@
+//! **Lemma 3.3** — decremental (2k−1)-spanner via exponential-start-time
+//! clustering maintained on the shifted auxiliary graph G′.
+//!
+//! The structure embeds a batched Even–Shiloach engine (the phase loop of
+//! Theorem 1.2) and interleaves cluster/priority maintenance with it
+//! level-synchronously: after distances at level `i` settle, clusters at
+//! level `i` are recomputed (a vertex is its own center iff its parent is
+//! a p-node, otherwise it inherits the parent's cluster), the priority
+//! keys `(perm[Cluster(v)], v)` of v's out-entries are updated in its
+//! out-neighbors' in-lists, and out-neighbors parented on a moved entry
+//! are enqueued for a bounded forward rescan. Priorities only *decrease*
+//! at a fixed distance (the candidate set only shrinks decrementally), so
+//! entries before a scan position never become candidates — the invariant
+//! that keeps forward-only rescans sound.
+//!
+//! The spanner is the shortest-path forest restricted to original
+//! vertices (intra-cluster trees) plus, for every vertex `v` and adjacent
+//! cluster `c ≠ Cluster(v)`, one representative edge from the bucket
+//! `InterCluster[(v, c)]` (§3.3).
+
+use crate::spanner_set::SpannerSet;
+use bds_dstruct::{FxHashMap, FxHashSet, PriorityList};
+use bds_estree::ShiftedGraph;
+use bds_graph::types::{Edge, SpannerDelta, V};
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+
+const NO_VERTEX: V = V::MAX;
+
+/// Per-batch work/recourse statistics (experiments E3/E10).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DecrementalStats {
+    /// Entries examined by NextWith scans.
+    pub scan_steps: u64,
+    /// Vertices whose cluster label changed (Lemma 3.6 quantity).
+    pub cluster_changes: u64,
+    /// Vertices processed across ES phases.
+    pub vertices_touched: u64,
+}
+
+struct InEntry {
+    src: V,
+}
+
+/// Decremental (2k−1)-spanner (Lemma 3.3).
+pub struct DecrementalSpanner {
+    n: usize,
+    k: u32,
+    sg: ShiftedGraph,
+    // --- Even–Shiloach state over G′ (original vertices + p-chain) ---
+    dist: Vec<u32>,
+    parent: Vec<V>,
+    parent_prio: Vec<u64>,
+    ins: Vec<PriorityList<InEntry>>,
+    /// directed edge (u → v) -> current priority inside ins[v]
+    prio_of: FxHashMap<(V, V), u64>,
+    // --- clustering state (original vertices only) ---
+    cluster: Vec<V>,
+    adj: Vec<FxHashSet<V>>,
+    /// InterCluster[(v, center)] = neighbors of v in that cluster.
+    buckets: FxHashMap<(V, V), BTreeSet<V>>,
+    spanner: SpannerSet,
+    mark: Vec<u32>,
+    epoch: u32,
+    stats: DecrementalStats,
+}
+
+impl DecrementalSpanner {
+    /// Build over `n` vertices with stretch parameter `k ≥ 1`. Shifts are
+    /// drawn Exp(ln(10n)/k) and resampled until max δ < k (Algorithm 2's
+    /// Las Vegas loop), so the (2k−1) stretch guarantee is unconditional.
+    pub fn new(n: usize, k: u32, edges: &[Edge], seed: u64) -> Self {
+        assert!(k >= 1 && n >= 1);
+        let beta = (10.0 * n.max(2) as f64).ln() / k as f64;
+        let sg = ShiftedGraph::sample(n, beta, Some(k as f64), seed);
+        Self::with_shifts(n, k, edges, sg)
+    }
+
+    /// Build with explicit shifts (tests pin randomness through this).
+    pub fn with_shifts(n: usize, k: u32, edges: &[Edge], sg: ShiftedGraph) -> Self {
+        let total = sg.total_vertices();
+        let t = sg.t;
+        let _ = total;
+        let mut adj: Vec<FxHashSet<V>> = vec![FxHashSet::default(); n];
+        for e in edges {
+            let fresh = adj[e.u as usize].insert(e.v);
+            assert!(fresh, "duplicate edge {e:?}");
+            adj[e.v as usize].insert(e.u);
+        }
+
+        // Shortcut targets per p-node level.
+        let mut shortcut: Vec<Vec<V>> = vec![Vec::new(); t as usize];
+        for v in 0..n as V {
+            shortcut[(t - 1 - sg.d[v as usize]) as usize].push(v);
+        }
+
+        // BFS over G′ from p0. p-node i sits at distance i.
+        let mut dist = vec![u32::MAX; total];
+        for i in 0..t {
+            dist[sg.p_node(i) as usize] = i;
+        }
+        {
+            let mut frontier: Vec<V> = Vec::new();
+            for i in 0..t {
+                // p_i joins the frontier at step i; expand originals level
+                // by level. Distances of originals are in [1, t].
+                frontier.extend(shortcut[i as usize].iter().copied().filter(|&v| {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = i + 1;
+                        true
+                    } else {
+                        false
+                    }
+                }));
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &w in &adj[u as usize] {
+                        if dist[w as usize] == u32::MAX {
+                            dist[w as usize] = dist[u as usize] + 1;
+                            next.push(w);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+
+        // Pass 1 (levels ascending): parents and clusters.
+        let mut order: Vec<V> = (0..n as V).collect();
+        order.sort_unstable_by_key(|&v| dist[v as usize]);
+        let mut parent = vec![NO_VERTEX; total];
+        let mut parent_prio = vec![0u64; total];
+        let mut cluster = vec![NO_VERTEX; n];
+        for i in 1..t {
+            parent[sg.p_node(i) as usize] = sg.p_node(i - 1);
+            parent_prio[sg.p_node(i) as usize] = u64::MAX;
+        }
+        for &v in &order {
+            let dv = dist[v as usize];
+            debug_assert!(dv >= 1 && dv <= t, "vertex {v} at dist {dv}");
+            let mut best: Option<(u64, V, V)> = None; // (key, parent, center)
+            if t - 1 - sg.d[v as usize] == dv - 1 {
+                best = Some((sg.self_priority(v), sg.p_node(dv - 1), v));
+            }
+            for &w in &adj[v as usize] {
+                if dist[w as usize] == dv - 1 {
+                    let key = sg.cluster_priority(cluster[w as usize], w);
+                    if best.map_or(true, |(bk, _, _)| key > bk) {
+                        best = Some((key, w, cluster[w as usize]));
+                    }
+                }
+            }
+            let (key, par, center) = best.expect("every vertex has a parent in G'");
+            parent[v as usize] = par;
+            parent_prio[v as usize] = key;
+            cluster[v as usize] = center;
+        }
+
+        // Pass 2: build prioritized in-lists and the priority index.
+        let mut prio_of = FxHashMap::default();
+        let mut ins: Vec<PriorityList<InEntry>> = (0..total)
+            .map(|v| PriorityList::new(0x5bd1_e995 ^ (v as u64) << 1))
+            .collect();
+        for i in 0..t.saturating_sub(1) {
+            let (a, b) = (sg.p_node(i), sg.p_node(i + 1));
+            ins[b as usize].insert(u64::MAX, InEntry { src: a });
+            prio_of.insert((a, b), u64::MAX);
+        }
+        for v in 0..n as V {
+            let p = sg.p_node(t - 1 - sg.d[v as usize]);
+            let key = sg.self_priority(v);
+            ins[v as usize].insert(key, InEntry { src: p });
+            prio_of.insert((p, v), key);
+            for &w in &adj[v as usize] {
+                // entry (w → v) keyed by w's cluster
+                let key = sg.cluster_priority(cluster[w as usize], w);
+                ins[v as usize].insert(key, InEntry { src: w });
+                prio_of.insert((w, v), key);
+            }
+        }
+
+        let mut this = Self {
+            n,
+            k,
+            sg,
+            dist,
+            parent,
+            parent_prio,
+            ins,
+            prio_of,
+            cluster,
+            adj,
+            buckets: FxHashMap::default(),
+            spanner: SpannerSet::new(),
+            mark: vec![0; total],
+            epoch: 0,
+            stats: DecrementalStats::default(),
+        };
+
+        // Buckets + initial spanner.
+        for e in edges {
+            this.buckets.entry((e.u, this.cluster[e.v as usize])).or_default().insert(e.v);
+            this.buckets.entry((e.v, this.cluster[e.u as usize])).or_default().insert(e.u);
+        }
+        for v in 0..n as V {
+            let p = this.parent[v as usize];
+            if !this.sg.is_p(p) {
+                this.spanner.add(Edge::new(p, v));
+            }
+        }
+        let keys: Vec<(V, V)> = this.buckets.keys().copied().collect();
+        for key in keys {
+            if let Some(e) = this.selection(key) {
+                this.spanner.add(e);
+            }
+        }
+        let _ = this.spanner.take_delta();
+        this
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    pub fn shifts(&self) -> &ShiftedGraph {
+        &self.sg
+    }
+
+    pub fn num_live_edges(&self) -> usize {
+        self.adj.iter().map(FxHashSet::len).sum::<usize>() / 2
+    }
+
+    pub fn live_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_live_edges());
+        for u in 0..self.n as V {
+            for &w in &self.adj[u as usize] {
+                if u < w {
+                    out.push(Edge { u, v: w });
+                }
+            }
+        }
+        out
+    }
+
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.adj[e.u as usize].contains(&e.v)
+    }
+
+    pub fn spanner_edges(&self) -> Vec<Edge> {
+        self.spanner.edges()
+    }
+
+    pub fn spanner_size(&self) -> usize {
+        self.spanner.len()
+    }
+
+    pub fn cluster_of(&self, v: V) -> V {
+        self.cluster[v as usize]
+    }
+
+    pub fn stats(&self) -> DecrementalStats {
+        self.stats
+    }
+
+    /// The currently selected representative of bucket `key = (v, c)`:
+    /// `Some` iff the bucket is nonempty and `c ≠ Cluster(v)`.
+    fn selection(&self, key: (V, V)) -> Option<Edge> {
+        if self.cluster[key.0 as usize] == key.1 {
+            return None;
+        }
+        let b = self.buckets.get(&key)?;
+        b.first().map(|&w| Edge::new(key.0, w))
+    }
+
+    /// Mutate bucket `key` with `f`, fixing the selected edge around it.
+    fn bucket_edit(&mut self, key: (V, V), f: impl FnOnce(&mut BTreeSet<V>)) {
+        let before = self.selection(key);
+        {
+            let b = self.buckets.entry(key).or_default();
+            f(b);
+            if b.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+        let after = self.selection(key);
+        if before != after {
+            if let Some(e) = before {
+                self.spanner.remove(e);
+            }
+            if let Some(e) = after {
+                self.spanner.add(e);
+            }
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Delete a batch of edges; returns the spanner delta. Panics if an
+    /// edge is absent (deletions must reference live edges).
+    pub fn delete_batch(&mut self, batch: &[Edge]) -> SpannerDelta {
+        let t = self.sg.t;
+        let nl = t as usize + 2;
+        // (vertex, scan ceiling priority) per level for parent fixing.
+        let mut queues: Vec<Vec<(V, u64)>> = vec![Vec::new(); nl];
+        // cluster-dirty vertices per level.
+        let mut cqueues: Vec<Vec<V>> = vec![Vec::new(); nl];
+
+        // ---- Phase 0: remove edges from every structure. ----
+        for &e in batch {
+            assert!(self.adj[e.u as usize].remove(&e.v), "delete of absent {e:?}");
+            self.adj[e.v as usize].remove(&e.u);
+            self.bucket_edit((e.u, self.cluster[e.v as usize]), |b| {
+                b.remove(&e.v);
+            });
+            self.bucket_edit((e.v, self.cluster[e.u as usize]), |b| {
+                b.remove(&e.u);
+            });
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let p = self.prio_of.remove(&(a, b)).expect("directed edge present");
+                if self.parent[b as usize] == a && self.parent_prio[b as usize] == p {
+                    // b lost its parent edge: seed a rescan at its level.
+                    // The ceiling (dead entry's priority) is resolved to a
+                    // rank only at scan time — ranks shift under the other
+                    // removals of this batch, priorities do not.
+                    self.parent[b as usize] = NO_VERTEX;
+                    self.spanner.remove(Edge::new(a, b));
+                    queues[self.dist[b as usize] as usize].push((b, p));
+                }
+                self.ins[b as usize].remove(p).expect("in-entry present");
+            }
+        }
+
+        // ---- Level-synchronous phases. ----
+        for i in 1..=t {
+            // (a) distance/parent fixing at level i.
+            let q = std::mem::take(&mut queues[i as usize]);
+            if !q.is_empty() {
+                let epoch = self.next_epoch();
+                let mut level: Vec<(V, u64)> = Vec::with_capacity(q.len());
+                let mut slot: FxHashMap<V, usize> = FxHashMap::default();
+                for (v, ceil) in q {
+                    if self.dist[v as usize] != i {
+                        continue; // stale entry, vertex already consistent
+                    }
+                    // Skip-guard: a leapfrog assignment already installed a
+                    // *valid* parent above this ceiling; everything at or
+                    // below the ceiling is worse. Stale parents (left over
+                    // from a bump, violating the depth relation) never skip.
+                    let pv = self.parent[v as usize];
+                    if pv != NO_VERTEX
+                        && self.dist[pv as usize] + 1 == i
+                        && self.parent_prio[v as usize] > ceil
+                    {
+                        continue;
+                    }
+                    if self.mark[v as usize] == epoch {
+                        let s = slot[&v];
+                        if ceil > level[s].1 {
+                            level[s].1 = ceil; // higher ceiling = earlier scan
+                        }
+                    } else {
+                        self.mark[v as usize] = epoch;
+                        slot.insert(v, level.len());
+                        level.push((v, ceil));
+                    }
+                }
+                self.stats.vertices_touched += level.len() as u64;
+
+                // Parallel, read-only snapshot scans.
+                let dist = &self.dist;
+                let ins = &self.ins;
+                let want = i - 1;
+                let scan_results: Vec<(V, Option<(u64, V)>)> = if level.len() >= 64 {
+                    level
+                        .par_iter()
+                        .map(|&(v, ceil)| {
+                            let resume = ins[v as usize].bound_rank(ceil);
+                            let mut w = 0u64;
+                            let hit = ins[v as usize]
+                                .next_with(
+                                    resume,
+                                    |_, rec| dist[rec.src as usize] == want,
+                                    &mut w,
+                                )
+                                .map(|(_, p, rec)| (p, rec.src));
+                            (v, hit)
+                        })
+                        .collect()
+                } else {
+                    let mut out = Vec::with_capacity(level.len());
+                    let mut w = 0u64;
+                    for &(v, ceil) in &level {
+                        let resume = ins[v as usize].bound_rank(ceil);
+                        let hit = ins[v as usize]
+                            .next_with(resume, |_, rec| dist[rec.src as usize] == want, &mut w)
+                            .map(|(_, p, rec)| (p, rec.src));
+                        out.push((v, hit));
+                    }
+                    self.stats.scan_steps += w;
+                    out
+                };
+
+                for (v, hit) in scan_results {
+                    match hit {
+                        Some((p, src)) => {
+                            let old = self.parent[v as usize];
+                            // A leapfrog during the previous level's (b)
+                            // pass may have installed a strictly better
+                            // *valid* parent than anything at/below the scan
+                            // ceiling; never downgrade it.
+                            if old != NO_VERTEX
+                                && self.dist[old as usize] + 1 == i
+                                && self.parent_prio[v as usize] > p
+                            {
+                                continue;
+                            }
+                            if old != src {
+                                if old != NO_VERTEX && !self.sg.is_p(old) {
+                                    self.spanner.remove(Edge::new(old, v));
+                                }
+                                if !self.sg.is_p(src) {
+                                    self.spanner.add(Edge::new(src, v));
+                                }
+                                self.parent[v as usize] = src;
+                                self.parent_prio[v as usize] = p;
+                                cqueues[i as usize].push(v);
+                            } else if self.parent_prio[v as usize] != p {
+                                self.parent_prio[v as usize] = p;
+                            }
+                        }
+                        None => {
+                            // Bump. The shortcut entry guarantees every
+                            // original vertex settles by depth t − d_v.
+                            assert!(i < t, "vertex {v} fell past depth t");
+                            let old = self.parent[v as usize];
+                            if old != NO_VERTEX {
+                                if !self.sg.is_p(old) {
+                                    self.spanner.remove(Edge::new(old, v));
+                                }
+                                self.parent[v as usize] = NO_VERTEX;
+                            }
+                            self.dist[v as usize] = i + 1;
+                            queues[i as usize + 1].push((v, u64::MAX));
+                            // Tree children resume from their (now dead)
+                            // parent entry's priority.
+                            let children: Vec<V> = self.adj[v as usize]
+                                .iter()
+                                .copied()
+                                .filter(|&c| self.parent[c as usize] == v)
+                                .collect();
+                            for c in children {
+                                queues[i as usize + 1].push((c, self.parent_prio[c as usize]));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // (b) cluster fixing at level i.
+            let cq = std::mem::take(&mut cqueues[i as usize]);
+            if cq.is_empty() {
+                continue;
+            }
+            let epoch = self.next_epoch();
+            for v in cq {
+                if self.dist[v as usize] != i || self.mark[v as usize] == epoch {
+                    continue;
+                }
+                self.mark[v as usize] = epoch;
+                let par = self.parent[v as usize];
+                debug_assert_ne!(par, NO_VERTEX);
+                let new_c = if self.sg.is_p(par) { v } else { self.cluster[par as usize] };
+                let old_c = self.cluster[v as usize];
+                if new_c == old_c {
+                    continue;
+                }
+                self.stats.cluster_changes += 1;
+                self.apply_cluster_change(v, old_c, new_c, &mut queues, &mut cqueues);
+            }
+        }
+
+        self.spanner.take_delta()
+    }
+
+    /// Relabel `v` from cluster `old_c` to `new_c`: move it between its
+    /// neighbors' buckets, flip its own buckets' eligibility, and update
+    /// the priority key of every out-entry of `v`, enqueuing dependent
+    /// rescans/cluster checks at the next level.
+    fn apply_cluster_change(
+        &mut self,
+        v: V,
+        old_c: V,
+        new_c: V,
+        queues: &mut [Vec<(V, u64)>],
+        cqueues: &mut [Vec<V>],
+    ) {
+        let neighbors: Vec<V> = self.adj[v as usize].iter().copied().collect();
+        for &w in &neighbors {
+            // v moves between w's buckets.
+            self.bucket_edit((w, old_c), |b| {
+                b.remove(&v);
+            });
+            self.bucket_edit((w, new_c), |b| {
+                b.insert(v);
+            });
+            // Re-key the entry (v → w) in In(w).
+            let old_p = self.prio_of[&(v, w)];
+            let new_p = self.sg.cluster_priority(new_c, v);
+            if old_p == new_p {
+                continue;
+            }
+            assert!(self.ins[w as usize].update_priority(old_p, new_p));
+            self.prio_of.insert((v, w), new_p);
+            let dw = self.dist[w as usize];
+            if self.parent[w as usize] == v && self.parent_prio[w as usize] == old_p {
+                // Keep the recorded priority in sync with the moved entry
+                // even when v is a *stale* parent (w is pending a rescan
+                // after v bumped; the depth relation is broken).
+                self.parent_prio[w as usize] = new_p;
+                if dw == self.dist[v as usize] + 1 {
+                    if new_p < old_p {
+                        // Entry moved down: a better candidate may now
+                        // precede it — bounded forward rescan below the old
+                        // slot's priority (rank resolved at scan time).
+                        queues[dw as usize].push((w, old_p));
+                    }
+                    // w's cluster follows its parent's cluster.
+                    cqueues[dw as usize].push(w);
+                }
+            } else if new_p > old_p && dw == self.dist[v as usize] + 1 {
+                // Riser: v's entry climbed while being a candidate for w.
+                // If it passes w's current *valid* parent (or w has no
+                // valid parent), v is now the max-priority candidate —
+                // assign eagerly (the paper's single-NextWith detection).
+                let pw = self.parent[w as usize];
+                let pw_valid = pw != NO_VERTEX && self.dist[pw as usize] + 1 == dw;
+                if pw == NO_VERTEX || !pw_valid || self.parent_prio[w as usize] < new_p {
+                    if pw != NO_VERTEX && !self.sg.is_p(pw) {
+                        self.spanner.remove(Edge::new(pw, w));
+                    }
+                    self.spanner.add(Edge::new(v, w));
+                    self.parent[w as usize] = v;
+                    self.parent_prio[w as usize] = new_p;
+                    cqueues[dw as usize].push(w);
+                }
+            }
+        }
+        // Eligibility flips for v's own buckets: (v, old_c) becomes
+        // selectable, (v, new_c) stops being selectable.
+        let before_old = self.selection((v, old_c));
+        let before_new = self.selection((v, new_c));
+        self.cluster[v as usize] = new_c;
+        let after_old = self.selection((v, old_c));
+        let after_new = self.selection((v, new_c));
+        for (b, a) in [(before_old, after_old), (before_new, after_new)] {
+            if b != a {
+                if let Some(e) = b {
+                    self.spanner.remove(e);
+                }
+                if let Some(e) = a {
+                    self.spanner.add(e);
+                }
+            }
+        }
+    }
+
+    /// Full validation oracle: recomputes distances, clusters, buckets and
+    /// the spanner from scratch (same random bits) and compares. O(n·m) —
+    /// test-only.
+    pub fn validate(&self) {
+        let t = self.sg.t;
+        // Reference distances on G′ via per-vertex BFS over the original
+        // graph: dist(p0, v) = min_u (t − d_u + dist_G(u, v)).
+        let edges = self.live_edges();
+        let g = bds_graph::CsrGraph::from_edges(self.n, &edges);
+        let mut ref_dist = vec![u32::MAX; self.n];
+        let mut best_center = vec![NO_VERTEX; self.n];
+        for u in 0..self.n as V {
+            let du = g.bfs(u, 10 * t + 10);
+            let base = t - self.sg.d[u as usize];
+            for v in 0..self.n as V {
+                if du[v as usize] == bds_graph::csr::UNREACHED {
+                    continue;
+                }
+                let cand = base + du[v as usize];
+                let better = cand < ref_dist[v as usize]
+                    || (cand == ref_dist[v as usize]
+                        && (best_center[v as usize] == NO_VERTEX
+                            || self.sg.perm[u as usize]
+                                > self.sg.perm[best_center[v as usize] as usize]));
+                if better {
+                    ref_dist[v as usize] = cand;
+                    best_center[v as usize] = u;
+                }
+            }
+        }
+        for v in 0..self.n {
+            assert_eq!(self.dist[v], ref_dist[v], "dist mismatch at {v}");
+            assert_eq!(
+                self.cluster[v], best_center[v],
+                "cluster mismatch at {v} (dist {})",
+                self.dist[v]
+            );
+        }
+        // Parent invariants.
+        for v in 0..self.n as V {
+            let p = self.parent[v as usize];
+            assert_ne!(p, NO_VERTEX, "vertex {v} lacks a parent");
+            if self.sg.is_p(p) {
+                assert_eq!(self.dist[v as usize], t - self.sg.d[v as usize]);
+                assert_eq!(self.cluster[v as usize], v);
+            } else {
+                assert_eq!(self.dist[p as usize] + 1, self.dist[v as usize]);
+                assert_eq!(self.cluster[p as usize], self.cluster[v as usize]);
+                assert!(self.adj[v as usize].contains(&p), "dead parent edge");
+            }
+            // Parent = first candidate in priority order.
+            let mut w = 0u64;
+            let first = self.ins[v as usize].next_with(
+                0,
+                |_, rec| self.dist[rec.src as usize] == self.dist[v as usize] - 1,
+                &mut w,
+            );
+            let (_, fp, frec) = first.expect("candidate must exist");
+            assert_eq!(frec.src, p, "parent of {v} is not the first candidate");
+            assert_eq!(fp, self.parent_prio[v as usize]);
+        }
+        // Priority keys match current clusters.
+        for (&(u, vtx), &p) in &self.prio_of {
+            if self.sg.is_p(u) {
+                continue;
+            }
+            assert_eq!(
+                p,
+                self.sg.cluster_priority(self.cluster[u as usize], u),
+                "stale priority on ({u},{vtx})"
+            );
+        }
+        // Buckets match adjacency × clusters.
+        let mut want_buckets: FxHashMap<(V, V), BTreeSet<V>> = FxHashMap::default();
+        for e in &edges {
+            want_buckets.entry((e.u, self.cluster[e.v as usize])).or_default().insert(e.v);
+            want_buckets.entry((e.v, self.cluster[e.u as usize])).or_default().insert(e.u);
+        }
+        assert_eq!(self.buckets, want_buckets, "bucket state diverged");
+        // Spanner contents = forest + selected representatives.
+        let mut want = SpannerSet::new();
+        for v in 0..self.n as V {
+            let p = self.parent[v as usize];
+            if !self.sg.is_p(p) {
+                want.add(Edge::new(p, v));
+            }
+        }
+        for &key in self.buckets.keys() {
+            if let Some(e) = self.selection(key) {
+                want.add(e);
+            }
+        }
+        let mut got = self.spanner.edges();
+        let mut exp = want.edges();
+        got.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(got, exp, "spanner contents diverged");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_graph::csr::edge_stretch;
+    use bds_graph::gen;
+    use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+
+    #[test]
+    fn init_validates_and_stretch_holds() {
+        for (n, m, k, seed) in [(60, 180, 2, 1u64), (80, 240, 3, 2), (50, 120, 4, 3)] {
+            let edges = gen::gnm_connected(n, m, seed);
+            let s = DecrementalSpanner::new(n, k, &edges, seed * 7 + 1);
+            s.validate();
+            let st = edge_stretch(n, &edges, &s.spanner_edges(), n, 5);
+            assert!(
+                st <= (2 * k - 1) as f64,
+                "stretch {st} exceeds {} (n={n}, k={k})",
+                2 * k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn k1_spanner_is_whole_graph() {
+        let edges = gen::gnm_connected(30, 90, 4);
+        let s = DecrementalSpanner::new(30, 1, &edges, 9);
+        let mut got = s.spanner_edges();
+        let mut want = edges.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_deletions_validate() {
+        let n = 50;
+        let edges = gen::gnm_connected(n, 140, 11);
+        let mut s = DecrementalSpanner::new(n, 3, &edges, 13);
+        let mut live = edges.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        live.shuffle(&mut rng);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        for _ in 0..90 {
+            let Some(e) = live.pop() else { break };
+            let delta = s.delete_batch(&[e]);
+            delta.apply_to(&mut shadow);
+            s.validate();
+            let mut got = s.spanner_edges();
+            let mut want: Vec<Edge> = shadow.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "delta replay diverged");
+        }
+    }
+
+    #[test]
+    fn batch_deletions_validate_and_keep_stretch() {
+        let n = 70;
+        let edges = gen::gnm_connected(n, 250, 23);
+        let k = 2;
+        let mut s = DecrementalSpanner::new(n, k, &edges, 29);
+        let mut live = edges.clone();
+        let mut rng = StdRng::seed_from_u64(31);
+        live.shuffle(&mut rng);
+        while live.len() > 60 {
+            let b = rng.gen_range(1..=25.min(live.len()));
+            let batch: Vec<Edge> = live.split_off(live.len() - b);
+            s.delete_batch(&batch);
+            s.validate();
+            let st = edge_stretch(n, &live, &s.spanner_edges(), n, 3);
+            assert!(st <= (2 * k - 1) as f64, "stretch {st} after deletions");
+        }
+    }
+
+    #[test]
+    fn deleting_all_edges_empties_spanner() {
+        let n = 40;
+        let edges = gen::gnm(n, 100, 3);
+        let mut s = DecrementalSpanner::new(n, 3, &edges, 5);
+        let mut live = edges;
+        let mut rng = StdRng::seed_from_u64(1);
+        live.shuffle(&mut rng);
+        while !live.is_empty() {
+            let b = rng.gen_range(1..=10.min(live.len()));
+            let batch: Vec<Edge> = live.split_off(live.len() - b);
+            s.delete_batch(&batch);
+        }
+        s.validate();
+        assert!(s.spanner_edges().is_empty());
+        assert_eq!(s.num_live_edges(), 0);
+    }
+
+    #[test]
+    fn expected_size_is_near_bound() {
+        // O(n^{1+1/k}) expected size; allow a generous constant.
+        let n = 400;
+        let k = 2;
+        let edges = gen::gnm_connected(n, 6 * n, 77);
+        let s = DecrementalSpanner::new(n, k as u32, &edges, 99);
+        let bound = 8.0 * (n as f64).powf(1.0 + 1.0 / k as f64);
+        assert!(
+            (s.spanner_size() as f64) < bound,
+            "size {} vs bound {bound}",
+            s.spanner_size()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn deleting_absent_edge_panics() {
+        let edges = gen::gnm_connected(10, 20, 3);
+        let mut s = DecrementalSpanner::new(10, 2, &edges, 5);
+        // find a non-edge
+        let mut missing = None;
+        'outer: for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let e = Edge::new(a, b);
+                if !edges.contains(&e) {
+                    missing = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+        s.delete_batch(&[missing.unwrap()]);
+    }
+}

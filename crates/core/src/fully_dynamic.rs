@@ -1,0 +1,412 @@
+//! **Theorem 1.1** — fully-dynamic (2k−1)-spanner from the decremental
+//! structure of Lemma 3.3, via the Bentley–Saxe style partition of
+//! [BS80, BS08].
+//!
+//! The edge set is partitioned E = E₀ ∪ E₁ ∪ … ∪ E_b with invariant B1:
+//! |E_i| ≤ 2^{i+l₀} where 2^{l₀} ≥ n^{1+1/k}. E₀ is kept wholesale in the
+//! spanner; every other slot holds a decremental instance. An insertion
+//! batch U splits into U_r ∪ U₀ ∪ … (|U_i| = 2^{l₀+i} or empty, |U_r| <
+//! 2^{l₀}), and each nonempty U_i is merged together with slots E_i..E_{j−1}
+//! into the first empty slot j ≥ i, rebuilt with fresh randomness.
+//! Deletions route through the edge index to their owning slot. Each edge
+//! therefore participates in at most O(log n) rebuilds.
+
+use crate::decremental::{DecrementalSpanner, DecrementalStats};
+use crate::spanner_set::SpannerSet;
+use crate::BatchDynamicSpanner;
+use bds_dstruct::FxHashMap;
+use bds_graph::types::{Edge, SpannerDelta, UpdateBatch};
+
+/// Slots ≥ 1 hold decremental instances; E₀ is the unstructured buffer.
+enum Slot {
+    Empty,
+    Instance(DecrementalSpanner),
+}
+
+/// Fully-dynamic (2k−1)-spanner (Theorem 1.1).
+pub struct FullyDynamicSpanner {
+    n: usize,
+    k: u32,
+    l0: u32,
+    /// E₀: small buffer whose edges are all in the spanner.
+    e0: Vec<Edge>,
+    slots: Vec<Slot>,
+    /// edge -> owning slot (0 = E₀, i ≥ 1 = slots[i-1]).
+    index: FxHashMap<Edge, u32>,
+    spanner: SpannerSet,
+    seed: u64,
+    rebuilds: u64,
+}
+
+impl FullyDynamicSpanner {
+    pub fn new(n: usize, k: u32, edges: &[Edge], seed: u64) -> Self {
+        assert!(k >= 1 && n >= 2);
+        // 2^{l0} >= n^{1+1/k}
+        let target = (n as f64).powf(1.0 + 1.0 / k as f64);
+        let l0 = (target.log2().ceil() as u32).max(1);
+        let mut s = Self {
+            n,
+            k,
+            l0,
+            e0: Vec::new(),
+            slots: Vec::new(),
+            index: FxHashMap::default(),
+            spanner: SpannerSet::new(),
+            seed,
+            rebuilds: 0,
+        };
+        if !edges.is_empty() {
+            // Initial placement: smallest slot j ≥ 1 with |E| ≤ 2^{j+l0}.
+            let mut j = 1u32;
+            while (edges.len() as u64) > s.capacity(j) {
+                j += 1;
+            }
+            s.build_slot(j, edges.to_vec());
+        }
+        let _ = s.spanner.take_delta();
+        s
+    }
+
+    fn capacity(&self, slot: u32) -> u64 {
+        1u64 << (self.l0.min(40) + slot)
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        self.seed
+    }
+
+    fn slot_len(&self, i: u32) -> usize {
+        match self.slots.get(i as usize - 1) {
+            Some(Slot::Instance(d)) => d.num_live_edges(),
+            _ => 0,
+        }
+    }
+
+    fn slot_is_empty(&self, i: u32) -> bool {
+        self.slot_len(i) == 0
+    }
+
+    /// Install a fresh decremental instance into slot `j` (1-based) over
+    /// `edges`, registering spanner contributions and the index.
+    fn build_slot(&mut self, j: u32, edges: Vec<Edge>) {
+        while self.slots.len() < j as usize {
+            self.slots.push(Slot::Empty);
+        }
+        debug_assert!(self.slot_is_empty(j), "slot {j} not empty");
+        assert!(edges.len() as u64 <= self.capacity(j), "invariant B1 violated");
+        self.rebuilds += 1;
+        let seed = self.next_seed();
+        let inst = DecrementalSpanner::new(self.n, self.k, &edges, seed);
+        for e in inst.spanner_edges() {
+            self.spanner.add(e);
+        }
+        for e in edges {
+            self.index.insert(e, j);
+        }
+        self.slots[j as usize - 1] = Slot::Instance(inst);
+    }
+
+    /// Tear down slot `j`, removing its spanner contribution; returns its
+    /// live edges (index entries are overwritten by the caller's rebuild).
+    fn drain_slot(&mut self, j: u32) -> Vec<Edge> {
+        if j as usize > self.slots.len() {
+            return Vec::new();
+        }
+        let slot = std::mem::replace(&mut self.slots[j as usize - 1], Slot::Empty);
+        match slot {
+            Slot::Empty => Vec::new(),
+            Slot::Instance(d) => {
+                for e in d.spanner_edges() {
+                    self.spanner.remove(e);
+                }
+                d.live_edges()
+            }
+        }
+    }
+
+    /// Insert a batch of edges (must be absent; panics otherwise).
+    pub fn insert_batch(&mut self, inserted: &[Edge]) -> SpannerDelta {
+        if inserted.is_empty() {
+            return self.spanner.take_delta();
+        }
+        let mut u: Vec<Edge> = inserted.to_vec();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), inserted.len(), "duplicate edges in insert batch");
+        for e in &u {
+            assert!(!self.index.contains_key(e), "insert of present edge {e:?}");
+        }
+
+        // Split U into U_r ∪ U_0 ∪ U_1 ∪ … by the binary representation of
+        // |U| / 2^{l0}; process pieces largest-first (the paper's order).
+        let cap0 = self.capacity(0);
+        let q = u.len() as u64 / cap0;
+        let r = (u.len() as u64 % cap0) as usize;
+        let mut cursor = u.len();
+        let mut pieces: Vec<(u32, Vec<Edge>)> = Vec::new();
+        for i in (0..62).rev() {
+            if q & (1 << i) != 0 {
+                let size = (cap0 << i) as usize;
+                let piece = u[cursor - size..cursor].to_vec();
+                cursor -= size;
+                pieces.push((i as u32, piece));
+            }
+        }
+        debug_assert_eq!(cursor, r);
+        let ur = u[..r].to_vec();
+
+        for (i, piece) in pieces {
+            // First empty slot j ≥ max(i, 1), absorbing E_{max(i,1)}..E_{j−1}.
+            let lo = i.max(1);
+            let mut j = lo;
+            while !self.slot_is_empty(j) {
+                j += 1;
+            }
+            let mut merged = piece;
+            for s in lo..j {
+                merged.extend(self.drain_slot(s));
+            }
+            self.build_slot(j, merged);
+        }
+
+        if !ur.is_empty() {
+            if (self.e0.len() + ur.len()) as u64 <= cap0 {
+                for e in ur {
+                    self.index.insert(e, 0);
+                    self.spanner.add(e);
+                    self.e0.push(e);
+                }
+            } else {
+                // Merge U_r ∪ E₀ ∪ E₁ ∪ … ∪ E_{j−1} into the first empty j.
+                let mut j = 1u32;
+                while !self.slot_is_empty(j) {
+                    j += 1;
+                }
+                let mut merged = ur;
+                for e in self.e0.drain(..) {
+                    self.spanner.remove(e);
+                    merged.push(e);
+                }
+                for s in 1..j {
+                    merged.extend(self.drain_slot(s));
+                }
+                self.build_slot(j, merged);
+            }
+        }
+        self.spanner.take_delta()
+    }
+
+    /// Delete a batch of edges (must be present; panics otherwise).
+    pub fn delete_batch(&mut self, deleted: &[Edge]) -> SpannerDelta {
+        // Group by owning slot.
+        let mut by_slot: FxHashMap<u32, Vec<Edge>> = FxHashMap::default();
+        for e in deleted {
+            let slot = self
+                .index
+                .remove(e)
+                .unwrap_or_else(|| panic!("delete of absent edge {e:?}"));
+            by_slot.entry(slot).or_default().push(*e);
+        }
+        for (slot, edges) in by_slot {
+            if slot == 0 {
+                for e in edges {
+                    let pos = self.e0.iter().position(|&x| x == e).expect("E0 edge");
+                    self.e0.swap_remove(pos);
+                    self.spanner.remove(e);
+                }
+            } else {
+                let Slot::Instance(d) = &mut self.slots[slot as usize - 1] else {
+                    panic!("indexed slot {slot} is empty")
+                };
+                let delta = d.delete_batch(&edges);
+                for e in delta.deleted {
+                    self.spanner.remove(e);
+                }
+                for e in delta.inserted {
+                    self.spanner.add(e);
+                }
+            }
+        }
+        self.spanner.take_delta()
+    }
+
+    pub fn num_live_edges(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn spanner_size(&self) -> usize {
+        self.spanner.len()
+    }
+
+    pub fn num_rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Aggregated decremental statistics across live slots.
+    pub fn stats(&self) -> DecrementalStats {
+        let mut s = DecrementalStats::default();
+        for slot in &self.slots {
+            if let Slot::Instance(d) = slot {
+                let ds = d.stats();
+                s.scan_steps += ds.scan_steps;
+                s.cluster_changes += ds.cluster_changes;
+                s.vertices_touched += ds.vertices_touched;
+            }
+        }
+        s
+    }
+
+    /// Validation oracle: index consistency, invariant B1, per-slot
+    /// decremental validation, and spanner composition. Test-only.
+    pub fn validate(&self) {
+        let mut total = self.e0.len();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Slot::Instance(d) = slot {
+                let m = d.num_live_edges();
+                assert!(m as u64 <= self.capacity(i as u32 + 1), "B1 violated at {i}");
+                total += m;
+                d.validate();
+                for e in d.live_edges() {
+                    assert_eq!(self.index.get(&e), Some(&(i as u32 + 1)), "index wrong");
+                }
+            }
+        }
+        assert_eq!(total, self.index.len(), "index size mismatch");
+        assert!(self.e0.len() as u64 <= self.capacity(0), "E0 overflow");
+        // Spanner = union over slot spanners + E₀ (refcounted).
+        let mut want = SpannerSet::new();
+        for e in &self.e0 {
+            want.add(*e);
+        }
+        for slot in &self.slots {
+            if let Slot::Instance(d) = slot {
+                for e in d.spanner_edges() {
+                    want.add(e);
+                }
+            }
+        }
+        let mut got = self.spanner.edges();
+        let mut exp = want.edges();
+        got.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(got, exp, "fully-dynamic spanner diverged");
+    }
+}
+
+impl BatchDynamicSpanner for FullyDynamicSpanner {
+    fn spanner_edges(&self) -> Vec<Edge> {
+        self.spanner.edges()
+    }
+
+    fn process_batch(&mut self, batch: &UpdateBatch) -> SpannerDelta {
+        let mut d = self.delete_batch(&batch.deletions);
+        d.merge(self.insert_batch(&batch.insertions));
+        // Net out edges touched by both phases.
+        let mut net = SpannerDelta::default();
+        let mut score: FxHashMap<Edge, i32> = FxHashMap::default();
+        for e in &d.inserted {
+            *score.entry(*e).or_insert(0) += 1;
+        }
+        for e in &d.deleted {
+            *score.entry(*e).or_insert(0) -= 1;
+        }
+        for (e, s) in score {
+            match s {
+                1 => net.inserted.push(e),
+                -1 => net.deleted.push(e),
+                0 => {}
+                _ => unreachable!("edge {e:?} moved twice in one direction"),
+            }
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_dstruct::FxHashSet;
+    use bds_graph::csr::edge_stretch;
+    use bds_graph::gen;
+    use bds_graph::stream::UpdateStream;
+
+    #[test]
+    fn init_and_validate() {
+        let edges = gen::gnm_connected(60, 200, 3);
+        let s = FullyDynamicSpanner::new(60, 2, &edges, 7);
+        s.validate();
+        assert_eq!(s.num_live_edges(), edges.len());
+    }
+
+    #[test]
+    fn mixed_batches_keep_invariants_and_stretch() {
+        let n = 60;
+        let k = 2;
+        let init = gen::gnm_connected(n, 180, 5);
+        let mut s = FullyDynamicSpanner::new(n, k, &init, 11);
+        let mut stream = UpdateStream::new(n, &init, 13);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        for round in 0..25 {
+            let b = stream.next_batch(8, 6);
+            let d1 = s.delete_batch(&b.deletions);
+            d1.apply_to(&mut shadow);
+            let d2 = s.insert_batch(&b.insertions);
+            d2.apply_to(&mut shadow);
+            s.validate();
+            let mut got = s.spanner_edges();
+            let mut want: Vec<Edge> = shadow.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "round {round}");
+            let st = edge_stretch(n, stream.live_edges(), &s.spanner_edges(), n, 3);
+            assert!(st <= (2 * k - 1) as f64, "stretch {st} in round {round}");
+        }
+    }
+
+    #[test]
+    fn insert_only_growth() {
+        let n = 50;
+        let mut s = FullyDynamicSpanner::new(n, 3, &[], 17);
+        let all = gen::gnm(n, 400, 19);
+        let mut shadow: FxHashSet<Edge> = FxHashSet::default();
+        for chunk in all.chunks(37) {
+            let d = s.insert_batch(chunk);
+            d.apply_to(&mut shadow);
+            s.validate();
+        }
+        assert_eq!(s.num_live_edges(), all.len());
+    }
+
+    #[test]
+    fn delete_to_empty() {
+        let n = 40;
+        let edges = gen::gnm(n, 120, 23);
+        let mut s = FullyDynamicSpanner::new(n, 2, &edges, 29);
+        for chunk in edges.chunks(11) {
+            s.delete_batch(chunk);
+            s.validate();
+        }
+        assert_eq!(s.num_live_edges(), 0);
+        assert_eq!(s.spanner_size(), 0);
+    }
+
+    #[test]
+    fn process_batch_nets_deltas() {
+        let n = 30;
+        let init = gen::gnm_connected(n, 90, 31);
+        let mut s = FullyDynamicSpanner::new(n, 2, &init, 37);
+        let mut stream = UpdateStream::new(n, &init, 41);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        for _ in 0..15 {
+            let b = stream.next_batch(5, 5);
+            let d = s.process_batch(&b);
+            d.apply_to(&mut shadow);
+            let mut got = s.spanner_edges();
+            let mut want: Vec<Edge> = shadow.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's base contribution — parallel batch-dynamic (2k−1)-spanners.
+//!
+//! * [`spanner_set`] — refcounted spanner membership with exact
+//!   (δH_ins, δH_del) delta extraction.
+//! * [`decremental`] — **Lemma 3.3**: a decremental (2k−1)-spanner of
+//!   expected size O(n^{1+1/k}), maintained by exponential-start-time
+//!   clustering on the shifted auxiliary graph with a batched
+//!   Even–Shiloach tree and priority-ordered in-lists.
+//! * [`fully_dynamic`] — **Theorem 1.1**: the Bentley–Saxe style
+//!   reduction from fully-dynamic to decremental (invariant B1).
+
+pub mod decremental;
+pub mod fully_dynamic;
+pub mod spanner_set;
+
+pub use decremental::{DecrementalSpanner, DecrementalStats};
+pub use fully_dynamic::FullyDynamicSpanner;
+pub use spanner_set::SpannerSet;
+
+use bds_graph::types::{SpannerDelta, UpdateBatch};
+
+/// Common interface of the paper's batch-dynamic structures: apply a batch
+/// of updates, receive the exact spanner delta.
+pub trait BatchDynamicSpanner {
+    /// Current spanner edge set.
+    fn spanner_edges(&self) -> Vec<bds_graph::types::Edge>;
+    /// Apply a batch; returns (δH_ins, δH_del).
+    fn process_batch(&mut self, batch: &UpdateBatch) -> SpannerDelta;
+}

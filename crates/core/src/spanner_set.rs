@@ -1,0 +1,125 @@
+//! Refcounted spanner membership.
+//!
+//! Spanner edges have multiple "reasons" to exist (a tree edge of the
+//! shortest-path forest, the selected representative of one or two
+//! inter-cluster buckets). A refcount per edge turns reason-level add /
+//! remove events into exact set-level deltas: an edge is reported inserted
+//! when its count leaves zero and deleted when it returns to zero, with
+//! per-batch netting (an edge that bounces within one batch reports
+//! nothing).
+
+use bds_dstruct::FxHashMap;
+use bds_graph::types::{Edge, SpannerDelta};
+
+#[derive(Debug, Default)]
+pub struct SpannerSet {
+    count: FxHashMap<Edge, u32>,
+    /// Presence at the start of the current batch, recorded on first touch.
+    baseline: FxHashMap<Edge, bool>,
+}
+
+impl SpannerSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn touch(&mut self, e: Edge) {
+        let present = self.count.get(&e).copied().unwrap_or(0) > 0;
+        self.baseline.entry(e).or_insert(present);
+    }
+
+    /// Add one reason for `e` to be in the spanner.
+    pub fn add(&mut self, e: Edge) {
+        self.touch(e);
+        *self.count.entry(e).or_insert(0) += 1;
+    }
+
+    /// Remove one reason. Panics if the count is already zero.
+    pub fn remove(&mut self, e: Edge) {
+        self.touch(e);
+        let c = self.count.get_mut(&e).unwrap_or_else(|| panic!("remove of uncounted {e:?}"));
+        assert!(*c > 0, "refcount underflow for {e:?}");
+        *c -= 1;
+        if *c == 0 {
+            self.count.remove(&e);
+        }
+    }
+
+    pub fn contains(&self, e: Edge) -> bool {
+        self.count.get(&e).copied().unwrap_or(0) > 0
+    }
+
+    /// Number of distinct spanner edges.
+    pub fn len(&self) -> usize {
+        self.count.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count.is_empty()
+    }
+
+    pub fn edges(&self) -> Vec<Edge> {
+        self.count.keys().copied().collect()
+    }
+
+    /// Net membership changes since the last call (or construction).
+    pub fn take_delta(&mut self) -> SpannerDelta {
+        let mut delta = SpannerDelta::default();
+        for (e, was) in self.baseline.drain() {
+            let now = self.count.get(&e).copied().unwrap_or(0) > 0;
+            match (was, now) {
+                (false, true) => delta.inserted.push(e),
+                (true, false) => delta.deleted.push(e),
+                _ => {}
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refcount_netting() {
+        let mut s = SpannerSet::new();
+        let e = Edge::new(0, 1);
+        s.add(e);
+        s.add(e); // second reason
+        assert_eq!(s.len(), 1);
+        let d = s.take_delta();
+        assert_eq!(d.inserted, vec![e]);
+        assert!(d.deleted.is_empty());
+
+        s.remove(e);
+        assert!(s.contains(e));
+        let d = s.take_delta();
+        assert_eq!(d.recourse(), 0, "still present: no delta");
+
+        s.remove(e);
+        let d = s.take_delta();
+        assert_eq!(d.deleted, vec![e]);
+        assert!(!s.contains(e));
+    }
+
+    #[test]
+    fn bounce_within_batch_reports_nothing() {
+        let mut s = SpannerSet::new();
+        let e = Edge::new(2, 3);
+        s.add(e);
+        s.remove(e);
+        s.add(e);
+        s.remove(e);
+        let d = s.take_delta();
+        assert_eq!(d.recourse(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncounted")]
+    fn underflow_panics() {
+        let mut s = SpannerSet::new();
+        s.remove(Edge::new(0, 1));
+    }
+}

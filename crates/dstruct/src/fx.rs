@@ -1,0 +1,120 @@
+//! FxHash-style hashing.
+//!
+//! The default SipHash is needlessly slow for the integer keys that
+//! dominate this codebase (vertex ids, edge pairs). We implement the
+//! rustc "Fx" multiply-rotate hash locally — ~40 lines — instead of
+//! pulling in a crate that is not on the sanctioned dependency list.
+//! HashDoS resistance is irrelevant: all keys come from our own seeded
+//! generators, never from an adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-Fx hash function: a word-at-a-time multiply-xor.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a single `u64` to a well-mixed `u64`; used for deterministic
+/// per-edge "coins" (e.g. the ¼-sampling of Algorithm 9).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer — strong enough for sampling decisions.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), i as u64 * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(17, 18)], 51);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            s.insert(mix64(i));
+        }
+        assert_eq!(s.len(), 1000, "mix64 should be collision-free on small ranges");
+    }
+
+    #[test]
+    fn hasher_distinguishes_field_order() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = FxBuildHasher::default();
+        let h = |x: (u32, u32)| {
+            let mut hasher = bh.build_hasher();
+            x.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h((1, 2)), h((2, 1)));
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spread() {
+        assert_eq!(mix64(42), mix64(42));
+        // Low bit should be roughly balanced across consecutive inputs.
+        let ones = (0..10_000u64).filter(|&i| mix64(i) & 1 == 1).count();
+        assert!((4000..6000).contains(&ones), "ones = {ones}");
+    }
+}

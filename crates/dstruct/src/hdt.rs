@@ -1,0 +1,392 @@
+//! Holm–de Lichtenberg–Thorup fully-dynamic spanning forest.
+//!
+//! This is the workspace's substitute for the [AABD19] parallel
+//! batch-dynamic connectivity structure that Theorem 1.4 uses to maintain
+//! H₂ (the spanning forest over ⊥-vertices). The interface reports exact
+//! *forest deltas* — which tree edges entered or left the maintained
+//! spanning forest — which is precisely the recourse the ultra-sparse
+//! spanner needs to forward.
+//!
+//! Standard HDT: every edge carries a level ℓ(e) ≤ ⌊log₂ n⌋; `F_i` is a
+//! spanning forest of the edges with level ≥ i, F₀ ⊇ F₁ ⊇ …, and each
+//! tree of F_i has at most n/2^i vertices. Deleting a tree edge searches
+//! for a replacement level by level, promoting the smaller side's tree
+//! edges and failed non-tree candidates; amortized O(log² n) per update.
+
+use crate::euler::{EulerForest, FLAG_NONTREE, FLAG_TREE};
+use crate::fx::{FxHashMap, FxHashSet};
+
+#[inline]
+fn canon(u: u32, v: u32) -> (u32, u32) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Tree edges added to / removed from the maintained spanning forest by
+/// one update.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ForestDelta {
+    pub added: Vec<(u32, u32)>,
+    pub removed: Vec<(u32, u32)>,
+}
+
+/// Fully-dynamic spanning forest over vertices `0..n`.
+pub struct DynamicForest {
+    n: usize,
+    lmax: usize,
+    levels: Vec<EulerForest>,
+    /// canonical edge -> level
+    edge_level: FxHashMap<(u32, u32), u16>,
+    /// canonical edges currently in the spanning forest
+    tree: FxHashSet<(u32, u32)>,
+    /// (vertex, level) -> neighbors via non-tree edges of that level
+    nontree: FxHashMap<(u32, u16), FxHashSet<u32>>,
+}
+
+impl DynamicForest {
+    pub fn new(n: usize) -> Self {
+        let lmax = (usize::BITS - n.max(2).leading_zeros()) as usize; // ⌊log2 n⌋ + 1
+        let levels = (0..=lmax).map(|i| EulerForest::new(0x9e37 + i as u64)).collect();
+        Self {
+            n,
+            lmax,
+            levels,
+            edge_level: FxHashMap::default(),
+            tree: FxHashSet::default(),
+            nontree: FxHashMap::default(),
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+        self.levels[0].connected(u, v)
+    }
+
+    pub fn component_size(&mut self, v: u32) -> u32 {
+        self.levels[0].tree_size(v)
+    }
+
+    pub fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_level.contains_key(&canon(u, v))
+    }
+
+    pub fn is_tree_edge(&self, u: u32, v: u32) -> bool {
+        self.tree.contains(&canon(u, v))
+    }
+
+    /// Current spanning-forest edges.
+    pub fn forest_edges(&self) -> Vec<(u32, u32)> {
+        self.tree.iter().copied().collect()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edge_level.len()
+    }
+
+    fn add_nontree(&mut self, u: u32, v: u32, lvl: u16) {
+        for (x, y) in [(u, v), (v, u)] {
+            let s = self.nontree.entry((x, lvl)).or_default();
+            if s.is_empty() {
+                self.levels[lvl as usize].set_vertex_flag(x, FLAG_NONTREE, true);
+            }
+            s.insert(y);
+        }
+    }
+
+    fn remove_nontree(&mut self, u: u32, v: u32, lvl: u16) {
+        for (x, y) in [(u, v), (v, u)] {
+            let s = self.nontree.get_mut(&(x, lvl)).expect("nontree set");
+            s.remove(&y);
+            if s.is_empty() {
+                self.nontree.remove(&(x, lvl));
+                self.levels[lvl as usize].set_vertex_flag(x, FLAG_NONTREE, false);
+            }
+        }
+    }
+
+    /// Insert edge (u, v). Returns the forest delta (one added tree edge
+    /// if the endpoints were previously disconnected).
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> ForestDelta {
+        assert_ne!(u, v, "self-loops are not supported");
+        let e = canon(u, v);
+        assert!(
+            self.edge_level.insert(e, 0).is_none(),
+            "insert_edge: edge ({u},{v}) already present"
+        );
+        let mut delta = ForestDelta::default();
+        if !self.levels[0].connected(u, v) {
+            self.levels[0].link(e.0, e.1);
+            self.levels[0].set_arc_flag(e.0, e.1, FLAG_TREE, true);
+            self.tree.insert(e);
+            delta.added.push(e);
+        } else {
+            self.add_nontree(e.0, e.1, 0);
+        }
+        delta
+    }
+
+    /// Delete edge (u, v). Returns the forest delta: if a tree edge was
+    /// removed, possibly one replacement edge that was promoted into the
+    /// forest.
+    pub fn delete_edge(&mut self, u: u32, v: u32) -> ForestDelta {
+        let e = canon(u, v);
+        let lvl = self
+            .edge_level
+            .remove(&e)
+            .unwrap_or_else(|| panic!("delete_edge: edge ({u},{v}) not present"));
+        let mut delta = ForestDelta::default();
+        if !self.tree.contains(&e) {
+            self.remove_nontree(e.0, e.1, lvl);
+            return delta;
+        }
+        // Tree edge: remove from F_0..=F_lvl and search for a replacement.
+        self.tree.remove(&e);
+        delta.removed.push(e);
+        self.levels[lvl as usize].set_arc_flag(e.0, e.1, FLAG_TREE, false);
+        for i in 0..=lvl {
+            self.levels[i as usize].cut(e.0, e.1);
+        }
+        for i in (0..=lvl).rev() {
+            if let Some(rep) = self.replace(e.0, e.1, i) {
+                delta.added.push(rep);
+                break;
+            }
+        }
+        delta
+    }
+
+    /// Search level `i` for a replacement edge reconnecting the trees of
+    /// `u` and `v` in F_i. Promotes the smaller tree's level-i tree edges
+    /// and failed candidates to level i+1 (the HDT amortization).
+    fn replace(&mut self, u: u32, v: u32, i: u16) -> Option<(u32, u32)> {
+        let (small, _other) = {
+            let su = self.levels[i as usize].tree_size(u);
+            let sv = self.levels[i as usize].tree_size(v);
+            if su <= sv {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        };
+        let can_promote = (i as usize) < self.lmax;
+        // 1. Promote all level-i tree edges inside the smaller tree.
+        if can_promote {
+            while let Some((a, b)) = self.levels[i as usize].find_flag(small, FLAG_TREE) {
+                debug_assert_eq!(self.edge_level[&canon(a, b)], i);
+                self.edge_level.insert(canon(a, b), i + 1);
+                self.levels[i as usize].set_arc_flag(a, b, FLAG_TREE, false);
+                self.levels[i as usize + 1].link(a, b);
+                self.levels[i as usize + 1].set_arc_flag(a, b, FLAG_TREE, true);
+            }
+        }
+        // 2. Scan level-i non-tree edges incident to the smaller tree.
+        // Candidates that stay within the smaller tree at the top level
+        // cannot be promoted; they are parked here and re-added after the
+        // scan so the flag search terminates.
+        let mut parked: Vec<(u32, u32)> = Vec::new();
+        let mut found: Option<(u32, u32)> = None;
+        while let Some((x, _)) = self.levels[i as usize].find_flag(small, FLAG_NONTREE) {
+            let Some(set) = self.nontree.get(&(x, i)) else {
+                // Stale flag (should not happen); clear defensively.
+                self.levels[i as usize].set_vertex_flag(x, FLAG_NONTREE, false);
+                continue;
+            };
+            let y = *set.iter().next().expect("flagged vertex has candidates");
+            self.remove_nontree(x, y, i);
+            if self.levels[i as usize].connected(y, small) {
+                // Both endpoints inside the smaller tree: promote.
+                if can_promote {
+                    self.add_nontree(x, y, i + 1);
+                    self.edge_level.insert(canon(x, y), i + 1);
+                } else {
+                    parked.push((x, y));
+                }
+            } else {
+                // Replacement found: becomes a tree edge at level i.
+                let ec = canon(x, y);
+                self.tree.insert(ec);
+                for j in 0..=i {
+                    self.levels[j as usize].link(ec.0, ec.1);
+                }
+                self.levels[i as usize].set_arc_flag(ec.0, ec.1, FLAG_TREE, true);
+                found = Some(ec);
+                break;
+            }
+        }
+        for (x, y) in parked {
+            self.add_nontree(x, y, i);
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// DSU oracle over an explicit edge set.
+    struct Oracle {
+        edges: FxHashSet<(u32, u32)>,
+        n: u32,
+    }
+    impl Oracle {
+        fn comp_ids(&self) -> Vec<u32> {
+            let mut dsu: Vec<u32> = (0..self.n).collect();
+            fn find(d: &mut Vec<u32>, x: u32) -> u32 {
+                if d[x as usize] != x {
+                    let r = find(d, d[x as usize]);
+                    d[x as usize] = r;
+                }
+                d[x as usize]
+            }
+            for &(u, v) in &self.edges {
+                let (a, b) = (find(&mut dsu, u), find(&mut dsu, v));
+                if a != b {
+                    dsu[a as usize] = b;
+                }
+            }
+            (0..self.n).map(|x| find(&mut dsu, x)).collect()
+        }
+    }
+
+    fn check_forest_matches(f: &DynamicForest, oracle: &Oracle) {
+        // The forest edges must be a subset of live edges, acyclic, and
+        // realize exactly the oracle's connectivity.
+        let fe = f.forest_edges();
+        for &e in &fe {
+            assert!(oracle.edges.contains(&e), "forest edge {e:?} not alive");
+        }
+        let comp = oracle.comp_ids();
+        let mut dsu: Vec<u32> = (0..oracle.n).collect();
+        fn find(d: &mut Vec<u32>, x: u32) -> u32 {
+            if d[x as usize] != x {
+                let r = find(d, d[x as usize]);
+                d[x as usize] = r;
+            }
+            d[x as usize]
+        }
+        for &(u, v) in &fe {
+            let (a, b) = (find(&mut dsu, u), find(&mut dsu, v));
+            assert_ne!(a, b, "cycle in reported forest at {u},{v}");
+            dsu[a as usize] = b;
+        }
+        for x in 0..oracle.n {
+            for y in (x + 1)..oracle.n {
+                let same_f = find(&mut dsu, x) == find(&mut dsu, y);
+                let same_o = comp[x as usize] == comp[y as usize];
+                assert_eq!(same_f, same_o, "forest connectivity wrong for ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn basic_insert_delete() {
+        let mut f = DynamicForest::new(10);
+        let d = f.insert_edge(0, 1);
+        assert_eq!(d.added, vec![(0, 1)]);
+        let d = f.insert_edge(1, 2);
+        assert_eq!(d.added, vec![(1, 2)]);
+        let d = f.insert_edge(0, 2); // cycle: non-tree
+        assert!(d.added.is_empty());
+        // Deleting tree edge (0,1) must pull (0,2) in as replacement.
+        let d = f.delete_edge(0, 1);
+        assert_eq!(d.removed, vec![(0, 1)]);
+        assert_eq!(d.added, vec![(0, 2)]);
+        assert!(f.connected(0, 1));
+        let d = f.delete_edge(0, 2);
+        assert_eq!(d.removed, vec![(0, 2)]);
+        assert!(d.added.is_empty());
+        assert!(!f.connected(0, 2));
+        assert!(f.connected(1, 2));
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        let n = 40u32;
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut f = DynamicForest::new(n as usize);
+        let mut oracle = Oracle { edges: FxHashSet::default(), n };
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for step in 0..1500 {
+            if !live.is_empty() && rng.gen_bool(0.45) {
+                let i = rng.gen_range(0..live.len());
+                let e = live.swap_remove(i);
+                oracle.edges.remove(&e);
+                f.delete_edge(e.0, e.1);
+            } else {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u == v {
+                    continue;
+                }
+                let e = canon(u, v);
+                if oracle.edges.contains(&e) {
+                    continue;
+                }
+                oracle.edges.insert(e);
+                live.push(e);
+                f.insert_edge(e.0, e.1);
+            }
+            if step % 50 == 0 {
+                check_forest_matches(&f, &oracle);
+            }
+        }
+        check_forest_matches(&f, &oracle);
+    }
+
+    #[test]
+    fn deltas_replay_to_forest() {
+        // Applying the reported deltas to an external set must reproduce
+        // forest_edges() exactly — the property the ultra-sparse spanner
+        // relies on for recourse accounting.
+        let n = 30u32;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut f = DynamicForest::new(n as usize);
+        let mut shadow: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..800 {
+            let delta = if !live.is_empty() && rng.gen_bool(0.45) {
+                let i = rng.gen_range(0..live.len());
+                let e = live.swap_remove(i);
+                f.delete_edge(e.0, e.1)
+            } else {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u == v || live.contains(&canon(u, v)) {
+                    continue;
+                }
+                live.push(canon(u, v));
+                f.insert_edge(u, v)
+            };
+            for e in delta.removed {
+                assert!(shadow.remove(&e), "removed edge {e:?} wasn't in shadow");
+            }
+            for e in delta.added {
+                assert!(shadow.insert(e), "added edge {e:?} already in shadow");
+            }
+            let mut want = f.forest_edges();
+            let mut got: Vec<_> = shadow.iter().copied().collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(want, got);
+        }
+    }
+
+    #[test]
+    fn component_sizes() {
+        let mut f = DynamicForest::new(8);
+        f.insert_edge(0, 1);
+        f.insert_edge(1, 2);
+        f.insert_edge(5, 6);
+        assert_eq!(f.component_size(0), 3);
+        assert_eq!(f.component_size(5), 2);
+        assert_eq!(f.component_size(7), 1);
+    }
+}

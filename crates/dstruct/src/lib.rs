@@ -1,0 +1,23 @@
+//! Data-structure substrates for the batch-dynamic spanner algorithms.
+//!
+//! * [`fx`] — an FxHash-style fast hasher plus `FxHashMap`/`FxHashSet`
+//!   aliases (the Rust Performance Book idiom, implemented locally).
+//! * [`treap`] — an order-statistics treap with rank queries and in-order
+//!   scanning; deterministic given a seed.
+//! * [`priority_list`] — the data structure of **Lemma 3.1**: an ordered
+//!   list indexed by distinct priorities with `Query`/`Find`/
+//!   `UpdatePriority`/`NextWith` operations.
+//! * [`euler`] + [`hdt`] — Euler-tour trees and the Holm–de
+//!   Lichtenberg–Thorup dynamic spanning forest, our substitute for the
+//!   [AABD19] parallel batch-dynamic connectivity used by Theorem 1.4.
+
+pub mod euler;
+pub mod fx;
+pub mod hdt;
+pub mod priority_list;
+pub mod treap;
+
+pub use fx::{FxHashMap, FxHashSet};
+pub use hdt::{DynamicForest, ForestDelta};
+pub use priority_list::PriorityList;
+pub use treap::Treap;

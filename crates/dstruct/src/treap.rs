@@ -1,0 +1,418 @@
+//! An order-statistics treap: a balanced BST over ordered keys with
+//! subtree sizes, rank queries, k-th element access, and bounded in-order
+//! scans. Deterministic for a given seed (heap priorities come from a
+//! per-tree xorshift generator), which keeps every randomized test in the
+//! workspace replayable.
+//!
+//! This is the sequential stand-in for the parallel red-black trees of
+//! [PP01] that the paper assumes (§2): batches touch many *independent*
+//! per-vertex treaps in parallel, so per-operation O(log n) cost is what
+//! the work bound needs.
+
+/// Sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+struct Node<K, V> {
+    key: K,
+    // `None` only while the slot sits on the free list.
+    val: Option<V>,
+    prio: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+}
+
+/// Order-statistics treap keyed by `K`.
+pub struct Treap<K, V> {
+    nodes: Vec<Node<K, V>>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+}
+
+impl<K: Ord + Clone, V> Treap<K, V> {
+    /// Create an empty treap whose heap priorities are derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { nodes: Vec::new(), free: Vec::new(), root: NIL, rng: seed | 1 }
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    #[inline]
+    fn size(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].size
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        self.nodes[t as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    pub fn len(&self) -> usize {
+        self.size(self.root) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    fn alloc(&mut self, key: K, val: V) -> u32 {
+        let prio = self.next_prio();
+        if let Some(i) = self.free.pop() {
+            let n = &mut self.nodes[i as usize];
+            n.key = key;
+            n.val = Some(val);
+            n.prio = prio;
+            n.left = NIL;
+            n.right = NIL;
+            n.size = 1;
+            i
+        } else {
+            self.nodes.push(Node { key, val: Some(val), prio, left: NIL, right: NIL, size: 1 });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Split into (keys < `key`, keys >= `key`).
+    fn split(&mut self, t: u32, key: &K) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key < *key {
+            let tr = self.nodes[t as usize].right;
+            let (l, r) = self.split(tr, key);
+            self.nodes[t as usize].right = l;
+            self.pull(t);
+            (t, r)
+        } else {
+            let tl = self.nodes[t as usize].left;
+            let (l, r) = self.split(tl, key);
+            self.nodes[t as usize].left = r;
+            self.pull(t);
+            (l, t)
+        }
+    }
+
+    fn find(&self, key: &K) -> u32 {
+        let mut t = self.root;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => t = n.left,
+                std::cmp::Ordering::Greater => t = n.right,
+                std::cmp::Ordering::Equal => return t,
+            }
+        }
+        NIL
+    }
+
+    /// Insert `key -> val`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let hit = self.find(&key);
+        if hit != NIL {
+            return std::mem::replace(&mut self.nodes[hit as usize].val, Some(val));
+        }
+        let split_key = key.clone();
+        let node = self.alloc(key, val);
+        let root = self.root;
+        let (l, r) = self.split(root, &split_key);
+        let lm = self.merge(l, node);
+        self.root = self.merge(lm, r);
+        None
+    }
+
+    /// Remove `key`; returns its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        fn rec<K: Ord + Clone, V>(tr: &mut Treap<K, V>, t: u32, key: &K, out: &mut Option<u32>) -> u32 {
+            if t == NIL {
+                return NIL;
+            }
+            let ord = key.cmp(&tr.nodes[t as usize].key);
+            match ord {
+                std::cmp::Ordering::Less => {
+                    let l = tr.nodes[t as usize].left;
+                    let nl = rec(tr, l, key, out);
+                    tr.nodes[t as usize].left = nl;
+                    tr.pull(t);
+                    t
+                }
+                std::cmp::Ordering::Greater => {
+                    let r = tr.nodes[t as usize].right;
+                    let nr = rec(tr, r, key, out);
+                    tr.nodes[t as usize].right = nr;
+                    tr.pull(t);
+                    t
+                }
+                std::cmp::Ordering::Equal => {
+                    *out = Some(t);
+                    let (l, r) = (tr.nodes[t as usize].left, tr.nodes[t as usize].right);
+                    tr.merge(l, r)
+                }
+            }
+        }
+        let mut out = None;
+        let root = self.root;
+        self.root = rec(self, root, key, &mut out);
+        out.and_then(|i| {
+            self.free.push(i);
+            self.nodes[i as usize].val.take()
+        })
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let t = self.find(key);
+        if t == NIL {
+            None
+        } else {
+            self.nodes[t as usize].val.as_ref()
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let t = self.find(key);
+        if t == NIL {
+            None
+        } else {
+            self.nodes[t as usize].val.as_mut()
+        }
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.find(key) != NIL
+    }
+
+    /// Smallest key (and value).
+    pub fn first(&self) -> Option<(&K, &V)> {
+        let mut t = self.root;
+        if t == NIL {
+            return None;
+        }
+        while self.nodes[t as usize].left != NIL {
+            t = self.nodes[t as usize].left;
+        }
+        let n = &self.nodes[t as usize];
+        Some((&n.key, n.val.as_ref().expect("live node")))
+    }
+
+    /// 0-based ascending rank access.
+    pub fn kth(&self, mut rank: usize) -> Option<(&K, &V)> {
+        if rank >= self.len() {
+            return None;
+        }
+        let mut t = self.root;
+        loop {
+            let n = &self.nodes[t as usize];
+            let ls = self.size(n.left) as usize;
+            if rank < ls {
+                t = n.left;
+            } else if rank == ls {
+                return Some((&n.key, n.val.as_ref().expect("live node")));
+            } else {
+                rank -= ls + 1;
+                t = n.right;
+            }
+        }
+    }
+
+    /// 0-based rank of `key` if present.
+    pub fn rank_of(&self, key: &K) -> Option<usize> {
+        let mut t = self.root;
+        let mut acc = 0usize;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => t = n.left,
+                std::cmp::Ordering::Greater => {
+                    acc += self.size(n.left) as usize + 1;
+                    t = n.right;
+                }
+                std::cmp::Ordering::Equal => return Some(acc + self.size(n.left) as usize),
+            }
+        }
+        None
+    }
+
+    /// Number of keys strictly less than `key` (the rank `key` would have
+    /// if inserted). Defined for absent keys — used to resume scans at the
+    /// position a removed entry used to occupy.
+    pub fn lower_bound_rank(&self, key: &K) -> usize {
+        let mut t = self.root;
+        let mut acc = 0usize;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if n.key < *key {
+                acc += self.size(n.left) as usize + 1;
+                t = n.right;
+            } else {
+                t = n.left;
+            }
+        }
+        acc
+    }
+
+    /// In-order scan starting at `from_rank` (0-based): returns the first
+    /// `(rank, key, value)` with `pred(key, value)` true, or `None`.
+    /// `examined` is incremented once per entry visited — this is the work
+    /// the exponential-search analysis of Lemma 3.1 charges.
+    pub fn scan_from(
+        &self,
+        from_rank: usize,
+        mut pred: impl FnMut(&K, &V) -> bool,
+        examined: &mut u64,
+    ) -> Option<(usize, &K, &V)> {
+        fn rec<'a, K: Ord + Clone, V>(
+            tr: &'a Treap<K, V>,
+            t: u32,
+            skip: usize,
+            base: usize,
+            pred: &mut impl FnMut(&K, &V) -> bool,
+            examined: &mut u64,
+        ) -> Option<(usize, &'a K, &'a V)> {
+            if t == NIL {
+                return None;
+            }
+            let n = &tr.nodes[t as usize];
+            let ls = tr.size(n.left) as usize;
+            if skip < ls {
+                if let Some(hit) = rec(tr, n.left, skip, base, pred, examined) {
+                    return Some(hit);
+                }
+            }
+            if skip <= ls {
+                *examined += 1;
+                let val = n.val.as_ref().expect("live node");
+                if pred(&n.key, val) {
+                    return Some((base + ls, &n.key, val));
+                }
+                return rec(tr, n.right, 0, base + ls + 1, pred, examined);
+            }
+            rec(tr, n.right, skip - ls - 1, base + ls + 1, pred, examined)
+        }
+        rec(self, self.root, from_rank, 0, &mut pred, examined)
+    }
+
+    /// In-order iteration collecting `(key, value)` references.
+    pub fn iter(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.len());
+        fn rec<'a, K: Ord + Clone, V>(tr: &'a Treap<K, V>, t: u32, out: &mut Vec<(&'a K, &'a V)>) {
+            if t == NIL {
+                return;
+            }
+            let n = &tr.nodes[t as usize];
+            rec(tr, n.left, out);
+            out.push((&n.key, n.val.as_ref().expect("live node")));
+            rec(tr, n.right, out);
+        }
+        rec(self, self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = Treap::new(7);
+        assert_eq!(t.insert(5u32, "five"), None);
+        assert_eq!(t.insert(3, "three"), None);
+        assert_eq!(t.insert(5, "FIVE"), Some("five"));
+        assert_eq!(t.get(&5), Some(&"FIVE"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(&3), Some("three"));
+        assert_eq!(t.remove(&3), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn order_statistics_match_btreemap() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = Treap::new(9);
+        let mut model = BTreeMap::new();
+        for _ in 0..4000 {
+            let k: u32 = rng.gen_range(0..1000);
+            if rng.gen_bool(0.6) {
+                t.insert(k, k as u64 * 2);
+                model.insert(k, k as u64 * 2);
+            } else {
+                assert_eq!(t.remove(&k), model.remove(&k));
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        for (rank, (k, v)) in model.iter().enumerate() {
+            assert_eq!(t.kth(rank), Some((k, v)));
+            assert_eq!(t.rank_of(k), Some(rank));
+        }
+        assert_eq!(t.first().map(|(k, _)| *k), model.keys().next().copied());
+        let collected: Vec<u32> = t.iter().into_iter().map(|(k, _)| *k).collect();
+        let want: Vec<u32> = model.keys().copied().collect();
+        assert_eq!(collected, want);
+    }
+
+    #[test]
+    fn scan_from_finds_first_match() {
+        let mut t = Treap::new(3);
+        for k in 0..100u32 {
+            t.insert(k, k % 10);
+        }
+        let mut work = 0;
+        // First multiple of 10 at rank >= 25 is key 30 at rank 30.
+        let hit = t.scan_from(25, |_, &v| v == 0, &mut work);
+        assert_eq!(hit.map(|(r, k, _)| (r, *k)), Some((30, 30)));
+        assert_eq!(work, 6, "ranks 25..=30 examined");
+        // No match past the end.
+        let miss = t.scan_from(96, |_, &v| v == 0, &mut work);
+        assert!(miss.is_none());
+    }
+
+    #[test]
+    fn scan_from_empty_and_past_end() {
+        let t: Treap<u32, ()> = Treap::new(1);
+        let mut w = 0;
+        assert!(t.scan_from(0, |_, _| true, &mut w).is_none());
+        let mut t = Treap::new(1);
+        t.insert(1u32, ());
+        assert!(t.scan_from(1, |_, _| true, &mut w).is_none());
+    }
+}

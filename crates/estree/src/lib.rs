@@ -1,0 +1,17 @@
+//! **Theorem 1.2** — parallel batch-dynamic decremental single-source BFS.
+//!
+//! A batched Even–Shiloach tree over a directed graph: maintains the
+//! shortest-path tree of depth ≤ L from a source under batches of edge
+//! deletions, in O(L log n) amortized work per deleted edge and
+//! level-synchronous phases (O(L log² n) depth per batch).
+//!
+//! [`shift`] builds the auxiliary "shifted" graph G′ of §3.3: a chain
+//! p₀ → … → p_{t−1}, a shortcut p_{t−1−d_v} → v per vertex, and both
+//! orientations of every original edge — reducing exponential-start-time
+//! clustering to a depth-t decremental BFS.
+
+pub mod shift;
+pub mod tree;
+
+pub use shift::ShiftedGraph;
+pub use tree::{EsBatchStats, EsTree, ParentChange, NO_VERTEX, UNREACHED};

@@ -1,0 +1,198 @@
+//! The auxiliary "shifted" graph G′ of §3.3.
+//!
+//! Exponential start times δ_u = d_u + f_u reduce exponential-start-time
+//! clustering (MPVX15 / EN18) to a single-source BFS: G′ adds a chain
+//! p₀ → p₁ → … → p_{t−1} (t = max_u d_u + 1), a shortcut p_{t−1−d_u} → u
+//! per vertex, and both orientations of every original edge. The shortest
+//! path from p₀ to v has length t − d_u + dist(u, v) minimized over u, so
+//! the BFS tree realizes `Cluster(v) = argmin_u (dist(u, v) − δ_u)` with
+//! the fractional parts f_u broken by the priority permutation.
+
+use bds_graph::types::{Edge, V};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Shift assignment plus the derived auxiliary-graph layout.
+#[derive(Debug, Clone)]
+pub struct ShiftedGraph {
+    /// Original vertex count; p-nodes are `n..n+t`.
+    pub n: usize,
+    /// Chain length `t = max_u d_u + 1`.
+    pub t: u32,
+    /// Integer parts of the shifts.
+    pub d: Vec<u32>,
+    /// Priority rank per vertex: rank of f_u in ascending order, so larger
+    /// rank ⇔ larger fractional part ⇔ preferred cluster center.
+    pub perm: Vec<u32>,
+}
+
+impl ShiftedGraph {
+    /// Sample δ_u i.i.d. Exp(β). If `cap = Some(c)`, resample the whole
+    /// vector until `max δ_u < c` (the Las Vegas loop of Algorithm 2);
+    /// with `cap = None` shifts are used as drawn (Lemma 6.4 / [MPX13]).
+    pub fn sample(n: usize, beta: f64, cap: Option<f64>, seed: u64) -> Self {
+        assert!(beta > 0.0 && n > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deltas: Vec<f64> = loop {
+            let ds: Vec<f64> = (0..n)
+                .map(|_| {
+                    // Inverse-transform sampling of Exp(β).
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln() / beta
+                })
+                .collect();
+            match cap {
+                Some(c) if ds.iter().cloned().fold(0.0, f64::max) >= c => continue,
+                _ => break ds,
+            }
+        };
+        Self::from_deltas(&deltas)
+    }
+
+    /// Build from explicit real shifts (tests use this for determinism).
+    pub fn from_deltas(deltas: &[f64]) -> Self {
+        let n = deltas.len();
+        let d: Vec<u32> = deltas.iter().map(|&x| x as u32).collect();
+        let t = d.iter().copied().max().unwrap_or(0) + 1;
+        // perm[v] = rank of the fractional part f_v (ascending).
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_by(|&a, &b| {
+            let fa = deltas[a as usize].fract();
+            let fb = deltas[b as usize].fract();
+            fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+        });
+        let mut perm = vec![0u32; n];
+        for (rank, &v) in idx.iter().enumerate() {
+            perm[v as usize] = rank as u32;
+        }
+        Self { n, t, d, perm }
+    }
+
+    pub fn total_vertices(&self) -> usize {
+        self.n + self.t as usize
+    }
+
+    #[inline]
+    pub fn p_node(&self, i: u32) -> V {
+        debug_assert!(i < self.t);
+        self.n as V + i
+    }
+
+    #[inline]
+    pub fn is_p(&self, x: V) -> bool {
+        (x as usize) >= self.n
+    }
+
+    /// Source of the BFS: p₀.
+    pub fn source(&self) -> V {
+        self.p_node(0)
+    }
+
+    /// Priority key for an in-entry whose source is original vertex `w`
+    /// given that `w` currently belongs to cluster `center`: the center's
+    /// permutation rank in the high bits, `w` as a distinct tiebreak.
+    #[inline]
+    pub fn cluster_priority(&self, center: V, w: V) -> u64 {
+        ((self.perm[center as usize] as u64) << 32) | w as u64
+    }
+
+    /// Priority key of the shortcut entry p_{t−1−d_v} → v inside `In(v)`:
+    /// v's own permutation rank (v becoming its own center), with a
+    /// tiebreak that cannot collide with any real in-neighbor.
+    #[inline]
+    pub fn self_priority(&self, v: V) -> u64 {
+        ((self.perm[v as usize] as u64) << 32) | u32::MAX as u64
+    }
+
+    /// Fixed (never-deleted) scaffold edges: the chain and the shortcuts.
+    pub fn scaffold_edges(&self) -> Vec<(V, V, u64)> {
+        let mut out = Vec::with_capacity(self.t as usize + self.n);
+        for i in 0..self.t.saturating_sub(1) {
+            // In(p_{i+1}) holds only this entry; priority is arbitrary.
+            out.push((self.p_node(i), self.p_node(i + 1), u64::MAX));
+        }
+        for v in 0..self.n as V {
+            let p = self.p_node(self.t - 1 - self.d[v as usize]);
+            out.push((p, v, self.self_priority(v)));
+        }
+        out
+    }
+
+    /// Full directed, prioritized edge set for an [`crate::EsTree`] with
+    /// *static* per-source priorities (Lemma 6.4 usage: every in-entry
+    /// from w is keyed by w's own rank — no cluster labels needed).
+    pub fn static_edges(&self, edges: &[Edge]) -> Vec<(V, V, u64)> {
+        let mut out = self.scaffold_edges();
+        out.reserve(edges.len() * 2);
+        for e in edges {
+            out.push((e.u, e.v, self.cluster_priority(e.u, e.u)));
+            out.push((e.v, e.u, self.cluster_priority(e.v, e.v)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::EsTree;
+    use bds_graph::gen;
+
+    #[test]
+    fn sampling_respects_cap() {
+        let k = 4.0;
+        let n = 500;
+        let beta = (10.0 * n as f64).ln() / k;
+        let sg = ShiftedGraph::sample(n, beta, Some(k), 7);
+        assert!(sg.t <= k as u32, "t = {} exceeds k", sg.t);
+        assert_eq!(sg.d.len(), n);
+        // perm is a permutation.
+        let mut seen = vec![false; n];
+        for &p in &sg.perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn shifted_distances_encode_clustering() {
+        // dist(p0, v) = t - max_u (δ_u - dist(u, v)) over integer parts:
+        // = min_u (t - d_u + dist(u,v)).
+        let edges = gen::gnm_connected(60, 150, 9);
+        let sg = ShiftedGraph::sample(60, (600.0f64).ln() / 3.0, Some(3.0), 11);
+        let es = EsTree::new(
+            sg.total_vertices(),
+            sg.source(),
+            sg.t,
+            &sg.static_edges(&edges),
+        );
+        es.validate();
+        // Reference: all-pairs BFS over the original graph.
+        let g = bds_graph::CsrGraph::from_edges(60, &edges);
+        for v in 0..60u32 {
+            let dv = es.dist(v);
+            let want = (0..60u32)
+                .map(|u| {
+                    let du = g.bfs(u, 10_000)[v as usize];
+                    if du == bds_graph::csr::UNREACHED {
+                        u32::MAX
+                    } else {
+                        sg.t - sg.d[u as usize] + du
+                    }
+                })
+                .min()
+                .unwrap();
+            assert_eq!(dv, want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn every_vertex_reachable_within_t() {
+        let edges = gen::gnm(100, 120, 3); // possibly disconnected
+        let sg = ShiftedGraph::sample(100, (1000.0f64).ln() / 2.0, Some(2.0), 13);
+        let es =
+            EsTree::new(sg.total_vertices(), sg.source(), sg.t, &sg.static_edges(&edges));
+        for v in 0..100u32 {
+            assert!(es.dist(v) <= sg.t, "vertex {v} beyond t");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Sparsifier quality oracles: weighted cut evaluation and Laplacian
+//! quadratic forms (Definitions 6.1–6.3 of the paper).
+//!
+//! A (1±ε) spectral sparsifier satisfies
+//! (1−ε)·xᵀL_H x ≤ xᵀL_G x ≤ (1+ε)·xᵀL_H x for all x; for the indicator
+//! vector of a set S the quadratic form is exactly the cut weight, so the
+//! cut oracle is the special case the paper points out in §6.1.
+
+use crate::types::{Edge, V};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A weighted undirected edge list (the sparsifier output format).
+pub type WeightedEdges = Vec<(Edge, f64)>;
+
+/// xᵀ L x for the weighted graph: Σ_e w_e (x_u − x_v)².
+pub fn quadratic_form(edges: &[(Edge, f64)], x: &[f64]) -> f64 {
+    edges
+        .iter()
+        .map(|(e, w)| {
+            let d = x[e.u as usize] - x[e.v as usize];
+            w * d * d
+        })
+        .sum()
+}
+
+/// Unweighted quadratic form (weight 1 edges).
+pub fn quadratic_form_unit(edges: &[Edge], x: &[f64]) -> f64 {
+    edges
+        .iter()
+        .map(|e| {
+            let d = x[e.u as usize] - x[e.v as usize];
+            d * d
+        })
+        .sum()
+}
+
+/// Weight of the cut (S, V∖S) where `in_s[v]` marks membership.
+pub fn cut_weight(edges: &[(Edge, f64)], in_s: &[bool]) -> f64 {
+    edges
+        .iter()
+        .filter(|(e, _)| in_s[e.u as usize] != in_s[e.v as usize])
+        .map(|(_, w)| w)
+        .sum()
+}
+
+/// Unweighted cut size.
+pub fn cut_size_unit(edges: &[Edge], in_s: &[bool]) -> f64 {
+    edges.iter().filter(|e| in_s[e.u as usize] != in_s[e.v as usize]).count() as f64
+}
+
+/// Maximum relative error of `h` (weighted) vs `g` (unit weights) over
+/// `trials` random cuts plus `trials` random Gaussian quadratic forms.
+/// Returns max |ratio − 1| over tests with nonzero G-value.
+pub fn sparsifier_error(n: usize, g: &[Edge], h: &[(Edge, f64)], trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: f64 = 0.0;
+    for t in 0..trials {
+        // Random cut: each vertex joins S with prob 1/2 (first trial uses
+        // a balanced split for a structured test).
+        let in_s: Vec<bool> = if t == 0 {
+            (0..n).map(|v| v < n / 2).collect()
+        } else {
+            (0..n).map(|_| rng.gen_bool(0.5)).collect()
+        };
+        let cg = cut_size_unit(g, &in_s);
+        if cg > 0.0 {
+            let ch = cut_weight(h, &in_s);
+            worst = worst.max((ch / cg - 1.0).abs());
+        }
+        // Random quadratic form with Gaussian-ish entries (sum of 4
+        // uniforms, mean 0).
+        let x: Vec<f64> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>())
+            .collect();
+        let qg = quadratic_form_unit(g, &x);
+        if qg > 1e-12 {
+            let qh = quadratic_form(h, &x);
+            worst = worst.max((qh / qg - 1.0).abs());
+        }
+    }
+    worst
+}
+
+/// Membership vector for an explicit vertex set.
+pub fn indicator(n: usize, s: &[V]) -> Vec<bool> {
+    let mut in_s = vec![false; n];
+    for &v in s {
+        in_s[v as usize] = true;
+    }
+    in_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_form_is_cut_on_indicators() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(0, 3)];
+        let in_s = indicator(4, &[0, 1]);
+        let x: Vec<f64> = in_s.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        assert_eq!(quadratic_form_unit(&edges, &x), cut_size_unit(&edges, &in_s));
+        assert_eq!(cut_size_unit(&edges, &in_s), 2.0); // edges (1,2) and (0,3)
+    }
+
+    #[test]
+    fn identical_graph_has_zero_error() {
+        let g = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+        let h: WeightedEdges = g.iter().map(|&e| (e, 1.0)).collect();
+        assert_eq!(sparsifier_error(3, &g, &h, 20, 5), 0.0);
+    }
+
+    #[test]
+    fn doubled_weights_have_error_one() {
+        let g = vec![Edge::new(0, 1), Edge::new(1, 2)];
+        let h: WeightedEdges = g.iter().map(|&e| (e, 2.0)).collect();
+        let err = sparsifier_error(3, &g, &h, 10, 5);
+        assert!((err - 1.0).abs() < 1e-9, "err = {err}");
+    }
+}

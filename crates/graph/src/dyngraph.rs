@@ -1,0 +1,102 @@
+//! A mutable adjacency-set graph used as the "ground truth" edge set in
+//! tests, examples, and the fully-dynamic wrappers.
+
+use crate::types::{Edge, V};
+use bds_dstruct::FxHashSet;
+
+/// Simple undirected graph over `0..n` with hash-set adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    adj: Vec<FxHashSet<V>>,
+    m: usize,
+}
+
+impl DynamicGraph {
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![FxHashSet::default(); n], m: 0 }
+    }
+
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut g = Self::new(n);
+        for &e in edges {
+            g.insert(e);
+        }
+        g
+    }
+
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    pub fn degree(&self, v: V) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    pub fn contains(&self, e: Edge) -> bool {
+        self.adj[e.u as usize].contains(&e.v)
+    }
+
+    /// Insert; returns false if already present.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        if self.adj[e.u as usize].insert(e.v) {
+            self.adj[e.v as usize].insert(e.u);
+            self.m += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove; returns false if absent.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        if self.adj[e.u as usize].remove(&e.v) {
+            self.adj[e.v as usize].remove(&e.u);
+            self.m -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn neighbors(&self, v: V) -> impl Iterator<Item = V> + '_ {
+        self.adj[v as usize].iter().copied()
+    }
+
+    /// All edges, canonical, in unspecified order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.m);
+        for (u, s) in self.adj.iter().enumerate() {
+            for &v in s {
+                if (u as V) < v {
+                    out.push(Edge { u: u as V, v });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_bookkeeping() {
+        let mut g = DynamicGraph::new(5);
+        assert!(g.insert(Edge::new(0, 1)));
+        assert!(!g.insert(Edge::new(1, 0)));
+        assert!(g.insert(Edge::new(1, 2)));
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.contains(Edge::new(0, 1)));
+        assert!(g.remove(Edge::new(0, 1)));
+        assert!(!g.remove(Edge::new(0, 1)));
+        assert_eq!(g.m(), 1);
+        let es = g.edges();
+        assert_eq!(es, vec![Edge::new(1, 2)]);
+    }
+}

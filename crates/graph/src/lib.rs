@@ -1,0 +1,17 @@
+//! Graph substrate: vertex/edge types, dynamic adjacency, static CSR
+//! graphs with (parallel) BFS, workload generators, connectivity, and the
+//! verification oracles used to check spanner stretch and sparsifier
+//! quality (Laplacian quadratic forms and cut weights).
+
+pub mod csr;
+pub mod cuts;
+pub mod dyngraph;
+pub mod gen;
+pub mod stream;
+pub mod types;
+pub mod union_find;
+
+pub use csr::CsrGraph;
+pub use dyngraph::DynamicGraph;
+pub use types::{Edge, SpannerDelta, UpdateBatch, V};
+pub use union_find::UnionFind;

@@ -1,0 +1,102 @@
+//! Update-stream generation: reproducible sequences of insertion /
+//! deletion batches against a live edge set, modelling the oblivious
+//! adversary of the paper (the stream is fixed before the algorithm's
+//! random bits are drawn).
+
+use crate::types::{Edge, UpdateBatch, V};
+use bds_dstruct::FxHashSet;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates batches of updates consistent with a live edge set: never
+/// deletes an absent edge, never inserts a present one.
+pub struct UpdateStream {
+    n: usize,
+    live: Vec<Edge>,
+    live_set: FxHashSet<Edge>,
+    rng: StdRng,
+}
+
+impl UpdateStream {
+    pub fn new(n: usize, initial: &[Edge], seed: u64) -> Self {
+        let live: Vec<Edge> = initial.to_vec();
+        let live_set = live.iter().copied().collect();
+        Self { n, live, live_set, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    pub fn live_edges(&self) -> &[Edge] {
+        &self.live
+    }
+
+    /// Next batch with `dels` deletions and `inss` insertions (best
+    /// effort: fewer if the graph is too empty/full). Applies the batch to
+    /// the internal live set.
+    pub fn next_batch(&mut self, inss: usize, dels: usize) -> UpdateBatch {
+        let mut batch = UpdateBatch::default();
+        for _ in 0..dels {
+            if self.live.is_empty() {
+                break;
+            }
+            let i = self.rng.gen_range(0..self.live.len());
+            let e = self.live.swap_remove(i);
+            self.live_set.remove(&e);
+            batch.deletions.push(e);
+        }
+        let mut tries = 0;
+        while batch.insertions.len() < inss && tries < 20 * inss + 100 {
+            tries += 1;
+            let a = self.rng.gen_range(0..self.n as V);
+            let b = self.rng.gen_range(0..self.n as V);
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if self.live_set.insert(e) {
+                self.live.push(e);
+                batch.insertions.push(e);
+            }
+        }
+        batch
+    }
+
+    /// Deletion-only batch (for the decremental structures).
+    pub fn next_deletions(&mut self, dels: usize) -> Vec<Edge> {
+        self.next_batch(0, dels).deletions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gnm;
+
+    #[test]
+    fn batches_stay_consistent() {
+        let init = gnm(50, 200, 1);
+        let mut s = UpdateStream::new(50, &init, 2);
+        let mut shadow: FxHashSet<Edge> = init.iter().copied().collect();
+        for _ in 0..30 {
+            let b = s.next_batch(5, 5);
+            for e in &b.deletions {
+                assert!(shadow.remove(e));
+            }
+            for e in &b.insertions {
+                assert!(shadow.insert(*e));
+            }
+        }
+        let live: FxHashSet<Edge> = s.live_edges().iter().copied().collect();
+        assert_eq!(live, shadow);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let init = gnm(30, 60, 3);
+        let mut a = UpdateStream::new(30, &init, 9);
+        let mut b = UpdateStream::new(30, &init, 9);
+        for _ in 0..10 {
+            let ba = a.next_batch(3, 3);
+            let bb = b.next_batch(3, 3);
+            assert_eq!(ba.insertions, bb.insertions);
+            assert_eq!(ba.deletions, bb.deletions);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Core vertex/edge/update types shared by every algorithm crate.
+
+/// Vertex identifier. Graphs are over `0..n` for some `n ≤ u32::MAX`.
+pub type V = u32;
+
+/// An undirected edge, stored canonically with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    pub u: V,
+    pub v: V,
+}
+
+impl Edge {
+    /// Canonicalizing constructor. Panics on self-loops (the paper's
+    /// graphs are simple).
+    #[inline]
+    pub fn new(a: V, b: V) -> Self {
+        assert_ne!(a, b, "self-loop ({a},{b})");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The endpoint that isn't `x`. Panics if `x` is not an endpoint.
+    #[inline]
+    pub fn other(&self, x: V) -> V {
+        if x == self.u {
+            self.v
+        } else {
+            debug_assert_eq!(x, self.v);
+            self.u
+        }
+    }
+
+    /// Pack into a `u64` key (useful for hashing / deterministic coins).
+    #[inline]
+    pub fn key(&self) -> u64 {
+        ((self.u as u64) << 32) | self.v as u64
+    }
+}
+
+impl From<(V, V)> for Edge {
+    fn from((a, b): (V, V)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+/// A batch of edge updates. The paper's model applies a batch of
+/// insertions and deletions atomically; an edge must not appear in both
+/// lists of one batch.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    pub insertions: Vec<Edge>,
+    pub deletions: Vec<Edge>,
+}
+
+impl UpdateBatch {
+    pub fn insert_only(edges: Vec<Edge>) -> Self {
+        Self { insertions: edges, deletions: Vec::new() }
+    }
+
+    pub fn delete_only(edges: Vec<Edge>) -> Self {
+        Self { insertions: Vec::new(), deletions: edges }
+    }
+
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The (δH_ins, δH_del) pair every theorem's interface returns: edges that
+/// entered / left the maintained spanner (or sparsifier) as a result of
+/// one update batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpannerDelta {
+    pub inserted: Vec<Edge>,
+    pub deleted: Vec<Edge>,
+}
+
+impl SpannerDelta {
+    pub fn recourse(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    pub fn merge(&mut self, other: SpannerDelta) {
+        self.inserted.extend(other.inserted);
+        self.deleted.extend(other.deleted);
+    }
+
+    /// Apply to a materialized edge set, asserting consistency.
+    pub fn apply_to(&self, set: &mut bds_dstruct::FxHashSet<Edge>) {
+        for e in &self.deleted {
+            assert!(set.remove(e), "delta removes absent edge {e:?}");
+        }
+        for e in &self.inserted {
+            assert!(set.insert(*e), "delta inserts duplicate edge {e:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalizes() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(2, 5).u, 2);
+        assert_eq!(Edge::new(2, 5).other(2), 5);
+        assert_eq!(Edge::new(2, 5).other(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(3, 3);
+    }
+
+    #[test]
+    fn delta_apply_roundtrip() {
+        let mut set = bds_dstruct::FxHashSet::default();
+        set.insert(Edge::new(0, 1));
+        let d = SpannerDelta {
+            inserted: vec![Edge::new(1, 2)],
+            deleted: vec![Edge::new(0, 1)],
+        };
+        d.apply_to(&mut set);
+        assert!(set.contains(&Edge::new(1, 2)) && set.len() == 1);
+        assert_eq!(d.recourse(), 2);
+    }
+}

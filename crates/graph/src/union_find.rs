@@ -1,0 +1,72 @@
+//! Union–find with path halving and union by size; the connectivity
+//! oracle for forests and the helper for spanning-tree extraction in the
+//! workload generators.
+
+use crate::types::V;
+
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<V>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as V).collect(), size: vec![1; n], components: n }
+    }
+
+    pub fn find(&mut self, mut x: V) -> V {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Union the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: V, b: V) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    pub fn same(&mut self, a: V, b: V) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    pub fn component_size(&mut self, a: V) -> u32 {
+        let r = self.find(a);
+        self.size[r as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_finds() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.components(), 4);
+        assert_eq!(uf.component_size(2), 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! Work-depth style parallel primitives used throughout the batch-dynamic
+//! spanner implementation.
+//!
+//! The paper assumes a CRCW PRAM; on a multicore we realize the same
+//! algorithmic structure with rayon's fork-join pool. Every primitive here
+//! falls back to a sequential loop below [`GRAIN`] elements, so small
+//! batches never pay scheduling overhead — this is what makes the
+//! amortized *work* bounds observable in benchmarks rather than being
+//! drowned by constant factors.
+
+pub mod counters;
+pub mod pool;
+pub mod prim;
+
+pub use counters::WorkCounter;
+pub use pool::{run_with_threads, threads_available};
+pub use prim::*;
+
+/// Below this many items, parallel primitives run sequentially.
+pub const GRAIN: usize = 2048;

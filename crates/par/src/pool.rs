@@ -1,0 +1,42 @@
+//! Thread-pool helpers.
+//!
+//! Benchmarks need to compare the same batch under different processor
+//! counts (experiment E4). Rayon's global pool cannot be resized, so we
+//! build a scoped pool per invocation instead.
+
+/// Number of worker threads rayon will use by default on this machine.
+pub fn threads_available() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Run `f` inside a dedicated rayon pool with exactly `threads` workers.
+///
+/// Every `bds_par` primitive called (transitively) from `f` executes on
+/// that pool, so this pins the effective processor count `p` for a
+/// measurement. Panics from `f` propagate.
+pub fn run_with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_pool_has_requested_width() {
+        let inside = run_with_threads(1, rayon::current_num_threads);
+        assert_eq!(inside, 1);
+        let inside = run_with_threads(2, rayon::current_num_threads);
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn returns_value_from_closure() {
+        let v = run_with_threads(2, || (0..100).sum::<u64>());
+        assert_eq!(v, 4950);
+    }
+}

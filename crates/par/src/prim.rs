@@ -1,0 +1,232 @@
+//! Parallel primitives: map / filter-map / flat-map, prefix sums, sorting,
+//! deduplication and group-by. These mirror the PRAM toolkit the paper
+//! assumes in its preliminaries (§2): a parallel sort stands in for the
+//! [PP01] batch BST operations and sort-based grouping stands in for the
+//! [GMV91] parallel hash table batch interface.
+
+use crate::GRAIN;
+use rayon::prelude::*;
+
+/// Parallel `map` over a slice; sequential below [`GRAIN`].
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync + Send) -> Vec<R> {
+    if items.len() < GRAIN {
+        items.iter().map(f).collect()
+    } else {
+        items.par_iter().map(f).collect()
+    }
+}
+
+/// Parallel indexed map: `f(i, &items[i])`.
+pub fn par_map_idx<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync + Send) -> Vec<R> {
+    if items.len() < GRAIN {
+        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    } else {
+        items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    }
+}
+
+/// Parallel filter-map preserving input order.
+pub fn par_filter_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> Option<R> + Sync + Send,
+) -> Vec<R> {
+    if items.len() < GRAIN {
+        items.iter().filter_map(f).collect()
+    } else {
+        items.par_iter().filter_map(f).collect()
+    }
+}
+
+/// Parallel flat-map preserving input order.
+pub fn par_flat_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> Vec<R> + Sync + Send,
+) -> Vec<R> {
+    if items.len() < GRAIN {
+        items.iter().flat_map(f).collect()
+    } else {
+        items.par_iter().flat_map_iter(f).collect()
+    }
+}
+
+/// Parallel for-each over mutable chunks of size 1 — i.e. a data-parallel
+/// loop with exclusive access to each element.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync + Send) {
+    if items.len() < GRAIN {
+        items.iter_mut().for_each(f);
+    } else {
+        items.par_iter_mut().for_each(f);
+    }
+}
+
+/// Exclusive (left) prefix sums; returns a vector of length `n + 1` whose
+/// last entry is the total. Work O(n), depth O(log n).
+pub fn prefix_sums(items: &[usize]) -> Vec<usize> {
+    let n = items.len();
+    let mut out = Vec::with_capacity(n + 1);
+    if n < GRAIN {
+        let mut acc = 0usize;
+        out.push(0);
+        for &x in items {
+            acc += x;
+            out.push(acc);
+        }
+        return out;
+    }
+    // Block-wise two-pass scan.
+    let nblocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(nblocks);
+    let block_sums: Vec<usize> = items
+        .par_chunks(block)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    let mut block_offsets = Vec::with_capacity(block_sums.len() + 1);
+    let mut acc = 0usize;
+    block_offsets.push(0);
+    for &s in &block_sums {
+        acc += s;
+        block_offsets.push(acc);
+    }
+    out.resize(n + 1, 0);
+    out[n] = acc;
+    let out_slices: Vec<&mut [usize]> = out[..n].chunks_mut(block).collect();
+    out_slices
+        .into_par_iter()
+        .zip(items.par_chunks(block))
+        .enumerate()
+        .for_each(|(b, (dst, src))| {
+            let mut acc = block_offsets[b];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = acc;
+                acc += s;
+            }
+        });
+    out
+}
+
+/// Parallel (unstable) sort.
+pub fn par_sort<T: Ord + Send>(items: &mut Vec<T>) {
+    if items.len() < GRAIN {
+        items.sort_unstable();
+    } else {
+        items.par_sort_unstable();
+    }
+}
+
+/// Parallel sort by key.
+pub fn par_sort_by_key<T: Send, K: Ord + Send>(items: &mut [T], key: impl Fn(&T) -> K + Sync + Send) {
+    if items.len() < GRAIN {
+        items.sort_unstable_by_key(key);
+    } else {
+        items.par_sort_unstable_by_key(key);
+    }
+}
+
+/// Sort + dedup: returns the distinct elements in ascending order.
+pub fn sort_dedup<T: Ord + Send + Clone>(mut items: Vec<T>) -> Vec<T> {
+    par_sort(&mut items);
+    items.dedup();
+    items
+}
+
+/// Sort-based group-by ("semisort"): groups `(key, value)` pairs by key
+/// and returns `(key, values)` groups in ascending key order. This is the
+/// batch-friendly replacement for iterating a parallel hash table.
+/// Work O(n log n), depth O(log² n).
+pub fn group_pairs<K: Ord + Send + Clone, V: Send>(mut items: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    if items.len() < GRAIN {
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+    } else {
+        items.par_sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in items {
+        match out.last_mut() {
+            Some((lk, vs)) if *lk == k => vs.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    }
+    out
+}
+
+/// Parallel maximum by key; `None` on empty input.
+pub fn par_max_by_key<T: Sync, K: Ord + Send>(
+    items: &[T],
+    key: impl Fn(&T) -> K + Sync + Send,
+) -> Option<usize> {
+    if items.is_empty() {
+        return None;
+    }
+    if items.len() < GRAIN {
+        return (0..items.len()).max_by_key(|&i| key(&items[i]));
+    }
+    (0..items.len())
+        .into_par_iter()
+        .max_by_key(|&i| key(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_small_and_large() {
+        let small: Vec<u32> = (0..10).collect();
+        assert_eq!(par_map(&small, |x| x * 2), (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let large: Vec<u32> = (0..10_000).collect();
+        assert_eq!(par_map(&large, |x| x + 1)[9_999], 10_000);
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let xs: Vec<u32> = (0..5000).collect();
+        let evens = par_filter_map(&xs, |&x| (x % 2 == 0).then_some(x));
+        assert_eq!(evens.len(), 2500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prefix_sums_match_sequential() {
+        for n in [0usize, 1, 5, 3000, 10_000] {
+            let xs: Vec<usize> = (0..n).map(|i| i % 7).collect();
+            let got = prefix_sums(&xs);
+            let mut want = vec![0usize];
+            for &x in &xs {
+                want.push(want.last().unwrap() + x);
+            }
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sort_dedup_works() {
+        let xs = vec![3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        assert_eq!(sort_dedup(xs), vec![1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn group_pairs_groups() {
+        let items = vec![(2u32, 'a'), (1, 'b'), (2, 'c'), (1, 'd'), (3, 'e')];
+        let groups = group_pairs(items);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[2], (3, vec!['e']));
+    }
+
+    #[test]
+    fn max_by_key_finds_max() {
+        let xs: Vec<i64> = (0..5000).map(|i| (i * 37) % 4999).collect();
+        let i = par_max_by_key(&xs, |&x| x).unwrap();
+        assert_eq!(xs[i], *xs.iter().max().unwrap());
+        assert_eq!(par_max_by_key::<i64, i64>(&[], |&x| x), None);
+    }
+
+    #[test]
+    fn flat_map_order() {
+        let xs: Vec<u32> = (0..3000).collect();
+        let out = par_flat_map(&xs, |&x| vec![x, x]);
+        assert_eq!(out.len(), 6000);
+        assert_eq!(&out[0..4], &[0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,312 @@
+//! **Theorem 1.6** — fully-dynamic (1±ε) spectral sparsifier.
+//!
+//! Identical reduction to Theorem 1.1 but with invariant **B2**
+//! (2^{l₀} ≥ n) and the decremental sparsifier of Lemma 6.6 per slot.
+//! Correctness rests on decomposability (Lemma 6.7): the union of
+//! (1±ε)-sparsifiers of an edge partition is a (1±ε)-sparsifier of the
+//! whole graph. E₀ edges carry weight 1 (a subgraph is an exact
+//! sparsifier of itself).
+
+use crate::decremental::DecrementalSparsifier;
+use crate::weighted_set::{WeightedDeltaSet, WeightedSet};
+use bds_dstruct::FxHashMap;
+use bds_graph::types::Edge;
+
+enum Slot {
+    Empty,
+    Instance(DecrementalSparsifier),
+}
+
+/// Fully-dynamic spectral sparsifier (Theorem 1.6).
+pub struct FullyDynamicSparsifier {
+    n: usize,
+    t: u32,
+    l0: u32,
+    e0: Vec<Edge>,
+    slots: Vec<Slot>,
+    index: FxHashMap<Edge, u32>,
+    sparsifier: WeightedSet,
+    seed: u64,
+    rebuilds: u64,
+}
+
+impl FullyDynamicSparsifier {
+    /// `t` = bundle depth (quality knob; the paper's t = Θ(ε⁻² log³ n)).
+    pub fn new(n: usize, t: u32, edges: &[Edge], seed: u64) -> Self {
+        assert!(n >= 2);
+        let l0 = (n as f64).log2().ceil() as u32; // invariant B2
+        let mut s = Self {
+            n,
+            t,
+            l0,
+            e0: Vec::new(),
+            slots: Vec::new(),
+            index: FxHashMap::default(),
+            sparsifier: WeightedSet::new(),
+            seed,
+            rebuilds: 0,
+        };
+        if !edges.is_empty() {
+            let mut j = 1u32;
+            while (edges.len() as u64) > s.capacity(j) {
+                j += 1;
+            }
+            s.build_slot(j, edges.to_vec());
+        }
+        let _ = s.sparsifier.take_delta();
+        s
+    }
+
+    fn capacity(&self, slot: u32) -> u64 {
+        1u64 << (self.l0.min(40) + slot)
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(7);
+        self.seed
+    }
+
+    fn slot_len(&self, i: u32) -> usize {
+        match self.slots.get(i as usize - 1) {
+            Some(Slot::Instance(d)) => d.num_live_edges(),
+            _ => 0,
+        }
+    }
+
+    fn slot_is_empty(&self, i: u32) -> bool {
+        self.slot_len(i) == 0
+    }
+
+    fn build_slot(&mut self, j: u32, edges: Vec<Edge>) {
+        while self.slots.len() < j as usize {
+            self.slots.push(Slot::Empty);
+        }
+        debug_assert!(self.slot_is_empty(j));
+        assert!(edges.len() as u64 <= self.capacity(j), "invariant B2 violated");
+        self.rebuilds += 1;
+        let seed = self.next_seed();
+        let inst = DecrementalSparsifier::new(self.n, &edges, self.t, seed);
+        for (e, w) in inst.sparsifier_edges() {
+            self.sparsifier.insert(e, w);
+        }
+        for e in edges {
+            self.index.insert(e, j);
+        }
+        self.slots[j as usize - 1] = Slot::Instance(inst);
+    }
+
+    fn drain_slot(&mut self, j: u32) -> Vec<Edge> {
+        if j as usize > self.slots.len() {
+            return Vec::new();
+        }
+        match std::mem::replace(&mut self.slots[j as usize - 1], Slot::Empty) {
+            Slot::Empty => Vec::new(),
+            Slot::Instance(d) => {
+                for (e, _) in d.sparsifier_edges() {
+                    self.sparsifier.remove(e);
+                }
+                d.live_edges()
+            }
+        }
+    }
+
+    /// Insert a batch of absent edges.
+    pub fn insert_batch(&mut self, inserted: &[Edge]) -> WeightedDeltaSet {
+        if inserted.is_empty() {
+            return self.sparsifier.take_delta();
+        }
+        let mut u: Vec<Edge> = inserted.to_vec();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), inserted.len(), "duplicate edges in insert batch");
+        for e in &u {
+            assert!(!self.index.contains_key(e), "insert of present edge {e:?}");
+        }
+        let cap0 = self.capacity(0);
+        let q = u.len() as u64 / cap0;
+        let r = (u.len() as u64 % cap0) as usize;
+        let mut cursor = u.len();
+        for i in (0..62).rev() {
+            if q & (1 << i) != 0 {
+                let size = (cap0 << i) as usize;
+                let piece = u[cursor - size..cursor].to_vec();
+                cursor -= size;
+                let lo = (i as u32).max(1);
+                let mut j = lo;
+                while !self.slot_is_empty(j) {
+                    j += 1;
+                }
+                let mut merged = piece;
+                for s in lo..j {
+                    merged.extend(self.drain_slot(s));
+                }
+                self.build_slot(j, merged);
+            }
+        }
+        let ur = u[..r].to_vec();
+        if !ur.is_empty() {
+            if (self.e0.len() + ur.len()) as u64 <= cap0 {
+                for e in ur {
+                    self.index.insert(e, 0);
+                    self.sparsifier.insert(e, 1.0);
+                    self.e0.push(e);
+                }
+            } else {
+                let mut j = 1u32;
+                while !self.slot_is_empty(j) {
+                    j += 1;
+                }
+                let mut merged = ur;
+                for e in self.e0.drain(..) {
+                    self.sparsifier.remove(e);
+                    merged.push(e);
+                }
+                for s in 1..j {
+                    merged.extend(self.drain_slot(s));
+                }
+                self.build_slot(j, merged);
+            }
+        }
+        self.sparsifier.take_delta()
+    }
+
+    /// Delete a batch of present edges.
+    pub fn delete_batch(&mut self, deleted: &[Edge]) -> WeightedDeltaSet {
+        let mut by_slot: FxHashMap<u32, Vec<Edge>> = FxHashMap::default();
+        for e in deleted {
+            let slot = self
+                .index
+                .remove(e)
+                .unwrap_or_else(|| panic!("delete of absent edge {e:?}"));
+            by_slot.entry(slot).or_default().push(*e);
+        }
+        for (slot, edges) in by_slot {
+            if slot == 0 {
+                for e in edges {
+                    let pos = self.e0.iter().position(|&x| x == e).expect("E0 edge");
+                    self.e0.swap_remove(pos);
+                    self.sparsifier.remove(e);
+                }
+            } else {
+                let Slot::Instance(d) = &mut self.slots[slot as usize - 1] else {
+                    panic!("indexed slot {slot} empty")
+                };
+                let delta = d.delete_batch(&edges);
+                for (e, _) in delta.deleted {
+                    self.sparsifier.remove(e);
+                }
+                for (e, w) in delta.inserted {
+                    self.sparsifier.insert(e, w);
+                }
+            }
+        }
+        self.sparsifier.take_delta()
+    }
+
+    pub fn num_live_edges(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn sparsifier_edges(&self) -> Vec<(Edge, f64)> {
+        self.sparsifier.edges()
+    }
+
+    pub fn sparsifier_size(&self) -> usize {
+        self.sparsifier.len()
+    }
+
+    pub fn num_rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Test oracle.
+    pub fn validate(&self) {
+        let mut total = self.e0.len();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Slot::Instance(d) = slot {
+                let m = d.num_live_edges();
+                assert!(m as u64 <= self.capacity(i as u32 + 1), "B2 violated");
+                total += m;
+                d.validate();
+            }
+        }
+        assert_eq!(total, self.index.len());
+        let mut want = WeightedSet::new();
+        for e in &self.e0 {
+            want.insert(*e, 1.0);
+        }
+        for slot in &self.slots {
+            if let Slot::Instance(d) = slot {
+                for (e, w) in d.sparsifier_edges() {
+                    want.insert(e, w);
+                }
+            }
+        }
+        let mut got = self.sparsifier.edges();
+        let mut exp = want.edges();
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        exp.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(got, exp, "fully-dynamic sparsifier diverged");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_graph::cuts::sparsifier_error;
+    use bds_graph::gen;
+    use bds_graph::stream::UpdateStream;
+
+    #[test]
+    fn init_and_quality() {
+        let n = 100;
+        let edges = gen::gnm_connected(n, 1200, 3);
+        let s = FullyDynamicSparsifier::new(n, 3, &edges, 7);
+        s.validate();
+        let err = sparsifier_error(n, &edges, &s.sparsifier_edges(), 30, 11);
+        assert!(err < 1.0, "error {err} unreasonably high");
+    }
+
+    #[test]
+    fn mixed_updates_validate() {
+        let n = 50;
+        let init = gen::gnm_connected(n, 300, 13);
+        let mut s = FullyDynamicSparsifier::new(n, 2, &init, 17);
+        let mut stream = UpdateStream::new(n, &init, 19);
+        for _ in 0..12 {
+            let b = stream.next_batch(10, 8);
+            s.delete_batch(&b.deletions);
+            s.insert_batch(&b.insertions);
+            s.validate();
+            assert_eq!(s.num_live_edges(), stream.live_edges().len());
+        }
+    }
+
+    #[test]
+    fn weighted_delta_replay() {
+        let n = 40;
+        let init = gen::gnm_connected(n, 200, 23);
+        let mut s = FullyDynamicSparsifier::new(n, 2, &init, 29);
+        let mut stream = UpdateStream::new(n, &init, 31);
+        let mut shadow: Vec<(Edge, f64)> = s.sparsifier_edges();
+        for _ in 0..10 {
+            let b = stream.next_batch(6, 6);
+            for d in [s.delete_batch(&b.deletions), s.insert_batch(&b.insertions)] {
+                for (e, w) in &d.deleted {
+                    let pos = shadow
+                        .iter()
+                        .position(|(se, sw)| se == e && sw == w)
+                        .unwrap_or_else(|| panic!("missing ({e:?},{w})"));
+                    shadow.swap_remove(pos);
+                }
+                for (e, w) in &d.inserted {
+                    shadow.push((*e, *w));
+                }
+            }
+            let mut got = s.sparsifier_edges();
+            got.sort_by(|a, b| a.0.cmp(&b.0));
+            shadow.sort_by(|a, b| a.0.cmp(&b.0));
+            assert_eq!(got, shadow);
+        }
+    }
+}

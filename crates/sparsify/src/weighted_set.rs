@@ -1,0 +1,113 @@
+//! Weighted sparsifier membership with per-batch delta netting — the
+//! weighted analogue of `bds_core::SpannerSet`. Each edge has at most one
+//! owner (one bundle level, one terminal set, or one Bentley–Saxe slot),
+//! so membership is a map rather than a refcount.
+
+use bds_dstruct::FxHashMap;
+use bds_graph::types::Edge;
+
+/// One batch's weighted membership changes.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct WeightedDeltaSet {
+    pub inserted: Vec<(Edge, f64)>,
+    pub deleted: Vec<(Edge, f64)>,
+}
+
+impl WeightedDeltaSet {
+    pub fn recourse(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct WeightedSet {
+    weight: FxHashMap<Edge, f64>,
+    /// weight at batch start for touched edges (0.0 = absent).
+    baseline: FxHashMap<Edge, f64>,
+}
+
+impl WeightedSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, e: Edge) {
+        let w = self.weight.get(&e).copied().unwrap_or(0.0);
+        self.baseline.entry(e).or_insert(w);
+    }
+
+    /// Insert `e` at `w`; panics if already present (owners are disjoint).
+    pub fn insert(&mut self, e: Edge, w: f64) {
+        self.touch(e);
+        let old = self.weight.insert(e, w);
+        assert!(old.is_none(), "weighted edge {e:?} already owned");
+    }
+
+    /// Remove `e`; panics if absent.
+    pub fn remove(&mut self, e: Edge) -> f64 {
+        self.touch(e);
+        self.weight.remove(&e).unwrap_or_else(|| panic!("remove of unowned {e:?}"))
+    }
+
+    pub fn get(&self, e: Edge) -> Option<f64> {
+        self.weight.get(&e).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.weight.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weight.is_empty()
+    }
+
+    pub fn edges(&self) -> Vec<(Edge, f64)> {
+        self.weight.iter().map(|(&e, &w)| (e, w)).collect()
+    }
+
+    /// Net weighted changes since the last call.
+    pub fn take_delta(&mut self) -> WeightedDeltaSet {
+        let mut d = WeightedDeltaSet::default();
+        for (e, was) in self.baseline.drain() {
+            let now = self.weight.get(&e).copied().unwrap_or(0.0);
+            if was == now {
+                continue;
+            }
+            if was != 0.0 {
+                d.deleted.push((e, was));
+            }
+            if now != 0.0 {
+                d.inserted.push((e, now));
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_delta() {
+        let mut s = WeightedSet::new();
+        let e = Edge::new(0, 1);
+        s.insert(e, 4.0);
+        let d = s.take_delta();
+        assert_eq!(d.inserted, vec![(e, 4.0)]);
+        s.remove(e);
+        s.insert(e, 16.0); // reweighting across levels
+        let d = s.take_delta();
+        assert_eq!(d.deleted, vec![(e, 4.0)]);
+        assert_eq!(d.inserted, vec![(e, 16.0)]);
+    }
+
+    #[test]
+    fn bounce_nets_out() {
+        let mut s = WeightedSet::new();
+        let e = Edge::new(2, 3);
+        s.insert(e, 1.0);
+        s.remove(e);
+        assert_eq!(s.take_delta().recourse(), 0);
+    }
+}

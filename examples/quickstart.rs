@@ -1,0 +1,48 @@
+//! Quickstart: maintain a (2k−1)-spanner of an evolving graph.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use batch_spanners::prelude::*;
+use batch_spanners::gen;
+use bds_graph::csr::edge_stretch;
+use bds_graph::stream::UpdateStream;
+
+fn main() {
+    let n = 2_000;
+    let k = 3; // stretch 2k−1 = 5
+    let edges = gen::gnm_connected(n, 8 * n, 7);
+    println!("graph: n = {n}, m = {}", edges.len());
+
+    let mut spanner = FullyDynamicSpanner::new(n, k, &edges, 42);
+    println!(
+        "initial spanner: {} edges ({:.1}% of the graph), stretch bound {}",
+        spanner.spanner_size(),
+        100.0 * spanner.spanner_size() as f64 / edges.len() as f64,
+        2 * k - 1
+    );
+
+    // Drive 50 batches of mixed updates and track the recourse.
+    let mut stream = UpdateStream::new(n, &edges, 99);
+    let mut total_recourse = 0usize;
+    let mut total_updates = 0usize;
+    for round in 1..=50 {
+        let batch = stream.next_batch(40, 40);
+        total_updates += batch.len();
+        let delta = spanner.process_batch(&batch);
+        total_recourse += delta.recourse();
+        if round % 10 == 0 {
+            println!(
+                "after {round} batches: m = {}, spanner = {}, amortized |δH|/update = {:.2}",
+                spanner.num_live_edges(),
+                spanner.spanner_size(),
+                total_recourse as f64 / total_updates as f64
+            );
+        }
+    }
+
+    // Verify the guarantee on the final graph.
+    let st = edge_stretch(n, stream.live_edges(), &spanner.spanner_edges(), 300, 5);
+    println!("measured stretch on 300 sampled sources: {st} (bound {})", 2 * k - 1);
+    assert!(st <= (2 * k - 1) as f64);
+    println!("ok: stretch bound holds after {total_updates} updates");
+}

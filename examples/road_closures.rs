@@ -1,0 +1,67 @@
+//! Scenario: road-network maintenance. A city grid suffers batches of
+//! road closures (decremental updates); a dispatch service keeps a
+//! shallow shortest-path tree from the depot (Theorem 1.2) to answer
+//! "how far is every block from the depot, up to L hops" after each batch
+//! — without recomputing BFS from scratch.
+//!
+//! Run with: `cargo run --example road_closures --release`
+
+use batch_spanners::gen;
+use batch_spanners::prelude::*;
+use bds_estree::UNREACHED;
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+fn directed(edges: &[Edge]) -> Vec<(V, V, u64)> {
+    edges
+        .iter()
+        .flat_map(|e| {
+            [
+                (e.u, e.v, ((e.u as u64) << 32) | e.u as u64),
+                (e.v, e.u, ((e.v as u64) << 32) | e.v as u64),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let (rows, cols) = (60usize, 60usize);
+    let n = rows * cols;
+    let edges = gen::grid(rows, cols);
+    let depot: V = (rows / 2 * cols + cols / 2) as V; // city centre
+    let l_max = 40u32;
+    println!("grid: {rows}×{cols} ({n} junctions, {} road segments)", edges.len());
+
+    let mut tree = EsTree::new(n, depot, l_max, &directed(&edges));
+    let reachable = (0..n as V).filter(|&v| tree.dist(v) != UNREACHED).count();
+    println!("depot {depot}: {reachable} junctions within {l_max} hops");
+
+    // Close roads in batches; track how the serviceable region shrinks and
+    // how much repair work each batch needs.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut open = edges.clone();
+    open.shuffle(&mut rng);
+    let mut total_steps = 0u64;
+    let mut closed = 0usize;
+    for round in 1..=12 {
+        let batch: Vec<Edge> = open.split_off(open.len().saturating_sub(150));
+        closed += batch.len();
+        let dirs: Vec<(V, V)> = batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+        let (changes, stats) = tree.delete_batch(&dirs);
+        total_steps += stats.scan_steps;
+        if round % 3 == 0 {
+            let reachable = (0..n as V).filter(|&v| tree.dist(v) != UNREACHED).count();
+            println!(
+                "closed {closed:>5} segments: {reachable:>5} reachable, \
+                 {:>4} junctions re-routed this batch",
+                changes.len()
+            );
+        }
+    }
+    println!(
+        "amortized repair work: {:.1} scan steps per closed segment \
+         (O(L log n) bound ≈ {:.0})",
+        tree.scan_work.get() as f64 / closed as f64,
+        l_max as f64 * (n as f64).log2()
+    );
+    let _ = total_steps;
+}

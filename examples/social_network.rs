@@ -1,0 +1,68 @@
+//! Scenario: a social-network overlay. Friendship graphs are dense and
+//! power-law; a *sparse* spanner (Theorem 1.3) keeps a linear-size
+//! backbone with polylogarithmic stretch while friendships churn in
+//! batches (the paper's motivating use: routing overlays / synchronizers).
+//!
+//! Run with: `cargo run --example social_network --release`
+
+use batch_spanners::prelude::*;
+use batch_spanners::gen;
+use bds_graph::csr::edge_stretch;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    let n = 3_000;
+    // Preferential attachment ⇒ heavy-tailed degrees, like real overlays.
+    let edges = gen::preferential_attachment(n, 8, 3);
+    println!("social graph: n = {n}, m = {} (power-law)", edges.len());
+
+    let mut backbone = SparseSpanner::new(n, &edges, 17);
+    println!(
+        "backbone: {} edges = {:.2}·n  (graph has {:.2}·n)",
+        backbone.spanner_size(),
+        backbone.spanner_size() as f64 / n as f64,
+        edges.len() as f64 / n as f64,
+    );
+
+    // Churn: every batch removes some friendships and adds new ones
+    // (biased towards high-degree vertices, as in real networks).
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut live: Vec<Edge> = edges.clone();
+    let mut recourse = 0usize;
+    let mut updates = 0usize;
+    for _ in 0..30 {
+        let mut dels = Vec::new();
+        for _ in 0..20 {
+            if live.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..live.len());
+            dels.push(live.swap_remove(i));
+        }
+        let mut inss = Vec::new();
+        while inss.len() < 20 {
+            let a = rng.gen_range(0..n as V);
+            let b = rng.gen_range(0..(n / 10) as V); // hubs attract
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if !live.contains(&e) && !inss.contains(&e) && !dels.contains(&e) {
+                inss.push(e);
+                live.push(e);
+            }
+        }
+        updates += dels.len() + inss.len();
+        let d1 = backbone.delete_batch(&dels);
+        let d2 = backbone.insert_batch(&inss);
+        recourse += d1.recourse() + d2.recourse();
+    }
+    println!(
+        "after churn: backbone = {:.2}·n, amortized backbone churn = {:.2} edges/update",
+        backbone.spanner_size() as f64 / n as f64,
+        recourse as f64 / updates as f64
+    );
+    let st = edge_stretch(n, &live, &backbone.spanner_edges(), 200, 5);
+    println!("backbone stretch: {st} (Õ(log n) guarantee, log2 n = {:.1})", (n as f64).log2());
+    assert!(st.is_finite());
+}

@@ -1,0 +1,65 @@
+//! # batch-spanners
+//!
+//! Parallel batch-dynamic spanners, spanner bundles, and spectral
+//! sparsifiers — a from-scratch Rust implementation of
+//! *"Parallel Batch-Dynamic Algorithms for Spanners, and Extensions"*
+//! (Ghaffari & Koo, SPAA 2025, arXiv:2507.06338).
+//!
+//! All structures process *batches* of edge insertions/deletions and
+//! return the exact (δH_ins, δH_del) recourse the paper's interfaces
+//! specify:
+//!
+//! | Structure | Paper | Maintains |
+//! |---|---|---|
+//! | [`FullyDynamicSpanner`] | Theorem 1.1 | (2k−1)-spanner, Õ(n^{1+1/k}) edges |
+//! | [`EsTree`] | Theorem 1.2 | decremental BFS tree of depth ≤ L |
+//! | [`SparseSpanner`] | Theorem 1.3 | Õ(log n)-spanner with O(n) edges |
+//! | [`UltraSparseSpanner`] | Theorem 1.4 | spanner with n + O(n/x) edges |
+//! | [`BundleSpanner`] | Theorem 1.5 | decremental t-bundle spanner |
+//! | [`FullyDynamicSparsifier`] | Theorem 1.6 | (1±ε) spectral sparsifier |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use batch_spanners::prelude::*;
+//!
+//! let n = 400;
+//! let edges = batch_spanners::gen::gnm_connected(n, 1600, 1);
+//! let mut spanner = FullyDynamicSpanner::new(n, /*k=*/ 3, &edges, /*seed=*/ 42);
+//! assert!(spanner.spanner_size() <= edges.len());
+//!
+//! // Apply a batch: delete two edges, insert one.
+//! let batch = UpdateBatch {
+//!     deletions: vec![edges[0], edges[1]],
+//!     insertions: vec![Edge::new(0, 399)],
+//! };
+//! let delta = spanner.process_batch(&batch);
+//! println!("spanner changed by {} edges", delta.recourse());
+//! ```
+
+pub use bds_baseline as baseline;
+pub use bds_bundle as bundle;
+pub use bds_contract as contract;
+pub use bds_core as core;
+pub use bds_dstruct as dstruct;
+pub use bds_estree as estree;
+pub use bds_graph as graph;
+pub use bds_par as par;
+pub use bds_sparsify as sparsify;
+pub use bds_ultra as ultra;
+
+pub use bds_graph::gen;
+
+/// The commonly used types and structures in one import.
+pub mod prelude {
+    pub use bds_bundle::{BundleSpanner, MonotoneSpanner};
+    pub use bds_contract::SparseSpanner;
+    pub use bds_core::{BatchDynamicSpanner, DecrementalSpanner, FullyDynamicSpanner};
+    pub use bds_estree::EsTree;
+    pub use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
+    pub use bds_graph::{CsrGraph, DynamicGraph};
+    pub use bds_sparsify::{DecrementalSparsifier, FullyDynamicSparsifier};
+    pub use bds_ultra::{UltraParams, UltraSparseSpanner};
+}
+
+pub use prelude::*;

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: every theorem structure driven by the
+//! same adversarial update schedule, with cross-validation between
+//! structures and against static oracles.
+
+use batch_spanners::gen;
+use batch_spanners::prelude::*;
+use bds_dstruct::FxHashSet;
+use bds_graph::csr::edge_stretch;
+use bds_graph::cuts::sparsifier_error;
+use bds_graph::stream::UpdateStream;
+
+/// All spanner variants track the same mutating graph; each keeps its own
+/// guarantee and its deltas replay exactly.
+#[test]
+fn all_spanners_track_one_graph() {
+    let n = 120;
+    let init = gen::gnm_connected(n, 500, 42);
+    let mut stream = UpdateStream::new(n, &init, 43);
+
+    let mut base = FullyDynamicSpanner::new(n, 2, &init, 1);
+    let mut sparse = SparseSpanner::new(n, &init, 2);
+    let mut ultra = UltraSparseSpanner::new(n, &init, UltraParams { x: 2 }, 3);
+
+    let mut base_shadow: FxHashSet<Edge> = base.spanner_edges().into_iter().collect();
+    let mut sparse_shadow: FxHashSet<Edge> = sparse.spanner_edges().into_iter().collect();
+    let mut ultra_shadow: FxHashSet<Edge> = ultra.spanner_edges().into_iter().collect();
+
+    for round in 0..15 {
+        let batch = stream.next_batch(8, 8);
+        base.process_batch(&batch).apply_to(&mut base_shadow);
+        sparse
+            .delete_batch(&batch.deletions)
+            .apply_to(&mut sparse_shadow);
+        sparse
+            .insert_batch(&batch.insertions)
+            .apply_to(&mut sparse_shadow);
+        ultra.process(&batch).apply_to(&mut ultra_shadow);
+
+        let live = stream.live_edges();
+        for (name, shadow, edges) in [
+            ("base", &base_shadow, base.spanner_edges()),
+            ("sparse", &sparse_shadow, sparse.spanner_edges()),
+            ("ultra", &ultra_shadow, ultra.spanner_edges()),
+        ] {
+            let got: FxHashSet<Edge> = edges.into_iter().collect();
+            assert_eq!(&got, shadow, "{name} delta replay diverged in round {round}");
+            // Every spanner is a subgraph of the live graph.
+            let live_set: FxHashSet<Edge> = live.iter().copied().collect();
+            assert!(got.is_subset(&live_set), "{name} contains dead edges");
+        }
+        let st = edge_stretch(n, live, &base.spanner_edges(), n, 5);
+        assert!(st <= 3.0, "base stretch {st} in round {round}");
+    }
+}
+
+/// The sparsifier built on bundles approximates cuts of the same graph
+/// the bundle spanner certifies connectivity for.
+#[test]
+fn bundle_and_sparsifier_consistency() {
+    let n = 100;
+    let init = gen::gnm_connected(n, 800, 7);
+    let mut bundle = BundleSpanner::new(n, &init, 2, 9);
+    let mut sp = DecrementalSparsifier::new(n, &init, 2, 11);
+    let mut stream = UpdateStream::new(n, &init, 13);
+    for _ in 0..10 {
+        let dels = stream.next_deletions(25);
+        bundle.delete_batch(&dels);
+        sp.delete_batch(&dels);
+        assert_eq!(bundle.num_live_edges(), sp.num_live_edges());
+    }
+    let live = stream.live_edges().to_vec();
+    let err = sparsifier_error(n, &live, &sp.sparsifier_edges(), 25, 17);
+    assert!(err < 1.5, "sparsifier error {err} after deletions");
+    // The bundle spans every residual edge.
+    let st = edge_stretch(n, &bundle.residual_edges(), &bundle.bundle_edges(), n, 19);
+    assert!(st.is_finite(), "bundle lost the spanner property");
+}
+
+/// Decremental-only structures agree with the fully-dynamic wrapper when
+/// the schedule happens to be deletion-only.
+#[test]
+fn decremental_matches_fully_dynamic_on_deletions() {
+    let n = 80;
+    let init = gen::gnm_connected(n, 320, 21);
+    let mut full = FullyDynamicSpanner::new(n, 3, &init, 23);
+    let mut decr = DecrementalSpanner::new(n, 3, &init, 25);
+    let mut stream = UpdateStream::new(n, &init, 27);
+    for _ in 0..12 {
+        let dels = stream.next_deletions(12);
+        full.delete_batch(&dels);
+        decr.delete_batch(&dels);
+        assert_eq!(full.num_live_edges(), decr.num_live_edges());
+        let live = stream.live_edges();
+        for s in [full.spanner_edges(), decr.spanner_edges()] {
+            let st = edge_stretch(n, live, &s, n, 29);
+            assert!(st <= 5.0, "stretch {st}");
+        }
+    }
+    full.validate();
+    decr.validate();
+}
+
+/// Stress: interleaved growth and shrinkage across two orders of
+/// magnitude of edge count, validating the Bentley–Saxe bookkeeping.
+#[test]
+fn grow_shrink_stress() {
+    let n = 60;
+    let mut s = FullyDynamicSpanner::new(n, 2, &[], 31);
+    let all = gen::gnm(n, 900, 33);
+    // Grow in uneven chunks.
+    let mut inserted = 0;
+    for chunk in all.chunks(123) {
+        s.insert_batch(chunk);
+        inserted += chunk.len();
+        assert_eq!(s.num_live_edges(), inserted);
+    }
+    s.validate();
+    // Shrink to one third.
+    for chunk in all[..600].chunks(77) {
+        s.delete_batch(chunk);
+    }
+    s.validate();
+    assert_eq!(s.num_live_edges(), all.len() - 600);
+    // Regrow the deleted edges.
+    s.insert_batch(&all[..300]);
+    s.validate();
+    let st = {
+        let mut live: Vec<Edge> = all[600..].to_vec();
+        live.extend_from_slice(&all[..300]);
+        edge_stretch(n, &live, &s.spanner_edges(), n, 35)
+    };
+    assert!(st <= 3.0, "stretch {st} after grow/shrink");
+}
+
+/// Lemma 6.4's monotonicity quantity: the number of *distinct* edges that
+/// ever appear in the spanner over an entire decremental run is bounded
+/// (O(n log³ n) in the paper; we check a generous concrete bound). The
+/// per-level J lists of Theorem 1.5 turn this into true set-monotonicity,
+/// tested in `bds-bundle`.
+#[test]
+fn monotone_ever_in_spanner_is_bounded() {
+    let n = 70;
+    let init = gen::gnm_connected(n, 350, 41);
+    let copies = 6;
+    let mut mono = MonotoneSpanner::with_params(n, &init, copies, 0.3, 43);
+    let mut ever: FxHashSet<Edge> = mono.spanner_edges().into_iter().collect();
+    let mut stream = UpdateStream::new(n, &init, 47);
+    for _ in 0..40 {
+        let dels = stream.next_deletions(8);
+        let delta = mono.delete_batch(&dels);
+        ever.extend(delta.inserted);
+    }
+    let logn = (n as f64).log2();
+    let bound = copies as f64 * 4.0 * n as f64 * logn;
+    assert!(
+        (ever.len() as f64) < bound,
+        "distinct spanner edges {} exceeds bound {bound}",
+        ever.len()
+    );
+}

@@ -1,0 +1,120 @@
+//! Property-based tests (proptest) over random update scripts: the
+//! workspace-level invariants that must hold for *every* schedule, not
+//! just the seeded ones.
+
+use batch_spanners::gen;
+use batch_spanners::prelude::*;
+use bds_dstruct::{DynamicForest, FxHashSet, PriorityList};
+use bds_graph::csr::edge_stretch;
+use bds_graph::UnionFind;
+use proptest::prelude::*;
+
+/// Random small graph + deletion order.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<Edge>, u64)> {
+    (20usize..50, 2usize..6, any::<u64>()).prop_map(|(n, d, seed)| {
+        let edges = gen::gnm(n, d * n, seed);
+        (n, edges, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The decremental (2k−1)-spanner keeps its stretch under any
+    /// deletion schedule and its deltas replay exactly.
+    #[test]
+    fn decremental_spanner_invariants((n, edges, seed) in graph_strategy(), k in 2u32..4) {
+        let mut s = DecrementalSpanner::new(n, k, &edges, seed ^ 0xabc);
+        let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
+        let mut live = edges;
+        let mut cursor = 0usize;
+        while live.len() > 10 {
+            let b = 1 + (seed as usize + cursor) % 7;
+            cursor += 1;
+            let batch: Vec<Edge> = live.split_off(live.len().saturating_sub(b));
+            let delta = s.delete_batch(&batch);
+            delta.apply_to(&mut shadow);
+            let st = edge_stretch(n, &live, &s.spanner_edges(), 20, seed);
+            prop_assert!(st <= (2 * k - 1) as f64, "stretch {} exceeded {}", st, 2 * k - 1);
+        }
+        s.validate();
+    }
+
+    /// The HDT dynamic forest always reports a spanning forest of the
+    /// live graph (acyclic + same connectivity).
+    #[test]
+    fn dynamic_forest_is_spanning((n, edges, _seed) in graph_strategy()) {
+        let mut f = DynamicForest::new(n);
+        let mut live: Vec<Edge> = Vec::new();
+        for (i, e) in edges.iter().enumerate() {
+            if i % 3 == 2 && !live.is_empty() {
+                let gone = live.swap_remove(i % live.len());
+                f.delete_edge(gone.u, gone.v);
+            }
+            if !live.contains(e) {
+                f.insert_edge(e.u, e.v);
+                live.push(*e);
+            }
+        }
+        // forest edges are acyclic and realize the live connectivity.
+        let mut uf_f = UnionFind::new(n);
+        for (a, b) in f.forest_edges() {
+            prop_assert!(uf_f.union(a, b), "cycle in forest");
+        }
+        let mut uf_g = UnionFind::new(n);
+        for e in &live {
+            uf_g.union(e.u, e.v);
+        }
+        for a in 0..n as V {
+            for b in (a + 1)..n as V {
+                prop_assert_eq!(uf_f.same(a, b), uf_g.same(a, b));
+            }
+        }
+    }
+
+    /// PriorityList behaves like a sorted-descending association list.
+    #[test]
+    fn priority_list_model(ops in prop::collection::vec((0u64..200, any::<u16>()), 1..120)) {
+        let mut pl: PriorityList<u16> = PriorityList::new(7);
+        let mut model: std::collections::BTreeMap<std::cmp::Reverse<u64>, u16> = Default::default();
+        for (p, v) in ops {
+            if model.contains_key(&std::cmp::Reverse(p)) {
+                pl.remove(p);
+                model.remove(&std::cmp::Reverse(p));
+            } else {
+                pl.insert(p, v);
+                model.insert(std::cmp::Reverse(p), v);
+            }
+            prop_assert_eq!(pl.len(), model.len());
+        }
+        for (rank, (std::cmp::Reverse(p), v)) in model.iter().enumerate() {
+            prop_assert_eq!(pl.kth(rank), Some((*p, v)));
+            prop_assert_eq!(pl.rank_of(*p), Some(rank));
+        }
+    }
+
+    /// The fully-dynamic wrapper preserves the spanner property across
+    /// arbitrary interleavings of insert and delete batches.
+    #[test]
+    fn fully_dynamic_mixed_schedule((n, edges, seed) in graph_strategy()) {
+        let half = edges.len() / 2;
+        let mut s = FullyDynamicSpanner::new(n, 2, &edges[..half], seed);
+        // Insert the rest in chunks, deleting a prefix chunk in between.
+        let rest: Vec<Edge> = edges[half..].to_vec();
+        let mut live: FxHashSet<Edge> = edges[..half].iter().copied().collect();
+        for chunk in rest.chunks(9) {
+            let fresh: Vec<Edge> = chunk.iter().copied().filter(|e| live.insert(*e)).collect();
+            s.insert_batch(&fresh);
+            // delete up to 3 live edges
+            let dels: Vec<Edge> = live.iter().copied().take(3).collect();
+            for e in &dels {
+                live.remove(e);
+            }
+            s.delete_batch(&dels);
+        }
+        let live_edges: Vec<Edge> = live.iter().copied().collect();
+        let st = edge_stretch(n, &live_edges, &s.spanner_edges(), 20, seed);
+        prop_assert!(st <= 3.0, "stretch {}", st);
+        s.validate();
+    }
+}

@@ -53,7 +53,7 @@ pub fn baswana_sen(n: usize, edges: &[Edge], k: u32, seed: u64) -> Vec<Edge> {
             // Neighbor edges grouped by current cluster.
             let mut best_sampled: Option<(V, V)> = None; // (neighbor, cluster)
             let mut per_cluster: FxHashMap<V, V> = FxHashMap::default();
-            for (&w, _) in &adj[v as usize] {
+            for &w in adj[v as usize].keys() {
                 let cw = cluster[w as usize];
                 if cw == NONE {
                     continue;
@@ -83,7 +83,7 @@ pub fn baswana_sen(n: usize, edges: &[Edge], k: u32, seed: u64) -> Vec<Edge> {
     // Final phase: one edge into every adjacent remaining cluster.
     for v in 0..n as V {
         let mut per_cluster: FxHashMap<V, V> = FxHashMap::default();
-        for (&w, _) in &adj[v as usize] {
+        for &w in adj[v as usize].keys() {
             let cw = cluster[w as usize];
             if cw == NONE || cw == cluster[v as usize] {
                 continue;
@@ -125,7 +125,10 @@ impl RecomputeBaseline {
     }
 
     fn rebuild(&mut self) {
-        self.seed = self.seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         let edges: Vec<Edge> = self.live.iter().copied().collect();
         self.spanner = baswana_sen(self.n, &edges, self.k, self.seed);
     }
@@ -213,7 +216,11 @@ mod tests {
                 2 * k - 1
             );
             let bound = 4.0 * k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64);
-            assert!((sp.len() as f64) < bound, "size {} vs bound {bound}", sp.len());
+            assert!(
+                (sp.len() as f64) < bound,
+                "size {} vs bound {bound}",
+                sp.len()
+            );
         }
     }
 

@@ -1,0 +1,138 @@
+//! EdgeTable vs tuple-keyed FxHashMap: the PR-1 acceptance benchmark.
+//!
+//! Measures bulk construction, batch point lookups (half hits, half
+//! misses), and batch removal at 100k and 1M edges. Acceptance target:
+//! EdgeTable ≥ 2× the hash map on batch get/insert at 1M edges — see
+//! ROADMAP.md for the measured results on the CI host (`edge_probe`
+//! gives steadier interleaved numbers on noisy machines).
+
+use bds_dstruct::{EdgeTable, FxHashMap};
+use bds_graph::types::V;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// `m` distinct directed edges over `2m` vertices plus values.
+fn workload(m: usize, seed: u64) -> Vec<(V, V, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (2 * m) as V;
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert(((u as u64) << 32) | v as u64) {
+            out.push((u, v, rng.gen::<u64>()));
+        }
+    }
+    out
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_index_build");
+    for &m in &[100_000usize, 1_000_000] {
+        let edges = workload(m, 7);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(
+            BenchmarkId::new("edge_table_insert_batch", m),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let mut t = EdgeTable::new();
+                    t.insert_batch(edges);
+                    t
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("edge_table_from_batch", m),
+            &edges,
+            |b, edges| b.iter(|| EdgeTable::from_batch(edges)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fxhashmap_insert_loop", m),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let mut map: FxHashMap<(V, V), u64> = FxHashMap::default();
+                    map.reserve(edges.len());
+                    for &(u, v, val) in edges {
+                        map.insert((u, v), val);
+                    }
+                    map
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_index_get_batch");
+    for &m in &[100_000usize, 1_000_000] {
+        let edges = workload(m, 11);
+        let table = EdgeTable::from_batch(&edges);
+        let mut map: FxHashMap<(V, V), u64> = FxHashMap::default();
+        for &(u, v, val) in &edges {
+            map.insert((u, v), val);
+        }
+        // Half hits (live keys), half misses (reversed keys, mostly absent).
+        let queries: Vec<(V, V)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, _))| if i % 2 == 0 { (u, v) } else { (v, u) })
+            .collect();
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::new("edge_table", m), &queries, |b, q| {
+            b.iter(|| table.get_batch(q))
+        });
+        g.bench_with_input(BenchmarkId::new("fxhashmap", m), &queries, |b, q| {
+            b.iter(|| {
+                let hits: Vec<Option<u64>> = q.iter().map(|key| map.get(key).copied()).collect();
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_index_remove_batch");
+    let m = 1_000_000usize;
+    let edges = workload(m, 13);
+    let dels: Vec<(V, V)> = edges.iter().step_by(2).map(|&(u, v, _)| (u, v)).collect();
+    g.throughput(Throughput::Elements(dels.len() as u64));
+    g.bench_with_input(BenchmarkId::new("edge_table", m), &edges, |b, edges| {
+        b.iter_batched(
+            || EdgeTable::from_batch(edges),
+            |mut t| t.remove_batch(&dels),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_with_input(BenchmarkId::new("fxhashmap", m), &edges, |b, edges| {
+        b.iter_batched(
+            || {
+                let mut map: FxHashMap<(V, V), u64> = FxHashMap::default();
+                for &(u, v, val) in edges {
+                    map.insert((u, v), val);
+                }
+                map
+            },
+            |mut map| {
+                let mut removed = 0usize;
+                for key in &dels {
+                    removed += usize::from(map.remove(key).is_some());
+                }
+                removed
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_get, bench_remove
+}
+criterion_main!(benches);

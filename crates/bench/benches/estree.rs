@@ -1,6 +1,9 @@
 //! E5 timing: decremental BFS (Theorem 1.2) deletion batches across depth
-//! limits L.
+//! limits L — current implementation (packed EdgeTable, parallel init)
+//! against the frozen seed implementation (tuple-keyed FxHashMap,
+//! sequential init) for the PR-1 before/after record.
 
+use bds_bench::seed_estree;
 use bds_graph::gen;
 use bds_graph::types::{Edge, V};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,6 +20,15 @@ fn directed(edges: &[Edge]) -> Vec<(V, V, u64)> {
         .collect()
 }
 
+fn deletion_schedule(edges: &[Edge], take: usize) -> Vec<(V, V)> {
+    let mut live = edges.to_vec();
+    use rand::{seq::SliceRandom, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    live.shuffle(&mut rng);
+    live.truncate(take);
+    live.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect()
+}
+
 fn bench_estree(c: &mut Criterion) {
     let n = 1 << 12;
     let mut g = c.benchmark_group("estree_delete_batch64");
@@ -27,18 +39,38 @@ fn bench_estree(c: &mut Criterion) {
             bench.iter_batched(
                 || {
                     let t = bds_estree::EsTree::new(n, 0, l, &dirs);
-                    let mut live = edges.clone();
-                    use rand::{seq::SliceRandom, SeedableRng};
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-                    live.shuffle(&mut rng);
-                    live.truncate(64);
-                    let batch: Vec<(V, V)> =
-                        live.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
-                    (t, batch)
+                    (t, deletion_schedule(&edges, 64))
                 },
                 |(mut t, batch)| t.delete_batch(&batch),
                 criterion::BatchSize::LargeInput,
             );
+        });
+        g.bench_with_input(BenchmarkId::new("seed", l), &l, |bench, &l| {
+            let edges = gen::gnm_connected(n, 6 * n, l as u64);
+            let dirs = directed(&edges);
+            bench.iter_batched(
+                || {
+                    let t = seed_estree::EsTree::new(n, 0, l, &dirs);
+                    (t, deletion_schedule(&edges, 64))
+                },
+                |(mut t, batch)| t.delete_batch(&batch),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+
+    // Initialization: parallel batched build vs the seed's sequential
+    // hashmap + push loops.
+    let mut g = c.benchmark_group("estree_init");
+    for &nn in &[1usize << 14, 1 << 16] {
+        let edges = gen::gnm_connected(nn, 6 * nn, 9);
+        let dirs = directed(&edges);
+        g.bench_with_input(BenchmarkId::new("current", nn), &dirs, |bench, dirs| {
+            bench.iter(|| bds_estree::EsTree::new(nn, 0, 24, dirs));
+        });
+        g.bench_with_input(BenchmarkId::new("seed", nn), &dirs, |bench, dirs| {
+            bench.iter(|| seed_estree::EsTree::new(nn, 0, 24, dirs));
         });
     }
     g.finish();

@@ -13,27 +13,35 @@ fn bench_scaling(c: &mut Criterion) {
     let edges = gen::gnm_connected(n, 8 * n, 5);
     let mut g = c.benchmark_group("monotone_batch256_threads");
     for &threads in &[1usize, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &p| {
-            bench.iter_batched(
-                || {
-                    let s = MonotoneSpanner::with_params(n, &edges, 12, 0.25, 17);
-                    let batch: Vec<_> = edges[..256].to_vec();
-                    (s, batch)
-                },
-                |(mut s, batch)| run_with_threads(p, move || s.delete_batch(&batch)),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &p| {
+                bench.iter_batched(
+                    || {
+                        let s = MonotoneSpanner::with_params(n, &edges, 12, 0.25, 17);
+                        let batch: Vec<_> = edges[..256].to_vec();
+                        (s, batch)
+                    },
+                    |(mut s, batch)| run_with_threads(p, move || s.delete_batch(&batch)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     g.finish();
 
     let mut g = c.benchmark_group("monotone_init_threads");
     for &threads in &[1usize, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &p| {
-            bench.iter(|| {
-                run_with_threads(p, || MonotoneSpanner::with_params(n, &edges, 12, 0.25, 19))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &p| {
+                bench.iter(|| {
+                    run_with_threads(p, || MonotoneSpanner::with_params(n, &edges, 12, 0.25, 19))
+                });
+            },
+        );
     }
     g.finish();
 }

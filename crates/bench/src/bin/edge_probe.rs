@@ -1,0 +1,96 @@
+//! Interleaved A/B micro-harness for EdgeTable vs the tuple-keyed
+//! FxHashMap path. Alternates the two measurements round-robin and
+//! reports per-side minima, cancelling machine load drift — the
+//! criterion bench (`benches/edge_table.rs`) measures the same
+//! comparison but is more sensitive to noisy-neighbor hosts.
+//!
+//! Usage: `cargo run --release -p bds_bench --bin edge_probe -- [m] [rounds]`
+
+use bds_dstruct::{EdgeTable, FxHashMap};
+use bds_graph::types::V;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+fn workload(m: usize, seed: u64) -> Vec<(V, V, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (2 * m) as V;
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert(((u as u64) << 32) | v as u64) {
+            out.push((u, v, rng.gen::<u64>()));
+        }
+    }
+    out
+}
+
+fn time_it<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = std::hint::black_box(f());
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn main() {
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let rounds: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+        .max(1);
+    let edges = workload(m, 11);
+    let table = EdgeTable::from_batch(&edges);
+    let mut map: FxHashMap<(V, V), u64> = FxHashMap::default();
+    for &(u, v, val) in &edges {
+        map.insert((u, v), val);
+    }
+    let queries: Vec<(V, V)> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v, _))| if i % 2 == 0 { (u, v) } else { (v, u) })
+        .collect();
+
+    let (mut tget, mut hget) = (f64::MAX, f64::MAX);
+    let (mut tins, mut hins) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let (dt, a) = time_it(|| table.get_batch(&queries));
+        let (dh, b) = time_it(|| {
+            queries
+                .iter()
+                .map(|k| map.get(k).copied())
+                .collect::<Vec<Option<u64>>>()
+        });
+        assert_eq!(a, b);
+        tget = tget.min(dt);
+        hget = hget.min(dh);
+        let (di, t2) = time_it(|| {
+            let mut t = EdgeTable::new();
+            t.insert_batch(&edges);
+            t
+        });
+        let (dj, m2) = time_it(|| {
+            let mut mm: FxHashMap<(V, V), u64> = FxHashMap::default();
+            mm.reserve(edges.len());
+            for &(u, v, val) in &edges {
+                mm.insert((u, v), val);
+            }
+            mm
+        });
+        assert_eq!(t2.len(), m2.len());
+        tins = tins.min(di);
+        hins = hins.min(dj);
+    }
+    println!("m={m} rounds={rounds}");
+    println!(
+        "get:    table {tget:.2}ms  map {hget:.2}ms  ratio {:.2}x",
+        hget / tget
+    );
+    println!(
+        "insert: table {tins:.2}ms  map {hins:.2}ms  ratio {:.2}x",
+        hins / tins
+    );
+}

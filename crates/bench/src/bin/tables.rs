@@ -246,9 +246,8 @@ fn e9_sparsifier() {
     for t in [1u32, 2, 4, 8] {
         let edges = gen::gnm_connected(n, m, 31 + t as u64);
         let logn = (n as f64).log2() as usize;
-        let mut s = DecrementalSparsifier::with_params(
-            n, &edges, t, 6, 0.3, 4 * logn, 41 + t as u64,
-        );
+        let mut s =
+            DecrementalSparsifier::with_params(n, &edges, t, 6, 0.3, 4 * logn, 41 + t as u64);
         let err = sparsifier_error(n, &edges, &s.sparsifier_edges(), 60, 7);
         let size = s.sparsifier_size();
         let mut stream = UpdateStream::new(n, &edges, 51);
@@ -312,7 +311,10 @@ fn e11_cut_prob() {
     let gedges = gen::gnm_connected(1 << 12, 8 << 12, 61);
     for beta in [0.25f64, 0.5] {
         let s = MonotoneSpanner::with_params(1 << 12, &gedges, 1, beta, 73);
-        println!("| gnm(4096) | {beta} | {:.3} (low diameter) |", s.cut_fraction(&gedges));
+        println!(
+            "| gnm(4096) | {beta} | {:.3} (low diameter) |",
+            s.cut_fraction(&gedges)
+        );
     }
 }
 
@@ -323,13 +325,8 @@ fn e12_contraction() {
     let n = 1 << 12;
     let edges = gen::gnm_connected(n, 8 * n, 81);
     for x in [2.0f64, 4.0, 8.0, 16.0] {
-        let lvl = bds_contract::level::ContractLevel::new(
-            n,
-            &vec![true; n],
-            x,
-            &edges,
-            91 + x as u64,
-        );
+        let lvl =
+            bds_contract::level::ContractLevel::new(n, &vec![true; n], x, &edges, 91 + x as u64);
         let vprime = lvl.next_vertex_count() as f64 / n as f64;
         let h = lvl.h_size() as f64 / n as f64;
         println!("| {n} | {x} | {vprime:.3} (1/x={:.3}) | {h:.2} |", 1.0 / x);

@@ -1,5 +1,7 @@
 //! Shared workload construction for the benches and the table generator.
 
+pub mod seed_estree;
+
 use bds_graph::gen;
 use bds_graph::stream::UpdateStream;
 use bds_graph::types::Edge;

@@ -73,7 +73,10 @@ impl BundleSpanner {
                 home.insert(e, Home::Spanner(i));
             }
             gi.retain(|e| !hi.contains(e));
-            levels.push(Level { d, j: FxHashSet::default() });
+            levels.push(Level {
+                d,
+                j: FxHashSet::default(),
+            });
         }
         for e in gi {
             home.insert(e, Home::Residual);
@@ -109,7 +112,10 @@ impl BundleSpanner {
     }
 
     pub fn bundle_size(&self) -> usize {
-        self.home.values().filter(|h| !matches!(h, Home::Residual)).count()
+        self.home
+            .values()
+            .filter(|h| !matches!(h, Home::Residual))
+            .count()
     }
 
     /// Edges of the residual G \ B.
@@ -142,8 +148,7 @@ impl BundleSpanner {
     pub fn delete_batch(&mut self, batch: &[Edge]) -> BundleDelta {
         let mut delta = BundleDelta::default();
         let mut pending: Vec<Vec<Edge>> = vec![Vec::new(); self.t as usize + 1];
-        let mut pending_set: Vec<FxHashSet<Edge>> =
-            vec![FxHashSet::default(); self.t as usize + 1];
+        let mut pending_set: Vec<FxHashSet<Edge>> = vec![FxHashSet::default(); self.t as usize + 1];
         for &e in batch {
             let h = self
                 .home
@@ -230,7 +235,11 @@ impl BundleSpanner {
                 );
             }
             for e in &lvl.j {
-                assert_eq!(self.home.get(e), Some(&Home::J(i)), "J edge {e:?} mis-homed");
+                assert_eq!(
+                    self.home.get(e),
+                    Some(&Home::J(i)),
+                    "J edge {e:?} mis-homed"
+                );
                 assert!(!sp.contains(e), "J edge {e:?} also in spanner");
             }
         }

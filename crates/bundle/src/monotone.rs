@@ -52,8 +52,12 @@ impl MonotoneSpanner {
             .into_par_iter()
             .map(|i| {
                 let sg = ShiftedGraph::sample(n, beta, None, seed ^ (0xabcd + i as u64 * 7919));
-                let es =
-                    EsTree::new(sg.total_vertices(), sg.source(), sg.t, &sg.static_edges(edges));
+                let es = EsTree::new(
+                    sg.total_vertices(),
+                    sg.source(),
+                    sg.t,
+                    &sg.static_edges(edges),
+                );
                 Instance { sg, es }
             })
             .collect();
@@ -64,7 +68,12 @@ impl MonotoneSpanner {
             }
         }
         let _ = spanner.take_delta();
-        Self { n, instances, spanner, num_edges: edges.len() }
+        Self {
+            n,
+            instances,
+            spanner,
+            num_edges: edges.len(),
+        }
     }
 
     /// Default parameterization: 2·log₂ n + 2 copies, β = 0.25.
@@ -102,7 +111,10 @@ impl MonotoneSpanner {
     /// per batch comes from). Returns the spanner delta.
     pub fn delete_batch(&mut self, batch: &[Edge]) -> SpannerDelta {
         let n = self.n;
-        let dirs: Vec<(V, V)> = batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+        let dirs: Vec<(V, V)> = batch
+            .iter()
+            .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+            .collect();
         let change_sets: Vec<Vec<(Edge, bool)>> = self
             .instances
             .par_iter_mut()
@@ -167,8 +179,11 @@ impl MonotoneSpanner {
         order.sort_unstable_by_key(|&v| inst.es.dist(v));
         for v in order {
             let p = inst.es.parent(v).expect("clustered");
-            cluster[v as usize] =
-                if inst.sg.is_p(p) { v } else { cluster[p as usize] };
+            cluster[v as usize] = if inst.sg.is_p(p) {
+                v
+            } else {
+                cluster[p as usize]
+            };
         }
         let cut = edges
             .iter()

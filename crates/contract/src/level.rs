@@ -18,7 +18,7 @@
 //! representative-change events of each batch.
 
 use bds_core::SpannerSet;
-use bds_dstruct::{FxHashMap, FxHashSet, Treap};
+use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet, Treap};
 use bds_graph::types::{Edge, SpannerDelta, V};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -52,7 +52,7 @@ pub struct ContractLevel {
     head: Vec<V>,
     adj: Vec<Treap<(u8, u64, V), ()>>,
     /// directed (owner, neighbor) -> the entry's random key.
-    rand_of: FxHashMap<(V, V), u64>,
+    rand_of: EdgeTable,
     edges: FxHashSet<Edge>,
     h_set: SpannerSet,
     /// NextLevelEdges: contracted edge -> supporting level edges.
@@ -78,8 +78,10 @@ impl ContractLevel {
             in_level: universe.to_vec(),
             in_next,
             head: vec![NO_HEAD; n],
-            adj: (0..n).map(|v| Treap::new(0x1234_5678 ^ (v as u64 * 2 + 1))).collect(),
-            rand_of: FxHashMap::default(),
+            adj: (0..n)
+                .map(|v| Treap::new(0x1234_5678 ^ (v as u64 * 2 + 1)))
+                .collect(),
+            rand_of: EdgeTable::new(),
             edges: FxHashSet::default(),
             h_set: SpannerSet::new(),
             buckets: FxHashMap::default(),
@@ -167,7 +169,14 @@ impl ContractLevel {
         }
     }
 
-    fn bucket_add(&mut self, key: Edge, e: Edge, r: &mut LevelBatchResult, born: &mut FxHashSet<Edge>, died: &mut FxHashMap<Edge, Edge>) {
+    fn bucket_add(
+        &mut self,
+        key: Edge,
+        e: Edge,
+        r: &mut LevelBatchResult,
+        born: &mut FxHashSet<Edge>,
+        died: &mut FxHashMap<Edge, Edge>,
+    ) {
         let b = self.buckets.entry(key).or_default();
         let was_empty = b.is_empty();
         b.insert(e);
@@ -185,7 +194,14 @@ impl ContractLevel {
         }
     }
 
-    fn bucket_remove(&mut self, key: Edge, e: Edge, r: &mut LevelBatchResult, born: &mut FxHashSet<Edge>, died: &mut FxHashMap<Edge, Edge>) {
+    fn bucket_remove(
+        &mut self,
+        key: Edge,
+        e: Edge,
+        r: &mut LevelBatchResult,
+        born: &mut FxHashSet<Edge>,
+        died: &mut FxHashMap<Edge, Edge>,
+    ) {
         let b = self.buckets.get_mut(&key).expect("bucket exists");
         assert!(b.remove(&e), "support {e:?} missing from bucket {key:?}");
         if b.is_empty() {
@@ -198,7 +214,13 @@ impl ContractLevel {
         } else if self.rep[&key] == e {
             let new_rep = *self.buckets[&key].first().expect("nonempty");
             self.rep.insert(key, new_rep);
-            r.rep_events.push((key, e, new_rep));
+            // Buckets born in this batch emit no rep events: consumers
+            // read a *new* contracted edge's representative from `rep_of`
+            // after the batch, so a mid-batch swap would break their
+            // chronological chains (which start from the pre-batch rep).
+            if !born.contains(&key) {
+                r.rep_events.push((key, e, new_rep));
+            }
         }
     }
 
@@ -252,7 +274,7 @@ impl ContractLevel {
                 self.bucket_remove(k, e, out, &mut born, &mut died);
             }
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
-                let rnd = self.rand_of.remove(&(a, b)).expect("entry");
+                let rnd = self.rand_of.remove(a, b).expect("entry");
                 let key = (!self.in_next[b as usize] as u8, rnd, b);
                 self.adj[a as usize].remove(&key).expect("adj entry");
             }
@@ -269,7 +291,7 @@ impl ContractLevel {
             assert!(self.edges.insert(e), "insert of present level edge {e:?}");
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
                 let rnd: u64 = self.rng.gen();
-                self.rand_of.insert((a, b), rnd);
+                self.rand_of.insert(a, b, rnd);
                 let key = (!self.in_next[b as usize] as u8, rnd, b);
                 self.adj[a as usize].insert(key, ());
             }
@@ -299,8 +321,11 @@ impl ContractLevel {
             }
             self.head_changes += 1;
             // Re-tag every incident edge: the w-side head flips.
-            let neighbors: Vec<V> =
-                self.adj[w as usize].iter().into_iter().map(|(k, _)| k.2).collect();
+            let neighbors: Vec<V> = self.adj[w as usize]
+                .iter()
+                .into_iter()
+                .map(|(k, _)| k.2)
+                .collect();
             for x in neighbors {
                 let e = Edge::new(w, x);
                 let hx = self.head[x as usize];
@@ -380,7 +405,7 @@ mod tests {
         lvl.validate();
         // Expected |V'| ≈ n/x.
         let nv = lvl.next_vertex_count();
-        assert!(nv >= 4 && nv <= 40, "sampled {nv} of {n}");
+        assert!((4..=40).contains(&nv), "sampled {nv} of {n}");
         // E[|H|] = O(nx): loose sanity bound.
         assert!(lvl.h_size() <= edges.len());
     }
@@ -423,8 +448,11 @@ mod tests {
         let n = 40;
         let init = gen::gnm_connected(n, 120, 17);
         let mut lvl = ContractLevel::new(n, &full_universe(n), 3.0, &init, 19);
-        let mut reps: FxHashMap<Edge, Edge> =
-            lvl.next_edges().into_iter().map(|k| (k, lvl.rep_of(k).unwrap())).collect();
+        let mut reps: FxHashMap<Edge, Edge> = lvl
+            .next_edges()
+            .into_iter()
+            .map(|k| (k, lvl.rep_of(k).unwrap()))
+            .collect();
         let mut stream = UpdateStream::new(n, &init, 23);
         for _ in 0..40 {
             let b = stream.next_batch(3, 3);

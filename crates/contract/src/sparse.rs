@@ -72,7 +72,9 @@ impl SparseSpanner {
             }
             let upstairs: Vec<Edge> = active[i + 1].edges();
             for e_up in upstairs {
-                let rep = levels[i].rep_of(e_up).expect("active contracted edge has a rep");
+                let rep = levels[i]
+                    .rep_of(e_up)
+                    .expect("active contracted edge has a rep");
                 active[i].add(rep);
                 counted_rep[i].insert(e_up, rep);
             }
@@ -80,7 +82,13 @@ impl SparseSpanner {
         for a in &mut active {
             let _ = a.take_delta();
         }
-        Self { n, levels, top, active, counted_rep }
+        Self {
+            n,
+            levels,
+            top,
+            active,
+            counted_rep,
+        }
     }
 
     pub fn n(&self) -> usize {

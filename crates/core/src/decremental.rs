@@ -19,7 +19,7 @@
 //! `InterCluster[(v, c)]` (§3.3).
 
 use crate::spanner_set::SpannerSet;
-use bds_dstruct::{FxHashMap, FxHashSet, PriorityList};
+use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet, PriorityList};
 use bds_estree::ShiftedGraph;
 use bds_graph::types::{Edge, SpannerDelta, V};
 use rayon::prelude::*;
@@ -53,7 +53,7 @@ pub struct DecrementalSpanner {
     parent_prio: Vec<u64>,
     ins: Vec<PriorityList<InEntry>>,
     /// directed edge (u → v) -> current priority inside ins[v]
-    prio_of: FxHashMap<(V, V), u64>,
+    prio_of: EdgeTable,
     // --- clustering state (original vertices only) ---
     cluster: Vec<V>,
     adj: Vec<FxHashSet<V>>,
@@ -145,7 +145,7 @@ impl DecrementalSpanner {
             for &w in &adj[v as usize] {
                 if dist[w as usize] == dv - 1 {
                     let key = sg.cluster_priority(cluster[w as usize], w);
-                    if best.map_or(true, |(bk, _, _)| key > bk) {
+                    if best.is_none_or(|(bk, _, _)| key > bk) {
                         best = Some((key, w, cluster[w as usize]));
                     }
                 }
@@ -156,26 +156,28 @@ impl DecrementalSpanner {
             cluster[v as usize] = center;
         }
 
-        // Pass 2: build prioritized in-lists and the priority index.
-        let mut prio_of = FxHashMap::default();
+        // Pass 2: build prioritized in-lists and the priority index (a
+        // flat packed-key table sized for every directed entry up front).
+        let m2: usize = adj.iter().map(FxHashSet::len).sum();
+        let mut prio_of = EdgeTable::with_capacity(m2 + n + t as usize);
         let mut ins: Vec<PriorityList<InEntry>> = (0..total)
             .map(|v| PriorityList::new(0x5bd1_e995 ^ (v as u64) << 1))
             .collect();
         for i in 0..t.saturating_sub(1) {
             let (a, b) = (sg.p_node(i), sg.p_node(i + 1));
             ins[b as usize].insert(u64::MAX, InEntry { src: a });
-            prio_of.insert((a, b), u64::MAX);
+            prio_of.insert(a, b, u64::MAX);
         }
         for v in 0..n as V {
             let p = sg.p_node(t - 1 - sg.d[v as usize]);
             let key = sg.self_priority(v);
             ins[v as usize].insert(key, InEntry { src: p });
-            prio_of.insert((p, v), key);
+            prio_of.insert(p, v, key);
             for &w in &adj[v as usize] {
                 // entry (w → v) keyed by w's cluster
                 let key = sg.cluster_priority(cluster[w as usize], w);
                 ins[v as usize].insert(key, InEntry { src: w });
-                prio_of.insert((w, v), key);
+                prio_of.insert(w, v, key);
             }
         }
 
@@ -199,8 +201,14 @@ impl DecrementalSpanner {
 
         // Buckets + initial spanner.
         for e in edges {
-            this.buckets.entry((e.u, this.cluster[e.v as usize])).or_default().insert(e.v);
-            this.buckets.entry((e.v, this.cluster[e.u as usize])).or_default().insert(e.u);
+            this.buckets
+                .entry((e.u, this.cluster[e.v as usize]))
+                .or_default()
+                .insert(e.v);
+            this.buckets
+                .entry((e.v, this.cluster[e.u as usize]))
+                .or_default()
+                .insert(e.u);
         }
         for v in 0..n as V {
             let p = this.parent[v as usize];
@@ -314,7 +322,10 @@ impl DecrementalSpanner {
 
         // ---- Phase 0: remove edges from every structure. ----
         for &e in batch {
-            assert!(self.adj[e.u as usize].remove(&e.v), "delete of absent {e:?}");
+            assert!(
+                self.adj[e.u as usize].remove(&e.v),
+                "delete of absent {e:?}"
+            );
             self.adj[e.v as usize].remove(&e.u);
             self.bucket_edit((e.u, self.cluster[e.v as usize]), |b| {
                 b.remove(&e.v);
@@ -323,7 +334,7 @@ impl DecrementalSpanner {
                 b.remove(&e.u);
             });
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
-                let p = self.prio_of.remove(&(a, b)).expect("directed edge present");
+                let p = self.prio_of.remove(a, b).expect("directed edge present");
                 if self.parent[b as usize] == a && self.parent_prio[b as usize] == p {
                     // b lost its parent edge: seed a rescan at its level.
                     // The ceiling (dead entry's priority) is resolved to a
@@ -384,11 +395,7 @@ impl DecrementalSpanner {
                             let resume = ins[v as usize].bound_rank(ceil);
                             let mut w = 0u64;
                             let hit = ins[v as usize]
-                                .next_with(
-                                    resume,
-                                    |_, rec| dist[rec.src as usize] == want,
-                                    &mut w,
-                                )
+                                .next_with(resume, |_, rec| dist[rec.src as usize] == want, &mut w)
                                 .map(|(_, p, rec)| (p, rec.src));
                             (v, hit)
                         })
@@ -476,7 +483,11 @@ impl DecrementalSpanner {
                 self.mark[v as usize] = epoch;
                 let par = self.parent[v as usize];
                 debug_assert_ne!(par, NO_VERTEX);
-                let new_c = if self.sg.is_p(par) { v } else { self.cluster[par as usize] };
+                let new_c = if self.sg.is_p(par) {
+                    v
+                } else {
+                    self.cluster[par as usize]
+                };
                 let old_c = self.cluster[v as usize];
                 if new_c == old_c {
                     continue;
@@ -511,13 +522,13 @@ impl DecrementalSpanner {
                 b.insert(v);
             });
             // Re-key the entry (v → w) in In(w).
-            let old_p = self.prio_of[&(v, w)];
+            let old_p = self.prio_of.get(v, w).expect("directed edge present");
             let new_p = self.sg.cluster_priority(new_c, v);
             if old_p == new_p {
                 continue;
             }
             assert!(self.ins[w as usize].update_priority(old_p, new_p));
-            self.prio_of.insert((v, w), new_p);
+            self.prio_of.insert(v, w, new_p);
             let dw = self.dist[w as usize];
             if self.parent[w as usize] == v && self.parent_prio[w as usize] == old_p {
                 // Keep the recorded priority in sync with the moved entry
@@ -633,7 +644,7 @@ impl DecrementalSpanner {
             assert_eq!(fp, self.parent_prio[v as usize]);
         }
         // Priority keys match current clusters.
-        for (&(u, vtx), &p) in &self.prio_of {
+        for (u, vtx, p) in self.prio_of.iter() {
             if self.sg.is_p(u) {
                 continue;
             }
@@ -646,8 +657,14 @@ impl DecrementalSpanner {
         // Buckets match adjacency × clusters.
         let mut want_buckets: FxHashMap<(V, V), BTreeSet<V>> = FxHashMap::default();
         for e in &edges {
-            want_buckets.entry((e.u, self.cluster[e.v as usize])).or_default().insert(e.v);
-            want_buckets.entry((e.v, self.cluster[e.u as usize])).or_default().insert(e.u);
+            want_buckets
+                .entry((e.u, self.cluster[e.v as usize]))
+                .or_default()
+                .insert(e.v);
+            want_buckets
+                .entry((e.v, self.cluster[e.u as usize]))
+                .or_default()
+                .insert(e.u);
         }
         assert_eq!(self.buckets, want_buckets, "bucket state diverged");
         // Spanner contents = forest + selected representatives.

@@ -20,7 +20,7 @@ use bds_graph::types::{Edge, SpannerDelta, UpdateBatch};
 /// Slots ≥ 1 hold decremental instances; E₀ is the unstructured buffer.
 enum Slot {
     Empty,
-    Instance(DecrementalSpanner),
+    Instance(Box<DecrementalSpanner>),
 }
 
 /// Fully-dynamic (2k−1)-spanner (Theorem 1.1).
@@ -72,7 +72,10 @@ impl FullyDynamicSpanner {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(1);
         self.seed
     }
 
@@ -94,7 +97,10 @@ impl FullyDynamicSpanner {
             self.slots.push(Slot::Empty);
         }
         debug_assert!(self.slot_is_empty(j), "slot {j} not empty");
-        assert!(edges.len() as u64 <= self.capacity(j), "invariant B1 violated");
+        assert!(
+            edges.len() as u64 <= self.capacity(j),
+            "invariant B1 violated"
+        );
         self.rebuilds += 1;
         let seed = self.next_seed();
         let inst = DecrementalSpanner::new(self.n, self.k, &edges, seed);
@@ -104,7 +110,7 @@ impl FullyDynamicSpanner {
         for e in edges {
             self.index.insert(e, j);
         }
-        self.slots[j as usize - 1] = Slot::Instance(inst);
+        self.slots[j as usize - 1] = Slot::Instance(Box::new(inst));
     }
 
     /// Tear down slot `j`, removing its spanner contribution; returns its
@@ -264,7 +270,10 @@ impl FullyDynamicSpanner {
         for (i, slot) in self.slots.iter().enumerate() {
             if let Slot::Instance(d) = slot {
                 let m = d.num_live_edges();
-                assert!(m as u64 <= self.capacity(i as u32 + 1), "B1 violated at {i}");
+                assert!(
+                    m as u64 <= self.capacity(i as u32 + 1),
+                    "B1 violated at {i}"
+                );
                 total += m;
                 d.validate();
                 for e in d.live_edges() {

@@ -8,14 +8,16 @@
 //! per-batch netting (an edge that bounces within one batch reports
 //! nothing).
 
-use bds_dstruct::FxHashMap;
+use bds_dstruct::EdgeTable;
 use bds_graph::types::{Edge, SpannerDelta};
 
 #[derive(Debug, Default)]
 pub struct SpannerSet {
-    count: FxHashMap<Edge, u32>,
-    /// Presence at the start of the current batch, recorded on first touch.
-    baseline: FxHashMap<Edge, bool>,
+    /// Canonical edge -> refcount (packed-key flat table; counts > 0).
+    count: EdgeTable,
+    /// Presence at the start of the current batch (0/1), recorded on
+    /// first touch.
+    baseline: EdgeTable,
 }
 
 impl SpannerSet {
@@ -25,29 +27,36 @@ impl SpannerSet {
 
     #[inline]
     fn touch(&mut self, e: Edge) {
-        let present = self.count.get(&e).copied().unwrap_or(0) > 0;
-        self.baseline.entry(e).or_insert(present);
+        if self.baseline.get(e.u, e.v).is_none() {
+            let present = self.count.contains(e.u, e.v);
+            self.baseline.insert(e.u, e.v, present as u64);
+        }
     }
 
     /// Add one reason for `e` to be in the spanner.
     pub fn add(&mut self, e: Edge) {
         self.touch(e);
-        *self.count.entry(e).or_insert(0) += 1;
+        let c = self.count.get(e.u, e.v).unwrap_or(0);
+        self.count.insert(e.u, e.v, c + 1);
     }
 
     /// Remove one reason. Panics if the count is already zero.
     pub fn remove(&mut self, e: Edge) {
         self.touch(e);
-        let c = self.count.get_mut(&e).unwrap_or_else(|| panic!("remove of uncounted {e:?}"));
-        assert!(*c > 0, "refcount underflow for {e:?}");
-        *c -= 1;
-        if *c == 0 {
-            self.count.remove(&e);
+        let c = self
+            .count
+            .get(e.u, e.v)
+            .unwrap_or_else(|| panic!("remove of uncounted {e:?}"));
+        debug_assert!(c > 0, "refcount underflow for {e:?}");
+        if c == 1 {
+            self.count.remove(e.u, e.v);
+        } else {
+            self.count.insert(e.u, e.v, c - 1);
         }
     }
 
     pub fn contains(&self, e: Edge) -> bool {
-        self.count.get(&e).copied().unwrap_or(0) > 0
+        self.count.contains(e.u, e.v)
     }
 
     /// Number of distinct spanner edges.
@@ -60,15 +69,16 @@ impl SpannerSet {
     }
 
     pub fn edges(&self) -> Vec<Edge> {
-        self.count.keys().copied().collect()
+        self.count.iter().map(|(u, v, _)| Edge { u, v }).collect()
     }
 
     /// Net membership changes since the last call (or construction).
     pub fn take_delta(&mut self) -> SpannerDelta {
         let mut delta = SpannerDelta::default();
-        for (e, was) in self.baseline.drain() {
-            let now = self.count.get(&e).copied().unwrap_or(0) > 0;
-            match (was, now) {
+        for (u, v, was) in self.baseline.drain() {
+            let e = Edge { u, v };
+            let now = self.count.contains(u, v);
+            match (was != 0, now) {
                 (false, true) => delta.inserted.push(e),
                 (true, false) => delta.deleted.push(e),
                 _ => {}

@@ -1,0 +1,790 @@
+//! A flat, open-addressed table keyed by *packed* directed edges — the
+//! [GMV91]-style batch-parallel hash table the paper's preliminaries
+//! assume, specialized to this codebase's dominant access pattern:
+//! `(u, v) → u64` lookups on the hot paths of every dynamic structure.
+//!
+//! Design:
+//! * **Packed keys.** An edge `(u, v)` with `u, v < 2³²` becomes the
+//!   single word `(u << 32) | v` ([`pack`]). One `mix64` of that word
+//!   replaces the two-field tuple hashing a `FxHashMap<(V, V), _>` pays,
+//!   and key comparison is one integer compare.
+//! * **Linear probing over interleaved 16-byte slots** (power-of-two
+//!   capacity, rebuild-on-⅝-load), plus a **1-byte tag array**: each
+//!   occupied slot publishes 7 independent hash bits. Probes scan the
+//!   tag array — 16× denser than the slots, so it stays cache-resident
+//!   — and touch a slot only on a tag match; absent keys usually
+//!   resolve without touching the slot array at all.
+//! * **Tombstone removals, tombstone-free rebuilds.** A removal plants
+//!   an O(1) tombstone (keeping the delete-heavy decremental hot paths
+//!   cheap); tombstones count against the probe-chain load, and the
+//!   load-factor rebuild drops them all wholesale, so chains stay
+//!   bounded under any churn pattern.
+//! * **Batch construction / batch ops with group prefetching.**
+//!   [`EdgeTable::from_batch`] sorts with `bds_par` and scatters in
+//!   parallel with CAS claims; [`EdgeTable::insert_batch`] scatters into
+//!   pre-grown storage without sorting; [`EdgeTable::get_batch`]
+//!   pipelines hash → prefetch → probe over blocks so independent slot
+//!   fetches overlap instead of serializing on memory latency. All
+//!   parallel paths fall back to tight sequential loops below
+//!   [`GRAIN`], so small batches keep their constant factors.
+//!
+//! The value type is `u64`; callers store priorities, random keys, slot
+//! indices, refcounts, or `f64::to_bits` weights in it directly.
+
+use bds_par::GRAIN;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::fx::mix64;
+
+/// Key sentinel for an empty slot. Unreachable as a real key: it would
+/// require `u = v = u32::MAX`, and `u32::MAX` is every caller's
+/// `NO_VERTEX` sentinel (graphs are over `0..n` with `n < u32::MAX`).
+const EMPTY: u64 = u64::MAX;
+
+/// Key sentinel for a tombstoned slot (requires `u = u32::MAX` too, so
+/// equally unreachable). Probes continue past it; rebuilds drop it.
+const TOMB_KEY: u64 = u64::MAX - 1;
+
+/// Tag of a never-used slot; occupied slots carry `0x80 | top-7-bits`.
+const TAG_FREE: u8 = 0;
+
+/// Tag of a deleted slot (probes continue past it; rebuilds drop it).
+const TAG_TOMB: u8 = 1;
+
+/// Queries per group-prefetch pipeline block in the batch operations.
+const PREFETCH_DEPTH: usize = 16;
+
+/// Tag-first probing adds an extra array indirection that only pays off
+/// once the slot array decisively exceeds the fast caches (misses then
+/// resolve in the dense, cache-resident tag array without touching the
+/// slots). Below this many slots, probes walk the slots directly.
+const TAG_PROBE_MIN_SLOTS: usize = 1 << 20;
+
+/// Pack a directed vertex pair into its `u64` key.
+#[inline]
+pub fn pack(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+/// Inverse of [`pack`].
+#[inline]
+pub fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// One 16-byte table slot: packed key + value, cache-line interleaved.
+#[derive(Clone, Copy)]
+#[repr(C)]
+struct Slot {
+    key: u64,
+    val: u64,
+}
+
+const FREE: Slot = Slot { key: EMPTY, val: 0 };
+
+/// Flat open-addressed `(u, v) → u64` table with packed keys.
+#[derive(Clone, Default)]
+pub struct EdgeTable {
+    /// Power-of-two slot array (empty vec when unallocated).
+    slots: Vec<Slot>,
+    /// Per-slot byte: `TAG_FREE`, `TAG_TOMB`, or `0x80 | 7 hash bits`.
+    tags: Vec<u8>,
+    /// `capacity − 1` (0 when unallocated).
+    mask: usize,
+    len: usize,
+    /// Tombstoned slots awaiting the next rebuild.
+    dead: usize,
+}
+
+impl std::fmt::Debug for EdgeTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeTable")
+            .field("len", &self.len)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+/// Home slot (low bits) and tag (top 7 bits, marked occupied) of a key.
+#[inline(always)]
+fn hash_pair(key: u64, mask: usize) -> (usize, u8) {
+    let h = mix64(key);
+    (h as usize & mask, 0x80 | (h >> 57) as u8)
+}
+
+/// Smallest power-of-two capacity that keeps `len` entries under ⅝ load.
+fn capacity_for(len: usize) -> usize {
+    let target = len * 8 / 5 + 1;
+    target.next_power_of_two().max(16)
+}
+
+impl EdgeTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table pre-sized for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        if n == 0 {
+            return Self::default();
+        }
+        let cap = capacity_for(n);
+        Self {
+            slots: vec![FREE; cap],
+            tags: vec![TAG_FREE; cap],
+            mask: cap - 1,
+            len: 0,
+            dead: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots currently allocated.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.slots.fill(FREE);
+        self.tags.fill(TAG_FREE);
+        self.len = 0;
+        self.dead = 0;
+    }
+
+    /// Read slot `i`. SAFETY-invariant: probe indices are produced as
+    /// `h & mask` with `mask == slots.len() - 1`, so `i` is in bounds.
+    #[inline(always)]
+    fn slot(&self, i: usize) -> Slot {
+        debug_assert!(i < self.slots.len());
+        unsafe { *self.slots.get_unchecked(i) }
+    }
+
+    #[inline(always)]
+    fn slot_mut(&mut self, i: usize) -> &mut Slot {
+        debug_assert!(i < self.slots.len());
+        unsafe { self.slots.get_unchecked_mut(i) }
+    }
+
+    #[inline(always)]
+    fn tag(&self, i: usize) -> u8 {
+        debug_assert!(i < self.tags.len());
+        unsafe { *self.tags.get_unchecked(i) }
+    }
+
+    #[inline(always)]
+    fn set_tag(&mut self, i: usize, t: u8) {
+        debug_assert!(i < self.tags.len());
+        unsafe { *self.tags.get_unchecked_mut(i) = t }
+    }
+
+    /// Hint the cache that slot `i` is about to be probed. Batch ops
+    /// pipeline hash → prefetch → probe over [`PREFETCH_DEPTH`]-blocks
+    /// so independent slot fetches overlap instead of serializing on
+    /// memory latency ("group prefetching").
+    #[inline(always)]
+    fn prefetch_slot(&self, i: usize) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.slots.as_ptr().add(i) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = i;
+    }
+
+    /// Probe for `key` with tag `tag` from its home slot `i`,
+    /// dispatching on table size: small tables walk the slots directly
+    /// (one array, one touch per probe); large tables scan the dense
+    /// tag array and touch a slot only on a 7-bit tag match, so misses
+    /// usually never reach the big array.
+    #[inline(always)]
+    fn probe_from(&self, i: usize, key: u64, tag: u8) -> Option<u64> {
+        if self.slots.len() >= TAG_PROBE_MIN_SLOTS {
+            self.probe_tags(i, key, tag)
+        } else {
+            self.probe_slots(i, key)
+        }
+    }
+
+    #[inline(always)]
+    fn probe_slots(&self, mut i: usize, key: u64) -> Option<u64> {
+        let mask = self.mask;
+        loop {
+            let s = self.slot(i);
+            if s.key == key {
+                return Some(s.val);
+            }
+            if s.key == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline(always)]
+    fn probe_tags(&self, mut i: usize, key: u64, tag: u8) -> Option<u64> {
+        let mask = self.mask;
+        loop {
+            let t = self.tag(i);
+            if t == tag {
+                let s = self.slot(i);
+                if s.key == key {
+                    return Some(s.val);
+                }
+            } else if t == TAG_FREE {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// First free slot at or after `i` (tag scan).
+    #[inline(always)]
+    fn free_from(&self, mut i: usize) -> usize {
+        let mask = self.mask;
+        while self.tag(i) != TAG_FREE {
+            i = (i + 1) & mask;
+        }
+        i
+    }
+
+    /// Bulk-build from `(u, v, value)` entries: `bds_par` sort (which
+    /// groups equal keys for the duplicate check) followed by a parallel
+    /// CAS scatter into exactly-sized storage. Keys must be distinct;
+    /// duplicates panic (callers deduplicate first — see
+    /// `EsTree::new`'s keep-highest-priority pass).
+    pub fn from_batch(entries: &[(u32, u32, u64)]) -> Self {
+        if entries.is_empty() {
+            return Self::default();
+        }
+        let mut packed: Vec<(u64, u64)> =
+            bds_par::par_map(entries, |&(u, v, val)| (pack(u, v), val));
+        bds_par::par_sort(&mut packed);
+        Self::from_sorted_batch(&packed)
+    }
+
+    /// Bulk-build from `(packed_key, value)` pairs already sorted by key
+    /// — the zero-copy path for callers that sorted the batch themselves
+    /// (e.g. to deduplicate or to reuse the ordering for adjacency
+    /// grouping). Keys must be distinct; duplicates panic.
+    pub fn from_sorted_batch(packed: &[(u64, u64)]) -> Self {
+        if packed.is_empty() {
+            return Self::default();
+        }
+        for w in packed.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate edge key {:?}", unpack(w[0].0));
+        }
+        let cap = capacity_for(packed.len());
+        let mut table = Self {
+            slots: vec![FREE; cap],
+            tags: vec![TAG_FREE; cap],
+            mask: cap - 1,
+            len: packed.len(),
+            dead: 0,
+        };
+        table.scatter(packed);
+        table
+    }
+
+    /// Scatter distinct, absent keys into free slots (parallel above
+    /// [`GRAIN`]). Callers guarantee the load factor stays below 1.
+    fn scatter(&mut self, packed: &[(u64, u64)]) {
+        let mask = self.mask;
+        if packed.len() < GRAIN || rayon::current_num_threads() <= 1 {
+            // Double-buffered write-flavored pipeline: hash + prefetch
+            // block k + 1 while block k's free-slot writes execute.
+            let mut buf_a = [(0u64, 0usize, 0u8, 0u64); PREFETCH_DEPTH];
+            let mut buf_b = [(0u64, 0usize, 0u8, 0u64); PREFETCH_DEPTH];
+            let (mut cur, mut nxt) = (&mut buf_a, &mut buf_b);
+            let stage =
+                |tbl: &Self,
+                 block: &[(u64, u64)],
+                 buf: &mut [(u64, usize, u8, u64); PREFETCH_DEPTH]| {
+                    for (j, &(key, val)) in block.iter().enumerate() {
+                        let (home, tag) = hash_pair(key, mask);
+                        buf[j] = (key, home, tag, val);
+                        tbl.prefetch_slot(home);
+                    }
+                };
+            let mut blocks = packed.chunks(PREFETCH_DEPTH);
+            let mut cur_block = blocks.next();
+            if let Some(b) = cur_block {
+                stage(self, b, cur);
+            }
+            while let Some(b) = cur_block {
+                let next_block = blocks.next();
+                if let Some(nb) = next_block {
+                    stage(self, nb, nxt);
+                }
+                for &(key, home, tag, val) in cur[..b.len()].iter() {
+                    let i = self.free_from(home);
+                    debug_assert_ne!(self.slot(i).key, key);
+                    *self.slot_mut(i) = Slot { key, val };
+                    self.set_tag(i, tag);
+                }
+                std::mem::swap(&mut cur, &mut nxt);
+                cur_block = next_block;
+            }
+            return;
+        }
+        let (words, tag_bytes) = atomic_view(&mut self.slots, &mut self.tags);
+        let chunk = packed
+            .len()
+            .div_ceil(rayon::current_num_threads() * 2)
+            .max(1);
+        packed.par_chunks(chunk).for_each(|c| {
+            for &(key, val) in c {
+                let (mut i, tag) = hash_pair(key, mask);
+                loop {
+                    // Slot i's key word sits at index 2i (repr(C) pairs).
+                    // Keys are authoritative during the scatter; tags are
+                    // published after the claim and only read afterwards.
+                    match words[2 * i].compare_exchange(
+                        EMPTY,
+                        key,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            words[2 * i + 1].store(val, Ordering::Relaxed);
+                            tag_bytes[i].store(tag, Ordering::Relaxed);
+                            break;
+                        }
+                        // Claimed by another key: step to the next slot.
+                        // (Keys are distinct, so it can never be ours.)
+                        Err(_) => i = (i + 1) & mask,
+                    }
+                }
+            }
+        });
+    }
+
+    #[inline]
+    pub fn get(&self, u: u32, v: u32) -> Option<u64> {
+        self.get_key(pack(u, v))
+    }
+
+    #[inline]
+    pub fn get_key(&self, key: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let (home, tag) = hash_pair(key, self.mask);
+        self.probe_from(home, key, tag)
+    }
+
+    #[inline]
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        self.get(u, v).is_some()
+    }
+
+    /// Insert or overwrite; returns the previous value if present.
+    #[inline]
+    pub fn insert(&mut self, u: u32, v: u32, val: u64) -> Option<u64> {
+        self.insert_key(pack(u, v), val)
+    }
+
+    pub fn insert_key(&mut self, key: u64, val: u64) -> Option<u64> {
+        debug_assert!(key < TOMB_KEY, "key sentinel inserted");
+        self.reserve(1);
+        let mask = self.mask;
+        let (mut i, tag) = hash_pair(key, mask);
+        // First tombstone on the probe path: reusable once the key is
+        // known absent (the probe must reach FREE before we can tell).
+        let mut tomb: Option<usize> = None;
+        loop {
+            let k = self.slot(i).key;
+            if k == key {
+                return Some(std::mem::replace(&mut self.slot_mut(i).val, val));
+            }
+            if k == TOMB_KEY && tomb.is_none() {
+                tomb = Some(i);
+            }
+            if k == EMPTY {
+                let dst = tomb.unwrap_or(i);
+                if dst != i {
+                    self.dead -= 1;
+                }
+                *self.slot_mut(dst) = Slot { key, val };
+                self.set_tag(dst, tag);
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Remove; returns the value if present. Deletion plants a cheap
+    /// tombstone; accumulated tombstones are dropped wholesale by the
+    /// next load-factor rebuild (see [`EdgeTable::reserve`]), keeping
+    /// the delete-heavy decremental hot paths O(1) per removal.
+    #[inline]
+    pub fn remove(&mut self, u: u32, v: u32) -> Option<u64> {
+        self.remove_key(pack(u, v))
+    }
+
+    pub fn remove_key(&mut self, key: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.mask;
+        let (mut i, _) = hash_pair(key, mask);
+        loop {
+            let k = self.slot(i).key;
+            if k == key {
+                break;
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+        let out = self.slot(i).val;
+        self.slot_mut(i).key = TOMB_KEY;
+        self.set_tag(i, TAG_TOMB);
+        self.len -= 1;
+        self.dead += 1;
+        // Keep probe chains bounded even under remove-only workloads.
+        if self.dead * 4 >= self.slots.len() {
+            self.rebuild(capacity_for(self.len));
+        }
+        Some(out)
+    }
+
+    /// Batch point lookups, in query order. Each worker pipelines its
+    /// queries in [`PREFETCH_DEPTH`]-blocks (hash + prefetch every home
+    /// slot, then probe), overlapping the cache misses that a pointwise
+    /// loop — or a tuple-keyed hash map — pays serially; the dense tag
+    /// array resolves most absent keys without touching the slots.
+    pub fn get_batch(&self, queries: &[(u32, u32)]) -> Vec<Option<u64>> {
+        if queries.len() < GRAIN || rayon::current_num_threads() <= 1 {
+            let mut out = Vec::with_capacity(queries.len());
+            self.get_pipelined(queries, &mut out);
+            return out;
+        }
+        let chunk = queries
+            .len()
+            .div_ceil(rayon::current_num_threads() * 2)
+            .max(1);
+        queries
+            .par_chunks(chunk)
+            .flat_map_iter(|c| {
+                let mut out = Vec::with_capacity(c.len());
+                self.get_pipelined(c, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Hash a query block into `buf` and prefetch every home slot.
+    #[inline(always)]
+    fn stage_block(&self, block: &[(u32, u32)], buf: &mut [(u64, usize, u8); PREFETCH_DEPTH]) {
+        let mask = self.mask;
+        for (j, &(u, v)) in block.iter().enumerate() {
+            let key = pack(u, v);
+            let (home, tag) = hash_pair(key, mask);
+            buf[j] = (key, home, tag);
+            self.prefetch_slot(home);
+        }
+    }
+
+    fn get_pipelined(&self, queries: &[(u32, u32)], out: &mut Vec<Option<u64>>) {
+        if self.len == 0 {
+            out.extend(queries.iter().map(|_| None));
+            return;
+        }
+        // Double-buffered software pipeline: block k + 1 is hashed and
+        // prefetched while block k's probes execute, so every prefetch
+        // gets a full block of latency headroom before its demand load.
+        let mut buf_a = [(0u64, 0usize, 0u8); PREFETCH_DEPTH];
+        let mut buf_b = [(0u64, 0usize, 0u8); PREFETCH_DEPTH];
+        let (mut cur, mut nxt) = (&mut buf_a, &mut buf_b);
+        let mut blocks = queries.chunks(PREFETCH_DEPTH);
+        let mut cur_block = blocks.next();
+        if let Some(b) = cur_block {
+            self.stage_block(b, cur);
+        }
+        while let Some(b) = cur_block {
+            let next_block = blocks.next();
+            if let Some(nb) = next_block {
+                self.stage_block(nb, nxt);
+            }
+            for &(key, home, tag) in &cur[..b.len()] {
+                out.push(self.probe_from(home, key, tag));
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            cur_block = next_block;
+        }
+    }
+
+    /// Batch insert with distinct, absent keys: pre-grows once, then
+    /// scatters without sorting (parallel above [`GRAIN`]). Returns the
+    /// number of entries inserted. Panics (debug) on present keys —
+    /// use [`EdgeTable::insert`] for overwrite semantics.
+    pub fn insert_batch(&mut self, entries: &[(u32, u32, u64)]) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        self.reserve(entries.len());
+        if self.dead > 0 {
+            // Purge tombstones so the scatter sees only never-used slots
+            // (keeps the parallel CAS path's accounting exact).
+            self.rebuild(self.slots.len());
+        }
+        if cfg!(debug_assertions) {
+            let mut keys: Vec<u64> = entries.iter().map(|&(u, v, _)| pack(u, v)).collect();
+            keys.sort_unstable();
+            debug_assert!(
+                keys.windows(2).all(|w| w[0] != w[1]),
+                "insert_batch with duplicate keys in the batch"
+            );
+            for &(u, v, _) in entries {
+                debug_assert!(self.get(u, v).is_none(), "insert_batch of present key");
+            }
+        }
+        let packed: Vec<(u64, u64)> = bds_par::par_map(entries, |&(u, v, val)| (pack(u, v), val));
+        self.scatter(&packed);
+        self.len += entries.len();
+        entries.len()
+    }
+
+    /// Batch remove (sequential; each removal is an O(1) tombstone, and
+    /// rebuilds amortize across the batch). Returns the number of keys
+    /// actually removed.
+    pub fn remove_batch(&mut self, queries: &[(u32, u32)]) -> usize {
+        let mut removed = 0;
+        for &(u, v) in queries {
+            removed += usize::from(self.remove(u, v).is_some());
+        }
+        removed
+    }
+
+    /// Live entries as `(u, v, value)`, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.slots.iter().filter(|s| s.key < TOMB_KEY).map(|s| {
+            let (u, v) = unpack(s.key);
+            (u, v, s.val)
+        })
+    }
+
+    /// Drain every live entry, leaving the table empty (capacity kept).
+    pub fn drain(&mut self) -> Vec<(u32, u32, u64)> {
+        let out: Vec<(u32, u32, u64)> = self.iter().collect();
+        self.clear();
+        out
+    }
+
+    /// Ensure ⅝-load headroom (live entries *and* tombstones count
+    /// against the probe-chain load) for `extra` more entries; past the
+    /// threshold the table rebuilds tombstone-free, growing if the live
+    /// load alone demands it.
+    pub fn reserve(&mut self, extra: usize) {
+        let need = self.len + extra;
+        if self.slots.is_empty() || (need + self.dead) * 8 >= self.slots.len() * 5 {
+            self.rebuild(capacity_for(need));
+        }
+    }
+
+    /// Rehash every live entry into fresh storage of `new_cap.max(cap)`
+    /// slots, dropping all tombstones.
+    fn rebuild(&mut self, new_cap: usize) {
+        let new_cap = new_cap.max(self.slots.len());
+        let old = std::mem::replace(&mut self.slots, vec![FREE; new_cap]);
+        self.tags = vec![TAG_FREE; new_cap];
+        self.mask = new_cap - 1;
+        self.dead = 0;
+        let mask = self.mask;
+        for s in old {
+            if s.key >= TOMB_KEY {
+                continue;
+            }
+            let (home, tag) = hash_pair(s.key, mask);
+            let i = self.free_from(home);
+            *self.slot_mut(i) = s;
+            self.set_tag(i, tag);
+        }
+    }
+}
+
+/// View the slot array as a flat `AtomicU64` word array (key of slot `i`
+/// at word `2i`, value at `2i + 1`) and the tag array as `AtomicU8`s,
+/// for the CAS scatter.
+///
+/// SAFETY: `Slot` is `repr(C)` — two naturally aligned `u64` words — and
+/// the atomic types have their primitives' size, alignment, and
+/// compatible in-memory representation; the exclusive borrows rule out
+/// concurrent non-atomic access.
+fn atomic_view<'a>(slots: &'a mut [Slot], tags: &'a mut [u8]) -> (&'a [AtomicU64], &'a [AtomicU8]) {
+    unsafe {
+        (
+            std::slice::from_raw_parts(slots.as_ptr() as *const AtomicU64, slots.len() * 2),
+            std::slice::from_raw_parts(tags.as_ptr() as *const AtomicU8, tags.len()),
+        )
+    }
+}
+
+impl FromIterator<(u32, u32, u64)> for EdgeTable {
+    fn from_iter<I: IntoIterator<Item = (u32, u32, u64)>>(iter: I) -> Self {
+        let entries: Vec<(u32, u32, u64)> = iter.into_iter().collect();
+        Self::from_batch(&entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (u, v) in [(0, 0), (1, 2), (u32::MAX - 1, 3), (7, u32::MAX - 1)] {
+            assert_eq!(unpack(pack(u, v)), (u, v));
+        }
+        assert_ne!(pack(1, 2), pack(2, 1), "packed keys are directed");
+    }
+
+    #[test]
+    fn point_ops_roundtrip() {
+        let mut t = EdgeTable::new();
+        assert_eq!(t.get(1, 2), None);
+        assert_eq!(t.insert(1, 2, 10), None);
+        assert_eq!(t.insert(2, 1, 20), None);
+        assert_eq!(t.insert(1, 2, 11), Some(10));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1, 2), Some(11));
+        assert_eq!(t.get(2, 1), Some(20));
+        assert_eq!(t.remove(1, 2), Some(11));
+        assert_eq!(t.remove(1, 2), None);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(2, 1));
+    }
+
+    #[test]
+    fn growth_keeps_entries() {
+        let mut t = EdgeTable::new();
+        for i in 0..10_000u32 {
+            assert_eq!(t.insert(i, i + 1, i as u64), None);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.capacity().is_power_of_two());
+        assert!(t.len() * 8 < t.capacity() * 5, "load factor bound");
+        for i in 0..10_000u32 {
+            assert_eq!(t.get(i, i + 1), Some(i as u64), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn removals_preserve_probe_chains() {
+        // Dense consecutive keys force long probe clusters; deleting
+        // from cluster middles must keep every survivor reachable
+        // (probes continue past tombstones).
+        let mut t = EdgeTable::with_capacity(64);
+        for i in 0..40u32 {
+            t.insert(i, i, (i as u64) << 8);
+        }
+        for i in (0..40u32).step_by(3) {
+            assert_eq!(t.remove(i, i), Some((i as u64) << 8));
+        }
+        for i in 0..40u32 {
+            let want = (i % 3 != 0).then_some((i as u64) << 8);
+            assert_eq!(t.get(i, i), want, "key {i}");
+        }
+    }
+
+    #[test]
+    fn churn_reuses_tombstones_and_rebuilds() {
+        // Steady-state insert/remove churn must not grow the table
+        // unboundedly: tombstones are reused by inserts and purged by
+        // load-factor rebuilds.
+        let mut t = EdgeTable::new();
+        for i in 0..1_000u32 {
+            t.insert(i, i + 1, i as u64);
+        }
+        let cap_before = t.capacity();
+        for round in 0..50u32 {
+            for i in 0..1_000u32 {
+                assert_eq!(t.remove(i, i + 1), Some((i + round * 1000) as u64));
+            }
+            for i in 0..1_000u32 {
+                t.insert(i, i + 1, (i + (round + 1) * 1000) as u64);
+            }
+            assert_eq!(t.len(), 1_000);
+        }
+        assert!(
+            t.capacity() <= cap_before * 4,
+            "churn grew the table {} -> {}",
+            cap_before,
+            t.capacity()
+        );
+    }
+
+    #[test]
+    fn from_batch_matches_point_inserts() {
+        let entries: Vec<(u32, u32, u64)> = (0..50_000u32)
+            .map(|i| (i * 7, i * 7 + 1, i as u64 * 3))
+            .collect();
+        let t = EdgeTable::from_batch(&entries);
+        assert_eq!(t.len(), entries.len());
+        for &(u, v, val) in &entries {
+            assert_eq!(t.get(u, v), Some(val));
+        }
+        assert_eq!(t.get(3, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge key")]
+    fn from_batch_rejects_duplicates() {
+        let _ = EdgeTable::from_batch(&[(1, 2, 5), (1, 2, 6)]);
+    }
+
+    #[test]
+    fn batch_ops_roundtrip() {
+        let mut t = EdgeTable::new();
+        let ins: Vec<(u32, u32, u64)> = (0..5_000u32).map(|i| (i, i + 9, i as u64)).collect();
+        assert_eq!(t.insert_batch(&ins), ins.len());
+        let queries: Vec<(u32, u32)> = (0..6_000u32).map(|i| (i, i + 9)).collect();
+        let got = t.get_batch(&queries);
+        for (i, g) in got.iter().enumerate() {
+            let want = (i < 5_000).then_some(i as u64);
+            assert_eq!(*g, want);
+        }
+        let dels: Vec<(u32, u32)> = (0..2_500u32).map(|i| (i * 2, i * 2 + 9)).collect();
+        assert_eq!(t.remove_batch(&dels), 2_500);
+        assert_eq!(t.len(), 2_500);
+        for i in 0..5_000u32 {
+            assert_eq!(t.get(i, i + 9).is_some(), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn iter_and_drain_cover_entries() {
+        let mut t = EdgeTable::new();
+        for i in 0..100u32 {
+            t.insert(i, 1000 - i, i as u64);
+        }
+        let mut seen: Vec<(u32, u32, u64)> = t.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 100);
+        assert!(seen
+            .iter()
+            .all(|&(u, v, val)| v == 1000 - u && val == u as u64));
+        let drained = t.drain();
+        assert_eq!(drained.len(), 100);
+        assert!(t.is_empty());
+        assert_eq!(t.get(5, 995), None);
+    }
+
+    #[test]
+    fn f64_values_via_bits() {
+        let mut t = EdgeTable::new();
+        t.insert(3, 4, 6.25f64.to_bits());
+        assert_eq!(f64::from_bits(t.get(3, 4).unwrap()), 6.25);
+    }
+}

@@ -487,7 +487,10 @@ mod tests {
             // Only vertices ever touched by the forest have vnodes; for an
             // untouched vertex, tree_size() lazily creates a singleton.
             let ts = f.tree_size(u);
-            assert!(ts == comp || (ts == 1 && comp == 1), "size mismatch {ts} vs {comp}");
+            assert!(
+                ts == comp || (ts == 1 && comp == 1),
+                "size mismatch {ts} vs {comp}"
+            );
         }
     }
 

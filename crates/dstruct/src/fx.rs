@@ -95,18 +95,18 @@ mod tests {
         for i in 0..1000u64 {
             s.insert(mix64(i));
         }
-        assert_eq!(s.len(), 1000, "mix64 should be collision-free on small ranges");
+        assert_eq!(
+            s.len(),
+            1000,
+            "mix64 should be collision-free on small ranges"
+        );
     }
 
     #[test]
     fn hasher_distinguishes_field_order() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = FxBuildHasher::default();
-        let h = |x: (u32, u32)| {
-            let mut hasher = bh.build_hasher();
-            x.hash(&mut hasher);
-            hasher.finish()
-        };
+        let h = |x: (u32, u32)| bh.hash_one(x);
         assert_ne!(h((1, 2)), h((2, 1)));
     }
 

@@ -49,7 +49,9 @@ pub struct DynamicForest {
 impl DynamicForest {
     pub fn new(n: usize) -> Self {
         let lmax = (usize::BITS - n.max(2).leading_zeros()) as usize; // ⌊log2 n⌋ + 1
-        let levels = (0..=lmax).map(|i| EulerForest::new(0x9e37 + i as u64)).collect();
+        let levels = (0..=lmax)
+            .map(|i| EulerForest::new(0x9e37 + i as u64))
+            .collect();
         Self {
             n,
             lmax,
@@ -312,7 +314,10 @@ mod tests {
         let n = 40u32;
         let mut rng = StdRng::seed_from_u64(2024);
         let mut f = DynamicForest::new(n as usize);
-        let mut oracle = Oracle { edges: FxHashSet::default(), n };
+        let mut oracle = Oracle {
+            edges: FxHashSet::default(),
+            n,
+        };
         let mut live: Vec<(u32, u32)> = Vec::new();
         for step in 0..1500 {
             if !live.is_empty() && rng.gen_bool(0.45) {

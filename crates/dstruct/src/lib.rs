@@ -10,13 +10,22 @@
 //! * [`euler`] + [`hdt`] — Euler-tour trees and the Holm–de
 //!   Lichtenberg–Thorup dynamic spanning forest, our substitute for the
 //!   [AABD19] parallel batch-dynamic connectivity used by Theorem 1.4.
+//! * [`edge_table`] — the flat batch-parallel edge table ([GMV91]-style)
+//!   behind every `(u, v) → u64` hot path: packed single-word keys,
+//!   power-of-two linear probing, O(1) tombstone removals purged by
+//!   tombstone-free rebuild-on-⅝-load, and `bds_par`-parallel batch
+//!   construction / lookup. Replaces the tuple-keyed `FxHashMap`s the
+//!   seed used in `EsTree`, `DecrementalSpanner`, `SpannerSet`,
+//!   `ContractLevel`, `DynamicGraph`, and the sparsifier layers.
 
+pub mod edge_table;
 pub mod euler;
 pub mod fx;
 pub mod hdt;
 pub mod priority_list;
 pub mod treap;
 
+pub use edge_table::EdgeTable;
 pub use fx::{FxHashMap, FxHashSet};
 pub use hdt::{DynamicForest, ForestDelta};
 pub use priority_list::PriorityList;

@@ -38,7 +38,9 @@ fn dec(k: u64) -> u64 {
 
 impl<V> PriorityList<V> {
     pub fn new(seed: u64) -> Self {
-        Self { inner: Treap::new(seed) }
+        Self {
+            inner: Treap::new(seed),
+        }
     }
 
     /// `Initialize`: bulk-build from `(priority, value)` pairs.
@@ -105,7 +107,12 @@ impl<V> PriorityList<V> {
     /// (number of entries with *larger* priority).
     pub fn find(&self, priority: u64) -> Option<(usize, &V)> {
         let rank = self.inner.rank_of(&enc(priority))?;
-        Some((rank, self.inner.get(&enc(priority)).expect("rank implies presence")))
+        Some((
+            rank,
+            self.inner
+                .get(&enc(priority))
+                .expect("rank implies presence"),
+        ))
     }
 
     /// Rank of `priority` if present (0-based, descending).
@@ -137,7 +144,11 @@ impl<V> PriorityList<V> {
 
     /// Entries in descending priority order (testing/debug).
     pub fn entries(&self) -> Vec<(u64, &V)> {
-        self.inner.iter().into_iter().map(|(k, v)| (dec(*k), v)).collect()
+        self.inner
+            .iter()
+            .into_iter()
+            .map(|(k, v)| (dec(*k), v))
+            .collect()
     }
 }
 

@@ -33,7 +33,12 @@ pub struct Treap<K, V> {
 impl<K: Ord + Clone, V> Treap<K, V> {
     /// Create an empty treap whose heap priorities are derived from `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { nodes: Vec::new(), free: Vec::new(), root: NIL, rng: seed | 1 }
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: seed | 1,
+        }
     }
 
     fn next_prio(&mut self) -> u64 {
@@ -84,7 +89,14 @@ impl<K: Ord + Clone, V> Treap<K, V> {
             n.size = 1;
             i
         } else {
-            self.nodes.push(Node { key, val: Some(val), prio, left: NIL, right: NIL, size: 1 });
+            self.nodes.push(Node {
+                key,
+                val: Some(val),
+                prio,
+                left: NIL,
+                right: NIL,
+                size: 1,
+            });
             (self.nodes.len() - 1) as u32
         }
     }
@@ -148,7 +160,7 @@ impl<K: Ord + Clone, V> Treap<K, V> {
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
         let hit = self.find(&key);
         if hit != NIL {
-            return std::mem::replace(&mut self.nodes[hit as usize].val, Some(val));
+            return self.nodes[hit as usize].val.replace(val);
         }
         let split_key = key.clone();
         let node = self.alloc(key, val);
@@ -161,7 +173,12 @@ impl<K: Ord + Clone, V> Treap<K, V> {
 
     /// Remove `key`; returns its value if present.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        fn rec<K: Ord + Clone, V>(tr: &mut Treap<K, V>, t: u32, key: &K, out: &mut Option<u32>) -> u32 {
+        fn rec<K: Ord + Clone, V>(
+            tr: &mut Treap<K, V>,
+            t: u32,
+            key: &K,
+            out: &mut Option<u32>,
+        ) -> u32 {
             if t == NIL {
                 return NIL;
             }

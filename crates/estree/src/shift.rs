@@ -189,8 +189,12 @@ mod tests {
     fn every_vertex_reachable_within_t() {
         let edges = gen::gnm(100, 120, 3); // possibly disconnected
         let sg = ShiftedGraph::sample(100, (1000.0f64).ln() / 2.0, Some(2.0), 13);
-        let es =
-            EsTree::new(sg.total_vertices(), sg.source(), sg.t, &sg.static_edges(&edges));
+        let es = EsTree::new(
+            sg.total_vertices(),
+            sg.source(),
+            sg.t,
+            &sg.static_edges(&edges),
+        );
         for v in 0..100u32 {
             assert!(es.dist(v) <= sg.t, "vertex {v} beyond t");
         }

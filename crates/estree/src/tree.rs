@@ -13,10 +13,12 @@
 //! distance never decreases: entries skipped at some level can never
 //! become candidates at that level again.
 
-use bds_dstruct::{FxHashMap, PriorityList};
+use bds_dstruct::edge_table::{pack, unpack};
+use bds_dstruct::{EdgeTable, FxHashMap, PriorityList};
 use bds_graph::types::V;
-use bds_par::WorkCounter;
+use bds_par::{WorkCounter, GRAIN};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Parent sentinel.
 pub const NO_VERTEX: V = V::MAX;
@@ -46,6 +48,24 @@ struct InEntry {
     src: V,
 }
 
+/// Range of entries whose packed key has high word `x`, in a slice
+/// sorted by packed key (i.e. the adjacency group of vertex `x`).
+#[inline]
+fn group_bounds(sorted: &[(u64, u64)], x: V) -> (usize, usize) {
+    let lo = sorted.partition_point(|&(k, _)| k < (x as u64) << 32);
+    let hi = sorted.partition_point(|&(k, _)| k < (x as u64 + 1) << 32);
+    (lo, hi)
+}
+
+/// View a `u32` slice atomically for CAS-parallel BFS claims.
+///
+/// SAFETY: `AtomicU32` has `u32`'s size and alignment with compatible
+/// in-memory representation; the exclusive borrow rules out concurrent
+/// non-atomic access.
+fn atomic_u32_view(dist: &mut [u32]) -> &[AtomicU32] {
+    unsafe { std::slice::from_raw_parts(dist.as_ptr() as *const AtomicU32, dist.len()) }
+}
+
 /// Batched decremental Even–Shiloach tree on a digraph over `0..n`.
 pub struct EsTree {
     n: usize,
@@ -57,7 +77,7 @@ pub struct EsTree {
     ins: Vec<PriorityList<InEntry>>,
     outs: Vec<Vec<V>>,
     /// directed edge (u → v) -> its priority inside `ins[v]`.
-    prio_of: FxHashMap<(V, V), u64>,
+    prio_of: EdgeTable,
     /// scratch: epoch marker for per-phase deduplication
     mark: Vec<u32>,
     epoch: u32,
@@ -67,41 +87,92 @@ pub struct EsTree {
 impl EsTree {
     /// Build from directed, prioritized edges `(u, v, priority)` — the
     /// priority orders `In(v)` descending and must be unique within each
-    /// in-list. Initialization runs a level-synchronous BFS (Lemma 3.2).
+    /// in-list. Duplicate directed edges are deduplicated as a batch,
+    /// keeping the highest priority, so adversarial or generated
+    /// workloads cannot abort construction. Initialization runs a
+    /// level-synchronous BFS (Lemma 3.2) with parallel frontier
+    /// expansion, and builds the per-vertex in/out adjacency by parallel
+    /// sort + grouped scatter rather than sequential pushes.
     pub fn new(n: usize, source: V, l_max: u32, edges: &[(V, V, u64)]) -> Self {
-        let mut ins: Vec<Vec<(u64, InEntry)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut outs: Vec<Vec<V>> = (0..n).map(|_| Vec::new()).collect();
-        let mut prio_of = FxHashMap::default();
-        prio_of.reserve(edges.len());
-        for &(u, v, p) in edges {
-            ins[v as usize].push((p, InEntry { src: u }));
-            outs[u as usize].push(v);
-            let dup = prio_of.insert((u, v), p);
-            assert!(dup.is_none(), "duplicate directed edge ({u},{v})");
-        }
-        let ins: Vec<PriorityList<InEntry>> = ins
-            .into_iter()
-            .enumerate()
-            .map(|(v, es)| PriorityList::from_entries(0x9e37_79b9 ^ v as u64, es))
-            .collect();
+        // --- Batch dedup, keeping the highest priority per (u, v). ---
+        // Sorting (packed key, !priority) ascending clusters duplicates
+        // with their highest-priority copy first; dedup-by-key keeps it.
+        let mut fwd: Vec<(u64, u64)> = bds_par::par_map(edges, |&(u, v, p)| (pack(u, v), !p));
+        bds_par::par_sort(&mut fwd);
+        fwd.dedup_by_key(|&mut (k, _)| k);
+        // Un-flip priorities; `fwd` stays sorted by packed key, i.e.
+        // grouped by source vertex u.
+        let fwd: Vec<(u64, u64)> = bds_par::par_map(&fwd, |&(k, np)| (k, !np));
 
-        // Level-synchronous BFS from the source, truncated at l_max.
+        // prio_of: zero-copy bulk build from the sorted distinct batch.
+        let prio_of = EdgeTable::from_sorted_batch(&fwd);
+
+        // --- Adjacency, built per vertex in parallel. ---
+        // `fwd` groups out-edges by u; a reversed copy groups in-edges
+        // by v. Group boundaries come from binary searches, vertices are
+        // then filled independently (PriorityList treaps included).
+        let mut rev: Vec<(u64, u64)> = bds_par::par_map(&fwd, |&(k, p)| {
+            let (u, v) = unpack(k);
+            (pack(v, u), p)
+        });
+        bds_par::par_sort(&mut rev);
+        let ids: Vec<V> = (0..n as V).collect();
+        let outs: Vec<Vec<V>> = bds_par::par_map(&ids, |&u| {
+            let (lo, hi) = group_bounds(&fwd, u);
+            fwd[lo..hi].iter().map(|&(k, _)| unpack(k).1).collect()
+        });
+        let ins: Vec<PriorityList<InEntry>> = bds_par::par_map(&ids, |&v| {
+            let (lo, hi) = group_bounds(&rev, v);
+            PriorityList::from_entries(
+                0x9e37_79b9 ^ v as u64,
+                rev[lo..hi]
+                    .iter()
+                    .map(|&(k, p)| (p, InEntry { src: unpack(k).1 })),
+            )
+        });
+
+        // --- Level-synchronous BFS from the source, truncated at l_max,
+        // with CAS-parallel frontier expansion above the GRAIN cutoff. ---
         let mut dist = vec![UNREACHED; n];
         dist[source as usize] = 0;
         let mut frontier = vec![source];
         let mut d = 0;
         while !frontier.is_empty() && d < l_max {
             d += 1;
-            let mut next = Vec::new();
-            for &u in &frontier {
-                for &w in &outs[u as usize] {
-                    if dist[w as usize] == UNREACHED {
-                        dist[w as usize] = d;
-                        next.push(w);
+            frontier = if frontier.len() < GRAIN || rayon::current_num_threads() <= 1 {
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &w in &outs[u as usize] {
+                        if dist[w as usize] == UNREACHED {
+                            dist[w as usize] = d;
+                            next.push(w);
+                        }
                     }
                 }
-            }
-            frontier = next;
+                next
+            } else {
+                let adist = atomic_u32_view(&mut dist);
+                frontier
+                    .par_iter()
+                    .flat_map_iter(|&u| {
+                        let mut local = Vec::new();
+                        for &w in &outs[u as usize] {
+                            if adist[w as usize]
+                                .compare_exchange(
+                                    UNREACHED,
+                                    d,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                local.push(w);
+                            }
+                        }
+                        local
+                    })
+                    .collect()
+            };
         }
 
         let mut tree = Self {
@@ -120,7 +191,9 @@ impl EsTree {
         };
         // Initial parents: first (max-priority) in-entry at depth d-1.
         let dist = &tree.dist;
-        let found: Vec<(V, Option<(usize, u64, V)>)> = (0..n as V)
+        // (vertex, matched (rank, priority, src)) per reachable vertex
+        type ParentHit = (V, Option<(usize, u64, V)>);
+        let found: Vec<ParentHit> = (0..n as V)
             .into_par_iter()
             .filter(|&v| dist[v as usize] >= 1 && dist[v as usize] != UNREACHED)
             .map(|v| {
@@ -169,7 +242,7 @@ impl EsTree {
     }
 
     pub fn has_edge(&self, u: V, v: V) -> bool {
-        self.prio_of.contains_key(&(u, v))
+        self.prio_of.contains(u, v)
     }
 
     pub fn num_edges(&self) -> usize {
@@ -204,7 +277,7 @@ impl EsTree {
         for &(u, v) in edges {
             let p = self
                 .prio_of
-                .remove(&(u, v))
+                .remove(u, v)
                 .unwrap_or_else(|| panic!("delete of absent edge ({u},{v})"));
             if self.parent[v as usize] == u && self.parent_prio[v as usize] == p {
                 seeds.push((v, p, u));
@@ -220,7 +293,11 @@ impl EsTree {
             let resume = self.ins[v as usize].bound_rank(old_prio);
             queues[d as usize].push((v, resume));
             // Record the removal now; a found parent later overwrites.
-            changes.push(ParentChange { vertex: v, old_parent, new_parent: NO_VERTEX });
+            changes.push(ParentChange {
+                vertex: v,
+                old_parent,
+                new_parent: NO_VERTEX,
+            });
         }
 
         // Level-synchronous phases.
@@ -333,9 +410,7 @@ impl EsTree {
                         // parent entry will simply fail the depth test.
                         for ci in 0..self.outs[v as usize].len() {
                             let c = self.outs[v as usize][ci];
-                            if self.parent[c as usize] == v
-                                && self.prio_of.contains_key(&(v, c))
-                            {
+                            if self.parent[c as usize] == v && self.prio_of.contains(v, c) {
                                 let resume =
                                     self.ins[c as usize].bound_rank(self.parent_prio[c as usize]);
                                 queues[i as usize + 1].push((c, resume));
@@ -371,7 +446,11 @@ impl EsTree {
             .filter_map(|v| {
                 let old = first_old[&v];
                 let new = last_new[&v];
-                (old != new).then_some(ParentChange { vertex: v, old_parent: old, new_parent: new })
+                (old != new).then_some(ParentChange {
+                    vertex: v,
+                    old_parent: old,
+                    new_parent: new,
+                })
             })
             .collect()
     }
@@ -389,7 +468,7 @@ impl EsTree {
             let mut next = Vec::new();
             for &u in &frontier {
                 for &w in &self.outs[u as usize] {
-                    if self.prio_of.contains_key(&(u, w)) && ref_dist[w as usize] == UNREACHED {
+                    if self.prio_of.contains(u, w) && ref_dist[w as usize] == UNREACHED {
                         ref_dist[w as usize] = d;
                         next.push(w);
                     }
@@ -406,8 +485,12 @@ impl EsTree {
             }
             let p = self.parent[v as usize];
             assert_ne!(p, NO_VERTEX, "vertex {v} at depth {dv} lacks a parent");
-            assert!(self.prio_of.contains_key(&(p, v)), "parent edge ({p},{v}) dead");
-            assert_eq!(self.dist[p as usize], dv - 1, "parent depth invariant at {v}");
+            assert!(self.prio_of.contains(p, v), "parent edge ({p},{v}) dead");
+            assert_eq!(
+                self.dist[p as usize],
+                dv - 1,
+                "parent depth invariant at {v}"
+            );
             // Invariant A1: no *valid candidate* strictly before the
             // parent entry in In(v).
             let rank = self.ins[v as usize]
@@ -417,7 +500,11 @@ impl EsTree {
             let first = self.ins[v as usize]
                 .next_with(0, |_, rec| self.dist[rec.src as usize] == dv - 1, &mut w)
                 .map(|(r, _, _)| r);
-            assert_eq!(first, Some(rank), "parent of {v} is not the first candidate");
+            assert_eq!(
+                first,
+                Some(rank),
+                "parent of {v} is not the first candidate"
+            );
         }
     }
 }
@@ -471,11 +558,36 @@ mod tests {
         while live.len() > 50 {
             let b = rng.gen_range(1..=40.min(live.len()));
             let batch: Vec<Edge> = live.split_off(live.len() - b);
-            let dirs: Vec<(V, V)> =
-                batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+            let dirs: Vec<(V, V)> = batch
+                .iter()
+                .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+                .collect();
             t.delete_batch(&dirs);
             t.validate();
         }
+    }
+
+    #[test]
+    fn duplicate_directed_edges_keep_highest_priority() {
+        // The seed panicked here; duplicates must now dedup as a batch,
+        // keeping the highest-priority copy per directed edge.
+        let edges = vec![
+            (0u32, 1u32, 5u64),
+            (0, 1, 9), // duplicate: wins
+            (0, 1, 2), // duplicate: dropped
+            (1, 2, 7),
+            (1, 0, 3),
+            (2, 1, 4),
+        ];
+        let t = EsTree::new(3, 0, 4, &edges);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.parent_priority(1), Some(9));
+        t.validate();
+        let mut t = t;
+        // The deduped edge deletes cleanly (exactly one live copy).
+        t.delete_batch(&[(0, 1)]);
+        t.validate();
+        assert!(!t.has_edge(0, 1));
     }
 
     #[test]
@@ -514,19 +626,17 @@ mod tests {
         // reproduce tree_edges() — the property the spanner layers use.
         let edges = gen::gnm_connected(60, 150, 3);
         let mut t = EsTree::new(60, 0, 10, &directed(&edges));
-        let mut shadow: FxHashMap<V, V> = t
-            .tree_edges()
-            .into_iter()
-            .map(|(p, v)| (v, p))
-            .collect();
+        let mut shadow: FxHashMap<V, V> = t.tree_edges().into_iter().map(|(p, v)| (v, p)).collect();
         let mut rng = StdRng::seed_from_u64(4);
         let mut live = edges.clone();
         live.shuffle(&mut rng);
         while live.len() > 30 {
             let b = rng.gen_range(1..=10.min(live.len()));
             let batch: Vec<Edge> = live.split_off(live.len() - b);
-            let dirs: Vec<(V, V)> =
-                batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+            let dirs: Vec<(V, V)> = batch
+                .iter()
+                .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+                .collect();
             let (changes, _) = t.delete_batch(&dirs);
             for c in changes {
                 if c.new_parent == NO_VERTEX {

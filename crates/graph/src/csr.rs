@@ -32,7 +32,12 @@ impl CsrGraph {
             targets[cursor[e.v as usize]] = e.u;
             cursor[e.v as usize] += 1;
         }
-        Self { offsets, targets, n, m: edges.len() }
+        Self {
+            offsets,
+            targets,
+            n,
+            m: edges.len(),
+        }
     }
 
     pub fn n(&self) -> usize {

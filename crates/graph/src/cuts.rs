@@ -45,7 +45,10 @@ pub fn cut_weight(edges: &[(Edge, f64)], in_s: &[bool]) -> f64 {
 
 /// Unweighted cut size.
 pub fn cut_size_unit(edges: &[Edge], in_s: &[bool]) -> f64 {
-    edges.iter().filter(|e| in_s[e.u as usize] != in_s[e.v as usize]).count() as f64
+    edges
+        .iter()
+        .filter(|e| in_s[e.u as usize] != in_s[e.v as usize])
+        .count() as f64
 }
 
 /// Maximum relative error of `h` (weighted) vs `g` (unit weights) over
@@ -96,10 +99,18 @@ mod tests {
 
     #[test]
     fn quad_form_is_cut_on_indicators() {
-        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(0, 3)];
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+            Edge::new(0, 3),
+        ];
         let in_s = indicator(4, &[0, 1]);
         let x: Vec<f64> = in_s.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        assert_eq!(quadratic_form_unit(&edges, &x), cut_size_unit(&edges, &in_s));
+        assert_eq!(
+            quadratic_form_unit(&edges, &x),
+            cut_size_unit(&edges, &in_s)
+        );
         assert_eq!(cut_size_unit(&edges, &in_s), 2.0); // edges (1,2) and (0,3)
     }
 

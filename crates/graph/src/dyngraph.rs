@@ -1,19 +1,31 @@
-//! A mutable adjacency-set graph used as the "ground truth" edge set in
+//! A mutable adjacency graph used as the "ground truth" edge set in
 //! tests, examples, and the fully-dynamic wrappers.
+//!
+//! Adjacency lives in flat per-vertex vectors (cache-friendly neighbor
+//! scans) and membership in a packed-key [`EdgeTable`] that maps each
+//! *directed* pair `(u, v)` to `v`'s position inside `adj[u]`, so
+//! `contains` is one flat-table probe and `remove` is two O(1)
+//! swap-removes — no per-vertex hash sets anywhere.
 
 use crate::types::{Edge, V};
-use bds_dstruct::FxHashSet;
+use bds_dstruct::EdgeTable;
 
-/// Simple undirected graph over `0..n` with hash-set adjacency.
+/// Simple undirected graph over `0..n` with indexed flat adjacency.
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
-    adj: Vec<FxHashSet<V>>,
+    adj: Vec<Vec<V>>,
+    /// directed (u, v) -> index of `v` within `adj[u]`.
+    pos: EdgeTable,
     m: usize,
 }
 
 impl DynamicGraph {
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![FxHashSet::default(); n], m: 0 }
+        Self {
+            adj: vec![Vec::new(); n],
+            pos: EdgeTable::new(),
+            m: 0,
+        }
     }
 
     pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
@@ -37,29 +49,39 @@ impl DynamicGraph {
     }
 
     pub fn contains(&self, e: Edge) -> bool {
-        self.adj[e.u as usize].contains(&e.v)
+        self.pos.contains(e.u, e.v)
     }
 
     /// Insert; returns false if already present.
     pub fn insert(&mut self, e: Edge) -> bool {
-        if self.adj[e.u as usize].insert(e.v) {
-            self.adj[e.v as usize].insert(e.u);
-            self.m += 1;
-            true
-        } else {
-            false
+        if self.pos.contains(e.u, e.v) {
+            return false;
         }
+        for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+            self.pos.insert(a, b, self.adj[a as usize].len() as u64);
+            self.adj[a as usize].push(b);
+        }
+        self.m += 1;
+        true
     }
 
     /// Remove; returns false if absent.
     pub fn remove(&mut self, e: Edge) -> bool {
-        if self.adj[e.u as usize].remove(&e.v) {
-            self.adj[e.v as usize].remove(&e.u);
-            self.m -= 1;
-            true
-        } else {
-            false
+        if !self.pos.contains(e.u, e.v) {
+            return false;
         }
+        for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+            let i = self.pos.remove(a, b).expect("indexed edge") as usize;
+            let list = &mut self.adj[a as usize];
+            list.swap_remove(i);
+            if i < list.len() {
+                // The former tail neighbor moved into slot i.
+                let moved = list[i];
+                self.pos.insert(a, moved, i as u64);
+            }
+        }
+        self.m -= 1;
+        true
     }
 
     pub fn neighbors(&self, v: V) -> impl Iterator<Item = V> + '_ {
@@ -69,8 +91,8 @@ impl DynamicGraph {
     /// All edges, canonical, in unspecified order.
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::with_capacity(self.m);
-        for (u, s) in self.adj.iter().enumerate() {
-            for &v in s {
+        for (u, list) in self.adj.iter().enumerate() {
+            for &v in list {
                 if (u as V) < v {
                     out.push(Edge { u: u as V, v });
                 }
@@ -98,5 +120,26 @@ mod tests {
         assert_eq!(g.m(), 1);
         let es = g.edges();
         assert_eq!(es, vec![Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn swap_remove_keeps_position_index() {
+        // Removals from the middle of adjacency lists must re-index the
+        // moved tail neighbor, or later removals corrupt the lists.
+        let mut g = DynamicGraph::new(6);
+        for v in 1..6 {
+            g.insert(Edge::new(0, v));
+        }
+        assert!(g.remove(Edge::new(0, 2))); // tail (5) moves into slot 1
+        assert!(g.remove(Edge::new(0, 5))); // must find 5 at its new slot
+        assert!(g.contains(Edge::new(0, 1)));
+        assert!(g.contains(Edge::new(0, 3)));
+        assert!(g.contains(Edge::new(0, 4)));
+        assert!(!g.contains(Edge::new(0, 5)));
+        assert_eq!(g.m(), 3);
+        let mut ns: Vec<V> = g.neighbors(0).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![1, 3, 4]);
+        assert_eq!(g.degree(0), 3);
     }
 }

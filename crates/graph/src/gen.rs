@@ -140,7 +140,11 @@ pub fn planted_cut(n: usize, m_in: usize, cross: usize, seed: u64) -> (Vec<Edge>
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
     let mut edges = gnm_connected(half, m_in, seed);
     let right = gnm_connected(n - half, m_in, seed.wrapping_add(1));
-    edges.extend(right.into_iter().map(|e| Edge::new(e.u + half as V, e.v + half as V)));
+    edges.extend(
+        right
+            .into_iter()
+            .map(|e| Edge::new(e.u + half as V, e.v + half as V)),
+    );
     let mut set: FxHashSet<Edge> = edges.iter().copied().collect();
     let mut added = 0;
     while added < cross {
@@ -158,7 +162,11 @@ pub fn planted_cut(n: usize, m_in: usize, cross: usize, seed: u64) -> (Vec<Edge>
 /// Extract a spanning forest (for baselines / H₂ init).
 pub fn spanning_forest(n: usize, edges: &[Edge]) -> Vec<Edge> {
     let mut uf = UnionFind::new(n);
-    edges.iter().copied().filter(|e| uf.union(e.u, e.v)).collect()
+    edges
+        .iter()
+        .copied()
+        .filter(|e| uf.union(e.u, e.v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,8 +208,7 @@ mod tests {
     #[test]
     fn planted_cut_counts_cross_edges() {
         let (es, cut) = planted_cut(100, 150, 6, 3);
-        let crossing =
-            es.iter().filter(|e| (e.u < 50) != (e.v < 50)).count();
+        let crossing = es.iter().filter(|e| (e.u < 50) != (e.v < 50)).count();
         assert_eq!(crossing, cut);
     }
 

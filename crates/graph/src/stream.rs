@@ -20,7 +20,12 @@ impl UpdateStream {
     pub fn new(n: usize, initial: &[Edge], seed: u64) -> Self {
         let live: Vec<Edge> = initial.to_vec();
         let live_set = live.iter().copied().collect();
-        Self { n, live, live_set, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            n,
+            live,
+            live_set,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     pub fn live_edges(&self) -> &[Edge] {

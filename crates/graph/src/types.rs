@@ -58,11 +58,17 @@ pub struct UpdateBatch {
 
 impl UpdateBatch {
     pub fn insert_only(edges: Vec<Edge>) -> Self {
-        Self { insertions: edges, deletions: Vec::new() }
+        Self {
+            insertions: edges,
+            deletions: Vec::new(),
+        }
     }
 
     pub fn delete_only(edges: Vec<Edge>) -> Self {
-        Self { insertions: Vec::new(), deletions: edges }
+        Self {
+            insertions: Vec::new(),
+            deletions: edges,
+        }
     }
 
     pub fn len(&self) -> usize {

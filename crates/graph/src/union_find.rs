@@ -13,7 +13,11 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as V).collect(), size: vec![1; n], components: n }
+        Self {
+            parent: (0..n as V).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     pub fn find(&mut self, mut x: V) -> V {

@@ -17,7 +17,10 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync + Send)
 }
 
 /// Parallel indexed map: `f(i, &items[i])`.
-pub fn par_map_idx<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync + Send) -> Vec<R> {
+pub fn par_map_idx<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync + Send,
+) -> Vec<R> {
     if items.len() < GRAIN {
         items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
     } else {
@@ -105,7 +108,7 @@ pub fn prefix_sums(items: &[usize]) -> Vec<usize> {
 }
 
 /// Parallel (unstable) sort.
-pub fn par_sort<T: Ord + Send>(items: &mut Vec<T>) {
+pub fn par_sort<T: Ord + Send>(items: &mut [T]) {
     if items.len() < GRAIN {
         items.sort_unstable();
     } else {
@@ -114,7 +117,10 @@ pub fn par_sort<T: Ord + Send>(items: &mut Vec<T>) {
 }
 
 /// Parallel sort by key.
-pub fn par_sort_by_key<T: Send, K: Ord + Send>(items: &mut [T], key: impl Fn(&T) -> K + Sync + Send) {
+pub fn par_sort_by_key<T: Send, K: Ord + Send>(
+    items: &mut [T],
+    key: impl Fn(&T) -> K + Sync + Send,
+) {
     if items.len() < GRAIN {
         items.sort_unstable_by_key(key);
     } else {
@@ -172,7 +178,10 @@ mod tests {
     #[test]
     fn map_small_and_large() {
         let small: Vec<u32> = (0..10).collect();
-        assert_eq!(par_map(&small, |x| x * 2), (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(
+            par_map(&small, |x| x * 2),
+            (0..10).map(|x| x * 2).collect::<Vec<_>>()
+        );
         let large: Vec<u32> = (0..10_000).collect();
         assert_eq!(par_map(&large, |x| x + 1)[9_999], 10_000);
     }

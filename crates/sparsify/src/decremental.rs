@@ -18,7 +18,7 @@
 use crate::weighted_set::{WeightedDeltaSet, WeightedSet};
 use bds_bundle::BundleSpanner;
 use bds_dstruct::fx::mix64;
-use bds_dstruct::FxHashSet;
+use bds_dstruct::{EdgeTable, FxHashSet};
 use bds_graph::types::Edge;
 
 /// Weighted (δH_ins, δH_del) pair of Theorem 1.6's interface.
@@ -32,8 +32,8 @@ pub struct DecrementalSparsifier {
     seed: u64,
     /// B_0 … B_{k−1}.
     levels: Vec<BundleSpanner>,
-    /// G_k: terminal residual kept wholesale.
-    terminal: FxHashSet<Edge>,
+    /// G_k: terminal residual kept wholesale (packed-key edge set).
+    terminal: EdgeTable,
     sparsifier: WeightedSet,
 }
 
@@ -56,7 +56,7 @@ impl DecrementalSparsifier {
             threshold: threshold.max(1),
             seed,
             levels: Vec::new(),
-            terminal: FxHashSet::default(),
+            terminal: EdgeTable::new(),
             sparsifier: WeightedSet::new(),
         };
         let mut gi: Vec<Edge> = edges.to_vec();
@@ -87,7 +87,7 @@ impl DecrementalSparsifier {
         for &e in &gi {
             this.sparsifier.insert(e, w);
         }
-        this.terminal = gi.into_iter().collect();
+        this.terminal = gi.into_iter().map(|e| (e.u, e.v, 0)).collect();
         let _ = this.sparsifier.take_delta();
         this
     }
@@ -129,7 +129,7 @@ impl DecrementalSparsifier {
         if let Some(b) = self.levels.first() {
             b.contains_edge(e)
         } else {
-            self.terminal.contains(&e)
+            self.terminal.contains(e.u, e.v)
         }
     }
 
@@ -140,7 +140,10 @@ impl DecrementalSparsifier {
             out.extend(b.residual_edges());
             out
         } else {
-            self.terminal.iter().copied().collect()
+            self.terminal
+                .iter()
+                .map(|(u, v, _)| Edge { u, v })
+                .collect()
         }
     }
 
@@ -182,7 +185,10 @@ impl DecrementalSparsifier {
         // Terminal level.
         let wk = 4f64.powi(self.levels.len() as i32);
         for e in xi {
-            assert!(self.terminal.remove(&e), "cascaded edge {e:?} missing from terminal");
+            assert!(
+                self.terminal.remove(e.u, e.v).is_some(),
+                "cascaded edge {e:?} missing from terminal"
+            );
             let w = self.sparsifier.remove(e);
             debug_assert_eq!(w, wk);
         }
@@ -196,8 +202,8 @@ impl DecrementalSparsifier {
     /// Truncate the chain at the first level that sank to ≤ threshold
     /// edges (the paper's "reduce k accordingly").
     fn truncate_if_small(&mut self) {
-        let Some(cut) = (0..self.levels.len())
-            .find(|&i| self.levels[i].num_live_edges() <= self.threshold)
+        let Some(cut) =
+            (0..self.levels.len()).find(|&i| self.levels[i].num_live_edges() <= self.threshold)
         else {
             return;
         };
@@ -214,15 +220,15 @@ impl DecrementalSparsifier {
                 self.sparsifier.remove(e);
             }
         }
-        for e in self.terminal.drain() {
-            self.sparsifier.remove(e);
+        for (u, v, _) in self.terminal.drain() {
+            self.sparsifier.remove(Edge { u, v });
         }
         self.levels.truncate(cut);
         let w = 4f64.powi(cut as i32);
         for &e in &new_terminal {
             self.sparsifier.insert(e, w);
         }
-        self.terminal = new_terminal.into_iter().collect();
+        self.terminal = new_terminal.into_iter().map(|e| (e.u, e.v, 0)).collect();
     }
 
     /// Test oracle: level consistency, coin-replay of the sampling chain,
@@ -237,7 +243,10 @@ impl DecrementalSparsifier {
                 v.extend(nb.residual_edges());
                 v
             } else {
-                self.terminal.clone()
+                self.terminal
+                    .iter()
+                    .map(|(u, v, _)| Edge { u, v })
+                    .collect()
             };
             for e in b.residual_edges() {
                 let want = self.coin(i as u32 + 1, e);
@@ -267,13 +276,13 @@ impl DecrementalSparsifier {
             }
         }
         let wk = 4f64.powi(self.levels.len() as i32);
-        for &e in &self.terminal {
-            want.insert(e, wk);
+        for (u, v, _) in self.terminal.iter() {
+            want.insert(Edge { u, v }, wk);
         }
         let mut got = self.sparsifier.edges();
         let mut exp = want.edges();
-        got.sort_by(|a, b| a.0.cmp(&b.0));
-        exp.sort_by(|a, b| a.0.cmp(&b.0));
+        got.sort_by_key(|x| x.0);
+        exp.sort_by_key(|x| x.0);
         assert_eq!(got, exp, "sparsifier composition diverged");
     }
 }
@@ -339,8 +348,8 @@ mod tests {
             }
             s.validate();
             let mut got = s.sparsifier_edges();
-            got.sort_by(|a, b| a.0.cmp(&b.0));
-            shadow.sort_by(|a, b| a.0.cmp(&b.0));
+            got.sort_by_key(|x| x.0);
+            shadow.sort_by_key(|x| x.0);
             assert_eq!(got, shadow, "weighted delta replay diverged");
         }
         assert_eq!(s.num_live_edges(), live.len());

@@ -9,12 +9,12 @@
 
 use crate::decremental::DecrementalSparsifier;
 use crate::weighted_set::{WeightedDeltaSet, WeightedSet};
-use bds_dstruct::FxHashMap;
+use bds_dstruct::{EdgeTable, FxHashMap};
 use bds_graph::types::Edge;
 
 enum Slot {
     Empty,
-    Instance(DecrementalSparsifier),
+    Instance(Box<DecrementalSparsifier>),
 }
 
 /// Fully-dynamic spectral sparsifier (Theorem 1.6).
@@ -24,7 +24,8 @@ pub struct FullyDynamicSparsifier {
     l0: u32,
     e0: Vec<Edge>,
     slots: Vec<Slot>,
-    index: FxHashMap<Edge, u32>,
+    /// Canonical edge -> owning slot number.
+    index: EdgeTable,
     sparsifier: WeightedSet,
     seed: u64,
     rebuilds: u64,
@@ -41,7 +42,7 @@ impl FullyDynamicSparsifier {
             l0,
             e0: Vec::new(),
             slots: Vec::new(),
-            index: FxHashMap::default(),
+            index: EdgeTable::new(),
             sparsifier: WeightedSet::new(),
             seed,
             rebuilds: 0,
@@ -62,7 +63,10 @@ impl FullyDynamicSparsifier {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(7);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(7);
         self.seed
     }
 
@@ -82,7 +86,10 @@ impl FullyDynamicSparsifier {
             self.slots.push(Slot::Empty);
         }
         debug_assert!(self.slot_is_empty(j));
-        assert!(edges.len() as u64 <= self.capacity(j), "invariant B2 violated");
+        assert!(
+            edges.len() as u64 <= self.capacity(j),
+            "invariant B2 violated"
+        );
         self.rebuilds += 1;
         let seed = self.next_seed();
         let inst = DecrementalSparsifier::new(self.n, &edges, self.t, seed);
@@ -90,9 +97,9 @@ impl FullyDynamicSparsifier {
             self.sparsifier.insert(e, w);
         }
         for e in edges {
-            self.index.insert(e, j);
+            self.index.insert(e.u, e.v, j as u64);
         }
-        self.slots[j as usize - 1] = Slot::Instance(inst);
+        self.slots[j as usize - 1] = Slot::Instance(Box::new(inst));
     }
 
     fn drain_slot(&mut self, j: u32) -> Vec<Edge> {
@@ -120,7 +127,10 @@ impl FullyDynamicSparsifier {
         u.dedup();
         assert_eq!(u.len(), inserted.len(), "duplicate edges in insert batch");
         for e in &u {
-            assert!(!self.index.contains_key(e), "insert of present edge {e:?}");
+            assert!(
+                !self.index.contains(e.u, e.v),
+                "insert of present edge {e:?}"
+            );
         }
         let cap0 = self.capacity(0);
         let q = u.len() as u64 / cap0;
@@ -147,7 +157,7 @@ impl FullyDynamicSparsifier {
         if !ur.is_empty() {
             if (self.e0.len() + ur.len()) as u64 <= cap0 {
                 for e in ur {
-                    self.index.insert(e, 0);
+                    self.index.insert(e.u, e.v, 0);
                     self.sparsifier.insert(e, 1.0);
                     self.e0.push(e);
                 }
@@ -176,9 +186,9 @@ impl FullyDynamicSparsifier {
         for e in deleted {
             let slot = self
                 .index
-                .remove(e)
+                .remove(e.u, e.v)
                 .unwrap_or_else(|| panic!("delete of absent edge {e:?}"));
-            by_slot.entry(slot).or_default().push(*e);
+            by_slot.entry(slot as u32).or_default().push(*e);
         }
         for (slot, edges) in by_slot {
             if slot == 0 {
@@ -244,8 +254,8 @@ impl FullyDynamicSparsifier {
         }
         let mut got = self.sparsifier.edges();
         let mut exp = want.edges();
-        got.sort_by(|a, b| a.0.cmp(&b.0));
-        exp.sort_by(|a, b| a.0.cmp(&b.0));
+        got.sort_by_key(|x| x.0);
+        exp.sort_by_key(|x| x.0);
         assert_eq!(got, exp, "fully-dynamic sparsifier diverged");
     }
 }
@@ -304,8 +314,8 @@ mod tests {
                 }
             }
             let mut got = s.sparsifier_edges();
-            got.sort_by(|a, b| a.0.cmp(&b.0));
-            shadow.sort_by(|a, b| a.0.cmp(&b.0));
+            got.sort_by_key(|x| x.0);
+            shadow.sort_by_key(|x| x.0);
             assert_eq!(got, shadow);
         }
     }

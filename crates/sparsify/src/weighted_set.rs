@@ -1,9 +1,11 @@
 //! Weighted sparsifier membership with per-batch delta netting — the
 //! weighted analogue of `bds_core::SpannerSet`. Each edge has at most one
 //! owner (one bundle level, one terminal set, or one Bentley–Saxe slot),
-//! so membership is a map rather than a refcount.
+//! so membership is a map rather than a refcount. Weights are positive
+//! `f64`s stored bit-packed in a flat [`EdgeTable`] (0.0 encodes
+//! "absent" in the baseline, exactly as the hash-map version used it).
 
-use bds_dstruct::FxHashMap;
+use bds_dstruct::EdgeTable;
 use bds_graph::types::Edge;
 
 /// One batch's weighted membership changes.
@@ -21,9 +23,10 @@ impl WeightedDeltaSet {
 
 #[derive(Debug, Default)]
 pub struct WeightedSet {
-    weight: FxHashMap<Edge, f64>,
-    /// weight at batch start for touched edges (0.0 = absent).
-    baseline: FxHashMap<Edge, f64>,
+    /// Canonical edge -> weight bits.
+    weight: EdgeTable,
+    /// weight bits at batch start for touched edges (0.0 = absent).
+    baseline: EdgeTable,
 }
 
 impl WeightedSet {
@@ -32,25 +35,31 @@ impl WeightedSet {
     }
 
     fn touch(&mut self, e: Edge) {
-        let w = self.weight.get(&e).copied().unwrap_or(0.0);
-        self.baseline.entry(e).or_insert(w);
+        if self.baseline.get(e.u, e.v).is_none() {
+            let w = self.weight.get(e.u, e.v).unwrap_or(0.0f64.to_bits());
+            self.baseline.insert(e.u, e.v, w);
+        }
     }
 
     /// Insert `e` at `w`; panics if already present (owners are disjoint).
     pub fn insert(&mut self, e: Edge, w: f64) {
         self.touch(e);
-        let old = self.weight.insert(e, w);
+        let old = self.weight.insert(e.u, e.v, w.to_bits());
         assert!(old.is_none(), "weighted edge {e:?} already owned");
     }
 
     /// Remove `e`; panics if absent.
     pub fn remove(&mut self, e: Edge) -> f64 {
         self.touch(e);
-        self.weight.remove(&e).unwrap_or_else(|| panic!("remove of unowned {e:?}"))
+        let bits = self
+            .weight
+            .remove(e.u, e.v)
+            .unwrap_or_else(|| panic!("remove of unowned {e:?}"));
+        f64::from_bits(bits)
     }
 
     pub fn get(&self, e: Edge) -> Option<f64> {
-        self.weight.get(&e).copied()
+        self.weight.get(e.u, e.v).map(f64::from_bits)
     }
 
     pub fn len(&self) -> usize {
@@ -62,14 +71,19 @@ impl WeightedSet {
     }
 
     pub fn edges(&self) -> Vec<(Edge, f64)> {
-        self.weight.iter().map(|(&e, &w)| (e, w)).collect()
+        self.weight
+            .iter()
+            .map(|(u, v, bits)| (Edge { u, v }, f64::from_bits(bits)))
+            .collect()
     }
 
     /// Net weighted changes since the last call.
     pub fn take_delta(&mut self) -> WeightedDeltaSet {
         let mut d = WeightedDeltaSet::default();
-        for (e, was) in self.baseline.drain() {
-            let now = self.weight.get(&e).copied().unwrap_or(0.0);
+        for (u, v, was_bits) in self.baseline.drain() {
+            let e = Edge { u, v };
+            let was = f64::from_bits(was_bits);
+            let now = self.weight.get(u, v).map_or(0.0, f64::from_bits);
             if was == now {
                 continue;
             }

@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use batch_spanners::prelude::*;
 use batch_spanners::gen;
+use batch_spanners::prelude::*;
 use bds_graph::csr::edge_stretch;
 use bds_graph::stream::UpdateStream;
 
@@ -42,7 +42,10 @@ fn main() {
 
     // Verify the guarantee on the final graph.
     let st = edge_stretch(n, stream.live_edges(), &spanner.spanner_edges(), 300, 5);
-    println!("measured stretch on 300 sampled sources: {st} (bound {})", 2 * k - 1);
+    println!(
+        "measured stretch on 300 sampled sources: {st} (bound {})",
+        2 * k - 1
+    );
     assert!(st <= (2 * k - 1) as f64);
     println!("ok: stretch bound holds after {total_updates} updates");
 }

@@ -29,7 +29,10 @@ fn main() {
     let edges = gen::grid(rows, cols);
     let depot: V = (rows / 2 * cols + cols / 2) as V; // city centre
     let l_max = 40u32;
-    println!("grid: {rows}×{cols} ({n} junctions, {} road segments)", edges.len());
+    println!(
+        "grid: {rows}×{cols} ({n} junctions, {} road segments)",
+        edges.len()
+    );
 
     let mut tree = EsTree::new(n, depot, l_max, &directed(&edges));
     let reachable = (0..n as V).filter(|&v| tree.dist(v) != UNREACHED).count();
@@ -45,7 +48,10 @@ fn main() {
     for round in 1..=12 {
         let batch: Vec<Edge> = open.split_off(open.len().saturating_sub(150));
         closed += batch.len();
-        let dirs: Vec<(V, V)> = batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+        let dirs: Vec<(V, V)> = batch
+            .iter()
+            .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+            .collect();
         let (changes, stats) = tree.delete_batch(&dirs);
         total_steps += stats.scan_steps;
         if round % 3 == 0 {

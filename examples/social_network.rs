@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example social_network --release`
 
-use batch_spanners::prelude::*;
 use batch_spanners::gen;
+use batch_spanners::prelude::*;
 use bds_graph::csr::edge_stretch;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -63,6 +63,9 @@ fn main() {
         recourse as f64 / updates as f64
     );
     let st = edge_stretch(n, &live, &backbone.spanner_edges(), 200, 5);
-    println!("backbone stretch: {st} (Õ(log n) guarantee, log2 n = {:.1})", (n as f64).log2());
+    println!(
+        "backbone stretch: {st} (Õ(log n) guarantee, log2 n = {:.1})",
+        (n as f64).log2()
+    );
     assert!(st.is_finite());
 }

@@ -42,5 +42,8 @@ fn main() {
             approx / exact
         );
     }
-    println!("done: cut estimates track the exact values on {} stored edges", sp.sparsifier_size());
+    println!(
+        "done: cut estimates track the exact values on {} stored edges",
+        sp.sparsifier_size()
+    );
 }

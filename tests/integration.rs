@@ -43,7 +43,10 @@ fn all_spanners_track_one_graph() {
             ("ultra", &ultra_shadow, ultra.spanner_edges()),
         ] {
             let got: FxHashSet<Edge> = edges.into_iter().collect();
-            assert_eq!(&got, shadow, "{name} delta replay diverged in round {round}");
+            assert_eq!(
+                &got, shadow,
+                "{name} delta replay diverged in round {round}"
+            );
             // Every spanner is a subgraph of the live graph.
             let live_set: FxHashSet<Edge> = live.iter().copied().collect();
             assert!(got.is_subset(&live_set), "{name} contains dead edges");

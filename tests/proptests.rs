@@ -4,7 +4,7 @@
 
 use batch_spanners::gen;
 use batch_spanners::prelude::*;
-use bds_dstruct::{DynamicForest, FxHashSet, PriorityList};
+use bds_dstruct::{DynamicForest, EdgeTable, FxHashMap, FxHashSet, PriorityList};
 use bds_graph::csr::edge_stretch;
 use bds_graph::UnionFind;
 use proptest::prelude::*;
@@ -78,9 +78,8 @@ proptest! {
         let mut pl: PriorityList<u16> = PriorityList::new(7);
         let mut model: std::collections::BTreeMap<std::cmp::Reverse<u64>, u16> = Default::default();
         for (p, v) in ops {
-            if model.contains_key(&std::cmp::Reverse(p)) {
+            if model.remove(&std::cmp::Reverse(p)).is_some() {
                 pl.remove(p);
-                model.remove(&std::cmp::Reverse(p));
             } else {
                 pl.insert(p, v);
                 model.insert(std::cmp::Reverse(p), v);
@@ -90,6 +89,103 @@ proptest! {
         for (rank, (std::cmp::Reverse(p), v)) in model.iter().enumerate() {
             prop_assert_eq!(pl.kth(rank), Some((*p, v)));
             prop_assert_eq!(pl.rank_of(*p), Some(rank));
+        }
+    }
+
+    /// `EdgeTable` agrees with a tuple-keyed `FxHashMap<(V, V), u64>`
+    /// model under random interleaved insert / remove / get batches.
+    #[test]
+    fn edge_table_matches_hashmap_model(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u32..50, 0u32..50, any::<u64>()), 1..40),
+            1..16,
+        ),
+    ) {
+        let mut table = EdgeTable::new();
+        let mut model: FxHashMap<(V, V), u64> = FxHashMap::default();
+        for batch in batches {
+            // Split the batch: keys already present become a remove
+            // batch, fresh keys an insert batch (first occurrence wins
+            // within the batch — both structures need distinct keys).
+            let mut seen: FxHashSet<(V, V)> = FxHashSet::default();
+            let mut ins: Vec<(V, V, u64)> = Vec::new();
+            let mut del: Vec<(V, V)> = Vec::new();
+            for (u, v, val) in batch {
+                if !seen.insert((u, v)) {
+                    continue;
+                }
+                if model.remove(&(u, v)).is_some() {
+                    del.push((u, v));
+                } else {
+                    model.insert((u, v), val);
+                    ins.push((u, v, val));
+                }
+            }
+            prop_assert_eq!(table.remove_batch(&del), del.len());
+            prop_assert_eq!(table.insert_batch(&ins), ins.len());
+            prop_assert_eq!(table.len(), model.len());
+            let queries: Vec<(V, V)> = seen.iter().copied().collect();
+            let got = table.get_batch(&queries);
+            for (q, g) in queries.iter().zip(got) {
+                prop_assert_eq!(g, model.get(q).copied(), "query {:?}", q);
+            }
+        }
+        let mut got: Vec<(V, V, u64)> = table.iter().collect();
+        let mut want: Vec<(V, V, u64)> =
+            model.into_iter().map(|((u, v), val)| (u, v, val)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Regression: `EsTree` distance labels match an independent
+    /// sequential BFS oracle after randomized deletion batches.
+    #[test]
+    fn estree_distances_match_bfs_oracle((n, edges, seed) in graph_strategy()) {
+        use batch_spanners::estree::UNREACHED;
+        let l = 10u32;
+        let directed: Vec<(V, V, u64)> = edges
+            .iter()
+            .flat_map(|e| {
+                [
+                    (e.u, e.v, ((e.u as u64) << 32) | e.u as u64),
+                    (e.v, e.u, ((e.v as u64) << 32) | e.v as u64),
+                ]
+            })
+            .collect();
+        let mut t = EsTree::new(n, 0, l, &directed);
+        let mut live = edges;
+        let mut cursor = 0usize;
+        while live.len() > 8 {
+            let b = 1 + (seed as usize + cursor) % 9;
+            cursor += 1;
+            let batch: Vec<Edge> = live.split_off(live.len().saturating_sub(b));
+            let dirs: Vec<(V, V)> =
+                batch.iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+            t.delete_batch(&dirs);
+            // Independent oracle: plain queue BFS over the live edges.
+            let mut adj: Vec<Vec<V>> = vec![Vec::new(); n];
+            for e in &live {
+                adj[e.u as usize].push(e.v);
+                adj[e.v as usize].push(e.u);
+            }
+            let mut want = vec![UNREACHED; n];
+            want[0] = 0;
+            let mut queue = std::collections::VecDeque::from([0 as V]);
+            while let Some(u) = queue.pop_front() {
+                if want[u as usize] >= l {
+                    continue;
+                }
+                for &w in &adj[u as usize] {
+                    if want[w as usize] == UNREACHED {
+                        want[w as usize] = want[u as usize] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for v in 0..n as V {
+                prop_assert_eq!(t.dist(v), want[v as usize], "vertex {}", v);
+            }
         }
     }
 

@@ -1,0 +1,374 @@
+//! Offline shim for the subset of `criterion` used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a small wall-clock benchmark harness with criterion's API
+//! shape: `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs `sample_size` samples
+//! (after one warm-up) and reports min / median / mean per-iteration
+//! times to stdout. There is no statistical regression machinery; the
+//! numbers are honest medians of wall-clock samples.
+//!
+//! Filters: `cargo bench -- <substring>` runs only benchmark ids
+//! containing the substring, like real criterion.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export with criterion's name: an identity function the optimizer
+/// cannot see through.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How batched setup output is sized; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Items or bytes processed per iteration, for ops/sec style reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        Self {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// One measured sample set, reported by the harness.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    pub id: String,
+    pub samples: Vec<Duration>,
+    pub throughput: Option<Throughput>,
+}
+
+impl SampleReport {
+    pub fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    fn mean(&self) -> Duration {
+        self.samples.iter().sum::<Duration>() / self.samples.len().max(1) as u32
+    }
+
+    fn print(&self) {
+        let med = self.median();
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if med.as_nanos() > 0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / med.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if med.as_nanos() > 0 => {
+                format!(
+                    "  ({:.3} MiB/s)",
+                    n as f64 / med.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<48} min {:>12?}  median {:>12?}  mean {:>12?}{rate}",
+            self.id,
+            min,
+            med,
+            self.mean()
+        );
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` directly, once per sample (plus one warm-up).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Like `iter_batched`, with a mutable reference handed to `routine`.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+    pub reports: Vec<SampleReport>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+            filter,
+            reports: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher<'_>)) {
+        let mut g = BenchmarkGroup {
+            parent: self,
+            name: String::new(),
+            throughput: None,
+            sample_size: None,
+        };
+        g.bench_function(id, f);
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) {
+        if let Some(filt) = &self.filter {
+            if !id.contains(filt.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size,
+        };
+        f(&mut b);
+        let report = SampleReport {
+            id,
+            samples,
+            throughput,
+        };
+        report.print();
+        self.reports.push(report);
+    }
+}
+
+/// Mirror of criterion's benchmark group.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn full_id(&self, id: impl std::fmt::Display) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher<'_>)) {
+        let full = self.full_id(id);
+        let (t, n) = (
+            self.throughput,
+            self.sample_size.unwrap_or(self.parent.sample_size),
+        );
+        self.parent.run_one(full, t, n, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) {
+        let full = self.full_id(id);
+        let (t, n) = (
+            self.throughput,
+            self.sample_size.unwrap_or(self.parent.sample_size),
+        );
+        self.parent.run_one(full, t, n, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!` — both the struct-config and plain forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!` — generates `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.filter = None;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+            b.iter(|| (0..x).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        assert_eq!(c.reports.len(), 2);
+        assert_eq!(c.reports[0].id, "g/f/1");
+        assert_eq!(c.reports[0].samples.len(), 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = Some("nope".into());
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(c.reports.is_empty());
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

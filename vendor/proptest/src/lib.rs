@@ -1,0 +1,275 @@
+//! Offline shim for the subset of `proptest` used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the `proptest!` macro, `Strategy` with `prop_map`, integer
+//! range and `any::<T>()` strategies, tuple composition,
+//! `prop::collection::vec`, and the `prop_assert*` macros. Each test
+//! case runs with a deterministic per-case RNG; there is no shrinking —
+//! a failing case panics with the case index so it can be replayed by
+//! reading the seed (cases are numbered deterministically).
+
+pub mod test_runner {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Per-case deterministic RNG.
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        pub fn for_case(case: u32) -> Self {
+            Self(StdRng::seed_from_u64(
+                0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1),
+            ))
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::Config` (cases only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values; the shim's `Strategy` has no shrinking.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<R, F: Fn(Self::Value) -> R>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+        {
+            MapStrategy { base: self, f }
+        }
+    }
+
+    pub struct MapStrategy<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for MapStrategy<S, F> {
+        type Value = R;
+
+        fn generate(&self, rng: &mut TestRng) -> R {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// `any::<T>()` — full-range values.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! any_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen()
+                }
+            }
+        )*};
+    }
+    any_strategy!(u8, u16, u32, u64, usize, i32, i64, bool);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    pub mod collection {
+        use super::{Strategy, TestRng};
+        use rand::Rng;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.0.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The `prop::` path used by callers (`prop::collection::vec`).
+pub mod prop {
+    pub use super::strategy::collection;
+}
+
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{any, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block macro. Each `#[test] fn name(pat in strategy,
+/// ...) { body }` becomes a zero-argument test running `cases`
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let __strategies = ($($strat,)+);
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $crate::__proptest_bind!(__strategies, __rng, __case, ($($pat),+));
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($strats:ident, $rng:ident, $case:ident, ($p0:pat)) => {
+        let $p0 = $crate::strategy::Strategy::generate(&$strats.0, &mut $rng);
+    };
+    ($strats:ident, $rng:ident, $case:ident, ($p0:pat, $p1:pat)) => {
+        let $p0 = $crate::strategy::Strategy::generate(&$strats.0, &mut $rng);
+        let $p1 = $crate::strategy::Strategy::generate(&$strats.1, &mut $rng);
+    };
+    ($strats:ident, $rng:ident, $case:ident, ($p0:pat, $p1:pat, $p2:pat)) => {
+        let $p0 = $crate::strategy::Strategy::generate(&$strats.0, &mut $rng);
+        let $p1 = $crate::strategy::Strategy::generate(&$strats.1, &mut $rng);
+        let $p2 = $crate::strategy::Strategy::generate(&$strats.2, &mut $rng);
+    };
+    ($strats:ident, $rng:ident, $case:ident, ($p0:pat, $p1:pat, $p2:pat, $p3:pat)) => {
+        let $p0 = $crate::strategy::Strategy::generate(&$strats.0, &mut $rng);
+        let $p1 = $crate::strategy::Strategy::generate(&$strats.1, &mut $rng);
+        let $p2 = $crate::strategy::Strategy::generate(&$strats.2, &mut $rng);
+        let $p3 = $crate::strategy::Strategy::generate(&$strats.3, &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in 3usize..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((3..=5).contains(&y));
+        }
+
+        #[test]
+        fn mapped_tuples_compose((a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<u16>(), 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut r1 = crate::test_runner::TestRng::for_case(3);
+        let mut r2 = crate::test_runner::TestRng::for_case(3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

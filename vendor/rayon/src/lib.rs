@@ -1,0 +1,1003 @@
+//! Offline shim for the subset of `rayon` used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the parallel-iterator surface the workspace actually
+//! calls — `par_iter` / `par_iter_mut` / `into_par_iter` / `par_chunks`,
+//! the `map` / `filter` / `filter_map` / `flat_map_iter` / `enumerate` /
+//! `zip` adaptors, the `collect` / `for_each` / `max_by_key` terminals,
+//! the parallel sorts, and the `ThreadPoolBuilder::install` thread-count
+//! scoping — on top of `std::thread::scope`.
+//!
+//! Execution model: a chain of adaptors is split into contiguous pieces
+//! (each piece carries its closures behind an `Arc`), every piece is
+//! materialized sequentially on its own scoped thread, and the per-piece
+//! outputs are concatenated in order — so all order-preserving semantics
+//! of the real rayon hold. Below [`MIN_PAR`] items, or when the effective
+//! thread count is 1, everything runs sequentially on the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Below this many (estimated) items a chain runs sequentially. Kept
+/// minimal: callers in this workspace gate parallelism by input size
+/// themselves (`bds_par::GRAIN`), and chunked chains legitimately carry
+/// very few — but individually large — items.
+pub const MIN_PAR: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.with(|c| c.get());
+    if o != 0 {
+        o
+    } else {
+        hardware_threads()
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuilder` (only `num_threads` + `build`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { n })
+    }
+}
+
+/// A "pool" is just a pinned thread count: `install` scopes the count for
+/// every shim primitive (transitively) invoked from `f`.
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        // Restore via drop guard so a panicking closure cannot leave the
+        // override pinned on this thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(self.n)));
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator trait
+// ---------------------------------------------------------------------------
+
+/// Evenly partition `len` items into at most `n` contiguous ranges.
+fn split_ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, len.max(1));
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// A piece-wise splittable, sequentially drivable iterator chain.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Upper bound on the number of items (exact for indexed chains).
+    fn len_hint(&self) -> usize;
+
+    /// Exact length, when the chain is indexed (no filter/flat-map).
+    fn exact_len(&self) -> Option<usize>;
+
+    /// Split into at most `n` contiguous pieces.
+    fn split_into(self, n: usize) -> Vec<Self>;
+
+    /// Materialize this piece sequentially, in order.
+    fn drive(self, out: &mut Vec<Self::Item>);
+
+    // ---- adaptors -------------------------------------------------------
+
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    fn filter<F: Fn(&Self::Item) -> bool + Sync + Send>(self, f: F) -> Filter<Self, F> {
+        Filter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    fn filter_map<R: Send, F: Fn(Self::Item) -> Option<R> + Sync + Send>(
+        self,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// `flat_map` whose mapper returns a *sequential* iterator.
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        FlatMapIter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        assert!(
+            self.exact_len().is_some(),
+            "enumerate requires an indexed chain"
+        );
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        let (la, lb) = (self.exact_len(), other.exact_len());
+        assert!(la.is_some() && lb.is_some(), "zip requires indexed chains");
+        // Unequal sides would split at different boundaries and silently
+        // mispair elements; the shim requires equal lengths up front
+        // (real rayon truncates element-wise instead).
+        assert_eq!(la, lb, "zip requires equal-length chains in this shim");
+        Zip { a: self, b: other }
+    }
+
+    // ---- terminals ------------------------------------------------------
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        let _: Vec<()> = run_vec(self.map(f));
+    }
+
+    /// Maximum by key; ties resolve to the *last* maximal item, matching
+    /// rayon (and `std::iter::Iterator::max_by_key`).
+    fn max_by_key<K: Ord, F: Fn(&Self::Item) -> K + Sync + Send>(self, f: F) -> Option<Self::Item> {
+        run_vec(self).into_iter().max_by_key(|it| f(it))
+    }
+
+    fn min_by_key<K: Ord, F: Fn(&Self::Item) -> K + Sync + Send>(self, f: F) -> Option<Self::Item> {
+        run_vec(self).into_iter().min_by_key(|it| f(it))
+    }
+
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_vec(self).into_iter().max()
+    }
+
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_vec(self).into_iter().min()
+    }
+
+    fn sum<S: std::iter::Sum<Self::Item> + Send>(self) -> S {
+        run_vec(self).into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        run_vec(self).len()
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        run_vec(self).into_iter().fold(identity(), op)
+    }
+}
+
+/// Materialize a chain, in order, using up to `current_num_threads()`
+/// scoped threads.
+fn run_vec<P: ParallelIterator>(p: P) -> Vec<P::Item> {
+    let threads = current_num_threads();
+    if threads <= 1 || p.len_hint() < MIN_PAR {
+        let mut out = Vec::new();
+        p.drive(&mut out);
+        return out;
+    }
+    let pieces = p.split_into(threads * 4);
+    if pieces.len() <= 1 {
+        let mut out = Vec::new();
+        for piece in pieces {
+            piece.drive(&mut out);
+        }
+        return out;
+    }
+    let chunks: Vec<Vec<P::Item>> = std::thread::scope(|s| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .map(|piece| {
+                s.spawn(move || {
+                    let mut v = Vec::new();
+                    piece.drive(&mut v);
+                    v
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut c in chunks {
+        out.append(&mut c);
+    }
+    out
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        run_vec(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `[T]::par_iter()`.
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.slice.len())
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        split_ranges(self.slice.len(), n)
+            .into_iter()
+            .map(|(a, b)| SliceParIter {
+                slice: &self.slice[a..b],
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice.iter());
+    }
+}
+
+/// `[T]::par_iter_mut()`.
+pub struct SliceParIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.slice.len())
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let mut pieces = Vec::new();
+        let mut rest = self.slice;
+        let len = rest.len();
+        for (a, b) in split_ranges(len, n) {
+            let (head, tail) = rest.split_at_mut(b - a);
+            pieces.push(SliceParIterMut { slice: head });
+            rest = tail;
+        }
+        pieces
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice.iter_mut());
+    }
+}
+
+/// `[T]::par_chunks(size)`.
+pub struct SliceChunksIter<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.len_hint())
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let nchunks = self.len_hint();
+        split_ranges(nchunks, n)
+            .into_iter()
+            .map(|(a, b)| SliceChunksIter {
+                slice: &self.slice[a * self.size..(b * self.size).min(self.slice.len())],
+                size: self.size,
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice.chunks(self.size));
+    }
+}
+
+/// `Vec<T>::into_par_iter()`.
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.items.len()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+
+    fn split_into(mut self, n: usize) -> Vec<Self> {
+        let ranges = split_ranges(self.items.len(), n);
+        let mut pieces: Vec<Self> = Vec::with_capacity(ranges.len());
+        // Split off from the back so indices stay valid.
+        for (a, _) in ranges.into_iter().rev() {
+            pieces.push(VecParIter {
+                items: self.items.split_off(a),
+            });
+        }
+        pieces.reverse();
+        pieces
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.items);
+    }
+}
+
+/// `Range<{u32, u64, usize}>::into_par_iter()`.
+pub struct RangeParIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn len_hint(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+
+            fn exact_len(&self) -> Option<usize> {
+                Some(self.len_hint())
+            }
+
+            fn split_into(self, n: usize) -> Vec<Self> {
+                split_ranges(self.len_hint(), n)
+                    .into_iter()
+                    .map(|(a, b)| RangeParIter {
+                        start: self.start + a as $t,
+                        end: self.start + b as $t,
+                    })
+                    .collect()
+            }
+
+            fn drive(self, out: &mut Vec<Self::Item>) {
+                out.extend(self.start..self.end);
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                RangeParIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+range_par_iter!(u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+pub struct Map<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, R, F> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        self.base.exact_len()
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|piece| Map {
+                base: piece,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        let mut tmp = Vec::new();
+        self.base.drive(&mut tmp);
+        out.reserve(tmp.len());
+        for item in tmp {
+            out.push((self.f)(item));
+        }
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, F> ParallelIterator for Filter<S, F>
+where
+    S: ParallelIterator,
+    F: Fn(&S::Item) -> bool + Sync + Send,
+{
+    type Item = S::Item;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|piece| Filter {
+                base: piece,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        let mut tmp = Vec::new();
+        self.base.drive(&mut tmp);
+        out.extend(tmp.into_iter().filter(|x| (self.f)(x)));
+    }
+}
+
+pub struct FilterMap<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, R, F> ParallelIterator for FilterMap<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> Option<R> + Sync + Send,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|piece| FilterMap {
+                base: piece,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        let mut tmp = Vec::new();
+        self.base.drive(&mut tmp);
+        out.extend(tmp.into_iter().filter_map(|x| (self.f)(x)));
+    }
+}
+
+pub struct FlatMapIter<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, I, F> ParallelIterator for FlatMapIter<S, F>
+where
+    S: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(S::Item) -> I + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn len_hint(&self) -> usize {
+        // Unknown expansion; assume 2× as a splitting heuristic.
+        self.base.len_hint().saturating_mul(2)
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|piece| FlatMapIter {
+                base: piece,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        let mut tmp = Vec::new();
+        self.base.drive(&mut tmp);
+        for item in tmp {
+            out.extend((self.f)(item));
+        }
+    }
+}
+
+pub struct Enumerate<S> {
+    base: S,
+    offset: usize,
+}
+
+impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        self.base.exact_len()
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        let mut offset = self.offset;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|piece| {
+                let here = offset;
+                offset += piece
+                    .exact_len()
+                    .expect("enumerate requires indexed pieces");
+                Enumerate {
+                    base: piece,
+                    offset: here,
+                }
+            })
+            .collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        let mut tmp = Vec::new();
+        self.base.drive(&mut tmp);
+        out.reserve(tmp.len());
+        for (i, item) in tmp.into_iter().enumerate() {
+            out.push((self.offset + i, item));
+        }
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len_hint(&self) -> usize {
+        self.a.len_hint().min(self.b.len_hint())
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        match (self.a.exact_len(), self.b.exact_len()) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            _ => None,
+        }
+    }
+
+    fn split_into(self, n: usize) -> Vec<Self> {
+        // Both sides split by identical (len-determined) boundaries as
+        // long as their lengths match; zip callers in this workspace
+        // always zip equal-length chains.
+        let pa = self.a.split_into(n);
+        let pb = self.b.split_into(pa.len());
+        pa.into_iter().zip(pb).map(|(a, b)| Zip { a, b }).collect()
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        let mut ta = Vec::new();
+        self.a.drive(&mut ta);
+        let mut tb = Vec::new();
+        self.b.drive(&mut tb);
+        out.extend(ta.into_iter().zip(tb));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the prelude surface)
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self }
+    }
+}
+
+/// `par_iter()` / `par_chunks()` on slices (and, by deref, `Vec`s).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    fn par_chunks(&self, size: usize) -> SliceChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> SliceChunksIter<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        SliceChunksIter { slice: self, size }
+    }
+}
+
+/// `par_iter_mut()` and the parallel sorts on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F);
+
+    fn par_sort_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, cmp: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { slice: self }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_sort_impl(self, &|a, b| a.cmp(b));
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
+        par_sort_impl(self, &|a, b| key(a).cmp(&key(b)));
+    }
+
+    fn par_sort_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, cmp: F) {
+        par_sort_impl(self, &cmp);
+    }
+}
+
+/// Chunk-sort on scoped threads, then a sequential k-way (pairwise)
+/// merge. Stable, since both phases preserve the order of equal keys.
+fn par_sort_impl<T: Send>(items: &mut [T], cmp: &(impl Fn(&T, &T) -> std::cmp::Ordering + Sync)) {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 4096 {
+        items.sort_by(cmp);
+        return;
+    }
+    let len = items.len();
+    // Phase 1: sort contiguous chunks in parallel.
+    let ranges = split_ranges(len, threads);
+    {
+        let mut rest: &mut [T] = items;
+        std::thread::scope(|s| {
+            for (a, b) in &ranges {
+                let (head, tail) = rest.split_at_mut(b - a);
+                rest = tail;
+                s.spawn(move || head.sort_by(cmp));
+            }
+        });
+    }
+    // Phase 2: pairwise merges (sequential; merge is memory-bound).
+    let mut bounds: Vec<usize> = ranges.iter().map(|&(_, b)| b).collect();
+    while bounds.len() > 1 {
+        let mut next = Vec::with_capacity(bounds.len().div_ceil(2));
+        let mut start = 0;
+        let mut i = 0;
+        while i < bounds.len() {
+            if i + 1 < bounds.len() {
+                merge_in_place(&mut items[start..bounds[i + 1]], bounds[i] - start, cmp);
+                next.push(bounds[i + 1]);
+                start = bounds[i + 1];
+                i += 2;
+            } else {
+                next.push(bounds[i]);
+                i += 1;
+            }
+        }
+        bounds = next;
+    }
+}
+
+/// Merge `items[..mid]` and `items[mid..]` (each sorted) stably.
+///
+/// Panic safety: the buffer holds bitwise *copies* of elements whose
+/// originals stay in place until the final write-back, and [`NoDrop`]
+/// guarantees the copies are never dropped — so a panicking comparator
+/// unwinds with every element still owned exactly once by the slice.
+fn merge_in_place<T>(items: &mut [T], mid: usize, cmp: &impl Fn(&T, &T) -> std::cmp::Ordering) {
+    struct NoDrop<T> {
+        buf: Vec<T>,
+    }
+    impl<T> Drop for NoDrop<T> {
+        fn drop(&mut self) {
+            // Forget the bitwise copies; the slice owns the originals.
+            unsafe { self.buf.set_len(0) }
+        }
+    }
+
+    if mid == 0 || mid == items.len() {
+        return;
+    }
+    let mut merged = NoDrop {
+        buf: Vec::with_capacity(items.len()),
+    };
+    unsafe {
+        let (mut i, mut j) = (0usize, mid);
+        let ptr = items.as_ptr();
+        while i < mid && j < items.len() {
+            if cmp(&*ptr.add(j), &*ptr.add(i)) == std::cmp::Ordering::Less {
+                merged.buf.push(std::ptr::read(ptr.add(j)));
+                j += 1;
+            } else {
+                merged.buf.push(std::ptr::read(ptr.add(i)));
+                i += 1;
+            }
+        }
+        while i < mid {
+            merged.buf.push(std::ptr::read(ptr.add(i)));
+            i += 1;
+        }
+        while j < items.len() {
+            merged.buf.push(std::ptr::read(ptr.add(j)));
+            j += 1;
+        }
+        let dst = items.as_mut_ptr();
+        std::ptr::copy_nonoverlapping(merged.buf.as_ptr(), dst, merged.buf.len());
+        // NoDrop's Drop clears the buffer without dropping the copies.
+    }
+}
+
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..100_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 100_000);
+        assert!(v.windows(2).all(|w| w[1] == w[0] + 2));
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let evens: Vec<u32> = xs
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 5_000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+        let doubled: Vec<u32> = xs.par_iter().flat_map_iter(|&x| [x, x]).collect();
+        assert_eq!(doubled.len(), 20_000);
+        assert_eq!(&doubled[..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn enumerate_and_zip_line_up() {
+        let a: Vec<u32> = (0..5_000).collect();
+        let b: Vec<u32> = (5_000..10_000).collect();
+        let pairs: Vec<(usize, (&u32, &u32))> =
+            a.par_iter().zip(b.par_iter()).enumerate().collect();
+        for (i, (x, y)) in &pairs {
+            assert_eq!(**x as usize, *i);
+            assert_eq!(**y as usize, *i + 5_000);
+        }
+    }
+
+    #[test]
+    fn iter_mut_reaches_every_item() {
+        let mut v = vec![1u64; 10_000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn sorts_match_sequential() {
+        let mut a: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b9) % 1000)
+            .collect();
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        let mut c: Vec<(u64, usize)> = b.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        let mut d = c.clone();
+        // Comparator (not key) form on purpose: this exercises the
+        // `par_sort_by` entry point against std's stable sort.
+        #[allow(clippy::unnecessary_sort_by)]
+        {
+            c.par_sort_by(|x, y| x.0.cmp(&y.0));
+            d.sort_by(|x, y| x.0.cmp(&y.0));
+        }
+        assert_eq!(c, d, "par_sort_by must be stable");
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        assert_ne!(super::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn max_by_key_takes_last_tie() {
+        let xs = vec![1u32, 5, 3, 5, 2];
+        let m = xs
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .max_by_key(|&(_, x)| x);
+        assert_eq!(m, Some((3, 5)));
+    }
+}

@@ -1,0 +1,422 @@
+//! PR-2 perf snapshot: writes `BENCH_PR2.json` — treap-vs-flat
+//! `PriorityList` comparisons (`next_with` scan throughput, batch list
+//! construction as in `DecrementalSpanner::with_shifts`), the
+//! `EsTree::delete_batch` end-to-end churn workload against the frozen
+//! PR-1 implementation, sequential-vs-partitioned
+//! `EdgeTable::remove_batch`, and the ultra/contract-shape adjacency
+//! churn that measures `FlatList::insert`'s O(degree) memmove trade-off
+//! at both typical and hub degrees.
+//!
+//! Usage: `cargo run --release -p bds_bench --bin bench_pr2 [-- out.json] [--quick]`
+//!
+//! Timing uses interleaved repetitions with per-side minima so the
+//! numbers survive noisy-neighbor hosts; `--quick` shrinks the workload
+//! for CI smoke runs.
+
+use bds_bench::pr1_estree;
+use bds_bench::treap_list::TreapList;
+use bds_core::DecrementalSpanner;
+use bds_dstruct::{EdgeTable, PriorityList};
+use bds_estree::{EsTree, ShiftedGraph};
+use bds_graph::gen;
+use bds_graph::types::{Edge, V};
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = std::hint::black_box(f());
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn directed(edges: &[Edge]) -> Vec<(V, V, u64)> {
+    edges
+        .iter()
+        .flat_map(|e| {
+            [
+                (e.u, e.v, ((e.u as u64) << 32) | e.u as u64),
+                (e.v, e.u, ((e.v as u64) << 32) | e.v as u64),
+            ]
+        })
+        .collect()
+}
+
+/// Treap-vs-flat `NextWith` scan throughput over `lists` lists of `len`
+/// entries each (the Even–Shiloach shape: one list per vertex, length =
+/// in-degree). Every round scans every list front-to-back with a
+/// never-matching predicate; returns (flat_ms, treap_ms) minima.
+fn scan_numbers(lists: usize, len: usize, rounds: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let entries: Vec<Vec<(u64, u32)>> = (0..lists)
+        .map(|_| {
+            let mut es: Vec<(u64, u32)> =
+                (0..len).map(|i| (rng.gen::<u64>() | 1, i as u32)).collect();
+            es.sort_unstable_by_key(|&(p, _)| p);
+            es.dedup_by_key(|&mut (p, _)| p);
+            es
+        })
+        .collect();
+    let flat: Vec<PriorityList<u32>> = entries
+        .iter()
+        .map(|es| PriorityList::from_entries(es.iter().copied()))
+        .collect();
+    let treap: Vec<TreapList<u32>> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, es)| TreapList::from_entries(i as u64 * 2 + 1, es.iter().copied()))
+        .collect();
+    let (mut fm, mut tm) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let mut wf = 0u64;
+        let (d, _) = ms(|| {
+            for l in &flat {
+                std::hint::black_box(l.next_with(0, |_, &v| v == u32::MAX, &mut wf));
+            }
+            wf
+        });
+        fm = fm.min(d);
+        let mut wt = 0u64;
+        let (e, _) = ms(|| {
+            for l in &treap {
+                std::hint::black_box(l.next_with(0, |_, &v| v == u32::MAX, &mut wt));
+            }
+            wt
+        });
+        tm = tm.min(e);
+        assert_eq!(wf, wt, "both sides must examine the same entries");
+    }
+    (fm, tm)
+}
+
+/// `EsTree::delete_batch` end-to-end churn at G(n, 6n): interleaved
+/// current-vs-PR-1 minima. Returns (init_cur, rate_cur, init_pr1,
+/// rate_pr1) with rates in directed deletions per second.
+fn estree_numbers(n: usize, seed: u64, reps: u64) -> (f64, f64, f64, f64) {
+    let edges = gen::gnm_connected(n, 6 * n, seed);
+    let dirs = directed(&edges);
+    let l = 24u32;
+    let (mut init_cur, mut init_pr1) = (f64::MAX, f64::MAX);
+    let (mut rate_cur, mut rate_pr1) = (0.0f64, 0.0f64);
+    for rep in 0..reps {
+        let mut schedule: Vec<Vec<(V, V)>> = Vec::new();
+        {
+            let mut live = edges.clone();
+            let mut rng = StdRng::seed_from_u64(seed ^ (rep + 1));
+            live.shuffle(&mut rng);
+            let rounds = 16usize;
+            let per = 256usize.min(live.len() / (rounds + 1));
+            for _ in 0..rounds {
+                let batch: Vec<Edge> = live.split_off(live.len() - per);
+                schedule.push(
+                    batch
+                        .iter()
+                        .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+                        .collect(),
+                );
+            }
+        }
+        let deleted: usize = schedule.iter().map(Vec::len).sum();
+
+        let (d, mut t) = ms(|| EsTree::new(n, 0, l, &dirs));
+        init_cur = init_cur.min(d);
+        let t0 = Instant::now();
+        for batch in &schedule {
+            t.delete_batch(batch);
+        }
+        rate_cur = rate_cur.max(deleted as f64 / t0.elapsed().as_secs_f64());
+
+        let (d, mut t) = ms(|| pr1_estree::EsTree::new(n, 0, l, &dirs));
+        init_pr1 = init_pr1.min(d);
+        let t0 = Instant::now();
+        for batch in &schedule {
+            t.delete_batch(batch);
+        }
+        rate_pr1 = rate_pr1.max(deleted as f64 / t0.elapsed().as_secs_f64());
+    }
+    (init_cur, rate_cur, init_pr1, rate_pr1)
+}
+
+/// In-list construction, `with_shifts` shape: every directed edge
+/// becomes an entry `(target, priority, src)` and all n lists build at
+/// once. Compares the PR-1 path (per-vertex sequential treap inserts,
+/// entries pre-grouped *outside* the timed region — generous to the
+/// baseline) against the PR-2 path (one global sort + per-vertex
+/// zero-comparison bulk build, sort *inside* the timed region). Also
+/// times full `DecrementalSpanner::with_shifts` for the record.
+fn build_numbers(n: usize, m: usize, rounds: usize) -> (f64, f64, f64) {
+    let edges = gen::gnm_connected(n, m, 17);
+    let mut rng = StdRng::seed_from_u64(23);
+    let dirs: Vec<(V, u64, V)> = edges
+        .iter()
+        .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+        .map(|(a, b)| (b, rng.gen::<u64>() | 1, a))
+        .collect();
+    let mut grouped: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+    for &(tgt, p, src) in &dirs {
+        grouped[tgt as usize].push((p, src));
+    }
+    let (mut flat_ms, mut treap_ms) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let (d, lists) = ms(|| {
+            let mut entries: Vec<(V, Reverse<u64>, V)> =
+                bds_par::par_map(&dirs, |&(tgt, p, src)| (tgt, Reverse(p), src));
+            bds_par::par_sort(&mut entries);
+            let ids: Vec<V> = (0..n as V).collect();
+            bds_par::par_map(&ids, |&v| {
+                let lo = entries.partition_point(|&(x, _, _)| x < v);
+                let hi = entries.partition_point(|&(x, _, _)| x <= v);
+                PriorityList::from_sorted_entries(
+                    entries[lo..hi].iter().map(|&(_, Reverse(p), src)| (p, src)),
+                )
+            })
+        });
+        assert_eq!(lists.len(), n);
+        flat_ms = flat_ms.min(d);
+        let (e, lists) = ms(|| {
+            grouped
+                .iter()
+                .enumerate()
+                .map(|(v, es)| TreapList::from_entries(v as u64 * 2 + 1, es.iter().copied()))
+                .collect::<Vec<TreapList<u32>>>()
+        });
+        assert_eq!(lists.len(), n);
+        treap_ms = treap_ms.min(e);
+    }
+    let sg = ShiftedGraph::sample(n, (10.0 * n as f64).ln() / 3.0, Some(3.0), 31);
+    let (ws_ms, s) = ms(|| DecrementalSpanner::with_shifts(n, 3, &edges, sg));
+    std::hint::black_box(s.spanner_size());
+    (flat_ms, treap_ms, ws_ms)
+}
+
+/// Sequential pointwise removes vs `remove_batch` on an `m`-entry table
+/// (half the keys removed). On a single hardware thread `remove_batch`
+/// takes the same sequential path, so parity is the expected result
+/// there; the partitioned parallel path engages on multicore hosts.
+fn remove_numbers(m: usize, rounds: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let entries: Vec<(u32, u32, u64)> = (0..m as u32).map(|i| (i / 5, i, rng.gen())).collect();
+    let table = EdgeTable::from_batch(&entries);
+    let dels: Vec<(u32, u32)> = entries.iter().step_by(2).map(|&(u, v, _)| (u, v)).collect();
+    let (mut seq_ms, mut batch_ms) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let mut t = table.clone();
+        let (d, removed) = ms(|| {
+            let mut r = 0usize;
+            for &(u, v) in &dels {
+                r += usize::from(t.remove(u, v).is_some());
+            }
+            r
+        });
+        assert_eq!(removed, dels.len());
+        seq_ms = seq_ms.min(d);
+        let mut t = table.clone();
+        let (e, removed) = ms(|| t.remove_batch(&dels));
+        assert_eq!(removed, dels.len());
+        batch_ms = batch_ms.min(e);
+    }
+    (seq_ms, batch_ms)
+}
+
+/// Ultra/contract-shape adjacency churn: lists keyed by
+/// `(unmark, rand, neighbor)` under remove-one / insert-one / `first()`
+/// cycles — the fully-dynamic insert path where `FlatList::insert` pays
+/// an O(degree) memmove against the treap's O(log degree). Measured at
+/// both the typical-degree shape (where flat's cache behavior wins) and
+/// a single high-degree hub (where the memmove loses) so the trade-off
+/// ships measured rather than assumed. Returns (flat_ms, treap_ms).
+fn adj_churn_numbers(lists: usize, len: usize, ops: usize, rounds: usize) -> (f64, f64) {
+    type K = (u8, u64, u32);
+    let mut rng = StdRng::seed_from_u64(77);
+    let keysets: Vec<Vec<K>> = (0..lists)
+        .map(|_| {
+            (0..len)
+                .map(|i| (u8::from(rng.gen_bool(0.7)), rng.gen::<u64>() | 1, i as u32))
+                .collect()
+        })
+        .collect();
+    // (list, slot to replace, replacement key); slot indexes the list's
+    // evolving key vector, identically for both sides.
+    let sched: Vec<(usize, usize, K)> = (0..ops)
+        .map(|_| {
+            (
+                rng.gen_range(0..lists),
+                rng.gen_range(0..len),
+                (
+                    u8::from(rng.gen_bool(0.7)),
+                    rng.gen::<u64>() | 1,
+                    rng.gen_range(0..u32::MAX / 2),
+                ),
+            )
+        })
+        .collect();
+    let (mut fm, mut tm) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let mut flat: Vec<bds_dstruct::FlatList<K, ()>> = keysets
+            .iter()
+            .map(|ks| bds_dstruct::FlatList::from_entries(ks.iter().map(|&k| (k, ()))))
+            .collect();
+        let mut cur = keysets.clone();
+        let (d, heads) = ms(|| {
+            let mut acc = 0u64;
+            for &(l, s, k) in &sched {
+                let old = std::mem::replace(&mut cur[l][s], k);
+                flat[l].remove(&old).expect("live adjacency key");
+                flat[l].insert(k, ());
+                acc ^= flat[l].first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        fm = fm.min(d);
+        let mut treap: Vec<bds_dstruct::Treap<K, ()>> = keysets
+            .iter()
+            .enumerate()
+            .map(|(i, ks)| {
+                let mut t = bds_dstruct::Treap::new(i as u64 * 2 + 1);
+                for &k in ks {
+                    t.insert(k, ());
+                }
+                t
+            })
+            .collect();
+        let mut cur = keysets.clone();
+        let (e, theads) = ms(|| {
+            let mut acc = 0u64;
+            for &(l, s, k) in &sched {
+                let old = std::mem::replace(&mut cur[l][s], k);
+                treap[l].remove(&old).expect("live adjacency key");
+                treap[l].insert(k, ());
+                acc ^= treap[l].first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        tm = tm.min(e);
+        assert_eq!(heads, theads, "both sides must track the same heads");
+    }
+    (fm, tm)
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = a;
+        }
+    }
+    let (n, reps) = if quick { (20_000, 1) } else { (100_000, 3) };
+    let (scan_lists, scan_len, rounds) = if quick {
+        (20_000, 12, 3)
+    } else {
+        (100_000, 12, 7)
+    };
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"pr\": 2,");
+    let _ = writeln!(j, "  \"threads\": {},", bds_par::threads_available());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+
+    let (flat_ms, treap_ms) = scan_numbers(scan_lists, scan_len, rounds);
+    eprintln!(
+        "next_with scan ({scan_lists} lists x {scan_len}): flat {flat_ms:.2}ms vs treap {treap_ms:.2}ms ({:.2}x)",
+        treap_ms / flat_ms
+    );
+    let (big_flat, big_treap) = scan_numbers(64, if quick { 4_096 } else { 16_384 }, rounds);
+    eprintln!(
+        "next_with scan (64 lists x {}): flat {big_flat:.2}ms vs treap {big_treap:.2}ms ({:.2}x)",
+        if quick { 4_096 } else { 16_384 },
+        big_treap / big_flat
+    );
+    let _ = writeln!(j, "  \"next_with_scan\": {{");
+    let _ = writeln!(
+        j,
+        "    \"short_lists\": {{ \"flat_ms\": {flat_ms:.3}, \"treap_ms\": {treap_ms:.3}, \"speedup\": {:.2} }},",
+        treap_ms / flat_ms
+    );
+    let _ = writeln!(
+        j,
+        "    \"long_lists\": {{ \"flat_ms\": {big_flat:.3}, \"treap_ms\": {big_treap:.3}, \"speedup\": {:.2} }}",
+        big_treap / big_flat
+    );
+    let _ = writeln!(j, "  }},");
+
+    let (init_cur, rate_cur, init_pr1, rate_pr1) = estree_numbers(n, 5, reps);
+    eprintln!(
+        "estree n={n}: init {init_cur:.1}ms (pr1 {init_pr1:.1}ms), {rate_cur:.0} deletions/s (pr1 {rate_pr1:.0}, {:.2}x)",
+        rate_cur / rate_pr1
+    );
+    let _ = writeln!(j, "  \"estree_churn_n{}k\": {{", n / 1000);
+    let _ = writeln!(j, "    \"init_ms\": {init_cur:.2},");
+    let _ = writeln!(j, "    \"pr1_init_ms\": {init_pr1:.2},");
+    let _ = writeln!(j, "    \"delete_throughput_per_s\": {rate_cur:.0},");
+    let _ = writeln!(j, "    \"pr1_delete_throughput_per_s\": {rate_pr1:.0},");
+    let _ = writeln!(
+        j,
+        "    \"delete_speedup_vs_pr1\": {:.2}",
+        rate_cur / rate_pr1
+    );
+    let _ = writeln!(j, "  }},");
+
+    let (build_flat, build_treap, ws_ms) = build_numbers(n, 6 * n, rounds.min(5));
+    eprintln!(
+        "with_shifts-shape list build n={n}: batch {build_flat:.1}ms vs sequential treap inserts {build_treap:.1}ms ({:.2}x); full with_shifts {ws_ms:.1}ms",
+        build_treap / build_flat
+    );
+    let _ = writeln!(j, "  \"with_shifts_build_n{}k\": {{", n / 1000);
+    let _ = writeln!(j, "    \"batch_build_ms\": {build_flat:.2},");
+    let _ = writeln!(j, "    \"sequential_insert_ms\": {build_treap:.2},");
+    let _ = writeln!(j, "    \"build_speedup\": {:.2},", build_treap / build_flat);
+    let _ = writeln!(j, "    \"full_with_shifts_ms\": {ws_ms:.2}");
+    let _ = writeln!(j, "  }},");
+
+    let m = if quick { 200_000 } else { 1_000_000 };
+    let (seq_ms, batch_ms) = remove_numbers(m, rounds.min(5));
+    eprintln!(
+        "remove_batch m={m}: batch {batch_ms:.2}ms vs pointwise {seq_ms:.2}ms ({:.2}x)",
+        seq_ms / batch_ms
+    );
+    let _ = writeln!(j, "  \"edge_table_remove_m{}k\": {{", m / 1000);
+    let _ = writeln!(j, "    \"remove_batch_ms\": {batch_ms:.3},");
+    let _ = writeln!(j, "    \"pointwise_remove_ms\": {seq_ms:.3},");
+    let _ = writeln!(j, "    \"speedup\": {:.2}", seq_ms / batch_ms);
+    let _ = writeln!(j, "  }},");
+
+    let (typ_lists, typ_len, typ_ops) = if quick {
+        (500, 12, 10_000)
+    } else {
+        (2_000, 12, 50_000)
+    };
+    let (tf, tt) = adj_churn_numbers(typ_lists, typ_len, typ_ops, rounds.min(5));
+    eprintln!(
+        "adjacency churn ({typ_lists} lists x {typ_len}): flat {tf:.2}ms vs treap {tt:.2}ms ({:.2}x)",
+        tt / tf
+    );
+    let (hub_len, hub_ops) = if quick {
+        (5_000, 1_000)
+    } else {
+        (20_000, 4_000)
+    };
+    let (hf, ht) = adj_churn_numbers(1, hub_len, hub_ops, rounds.min(5));
+    eprintln!(
+        "adjacency churn (1 hub x {hub_len}): flat {hf:.2}ms vs treap {ht:.2}ms ({:.2}x)",
+        ht / hf
+    );
+    let _ = writeln!(j, "  \"adjacency_churn\": {{");
+    let _ = writeln!(
+        j,
+        "    \"typical_degree\": {{ \"flat_ms\": {tf:.3}, \"treap_ms\": {tt:.3}, \"speedup\": {:.2} }},",
+        tt / tf
+    );
+    let _ = writeln!(
+        j,
+        "    \"hub_degree\": {{ \"flat_ms\": {hf:.3}, \"treap_ms\": {ht:.3}, \"speedup\": {:.2} }}",
+        ht / hf
+    );
+    let _ = writeln!(j, "  }}\n}}");
+
+    std::fs::write(&out_path, &j).expect("write BENCH_PR2.json");
+    println!("wrote {out_path}");
+}

@@ -1,6 +1,10 @@
-//! Shared workload construction for the benches and the table generator.
+//! Shared workload construction for the benches and the table generator,
+//! plus frozen "before" implementations (`seed_estree`, `pr1_estree`,
+//! `treap_list`) that anchor the per-PR performance comparisons.
 
+pub mod pr1_estree;
 pub mod seed_estree;
+pub mod treap_list;
 
 use bds_graph::gen;
 use bds_graph::stream::UpdateStream;

@@ -1,25 +1,24 @@
-//! The SEED's Even–Shiloach tree, frozen at commit d5dd2b8 (tuple-keyed
-//! `FxHashMap<(V, V), u64>` priority index, fully sequential BFS and
-//! adjacency construction, treap-backed in-lists — preserved here via
-//! [`crate::treap_list::TreapList`] after the PR-2 flat-list migration). Kept verbatim (tests stripped) as the
-//! baseline side of the PR-1 before/after comparison in
-//! `benches/estree.rs` and the `bench_pr1` snapshot — measuring the
-//! EdgeTable + parallel-init rewrite against the exact pre-change hot
-//! path. Not part of the library surface.
+//! The PR-1 Even–Shiloach tree, frozen at commit 9a12661: identical to
+//! `bds_estree::EsTree` except for the in-list representation (treap-
+//! backed [`crate::treap_list::TreapList`] built by per-vertex
+//! sequential inserts) and the `FxHashMap`-based phase/net-change
+//! deduplication. This is the "before" side of the PR-2 flat-list
+//! comparison in `bench_pr2` — it isolates exactly the change under
+//! measurement, with the EdgeTable and parallel-init work of PR 1 on
+//! both sides. Not part of the library surface.
 #![allow(dead_code)]
 
 use crate::treap_list::TreapList;
-use bds_dstruct::FxHashMap;
+use bds_dstruct::edge_table::{pack, unpack};
+use bds_dstruct::{EdgeTable, FxHashMap};
 use bds_graph::types::V;
-use bds_par::WorkCounter;
+use bds_par::{WorkCounter, GRAIN};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Parent sentinel.
 pub const NO_VERTEX: V = V::MAX;
-/// `dist` value for vertices beyond depth L (the paper's "L + 1").
 pub const UNREACHED: u32 = u32::MAX;
 
-/// One vertex's parent pointer change from a deletion batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParentChange {
     pub vertex: V,
@@ -27,14 +26,10 @@ pub struct ParentChange {
     pub new_parent: V,
 }
 
-/// Work/recourse statistics for one batch (experiment E5).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EsBatchStats {
-    /// Entries examined by `NextWith` scans.
     pub scan_steps: u64,
-    /// Vertices processed across all phases.
     pub vertices_touched: u64,
-    /// Parent pointer changes.
     pub parent_changes: u64,
 }
 
@@ -42,7 +37,19 @@ struct InEntry {
     src: V,
 }
 
-/// Batched decremental Even–Shiloach tree on a digraph over `0..n`.
+#[inline]
+fn group_bounds(sorted: &[(u64, u64)], x: V) -> (usize, usize) {
+    let lo = sorted.partition_point(|&(k, _)| k < (x as u64) << 32);
+    let hi = sorted.partition_point(|&(k, _)| k < (x as u64 + 1) << 32);
+    (lo, hi)
+}
+
+/// SAFETY: see `bds_estree::tree` — same invariants.
+fn atomic_u32_view(dist: &mut [u32]) -> &[AtomicU32] {
+    unsafe { std::slice::from_raw_parts(dist.as_ptr() as *const AtomicU32, dist.len()) }
+}
+
+/// PR-1 batched decremental Even–Shiloach tree (treap in-lists).
 pub struct EsTree {
     n: usize,
     source: V,
@@ -52,52 +59,81 @@ pub struct EsTree {
     parent_prio: Vec<u64>,
     ins: Vec<TreapList<InEntry>>,
     outs: Vec<Vec<V>>,
-    /// directed edge (u → v) -> its priority inside `ins[v]`.
-    prio_of: FxHashMap<(V, V), u64>,
-    /// scratch: epoch marker for per-phase deduplication
+    prio_of: EdgeTable,
     mark: Vec<u32>,
     epoch: u32,
     pub scan_work: WorkCounter,
 }
 
 impl EsTree {
-    /// Build from directed, prioritized edges `(u, v, priority)` — the
-    /// priority orders `In(v)` descending and must be unique within each
-    /// in-list. Initialization runs a level-synchronous BFS (Lemma 3.2).
     pub fn new(n: usize, source: V, l_max: u32, edges: &[(V, V, u64)]) -> Self {
-        let mut ins: Vec<Vec<(u64, InEntry)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut outs: Vec<Vec<V>> = (0..n).map(|_| Vec::new()).collect();
-        let mut prio_of = FxHashMap::default();
-        prio_of.reserve(edges.len());
-        for &(u, v, p) in edges {
-            ins[v as usize].push((p, InEntry { src: u }));
-            outs[u as usize].push(v);
-            let dup = prio_of.insert((u, v), p);
-            assert!(dup.is_none(), "duplicate directed edge ({u},{v})");
-        }
-        let ins: Vec<TreapList<InEntry>> = ins
-            .into_iter()
-            .enumerate()
-            .map(|(v, es)| TreapList::from_entries(0x9e37_79b9 ^ v as u64, es))
-            .collect();
+        let mut fwd: Vec<(u64, u64)> = bds_par::par_map(edges, |&(u, v, p)| (pack(u, v), !p));
+        bds_par::par_sort(&mut fwd);
+        fwd.dedup_by_key(|&mut (k, _)| k);
+        let fwd: Vec<(u64, u64)> = bds_par::par_map(&fwd, |&(k, np)| (k, !np));
 
-        // Level-synchronous BFS from the source, truncated at l_max.
+        let prio_of = EdgeTable::from_sorted_batch(&fwd);
+
+        let mut rev: Vec<(u64, u64)> = bds_par::par_map(&fwd, |&(k, p)| {
+            let (u, v) = unpack(k);
+            (pack(v, u), p)
+        });
+        bds_par::par_sort(&mut rev);
+        let ids: Vec<V> = (0..n as V).collect();
+        let outs: Vec<Vec<V>> = bds_par::par_map(&ids, |&u| {
+            let (lo, hi) = group_bounds(&fwd, u);
+            fwd[lo..hi].iter().map(|&(k, _)| unpack(k).1).collect()
+        });
+        let ins: Vec<TreapList<InEntry>> = bds_par::par_map(&ids, |&v| {
+            let (lo, hi) = group_bounds(&rev, v);
+            TreapList::from_entries(
+                0x9e37_79b9 ^ v as u64,
+                rev[lo..hi]
+                    .iter()
+                    .map(|&(k, p)| (p, InEntry { src: unpack(k).1 })),
+            )
+        });
+
         let mut dist = vec![UNREACHED; n];
         dist[source as usize] = 0;
         let mut frontier = vec![source];
         let mut d = 0;
         while !frontier.is_empty() && d < l_max {
             d += 1;
-            let mut next = Vec::new();
-            for &u in &frontier {
-                for &w in &outs[u as usize] {
-                    if dist[w as usize] == UNREACHED {
-                        dist[w as usize] = d;
-                        next.push(w);
+            frontier = if frontier.len() < GRAIN || rayon::current_num_threads() <= 1 {
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &w in &outs[u as usize] {
+                        if dist[w as usize] == UNREACHED {
+                            dist[w as usize] = d;
+                            next.push(w);
+                        }
                     }
                 }
-            }
-            frontier = next;
+                next
+            } else {
+                let adist = atomic_u32_view(&mut dist);
+                frontier
+                    .par_iter()
+                    .flat_map_iter(|&u| {
+                        let mut local = Vec::new();
+                        for &w in &outs[u as usize] {
+                            if adist[w as usize]
+                                .compare_exchange(
+                                    UNREACHED,
+                                    d,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                local.push(w);
+                            }
+                        }
+                        local
+                    })
+                    .collect()
+            };
         }
 
         let mut tree = Self {
@@ -114,9 +150,7 @@ impl EsTree {
             epoch: 0,
             scan_work: WorkCounter::new(),
         };
-        // Initial parents: first (max-priority) in-entry at depth d-1.
         let dist = &tree.dist;
-        // (vertex, matched (rank, priority, src)) per reachable vertex
         type ParentHit = (V, Option<(usize, u64, V)>);
         let found: Vec<ParentHit> = (0..n as V)
             .into_par_iter()
@@ -138,47 +172,13 @@ impl EsTree {
         tree
     }
 
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    pub fn source(&self) -> V {
-        self.source
-    }
-
-    pub fn l_max(&self) -> u32 {
-        self.l_max
-    }
-
     #[inline]
     pub fn dist(&self, v: V) -> u32 {
         self.dist[v as usize]
     }
 
-    #[inline]
-    pub fn parent(&self, v: V) -> Option<V> {
-        let p = self.parent[v as usize];
-        (p != NO_VERTEX).then_some(p)
-    }
-
-    /// Priority of `v`'s current parent entry in `In(v)`.
-    pub fn parent_priority(&self, v: V) -> Option<u64> {
-        self.parent(v).map(|_| self.parent_prio[v as usize])
-    }
-
-    pub fn has_edge(&self, u: V, v: V) -> bool {
-        self.prio_of.contains_key(&(u, v))
-    }
-
     pub fn num_edges(&self) -> usize {
         self.prio_of.len()
-    }
-
-    /// Tree edges `(parent, child)` of the current shortest-path tree.
-    pub fn tree_edges(&self) -> Vec<(V, V)> {
-        (0..self.n as V)
-            .filter_map(|v| self.parent(v).map(|p| (p, v)))
-            .collect()
     }
 
     fn next_epoch(&mut self) -> u32 {
@@ -186,23 +186,17 @@ impl EsTree {
         self.epoch
     }
 
-    /// Delete a batch of *directed* edges (callers delete both
-    /// orientations of an undirected edge). Returns all parent-pointer
-    /// changes plus batch statistics. Panics if an edge is absent.
     pub fn delete_batch(&mut self, edges: &[(V, V)]) -> (Vec<ParentChange>, EsBatchStats) {
         let mut stats = EsBatchStats::default();
         let mut changes: Vec<ParentChange> = Vec::new();
-        // Per-level work queues: (vertex, resume_rank).
         let nl = self.l_max as usize + 2;
         let mut queues: Vec<Vec<(V, usize)>> = vec![Vec::new(); nl];
 
-        // Phase 0: physically remove all deleted edges; seed the queues
-        // with vertices that lost their parent edge.
-        let mut seeds: Vec<(V, u64, V)> = Vec::new(); // (v, old parent prio, old parent)
+        let mut seeds: Vec<(V, u64, V)> = Vec::new();
         for &(u, v) in edges {
             let p = self
                 .prio_of
-                .remove(&(u, v))
+                .remove(u, v)
                 .unwrap_or_else(|| panic!("delete of absent edge ({u},{v})"));
             if self.parent[v as usize] == u && self.parent_prio[v as usize] == p {
                 seeds.push((v, p, u));
@@ -213,11 +207,8 @@ impl EsTree {
             let d = self.dist[v as usize];
             debug_assert!(d >= 1 && d != UNREACHED);
             self.parent[v as usize] = NO_VERTEX;
-            // Resume where the removed entry used to sit (post-removal
-            // rank); earlier entries were already rejected at this level.
             let resume = self.ins[v as usize].bound_rank(old_prio);
             queues[d as usize].push((v, resume));
-            // Record the removal now; a found parent later overwrites.
             changes.push(ParentChange {
                 vertex: v,
                 old_parent,
@@ -225,23 +216,15 @@ impl EsTree {
             });
         }
 
-        // Level-synchronous phases.
         for i in 1..=self.l_max {
             let q = std::mem::take(&mut queues[i as usize]);
             if q.is_empty() {
                 continue;
             }
-            // Deduplicate by vertex, keeping the smallest resume rank
-            // (scanning earlier is always safe).
             let epoch = self.next_epoch();
             let mut level: Vec<(V, usize)> = Vec::with_capacity(q.len());
             let mut slot: FxHashMap<V, usize> = FxHashMap::default();
             for (v, r) in q {
-                // Stale entry: a vertex enqueued as the child of a bumped
-                // parent may have been re-parented in the same phase (its
-                // own scan, computed from the phase snapshot, succeeded).
-                // Its state is already consistent — skip it. A vertex that
-                // genuinely bumped re-enqueued itself at its new level.
                 if self.dist[v as usize] != i {
                     continue;
                 }
@@ -258,8 +241,6 @@ impl EsTree {
             }
             stats.vertices_touched += level.len() as u64;
 
-            // Parallel read-only rescan: distances of level i-1 are
-            // settled, and each task only reads In(v) of its own vertex.
             let dist = &self.dist;
             let ins = &self.ins;
             let want = i - 1;
@@ -288,7 +269,6 @@ impl EsTree {
                 out
             };
 
-            // Sequential application of the results.
             for (v, hit) in results {
                 match hit {
                     Some((p, src)) => {
@@ -308,7 +288,6 @@ impl EsTree {
                     None => {
                         let old = self.parent[v as usize];
                         if i == self.l_max {
-                            // Falls off the maintained depth.
                             self.dist[v as usize] = UNREACHED;
                             self.parent[v as usize] = NO_VERTEX;
                             if old != NO_VERTEX {
@@ -318,7 +297,6 @@ impl EsTree {
                                     new_parent: NO_VERTEX,
                                 });
                             }
-                            // Depth-L vertices are tree leaves: no children.
                             continue;
                         }
                         self.dist[v as usize] = i + 1;
@@ -331,11 +309,9 @@ impl EsTree {
                             });
                         }
                         queues[i as usize + 1].push((v, 0));
-                        // Tree children keep their scan position; their
-                        // parent entry will simply fail the depth test.
                         for ci in 0..self.outs[v as usize].len() {
                             let c = self.outs[v as usize][ci];
-                            if self.parent[c as usize] == v && self.prio_of.contains_key(&(v, c)) {
+                            if self.parent[c as usize] == v && self.prio_of.contains(v, c) {
                                 let resume =
                                     self.ins[c as usize].bound_rank(self.parent_prio[c as usize]);
                                 queues[i as usize + 1].push((c, resume));
@@ -346,15 +322,12 @@ impl EsTree {
             }
         }
 
-        // Collapse multiple changes per vertex into net changes.
         let net = Self::net_changes(changes);
         stats.parent_changes = net.len() as u64;
         stats.scan_steps = self.scan_work.get();
         (net, stats)
     }
 
-    /// Collapse a change log into net per-vertex changes (old = first old,
-    /// new = last new), dropping no-ops.
     fn net_changes(changes: Vec<ParentChange>) -> Vec<ParentChange> {
         let mut first_old: FxHashMap<V, V> = FxHashMap::default();
         let mut last_new: FxHashMap<V, V> = FxHashMap::default();
@@ -378,61 +351,5 @@ impl EsTree {
                 })
             })
             .collect()
-    }
-
-    /// Validation oracle: recompute BFS distances from scratch and check
-    /// `dist`, plus structural parent invariants. Panics on violation.
-    pub fn validate(&self) {
-        // Reference BFS over the *current* edge set.
-        let mut ref_dist = vec![UNREACHED; self.n];
-        ref_dist[self.source as usize] = 0;
-        let mut frontier = vec![self.source];
-        let mut d = 0;
-        while !frontier.is_empty() && d < self.l_max {
-            d += 1;
-            let mut next = Vec::new();
-            for &u in &frontier {
-                for &w in &self.outs[u as usize] {
-                    if self.prio_of.contains_key(&(u, w)) && ref_dist[w as usize] == UNREACHED {
-                        ref_dist[w as usize] = d;
-                        next.push(w);
-                    }
-                }
-            }
-            frontier = next;
-        }
-        assert_eq!(self.dist, ref_dist, "distance labels diverge from BFS");
-        for v in 0..self.n as V {
-            let dv = self.dist[v as usize];
-            if dv == 0 || dv == UNREACHED {
-                assert_eq!(self.parent[v as usize], NO_VERTEX, "vertex {v}");
-                continue;
-            }
-            let p = self.parent[v as usize];
-            assert_ne!(p, NO_VERTEX, "vertex {v} at depth {dv} lacks a parent");
-            assert!(
-                self.prio_of.contains_key(&(p, v)),
-                "parent edge ({p},{v}) dead"
-            );
-            assert_eq!(
-                self.dist[p as usize],
-                dv - 1,
-                "parent depth invariant at {v}"
-            );
-            // Invariant A1: no *valid candidate* strictly before the
-            // parent entry in In(v).
-            let rank = self.ins[v as usize]
-                .rank_of(self.parent_prio[v as usize])
-                .expect("parent entry present");
-            let mut w = 0u64;
-            let first = self.ins[v as usize]
-                .next_with(0, |_, rec| self.dist[rec.src as usize] == dv - 1, &mut w)
-                .map(|(r, _, _)| r);
-            assert_eq!(
-                first,
-                Some(rank),
-                "parent of {v} is not the first candidate"
-            );
-        }
     }
 }

@@ -1,0 +1,109 @@
+//! The PR-1 (and seed) treap-backed priority list, frozen verbatim as a
+//! benchmark baseline: `bds_dstruct::PriorityList` moved to a flat
+//! sorted-array representation in PR 2, and the before/after comparison
+//! (`bench_pr2`, `seed_estree`, `pr1_estree`) needs the exact pre-change
+//! data structure to measure against. Not part of the library surface.
+#![allow(dead_code)]
+
+use bds_dstruct::Treap;
+
+/// Ordered list in descending priority order, backed by an
+/// order-statistics treap. Priorities must be distinct.
+pub struct TreapList<V> {
+    // Key = !priority so the treap's ascending order is descending
+    // priority order.
+    inner: Treap<u64, V>,
+}
+
+#[inline]
+fn enc(p: u64) -> u64 {
+    !p
+}
+
+#[inline]
+fn dec(k: u64) -> u64 {
+    !k
+}
+
+impl<V> TreapList<V> {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Treap::new(seed),
+        }
+    }
+
+    /// `Initialize`: bulk-build by sequential inserts (the pre-PR-2
+    /// construction path).
+    pub fn from_entries(seed: u64, entries: impl IntoIterator<Item = (u64, V)>) -> Self {
+        let mut pl = Self::new(seed);
+        for (p, v) in entries {
+            pl.insert(p, v);
+        }
+        pl
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn insert(&mut self, priority: u64, value: V) {
+        let old = self.inner.insert(enc(priority), value);
+        debug_assert!(old.is_none(), "duplicate priority {priority}");
+    }
+
+    pub fn remove(&mut self, priority: u64) -> Option<V> {
+        self.inner.remove(&enc(priority))
+    }
+
+    pub fn get(&self, priority: u64) -> Option<&V> {
+        self.inner.get(&enc(priority))
+    }
+
+    pub fn get_mut(&mut self, priority: u64) -> Option<&mut V> {
+        self.inner.get_mut(&enc(priority))
+    }
+
+    pub fn contains(&self, priority: u64) -> bool {
+        self.inner.contains(&enc(priority))
+    }
+
+    pub fn update_priority(&mut self, old: u64, new: u64) -> bool {
+        if old == new {
+            return self.contains(old);
+        }
+        match self.inner.remove(&enc(old)) {
+            Some(v) => {
+                self.insert(new, v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn kth(&self, rank: usize) -> Option<(u64, &V)> {
+        self.inner.kth(rank).map(|(k, v)| (dec(*k), v))
+    }
+
+    pub fn rank_of(&self, priority: u64) -> Option<usize> {
+        self.inner.rank_of(&enc(priority))
+    }
+
+    pub fn bound_rank(&self, priority: u64) -> usize {
+        self.inner.lower_bound_rank(&enc(priority))
+    }
+
+    pub fn next_with(
+        &self,
+        from_rank: usize,
+        mut pred: impl FnMut(u64, &V) -> bool,
+        examined: &mut u64,
+    ) -> Option<(usize, u64, &V)> {
+        self.inner
+            .scan_from(from_rank, |k, v| pred(dec(*k), v), examined)
+            .map(|(r, k, v)| (r, dec(*k), v))
+    }
+}

@@ -18,7 +18,7 @@
 //! representative-change events of each batch.
 
 use bds_core::SpannerSet;
-use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet, Treap};
+use bds_dstruct::{EdgeTable, FlatList, FxHashMap, FxHashSet};
 use bds_graph::types::{Edge, SpannerDelta, V};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -50,7 +50,7 @@ pub struct ContractLevel {
     /// V_{i+1} membership (the sampled set D).
     pub in_next: Vec<bool>,
     head: Vec<V>,
-    adj: Vec<Treap<(u8, u64, V), ()>>,
+    adj: Vec<FlatList<(u8, u64, V), ()>>,
     /// directed (owner, neighbor) -> the entry's random key.
     rand_of: EdgeTable,
     edges: FxHashSet<Edge>,
@@ -78,9 +78,7 @@ impl ContractLevel {
             in_level: universe.to_vec(),
             in_next,
             head: vec![NO_HEAD; n],
-            adj: (0..n)
-                .map(|v| Treap::new(0x1234_5678 ^ (v as u64 * 2 + 1)))
-                .collect(),
+            adj: (0..n).map(|_| FlatList::new()).collect(),
             rand_of: EdgeTable::new(),
             edges: FxHashSet::default(),
             h_set: SpannerSet::new(),
@@ -321,11 +319,7 @@ impl ContractLevel {
             }
             self.head_changes += 1;
             // Re-tag every incident edge: the w-side head flips.
-            let neighbors: Vec<V> = self.adj[w as usize]
-                .iter()
-                .into_iter()
-                .map(|(k, _)| k.2)
-                .collect();
+            let neighbors: Vec<V> = self.adj[w as usize].iter().map(|(k, _)| k.2).collect();
             for x in neighbors {
                 let e = Edge::new(w, x);
                 let hx = self.head[x as usize];

@@ -19,10 +19,12 @@
 //! `InterCluster[(v, c)]` (§3.3).
 
 use crate::spanner_set::SpannerSet;
+use bds_dstruct::edge_table::pack;
 use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet, PriorityList};
 use bds_estree::ShiftedGraph;
 use bds_graph::types::{Edge, SpannerDelta, V};
 use rayon::prelude::*;
+use std::cmp::Reverse;
 use std::collections::BTreeSet;
 
 const NO_VERTEX: V = V::MAX;
@@ -38,6 +40,7 @@ pub struct DecrementalStats {
     pub vertices_touched: u64,
 }
 
+#[derive(Clone, Copy)]
 struct InEntry {
     src: V,
 }
@@ -61,6 +64,8 @@ pub struct DecrementalSpanner {
     buckets: FxHashMap<(V, V), BTreeSet<V>>,
     spanner: SpannerSet,
     mark: Vec<u32>,
+    /// scratch: per-vertex slot index, valid while `mark[v] == epoch`
+    slot: Vec<u32>,
     epoch: u32,
     stats: DecrementalStats,
 }
@@ -156,30 +161,44 @@ impl DecrementalSpanner {
             cluster[v as usize] = center;
         }
 
-        // Pass 2: build prioritized in-lists and the priority index (a
-        // flat packed-key table sized for every directed entry up front).
-        let m2: usize = adj.iter().map(FxHashSet::len).sum();
-        let mut prio_of = EdgeTable::with_capacity(m2 + n + t as usize);
-        let mut ins: Vec<PriorityList<InEntry>> = (0..total)
-            .map(|v| PriorityList::new(0x5bd1_e995 ^ (v as u64) << 1))
-            .collect();
-        for i in 0..t.saturating_sub(1) {
-            let (a, b) = (sg.p_node(i), sg.p_node(i + 1));
-            ins[b as usize].insert(u64::MAX, InEntry { src: a });
-            prio_of.insert(a, b, u64::MAX);
-        }
-        for v in 0..n as V {
+        // Pass 2: build prioritized in-lists and the priority index as
+        // one sorted batch over all n + t lists: every directed entry
+        // (shortcut, p-chain, and both edge orientations) is emitted as
+        // (target, descending key, src), one parallel sort groups each
+        // list's entries in final order, and the flat lists bulk-build
+        // from their slices with zero comparisons — no per-vertex
+        // sequential insert loops.
+        let ids: Vec<V> = (0..n as V).collect();
+        let mut entries: Vec<(V, Reverse<u64>, V)> = bds_par::par_flat_map(&ids, |&v| {
+            let mut out = Vec::with_capacity(adj[v as usize].len() + 1);
             let p = sg.p_node(t - 1 - sg.d[v as usize]);
-            let key = sg.self_priority(v);
-            ins[v as usize].insert(key, InEntry { src: p });
-            prio_of.insert(p, v, key);
+            out.push((v, Reverse(sg.self_priority(v)), p));
             for &w in &adj[v as usize] {
                 // entry (w → v) keyed by w's cluster
-                let key = sg.cluster_priority(cluster[w as usize], w);
-                ins[v as usize].insert(key, InEntry { src: w });
-                prio_of.insert(w, v, key);
+                out.push((v, Reverse(sg.cluster_priority(cluster[w as usize], w)), w));
             }
+            out
+        });
+        for i in 0..t.saturating_sub(1) {
+            entries.push((sg.p_node(i + 1), Reverse(u64::MAX), sg.p_node(i)));
         }
+        bds_par::par_sort(&mut entries);
+        let prio_of = {
+            let mut packed: Vec<(u64, u64)> =
+                bds_par::par_map(&entries, |&(tgt, Reverse(key), src)| (pack(src, tgt), key));
+            bds_par::par_sort(&mut packed);
+            EdgeTable::from_sorted_batch(&packed)
+        };
+        let targets: Vec<V> = (0..total as V).collect();
+        let ins: Vec<PriorityList<InEntry>> = bds_par::par_map(&targets, |&v| {
+            let lo = entries.partition_point(|&(x, _, _)| x < v);
+            let hi = entries.partition_point(|&(x, _, _)| x <= v);
+            PriorityList::from_sorted_entries(
+                entries[lo..hi]
+                    .iter()
+                    .map(|&(_, Reverse(key), src)| (key, InEntry { src })),
+            )
+        });
 
         let mut this = Self {
             n,
@@ -195,6 +214,7 @@ impl DecrementalSpanner {
             buckets: FxHashMap::default(),
             spanner: SpannerSet::new(),
             mark: vec![0; total],
+            slot: vec![0; total],
             epoch: 0,
             stats: DecrementalStats::default(),
         };
@@ -355,7 +375,6 @@ impl DecrementalSpanner {
             if !q.is_empty() {
                 let epoch = self.next_epoch();
                 let mut level: Vec<(V, u64)> = Vec::with_capacity(q.len());
-                let mut slot: FxHashMap<V, usize> = FxHashMap::default();
                 for (v, ceil) in q {
                     if self.dist[v as usize] != i {
                         continue; // stale entry, vertex already consistent
@@ -372,13 +391,13 @@ impl DecrementalSpanner {
                         continue;
                     }
                     if self.mark[v as usize] == epoch {
-                        let s = slot[&v];
+                        let s = self.slot[v as usize] as usize;
                         if ceil > level[s].1 {
                             level[s].1 = ceil; // higher ceiling = earlier scan
                         }
                     } else {
                         self.mark[v as usize] = epoch;
-                        slot.insert(v, level.len());
+                        self.slot[v as usize] = level.len() as u32;
                         level.push((v, ceil));
                     }
                 }

@@ -556,13 +556,122 @@ impl EdgeTable {
         entries.len()
     }
 
-    /// Batch remove (sequential; each removal is an O(1) tombstone, and
-    /// rebuilds amortize across the batch). Returns the number of keys
-    /// actually removed.
+    /// Batch remove. Returns the number of keys actually removed.
+    ///
+    /// Large batches run the partitioned parallel path: queries are
+    /// sorted by home slot, the slot array is split into one contiguous
+    /// region per worker, and each worker tombstones the keys homed in
+    /// its region — probe chains that would cross a region boundary (or
+    /// wrap) are deferred to a sequential fix-up pass, so no two workers
+    /// ever touch the same slot. Tombstone accounting is aggregated and
+    /// the load-factor rebuild check runs once at the end, amortizing
+    /// across the batch. Small batches keep the tight sequential loop
+    /// (each removal an O(1) tombstone).
     pub fn remove_batch(&mut self, queries: &[(u32, u32)]) -> usize {
-        let mut removed = 0;
-        for &(u, v) in queries {
-            removed += usize::from(self.remove(u, v).is_some());
+        let nparts = rayon::current_num_threads();
+        if queries.len() < GRAIN || nparts <= 1 || self.slots.len() < nparts * 64 {
+            let mut removed = 0;
+            for &(u, v) in queries {
+                removed += usize::from(self.remove(u, v).is_some());
+            }
+            return removed;
+        }
+        let mask = self.mask;
+        let cap = self.slots.len();
+        // (home slot, key), sorted by home so each region's queries are
+        // one contiguous run.
+        let mut homed: Vec<(usize, u64)> = bds_par::par_map(queries, |&(u, v)| {
+            let key = pack(u, v);
+            (hash_pair(key, mask).0, key)
+        });
+        bds_par::par_sort(&mut homed);
+        // Disjoint per-worker views: region r owns slots
+        // [r·cap/nparts, (r+1)·cap/nparts) of both arrays.
+        struct Region<'a> {
+            lo: usize,
+            hi: usize,
+            slots: &'a mut [Slot],
+            tags: &'a mut [u8],
+            queries: &'a [(usize, u64)],
+        }
+        let mut regions: Vec<Region> = Vec::with_capacity(nparts);
+        {
+            let mut slots_rest: &mut [Slot] = &mut self.slots;
+            let mut tags_rest: &mut [u8] = &mut self.tags;
+            let mut queries_rest: &[(usize, u64)] = &homed;
+            let mut lo = 0usize;
+            for r in 0..nparts {
+                let hi = (r + 1) * (cap / nparts) + if r + 1 == nparts { cap % nparts } else { 0 };
+                let (s, srest) = slots_rest.split_at_mut(hi - lo);
+                let (t, trest) = tags_rest.split_at_mut(hi - lo);
+                let split = queries_rest.partition_point(|&(h, _)| h < hi);
+                let (q, qrest) = queries_rest.split_at(split);
+                regions.push(Region {
+                    lo,
+                    hi,
+                    slots: s,
+                    tags: t,
+                    queries: q,
+                });
+                slots_rest = srest;
+                tags_rest = trest;
+                queries_rest = qrest;
+                lo = hi;
+            }
+        }
+        // (removed, deferred keys) per region.
+        let outcomes: Vec<(usize, Vec<u64>)> = regions
+            .into_par_iter()
+            .map(|region| {
+                let Region {
+                    lo,
+                    hi,
+                    slots,
+                    tags,
+                    queries,
+                } = region;
+                let mut removed = 0usize;
+                let mut deferred: Vec<u64> = Vec::new();
+                for &(home, key) in queries {
+                    let mut i = home;
+                    loop {
+                        if i >= hi {
+                            // Chain leaves the region (possibly wrapping):
+                            // leave it to the sequential fix-up.
+                            deferred.push(key);
+                            break;
+                        }
+                        let s = slots[i - lo];
+                        if s.key == key {
+                            slots[i - lo].key = TOMB_KEY;
+                            tags[i - lo] = TAG_TOMB;
+                            removed += 1;
+                            break;
+                        }
+                        if s.key == EMPTY {
+                            break; // definitively absent
+                        }
+                        i += 1;
+                    }
+                }
+                (removed, deferred)
+            })
+            .collect();
+        let mut removed = 0usize;
+        for (r, _) in &outcomes {
+            removed += r;
+        }
+        self.len -= removed;
+        self.dead += removed;
+        // Sequential boundary fix-up: the few chains that crossed a
+        // region edge, with full wrap-around probing.
+        for (_, deferred) in outcomes {
+            for key in deferred {
+                removed += usize::from(self.remove_key(key).is_some());
+            }
+        }
+        if self.dead * 4 >= self.slots.len() {
+            self.rebuild(capacity_for(self.len));
         }
         removed
     }
@@ -761,6 +870,40 @@ mod tests {
         for i in 0..5_000u32 {
             assert_eq!(t.get(i, i + 9).is_some(), i % 2 == 1);
         }
+    }
+
+    #[test]
+    fn parallel_remove_batch_matches_model() {
+        // Force the partitioned parallel path (batch >= GRAIN on a
+        // multi-worker pool) and check it against point removals,
+        // including absent keys, duplicates in the batch, and keys whose
+        // probe chains cross region boundaries (dense keys force
+        // clustering).
+        bds_par::run_with_threads(4, || {
+            let m = 3 * GRAIN as u32;
+            let entries: Vec<(u32, u32, u64)> = (0..m).map(|i| (i / 7, i, i as u64 + 1)).collect();
+            let mut t = EdgeTable::from_batch(&entries);
+            let mut dels: Vec<(u32, u32)> =
+                entries.iter().step_by(2).map(|&(u, v, _)| (u, v)).collect();
+            dels.push((u32::MAX - 2, 0)); // absent
+            dels.push(dels[0]); // duplicate: second copy is a no-op
+            let expect = entries.len().div_ceil(2);
+            assert_eq!(t.remove_batch(&dels), expect);
+            assert_eq!(t.len(), entries.len() - expect);
+            for (i, &(u, v, val)) in entries.iter().enumerate() {
+                let want = (i % 2 == 1).then_some(val);
+                assert_eq!(t.get(u, v), want, "entry {i}");
+            }
+            // Remove the rest in one parallel batch: table drains fully.
+            let rest: Vec<(u32, u32)> = entries
+                .iter()
+                .skip(1)
+                .step_by(2)
+                .map(|&(u, v, _)| (u, v))
+                .collect();
+            assert_eq!(t.remove_batch(&rest), rest.len());
+            assert!(t.is_empty());
+        });
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! A flat, cache-friendly ordered list: the sequence substrate behind
+//! [`crate::PriorityList`] and the per-vertex adjacency orders of the
+//! contraction layers.
+//!
+//! Entries live in one pair of parallel, key-sorted arrays. Removals
+//! plant a *tombstone bit* instead of shifting (the bit array doubles as
+//! a sparse rank index: one `u64` word summarizes 64 slots, so rank
+//! queries are popcounts over a structure 8–16× denser than the keys),
+//! and compaction runs when dead entries outnumber live ones, amortizing
+//! the shift against the removals that caused it. Ordered scans are
+//! plain slice walks driven by bit iteration — the access pattern the
+//! prefetcher already understands — instead of pointer chases through a
+//! node arena, which is what makes the `NextWith` inner loops of the
+//! Even–Shiloach phases memory-bandwidth-bound rather than
+//! memory-latency-bound (cf. the flat sequence representations of the
+//! parallel batch-dynamic tree literature, e.g. Acar et al.).
+//!
+//! Rank semantics count **live** entries only; physical positions never
+//! escape the API. All mutations keep two invariants: the key array is
+//! sorted (dead keys keep their slot until compaction, so binary search
+//! stays valid), and bitmap bits at physical indices `>= len` are zero
+//! (so word-granular popcounts never overcount).
+
+/// Flat sorted list over copyable keys and values.
+///
+/// `K` is the total order (ascending); at most one *live* entry per key.
+/// Values of dead entries stay in place until compaction, hence the
+/// `Copy` bounds — every consumer in this workspace stores plain-old-data
+/// entries (vertex ids, unit values), which is exactly what keeps the
+/// scans flat.
+#[derive(Clone, Debug, Default)]
+pub struct FlatList<K, V> {
+    /// Sorted keys, live and dead interleaved.
+    keys: Vec<K>,
+    /// Values, parallel to `keys`.
+    vals: Vec<V>,
+    /// Live bitmap: bit `i` set iff `keys[i]` is live. Bits past
+    /// `keys.len()` are zero.
+    live: Vec<u64>,
+    n_live: usize,
+}
+
+impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
+    pub fn new() -> Self {
+        Self {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            live: Vec::new(),
+            n_live: 0,
+        }
+    }
+
+    /// Bulk build from entries already sorted by strictly ascending key —
+    /// the O(n)-work path the parallel batch constructions feed (one
+    /// global sort, then every list builds independently with no
+    /// comparisons).
+    pub fn from_sorted(entries: impl IntoIterator<Item = (K, V)>) -> Self {
+        let (keys, vals): (Vec<K>, Vec<V>) = entries.into_iter().unzip();
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending keys"
+        );
+        let n = keys.len();
+        let mut live = vec![!0u64; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(last) = live.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        Self {
+            keys,
+            vals,
+            live,
+            n_live: n,
+        }
+    }
+
+    /// Bulk build from unsorted entries (sorts internally).
+    pub fn from_entries(entries: impl IntoIterator<Item = (K, V)>) -> Self {
+        let mut es: Vec<(K, V)> = entries.into_iter().collect();
+        es.sort_unstable_by_key(|&(k, _)| k);
+        Self::from_sorted(es)
+    }
+
+    pub fn len(&self) -> usize {
+        self.n_live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_live == 0
+    }
+
+    #[inline(always)]
+    fn is_live(&self, i: usize) -> bool {
+        (self.live[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Number of live entries at physical indices `< p`.
+    fn live_before(&self, p: usize) -> usize {
+        let w = p >> 6;
+        let mut c = 0usize;
+        for &word in &self.live[..w] {
+            c += word.count_ones() as usize;
+        }
+        if p & 63 != 0 {
+            c += (self.live[w] & ((1u64 << (p & 63)) - 1)).count_ones() as usize;
+        }
+        c
+    }
+
+    /// Physical index of the live entry at live rank `rank`
+    /// (`rank < n_live`).
+    fn select(&self, mut rank: usize) -> usize {
+        debug_assert!(rank < self.n_live);
+        for (wi, &word) in self.live.iter().enumerate() {
+            let c = word.count_ones() as usize;
+            if rank < c {
+                let mut w = word;
+                for _ in 0..rank {
+                    w &= w - 1;
+                }
+                return (wi << 6) + w.trailing_zeros() as usize;
+            }
+            rank -= c;
+        }
+        unreachable!("select past the last live entry")
+    }
+
+    /// Physical position of the first live-or-dead entry with key
+    /// `>= key` — the binary-search pivot every keyed op starts from.
+    #[inline]
+    fn search(&self, key: &K) -> usize {
+        self.keys.partition_point(|k| k < key)
+    }
+
+    /// Physical index of the live entry with `key`, if any.
+    fn find_live(&self, key: &K) -> Option<usize> {
+        let mut p = self.search(key);
+        while p < self.keys.len() && self.keys[p] == *key {
+            if self.is_live(p) {
+                return Some(p);
+            }
+            p += 1;
+        }
+        None
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find_live(key).map(|p| &self.vals[p])
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find_live(key).map(|p| &mut self.vals[p])
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.find_live(key).is_some()
+    }
+
+    /// Insert `key -> val`; returns the previous value if a live entry
+    /// with that key existed. A dead slot with the same key is
+    /// resurrected in place (no shift), so remove-then-reinsert churn on
+    /// one key is O(log n).
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let p = self.search(&key);
+        let mut q = p;
+        while q < self.keys.len() && self.keys[q] == key {
+            if self.is_live(q) {
+                return Some(std::mem::replace(&mut self.vals[q], val));
+            }
+            q += 1;
+        }
+        if q > p {
+            // Dead slot(s) with this key: resurrect the first.
+            self.vals[p] = val;
+            self.live[p >> 6] |= 1u64 << (p & 63);
+            self.n_live += 1;
+            return None;
+        }
+        self.keys.insert(p, key);
+        self.vals.insert(p, val);
+        self.bitmap_insert(p);
+        self.n_live += 1;
+        None
+    }
+
+    /// Remove the live entry with `key`; O(log n) binary search plus a
+    /// bit clear (no shift) — compaction amortizes against the removals
+    /// once dead entries outnumber live ones.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let p = self.find_live(key)?;
+        let out = self.vals[p];
+        self.live[p >> 6] &= !(1u64 << (p & 63));
+        self.n_live -= 1;
+        if self.keys.len() >= 16 && self.keys.len() - self.n_live > self.n_live {
+            self.compact();
+        }
+        Some(out)
+    }
+
+    /// Smallest live key (and value).
+    pub fn first(&self) -> Option<(K, &V)> {
+        self.kth(0)
+    }
+
+    /// 0-based ascending rank access over live entries.
+    pub fn kth(&self, rank: usize) -> Option<(K, &V)> {
+        if rank >= self.n_live {
+            return None;
+        }
+        let p = self.select(rank);
+        Some((self.keys[p], &self.vals[p]))
+    }
+
+    /// Live rank of `key` if present.
+    pub fn rank_of(&self, key: &K) -> Option<usize> {
+        self.find_live(key).map(|p| self.live_before(p))
+    }
+
+    /// Number of live keys strictly less than `key` (the rank `key`
+    /// would occupy). Defined for absent keys — one partition-point over
+    /// the contiguous key array plus a popcount prefix.
+    pub fn lower_bound_rank(&self, key: &K) -> usize {
+        self.live_before(self.search(key))
+    }
+
+    /// Ascending scan from live rank `from_rank`: the first
+    /// `(rank, key, value)` with `pred(key, value)` true. `examined` is
+    /// incremented once per live entry visited — the work the Lemma 3.1
+    /// analysis charges. The walk is a linear pass over two contiguous
+    /// arrays, steered by the live bitmap.
+    pub fn scan_from(
+        &self,
+        from_rank: usize,
+        mut pred: impl FnMut(&K, &V) -> bool,
+        examined: &mut u64,
+    ) -> Option<(usize, K, &V)> {
+        if from_rank >= self.n_live {
+            return None;
+        }
+        let start = self.select(from_rank);
+        let mut rank = from_rank;
+        let mut wi = start >> 6;
+        let mut word = self.live[wi] & !((1u64 << (start & 63)) - 1);
+        loop {
+            while word != 0 {
+                let i = (wi << 6) + word.trailing_zeros() as usize;
+                *examined += 1;
+                if pred(&self.keys[i], &self.vals[i]) {
+                    return Some((rank, self.keys[i], &self.vals[i]));
+                }
+                rank += 1;
+                word &= word - 1;
+            }
+            wi += 1;
+            if wi >= self.live.len() {
+                return None;
+            }
+            word = self.live[wi];
+        }
+    }
+
+    /// Live entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .enumerate()
+            .filter(|&(i, _)| self.is_live(i))
+            .map(|(_, (k, v))| (*k, v))
+    }
+
+    /// Drop dead entries, re-densifying the arrays.
+    fn compact(&mut self) {
+        let mut j = 0usize;
+        for i in 0..self.keys.len() {
+            if self.is_live(i) {
+                self.keys[j] = self.keys[i];
+                self.vals[j] = self.vals[i];
+                j += 1;
+            }
+        }
+        debug_assert_eq!(j, self.n_live);
+        self.keys.truncate(j);
+        self.vals.truncate(j);
+        self.live.truncate(j.div_ceil(64));
+        for w in self.live.iter_mut() {
+            *w = !0;
+        }
+        if !j.is_multiple_of(64) {
+            if let Some(last) = self.live.last_mut() {
+                *last = (1u64 << (j % 64)) - 1;
+            }
+        }
+    }
+
+    /// Shift bitmap bits `[p, old_len)` up one and set bit `p`, after
+    /// `keys`/`vals` grew by one at position `p`.
+    fn bitmap_insert(&mut self, p: usize) {
+        if self.keys.len() > self.live.len() * 64 {
+            self.live.push(0);
+        }
+        let w = p >> 6;
+        let b = p & 63;
+        let cur = self.live[w];
+        let mask_low = (1u64 << b) - 1;
+        let low = cur & mask_low;
+        let high = cur & !mask_low;
+        let mut carry = high >> 63;
+        self.live[w] = low | (1u64 << b) | (high << 1);
+        for word in self.live[w + 1..].iter_mut() {
+            let c = *word >> 63;
+            *word = (*word << 1) | carry;
+            carry = c;
+        }
+        debug_assert_eq!(carry, 0, "bitmap_insert shifted a bit past the end");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut l: FlatList<u32, &str> = FlatList::new();
+        assert_eq!(l.insert(5, "five"), None);
+        assert_eq!(l.insert(3, "three"), None);
+        assert_eq!(l.insert(5, "FIVE"), Some("five"));
+        assert_eq!(l.get(&5), Some(&"FIVE"));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.remove(&3), Some("three"));
+        assert_eq!(l.remove(&3), None);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.first(), Some((5, &"FIVE")));
+    }
+
+    #[test]
+    fn tombstone_churn_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut l: FlatList<u32, u64> = FlatList::new();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        for _ in 0..6000 {
+            let k: u32 = rng.gen_range(0..400);
+            if rng.gen_bool(0.55) {
+                let v = rng.gen::<u64>();
+                assert_eq!(l.insert(k, v), model.insert(k, v));
+            } else {
+                assert_eq!(l.remove(&k), model.remove(&k));
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        for (rank, (k, v)) in model.iter().enumerate() {
+            assert_eq!(l.kth(rank), Some((*k, v)));
+            assert_eq!(l.rank_of(k), Some(rank));
+        }
+        let got: Vec<(u32, u64)> = l.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u32, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+        assert_eq!(l.first().map(|(k, _)| k), model.keys().next().copied());
+    }
+
+    #[test]
+    fn lower_bound_rank_counts_live_only() {
+        let mut l: FlatList<u32, ()> = FlatList::from_sorted((0..100u32).map(|k| (k, ())));
+        for k in (0..100).step_by(2) {
+            l.remove(&k);
+        }
+        // Live keys are the odds: 1, 3, ..., 99.
+        assert_eq!(l.len(), 50);
+        assert_eq!(l.lower_bound_rank(&0), 0);
+        assert_eq!(l.lower_bound_rank(&1), 0);
+        assert_eq!(l.lower_bound_rank(&2), 1);
+        assert_eq!(l.lower_bound_rank(&51), 25);
+        assert_eq!(l.lower_bound_rank(&1000), 50);
+        assert_eq!(l.rank_of(&51), Some(25));
+        assert_eq!(l.rank_of(&50), None);
+    }
+
+    #[test]
+    fn scan_from_skips_dead_and_counts_work() {
+        let mut l: FlatList<u32, u32> = FlatList::from_sorted((0..200u32).map(|k| (k, k % 10)));
+        for k in 100..150 {
+            l.remove(&k);
+        }
+        let mut work = 0u64;
+        // Live ranks 0..99 are keys 0..99; ranks 100.. are keys 150..199.
+        let hit = l.scan_from(95, |_, &v| v == 3, &mut work);
+        // keys 95..99 have v = 5..9; next v == 3 is key 153 at rank 103.
+        assert_eq!(hit.map(|(r, k, _)| (r, k)), Some((103, 153)));
+        assert_eq!(work, 9, "ranks 95..=103 examined");
+        let miss = l.scan_from(150, |_, _| true, &mut work);
+        assert!(miss.is_none());
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental() {
+        let entries: Vec<(u64, u32)> = (0..300u64).map(|k| (k * 7, k as u32)).collect();
+        let bulk = FlatList::from_sorted(entries.iter().copied());
+        let mut inc = FlatList::new();
+        for &(k, v) in entries.iter().rev() {
+            inc.insert(k, v);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        for rank in 0..entries.len() {
+            assert_eq!(bulk.kth(rank), inc.kth(rank), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn resurrection_reuses_dead_slot() {
+        let mut l: FlatList<u32, u8> = FlatList::from_sorted([(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(l.remove(&2), Some(20));
+        assert_eq!(l.insert(2, 21), None);
+        assert_eq!(l.get(&2), Some(&21));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.rank_of(&2), Some(1));
+    }
+
+    #[test]
+    fn word_boundary_inserts() {
+        // Inserts that straddle 64-bit bitmap words must shift carries
+        // correctly.
+        let mut l: FlatList<u32, ()> = FlatList::new();
+        for k in (0..200u32).map(|i| i * 2) {
+            l.insert(k, ());
+        }
+        for k in (0..200u32).map(|i| i * 2 + 1).rev() {
+            l.insert(k, ());
+        }
+        assert_eq!(l.len(), 400);
+        for rank in 0..400 {
+            assert_eq!(l.kth(rank).map(|(k, _)| k), Some(rank as u32));
+        }
+    }
+}

@@ -3,10 +3,18 @@
 //! * [`fx`] — an FxHash-style fast hasher plus `FxHashMap`/`FxHashSet`
 //!   aliases (the Rust Performance Book idiom, implemented locally).
 //! * [`treap`] — an order-statistics treap with rank queries and in-order
-//!   scanning; deterministic given a seed.
+//!   scanning; deterministic given a seed. Since PR 2 it only backs the
+//!   ordered-map roles that genuinely need a balanced tree
+//!   ([`euler`]/[`hdt`]); the scan-heavy priority lists moved to flat
+//!   arrays.
+//! * [`flat_list`] — a flat sorted-array ordered list with a tombstone
+//!   bitmap doubling as a popcount rank index: cache-resident linear
+//!   scans instead of pointer chases, O(log n) tombstone removals,
+//!   compaction amortized against removals, and a zero-comparison bulk
+//!   build from sorted slices.
 //! * [`priority_list`] — the data structure of **Lemma 3.1**: an ordered
 //!   list indexed by distinct priorities with `Query`/`Find`/
-//!   `UpdatePriority`/`NextWith` operations.
+//!   `UpdatePriority`/`NextWith` operations, backed by [`flat_list`].
 //! * [`euler`] + [`hdt`] — Euler-tour trees and the Holm–de
 //!   Lichtenberg–Thorup dynamic spanning forest, our substitute for the
 //!   [AABD19] parallel batch-dynamic connectivity used by Theorem 1.4.
@@ -20,12 +28,14 @@
 
 pub mod edge_table;
 pub mod euler;
+pub mod flat_list;
 pub mod fx;
 pub mod hdt;
 pub mod priority_list;
 pub mod treap;
 
 pub use edge_table::EdgeTable;
+pub use flat_list::FlatList;
 pub use fx::{FxHashMap, FxHashSet};
 pub use hdt::{DynamicForest, ForestDelta};
 pub use priority_list::PriorityList;

@@ -2,7 +2,10 @@
 //! by distinct `u64` priorities, kept in *descending* priority order.
 //!
 //! Mapping to the paper's interface:
-//! * `Initialize`        → [`PriorityList::from_entries`]
+//! * `Initialize`        → [`PriorityList::from_entries`] /
+//!   [`PriorityList::from_sorted_entries`] (the batch-parallel path: one
+//!   global `bds_par` sort groups every vertex's entries, then each list
+//!   bulk-builds from its slice in O(degree) work with no comparisons)
 //! * `UpdateValue(k, v)` → [`PriorityList::get_mut`] (keyed by priority —
 //!   callers track an entry's current priority, which is stable under
 //!   other entries' moves, unlike ranks)
@@ -11,19 +14,48 @@
 //! * `Find(p)`           → [`PriorityList::find`]
 //! * `NextWith(k, f)`    → [`PriorityList::next_with`]
 //!
-//! The paper implements this with a lazily allocated segment tree over the
-//! priority domain; an order-statistics treap gives the same O(log n)
-//! per-operation and O((q − k + 1) log n) `NextWith` bounds (the scan
-//! itself is O(q − k) entries with O(log n) navigation, see
-//! [`crate::treap::Treap::scan_from`]) and is reused across the codebase.
+//! The paper implements this with a lazily allocated segment tree over
+//! the priority domain. Since PR 2 the backing store is a *flat* sorted
+//! array with a tombstone bitmap ([`crate::FlatList`]) rather than an
+//! order-statistics treap:
+//!
+//! * `NextWith` is a linear walk over two contiguous arrays steered by
+//!   bitmap words — the O(q − k) scanned entries of the Lemma 3.1 bound
+//!   now cost streaming loads the hardware prefetcher covers, not one
+//!   dependent cache miss per entry as with treap nodes. This is the
+//!   inner loop of every level-synchronous phase of Algorithm 1 and of
+//!   `DecrementalSpanner`, which is why the representation matters.
+//! * `Find`/`bound_rank` are one `partition_point` over the dense key
+//!   array plus a popcount prefix over the bitmap (the "small sparse
+//!   rank index": one `u64` word indexes 64 entries). Rank navigation is
+//!   therefore Θ(len/64) *sequential word* reads rather than the treap's
+//!   O(log len) *dependent node* reads — asymptotically worse, but the
+//!   words are prefetchable and 128× denser than treap nodes, so it wins
+//!   on every degree this workspace produces (`bench_pr2` measures both
+//!   ends; a popcount superblock index would restore O(log) if a
+//!   workload ever makes huge single lists rank-query-bound).
+//! * Removals — the only mutation the decremental structures perform in
+//!   their hot phase — clear a bit in O(log n); compaction runs when
+//!   dead entries outnumber live ones and is charged to those removals.
+//! * `UpdatePriority` and inserts pay an O(n) shift in the worst case,
+//!   but n here is a vertex degree and the shift is a single `memmove`
+//!   over dense memory; re-inserting at a tombstoned priority reuses the
+//!   dead slot without shifting.
+//!
+//! The bounds the decremental work analysis charges per entry —
+//! `NextWith` scan work and removals — are preserved; insert,
+//! update-priority, and rank navigation trade their O(log n) for flat
+//! passes that are faster at list = vertex-degree scale.
 
-use crate::treap::Treap;
+use crate::flat_list::FlatList;
 
-/// Ordered list in descending priority order. Priorities must be distinct.
+/// Ordered list in descending priority order. Priorities must be
+/// distinct among live entries.
+#[derive(Clone, Debug, Default)]
 pub struct PriorityList<V> {
-    // Key = !priority so the treap's ascending order is descending
+    // Key = !priority so the flat list's ascending order is descending
     // priority order.
-    inner: Treap<u64, V>,
+    inner: FlatList<u64, V>,
 }
 
 #[inline]
@@ -36,20 +68,28 @@ fn dec(k: u64) -> u64 {
     !k
 }
 
-impl<V> PriorityList<V> {
-    pub fn new(seed: u64) -> Self {
+impl<V: Copy> PriorityList<V> {
+    pub fn new() -> Self {
         Self {
-            inner: Treap::new(seed),
+            inner: FlatList::new(),
         }
     }
 
-    /// `Initialize`: bulk-build from `(priority, value)` pairs.
-    pub fn from_entries(seed: u64, entries: impl IntoIterator<Item = (u64, V)>) -> Self {
-        let mut pl = Self::new(seed);
-        for (p, v) in entries {
-            pl.insert(p, v);
+    /// `Initialize`: bulk-build from `(priority, value)` pairs in any
+    /// order (sorts internally).
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, V)>) -> Self {
+        Self {
+            inner: FlatList::from_entries(entries.into_iter().map(|(p, v)| (enc(p), v))),
         }
-        pl
+    }
+
+    /// `Initialize` from entries already sorted by **descending**
+    /// priority — the zero-comparison path for batch builds that sorted
+    /// all lists' entries with one global parallel sort.
+    pub fn from_sorted_entries(entries: impl IntoIterator<Item = (u64, V)>) -> Self {
+        Self {
+            inner: FlatList::from_sorted(entries.into_iter().map(|(p, v)| (enc(p), v))),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -100,7 +140,7 @@ impl<V> PriorityList<V> {
 
     /// `Query(k)`: the entry with the k-th largest priority (0-based).
     pub fn kth(&self, rank: usize) -> Option<(u64, &V)> {
-        self.inner.kth(rank).map(|(k, v)| (dec(*k), v))
+        self.inner.kth(rank).map(|(k, v)| (dec(k), v))
     }
 
     /// `Find(p)`: the value at priority `p` together with its 0-based rank
@@ -139,16 +179,12 @@ impl<V> PriorityList<V> {
     ) -> Option<(usize, u64, &V)> {
         self.inner
             .scan_from(from_rank, |k, v| pred(dec(*k), v), examined)
-            .map(|(r, k, v)| (r, dec(*k), v))
+            .map(|(r, k, v)| (r, dec(k), v))
     }
 
     /// Entries in descending priority order (testing/debug).
     pub fn entries(&self) -> Vec<(u64, &V)> {
-        self.inner
-            .iter()
-            .into_iter()
-            .map(|(k, v)| (dec(*k), v))
-            .collect()
+        self.inner.iter().map(|(k, v)| (dec(k), v)).collect()
     }
 }
 
@@ -158,7 +194,7 @@ mod tests {
 
     #[test]
     fn descending_order_and_ranks() {
-        let pl = PriorityList::from_entries(5, [(10u64, 'a'), (30, 'b'), (20, 'c')]);
+        let pl = PriorityList::from_entries([(10u64, 'a'), (30, 'b'), (20, 'c')]);
         assert_eq!(pl.kth(0), Some((30, &'b')));
         assert_eq!(pl.kth(1), Some((20, &'c')));
         assert_eq!(pl.kth(2), Some((10, &'a')));
@@ -169,7 +205,7 @@ mod tests {
 
     #[test]
     fn update_priority_moves_entry() {
-        let mut pl = PriorityList::from_entries(5, [(10u64, 'a'), (30, 'b'), (20, 'c')]);
+        let mut pl = PriorityList::from_entries([(10u64, 'a'), (30, 'b'), (20, 'c')]);
         assert!(pl.update_priority(10, 40)); // 'a' to the front
         assert_eq!(pl.kth(0), Some((40, &'a')));
         assert_eq!(pl.len(), 3);
@@ -179,7 +215,7 @@ mod tests {
     #[test]
     fn next_with_scans_forward() {
         // Priorities 100, 90, ..., 10; values 0..=9.
-        let pl = PriorityList::from_entries(5, (0..10u64).map(|i| (100 - 10 * i, i)));
+        let pl = PriorityList::from_entries((0..10u64).map(|i| (100 - 10 * i, i)));
         let mut w = 0;
         // First even value at rank >= 3 (value 3 at rank 3 is odd; value 4
         // at rank 4 is even).
@@ -191,7 +227,7 @@ mod tests {
 
     #[test]
     fn bound_rank_for_absent_priorities() {
-        let pl = PriorityList::from_entries(5, [(10u64, 'a'), (30, 'b'), (20, 'c')]);
+        let pl = PriorityList::from_entries([(10u64, 'a'), (30, 'b'), (20, 'c')]);
         assert_eq!(pl.bound_rank(30), 0);
         assert_eq!(pl.bound_rank(25), 1); // would sit after 30
         assert_eq!(pl.bound_rank(20), 1);
@@ -201,12 +237,38 @@ mod tests {
 
     #[test]
     fn boundary_priorities() {
-        let mut pl = PriorityList::new(1);
+        let mut pl = PriorityList::new();
         pl.insert(0, 'z');
         pl.insert(u64::MAX, 'm');
         assert_eq!(pl.kth(0), Some((u64::MAX, &'m')));
         assert_eq!(pl.kth(1), Some((0, &'z')));
         assert_eq!(pl.remove(u64::MAX), Some('m'));
         assert_eq!(pl.len(), 1);
+    }
+
+    #[test]
+    fn sorted_and_incremental_builds_scan_identically() {
+        // Regression for the PR-2 batch-build path: `from_sorted_entries`
+        // must be observationally identical to a sequence of `insert`s —
+        // same entries, same ranks, same `next_with` hits and work.
+        let entries: Vec<(u64, u32)> = (0..500u64).map(|i| (i * 11 + 3, i as u32)).collect();
+        let mut desc = entries.clone();
+        desc.sort_unstable_by_key(|&(p, _)| std::cmp::Reverse(p));
+        let bulk: PriorityList<u32> = PriorityList::from_sorted_entries(desc.iter().copied());
+        let mut inc: PriorityList<u32> = PriorityList::new();
+        for &(p, v) in &entries {
+            inc.insert(p, v);
+        }
+        assert_eq!(bulk.entries(), inc.entries());
+        for from in [0usize, 1, 7, 250, 499, 500] {
+            let (mut wa, mut wb) = (0u64, 0u64);
+            let a = bulk.next_with(from, |_, &v| v % 13 == 0, &mut wa);
+            let b = inc.next_with(from, |_, &v| v % 13 == 0, &mut wb);
+            assert_eq!(a, b, "from_rank {from}");
+            assert_eq!(wa, wb, "scan work at {from}");
+        }
+        for p in [3u64, 14, 5489, 5500, 0, u64::MAX] {
+            assert_eq!(bulk.bound_rank(p), inc.bound_rank(p), "priority {p}");
+        }
     }
 }

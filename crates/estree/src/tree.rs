@@ -14,10 +14,11 @@
 //! become candidates at that level again.
 
 use bds_dstruct::edge_table::{pack, unpack};
-use bds_dstruct::{EdgeTable, FxHashMap, PriorityList};
+use bds_dstruct::{EdgeTable, PriorityList};
 use bds_graph::types::V;
 use bds_par::{WorkCounter, GRAIN};
 use rayon::prelude::*;
+use std::cmp::Reverse;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Parent sentinel.
@@ -44,6 +45,7 @@ pub struct EsBatchStats {
     pub parent_changes: u64,
 }
 
+#[derive(Clone, Copy)]
 struct InEntry {
     src: V,
 }
@@ -80,6 +82,8 @@ pub struct EsTree {
     prio_of: EdgeTable,
     /// scratch: epoch marker for per-phase deduplication
     mark: Vec<u32>,
+    /// scratch: per-vertex slot index, valid while `mark[v] == epoch`
+    slot: Vec<u32>,
     epoch: u32,
     pub scan_work: WorkCounter,
 }
@@ -108,12 +112,14 @@ impl EsTree {
         let prio_of = EdgeTable::from_sorted_batch(&fwd);
 
         // --- Adjacency, built per vertex in parallel. ---
-        // `fwd` groups out-edges by u; a reversed copy groups in-edges
-        // by v. Group boundaries come from binary searches, vertices are
-        // then filled independently (PriorityList treaps included).
-        let mut rev: Vec<(u64, u64)> = bds_par::par_map(&fwd, |&(k, p)| {
+        // `fwd` groups out-edges by u; a reversed copy, sorted by
+        // (target, descending priority), groups in-edges by v with each
+        // group already in list order. Group boundaries come from binary
+        // searches; every vertex's flat in-list then bulk-builds from
+        // its slice with zero comparisons.
+        let mut rev: Vec<(V, Reverse<u64>, V)> = bds_par::par_map(&fwd, |&(k, p)| {
             let (u, v) = unpack(k);
-            (pack(v, u), p)
+            (v, Reverse(p), u)
         });
         bds_par::par_sort(&mut rev);
         let ids: Vec<V> = (0..n as V).collect();
@@ -122,12 +128,12 @@ impl EsTree {
             fwd[lo..hi].iter().map(|&(k, _)| unpack(k).1).collect()
         });
         let ins: Vec<PriorityList<InEntry>> = bds_par::par_map(&ids, |&v| {
-            let (lo, hi) = group_bounds(&rev, v);
-            PriorityList::from_entries(
-                0x9e37_79b9 ^ v as u64,
+            let lo = rev.partition_point(|&(x, _, _)| x < v);
+            let hi = rev.partition_point(|&(x, _, _)| x <= v);
+            PriorityList::from_sorted_entries(
                 rev[lo..hi]
                     .iter()
-                    .map(|&(k, p)| (p, InEntry { src: unpack(k).1 })),
+                    .map(|&(_, Reverse(p), u)| (p, InEntry { src: u })),
             )
         });
 
@@ -186,6 +192,7 @@ impl EsTree {
             outs,
             prio_of,
             mark: vec![0; n],
+            slot: vec![0; n],
             epoch: 0,
             scan_work: WorkCounter::new(),
         };
@@ -307,10 +314,10 @@ impl EsTree {
                 continue;
             }
             // Deduplicate by vertex, keeping the smallest resume rank
-            // (scanning earlier is always safe).
+            // (scanning earlier is always safe). The mark/slot scratch
+            // arrays make this allocation-free.
             let epoch = self.next_epoch();
             let mut level: Vec<(V, usize)> = Vec::with_capacity(q.len());
-            let mut slot: FxHashMap<V, usize> = FxHashMap::default();
             for (v, r) in q {
                 // Stale entry: a vertex enqueued as the child of a bumped
                 // parent may have been re-parented in the same phase (its
@@ -321,13 +328,13 @@ impl EsTree {
                     continue;
                 }
                 if self.mark[v as usize] == epoch {
-                    let s = slot[&v];
+                    let s = self.slot[v as usize] as usize;
                     if r < level[s].1 {
                         level[s].1 = r;
                     }
                 } else {
                     self.mark[v as usize] = epoch;
-                    slot.insert(v, level.len());
+                    self.slot[v as usize] = level.len() as u32;
                     level.push((v, r));
                 }
             }
@@ -422,37 +429,30 @@ impl EsTree {
         }
 
         // Collapse multiple changes per vertex into net changes.
-        let net = Self::net_changes(changes);
+        let net = self.net_changes(changes);
         stats.parent_changes = net.len() as u64;
         stats.scan_steps = self.scan_work.get();
         (net, stats)
     }
 
     /// Collapse a change log into net per-vertex changes (old = first old,
-    /// new = last new), dropping no-ops.
-    fn net_changes(changes: Vec<ParentChange>) -> Vec<ParentChange> {
-        let mut first_old: FxHashMap<V, V> = FxHashMap::default();
-        let mut last_new: FxHashMap<V, V> = FxHashMap::default();
-        let mut order: Vec<V> = Vec::new();
+    /// new = last new), dropping no-ops. Allocation-free dedup via the
+    /// same epoch-mark `mark`/`slot` scratch the phase loop uses.
+    fn net_changes(&mut self, changes: Vec<ParentChange>) -> Vec<ParentChange> {
+        let epoch = self.next_epoch();
+        // (vertex, first old parent, last new parent), first-seen order.
+        let mut acc: Vec<ParentChange> = Vec::new();
         for c in changes {
-            first_old.entry(c.vertex).or_insert_with(|| {
-                order.push(c.vertex);
-                c.old_parent
-            });
-            last_new.insert(c.vertex, c.new_parent);
+            if self.mark[c.vertex as usize] == epoch {
+                acc[self.slot[c.vertex as usize] as usize].new_parent = c.new_parent;
+            } else {
+                self.mark[c.vertex as usize] = epoch;
+                self.slot[c.vertex as usize] = acc.len() as u32;
+                acc.push(c);
+            }
         }
-        order
-            .into_iter()
-            .filter_map(|v| {
-                let old = first_old[&v];
-                let new = last_new[&v];
-                (old != new).then_some(ParentChange {
-                    vertex: v,
-                    old_parent: old,
-                    new_parent: new,
-                })
-            })
-            .collect()
+        acc.retain(|c| c.old_parent != c.new_parent);
+        acc
     }
 
     /// Validation oracle: recompute BFS distances from scratch and check
@@ -512,6 +512,7 @@ impl EsTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bds_dstruct::FxHashMap;
     use bds_graph::gen;
     use bds_graph::types::Edge;
     use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};

@@ -3,7 +3,7 @@
 use bds_contract::schedule::{contraction_sequence, ultra_target};
 use bds_contract::SparseSpanner;
 use bds_core::SpannerSet;
-use bds_dstruct::{DynamicForest, FxHashMap, FxHashSet, Treap};
+use bds_dstruct::{DynamicForest, FlatList, FxHashMap, FxHashSet};
 use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -33,7 +33,7 @@ pub struct UltraSparseSpanner {
     theta: u32,
     rand_v: Vec<u64>,
     in_d: Vec<bool>,
-    adj: Vec<Treap<(u8, u64, V), ()>>,
+    adj: Vec<FlatList<(u8, u64, V), ()>>,
     edges: FxHashSet<Edge>,
     head: Vec<V>,
     par: Vec<V>,
@@ -63,9 +63,7 @@ impl UltraSparseSpanner {
             theta,
             rand_v,
             in_d,
-            adj: (0..n)
-                .map(|v| Treap::new(0xeeff ^ (v as u64 * 2 + 1)))
-                .collect(),
+            adj: (0..n).map(|_| FlatList::new()).collect(),
             edges: FxHashSet::default(),
             head: vec![NO_HEAD; n],
             par: vec![NO_PAR; n],
@@ -452,11 +450,7 @@ impl UltraSparseSpanner {
         }
         // Bucket retags (only the v-side head flips).
         if new_head != old_head {
-            let neighbors: Vec<V> = self.adj[v as usize]
-                .iter()
-                .into_iter()
-                .map(|(k, _)| k.2)
-                .collect();
+            let neighbors: Vec<V> = self.adj[v as usize].iter().map(|(k, _)| k.2).collect();
             for xn in neighbors {
                 let e = Edge::new(v, xn);
                 let hx = self.head[xn as usize];
@@ -479,11 +473,7 @@ impl UltraSparseSpanner {
             // ⊥ transitions.
             if old_head == NO_HEAD {
                 // Leaving ⊥: its ⊥-incident edges leave the forest graph.
-                let neighbors: Vec<V> = self.adj[v as usize]
-                    .iter()
-                    .into_iter()
-                    .map(|(k, _)| k.2)
-                    .collect();
+                let neighbors: Vec<V> = self.adj[v as usize].iter().map(|(k, _)| k.2).collect();
                 for xn in neighbors {
                     if self.forest.contains_edge(v, xn) {
                         let d = self.forest.delete_edge(v, xn);
@@ -494,11 +484,7 @@ impl UltraSparseSpanner {
             self.head[v as usize] = new_head;
             if new_head == NO_HEAD {
                 // Entering ⊥: join with currently-⊥ neighbors.
-                let neighbors: Vec<V> = self.adj[v as usize]
-                    .iter()
-                    .into_iter()
-                    .map(|(k, _)| k.2)
-                    .collect();
+                let neighbors: Vec<V> = self.adj[v as usize].iter().map(|(k, _)| k.2).collect();
                 for xn in neighbors {
                     if self.is_bot(xn) && !self.forest.contains_edge(v, xn) {
                         let d = self.forest.insert_edge(v, xn);

@@ -72,23 +72,91 @@ proptest! {
         }
     }
 
-    /// PriorityList behaves like a sorted-descending association list.
+    /// PriorityList behaves like a sorted-descending association list
+    /// under randomized insert / remove / update_priority interleavings,
+    /// and its rank and scan queries (`bound_rank`, `next_with`) agree
+    /// with the BTreeMap oracle after every operation — the full
+    /// Lemma 3.1 interface driven against a model, exercising the flat
+    /// representation's tombstone/compaction/resurrection paths.
     #[test]
-    fn priority_list_model(ops in prop::collection::vec((0u64..200, any::<u16>()), 1..120)) {
-        let mut pl: PriorityList<u16> = PriorityList::new(7);
-        let mut model: std::collections::BTreeMap<std::cmp::Reverse<u64>, u16> = Default::default();
-        for (p, v) in ops {
-            if model.remove(&std::cmp::Reverse(p)).is_some() {
-                pl.remove(p);
+    fn priority_list_model(
+        ops in prop::collection::vec(
+            (0u64..200, any::<u16>(), 0u64..200, 0usize..40),
+            1..150,
+        ),
+    ) {
+        use std::cmp::Reverse;
+        let mut pl: PriorityList<u16> = PriorityList::new();
+        let mut model: std::collections::BTreeMap<Reverse<u64>, u16> = Default::default();
+        for (p, v, q, from_rank) in ops {
+            if let Some(want) = model.remove(&Reverse(p)) {
+                prop_assert_eq!(pl.remove(p), Some(want));
             } else {
                 pl.insert(p, v);
-                model.insert(std::cmp::Reverse(p), v);
+                model.insert(Reverse(p), v);
+            }
+            // UpdatePriority p -> q whenever p is live and q is free.
+            if p != q && model.contains_key(&Reverse(p)) && !model.contains_key(&Reverse(q)) {
+                let val = model.remove(&Reverse(p)).unwrap();
+                model.insert(Reverse(q), val);
+                prop_assert!(pl.update_priority(p, q));
             }
             prop_assert_eq!(pl.len(), model.len());
+            // bound_rank(q) = number of live priorities strictly above q.
+            let above = model.keys().filter(|Reverse(k)| *k > q).count();
+            prop_assert_eq!(pl.bound_rank(q), above, "bound_rank({})", q);
+            // next_with from an arbitrary rank against the oracle scan.
+            let mut work = 0u64;
+            let got = pl
+                .next_with(from_rank, |_, &val| val % 3 == 0, &mut work)
+                .map(|(r, pr, &val)| (r, pr, val));
+            let want = model
+                .iter()
+                .enumerate()
+                .skip(from_rank)
+                .find(|(_, (_, &val))| val % 3 == 0)
+                .map(|(r, (&Reverse(pr), &val))| (r, pr, val));
+            prop_assert_eq!(got, want, "next_with from {}", from_rank);
         }
         for (rank, (std::cmp::Reverse(p), v)) in model.iter().enumerate() {
             prop_assert_eq!(pl.kth(rank), Some((*p, v)));
             prop_assert_eq!(pl.rank_of(*p), Some(rank));
+            prop_assert_eq!(pl.find(*p), Some((rank, v)));
+        }
+        let entries: Vec<(u64, u16)> = pl.entries().into_iter().map(|(p, v)| (p, *v)).collect();
+        let want: Vec<(u64, u16)> = model.iter().map(|(&std::cmp::Reverse(p), &v)| (p, v)).collect();
+        prop_assert_eq!(entries, want);
+    }
+
+    /// `from_sorted_entries` (the batch-build path) and incremental
+    /// inserts produce observationally identical lists: same entries,
+    /// same scan results, same scan work.
+    #[test]
+    fn priority_list_builds_agree(
+        raw in prop::collection::vec(0u64..10_000, 1..200),
+        from in 0usize..64,
+    ) {
+        let prios: std::collections::BTreeSet<u64> = raw.into_iter().collect();
+        let entries: Vec<(u64, u32)> = prios
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        let mut desc = entries.clone();
+        desc.sort_unstable_by_key(|&(p, _)| std::cmp::Reverse(p));
+        let bulk: PriorityList<u32> = PriorityList::from_sorted_entries(desc.iter().copied());
+        let mut inc: PriorityList<u32> = PriorityList::new();
+        for &(p, v) in &entries {
+            inc.insert(p, v);
+        }
+        prop_assert_eq!(bulk.entries(), inc.entries());
+        let (mut wa, mut wb) = (0u64, 0u64);
+        let a = bulk.next_with(from, |_, &v| v % 7 == 0, &mut wa).map(|(r, p, &v)| (r, p, v));
+        let b = inc.next_with(from, |_, &v| v % 7 == 0, &mut wb).map(|(r, p, &v)| (r, p, v));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(wa, wb);
+        if let Some(&p) = prios.iter().next() {
+            prop_assert_eq!(bulk.bound_rank(p), inc.bound_rank(p));
         }
     }
 

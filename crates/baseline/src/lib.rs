@@ -1,11 +1,11 @@
 //! Baselines the paper compares against (§1.2):
 //!
 //! * [`baswana_sen`] — the classic static randomized (2k−1)-spanner of
-//!   [BS07], O(k·n^{1+1/k}) expected edges, O(k·m) time.
-//! * [`recompute`] — the natural dynamic baseline: recompute a static
-//!   spanner from scratch after every batch (what the batch-dynamic
+//!   \[BS07\], O(k·n^{1+1/k}) expected edges, O(k·m) time.
+//! * recompute-from-scratch — the natural dynamic baseline: recompute a
+//!   static spanner after every batch (what the batch-dynamic
 //!   algorithms must beat on amortized work).
-//! * [`static_sparsifier`] — the Koutis-style static sparsifier [Kou14]:
+//! * [`static_sparsifier`] — the Koutis-style static sparsifier \[Kou14\]:
 //!   iterate "compute a spanner, keep it, sample the rest at ¼ / weight 4".
 
 use bds_dstruct::{FxHashMap, FxHashSet};

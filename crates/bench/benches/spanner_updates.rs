@@ -4,7 +4,7 @@
 
 use bds_baseline::RecomputeBaseline;
 use bds_bench::standard_workload;
-use bds_core::{BatchDynamicSpanner, FullyDynamicSpanner};
+use bds_core::FullyDynamicSpanner;
 use bds_dstruct::FxHashSet;
 use bds_graph::types::{Edge, V};
 use bds_graph::DynamicGraph;

@@ -7,7 +7,7 @@
 //! Timing uses interleaved repetitions with per-side minima so the
 //! numbers survive noisy-neighbor hosts.
 
-use bds_core::{BatchDynamicSpanner, FullyDynamicSpanner};
+use bds_core::FullyDynamicSpanner;
 use bds_dstruct::{EdgeTable, FxHashMap};
 use bds_estree::EsTree;
 use bds_graph::gen;

@@ -1,0 +1,190 @@
+//! PR-3 perf snapshot: writes `BENCH_PR3.json` — the unified engine
+//! API's delta path, measured two ways:
+//!
+//! * **Allocation counts** (a counting global allocator): the
+//!   steady-state `SpannerSet`/`WeightedSet` delta-extraction loop must
+//!   be allocation-free after warm-up, and the buffer-reporting
+//!   `apply_into` batch loop must allocate strictly less than the
+//!   legacy materializing `process_batch` loop on an identical
+//!   schedule. The per-round series for the buffer path is recorded so
+//!   the flatness is visible in the JSON.
+//! * **Batch-loop throughput**: interleaved min-of-rounds timing of the
+//!   same twin loops (updates/s), before/after.
+//!
+//! Usage: `cargo run --release -p bds_bench --bin bench_pr3 [-- out.json] [--quick]`
+
+use bds_core::{FullyDynamicSpanner, SpannerSet};
+use bds_graph::api::{DeltaBuf, FullyDynamic};
+use bds_graph::gen;
+use bds_graph::stream::UpdateStream;
+use bds_graph::types::Edge;
+use bds_par::alloc_counter::{allocations as allocs, CountingAlloc};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations of the pure delta-extraction loop (churn over a resident
+/// core + `take_delta_into`), after warm-up. Expected: 0.
+fn spanner_set_delta_allocs(rounds: usize) -> u64 {
+    let edges = gen::gnm(128, 1024, 9);
+    let (core, churn) = edges.split_at(768);
+    let mut set = SpannerSet::new();
+    let mut buf = DeltaBuf::new();
+    for &e in core {
+        set.add(e);
+    }
+    for _ in 0..2 {
+        for &e in churn {
+            set.add(e);
+        }
+        set.take_delta_into(&mut buf);
+        for &e in churn {
+            set.remove(e);
+        }
+        set.take_delta_into(&mut buf);
+    }
+    let before = allocs();
+    for _ in 0..rounds {
+        for &e in churn {
+            set.add(e);
+        }
+        set.take_delta_into(&mut buf);
+        for &e in churn {
+            set.remove(e);
+        }
+        set.take_delta_into(&mut buf);
+    }
+    allocs() - before
+}
+
+struct LoopRun {
+    ms: f64,
+    total_allocs: u64,
+    per_round_allocs: Vec<u64>,
+    recourse: usize,
+    updates: usize,
+}
+
+/// Drive one batch loop over a fresh Theorem 1.1 instance; `buffered`
+/// selects `apply_into` + reused `DeltaBuf` vs the legacy materializing
+/// `process_batch`.
+fn spanner_loop(n: usize, init: &[Edge], batch: usize, rounds: usize, buffered: bool) -> LoopRun {
+    let mut s = FullyDynamicSpanner::new(n, 2, init, 77);
+    let mut stream = UpdateStream::new(n, init, 31);
+    let mut buf = DeltaBuf::new();
+    for _ in 0..5 {
+        let b = stream.next_batch(batch, batch);
+        if buffered {
+            s.apply_into(&b, &mut buf);
+        } else {
+            let _ = s.process_batch(&b);
+        }
+    }
+    let mut per_round = Vec::with_capacity(rounds);
+    let mut recourse = 0usize;
+    let mut updates = 0usize;
+    let a0 = allocs();
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let b = stream.next_batch(batch, batch);
+        updates += b.len();
+        let r0 = allocs();
+        if buffered {
+            s.apply_into(&b, &mut buf);
+            recourse += buf.recourse();
+        } else {
+            recourse += s.process_batch(&b).recourse();
+        }
+        per_round.push(allocs() - r0);
+    }
+    LoopRun {
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        total_allocs: allocs() - a0,
+        per_round_allocs: per_round,
+        recourse,
+        updates,
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = a;
+        }
+    }
+    let (n, m, batch, rounds, reps) = if quick {
+        (5_000, 30_000, 50, 20, 1)
+    } else {
+        (20_000, 120_000, 100, 60, 3)
+    };
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"pr\": 3,");
+    let _ = writeln!(j, "  \"threads\": {},", bds_par::threads_available());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+
+    // --- Section 1: pure delta path (expected 0 allocations). ---
+    let da = spanner_set_delta_allocs(20);
+    eprintln!("delta-extraction loop allocations after warm-up: {da} (expect 0)");
+    let _ = writeln!(j, "  \"delta_path_allocs_after_warmup\": {da},");
+
+    // --- Section 2: batch loop, legacy vs buffered. Interleaved reps,
+    //     per-side minima for the timings; allocation counts are
+    //     deterministic and taken from the last rep. ---
+    let init = gen::gnm_connected(n, m, 5);
+    let (mut ms_buf, mut ms_leg) = (f64::MAX, f64::MAX);
+    let mut last_buf: Option<LoopRun> = None;
+    let mut last_leg: Option<LoopRun> = None;
+    for _ in 0..reps {
+        let rb = spanner_loop(n, &init, batch, rounds, true);
+        let rl = spanner_loop(n, &init, batch, rounds, false);
+        ms_buf = ms_buf.min(rb.ms);
+        ms_leg = ms_leg.min(rl.ms);
+        last_buf = Some(rb);
+        last_leg = Some(rl);
+    }
+    let rb = last_buf.unwrap();
+    let rl = last_leg.unwrap();
+    assert_eq!(rb.recourse, rl.recourse, "twin loops diverged");
+    let thr_buf = rb.updates as f64 / (ms_buf / 1e3);
+    let thr_leg = rl.updates as f64 / (ms_leg / 1e3);
+    eprintln!(
+        "batch loop n={n} m={m} batch={batch}x2: buffered {ms_buf:.1}ms \
+         ({thr_buf:.0} updates/s, {} allocs) vs legacy {ms_leg:.1}ms \
+         ({thr_leg:.0} updates/s, {} allocs)",
+        rb.total_allocs, rl.total_allocs
+    );
+    let _ = writeln!(j, "  \"batch_loop_n{}k\": {{", n / 1000);
+    let _ = writeln!(j, "    \"batch_size\": {batch},");
+    let _ = writeln!(j, "    \"rounds\": {rounds},");
+    let _ = writeln!(j, "    \"buffered_ms\": {ms_buf:.2},");
+    let _ = writeln!(j, "    \"legacy_ms\": {ms_leg:.2},");
+    let _ = writeln!(j, "    \"buffered_updates_per_s\": {thr_buf:.0},");
+    let _ = writeln!(j, "    \"legacy_updates_per_s\": {thr_leg:.0},");
+    let _ = writeln!(j, "    \"buffered_allocs\": {},", rb.total_allocs);
+    let _ = writeln!(j, "    \"legacy_allocs\": {},", rl.total_allocs);
+    let _ = writeln!(
+        j,
+        "    \"allocs_per_batch\": {{ \"buffered\": {:.1}, \"legacy\": {:.1} }},",
+        rb.total_allocs as f64 / rounds as f64,
+        rl.total_allocs as f64 / rounds as f64
+    );
+    // The per-round series: flat (no drift) for the buffered path.
+    let series: Vec<String> = rb.per_round_allocs.iter().map(|a| a.to_string()).collect();
+    let _ = writeln!(
+        j,
+        "    \"buffered_allocs_per_round\": [{}]",
+        series.join(", ")
+    );
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).expect("write json");
+    eprintln!("wrote {out_path}");
+}

@@ -8,7 +8,7 @@ use bds_baseline::{baswana_sen, RecomputeBaseline};
 use bds_bench::standard_workload;
 use bds_bundle::{BundleSpanner, MonotoneSpanner};
 use bds_contract::SparseSpanner;
-use bds_core::{BatchDynamicSpanner, FullyDynamicSpanner};
+use bds_core::FullyDynamicSpanner;
 use bds_estree::EsTree;
 use bds_graph::csr::edge_stretch;
 use bds_graph::cuts::sparsifier_error;

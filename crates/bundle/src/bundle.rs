@@ -15,6 +15,10 @@
 
 use crate::monotone::MonotoneSpanner;
 use bds_dstruct::{FxHashMap, FxHashSet};
+use bds_graph::api::{
+    default_copies, validate_beta, validate_copies, validate_edges, BatchDynamic, BatchStats,
+    ConfigError, Decremental, DeltaBuf,
+};
 use bds_graph::types::Edge;
 
 /// Where an edge currently lives.
@@ -28,7 +32,9 @@ enum Home {
     Residual,
 }
 
-/// Result of one deletion batch on the bundle.
+/// Result of one deletion batch on the bundle — the materialized
+/// counterpart of the [`DeltaBuf`] report ([`DeltaBuf::aux`] carries
+/// `residual_deleted`).
 #[derive(Debug, Default, Clone)]
 pub struct BundleDelta {
     /// Edges that entered B = ∪H_i (promoted from the residual).
@@ -51,9 +57,79 @@ pub struct BundleSpanner {
     t: u32,
     levels: Vec<Level>,
     home: FxHashMap<Edge, Home>,
+    recourse: u64,
+    /// Reusable buffer for per-level monotone-spanner deltas.
+    level_scratch: DeltaBuf,
+}
+
+/// Typed builder for [`BundleSpanner`] (Theorem 1.5).
+#[derive(Debug, Clone)]
+pub struct BundleSpannerBuilder {
+    n: usize,
+    t: u32,
+    copies: Option<usize>,
+    beta: f64,
+    seed: u64,
+}
+
+impl BundleSpannerBuilder {
+    /// Bundle depth t (number of stacked spanner levels; default 2).
+    pub fn depth(mut self, t: u32) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Clustering copies per level (default ≈ 2·log₂ n + 2).
+    pub fn copies(mut self, copies: usize) -> Self {
+        self.copies = Some(copies);
+        self
+    }
+
+    /// Exponential shift rate β per level (default
+    /// [`crate::monotone::DEFAULT_BETA`]).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<BundleSpanner, ConfigError> {
+        if self.n < 1 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 1 });
+        }
+        if self.t < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "depth",
+                reason: "the bundle needs at least one level",
+            });
+        }
+        let copies = self.copies.unwrap_or_else(|| default_copies(self.n));
+        validate_copies(copies)?;
+        validate_beta(self.beta)?;
+        validate_edges(self.n, edges)?;
+        Ok(BundleSpanner::with_params(
+            self.n, edges, self.t, copies, self.beta, self.seed,
+        ))
+    }
 }
 
 impl BundleSpanner {
+    /// Typed builder: `BundleSpanner::builder(n).depth(t).seed(s)
+    /// .build(&edges)`.
+    pub fn builder(n: usize) -> BundleSpannerBuilder {
+        BundleSpannerBuilder {
+            n,
+            t: 2,
+            copies: None,
+            beta: crate::monotone::DEFAULT_BETA,
+            seed: 0x5eed,
+        }
+    }
+
     pub fn with_params(
         n: usize,
         edges: &[Edge],
@@ -81,13 +157,26 @@ impl BundleSpanner {
         for e in gi {
             home.insert(e, Home::Residual);
         }
-        Self { n, t, levels, home }
+        Self {
+            n,
+            t,
+            levels,
+            home,
+            recourse: 0,
+            level_scratch: DeltaBuf::new(),
+        }
     }
 
     /// Default monotone-spanner parameters per level.
     pub fn new(n: usize, edges: &[Edge], t: u32, seed: u64) -> Self {
-        let copies = 2 * (usize::BITS - n.max(2).leading_zeros()) as usize + 2;
-        Self::with_params(n, edges, t, copies, crate::monotone::DEFAULT_BETA, seed)
+        Self::with_params(
+            n,
+            edges,
+            t,
+            default_copies(n),
+            crate::monotone::DEFAULT_BETA,
+            seed,
+        )
     }
 
     pub fn n(&self) -> usize {
@@ -146,7 +235,21 @@ impl BundleSpanner {
     /// Delete a batch of graph edges (must be live). Cascades through the
     /// levels and reports bundle and residual deltas.
     pub fn delete_batch(&mut self, batch: &[Edge]) -> BundleDelta {
-        let mut delta = BundleDelta::default();
+        let mut buf = DeltaBuf::new();
+        self.delete_batch_into(batch, &mut buf);
+        BundleDelta {
+            inserted: buf.inserted().to_vec(),
+            deleted: buf.deleted().to_vec(),
+            residual_deleted: buf.aux().to_vec(),
+        }
+    }
+
+    /// [`BundleSpanner::delete_batch`] reporting into a caller-owned
+    /// buffer: insertions/deletions are the bundle-membership delta, the
+    /// [`DeltaBuf::aux`] lane carries the residual deletions that drive
+    /// the Lemma 6.6 sampling chain.
+    pub fn delete_batch_into(&mut self, batch: &[Edge], out: &mut DeltaBuf) {
+        out.clear();
         let mut pending: Vec<Vec<Edge>> = vec![Vec::new(); self.t as usize + 1];
         let mut pending_set: Vec<FxHashSet<Edge>> = vec![FxHashSet::default(); self.t as usize + 1];
         for &e in batch {
@@ -155,12 +258,12 @@ impl BundleSpanner {
                 .remove(&e)
                 .unwrap_or_else(|| panic!("delete of absent edge {e:?}"));
             match h {
-                Home::Spanner(_) => delta.deleted.push(e),
+                Home::Spanner(_) => out.push_del(e),
                 Home::J(j) => {
                     self.levels[j as usize - 1].j.remove(&e);
-                    delta.deleted.push(e);
+                    out.push_del(e);
                 }
-                Home::Residual => delta.residual_deleted.push(e),
+                Home::Residual => out.push_aux(e),
             }
             for l in 1..=self.reach(h) {
                 pending[l as usize].push(e);
@@ -173,10 +276,13 @@ impl BundleSpanner {
                 continue;
             }
             let xset = std::mem::take(&mut pending_set[i as usize]);
-            let d = self.levels[i as usize - 1].d.delete_batch(&xi);
+            let mut scratch = std::mem::take(&mut self.level_scratch);
+            self.levels[i as usize - 1]
+                .d
+                .delete_batch_into(&xi, &mut scratch);
             // Spanner(D_i) drops a live edge -> park it in J_i (stays in
             // H_i; monotonicity).
-            for e in d.deleted {
+            for &e in scratch.deleted() {
                 if xset.contains(&e) {
                     continue; // removed from D_i's graph: handled already
                 }
@@ -186,7 +292,7 @@ impl BundleSpanner {
             }
             // Spanner(D_i) gains a live edge -> it leaves G_{i+1}…: cascade
             // the deletion to every deeper level that holds it.
-            for e in d.inserted {
+            for &e in scratch.inserted() {
                 let old = *self.home.get(&e).expect("promoted edge is live");
                 match old {
                     Home::Spanner(j) => {
@@ -205,8 +311,8 @@ impl BundleSpanner {
                         self.levels[j as usize - 1].j.remove(&e);
                     }
                     Home::Residual => {
-                        delta.inserted.push(e);
-                        delta.residual_deleted.push(e);
+                        out.push_ins(e);
+                        out.push_aux(e);
                     }
                 }
                 let old_reach = self.reach(old);
@@ -216,8 +322,9 @@ impl BundleSpanner {
                 }
                 self.home.insert(e, Home::Spanner(i));
             }
+            self.level_scratch = scratch;
         }
-        delta
+        self.recourse += out.recourse() as u64;
     }
 
     /// Test oracle: every level's monotone spanner validates; the home map
@@ -264,6 +371,43 @@ impl BundleSpanner {
                 );
             }
         }
+    }
+}
+
+impl BatchDynamic for BundleSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The maintained output set: the bundle B = ∪ H_i.
+    fn output_into(&self, out: &mut DeltaBuf) {
+        out.clear();
+        for (&e, h) in &self.home {
+            if !matches!(h, Home::Residual) {
+                out.push_ins(e);
+            }
+        }
+    }
+
+    fn stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
+        for lvl in &self.levels {
+            let ls = BatchDynamic::stats(&lvl.d);
+            s.scan_steps += ls.scan_steps;
+            s.vertices_touched += ls.vertices_touched;
+        }
+        s.recourse = self.recourse;
+        s
+    }
+}
+
+impl Decremental for BundleSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_into(deletions, out);
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! * [`monotone`] — **Lemma 6.4**: a decremental O(log n)-spanner with the
 //!   *monotonicity* property (edges never re-enter after leaving), built
-//!   from O(log n) independent [MPX13] clustering instances each
+//!   from O(log n) independent \[MPX13\] clustering instances each
 //!   maintained by a batched Even–Shiloach tree. Instances process a
 //!   deletion batch in parallel — the depth win of the parallel model.
 //! * [`bundle`] — **Theorem 1.5**: the decremental t-bundle spanner
@@ -12,5 +12,5 @@
 pub mod bundle;
 pub mod monotone;
 
-pub use bundle::{BundleDelta, BundleSpanner};
-pub use monotone::MonotoneSpanner;
+pub use bundle::{BundleDelta, BundleSpanner, BundleSpannerBuilder};
+pub use monotone::{MonotoneSpanner, MonotoneSpannerBuilder};

@@ -1,7 +1,7 @@
 //! **Lemma 6.4** — decremental O(log n)-spanner with monotone recourse.
 //!
 //! Algorithm 8 of the paper: run O(log n) independent copies of the
-//! [MPX13] exponential-shift clustering with a *constant* β chosen so
+//! \[MPX13\] exponential-shift clustering with a *constant* β chosen so
 //! that each edge is intra-cluster with probability ≥ ½ per copy
 //! (Lemma 6.5), and take the union of the cluster spanning forests. Each
 //! copy is exactly the shifted-graph Even–Shiloach construction of §3.3,
@@ -11,6 +11,10 @@
 
 use bds_core::SpannerSet;
 use bds_estree::{EsTree, ShiftedGraph, NO_VERTEX};
+use bds_graph::api::{
+    default_copies, validate_beta, validate_copies, validate_edges, BatchDynamic, BatchStats,
+    ConfigError, Decremental, DeltaBuf,
+};
 use bds_graph::types::{Edge, SpannerDelta, V};
 use rayon::prelude::*;
 
@@ -41,9 +45,61 @@ pub struct MonotoneSpanner {
     instances: Vec<Instance>,
     spanner: SpannerSet,
     num_edges: usize,
+    recourse: u64,
+}
+
+/// Typed builder for [`MonotoneSpanner`] (Lemma 6.4).
+#[derive(Debug, Clone)]
+pub struct MonotoneSpannerBuilder {
+    n: usize,
+    copies: Option<usize>,
+    beta: f64,
+    seed: u64,
+}
+
+impl MonotoneSpannerBuilder {
+    /// Number of independent clustering copies (default ≈ 2·log₂ n + 2).
+    pub fn copies(mut self, copies: usize) -> Self {
+        self.copies = Some(copies);
+        self
+    }
+
+    /// Exponential shift rate β (default [`DEFAULT_BETA`]).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<MonotoneSpanner, ConfigError> {
+        if self.n < 1 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 1 });
+        }
+        let copies = self.copies.unwrap_or_else(|| default_copies(self.n));
+        validate_copies(copies)?;
+        validate_beta(self.beta)?;
+        validate_edges(self.n, edges)?;
+        Ok(MonotoneSpanner::with_params(
+            self.n, edges, copies, self.beta, self.seed,
+        ))
+    }
 }
 
 impl MonotoneSpanner {
+    /// Typed builder: `MonotoneSpanner::builder(n).copies(c).beta(b)
+    /// .seed(s).build(&edges)`.
+    pub fn builder(n: usize) -> MonotoneSpannerBuilder {
+        MonotoneSpannerBuilder {
+            n,
+            copies: None,
+            beta: DEFAULT_BETA,
+            seed: 0x5eed,
+        }
+    }
     /// `copies` clustering instances (≈ 2·log₂ n for the w.h.p. coverage
     /// bound), shift rate `beta`.
     pub fn with_params(n: usize, edges: &[Edge], copies: usize, beta: f64, seed: u64) -> Self {
@@ -73,13 +129,13 @@ impl MonotoneSpanner {
             instances,
             spanner,
             num_edges: edges.len(),
+            recourse: 0,
         }
     }
 
     /// Default parameterization: 2·log₂ n + 2 copies, β = 0.25.
     pub fn new(n: usize, edges: &[Edge], seed: u64) -> Self {
-        let copies = 2 * (usize::BITS - n.max(2).leading_zeros()) as usize + 2;
-        Self::with_params(n, edges, copies, DEFAULT_BETA, seed)
+        Self::with_params(n, edges, default_copies(n), DEFAULT_BETA, seed)
     }
 
     pub fn n(&self) -> usize {
@@ -110,6 +166,21 @@ impl MonotoneSpanner {
     /// (independent random copies — this is where the poly(log n) depth
     /// per batch comes from). Returns the spanner delta.
     pub fn delete_batch(&mut self, batch: &[Edge]) -> SpannerDelta {
+        self.delete_inner(batch);
+        let delta = self.spanner.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`MonotoneSpanner::delete_batch`] reporting into a caller-owned
+    /// buffer.
+    pub fn delete_batch_into(&mut self, batch: &[Edge], out: &mut DeltaBuf) {
+        self.delete_inner(batch);
+        self.spanner.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn delete_inner(&mut self, batch: &[Edge]) {
         let n = self.n;
         let dirs: Vec<(V, V)> = batch
             .iter()
@@ -145,7 +216,6 @@ impl MonotoneSpanner {
             }
         }
         self.num_edges -= batch.len();
-        self.spanner.take_delta()
     }
 
     /// Test oracle: per-instance ES validation plus spanner composition.
@@ -190,6 +260,39 @@ impl MonotoneSpanner {
             .filter(|e| cluster[e.u as usize] != cluster[e.v as usize])
             .count();
         cut as f64 / edges.len() as f64
+    }
+}
+
+impl BatchDynamic for MonotoneSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.spanner.output_into(out);
+    }
+
+    /// Aggregates the per-copy Even–Shiloach work counters; `recourse`
+    /// counts this structure's own spanner delta.
+    fn stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
+        for inst in &self.instances {
+            let is = inst.es.stats();
+            s.scan_steps += is.scan_steps;
+            s.vertices_touched += is.vertices_touched;
+        }
+        s.recourse = self.recourse;
+        s
+    }
+}
+
+impl Decremental for MonotoneSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_into(deletions, out);
     }
 }
 

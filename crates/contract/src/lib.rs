@@ -13,4 +13,4 @@ pub mod level;
 pub mod schedule;
 pub mod sparse;
 
-pub use sparse::SparseSpanner;
+pub use sparse::{SparseSpanner, SparseSpannerBuilder};

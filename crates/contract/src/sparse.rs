@@ -12,8 +12,11 @@
 
 use crate::level::{ContractLevel, LevelBatchResult};
 use crate::schedule::{contraction_sequence, sparse_target};
-use bds_core::{BatchDynamicSpanner, FullyDynamicSpanner, SpannerSet};
+use bds_core::{FullyDynamicSpanner, SpannerSet};
 use bds_dstruct::FxHashMap;
+use bds_graph::api::{
+    validate_edges, BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf, FullyDynamic,
+};
 use bds_graph::types::{Edge, SpannerDelta, UpdateBatch};
 
 /// Batch-dynamic sparse spanner (Theorem 1.3).
@@ -26,9 +29,65 @@ pub struct SparseSpanner {
     /// Per level i (< L): contracted edge -> the level-i edge currently
     /// counted in Active_i on its behalf.
     counted_rep: Vec<FxHashMap<Edge, Edge>>,
+    recourse: u64,
+    /// Reusable buffer for the top instance's deltas.
+    scratch: DeltaBuf,
+}
+
+/// Typed builder for [`SparseSpanner`] (Theorem 1.3).
+#[derive(Debug, Clone)]
+pub struct SparseSpannerBuilder {
+    n: usize,
+    rates: Option<Vec<f64>>,
+    seed: u64,
+}
+
+impl SparseSpannerBuilder {
+    /// Explicit contraction rates (default: the Lemma 4.3 schedule for
+    /// the Θ(log n) target).
+    pub fn rates(mut self, rates: &[f64]) -> Self {
+        self.rates = Some(rates.to_vec());
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<SparseSpanner, ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 2 });
+        }
+        let rates = self
+            .rates
+            .unwrap_or_else(|| contraction_sequence(sparse_target(self.n)));
+        if rates.is_empty() {
+            return Err(ConfigError::InvalidParam {
+                name: "rates",
+                reason: "at least one contraction rate is required",
+            });
+        }
+        if rates.iter().any(|&x| !(x > 1.0 && x.is_finite())) {
+            return Err(ConfigError::InvalidParam {
+                name: "rates",
+                reason: "every contraction rate must be finite and > 1",
+            });
+        }
+        validate_edges(self.n, edges)?;
+        Ok(SparseSpanner::with_rates(self.n, edges, &rates, self.seed))
+    }
 }
 
 impl SparseSpanner {
+    /// Typed builder: `SparseSpanner::builder(n).seed(s).build(&edges)`.
+    pub fn builder(n: usize) -> SparseSpannerBuilder {
+        SparseSpannerBuilder {
+            n,
+            rates: None,
+            seed: 0x5eed,
+        }
+    }
     /// Contraction rates from Lemma 4.3 with the Θ(log n) target and a
     /// top instance with k = ⌈log₂ |V_L|⌉.
     pub fn new(n: usize, edges: &[Edge], seed: u64) -> Self {
@@ -88,6 +147,8 @@ impl SparseSpanner {
             top,
             active,
             counted_rep,
+            recourse: 0,
+            scratch: DeltaBuf::new(),
         }
     }
 
@@ -126,15 +187,32 @@ impl SparseSpanner {
 
     /// Insert a batch of absent edges.
     pub fn insert_batch(&mut self, edges: &[Edge]) -> SpannerDelta {
-        self.process(&UpdateBatch::insert_only(edges.to_vec()))
+        self.process_batch(&UpdateBatch::insert_only(edges.to_vec()))
     }
 
     /// Delete a batch of present edges.
     pub fn delete_batch(&mut self, edges: &[Edge]) -> SpannerDelta {
-        self.process(&UpdateBatch::delete_only(edges.to_vec()))
+        self.process_batch(&UpdateBatch::delete_only(edges.to_vec()))
     }
 
-    fn process(&mut self, batch: &UpdateBatch) -> SpannerDelta {
+    /// Apply one mixed batch atomically; returns the exact level-0
+    /// spanner delta.
+    pub fn process_batch(&mut self, batch: &UpdateBatch) -> SpannerDelta {
+        self.process_inner(batch);
+        let delta = self.active[0].take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`SparseSpanner::process_batch`] reporting into a caller-owned
+    /// buffer.
+    pub fn process_batch_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.process_inner(batch);
+        self.active[0].take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn process_inner(&mut self, batch: &UpdateBatch) {
         let l = self.levels.len();
         // --- Phase A: upward through the contraction levels. ---
         let mut results: Vec<LevelBatchResult> = Vec::with_capacity(l);
@@ -147,17 +225,22 @@ impl SparseSpanner {
             del = r.next_del.clone();
             results.push(r);
         }
-        // --- Top instance. ---
-        let top_delta = self.top.process_batch(&UpdateBatch {
-            insertions: ins,
-            deletions: del,
-        });
-        for e in top_delta.deleted {
+        // --- Top instance (delta into the reusable scratch buffer). ---
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.top.process_batch_into(
+            &UpdateBatch {
+                insertions: ins,
+                deletions: del,
+            },
+            &mut scratch,
+        );
+        for &e in scratch.deleted() {
             self.active[l].remove(e);
         }
-        for e in top_delta.inserted {
+        for &e in scratch.inserted() {
             self.active[l].add(e);
         }
+        self.scratch = scratch;
 
         // --- Phase B: downward membership propagation. ---
         for i in (0..l).rev() {
@@ -193,7 +276,6 @@ impl SparseSpanner {
                 self.active[i].add(*e);
             }
         }
-        self.active[0].take_delta()
     }
 
     /// The maintained sparse spanner (level-0 edges).
@@ -263,6 +345,46 @@ impl SparseSpanner {
     }
 }
 
+impl BatchDynamic for SparseSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        SparseSpanner::num_live_edges(self)
+    }
+
+    /// The maintained output set: the level-0 sparse spanner Active₀.
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.active[0].output_into(out);
+    }
+
+    /// `cluster_changes` counts contraction head recomputations; the
+    /// remaining work counters come from the top Theorem 1.1 instance.
+    fn stats(&self) -> BatchStats {
+        let mut s = BatchDynamic::stats(&self.top);
+        s.cluster_changes += self.head_changes();
+        s.recourse = self.recourse;
+        s
+    }
+}
+
+impl Decremental for SparseSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.process_batch_into(&UpdateBatch::delete_only(deletions.to_vec()), out);
+    }
+}
+
+impl FullyDynamic for SparseSpanner {
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+        self.process_batch_into(&UpdateBatch::insert_only(insertions.to_vec()), out);
+    }
+
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.process_batch_into(batch, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,7 +426,7 @@ mod tests {
         let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
         for round in 0..30 {
             let b = stream.next_batch(6, 5);
-            let d = s.process(&b);
+            let d = s.process_batch(&b);
             d.apply_to(&mut shadow);
             s.validate();
             let mut got = s.spanner_edges();
@@ -326,7 +448,7 @@ mod tests {
         let mut shadow: FxHashSet<Edge> = s.spanner_edges().into_iter().collect();
         for _ in 0..20 {
             let b = stream.next_batch(5, 5);
-            let d = s.process(&b);
+            let d = s.process_batch(&b);
             d.apply_to(&mut shadow);
             s.validate();
         }

@@ -22,23 +22,15 @@ use crate::spanner_set::SpannerSet;
 use bds_dstruct::edge_table::pack;
 use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet, PriorityList};
 use bds_estree::ShiftedGraph;
+use bds_graph::api::{
+    validate_edges, BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf,
+};
 use bds_graph::types::{Edge, SpannerDelta, V};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 
 const NO_VERTEX: V = V::MAX;
-
-/// Per-batch work/recourse statistics (experiments E3/E10).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct DecrementalStats {
-    /// Entries examined by NextWith scans.
-    pub scan_steps: u64,
-    /// Vertices whose cluster label changed (Lemma 3.6 quantity).
-    pub cluster_changes: u64,
-    /// Vertices processed across ES phases.
-    pub vertices_touched: u64,
-}
 
 #[derive(Clone, Copy)]
 struct InEntry {
@@ -67,10 +59,56 @@ pub struct DecrementalSpanner {
     /// scratch: per-vertex slot index, valid while `mark[v] == epoch`
     slot: Vec<u32>,
     epoch: u32,
-    stats: DecrementalStats,
+    stats: BatchStats,
+}
+
+/// Typed builder for [`DecrementalSpanner`] (Lemma 3.3).
+#[derive(Debug, Clone)]
+pub struct DecrementalSpannerBuilder {
+    n: usize,
+    k: u32,
+    seed: u64,
+}
+
+impl DecrementalSpannerBuilder {
+    /// Stretch parameter: the spanner guarantees stretch 2k−1.
+    pub fn stretch(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<DecrementalSpanner, ConfigError> {
+        if self.n < 1 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 1 });
+        }
+        if self.k < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "stretch",
+                reason: "k must be ≥ 1 (spanner stretch is 2k−1)",
+            });
+        }
+        validate_edges(self.n, edges)?;
+        Ok(DecrementalSpanner::new(self.n, self.k, edges, self.seed))
+    }
 }
 
 impl DecrementalSpanner {
+    /// Typed builder: `DecrementalSpanner::builder(n).stretch(k).seed(s)
+    /// .build(&edges)`. Validates inputs with a [`ConfigError`] instead
+    /// of asserting.
+    pub fn builder(n: usize) -> DecrementalSpannerBuilder {
+        DecrementalSpannerBuilder {
+            n,
+            k: 2,
+            seed: 0x5eed,
+        }
+    }
+
     /// Build over `n` vertices with stretch parameter `k ≥ 1`. Shifts are
     /// drawn Exp(ln(10n)/k) and resampled until max δ < k (Algorithm 2's
     /// Las Vegas loop), so the (2k−1) stretch guarantee is unconditional.
@@ -216,7 +254,7 @@ impl DecrementalSpanner {
             mark: vec![0; total],
             slot: vec![0; total],
             epoch: 0,
-            stats: DecrementalStats::default(),
+            stats: BatchStats::default(),
         };
 
         // Buckets + initial spanner.
@@ -290,7 +328,7 @@ impl DecrementalSpanner {
         self.cluster[v as usize]
     }
 
-    pub fn stats(&self) -> DecrementalStats {
+    pub fn stats(&self) -> BatchStats {
         self.stats
     }
 
@@ -333,6 +371,21 @@ impl DecrementalSpanner {
     /// Delete a batch of edges; returns the spanner delta. Panics if an
     /// edge is absent (deletions must reference live edges).
     pub fn delete_batch(&mut self, batch: &[Edge]) -> SpannerDelta {
+        self.delete_batch_inner(batch);
+        let delta = self.spanner.take_delta();
+        self.stats.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// Delete a batch, writing the exact (δH_ins, δH_del) into the
+    /// caller-owned `out` — the allocation-free delta path.
+    pub fn delete_batch_into(&mut self, batch: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_inner(batch);
+        self.spanner.take_delta_into(out);
+        self.stats.recourse += out.recourse() as u64;
+    }
+
+    fn delete_batch_inner(&mut self, batch: &[Edge]) {
         let t = self.sg.t;
         let nl = t as usize + 2;
         // (vertex, scan ceiling priority) per level for parent fixing.
@@ -515,8 +568,6 @@ impl DecrementalSpanner {
                 self.apply_cluster_change(v, old_c, new_c, &mut queues, &mut cqueues);
             }
         }
-
-        self.spanner.take_delta()
     }
 
     /// Relabel `v` from cluster `old_c` to `new_c`: move it between its
@@ -704,6 +755,30 @@ impl DecrementalSpanner {
         got.sort_unstable();
         exp.sort_unstable();
         assert_eq!(got, exp, "spanner contents diverged");
+    }
+}
+
+impl BatchDynamic for DecrementalSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        DecrementalSpanner::num_live_edges(self)
+    }
+
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.spanner.output_into(out);
+    }
+
+    fn stats(&self) -> BatchStats {
+        self.stats
+    }
+}
+
+impl Decremental for DecrementalSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_into(deletions, out);
     }
 }
 

@@ -11,10 +11,12 @@
 //! Deletions route through the edge index to their owning slot. Each edge
 //! therefore participates in at most O(log n) rebuilds.
 
-use crate::decremental::{DecrementalSpanner, DecrementalStats};
+use crate::decremental::DecrementalSpanner;
 use crate::spanner_set::SpannerSet;
-use crate::BatchDynamicSpanner;
 use bds_dstruct::FxHashMap;
+use bds_graph::api::{
+    validate_edges, BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf, FullyDynamic,
+};
 use bds_graph::types::{Edge, SpannerDelta, UpdateBatch};
 
 /// Slots ≥ 1 hold decremental instances; E₀ is the unstructured buffer.
@@ -36,9 +38,58 @@ pub struct FullyDynamicSpanner {
     spanner: SpannerSet,
     seed: u64,
     rebuilds: u64,
+    recourse: u64,
+    /// Reusable buffer for slot-level deltas (keeps the steady-state
+    /// delta path allocation-free).
+    scratch: DeltaBuf,
+}
+
+/// Typed builder for [`FullyDynamicSpanner`] (Theorem 1.1).
+#[derive(Debug, Clone)]
+pub struct FullyDynamicSpannerBuilder {
+    n: usize,
+    k: u32,
+    seed: u64,
+}
+
+impl FullyDynamicSpannerBuilder {
+    /// Stretch parameter: the spanner guarantees stretch 2k−1.
+    pub fn stretch(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<FullyDynamicSpanner, ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 2 });
+        }
+        if self.k < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "stretch",
+                reason: "k must be ≥ 1 (spanner stretch is 2k−1)",
+            });
+        }
+        validate_edges(self.n, edges)?;
+        Ok(FullyDynamicSpanner::new(self.n, self.k, edges, self.seed))
+    }
 }
 
 impl FullyDynamicSpanner {
+    /// Typed builder: `FullyDynamicSpanner::builder(n).stretch(k)
+    /// .seed(s).build(&edges)`.
+    pub fn builder(n: usize) -> FullyDynamicSpannerBuilder {
+        FullyDynamicSpannerBuilder {
+            n,
+            k: 2,
+            seed: 0x5eed,
+        }
+    }
+
     pub fn new(n: usize, k: u32, edges: &[Edge], seed: u64) -> Self {
         assert!(k >= 1 && n >= 2);
         // 2^{l0} >= n^{1+1/k}
@@ -54,6 +105,8 @@ impl FullyDynamicSpanner {
             spanner: SpannerSet::new(),
             seed,
             rebuilds: 0,
+            recourse: 0,
+            scratch: DeltaBuf::new(),
         };
         if !edges.is_empty() {
             // Initial placement: smallest slot j ≥ 1 with |E| ≤ 2^{j+l0}.
@@ -133,8 +186,23 @@ impl FullyDynamicSpanner {
 
     /// Insert a batch of edges (must be absent; panics otherwise).
     pub fn insert_batch(&mut self, inserted: &[Edge]) -> SpannerDelta {
+        self.insert_inner(inserted);
+        let delta = self.spanner.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`FullyDynamicSpanner::insert_batch`] reporting into a
+    /// caller-owned buffer.
+    pub fn insert_batch_into(&mut self, inserted: &[Edge], out: &mut DeltaBuf) {
+        self.insert_inner(inserted);
+        self.spanner.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn insert_inner(&mut self, inserted: &[Edge]) {
         if inserted.is_empty() {
-            return self.spanner.take_delta();
+            return;
         }
         let mut u: Vec<Edge> = inserted.to_vec();
         u.sort_unstable();
@@ -200,11 +268,25 @@ impl FullyDynamicSpanner {
                 self.build_slot(j, merged);
             }
         }
-        self.spanner.take_delta()
     }
 
     /// Delete a batch of edges (must be present; panics otherwise).
     pub fn delete_batch(&mut self, deleted: &[Edge]) -> SpannerDelta {
+        self.delete_inner(deleted);
+        let delta = self.spanner.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`FullyDynamicSpanner::delete_batch`] reporting into a
+    /// caller-owned buffer.
+    pub fn delete_batch_into(&mut self, deleted: &[Edge], out: &mut DeltaBuf) {
+        self.delete_inner(deleted);
+        self.spanner.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn delete_inner(&mut self, deleted: &[Edge]) {
         // Group by owning slot.
         let mut by_slot: FxHashMap<u32, Vec<Edge>> = FxHashMap::default();
         for e in deleted {
@@ -222,19 +304,47 @@ impl FullyDynamicSpanner {
                     self.spanner.remove(e);
                 }
             } else {
+                let mut scratch = std::mem::take(&mut self.scratch);
                 let Slot::Instance(d) = &mut self.slots[slot as usize - 1] else {
                     panic!("indexed slot {slot} is empty")
                 };
-                let delta = d.delete_batch(&edges);
-                for e in delta.deleted {
+                d.delete_batch_into(&edges, &mut scratch);
+                for &e in scratch.deleted() {
                     self.spanner.remove(e);
                 }
-                for e in delta.inserted {
+                for &e in scratch.inserted() {
                     self.spanner.add(e);
                 }
+                self.scratch = scratch;
             }
         }
-        self.spanner.take_delta()
+    }
+
+    /// Apply one mixed batch (deletions, then insertions) atomically.
+    /// The per-batch netting that used to run through an edge-score hash
+    /// map now falls out of the [`SpannerSet`] baseline: both phases
+    /// record against one batch baseline and a single delta extraction
+    /// nets them — no allocation on the delta path.
+    pub fn process_batch(&mut self, batch: &UpdateBatch) -> SpannerDelta {
+        self.delete_inner(&batch.deletions);
+        self.insert_inner(&batch.insertions);
+        let delta = self.spanner.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`FullyDynamicSpanner::process_batch`] reporting into a
+    /// caller-owned buffer.
+    pub fn process_batch_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.delete_inner(&batch.deletions);
+        self.insert_inner(&batch.insertions);
+        self.spanner.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    /// Current spanner edge set.
+    pub fn spanner_edges(&self) -> Vec<Edge> {
+        self.spanner.edges()
     }
 
     pub fn num_live_edges(&self) -> usize {
@@ -249,9 +359,11 @@ impl FullyDynamicSpanner {
         self.rebuilds
     }
 
-    /// Aggregated decremental statistics across live slots.
-    pub fn stats(&self) -> DecrementalStats {
-        let mut s = DecrementalStats::default();
+    /// Aggregated statistics: per-slot work counters (of the currently
+    /// live slots — rebuilt slots restart their counters) plus the
+    /// wrapper-level recourse.
+    pub fn stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
         for slot in &self.slots {
             if let Slot::Instance(d) = slot {
                 let ds = d.stats();
@@ -260,6 +372,7 @@ impl FullyDynamicSpanner {
                 s.vertices_touched += ds.vertices_touched;
             }
         }
+        s.recourse = self.recourse;
         s
     }
 
@@ -303,32 +416,37 @@ impl FullyDynamicSpanner {
     }
 }
 
-impl BatchDynamicSpanner for FullyDynamicSpanner {
-    fn spanner_edges(&self) -> Vec<Edge> {
-        self.spanner.edges()
+impl BatchDynamic for FullyDynamicSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
     }
 
-    fn process_batch(&mut self, batch: &UpdateBatch) -> SpannerDelta {
-        let mut d = self.delete_batch(&batch.deletions);
-        d.merge(self.insert_batch(&batch.insertions));
-        // Net out edges touched by both phases.
-        let mut net = SpannerDelta::default();
-        let mut score: FxHashMap<Edge, i32> = FxHashMap::default();
-        for e in &d.inserted {
-            *score.entry(*e).or_insert(0) += 1;
-        }
-        for e in &d.deleted {
-            *score.entry(*e).or_insert(0) -= 1;
-        }
-        for (e, s) in score {
-            match s {
-                1 => net.inserted.push(e),
-                -1 => net.deleted.push(e),
-                0 => {}
-                _ => unreachable!("edge {e:?} moved twice in one direction"),
-            }
-        }
-        net
+    fn num_live_edges(&self) -> usize {
+        FullyDynamicSpanner::num_live_edges(self)
+    }
+
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.spanner.output_into(out);
+    }
+
+    fn stats(&self) -> BatchStats {
+        FullyDynamicSpanner::stats(self)
+    }
+}
+
+impl Decremental for FullyDynamicSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_into(deletions, out);
+    }
+}
+
+impl FullyDynamic for FullyDynamicSpanner {
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+        self.insert_batch_into(insertions, out);
+    }
+
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.process_batch_into(batch, out);
     }
 }
 

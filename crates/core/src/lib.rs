@@ -13,17 +13,10 @@ pub mod decremental;
 pub mod fully_dynamic;
 pub mod spanner_set;
 
-pub use decremental::{DecrementalSpanner, DecrementalStats};
-pub use fully_dynamic::FullyDynamicSpanner;
+pub use decremental::{DecrementalSpanner, DecrementalSpannerBuilder};
+pub use fully_dynamic::{FullyDynamicSpanner, FullyDynamicSpannerBuilder};
 pub use spanner_set::SpannerSet;
 
-use bds_graph::types::{SpannerDelta, UpdateBatch};
-
-/// Common interface of the paper's batch-dynamic structures: apply a batch
-/// of updates, receive the exact spanner delta.
-pub trait BatchDynamicSpanner {
-    /// Current spanner edge set.
-    fn spanner_edges(&self) -> Vec<bds_graph::types::Edge>;
-    /// Apply a batch; returns (δH_ins, δH_del).
-    fn process_batch(&mut self, batch: &UpdateBatch) -> SpannerDelta;
-}
+// The unified update interface both structures implement lives in the
+// graph substrate so every crate shares one contract.
+pub use bds_graph::api::{BatchDynamic, BatchStats, Decremental, DeltaBuf, FullyDynamic};

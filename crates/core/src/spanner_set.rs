@@ -9,6 +9,7 @@
 //! nothing).
 
 use bds_dstruct::EdgeTable;
+use bds_graph::api::DeltaBuf;
 use bds_graph::types::{Edge, SpannerDelta};
 
 #[derive(Debug, Default)]
@@ -72,18 +73,47 @@ impl SpannerSet {
         self.count.iter().map(|(u, v, _)| Edge { u, v }).collect()
     }
 
+    /// Write the current membership into `out` as insertions (the
+    /// [`bds_graph::api::BatchDynamic::output_into`] building block).
+    pub fn output_into(&self, out: &mut DeltaBuf) {
+        out.clear();
+        for (u, v, _) in self.count.iter() {
+            out.push_ins(Edge { u, v });
+        }
+    }
+
+    /// Net membership changes since the last call (or construction),
+    /// written into a caller-owned buffer. Allocation-free once `out`
+    /// and the baseline table have warmed up — the delta path of every
+    /// steady-state batch loop.
+    pub fn take_delta_into(&mut self, out: &mut DeltaBuf) {
+        out.clear();
+        let count = &self.count;
+        self.baseline.drain_with(|u, v, was| {
+            let e = Edge { u, v };
+            let now = count.contains(u, v);
+            match (was != 0, now) {
+                (false, true) => out.push_ins(e),
+                (true, false) => out.push_del(e),
+                _ => {}
+            }
+        });
+    }
+
     /// Net membership changes since the last call (or construction).
+    /// Materializing convenience over [`SpannerSet::take_delta_into`].
     pub fn take_delta(&mut self) -> SpannerDelta {
         let mut delta = SpannerDelta::default();
-        for (u, v, was) in self.baseline.drain() {
+        let count = &self.count;
+        self.baseline.drain_with(|u, v, was| {
             let e = Edge { u, v };
-            let now = self.count.contains(u, v);
+            let now = count.contains(u, v);
             match (was != 0, now) {
                 (false, true) => delta.inserted.push(e),
                 (true, false) => delta.deleted.push(e),
                 _ => {}
             }
-        }
+        });
         delta
     }
 }

@@ -1,5 +1,5 @@
 //! A flat, open-addressed table keyed by *packed* directed edges — the
-//! [GMV91]-style batch-parallel hash table the paper's preliminaries
+//! \[GMV91\]-style batch-parallel hash table the paper's preliminaries
 //! assume, specialized to this codebase's dominant access pattern:
 //! `(u, v) → u64` lookups on the hot paths of every dynamic structure.
 //!
@@ -460,7 +460,7 @@ impl EdgeTable {
     }
 
     /// Batch point lookups, in query order. Each worker pipelines its
-    /// queries in [`PREFETCH_DEPTH`]-blocks (hash + prefetch every home
+    /// queries in `PREFETCH_DEPTH`-blocks (hash + prefetch every home
     /// slot, then probe), overlapping the cache misses that a pointwise
     /// loop — or a tuple-keyed hash map — pays serially; the dense tag
     /// array resolves most absent keys without touching the slots.
@@ -689,6 +689,19 @@ impl EdgeTable {
         let out: Vec<(u32, u32, u64)> = self.iter().collect();
         self.clear();
         out
+    }
+
+    /// Drain every live entry through a callback, leaving the table empty
+    /// (capacity kept). Unlike [`EdgeTable::drain`] this performs no heap
+    /// allocation — the delta-extraction hot path of every batch loop.
+    pub fn drain_with(&mut self, mut f: impl FnMut(u32, u32, u64)) {
+        for s in &self.slots {
+            if s.key < TOMB_KEY {
+                let (u, v) = unpack(s.key);
+                f(u, v, s.val);
+            }
+        }
+        self.clear();
     }
 
     /// Ensure ⅝-load headroom (live entries *and* tombstones count

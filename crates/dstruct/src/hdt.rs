@@ -1,6 +1,6 @@
 //! Holm–de Lichtenberg–Thorup fully-dynamic spanning forest.
 //!
-//! This is the workspace's substitute for the [AABD19] parallel
+//! This is the workspace's substitute for the \[AABD19\] parallel
 //! batch-dynamic connectivity structure that Theorem 1.4 uses to maintain
 //! H₂ (the spanning forest over ⊥-vertices). The interface reports exact
 //! *forest deltas* — which tree edges entered or left the maintained

@@ -17,8 +17,8 @@
 //!   `UpdatePriority`/`NextWith` operations, backed by [`flat_list`].
 //! * [`euler`] + [`hdt`] — Euler-tour trees and the Holm–de
 //!   Lichtenberg–Thorup dynamic spanning forest, our substitute for the
-//!   [AABD19] parallel batch-dynamic connectivity used by Theorem 1.4.
-//! * [`edge_table`] — the flat batch-parallel edge table ([GMV91]-style)
+//!   \[AABD19\] parallel batch-dynamic connectivity used by Theorem 1.4.
+//! * [`edge_table`] — the flat batch-parallel edge table (\[GMV91\]-style)
 //!   behind every `(u, v) → u64` hot path: packed single-word keys,
 //!   power-of-two linear probing, O(1) tombstone removals purged by
 //!   tombstone-free rebuild-on-⅝-load, and `bds_par`-parallel batch

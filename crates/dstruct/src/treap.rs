@@ -5,7 +5,7 @@
 //! workspace replayable.
 //!
 //! This is the sequential stand-in for the parallel red-black trees of
-//! [PP01] that the paper assumes (§2): batches touch many *independent*
+//! \[PP01\] that the paper assumes (§2): batches touch many *independent*
 //! per-vertex treaps in parallel, so per-operation O(log n) cost is what
 //! the work bound needs.
 

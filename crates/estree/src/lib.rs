@@ -13,5 +13,6 @@
 pub mod shift;
 pub mod tree;
 
+pub use bds_graph::api::BatchStats;
 pub use shift::ShiftedGraph;
-pub use tree::{EsBatchStats, EsTree, ParentChange, NO_VERTEX, UNREACHED};
+pub use tree::{EsTree, EsTreeBuilder, ParentChange, NO_VERTEX, UNREACHED};

@@ -28,7 +28,7 @@ pub struct ShiftedGraph {
 impl ShiftedGraph {
     /// Sample δ_u i.i.d. Exp(β). If `cap = Some(c)`, resample the whole
     /// vector until `max δ_u < c` (the Las Vegas loop of Algorithm 2);
-    /// with `cap = None` shifts are used as drawn (Lemma 6.4 / [MPX13]).
+    /// with `cap = None` shifts are used as drawn (Lemma 6.4 / \[MPX13\]).
     pub fn sample(n: usize, beta: f64, cap: Option<f64>, seed: u64) -> Self {
         assert!(beta > 0.0 && n > 0);
         let mut rng = StdRng::seed_from_u64(seed);

@@ -15,7 +15,8 @@
 
 use bds_dstruct::edge_table::{pack, unpack};
 use bds_dstruct::{EdgeTable, PriorityList};
-use bds_graph::types::V;
+use bds_graph::api::{BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf};
+use bds_graph::types::{Edge, V};
 use bds_par::{WorkCounter, GRAIN};
 use rayon::prelude::*;
 use std::cmp::Reverse;
@@ -32,17 +33,6 @@ pub struct ParentChange {
     pub vertex: V,
     pub old_parent: V,
     pub new_parent: V,
-}
-
-/// Work/recourse statistics for one batch (experiment E5).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct EsBatchStats {
-    /// Entries examined by `NextWith` scans.
-    pub scan_steps: u64,
-    /// Vertices processed across all phases.
-    pub vertices_touched: u64,
-    /// Parent pointer changes.
-    pub parent_changes: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -86,9 +76,70 @@ pub struct EsTree {
     slot: Vec<u32>,
     epoch: u32,
     pub scan_work: WorkCounter,
+    /// Cumulative statistics since construction.
+    stats: BatchStats,
+}
+
+/// Typed builder for [`EsTree`] (Theorem 1.2).
+#[derive(Debug, Clone)]
+pub struct EsTreeBuilder {
+    n: usize,
+    source: V,
+    l_max: u32,
+}
+
+impl EsTreeBuilder {
+    /// BFS source vertex (default 0).
+    pub fn source(mut self, source: V) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Maintained depth bound L (default 16).
+    pub fn max_depth(mut self, l_max: u32) -> Self {
+        self.l_max = l_max;
+        self
+    }
+
+    /// Build from directed, prioritized edges `(u, v, priority)`.
+    pub fn build(self, edges: &[(V, V, u64)]) -> Result<EsTree, ConfigError> {
+        if self.n < 1 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 1 });
+        }
+        if self.source as usize >= self.n {
+            return Err(ConfigError::VertexOutOfRange {
+                vertex: self.source,
+                n: self.n,
+            });
+        }
+        if self.l_max < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "max_depth",
+                reason: "the maintained depth L must be ≥ 1",
+            });
+        }
+        for &(u, v, _) in edges {
+            if u as usize >= self.n || v as usize >= self.n {
+                return Err(ConfigError::VertexOutOfRange {
+                    vertex: if u as usize >= self.n { u } else { v },
+                    n: self.n,
+                });
+            }
+        }
+        Ok(EsTree::new(self.n, self.source, self.l_max, edges))
+    }
 }
 
 impl EsTree {
+    /// Typed builder: `EsTree::builder(n).source(s).max_depth(l)
+    /// .build(&edges)`.
+    pub fn builder(n: usize) -> EsTreeBuilder {
+        EsTreeBuilder {
+            n,
+            source: 0,
+            l_max: 16,
+        }
+    }
     /// Build from directed, prioritized edges `(u, v, priority)` — the
     /// priority orders `In(v)` descending and must be unique within each
     /// in-list. Duplicate directed edges are deduplicated as a batch,
@@ -195,6 +246,7 @@ impl EsTree {
             slot: vec![0; n],
             epoch: 0,
             scan_work: WorkCounter::new(),
+            stats: BatchStats::default(),
         };
         // Initial parents: first (max-priority) in-entry at depth d-1.
         let dist = &tree.dist;
@@ -268,11 +320,20 @@ impl EsTree {
         self.epoch
     }
 
+    /// Cumulative statistics since construction (`recourse` counts net
+    /// parent-pointer changes).
+    pub fn stats(&self) -> BatchStats {
+        let mut s = self.stats;
+        s.scan_steps = self.scan_work.get();
+        s
+    }
+
     /// Delete a batch of *directed* edges (callers delete both
     /// orientations of an undirected edge). Returns all parent-pointer
-    /// changes plus batch statistics. Panics if an edge is absent.
-    pub fn delete_batch(&mut self, edges: &[(V, V)]) -> (Vec<ParentChange>, EsBatchStats) {
-        let mut stats = EsBatchStats::default();
+    /// changes plus this batch's statistics. Panics if an edge is absent.
+    pub fn delete_batch(&mut self, edges: &[(V, V)]) -> (Vec<ParentChange>, BatchStats) {
+        let mut stats = BatchStats::default();
+        let work0 = self.scan_work.get();
         let mut changes: Vec<ParentChange> = Vec::new();
         // Per-level work queues: (vertex, resume_rank).
         let nl = self.l_max as usize + 2;
@@ -430,8 +491,10 @@ impl EsTree {
 
         // Collapse multiple changes per vertex into net changes.
         let net = self.net_changes(changes);
-        stats.parent_changes = net.len() as u64;
-        stats.scan_steps = self.scan_work.get();
+        stats.recourse = net.len() as u64;
+        stats.scan_steps = self.scan_work.get() - work0;
+        self.stats.vertices_touched += stats.vertices_touched;
+        self.stats.recourse += stats.recourse;
         (net, stats)
     }
 
@@ -509,12 +572,64 @@ impl EsTree {
     }
 }
 
+impl BatchDynamic for EsTree {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Counts *directed* edges; an undirected caller that inserted both
+    /// orientations sees twice its edge count.
+    fn num_live_edges(&self) -> usize {
+        self.num_edges()
+    }
+
+    /// The maintained output set: the shortest-path tree edges, as
+    /// canonical undirected edges.
+    fn output_into(&self, out: &mut DeltaBuf) {
+        out.clear();
+        for v in 0..self.n as V {
+            if let Some(p) = self.parent(v) {
+                out.push_ins(Edge::new(p, v));
+            }
+        }
+    }
+
+    fn stats(&self) -> BatchStats {
+        EsTree::stats(self)
+    }
+}
+
+impl Decremental for EsTree {
+    /// Undirected view of [`EsTree::delete_batch`]: deletes both
+    /// orientations of every edge (the usual construction inserts both)
+    /// and reports the tree-edge delta — each net parent change removes
+    /// the old parent edge and adds the new one.
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        out.clear();
+        let dirs: Vec<(V, V)> = deletions
+            .iter()
+            .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
+            .collect();
+        let (changes, _stats) = self.delete_batch(&dirs);
+        for c in changes {
+            if c.old_parent != NO_VERTEX {
+                out.push_del(Edge::new(c.old_parent, c.vertex));
+            }
+            if c.new_parent != NO_VERTEX {
+                out.push_ins(Edge::new(c.new_parent, c.vertex));
+            }
+        }
+        // A parent swap (v adopting its former child as parent) touches
+        // the same canonical edge in both directions — a set-level no-op.
+        out.net();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bds_dstruct::FxHashMap;
     use bds_graph::gen;
-    use bds_graph::types::Edge;
     use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 
     /// Both orientations with per-source priorities (perm = identity).

@@ -1,0 +1,681 @@
+//! The unified batch-dynamic engine API.
+//!
+//! The paper defines one interface contract for all six theorems: apply a
+//! batch of edge updates, receive the exact (δH_ins, δH_del) recourse.
+//! This module is that contract as code, shared by every structure in the
+//! workspace:
+//!
+//! * [`DeltaBuf`] — a caller-owned, reusable delta buffer every
+//!   implementor reports into. One flat `Vec<Edge>` with a split index
+//!   (insertions before it, deletions after), an optional per-edge
+//!   weight lane for the sparsifiers, and an auxiliary edge lane for
+//!   structure-specific side channels (the bundle's residual deletions).
+//!   Reusing one buffer across batches makes the steady-state delta path
+//!   allocation-free.
+//! * [`BatchDynamic`] / [`Decremental`] / [`FullyDynamic`] — the
+//!   capability-split update traits. Delete-only structures (`EsTree`,
+//!   the bundle/monotone spanners, the decremental spanner and
+//!   sparsifier) implement [`Decremental`]; structures that also take
+//!   insertions (the Bentley–Saxe wrappers, the contraction towers)
+//!   implement [`FullyDynamic`].
+//! * [`BatchStats`] — one per-structure statistics record (scan steps,
+//!   vertices touched, cluster changes, recourse) replacing the ad-hoc
+//!   per-crate stats types.
+//! * [`ConfigError`] / [`BatchError`] / [`BatchReport`] — typed
+//!   construction and input validation instead of asserts reachable from
+//!   user input. See [`crate::types::UpdateBatch::normalized`].
+//! * [`SpannerView`] — a read-side mirror of a maintained edge set, kept
+//!   current by applying each batch's [`DeltaBuf`]; readers serve
+//!   `contains`/`degree`/iteration off a stable epoch (and materialize a
+//!   CSR snapshot when they need traversals) while the writer prepares
+//!   the next batch.
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, UpdateBatch, V};
+use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet};
+
+// ---------------------------------------------------------------------------
+// DeltaBuf
+// ---------------------------------------------------------------------------
+
+/// A reusable (δH_ins, δH_del) buffer.
+///
+/// Layout: one flat edge vector; entries `[0..split)` are the edges that
+/// entered the maintained set H, entries `[split..len)` the edges that
+/// left it. Weighted structures fill the parallel `weights` lane
+/// (`f64::to_bits`); unweighted structures leave it empty. The `aux` lane
+/// is a second, structure-specific edge channel (the t-bundle reports its
+/// residual deletions there — what drives the Lemma 6.6 sampling chain).
+///
+/// The buffer is *caller-owned*: allocate one, pass `&mut` to every
+/// `*_into` call, and the steady-state batch loop performs no delta-path
+/// heap allocations once the vectors have warmed up ([`DeltaBuf::clear`]
+/// keeps capacity).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBuf {
+    edges: Vec<Edge>,
+    split: usize,
+    weights: Vec<u64>,
+    aux: Vec<Edge>,
+}
+
+impl DeltaBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the edge lane for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            edges: Vec::with_capacity(cap),
+            split: 0,
+            weights: Vec::new(),
+            aux: Vec::new(),
+        }
+    }
+
+    /// Empty the buffer, retaining all allocations.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.weights.clear();
+        self.aux.clear();
+        self.split = 0;
+    }
+
+    /// Total recourse |δH_ins| + |δH_del|.
+    pub fn recourse(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.aux.is_empty()
+    }
+
+    /// True if the weight lane is populated.
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Edges that entered H this batch.
+    pub fn inserted(&self) -> &[Edge] {
+        &self.edges[..self.split]
+    }
+
+    /// Edges that left H this batch.
+    pub fn deleted(&self) -> &[Edge] {
+        &self.edges[self.split..]
+    }
+
+    /// The auxiliary edge lane (structure-specific; see the implementor).
+    pub fn aux(&self) -> &[Edge] {
+        &self.aux
+    }
+
+    /// Weighted view of the inserted section. Unweighted buffers report
+    /// weight 1.0 for every edge.
+    pub fn inserted_weighted(&self) -> impl Iterator<Item = (Edge, f64)> + '_ {
+        self.lane_weighted(0, self.split)
+    }
+
+    /// Weighted view of the deleted section (weights as of removal).
+    pub fn deleted_weighted(&self) -> impl Iterator<Item = (Edge, f64)> + '_ {
+        self.lane_weighted(self.split, self.edges.len())
+    }
+
+    fn lane_weighted(&self, lo: usize, hi: usize) -> impl Iterator<Item = (Edge, f64)> + '_ {
+        debug_assert!(self.weights.is_empty() || self.weights.len() == self.edges.len());
+        (lo..hi).map(|i| {
+            let w = self
+                .weights
+                .get(i)
+                .map_or(1.0, |&bits| f64::from_bits(bits));
+            (self.edges[i], w)
+        })
+    }
+
+    /// Append an insertion. O(1): a deletion displaced from the split
+    /// point moves to the back.
+    #[inline]
+    pub fn push_ins(&mut self, e: Edge) {
+        debug_assert!(self.weights.is_empty(), "weighted buffer needs push_ins_w");
+        self.edges.push(e);
+        let last = self.edges.len() - 1;
+        self.edges.swap(self.split, last);
+        self.split += 1;
+    }
+
+    /// Append a deletion.
+    #[inline]
+    pub fn push_del(&mut self, e: Edge) {
+        debug_assert!(self.weights.is_empty(), "weighted buffer needs push_del_w");
+        self.edges.push(e);
+    }
+
+    /// Append a weighted insertion.
+    #[inline]
+    pub fn push_ins_w(&mut self, e: Edge, w: f64) {
+        debug_assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
+        self.edges.push(e);
+        self.weights.push(w.to_bits());
+        let last = self.edges.len() - 1;
+        self.edges.swap(self.split, last);
+        self.weights.swap(self.split, last);
+        self.split += 1;
+    }
+
+    /// Append a weighted deletion.
+    #[inline]
+    pub fn push_del_w(&mut self, e: Edge, w: f64) {
+        debug_assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
+        self.edges.push(e);
+        self.weights.push(w.to_bits());
+    }
+
+    /// Append to the auxiliary lane.
+    #[inline]
+    pub fn push_aux(&mut self, e: Edge) {
+        self.aux.push(e);
+    }
+
+    /// Net the two sections at set level: an edge appearing in both
+    /// left H and re-entered it within one batch — a membership no-op —
+    /// and is dropped from both sections. In-place and allocation-free
+    /// (sorts the sections). Unweighted buffers only: a weighted edge in
+    /// both sections is a *reweighting* and must stay.
+    pub fn net(&mut self) {
+        debug_assert!(self.weights.is_empty(), "net() on a weighted buffer");
+        const DEAD: Edge = Edge {
+            u: V::MAX,
+            v: V::MAX,
+        };
+        let (ins, del) = self.edges.split_at_mut(self.split);
+        ins.sort_unstable();
+        del.sort_unstable();
+        let (mut i, mut j) = (0, 0);
+        let mut killed = 0usize;
+        while i < ins.len() && j < del.len() {
+            match ins[i].cmp(&del[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    ins[i] = DEAD;
+                    del[j] = DEAD;
+                    killed += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if killed > 0 {
+            self.split -= killed;
+            self.edges.retain(|&e| e != DEAD);
+        }
+    }
+
+    /// Apply this delta to a materialized edge set, asserting exact
+    /// consistency (the conformance-suite oracle).
+    pub fn apply_to(&self, set: &mut FxHashSet<Edge>) {
+        for &e in self.deleted() {
+            assert!(set.remove(&e), "delta removes absent edge {e:?}");
+        }
+        for &e in self.inserted() {
+            assert!(set.insert(e), "delta inserts duplicate edge {e:?}");
+        }
+    }
+
+    /// Apply this delta to a materialized weighted edge map, asserting
+    /// exact consistency including weights (weight 1.0 for unweighted
+    /// buffers).
+    pub fn apply_weighted_to(&self, map: &mut FxHashMap<Edge, u64>) {
+        for (e, w) in self.deleted_weighted() {
+            let got = map.remove(&e);
+            assert_eq!(
+                got,
+                Some(w.to_bits()),
+                "delta removes {e:?} at weight {w}, map had {got:?}"
+            );
+        }
+        for (e, w) in self.inserted_weighted() {
+            let old = map.insert(e, w.to_bits());
+            assert!(old.is_none(), "delta inserts duplicate edge {e:?}");
+        }
+    }
+
+    /// Materialize as a [`crate::types::SpannerDelta`] (allocates; for
+    /// interop with the legacy per-batch delta types).
+    pub fn to_delta(&self) -> crate::types::SpannerDelta {
+        crate::types::SpannerDelta {
+            inserted: self.inserted().to_vec(),
+            deleted: self.deleted().to_vec(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchStats
+// ---------------------------------------------------------------------------
+
+/// Unified per-structure work/recourse statistics, cumulative since
+/// construction. One type for every implementor — the Even–Shiloach
+/// engine, the clustering spanners, the towers and the sparsifiers all
+/// report through it (fields a structure does not track stay zero).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Entries examined by priority-list `NextWith` scans.
+    pub scan_steps: u64,
+    /// Vertices processed across level-synchronous phases.
+    pub vertices_touched: u64,
+    /// Cluster/head relabelings (the Lemma 3.6 quantity; head recomputes
+    /// for the contraction structures).
+    pub cluster_changes: u64,
+    /// Total |δH| reported across all batches.
+    pub recourse: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Errors and batch normalization reports
+// ---------------------------------------------------------------------------
+
+/// Typed construction-time validation failure (returned by the builders
+/// instead of panicking on bad user input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer vertices than the structure supports.
+    TooFewVertices { n: usize, min: usize },
+    /// A named parameter is outside its valid range.
+    InvalidParam {
+        name: &'static str,
+        reason: &'static str,
+    },
+    /// An initial edge references a vertex ≥ n.
+    VertexOutOfRange { vertex: V, n: usize },
+    /// The initial edge list contains a duplicate.
+    DuplicateEdge(Edge),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewVertices { n, min } => {
+                write!(f, "n = {n} is below the minimum of {min} vertices")
+            }
+            ConfigError::InvalidParam { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ConfigError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edge endpoint {vertex} out of range for n = {n}")
+            }
+            ConfigError::DuplicateEdge(e) => write!(f, "duplicate initial edge {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed batch-validation failure from
+/// [`crate::types::UpdateBatch::normalized`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// An edge appears in both the insertion and the deletion list of one
+    /// batch (the paper's model forbids it; applying either order would
+    /// silently change semantics).
+    EdgeInBothLists(Edge),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::EdgeInBothLists(e) => {
+                write!(f, "edge {e:?} appears in both lists of one batch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// What batch normalization dropped (self-loops only arise through the
+/// raw-pair entry point [`crate::types::UpdateBatch::from_pairs`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReport {
+    pub self_loops_dropped: usize,
+    pub duplicate_insertions_dropped: usize,
+    pub duplicate_deletions_dropped: usize,
+}
+
+impl BatchReport {
+    pub fn total_dropped(&self) -> usize {
+        self.self_loops_dropped
+            + self.duplicate_insertions_dropped
+            + self.duplicate_deletions_dropped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The capability-split update traits
+// ---------------------------------------------------------------------------
+
+/// Read side common to every batch-dynamic structure.
+pub trait BatchDynamic {
+    /// Number of vertices of the maintained input graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of live edges of the maintained input graph.
+    fn num_live_edges(&self) -> usize;
+
+    /// Write the currently maintained output set H into `out` (cleared
+    /// first; written as insertions, with the weight lane populated by
+    /// weighted structures).
+    fn output_into(&self, out: &mut DeltaBuf);
+
+    /// Cumulative work statistics since construction.
+    fn stats(&self) -> BatchStats;
+
+    /// Convenience: the maintained output set as a fresh vector.
+    fn output_edges_vec(&self) -> Vec<Edge> {
+        let mut buf = DeltaBuf::new();
+        self.output_into(&mut buf);
+        buf.inserted().to_vec()
+    }
+}
+
+/// A structure processing batches of edge *deletions* — the capability
+/// every theorem's structure has.
+pub trait Decremental: BatchDynamic {
+    /// Delete a batch of live edges. Clears `out`, then writes the exact
+    /// (δH_ins, δH_del) recourse of this batch into it.
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf);
+}
+
+/// A structure additionally processing batches of edge *insertions*
+/// (Theorems 1.1/1.3/1.4/1.6 — the Bentley–Saxe reductions and the
+/// contraction towers).
+pub trait FullyDynamic: Decremental {
+    /// Insert a batch of absent edges. Clears `out`, then writes the
+    /// exact recourse.
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf);
+
+    /// Apply one mixed batch atomically (deletions before insertions, as
+    /// the paper's model specifies), netting the recourse across both
+    /// phases into `out`. The batch must already be normalized: no edge
+    /// in both lists, no duplicates.
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf);
+
+    /// Validating entry point for untrusted batches: normalizes (dedup,
+    /// both-lists check) and then applies. Allocates for the normalized
+    /// copy — steady-state loops over trusted batches should call
+    /// [`FullyDynamic::apply_into`] directly.
+    fn process_checked(
+        &mut self,
+        batch: &UpdateBatch,
+        out: &mut DeltaBuf,
+    ) -> Result<BatchReport, BatchError> {
+        let (norm, report) = batch.normalized()?;
+        self.apply_into(&norm, out);
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpannerView — the read side
+// ---------------------------------------------------------------------------
+
+/// A snapshot mirror of a maintained edge set.
+///
+/// The writer keeps a view current by calling [`SpannerView::apply`] with
+/// each batch's [`DeltaBuf`]; every application bumps the epoch. Readers
+/// answer `contains`/`degree`/`weight` point queries and iterate edges
+/// directly off the mirror, or call [`SpannerView::to_csr`] to
+/// materialize a compact CSR snapshot of the current epoch for traversal
+/// workloads (BFS, stretch oracles). Cloning the view pins an epoch, so
+/// a reader can keep serving a stable snapshot while the writer applies
+/// the next batch to its own copy.
+#[derive(Debug, Clone)]
+pub struct SpannerView {
+    n: usize,
+    epoch: u64,
+    /// Canonical edge -> weight bits (1.0 for unweighted sets).
+    member: EdgeTable,
+    degree: Vec<u32>,
+}
+
+impl SpannerView {
+    /// An empty view over `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            epoch: 0,
+            member: EdgeTable::new(),
+            degree: vec![0; n],
+        }
+    }
+
+    /// A view seeded with a structure's current output set.
+    pub fn from_output(n: usize, structure: &impl BatchDynamic) -> Self {
+        let mut buf = DeltaBuf::new();
+        structure.output_into(&mut buf);
+        let mut view = Self::new(n);
+        view.apply(&buf);
+        view.epoch = 0;
+        view
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of delta batches applied since construction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of edges in the mirrored set.
+    pub fn len(&self) -> usize {
+        self.member.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.member.is_empty()
+    }
+
+    pub fn contains(&self, e: Edge) -> bool {
+        self.member.contains(e.u, e.v)
+    }
+
+    /// Weight of `e` in the mirrored set (1.0 for unweighted sets).
+    pub fn weight(&self, e: Edge) -> Option<f64> {
+        self.member.get(e.u, e.v).map(f64::from_bits)
+    }
+
+    pub fn degree(&self, v: V) -> u32 {
+        self.degree[v as usize]
+    }
+
+    /// Iterate the mirrored edges (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Edge, f64)> + '_ {
+        self.member
+            .iter()
+            .map(|(u, v, bits)| (Edge { u, v }, f64::from_bits(bits)))
+    }
+
+    /// The mirrored edges as a fresh vector.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.member.iter().map(|(u, v, _)| Edge { u, v }).collect()
+    }
+
+    /// Advance the mirror by one batch delta and bump the epoch.
+    /// Allocation-free apart from hash-table growth.
+    pub fn apply(&mut self, delta: &DeltaBuf) {
+        for (e, w) in delta.deleted_weighted() {
+            let old = self.member.remove(e.u, e.v);
+            debug_assert_eq!(old, Some(w.to_bits()), "view delta mismatch at {e:?}");
+            self.degree[e.u as usize] -= 1;
+            self.degree[e.v as usize] -= 1;
+        }
+        for (e, w) in delta.inserted_weighted() {
+            let old = self.member.insert(e.u, e.v, w.to_bits());
+            debug_assert!(old.is_none(), "view delta duplicates {e:?}");
+            self.degree[e.u as usize] += 1;
+            self.degree[e.v as usize] += 1;
+        }
+        self.epoch += 1;
+    }
+
+    /// Materialize a CSR snapshot of the current epoch (allocates; the
+    /// CSR is independent of the view and stays valid across later
+    /// `apply` calls).
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, &self.edges())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation helpers (shared by every crate's typed builder)
+// ---------------------------------------------------------------------------
+
+/// Validate an initial edge list against `n`: both endpoints in range,
+/// canonical form (`u < v` — [`Edge`]'s fields are public, so a struct
+/// literal can bypass the canonicalizing constructor), no duplicates.
+pub fn validate_edges(n: usize, edges: &[Edge]) -> Result<(), ConfigError> {
+    for e in edges {
+        if e.u as usize >= n || e.v as usize >= n {
+            let vertex = if e.u as usize >= n { e.u } else { e.v };
+            return Err(ConfigError::VertexOutOfRange { vertex, n });
+        }
+        if e.u >= e.v {
+            return Err(ConfigError::InvalidParam {
+                name: "edges",
+                reason: "edge is not canonical (u < v required; self-loops are invalid)",
+            });
+        }
+    }
+    let mut sorted: Vec<Edge> = edges.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(ConfigError::DuplicateEdge(w[0]));
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-wide default clustering-copy count, ≈ 2·log₂ n + 2
+/// (the w.h.p. coverage bound of Lemma 6.4).
+pub fn default_copies(n: usize) -> usize {
+    2 * (usize::BITS - n.max(2).leading_zeros()) as usize + 2
+}
+
+/// Validate a clustering-copy count.
+pub fn validate_copies(copies: usize) -> Result<(), ConfigError> {
+    if copies < 1 {
+        return Err(ConfigError::InvalidParam {
+            name: "copies",
+            reason: "at least one clustering copy is required",
+        });
+    }
+    Ok(())
+}
+
+/// Validate an exponential shift rate β.
+pub fn validate_beta(beta: f64) -> Result<(), ConfigError> {
+    if !(beta > 0.0 && beta.is_finite()) {
+        return Err(ConfigError::InvalidParam {
+            name: "beta",
+            reason: "the shift rate must be positive and finite",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_buf_split_layout() {
+        let mut b = DeltaBuf::new();
+        b.push_del(Edge::new(0, 1));
+        b.push_ins(Edge::new(1, 2));
+        b.push_del(Edge::new(2, 3));
+        b.push_ins(Edge::new(3, 4));
+        assert_eq!(b.inserted(), &[Edge::new(1, 2), Edge::new(3, 4)]);
+        let mut dels = b.deleted().to_vec();
+        dels.sort_unstable();
+        assert_eq!(dels, vec![Edge::new(0, 1), Edge::new(2, 3)]);
+        assert_eq!(b.recourse(), 4);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.recourse(), 0);
+    }
+
+    #[test]
+    fn delta_buf_weighted_lanes() {
+        let mut b = DeltaBuf::new();
+        b.push_del_w(Edge::new(0, 1), 4.0);
+        b.push_ins_w(Edge::new(1, 2), 16.0);
+        assert!(b.is_weighted());
+        let ins: Vec<_> = b.inserted_weighted().collect();
+        assert_eq!(ins, vec![(Edge::new(1, 2), 16.0)]);
+        let del: Vec<_> = b.deleted_weighted().collect();
+        assert_eq!(del, vec![(Edge::new(0, 1), 4.0)]);
+    }
+
+    #[test]
+    fn delta_buf_oracle_roundtrip() {
+        let mut set: FxHashSet<Edge> = [Edge::new(0, 1)].into_iter().collect();
+        let mut b = DeltaBuf::new();
+        b.push_del(Edge::new(0, 1));
+        b.push_ins(Edge::new(1, 2));
+        b.apply_to(&mut set);
+        assert!(set.contains(&Edge::new(1, 2)) && set.len() == 1);
+    }
+
+    #[test]
+    fn view_tracks_deltas() {
+        let mut v = SpannerView::new(5);
+        let mut b = DeltaBuf::new();
+        b.push_ins(Edge::new(0, 1));
+        b.push_ins(Edge::new(1, 2));
+        v.apply(&b);
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.degree(1), 2);
+        assert!(v.contains(Edge::new(0, 1)));
+        assert_eq!(v.weight(Edge::new(0, 1)), Some(1.0));
+        let snapshot = v.clone();
+        b.clear();
+        b.push_del(Edge::new(0, 1));
+        v.apply(&b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(snapshot.len(), 2, "cloned epoch stays stable");
+        let csr = v.to_csr();
+        assert_eq!(csr.degree(1), 1);
+    }
+
+    #[test]
+    fn validate_edges_catches_bad_input() {
+        assert_eq!(
+            validate_edges(3, &[Edge::new(0, 5)]),
+            Err(ConfigError::VertexOutOfRange { vertex: 5, n: 3 })
+        );
+        // Struct literals bypass Edge::new: out-of-range u, self-loops,
+        // and non-canonical order must all be rejected, not panic later.
+        assert_eq!(
+            validate_edges(3, &[Edge { u: 9, v: 0 }]),
+            Err(ConfigError::VertexOutOfRange { vertex: 9, n: 3 })
+        );
+        assert!(matches!(
+            validate_edges(3, &[Edge { u: 2, v: 2 }]),
+            Err(ConfigError::InvalidParam { name: "edges", .. })
+        ));
+        assert!(matches!(
+            validate_edges(3, &[Edge { u: 2, v: 1 }]),
+            Err(ConfigError::InvalidParam { name: "edges", .. })
+        ));
+        assert_eq!(
+            validate_edges(3, &[Edge::new(0, 1), Edge::new(1, 0)]),
+            Err(ConfigError::DuplicateEdge(Edge::new(0, 1)))
+        );
+        assert!(validate_edges(3, &[Edge::new(0, 1), Edge::new(1, 2)]).is_ok());
+    }
+}

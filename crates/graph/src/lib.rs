@@ -3,6 +3,7 @@
 //! verification oracles used to check spanner stretch and sparsifier
 //! quality (Laplacian quadratic forms and cut weights).
 
+pub mod api;
 pub mod csr;
 pub mod cuts;
 pub mod dyngraph;
@@ -11,6 +12,10 @@ pub mod stream;
 pub mod types;
 pub mod union_find;
 
+pub use api::{
+    BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
+    FullyDynamic, SpannerView,
+};
 pub use csr::CsrGraph;
 pub use dyngraph::DynamicGraph;
 pub use types::{Edge, SpannerDelta, UpdateBatch, V};

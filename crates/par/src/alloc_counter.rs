@@ -1,0 +1,46 @@
+//! A counting [`GlobalAlloc`] wrapper over the system allocator, shared
+//! by the zero-alloc delta-path test (`tests/alloc.rs` in the facade)
+//! and the `bench_pr3` snapshot so both count with identical rules
+//! (every `alloc`/`alloc_zeroed`/`realloc` call is one event; `dealloc`
+//! is free).
+//!
+//! Each binary still declares its own registration:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: bds_par::CountingAlloc = bds_par::CountingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting allocator; register as `#[global_allocator]`.
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Total allocation events since process start (monotone).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -8,10 +8,12 @@
 //! amortized *work* bounds observable in benchmarks rather than being
 //! drowned by constant factors.
 
+pub mod alloc_counter;
 pub mod counters;
 pub mod pool;
 pub mod prim;
 
+pub use alloc_counter::CountingAlloc;
 pub use counters::WorkCounter;
 pub use pool::{run_with_threads, threads_available};
 pub use prim::*;

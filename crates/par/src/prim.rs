@@ -1,8 +1,8 @@
 //! Parallel primitives: map / filter-map / flat-map, prefix sums, sorting,
 //! deduplication and group-by. These mirror the PRAM toolkit the paper
 //! assumes in its preliminaries (§2): a parallel sort stands in for the
-//! [PP01] batch BST operations and sort-based grouping stands in for the
-//! [GMV91] parallel hash table batch interface.
+//! \[PP01\] batch BST operations and sort-based grouping stands in for the
+//! \[GMV91\] parallel hash table batch interface.
 
 use crate::GRAIN;
 use rayon::prelude::*;

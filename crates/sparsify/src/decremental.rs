@@ -19,6 +19,10 @@ use crate::weighted_set::{WeightedDeltaSet, WeightedSet};
 use bds_bundle::BundleSpanner;
 use bds_dstruct::fx::mix64;
 use bds_dstruct::{EdgeTable, FxHashSet};
+use bds_graph::api::{
+    default_copies, validate_beta, validate_copies, validate_edges, BatchDynamic, BatchStats,
+    ConfigError, Decremental, DeltaBuf,
+};
 use bds_graph::types::Edge;
 
 /// Weighted (δH_ins, δH_del) pair of Theorem 1.6's interface.
@@ -35,9 +39,88 @@ pub struct DecrementalSparsifier {
     /// G_k: terminal residual kept wholesale (packed-key edge set).
     terminal: EdgeTable,
     sparsifier: WeightedSet,
+    recourse: u64,
+    /// Reusable buffer for per-level bundle deltas.
+    level_scratch: DeltaBuf,
+}
+
+/// Typed builder for [`DecrementalSparsifier`] (Lemma 6.6).
+#[derive(Debug, Clone)]
+pub struct DecrementalSparsifierBuilder {
+    n: usize,
+    t: u32,
+    copies: Option<usize>,
+    beta: f64,
+    threshold: Option<usize>,
+    seed: u64,
+}
+
+impl DecrementalSparsifierBuilder {
+    /// Bundle depth t per level (quality knob: larger t → smaller ε;
+    /// default 2).
+    pub fn depth(mut self, t: u32) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Clustering copies per bundle level (default ≈ 2·log₂ n + 2).
+    pub fn copies(mut self, copies: usize) -> Self {
+        self.copies = Some(copies);
+        self
+    }
+
+    /// Exponential shift rate β (default 0.25).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Terminal size cut-off (default 4·log₂ n).
+    pub fn threshold(mut self, threshold: usize) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<DecrementalSparsifier, ConfigError> {
+        if self.n < 1 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 1 });
+        }
+        if self.t < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "depth",
+                reason: "the bundle depth t must be ≥ 1",
+            });
+        }
+        validate_beta(self.beta)?;
+        validate_edges(self.n, edges)?;
+        let logn = (usize::BITS - self.n.max(2).leading_zeros()) as usize;
+        let copies = self.copies.unwrap_or_else(|| default_copies(self.n));
+        validate_copies(copies)?;
+        let threshold = self.threshold.unwrap_or(4 * logn);
+        Ok(DecrementalSparsifier::with_params(
+            self.n, edges, self.t, copies, self.beta, threshold, self.seed,
+        ))
+    }
 }
 
 impl DecrementalSparsifier {
+    /// Typed builder: `DecrementalSparsifier::builder(n).depth(t)
+    /// .seed(s).build(&edges)`.
+    pub fn builder(n: usize) -> DecrementalSparsifierBuilder {
+        DecrementalSparsifierBuilder {
+            n,
+            t: 2,
+            copies: None,
+            beta: 0.25,
+            threshold: None,
+            seed: 0x5eed,
+        }
+    }
     /// `t` = bundle depth per level (quality knob: larger t → smaller ε),
     /// `copies`/`beta` = monotone-spanner parameters per bundle level,
     /// `threshold` = terminal size cut-off (paper: O(log n)).
@@ -58,6 +141,8 @@ impl DecrementalSparsifier {
             levels: Vec::new(),
             terminal: EdgeTable::new(),
             sparsifier: WeightedSet::new(),
+            recourse: 0,
+            level_scratch: DeltaBuf::new(),
         };
         let mut gi: Vec<Edge> = edges.to_vec();
         let mut i = 0u32;
@@ -96,7 +181,7 @@ impl DecrementalSparsifier {
     /// threshold = 4·log₂ n.
     pub fn new(n: usize, edges: &[Edge], t: u32, seed: u64) -> Self {
         let logn = (usize::BITS - n.max(2).leading_zeros()) as usize;
-        Self::with_params(n, edges, t, 2 * logn + 2, 0.25, 4 * logn, seed)
+        Self::with_params(n, edges, t, default_copies(n), 0.25, 4 * logn, seed)
     }
 
     /// Deterministic ¼ coin for membership of `e` in G_{level}.
@@ -158,30 +243,48 @@ impl DecrementalSparsifier {
 
     /// Delete a batch of live G₀ edges; returns the weighted delta.
     pub fn delete_batch(&mut self, batch: &[Edge]) -> WeightedDelta {
+        self.delete_inner(batch);
+        let delta = self.sparsifier.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`DecrementalSparsifier::delete_batch`] reporting into a
+    /// caller-owned buffer (weight lane populated).
+    pub fn delete_batch_into(&mut self, batch: &[Edge], out: &mut DeltaBuf) {
+        self.delete_inner(batch);
+        self.sparsifier.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn delete_inner(&mut self, batch: &[Edge]) {
         let mut xi: Vec<Edge> = batch.to_vec();
         // A promotion at level i may still be owned by a *deeper* level
         // (terminal or a deeper bundle) until the cascade reaches it, so
         // promotion inserts are deferred past the cascade.
         let mut promoted: Vec<(Edge, f64)> = Vec::new();
+        let mut scratch = std::mem::take(&mut self.level_scratch);
         for i in 0..self.levels.len() {
             if xi.is_empty() {
                 break;
             }
             let w = 4f64.powi(i as i32);
-            let d = self.levels[i].delete_batch(&xi);
-            for e in d.deleted {
+            self.levels[i].delete_batch_into(&xi, &mut scratch);
+            for &e in scratch.deleted() {
                 self.sparsifier.remove(e);
             }
-            for e in d.inserted {
+            for &e in scratch.inserted() {
                 promoted.push((e, w));
             }
             // Cascade: residual leavers that were sampled into G_{i+1}.
-            xi = d
-                .residual_deleted
-                .into_iter()
-                .filter(|&e| self.coin(i as u32 + 1, e))
-                .collect();
+            xi.clear();
+            for &e in scratch.aux() {
+                if self.coin(i as u32 + 1, e) {
+                    xi.push(e);
+                }
+            }
         }
+        self.level_scratch = scratch;
         // Terminal level.
         let wk = 4f64.powi(self.levels.len() as i32);
         for e in xi {
@@ -196,7 +299,6 @@ impl DecrementalSparsifier {
             self.sparsifier.insert(e, w);
         }
         self.truncate_if_small();
-        self.sparsifier.take_delta()
     }
 
     /// Truncate the chain at the first level that sank to ≤ threshold
@@ -284,6 +386,39 @@ impl DecrementalSparsifier {
         got.sort_by_key(|x| x.0);
         exp.sort_by_key(|x| x.0);
         assert_eq!(got, exp, "sparsifier composition diverged");
+    }
+}
+
+impl BatchDynamic for DecrementalSparsifier {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        DecrementalSparsifier::num_live_edges(self)
+    }
+
+    /// The maintained output set: the weighted sparsifier ∪ 4^i·B_i ∪
+    /// 4^k·G_k (weight lane populated).
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.sparsifier.output_into(out);
+    }
+
+    fn stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
+        for b in &self.levels {
+            let bs = BatchDynamic::stats(b);
+            s.scan_steps += bs.scan_steps;
+            s.vertices_touched += bs.vertices_touched;
+        }
+        s.recourse = self.recourse;
+        s
+    }
+}
+
+impl Decremental for DecrementalSparsifier {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_into(deletions, out);
     }
 }
 

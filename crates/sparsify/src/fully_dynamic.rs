@@ -10,7 +10,10 @@
 use crate::decremental::DecrementalSparsifier;
 use crate::weighted_set::{WeightedDeltaSet, WeightedSet};
 use bds_dstruct::{EdgeTable, FxHashMap};
-use bds_graph::types::Edge;
+use bds_graph::api::{
+    validate_edges, BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf, FullyDynamic,
+};
+use bds_graph::types::{Edge, UpdateBatch};
 
 enum Slot {
     Empty,
@@ -29,9 +32,59 @@ pub struct FullyDynamicSparsifier {
     sparsifier: WeightedSet,
     seed: u64,
     rebuilds: u64,
+    recourse: u64,
+    /// Reusable buffer for slot-level deltas.
+    scratch: DeltaBuf,
+}
+
+/// Typed builder for [`FullyDynamicSparsifier`] (Theorem 1.6).
+#[derive(Debug, Clone)]
+pub struct FullyDynamicSparsifierBuilder {
+    n: usize,
+    t: u32,
+    seed: u64,
+}
+
+impl FullyDynamicSparsifierBuilder {
+    /// Bundle depth t per slot (quality knob; default 2).
+    pub fn depth(mut self, t: u32) -> Self {
+        self.t = t;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<FullyDynamicSparsifier, ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 2 });
+        }
+        if self.t < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "depth",
+                reason: "the bundle depth t must be ≥ 1",
+            });
+        }
+        validate_edges(self.n, edges)?;
+        Ok(FullyDynamicSparsifier::new(
+            self.n, self.t, edges, self.seed,
+        ))
+    }
 }
 
 impl FullyDynamicSparsifier {
+    /// Typed builder: `FullyDynamicSparsifier::builder(n).depth(t)
+    /// .seed(s).build(&edges)`.
+    pub fn builder(n: usize) -> FullyDynamicSparsifierBuilder {
+        FullyDynamicSparsifierBuilder {
+            n,
+            t: 2,
+            seed: 0x5eed,
+        }
+    }
+
     /// `t` = bundle depth (quality knob; the paper's t = Θ(ε⁻² log³ n)).
     pub fn new(n: usize, t: u32, edges: &[Edge], seed: u64) -> Self {
         assert!(n >= 2);
@@ -46,6 +99,8 @@ impl FullyDynamicSparsifier {
             sparsifier: WeightedSet::new(),
             seed,
             rebuilds: 0,
+            recourse: 0,
+            scratch: DeltaBuf::new(),
         };
         if !edges.is_empty() {
             let mut j = 1u32;
@@ -119,8 +174,23 @@ impl FullyDynamicSparsifier {
 
     /// Insert a batch of absent edges.
     pub fn insert_batch(&mut self, inserted: &[Edge]) -> WeightedDeltaSet {
+        self.insert_inner(inserted);
+        let delta = self.sparsifier.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`FullyDynamicSparsifier::insert_batch`] reporting into a
+    /// caller-owned buffer (weight lane populated).
+    pub fn insert_batch_into(&mut self, inserted: &[Edge], out: &mut DeltaBuf) {
+        self.insert_inner(inserted);
+        self.sparsifier.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn insert_inner(&mut self, inserted: &[Edge]) {
         if inserted.is_empty() {
-            return self.sparsifier.take_delta();
+            return;
         }
         let mut u: Vec<Edge> = inserted.to_vec();
         u.sort_unstable();
@@ -177,11 +247,44 @@ impl FullyDynamicSparsifier {
                 self.build_slot(j, merged);
             }
         }
-        self.sparsifier.take_delta()
     }
 
     /// Delete a batch of present edges.
     pub fn delete_batch(&mut self, deleted: &[Edge]) -> WeightedDeltaSet {
+        self.delete_inner(deleted);
+        let delta = self.sparsifier.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`FullyDynamicSparsifier::delete_batch`] reporting into a
+    /// caller-owned buffer (weight lane populated).
+    pub fn delete_batch_into(&mut self, deleted: &[Edge], out: &mut DeltaBuf) {
+        self.delete_inner(deleted);
+        self.sparsifier.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    /// Apply one mixed batch (deletions, then insertions) atomically,
+    /// netting across phases through the [`WeightedSet`] baseline.
+    pub fn process_batch(&mut self, batch: &UpdateBatch) -> WeightedDeltaSet {
+        self.delete_inner(&batch.deletions);
+        self.insert_inner(&batch.insertions);
+        let delta = self.sparsifier.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`FullyDynamicSparsifier::process_batch`] reporting into a
+    /// caller-owned buffer.
+    pub fn process_batch_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.delete_inner(&batch.deletions);
+        self.insert_inner(&batch.insertions);
+        self.sparsifier.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn delete_inner(&mut self, deleted: &[Edge]) {
         let mut by_slot: FxHashMap<u32, Vec<Edge>> = FxHashMap::default();
         for e in deleted {
             let slot = self
@@ -198,19 +301,20 @@ impl FullyDynamicSparsifier {
                     self.sparsifier.remove(e);
                 }
             } else {
+                let mut scratch = std::mem::take(&mut self.scratch);
                 let Slot::Instance(d) = &mut self.slots[slot as usize - 1] else {
                     panic!("indexed slot {slot} empty")
                 };
-                let delta = d.delete_batch(&edges);
-                for (e, _) in delta.deleted {
+                d.delete_batch_into(&edges, &mut scratch);
+                for (e, _) in scratch.deleted_weighted() {
                     self.sparsifier.remove(e);
                 }
-                for (e, w) in delta.inserted {
+                for (e, w) in scratch.inserted_weighted() {
                     self.sparsifier.insert(e, w);
                 }
+                self.scratch = scratch;
             }
         }
-        self.sparsifier.take_delta()
     }
 
     pub fn num_live_edges(&self) -> usize {
@@ -257,6 +361,51 @@ impl FullyDynamicSparsifier {
         got.sort_by_key(|x| x.0);
         exp.sort_by_key(|x| x.0);
         assert_eq!(got, exp, "fully-dynamic sparsifier diverged");
+    }
+}
+
+impl BatchDynamic for FullyDynamicSparsifier {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        FullyDynamicSparsifier::num_live_edges(self)
+    }
+
+    /// The maintained output set: the weighted sparsifier (weight lane
+    /// populated; E₀ edges carry weight 1).
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.sparsifier.output_into(out);
+    }
+
+    fn stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
+        for slot in &self.slots {
+            if let Slot::Instance(d) = slot {
+                let ds = BatchDynamic::stats(d.as_ref());
+                s.scan_steps += ds.scan_steps;
+                s.vertices_touched += ds.vertices_touched;
+            }
+        }
+        s.recourse = self.recourse;
+        s
+    }
+}
+
+impl Decremental for FullyDynamicSparsifier {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.delete_batch_into(deletions, out);
+    }
+}
+
+impl FullyDynamic for FullyDynamicSparsifier {
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+        self.insert_batch_into(insertions, out);
+    }
+
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.process_batch_into(batch, out);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Spectral/cut sparsifiers (§6.4 of the paper).
 //!
 //! * [`decremental`] — **Lemma 6.6**: the Light-Spectral-Sparsify chain
-//!   (Algorithms 9/10 of [ADK+16], made batch-dynamic): level i keeps a
+//!   (Algorithms 9/10 of \[ADK+16\], made batch-dynamic): level i keeps a
 //!   t-bundle B_i of G_i and samples each residual edge into G_{i+1} with
 //!   probability ¼ at weight 4; the sparsifier is ∪ 4^i·B_i ∪ 4^k·G_k.
 //! * [`fully_dynamic`] — **Theorem 1.6**: the Bentley–Saxe partition with
@@ -13,6 +13,6 @@ pub mod decremental;
 pub mod fully_dynamic;
 pub mod weighted_set;
 
-pub use decremental::{DecrementalSparsifier, WeightedDelta};
-pub use fully_dynamic::FullyDynamicSparsifier;
-pub use weighted_set::WeightedSet;
+pub use decremental::{DecrementalSparsifier, DecrementalSparsifierBuilder, WeightedDelta};
+pub use fully_dynamic::{FullyDynamicSparsifier, FullyDynamicSparsifierBuilder};
+pub use weighted_set::{WeightedDeltaSet, WeightedSet};

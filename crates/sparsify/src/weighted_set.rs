@@ -6,6 +6,7 @@
 //! "absent" in the baseline, exactly as the hash-map version used it).
 
 use bds_dstruct::EdgeTable;
+use bds_graph::api::DeltaBuf;
 use bds_graph::types::Edge;
 
 /// One batch's weighted membership changes.
@@ -77,15 +78,49 @@ impl WeightedSet {
             .collect()
     }
 
-    /// Net weighted changes since the last call.
-    pub fn take_delta(&mut self) -> WeightedDeltaSet {
-        let mut d = WeightedDeltaSet::default();
-        for (u, v, was_bits) in self.baseline.drain() {
+    /// Write the current weighted membership into `out` as insertions.
+    pub fn output_into(&self, out: &mut DeltaBuf) {
+        out.clear();
+        for (u, v, bits) in self.weight.iter() {
+            out.push_ins_w(Edge { u, v }, f64::from_bits(bits));
+        }
+    }
+
+    /// Net weighted changes since the last call, written into a
+    /// caller-owned buffer (weight lane populated). Allocation-free once
+    /// `out` and the baseline table have warmed up. A cross-level
+    /// reweighting reports as deletion-at-old-weight plus
+    /// insertion-at-new-weight.
+    pub fn take_delta_into(&mut self, out: &mut DeltaBuf) {
+        out.clear();
+        let weight = &self.weight;
+        self.baseline.drain_with(|u, v, was_bits| {
             let e = Edge { u, v };
             let was = f64::from_bits(was_bits);
-            let now = self.weight.get(u, v).map_or(0.0, f64::from_bits);
+            let now = weight.get(u, v).map_or(0.0, f64::from_bits);
             if was == now {
-                continue;
+                return;
+            }
+            if was != 0.0 {
+                out.push_del_w(e, was);
+            }
+            if now != 0.0 {
+                out.push_ins_w(e, now);
+            }
+        });
+    }
+
+    /// Net weighted changes since the last call. Materializing
+    /// convenience over [`WeightedSet::take_delta_into`].
+    pub fn take_delta(&mut self) -> WeightedDeltaSet {
+        let mut d = WeightedDeltaSet::default();
+        let weight = &self.weight;
+        self.baseline.drain_with(|u, v, was_bits| {
+            let e = Edge { u, v };
+            let was = f64::from_bits(was_bits);
+            let now = weight.get(u, v).map_or(0.0, f64::from_bits);
+            if was == now {
+                return;
             }
             if was != 0.0 {
                 d.deleted.push((e, was));
@@ -93,7 +128,7 @@ impl WeightedSet {
             if now != 0.0 {
                 d.inserted.push((e, now));
             }
-        }
+        });
         d
     }
 }

@@ -12,10 +12,10 @@
 //!
 //! The spanner is H₁ (cluster shortest-path-tree edges (par(v), v)) ∪ H₂
 //! (a dynamic spanning forest over the ⊥-vertices, maintained by the HDT
-//! structure — our [AABD19] substitute) ∪ the representatives of a
+//! structure — our \[AABD19\] substitute) ∪ the representatives of a
 //! Theorem 1.3 sparse spanner run on the contracted multigraph with the
 //! *squared* compression schedule (the paper's white-box modification).
 
 mod ultra;
 
-pub use ultra::{UltraParams, UltraSparseSpanner};
+pub use ultra::{UltraParams, UltraSparseSpanner, UltraSparseSpannerBuilder};

@@ -4,6 +4,9 @@ use bds_contract::schedule::{contraction_sequence, ultra_target};
 use bds_contract::SparseSpanner;
 use bds_core::SpannerSet;
 use bds_dstruct::{DynamicForest, FlatList, FxHashMap, FxHashSet};
+use bds_graph::api::{
+    validate_edges, BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf, FullyDynamic,
+};
 use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -47,9 +50,62 @@ pub struct UltraSparseSpanner {
     counted_rep: FxHashMap<Edge, Edge>,
     final_set: SpannerSet,
     pub head_recomputes: u64,
+    recourse: u64,
+    /// Reusable buffer for contracted-spanner and H1 deltas.
+    scratch: DeltaBuf,
+}
+
+/// Typed builder for [`UltraSparseSpanner`] (Theorem 1.4).
+#[derive(Debug, Clone)]
+pub struct UltraSparseSpannerBuilder {
+    n: usize,
+    x: u32,
+    seed: u64,
+}
+
+impl UltraSparseSpannerBuilder {
+    /// Sparsity knob x: the spanner keeps n + O(n/x) edges (default 2).
+    pub fn x(mut self, x: u32) -> Self {
+        self.x = x;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self, edges: &[Edge]) -> Result<UltraSparseSpanner, ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::TooFewVertices { n: self.n, min: 2 });
+        }
+        if self.x < 2 {
+            return Err(ConfigError::InvalidParam {
+                name: "x",
+                reason: "the paper's x ranges over [2, O(log log n / (log log log n)²)]",
+            });
+        }
+        validate_edges(self.n, edges)?;
+        Ok(UltraSparseSpanner::new(
+            self.n,
+            edges,
+            UltraParams { x: self.x },
+            self.seed,
+        ))
+    }
 }
 
 impl UltraSparseSpanner {
+    /// Typed builder: `UltraSparseSpanner::builder(n).x(2).seed(s)
+    /// .build(&edges)`.
+    pub fn builder(n: usize) -> UltraSparseSpannerBuilder {
+        UltraSparseSpannerBuilder {
+            n,
+            x: 2,
+            seed: 0x5eed,
+        }
+    }
+
     pub fn new(n: usize, edges: &[Edge], params: UltraParams, seed: u64) -> Self {
         let x = params.x.max(2);
         let theta = ((10.0 * x as f64 * (x as f64).log2()).ceil() as u32).max(2);
@@ -80,6 +136,8 @@ impl UltraSparseSpanner {
             counted_rep: FxHashMap::default(),
             final_set: SpannerSet::new(),
             head_recomputes: 0,
+            recourse: 0,
+            scratch: DeltaBuf::new(),
         };
         // Sampled vertices head to themselves from the start — vertices
         // that never see an edge are otherwise never recomputed.
@@ -247,6 +305,21 @@ impl UltraSparseSpanner {
 
     /// Apply one batch of edge updates and return the exact spanner delta.
     pub fn process(&mut self, batch: &UpdateBatch) -> SpannerDelta {
+        self.process_inner(batch);
+        let delta = self.final_set.take_delta();
+        self.recourse += delta.recourse() as u64;
+        delta
+    }
+
+    /// [`UltraSparseSpanner::process`] reporting into a caller-owned
+    /// buffer.
+    pub fn process_batch_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.process_inner(batch);
+        self.final_set.take_delta_into(out);
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn process_inner(&mut self, batch: &UpdateBatch) {
         let mut next_ins: Vec<Edge> = Vec::new();
         let mut next_del: Vec<Edge> = Vec::new();
         let mut born: FxHashSet<Edge> = FxHashSet::default();
@@ -367,14 +440,19 @@ impl UltraSparseSpanner {
         }
 
         // --- Step 4: contracted-graph updates into the Theorem 1.3
-        //     instance, then membership propagation. ---
+        //     instance, then membership propagation. One mixed batch:
+        //     the tower nets its own delta through the Active₀ baseline,
+        //     so no per-edge score netting is needed here. ---
         next_ins.extend(born);
         next_del.extend(died.into_keys());
-        let gdelta = {
-            let mut d = self.gprime.delete_batch(&next_del);
-            d.merge(self.gprime.insert_batch(&next_ins));
-            d
-        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.gprime.process_batch_into(
+            &UpdateBatch {
+                insertions: next_ins,
+                deletions: next_del,
+            },
+            &mut scratch,
+        );
         for &(e_up, old, new) in &rep_events {
             if let Some(cur) = self.counted_rep.get_mut(&e_up) {
                 debug_assert_eq!(*cur, old, "rep chain broken for {e_up:?}");
@@ -383,40 +461,25 @@ impl UltraSparseSpanner {
                 *cur = new;
             }
         }
-        // Net the contracted spanner delta (delete+insert phases may both
-        // touch an edge).
-        let mut score: FxHashMap<Edge, i32> = FxHashMap::default();
-        for e in &gdelta.inserted {
-            *score.entry(*e).or_insert(0) += 1;
+        for &e_up in scratch.deleted() {
+            let rep = self.counted_rep.remove(&e_up).expect("counted rep");
+            self.final_set.remove(rep);
         }
-        for e in &gdelta.deleted {
-            *score.entry(*e).or_insert(0) -= 1;
+        for &e_up in scratch.inserted() {
+            let rep = self.rep[&e_up];
+            self.final_set.add(rep);
+            let dup = self.counted_rep.insert(e_up, rep);
+            debug_assert!(dup.is_none());
         }
-        for (e_up, s) in score {
-            match s {
-                1 => {
-                    let rep = self.rep[&e_up];
-                    self.final_set.add(rep);
-                    let dup = self.counted_rep.insert(e_up, rep);
-                    debug_assert!(dup.is_none());
-                }
-                -1 => {
-                    let rep = self.counted_rep.remove(&e_up).expect("counted rep");
-                    self.final_set.remove(rep);
-                }
-                0 => {}
-                _ => unreachable!(),
-            }
-        }
-        // H1 delta into the final set.
-        let h1d = self.h1.take_delta();
-        for e in h1d.deleted {
+        // H1 delta into the final set (reusing the same scratch buffer).
+        self.h1.take_delta_into(&mut scratch);
+        for &e in scratch.deleted() {
             self.final_set.remove(e);
         }
-        for e in h1d.inserted {
+        for &e in scratch.inserted() {
             self.final_set.add(e);
         }
-        self.final_set.take_delta()
+        self.scratch = scratch;
     }
 
     fn apply_forest_delta(&mut self, d: bds_dstruct::ForestDelta) {
@@ -639,6 +702,45 @@ impl UltraSparseSpanner {
         got.sort_unstable();
         exp.sort_unstable();
         assert_eq!(got, exp, "ultra spanner composition diverged");
+    }
+}
+
+impl BatchDynamic for UltraSparseSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn output_into(&self, out: &mut DeltaBuf) {
+        self.final_set.output_into(out);
+    }
+
+    /// `cluster_changes` counts head recomputations; the inner Theorem
+    /// 1.3 tower contributes the remaining work counters.
+    fn stats(&self) -> BatchStats {
+        let mut s = BatchDynamic::stats(&self.gprime);
+        s.cluster_changes += self.head_recomputes;
+        s.recourse = self.recourse;
+        s
+    }
+}
+
+impl Decremental for UltraSparseSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.process_batch_into(&UpdateBatch::delete_only(deletions.to_vec()), out);
+    }
+}
+
+impl FullyDynamic for UltraSparseSpanner {
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+        self.process_batch_into(&UpdateBatch::insert_only(insertions.to_vec()), out);
+    }
+
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.process_batch_into(batch, out);
     }
 }
 

@@ -1,4 +1,6 @@
-//! Quickstart: maintain a (2k−1)-spanner of an evolving graph.
+//! Quickstart: maintain a (2k−1)-spanner of an evolving graph with the
+//! unified batch-dynamic API — typed builder in, reusable [`DeltaBuf`]
+//! out, and a [`SpannerView`] mirror on the read side.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
@@ -13,7 +15,11 @@ fn main() {
     let edges = gen::gnm_connected(n, 8 * n, 7);
     println!("graph: n = {n}, m = {}", edges.len());
 
-    let mut spanner = FullyDynamicSpanner::new(n, k, &edges, 42);
+    let mut spanner = FullyDynamicSpanner::builder(n)
+        .stretch(k)
+        .seed(42)
+        .build(&edges)
+        .expect("valid configuration");
     println!(
         "initial spanner: {} edges ({:.1}% of the graph), stretch bound {}",
         spanner.spanner_size(),
@@ -21,30 +27,45 @@ fn main() {
         2 * k - 1
     );
 
-    // Drive 50 batches of mixed updates and track the recourse.
+    // A read-side mirror: serves contains/degree queries off a stable
+    // epoch while the writer applies the next batch.
+    let mut view = SpannerView::from_output(n, &spanner);
+
+    // Drive 50 batches of mixed updates through ONE reusable delta
+    // buffer — the steady-state loop allocates nothing on the delta path.
     let mut stream = UpdateStream::new(n, &edges, 99);
+    let mut delta = DeltaBuf::new();
     let mut total_recourse = 0usize;
     let mut total_updates = 0usize;
     for round in 1..=50 {
         let batch = stream.next_batch(40, 40);
         total_updates += batch.len();
-        let delta = spanner.process_batch(&batch);
+        spanner.apply_into(&batch, &mut delta);
+        view.apply(&delta);
         total_recourse += delta.recourse();
         if round % 10 == 0 {
             println!(
-                "after {round} batches: m = {}, spanner = {}, amortized |δH|/update = {:.2}",
+                "after {round} batches (epoch {}): m = {}, spanner = {}, \
+                 amortized |δH|/update = {:.2}",
+                view.epoch(),
                 spanner.num_live_edges(),
                 spanner.spanner_size(),
                 total_recourse as f64 / total_updates as f64
             );
         }
     }
+    assert_eq!(view.len(), spanner.spanner_size(), "mirror tracks exactly");
 
-    // Verify the guarantee on the final graph.
-    let st = edge_stretch(n, stream.live_edges(), &spanner.spanner_edges(), 300, 5);
+    // Verify the guarantee on the final graph via a CSR snapshot of the
+    // view's current epoch.
+    let snapshot = view.to_csr();
+    let st = edge_stretch(n, stream.live_edges(), &view.edges(), 300, 5);
     println!(
-        "measured stretch on 300 sampled sources: {st} (bound {})",
-        2 * k - 1
+        "measured stretch on 300 sampled sources: {st} (bound {}), \
+         snapshot: {} vertices / {} edges",
+        2 * k - 1,
+        snapshot.n(),
+        snapshot.m(),
     );
     assert!(st <= (2 * k - 1) as f64);
     println!("ok: stretch bound holds after {total_updates} updates");

@@ -34,40 +34,40 @@ fn main() {
         edges.len()
     );
 
-    let mut tree = EsTree::new(n, depot, l_max, &directed(&edges));
+    let mut tree = EsTree::builder(n)
+        .source(depot)
+        .max_depth(l_max)
+        .build(&directed(&edges))
+        .expect("valid grid");
     let reachable = (0..n as V).filter(|&v| tree.dist(v) != UNREACHED).count();
     println!("depot {depot}: {reachable} junctions within {l_max} hops");
 
-    // Close roads in batches; track how the serviceable region shrinks and
-    // how much repair work each batch needs.
+    // Close roads in batches through the unified Decremental interface;
+    // the reusable DeltaBuf reports exactly which tree edges changed.
     let mut rng = StdRng::seed_from_u64(11);
     let mut open = edges.clone();
     open.shuffle(&mut rng);
-    let mut total_steps = 0u64;
+    let mut delta = DeltaBuf::new();
     let mut closed = 0usize;
     for round in 1..=12 {
         let batch: Vec<Edge> = open.split_off(open.len().saturating_sub(150));
         closed += batch.len();
-        let dirs: Vec<(V, V)> = batch
-            .iter()
-            .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
-            .collect();
-        let (changes, stats) = tree.delete_batch(&dirs);
-        total_steps += stats.scan_steps;
+        tree.delete_into(&batch, &mut delta);
         if round % 3 == 0 {
             let reachable = (0..n as V).filter(|&v| tree.dist(v) != UNREACHED).count();
             println!(
                 "closed {closed:>5} segments: {reachable:>5} reachable, \
-                 {:>4} junctions re-routed this batch",
-                changes.len()
+                 tree changed by {:>4} edges this batch",
+                delta.recourse()
             );
         }
     }
+    let stats = BatchDynamic::stats(&tree);
     println!(
         "amortized repair work: {:.1} scan steps per closed segment \
-         (O(L log n) bound ≈ {:.0})",
-        tree.scan_work.get() as f64 / closed as f64,
-        l_max as f64 * (n as f64).log2()
+         (O(L log n) bound ≈ {:.0}); {} net re-routes in total",
+        stats.scan_steps as f64 / closed as f64,
+        l_max as f64 * (n as f64).log2(),
+        stats.recourse,
     );
-    let _ = total_steps;
 }

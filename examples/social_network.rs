@@ -16,7 +16,10 @@ fn main() {
     let edges = gen::preferential_attachment(n, 8, 3);
     println!("social graph: n = {n}, m = {} (power-law)", edges.len());
 
-    let mut backbone = SparseSpanner::new(n, &edges, 17);
+    let mut backbone = SparseSpanner::builder(n)
+        .seed(17)
+        .build(&edges)
+        .expect("valid configuration");
     println!(
         "backbone: {} edges = {:.2}·n  (graph has {:.2}·n)",
         backbone.spanner_size(),
@@ -28,6 +31,7 @@ fn main() {
     // (biased towards high-degree vertices, as in real networks).
     let mut rng = StdRng::seed_from_u64(23);
     let mut live: Vec<Edge> = edges.clone();
+    let mut delta = DeltaBuf::new();
     let mut recourse = 0usize;
     let mut updates = 0usize;
     for _ in 0..30 {
@@ -53,9 +57,15 @@ fn main() {
             }
         }
         updates += dels.len() + inss.len();
-        let d1 = backbone.delete_batch(&dels);
-        let d2 = backbone.insert_batch(&inss);
-        recourse += d1.recourse() + d2.recourse();
+        // One mixed batch through the unified API, reusing the buffer.
+        backbone.apply_into(
+            &UpdateBatch {
+                insertions: inss,
+                deletions: dels,
+            },
+            &mut delta,
+        );
+        recourse += delta.recourse();
     }
     println!(
         "after churn: backbone = {:.2}·n, amortized backbone churn = {:.2} edges/update",

@@ -20,7 +20,11 @@ fn main() {
     );
 
     let t = 4; // bundle depth: the quality knob
-    let mut sp = FullyDynamicSparsifier::new(n, t, &edges, 9);
+    let mut sp = FullyDynamicSparsifier::builder(n)
+        .depth(t)
+        .seed(9)
+        .build(&edges)
+        .expect("valid configuration");
     println!(
         "sparsifier: {} weighted edges ({:.1}% of m)",
         sp.sparsifier_size(),
@@ -30,10 +34,12 @@ fn main() {
     let half: Vec<V> = (0..n as V / 2).collect();
     let in_s = indicator(n, &half);
     let mut stream = UpdateStream::new(n, &edges, 31);
+    let mut delta = DeltaBuf::new();
     for round in 1..=5 {
         let batch = stream.next_batch(100, 100);
-        sp.delete_batch(&batch.deletions);
-        sp.insert_batch(&batch.insertions);
+        // One atomic mixed batch; the weighted delta lands in the
+        // reusable buffer (weight lane populated).
+        sp.apply_into(&batch, &mut delta);
         let exact = cut_size_unit(stream.live_edges(), &in_s);
         let approx = cut_weight(&sp.sparsifier_edges(), &in_s);
         println!(

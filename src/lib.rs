@@ -5,36 +5,86 @@
 //! *"Parallel Batch-Dynamic Algorithms for Spanners, and Extensions"*
 //! (Ghaffari & Koo, SPAA 2025, arXiv:2507.06338).
 //!
-//! All structures process *batches* of edge insertions/deletions and
-//! return the exact (δH_ins, δH_del) recourse the paper's interfaces
-//! specify:
+//! All structures share one engine API: batches of edge updates go in,
+//! the exact (δH_ins, δH_del) recourse the paper's interfaces specify
+//! comes out — reported into a caller-owned, reusable [`DeltaBuf`], so
+//! the steady-state batch loop performs no delta-path allocations. The
+//! capability split mirrors the paper: every structure implements
+//! [`Decremental`] (batch deletions); the fully-dynamic reductions also
+//! implement [`FullyDynamic`] (batch insertions and mixed batches).
 //!
-//! | Structure | Paper | Maintains |
-//! |---|---|---|
-//! | [`FullyDynamicSpanner`] | Theorem 1.1 | (2k−1)-spanner, Õ(n^{1+1/k}) edges |
-//! | [`EsTree`] | Theorem 1.2 | decremental BFS tree of depth ≤ L |
-//! | [`SparseSpanner`] | Theorem 1.3 | Õ(log n)-spanner with O(n) edges |
-//! | [`UltraSparseSpanner`] | Theorem 1.4 | spanner with n + O(n/x) edges |
-//! | [`BundleSpanner`] | Theorem 1.5 | decremental t-bundle spanner |
-//! | [`FullyDynamicSparsifier`] | Theorem 1.6 | (1±ε) spectral sparsifier |
+//! | Structure | Paper | Capability | Maintains |
+//! |---|---|---|---|
+//! | [`FullyDynamicSpanner`] | Theorem 1.1 | `FullyDynamic` | (2k−1)-spanner, Õ(n^{1+1/k}) edges |
+//! | [`EsTree`] | Theorem 1.2 | `Decremental` | BFS tree of depth ≤ L |
+//! | [`SparseSpanner`] | Theorem 1.3 | `FullyDynamic` | Õ(log n)-spanner with O(n) edges |
+//! | [`UltraSparseSpanner`] | Theorem 1.4 | `FullyDynamic` | spanner with n + O(n/x) edges |
+//! | [`BundleSpanner`] | Theorem 1.5 | `Decremental` | decremental t-bundle spanner |
+//! | [`FullyDynamicSparsifier`] | Theorem 1.6 | `FullyDynamic` | (1±ε) spectral sparsifier |
+//!
+//! (Plus the building blocks: [`DecrementalSpanner`] — Lemma 3.3,
+//! [`MonotoneSpanner`] — Lemma 6.4, [`DecrementalSparsifier`] —
+//! Lemma 6.6.)
 //!
 //! ## Quickstart
+//!
+//! Structures are configured through typed builders that validate input
+//! with a [`ConfigError`] instead of panicking, and batches from
+//! untrusted sources normalize with a typed [`BatchError`]:
 //!
 //! ```
 //! use batch_spanners::prelude::*;
 //!
 //! let n = 400;
 //! let edges = batch_spanners::gen::gnm_connected(n, 1600, 1);
-//! let mut spanner = FullyDynamicSpanner::new(n, /*k=*/ 3, &edges, /*seed=*/ 42);
+//! let mut spanner = FullyDynamicSpanner::builder(n)
+//!     .stretch(3) // maintains a (2·3−1) = 5-spanner
+//!     .seed(42)
+//!     .build(&edges)
+//!     .expect("valid configuration");
 //! assert!(spanner.spanner_size() <= edges.len());
 //!
-//! // Apply a batch: delete two edges, insert one.
+//! // Read side: a SpannerView mirror serves contains/degree/iteration
+//! // off a stable epoch; apply each batch's delta to keep it current.
+//! let mut view = SpannerView::from_output(n, &spanner);
+//!
+//! // One reusable delta buffer for the whole batch loop: the steady
+//! // state allocates nothing on the delta path.
+//! let mut delta = DeltaBuf::new();
 //! let batch = UpdateBatch {
 //!     deletions: vec![edges[0], edges[1]],
 //!     insertions: vec![Edge::new(0, 399)],
 //! };
-//! let delta = spanner.process_batch(&batch);
-//! println!("spanner changed by {} edges", delta.recourse());
+//! spanner.apply_into(&batch, &mut delta);
+//! println!(
+//!     "spanner changed by {} edges (+{} −{})",
+//!     delta.recourse(),
+//!     delta.inserted().len(),
+//!     delta.deleted().len(),
+//! );
+//! view.apply(&delta);
+//! assert_eq!(view.len(), spanner.spanner_size());
+//! ```
+//!
+//! Untrusted batches go through [`UpdateBatch::normalized`] (dedup +
+//! edge-in-both-lists rejection) or [`UpdateBatch::from_pairs`]
+//! (additionally drops self-loops), e.g. via
+//! [`FullyDynamic::process_checked`]:
+//!
+//! ```
+//! use batch_spanners::prelude::*;
+//!
+//! let edges = batch_spanners::gen::gnm_connected(50, 120, 3);
+//! let mut s = SparseSpanner::builder(50).seed(7).build(&edges).unwrap();
+//! // Self-loops and duplicates are dropped with a report, not a panic.
+//! let e = edges[0];
+//! let (batch, report) =
+//!     UpdateBatch::from_pairs(&[], &[(4, 4), (e.u, e.v), (e.v, e.u)]);
+//! assert_eq!(report.self_loops_dropped, 1);
+//! assert_eq!(report.duplicate_deletions_dropped, 1);
+//! let mut delta = DeltaBuf::new();
+//! s.process_checked(&batch, &mut delta).expect("disjoint lists");
+//! assert!(!s.contains_edge(e));
 //! ```
 
 pub use bds_baseline as baseline;
@@ -52,10 +102,14 @@ pub use bds_graph::gen;
 
 /// The commonly used types and structures in one import.
 pub mod prelude {
-    pub use bds_bundle::{BundleSpanner, MonotoneSpanner};
-    pub use bds_contract::SparseSpanner;
-    pub use bds_core::{BatchDynamicSpanner, DecrementalSpanner, FullyDynamicSpanner};
-    pub use bds_estree::EsTree;
+    pub use bds_bundle::{BundleSpanner, BundleSpannerBuilder, MonotoneSpanner};
+    pub use bds_contract::{SparseSpanner, SparseSpannerBuilder};
+    pub use bds_core::{DecrementalSpanner, FullyDynamicSpanner, FullyDynamicSpannerBuilder};
+    pub use bds_estree::{EsTree, EsTreeBuilder};
+    pub use bds_graph::api::{
+        BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
+        FullyDynamic, SpannerView,
+    };
     pub use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
     pub use bds_graph::{CsrGraph, DynamicGraph};
     pub use bds_sparsify::{DecrementalSparsifier, FullyDynamicSparsifier};

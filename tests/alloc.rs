@@ -1,0 +1,145 @@
+//! Counting-allocator assertions for the zero-alloc delta path.
+//!
+//! The unified API's contract: once the caller-owned [`DeltaBuf`] and
+//! the delta-tracking baselines have warmed up, the steady-state delta
+//! path — membership bookkeeping plus `take_delta_into` — performs no
+//! heap allocations at all, and the buffer-reporting batch loop
+//! allocates strictly less than the legacy materializing loop.
+//!
+//! All assertions live in ONE test function: the allocation counter is
+//! process-global and the test harness runs `#[test]`s concurrently.
+
+use batch_spanners::par::alloc_counter::{allocations as allocs, CountingAlloc};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn delta_path_is_allocation_free_after_warmup() {
+    use batch_spanners::core::SpannerSet;
+    use batch_spanners::gen;
+    use batch_spanners::prelude::*;
+    use batch_spanners::sparsify::WeightedSet;
+
+    // --- 1. SpannerSet: the unweighted delta path, exactly zero. ---
+    // Steady state = bounded churn over a resident core. (Removing the
+    // *entire* set every round is a shrink workload: the edge table's
+    // amortized anti-tombstone rebuild fires, which allocates — that is
+    // table maintenance, not the delta path.)
+    let edges = gen::gnm(64, 256, 9);
+    let (core, churn) = edges.split_at(192);
+    let mut set = SpannerSet::new();
+    let mut buf = DeltaBuf::new();
+    for &e in core {
+        set.add(e);
+    }
+    // Warm-up: two churn/extract cycles size the count table, the
+    // baseline table, and the buffer.
+    for _ in 0..2 {
+        for &e in churn {
+            set.add(e);
+        }
+        set.take_delta_into(&mut buf);
+        for &e in churn {
+            set.remove(e);
+        }
+        set.take_delta_into(&mut buf);
+    }
+    let before = allocs();
+    for _ in 0..10 {
+        for &e in churn {
+            set.add(e);
+        }
+        set.take_delta_into(&mut buf);
+        assert_eq!(buf.recourse(), churn.len());
+        for &e in churn {
+            set.remove(e);
+        }
+        set.take_delta_into(&mut buf);
+        assert_eq!(buf.recourse(), churn.len());
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "SpannerSet delta path allocated after warm-up"
+    );
+
+    // --- 2. WeightedSet: the weighted delta path, exactly zero. ---
+    let mut wset = WeightedSet::new();
+    for &e in core {
+        wset.insert(e, 1.0);
+    }
+    for _ in 0..2 {
+        for &e in churn {
+            wset.insert(e, 4.0);
+        }
+        wset.take_delta_into(&mut buf);
+        for &e in churn {
+            wset.remove(e);
+        }
+        wset.take_delta_into(&mut buf);
+    }
+    let before = allocs();
+    for _ in 0..10 {
+        for &e in churn {
+            wset.insert(e, 4.0);
+        }
+        wset.take_delta_into(&mut buf);
+        for &e in churn {
+            wset.remove(e);
+        }
+        wset.take_delta_into(&mut buf);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "WeightedSet delta path allocated after warm-up"
+    );
+
+    // --- 3. End-to-end: the buffer-reporting batch loop allocates
+    //        strictly less than the legacy materializing loop on an
+    //        identical schedule (twin structures, same seeds). ---
+    use bds_graph::stream::UpdateStream;
+    let n = 200;
+    let init = gen::gnm_connected(n, 800, 5);
+    let mut a = FullyDynamicSpanner::builder(n)
+        .stretch(2)
+        .seed(77)
+        .build(&init)
+        .unwrap();
+    let mut b = FullyDynamicSpanner::builder(n)
+        .stretch(2)
+        .seed(77)
+        .build(&init)
+        .unwrap();
+    let mut stream_a = UpdateStream::new(n, &init, 31);
+    let mut stream_b = UpdateStream::new(n, &init, 31);
+    // Warm-up both.
+    for _ in 0..5 {
+        let batch = stream_a.next_batch(20, 20);
+        a.apply_into(&batch, &mut buf);
+        let batch = stream_b.next_batch(20, 20);
+        let _ = b.process_batch(&batch);
+    }
+    let rounds = 30;
+    let before = allocs();
+    let mut recourse_buffered = 0usize;
+    for _ in 0..rounds {
+        let batch = stream_a.next_batch(20, 20);
+        a.apply_into(&batch, &mut buf);
+        recourse_buffered += buf.recourse();
+    }
+    let buffered = allocs() - before;
+    let before = allocs();
+    let mut recourse_legacy = 0usize;
+    for _ in 0..rounds {
+        let batch = stream_b.next_batch(20, 20);
+        recourse_legacy += b.process_batch(&batch).recourse();
+    }
+    let legacy = allocs() - before;
+    assert_eq!(recourse_buffered, recourse_legacy, "twin runs diverged");
+    assert!(
+        buffered < legacy,
+        "buffer path must allocate strictly less: {buffered} vs {legacy}"
+    );
+}

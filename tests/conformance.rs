@@ -1,0 +1,306 @@
+//! Generic conformance suite for the unified batch-dynamic engine API:
+//! one set of properties, instantiated for all nine implementors of
+//! [`Decremental`] / [`FullyDynamic`].
+//!
+//! Properties checked per structure:
+//! * **Delta-vs-materialized oracle** — replaying every batch's
+//!   [`DeltaBuf`] into a shadow edge map reproduces `output_into`
+//!   exactly (weights included for the sparsifiers).
+//! * **Netting** — no edge appears in both sections of one delta.
+//! * **Empty batch is a no-op** with zero recourse.
+//! * **Delete-then-reinsert** (fully-dynamic only) — edges removed in
+//!   one batch can come back in the next and the oracle still replays.
+
+use batch_spanners::gen;
+use batch_spanners::prelude::*;
+use bds_dstruct::{FxHashMap, FxHashSet};
+
+/// Materialized oracle: edge -> weight bits (1.0 for unweighted sets).
+type Shadow = FxHashMap<Edge, u64>;
+
+fn shadow_of(s: &impl BatchDynamic, buf: &mut DeltaBuf) -> Shadow {
+    s.output_into(buf);
+    let mut m = Shadow::default();
+    buf.apply_weighted_to(&mut m);
+    m
+}
+
+fn assert_matches(s: &impl BatchDynamic, shadow: &Shadow, buf: &mut DeltaBuf, ctx: &str) {
+    s.output_into(buf);
+    let mut m = Shadow::default();
+    buf.apply_weighted_to(&mut m);
+    assert_eq!(&m, shadow, "{ctx}: output diverged from delta replay");
+}
+
+fn assert_netted(buf: &DeltaBuf, ctx: &str) {
+    if buf.is_weighted() {
+        // A weighted edge may appear in both sections at *different*
+        // weights (a cross-level reweighting); identical (edge, weight)
+        // pairs would be a bounce that should have netted out.
+        let ins: FxHashSet<(Edge, u64)> = buf
+            .inserted_weighted()
+            .map(|(e, w)| (e, w.to_bits()))
+            .collect();
+        for (e, w) in buf.deleted_weighted() {
+            assert!(
+                !ins.contains(&(e, w.to_bits())),
+                "{ctx}: ({e:?}, {w}) in both delta sections"
+            );
+        }
+    } else {
+        let ins: FxHashSet<Edge> = buf.inserted().iter().copied().collect();
+        for e in buf.deleted() {
+            assert!(!ins.contains(e), "{ctx}: edge {e:?} in both delta sections");
+        }
+    }
+}
+
+/// Drive a [`Decremental`] structure through a deletion schedule.
+fn conform_decremental<T: Decremental>(mut s: T, edges: &[Edge], chunk: usize, name: &str) {
+    let mut buf = DeltaBuf::new();
+    let mut shadow = shadow_of(&s, &mut buf);
+
+    s.delete_into(&[], &mut buf);
+    assert_eq!(buf.recourse(), 0, "{name}: empty batch reported a delta");
+    assert_matches(&s, &shadow, &mut buf, name);
+
+    let mut live = edges.to_vec();
+    let mut round = 0;
+    while !live.is_empty() {
+        let batch: Vec<Edge> = live.split_off(live.len().saturating_sub(chunk));
+        s.delete_into(&batch, &mut buf);
+        assert_netted(&buf, name);
+        buf.apply_weighted_to(&mut shadow);
+        round += 1;
+        if round % 3 == 0 || live.is_empty() {
+            assert_matches(&s, &shadow, &mut buf, name);
+        }
+    }
+    assert!(
+        shadow.is_empty(),
+        "{name}: deleting every edge must empty the output set"
+    );
+}
+
+/// Drive a [`FullyDynamic`] structure through mixed batches, including a
+/// delete-everything / reinsert-everything netting round-trip.
+fn conform_fully_dynamic<T: FullyDynamic>(mut s: T, edges: &[Edge], chunk: usize, name: &str) {
+    use bds_graph::stream::UpdateStream;
+    let n = s.num_vertices();
+    let mut buf = DeltaBuf::new();
+    let mut shadow = shadow_of(&s, &mut buf);
+
+    s.apply_into(&UpdateBatch::default(), &mut buf);
+    assert_eq!(buf.recourse(), 0, "{name}: empty batch reported a delta");
+
+    let mut stream = UpdateStream::new(n, edges, 0xfeed ^ chunk as u64);
+    for round in 0..10 {
+        let batch = stream.next_batch(chunk, chunk);
+        s.apply_into(&batch, &mut buf);
+        assert_netted(&buf, name);
+        buf.apply_weighted_to(&mut shadow);
+        if round % 3 == 2 {
+            assert_matches(&s, &shadow, &mut buf, name);
+        }
+    }
+
+    // Delete a slab of live edges, then reinsert the same edges in the
+    // next batch: both deltas must replay, and the live graph is back.
+    let slab: Vec<Edge> = stream
+        .live_edges()
+        .iter()
+        .copied()
+        .take(chunk * 2)
+        .collect();
+    let m_before = s.num_live_edges();
+    s.delete_into(&slab, &mut buf);
+    assert_netted(&buf, name);
+    buf.apply_weighted_to(&mut shadow);
+    s.insert_into(&slab, &mut buf);
+    assert_netted(&buf, name);
+    buf.apply_weighted_to(&mut shadow);
+    assert_eq!(
+        s.num_live_edges(),
+        m_before,
+        "{name}: delete-then-reinsert changed the live edge count"
+    );
+    assert_matches(&s, &shadow, &mut buf, name);
+}
+
+fn directed(edges: &[Edge]) -> Vec<(V, V, u64)> {
+    edges
+        .iter()
+        .flat_map(|e| {
+            [
+                (e.u, e.v, ((e.u as u64) << 32) | e.u as u64),
+                (e.v, e.u, ((e.v as u64) << 32) | e.v as u64),
+            ]
+        })
+        .collect()
+}
+
+// --- the five Decremental implementors ---
+
+#[test]
+fn conformance_es_tree() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 200, 11);
+    let t = EsTree::builder(n)
+        .source(0)
+        .max_depth(12)
+        .build(&directed(&edges))
+        .unwrap();
+    conform_decremental(t, &edges, 7, "EsTree");
+}
+
+#[test]
+fn conformance_decremental_spanner() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 200, 13);
+    let s = DecrementalSpanner::builder(n)
+        .stretch(2)
+        .seed(17)
+        .build(&edges)
+        .unwrap();
+    conform_decremental(s, &edges, 6, "DecrementalSpanner");
+}
+
+#[test]
+fn conformance_monotone_spanner() {
+    let n = 50;
+    let edges = gen::gnm_connected(n, 160, 19);
+    let s = MonotoneSpanner::builder(n)
+        .copies(4)
+        .beta(0.3)
+        .seed(23)
+        .build(&edges)
+        .unwrap();
+    conform_decremental(s, &edges, 8, "MonotoneSpanner");
+}
+
+#[test]
+fn conformance_bundle_spanner() {
+    let n = 50;
+    let edges = gen::gnm_connected(n, 180, 29);
+    let s = BundleSpanner::builder(n)
+        .depth(2)
+        .copies(4)
+        .beta(0.3)
+        .seed(31)
+        .build(&edges)
+        .unwrap();
+    conform_decremental(s, &edges, 8, "BundleSpanner");
+}
+
+#[test]
+fn conformance_decremental_sparsifier() {
+    let n = 50;
+    let edges = gen::gnm_connected(n, 220, 37);
+    let s = DecrementalSparsifier::builder(n)
+        .depth(1)
+        .copies(4)
+        .beta(0.3)
+        .threshold(10)
+        .seed(41)
+        .build(&edges)
+        .unwrap();
+    conform_decremental(s, &edges, 9, "DecrementalSparsifier");
+}
+
+// --- the four FullyDynamic implementors ---
+
+#[test]
+fn conformance_fully_dynamic_spanner() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 43);
+    let s = FullyDynamicSpanner::builder(n)
+        .stretch(2)
+        .seed(47)
+        .build(&edges)
+        .unwrap();
+    conform_fully_dynamic(s, &edges, 6, "FullyDynamicSpanner");
+}
+
+#[test]
+fn conformance_sparse_spanner() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 53);
+    let s = SparseSpanner::builder(n)
+        .rates(&[3.0])
+        .seed(59)
+        .build(&edges)
+        .unwrap();
+    conform_fully_dynamic(s, &edges, 5, "SparseSpanner");
+}
+
+#[test]
+fn conformance_ultra_sparse_spanner() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 61);
+    let s = UltraSparseSpanner::builder(n)
+        .x(2)
+        .seed(67)
+        .build(&edges)
+        .unwrap();
+    conform_fully_dynamic(s, &edges, 5, "UltraSparseSpanner");
+}
+
+#[test]
+fn conformance_fully_dynamic_sparsifier() {
+    let n = 50;
+    let edges = gen::gnm_connected(n, 200, 71);
+    let s = FullyDynamicSparsifier::builder(n)
+        .depth(1)
+        .seed(73)
+        .build(&edges)
+        .unwrap();
+    conform_fully_dynamic(s, &edges, 6, "FullyDynamicSparsifier");
+}
+
+// --- builder validation is part of the contract ---
+
+#[test]
+fn builders_reject_bad_input() {
+    assert!(matches!(
+        FullyDynamicSpanner::builder(1).build(&[]),
+        Err(ConfigError::TooFewVertices { .. })
+    ));
+    assert!(matches!(
+        FullyDynamicSpanner::builder(10).stretch(0).build(&[]),
+        Err(ConfigError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        DecrementalSpanner::builder(4).build(&[Edge::new(0, 9)]),
+        Err(ConfigError::VertexOutOfRange { .. })
+    ));
+    assert!(matches!(
+        SparseSpanner::builder(10).rates(&[0.5]).build(&[]),
+        Err(ConfigError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        UltraSparseSpanner::builder(10).x(1).build(&[]),
+        Err(ConfigError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        BundleSpanner::builder(10)
+            .depth(0)
+            .build(&[Edge::new(0, 1)]),
+        Err(ConfigError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        MonotoneSpanner::builder(10).beta(-1.0).build(&[]),
+        Err(ConfigError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        DecrementalSparsifier::builder(10).depth(0).build(&[]),
+        Err(ConfigError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        FullyDynamicSparsifier::builder(10).build(&[Edge::new(0, 1), Edge::new(1, 0)]),
+        Err(ConfigError::DuplicateEdge(_))
+    ));
+    assert!(matches!(
+        EsTree::builder(5).source(9).build(&[]),
+        Err(ConfigError::VertexOutOfRange { .. })
+    ));
+}

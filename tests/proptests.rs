@@ -257,6 +257,64 @@ proptest! {
         }
     }
 
+    /// `UpdateBatch::from_pairs` + `normalized()` — the typed-input
+    /// contract: self-loops and duplicates drop with an exact report,
+    /// the output lists are sorted/deduped/canonical, and an edge in
+    /// both lists is rejected with `BatchError::EdgeInBothLists` iff the
+    /// canonicalized lists intersect.
+    #[test]
+    fn update_batch_normalization_contract(
+        ins in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+        del in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+    ) {
+        let (batch, report) = UpdateBatch::from_pairs(&ins, &del);
+        // Report accounting is exact.
+        let loops = ins.iter().chain(&del).filter(|(a, b)| a == b).count();
+        prop_assert_eq!(report.self_loops_dropped, loops);
+        prop_assert_eq!(
+            batch.insertions.len() + report.duplicate_insertions_dropped,
+            ins.iter().filter(|(a, b)| a != b).count()
+        );
+        prop_assert_eq!(
+            batch.deletions.len() + report.duplicate_deletions_dropped,
+            del.iter().filter(|(a, b)| a != b).count()
+        );
+        // Output lists are sorted, deduped, canonical; every surviving
+        // edge came from the input.
+        for lane in [&batch.insertions, &batch.deletions] {
+            for w in lane.windows(2) {
+                prop_assert!(w[0] < w[1], "not sorted-dedup: {:?}", w);
+            }
+            for e in lane {
+                prop_assert!(e.u < e.v, "non-canonical {:?}", e);
+            }
+        }
+        for (e, raw) in [(&batch.insertions, &ins), (&batch.deletions, &del)] {
+            for edge in e {
+                prop_assert!(
+                    raw.iter().any(|&(a, b)| Edge::try_new(a, b) == Some(*edge)),
+                    "edge {:?} not in input",
+                    edge
+                );
+            }
+        }
+        // normalized(): rejects iff the lists share an edge; otherwise
+        // idempotent on already-normal batches.
+        let shared = batch.insertions.iter().any(|e| batch.deletions.contains(e));
+        match batch.normalized() {
+            Err(BatchError::EdgeInBothLists(e)) => {
+                prop_assert!(shared);
+                prop_assert!(batch.insertions.contains(&e) && batch.deletions.contains(&e));
+            }
+            Ok((norm, rep)) => {
+                prop_assert!(!shared);
+                prop_assert_eq!(rep.total_dropped(), 0, "from_pairs output is already normal");
+                prop_assert_eq!(norm.insertions, batch.insertions);
+                prop_assert_eq!(norm.deletions, batch.deletions);
+            }
+        }
+    }
+
     /// The fully-dynamic wrapper preserves the spanner property across
     /// arbitrary interleavings of insert and delete batches.
     #[test]

@@ -1,0 +1,377 @@
+//! PR-4 perf snapshot: writes `BENCH_PR4.json` — the sharded dispatcher
+//! and the hub-insert fix, measured three ways:
+//!
+//! * **Sharded vs monolithic apply throughput** at N ∈ {1, 2, 4}
+//!   shards: `ShardedEngine<FullyDynamicSpanner>` and a single
+//!   unsharded instance driven through identical mixed-batch schedules
+//!   (updates/s; interleaved min-of-rounds). On a single hardware
+//!   thread the fan-out runs sequentially, so N > 1 measures pure
+//!   dispatch overhead; the parallel win engages on multicore hosts.
+//! * **Hub-insert before/after**: the PR-2 `adjacency_churn` hub
+//!   workload (one 20k-degree list under remove/insert/`first()` churn)
+//!   against the frozen PR-2 tail-shift insert and the treap, plus the
+//!   batched variant (a slab of removals, then a slab of insertions —
+//!   the shape the ultra/contract batch paths actually produce, where
+//!   tombstone density makes shift-to-nearest-tombstone strongest).
+//! * **Merged-delta allocation count**: the sharded scatter → fan-out →
+//!   merge → net path after warm-up (expected 0, the PR-3 invariant
+//!   extended to the dispatcher).
+//!
+//! Usage: `cargo run --release -p bds_bench --bin bench_pr4 [-- out.json] [--quick]`
+
+use bds_bench::pr2_flat_list::Pr2FlatList;
+use bds_core::FullyDynamicSpanner;
+use bds_graph::api::{BatchDynamic, DeltaBuf, FullyDynamic};
+use bds_graph::gen;
+use bds_graph::shard::{MirrorSpanner, ShardedEngineBuilder};
+use bds_graph::stream::UpdateStream;
+use bds_graph::types::UpdateBatch;
+use bds_par::alloc_counter::{allocations as allocs, CountingAlloc};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = std::hint::black_box(f());
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+type K = (u8, u64, u32);
+
+/// The PR-2 hub schedule: interleaved remove-one / insert-one /
+/// `first()` on a single `len`-degree list (same key/op distribution as
+/// `bench_pr2`'s `adjacency_churn`).
+fn hub_schedule(len: usize, ops: usize, seed: u64) -> (Vec<K>, Vec<(usize, K)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<K> = (0..len)
+        .map(|i| (u8::from(rng.gen_bool(0.7)), rng.gen::<u64>() | 1, i as u32))
+        .collect();
+    let sched: Vec<(usize, K)> = (0..ops)
+        .map(|_| {
+            (
+                rng.gen_range(0..len),
+                (
+                    u8::from(rng.gen_bool(0.7)),
+                    rng.gen::<u64>() | 1,
+                    rng.gen_range(0..u32::MAX / 2),
+                ),
+            )
+        })
+        .collect();
+    (keys, sched)
+}
+
+/// Interleaved singles, three sides on one identical schedule. Returns
+/// (pr4_flat_ms, pr2_flat_ms, treap_ms) minima.
+fn hub_interleaved(len: usize, ops: usize, rounds: usize) -> (f64, f64, f64) {
+    let (keys, sched) = hub_schedule(len, ops, 77);
+    let (mut pr4, mut pr2, mut treap) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let mut l: bds_dstruct::FlatList<K, ()> =
+            bds_dstruct::FlatList::from_entries(keys.iter().map(|&k| (k, ())));
+        let mut cur = keys.clone();
+        let (d, h_new) = ms(|| {
+            let mut acc = 0u64;
+            for &(s, k) in &sched {
+                let old = std::mem::replace(&mut cur[s], k);
+                l.remove(&old).expect("live adjacency key");
+                l.insert(k, ());
+                acc ^= l.first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        pr4 = pr4.min(d);
+
+        let mut l: Pr2FlatList<K, ()> = Pr2FlatList::from_entries(keys.iter().map(|&k| (k, ())));
+        let mut cur = keys.clone();
+        let (d, h_old) = ms(|| {
+            let mut acc = 0u64;
+            for &(s, k) in &sched {
+                let old = std::mem::replace(&mut cur[s], k);
+                l.remove(&old).expect("live adjacency key");
+                l.insert(k, ());
+                acc ^= l.first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        pr2 = pr2.min(d);
+
+        let mut t: bds_dstruct::Treap<K, ()> = bds_dstruct::Treap::new(3);
+        for &k in &keys {
+            t.insert(k, ());
+        }
+        let mut cur = keys.clone();
+        let (d, h_treap) = ms(|| {
+            let mut acc = 0u64;
+            for &(s, k) in &sched {
+                let old = std::mem::replace(&mut cur[s], k);
+                t.remove(&old).expect("live adjacency key");
+                t.insert(k, ());
+                acc ^= t.first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        treap = treap.min(d);
+        assert_eq!(h_new, h_old, "old/new flat lists must track the same heads");
+        assert_eq!(h_new, h_treap, "flat and treap must track the same heads");
+    }
+    (pr4, pr2, treap)
+}
+
+/// Batched hub churn: per round, remove a `slab` of live keys, then
+/// insert a `slab` of fresh ones — the ultra/contract batch-update
+/// shape, where each insert finds a nearby tombstone from the removal
+/// slab. Returns (pr4_flat_ms, pr2_flat_ms) minima.
+fn hub_batched(len: usize, slab: usize, batches: usize, rounds: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(101);
+    let keys: Vec<K> = (0..len)
+        .map(|i| (u8::from(rng.gen_bool(0.7)), rng.gen::<u64>() | 1, i as u32))
+        .collect();
+    // Per batch: which slots to clear, and the replacement keys.
+    let sched: Vec<(Vec<usize>, Vec<K>)> = (0..batches)
+        .map(|_| {
+            let mut slots: Vec<usize> = Vec::with_capacity(slab);
+            while slots.len() < slab {
+                let s = rng.gen_range(0..len);
+                if !slots.contains(&s) {
+                    slots.push(s);
+                }
+            }
+            let fresh: Vec<K> = (0..slab)
+                .map(|_| {
+                    (
+                        u8::from(rng.gen_bool(0.7)),
+                        rng.gen::<u64>() | 1,
+                        rng.gen_range(0..u32::MAX / 2),
+                    )
+                })
+                .collect();
+            (slots, fresh)
+        })
+        .collect();
+    let (mut pr4, mut pr2) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let mut l: bds_dstruct::FlatList<K, ()> =
+            bds_dstruct::FlatList::from_entries(keys.iter().map(|&k| (k, ())));
+        let mut cur = keys.clone();
+        let (d, h_new) = ms(|| {
+            let mut acc = 0u64;
+            for (slots, fresh) in &sched {
+                for (&s, &k) in slots.iter().zip(fresh) {
+                    l.remove(&cur[s]).expect("live adjacency key");
+                    cur[s] = k;
+                }
+                for &k in fresh {
+                    l.insert(k, ());
+                }
+                acc ^= l.first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        pr4 = pr4.min(d);
+
+        let mut l: Pr2FlatList<K, ()> = Pr2FlatList::from_entries(keys.iter().map(|&k| (k, ())));
+        let mut cur = keys.clone();
+        let (d, h_old) = ms(|| {
+            let mut acc = 0u64;
+            for (slots, fresh) in &sched {
+                for (&s, &k) in slots.iter().zip(fresh) {
+                    l.remove(&cur[s]).expect("live adjacency key");
+                    cur[s] = k;
+                }
+                for &k in fresh {
+                    l.insert(k, ());
+                }
+                acc ^= l.first().map_or(0, |(k, _)| k.1);
+            }
+            acc
+        });
+        pr2 = pr2.min(d);
+        assert_eq!(h_new, h_old, "old/new flat lists must track the same heads");
+    }
+    (pr4, pr2)
+}
+
+/// One apply-throughput run: drive `rounds` mixed batches and return
+/// (elapsed ms, total updates, total recourse).
+fn drive<S: FullyDynamic>(
+    s: &mut S,
+    stream: &mut UpdateStream,
+    batch: usize,
+    rounds: usize,
+) -> (f64, usize, usize) {
+    let mut buf = DeltaBuf::new();
+    let mut updates = 0usize;
+    let mut recourse = 0usize;
+    // Warm-up outside the timed region.
+    for _ in 0..3 {
+        let b = stream.next_batch(batch, batch);
+        s.apply_into(&b, &mut buf);
+    }
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let b = stream.next_batch(batch, batch);
+        updates += b.len();
+        s.apply_into(&b, &mut buf);
+        recourse += buf.recourse();
+    }
+    (t.elapsed().as_secs_f64() * 1e3, updates, recourse)
+}
+
+/// Sharded-vs-monolith apply throughput at `shards` shards (updates/s,
+/// interleaved min-of-rounds; identical schedules).
+fn sharded_numbers(
+    n: usize,
+    m: usize,
+    batch: usize,
+    rounds: usize,
+    reps: usize,
+    shards: usize,
+) -> (f64, f64) {
+    let init = gen::gnm_connected(n, m, 7);
+    let (mut best_sharded, mut best_mono) = (0.0f64, 0.0f64);
+    for rep in 0..reps {
+        let mut sharded = ShardedEngineBuilder::new(n)
+            .shards(shards)
+            .build_with(&init, |i, shard_edges| {
+                FullyDynamicSpanner::builder(n)
+                    .stretch(2)
+                    .seed(1000 + rep as u64 * 31 + i as u64)
+                    .build(shard_edges)
+            })
+            .unwrap();
+        let mut stream = UpdateStream::new(n, &init, 0xabc ^ rep as u64);
+        let (ms_s, updates, _) = drive(&mut sharded, &mut stream, batch, rounds);
+        best_sharded = best_sharded.max(updates as f64 / (ms_s / 1e3));
+
+        let mut mono = FullyDynamicSpanner::builder(n)
+            .stretch(2)
+            .seed(2000 + rep as u64)
+            .build(&init)
+            .unwrap();
+        let mut stream = UpdateStream::new(n, &init, 0xabc ^ rep as u64);
+        let (ms_m, updates, _) = drive(&mut mono, &mut stream, batch, rounds);
+        best_mono = best_mono.max(updates as f64 / (ms_m / 1e3));
+    }
+    (best_sharded, best_mono)
+}
+
+/// Steady-state allocation count of the sharded merged-delta path
+/// (MirrorSpanner shards keep the per-shard apply allocation-free, so
+/// this isolates scatter + fan-out + merge + net). Expected 0.
+fn merged_delta_allocs(rounds: usize) -> u64 {
+    bds_par::run_with_threads(1, || {
+        let n = 96;
+        let init = gen::gnm(n, 384, 17);
+        let (core, churn) = init.split_at(256);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(4)
+            .build_with(core, |_, shard_edges| MirrorSpanner::build(n, shard_edges))
+            .unwrap();
+        let mut buf = DeltaBuf::new();
+        let ins = UpdateBatch::insert_only(churn.to_vec());
+        let del = UpdateBatch::delete_only(churn.to_vec());
+        for _ in 0..2 {
+            engine.apply_into(&ins, &mut buf);
+            engine.apply_into(&del, &mut buf);
+        }
+        let before = allocs();
+        for _ in 0..rounds {
+            engine.apply_into(&ins, &mut buf);
+            engine.apply_into(&del, &mut buf);
+        }
+        std::hint::black_box(engine.num_live_edges());
+        allocs() - before
+    })
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = a;
+        }
+    }
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"threads\": {},", bds_par::threads_available());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+
+    // --- Section 1: sharded vs monolithic apply throughput. ---
+    let (n, m, batch, rounds, reps) = if quick {
+        (4_000, 24_000, 64, 10, 1)
+    } else {
+        (20_000, 120_000, 256, 40, 3)
+    };
+    let _ = writeln!(j, "  \"sharded_apply_n{}k\": {{", n / 1000);
+    let _ = writeln!(j, "    \"batch_size\": {batch},");
+    let _ = writeln!(j, "    \"rounds\": {rounds},");
+    let mut first = true;
+    for shards in [1usize, 2, 4] {
+        let (thr_s, thr_m) = sharded_numbers(n, m, batch, rounds, reps, shards);
+        eprintln!(
+            "sharded apply n={n} shards={shards}: {thr_s:.0} updates/s vs monolith {thr_m:.0} ({:.2}x)",
+            thr_s / thr_m
+        );
+        if !first {
+            let _ = writeln!(j, ",");
+        }
+        first = false;
+        let _ = write!(
+            j,
+            "    \"shards_{shards}\": {{ \"sharded_updates_per_s\": {thr_s:.0}, \"monolith_updates_per_s\": {thr_m:.0}, \"ratio\": {:.3} }}",
+            thr_s / thr_m
+        );
+    }
+    let _ = writeln!(j, "\n  }},");
+
+    // --- Section 2: hub inserts, before/after. ---
+    let (hub_len, hub_ops, hub_rounds) = if quick {
+        (5_000, 1_000, 3)
+    } else {
+        (20_000, 4_000, 5)
+    };
+    let (pr4_ms, pr2_ms, treap_ms) = hub_interleaved(hub_len, hub_ops, hub_rounds);
+    eprintln!(
+        "hub churn interleaved (1 x {hub_len}): pr4 flat {pr4_ms:.2}ms vs pr2 flat {pr2_ms:.2}ms ({:.2}x) vs treap {treap_ms:.2}ms ({:.2}x)",
+        pr2_ms / pr4_ms,
+        treap_ms / pr4_ms
+    );
+    let slab = if quick { 128 } else { 256 };
+    let batches = hub_ops / slab;
+    let (b4_ms, b2_ms) = hub_batched(hub_len, slab, batches, hub_rounds);
+    eprintln!(
+        "hub churn batched (1 x {hub_len}, slab {slab}): pr4 flat {b4_ms:.2}ms vs pr2 flat {b2_ms:.2}ms ({:.2}x)",
+        b2_ms / b4_ms
+    );
+    let _ = writeln!(j, "  \"hub_insert_degree{}k\": {{", hub_len / 1000);
+    let _ = writeln!(
+        j,
+        "    \"interleaved\": {{ \"pr4_flat_ms\": {pr4_ms:.3}, \"pr2_flat_ms\": {pr2_ms:.3}, \"treap_ms\": {treap_ms:.3}, \"speedup_vs_pr2\": {:.2}, \"speedup_vs_treap\": {:.2} }},",
+        pr2_ms / pr4_ms,
+        treap_ms / pr4_ms
+    );
+    let _ = writeln!(
+        j,
+        "    \"batched_slab{slab}\": {{ \"pr4_flat_ms\": {b4_ms:.3}, \"pr2_flat_ms\": {b2_ms:.3}, \"speedup_vs_pr2\": {:.2} }}",
+        b2_ms / b4_ms
+    );
+    let _ = writeln!(j, "  }},");
+
+    // --- Section 3: merged-delta allocations (expected 0). ---
+    let da = merged_delta_allocs(if quick { 5 } else { 20 });
+    eprintln!("sharded merged-delta allocations after warm-up: {da} (expect 0)");
+    let _ = writeln!(j, "  \"merged_delta_allocs_after_warmup\": {da}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).expect("write BENCH_PR4.json");
+    println!("wrote {out_path}");
+}

@@ -1,8 +1,10 @@
 //! Shared workload construction for the benches and the table generator,
 //! plus frozen "before" implementations (`seed_estree`, `pr1_estree`,
-//! `treap_list`) that anchor the per-PR performance comparisons.
+//! `treap_list`, `pr2_flat_list`) that anchor the per-PR performance
+//! comparisons.
 
 pub mod pr1_estree;
+pub mod pr2_flat_list;
 pub mod seed_estree;
 pub mod treap_list;
 

@@ -1,0 +1,184 @@
+//! The PR-2 `FlatList` insert path, frozen as a benchmark baseline.
+//!
+//! PR 4 replaced `FlatList::insert`'s unconditional tail memmove
+//! (`Vec::insert` + full-bitmap shift) with shift-to-nearest-tombstone.
+//! This module preserves the PR-2 behavior — the exact same sorted
+//! key/value arrays and live bitmap, with the old insert — restricted to
+//! the operations `bench_pr4`'s adjacency-churn workloads exercise
+//! (`from_entries`, `insert`, `remove`, `first`, `len`), so the
+//! before/after comparison measures the placement policy and nothing
+//! else.
+
+/// PR-2 flat sorted list: tail-shift inserts, tombstone removals.
+#[derive(Clone, Debug, Default)]
+pub struct Pr2FlatList<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    live: Vec<u64>,
+    n_live: usize,
+}
+
+impl<K: Ord + Copy, V: Copy> Pr2FlatList<K, V> {
+    pub fn from_entries(entries: impl IntoIterator<Item = (K, V)>) -> Self {
+        let mut es: Vec<(K, V)> = entries.into_iter().collect();
+        es.sort_unstable_by_key(|&(k, _)| k);
+        let (keys, vals): (Vec<K>, Vec<V>) = es.into_iter().unzip();
+        let n = keys.len();
+        let mut live = vec![!0u64; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(last) = live.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        Self {
+            keys,
+            vals,
+            live,
+            n_live: n,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n_live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_live == 0
+    }
+
+    #[inline(always)]
+    fn is_live(&self, i: usize) -> bool {
+        (self.live[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    fn find_live(&self, key: &K) -> Option<usize> {
+        let mut p = self.keys.partition_point(|k| k < key);
+        while p < self.keys.len() && self.keys[p] == *key {
+            if self.is_live(p) {
+                return Some(p);
+            }
+            p += 1;
+        }
+        None
+    }
+
+    /// The PR-2 insert: resurrect a dead same-key slot, else
+    /// `Vec::insert` at the sorted position (O(len − p) memmove) plus a
+    /// full tail shift of the bitmap.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let p = self.keys.partition_point(|k| k < &key);
+        let mut q = p;
+        while q < self.keys.len() && self.keys[q] == key {
+            if self.is_live(q) {
+                return Some(std::mem::replace(&mut self.vals[q], val));
+            }
+            q += 1;
+        }
+        if q > p {
+            self.vals[p] = val;
+            self.live[p >> 6] |= 1u64 << (p & 63);
+            self.n_live += 1;
+            return None;
+        }
+        self.keys.insert(p, key);
+        self.vals.insert(p, val);
+        self.bitmap_insert(p);
+        self.n_live += 1;
+        None
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let p = self.find_live(key)?;
+        let out = self.vals[p];
+        self.live[p >> 6] &= !(1u64 << (p & 63));
+        self.n_live -= 1;
+        if self.keys.len() >= 16 && self.keys.len() - self.n_live > self.n_live {
+            self.compact();
+        }
+        Some(out)
+    }
+
+    pub fn first(&self) -> Option<(K, &V)> {
+        for (wi, &word) in self.live.iter().enumerate() {
+            if word != 0 {
+                let i = (wi << 6) + word.trailing_zeros() as usize;
+                return Some((self.keys[i], &self.vals[i]));
+            }
+        }
+        None
+    }
+
+    fn compact(&mut self) {
+        let mut j = 0usize;
+        for i in 0..self.keys.len() {
+            if self.is_live(i) {
+                self.keys[j] = self.keys[i];
+                self.vals[j] = self.vals[i];
+                j += 1;
+            }
+        }
+        self.keys.truncate(j);
+        self.vals.truncate(j);
+        self.live.truncate(j.div_ceil(64));
+        for w in self.live.iter_mut() {
+            *w = !0;
+        }
+        if !j.is_multiple_of(64) {
+            if let Some(last) = self.live.last_mut() {
+                *last = (1u64 << (j % 64)) - 1;
+            }
+        }
+    }
+
+    fn bitmap_insert(&mut self, p: usize) {
+        if self.keys.len() > self.live.len() * 64 {
+            self.live.push(0);
+        }
+        let w = p >> 6;
+        let b = p & 63;
+        let cur = self.live[w];
+        let mask_low = (1u64 << b) - 1;
+        let low = cur & mask_low;
+        let high = cur & !mask_low;
+        let mut carry = high >> 63;
+        self.live[w] = low | (1u64 << b) | (high << 1);
+        for word in self.live[w + 1..].iter_mut() {
+            let c = *word >> 63;
+            *word = (*word << 1) | carry;
+            carry = c;
+        }
+        debug_assert_eq!(carry, 0, "bitmap_insert shifted a bit past the end");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The frozen baseline must agree with the current `FlatList` on a
+    /// churn schedule — it is the same structure minus the new insert
+    /// placement, so every observable of the bench workloads matches.
+    #[test]
+    fn baseline_matches_current_flat_list() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let init: Vec<(u64, u32)> = (0..300u64).map(|k| (k * 5 + 1, k as u32)).collect();
+        let mut old: Pr2FlatList<u64, u32> = Pr2FlatList::from_entries(init.iter().copied());
+        let mut new: bds_dstruct::FlatList<u64, u32> =
+            bds_dstruct::FlatList::from_entries(init.iter().copied());
+        for _ in 0..2000 {
+            let k = rng.gen_range(0..2000u64);
+            if rng.gen_bool(0.5) {
+                let v = rng.gen::<u32>();
+                assert_eq!(old.insert(k, v), new.insert(k, v));
+            } else {
+                assert_eq!(old.remove(&k), new.remove(&k));
+            }
+            assert_eq!(old.len(), new.len());
+            assert_eq!(
+                old.first().map(|(k, v)| (k, *v)),
+                new.first().map(|(k, v)| (k, *v))
+            );
+        }
+    }
+}

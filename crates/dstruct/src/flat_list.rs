@@ -161,6 +161,16 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
     /// with that key existed. A dead slot with the same key is
     /// resurrected in place (no shift), so remove-then-reinsert churn on
     /// one key is O(log n).
+    ///
+    /// Otherwise the insert shifts to the *nearest tombstone*: both
+    /// directions are scanned for the closest dead slot and only the gap
+    /// between the insertion point and that slot is shifted (tail
+    /// append counts as a virtual dead slot past the end). On a
+    /// high-degree list under churn this replaces the old unconditional
+    /// O(degree) tail memmove with a shift proportional to the distance
+    /// to the nearest tombstone — and when the tail *is* closest, the
+    /// surviving tombstones accumulate, so later gaps shrink further.
+    /// Scans stay flat: dead slots keep sorted keys until compaction.
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
         let p = self.search(&key);
         let mut q = p;
@@ -177,11 +187,157 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
             self.n_live += 1;
             return None;
         }
-        self.keys.insert(p, key);
-        self.vals.insert(p, val);
-        self.bitmap_insert(p);
+        self.insert_at(p, key, val);
         self.n_live += 1;
         None
+    }
+
+    /// Place `key` at logical position `p`, shifting toward whichever of
+    /// {nearest left tombstone, nearest right tombstone, tail} is
+    /// cheapest.
+    fn insert_at(&mut self, p: usize, key: K, val: V) {
+        let len = self.keys.len();
+        // A right tombstone at r costs r - p moves; appending at the
+        // tail costs len - p (and r < len, so a right tombstone always
+        // beats the tail). A left tombstone at l costs p - 1 - l moves
+        // because the entry lands at p - 1. The leftward scan is bounded
+        // by the right-side cost already in hand — a farther-left
+        // tombstone can never win — which keeps tombstone-free appends
+        // O(1) instead of walking the whole bitmap.
+        let right = self.next_dead(p);
+        let cost_right = right.map_or(len - p, |r| r - p);
+        let left = self.prev_dead(p, p.saturating_sub(cost_right));
+        let cost_left = left.map_or(usize::MAX, |l| p - 1 - l);
+        if cost_left < cost_right {
+            let l = left.expect("finite cost implies a left tombstone");
+            // Slide (l, p) down one slot; the dead entry at l (whose key
+            // sorts below its successor) is overwritten.
+            self.keys.copy_within(l + 1..p, l);
+            self.vals.copy_within(l + 1..p, l);
+            self.keys[p - 1] = key;
+            self.vals[p - 1] = val;
+            self.bitmap_shift_down(l, p);
+            self.live[(p - 1) >> 6] |= 1u64 << ((p - 1) & 63);
+        } else if let Some(r) = right {
+            // Slide [p, r) up one slot into the dead entry at r.
+            self.keys.copy_within(p..r, p + 1);
+            self.vals.copy_within(p..r, p + 1);
+            self.keys[p] = key;
+            self.vals[p] = val;
+            self.bitmap_shift_up(p, r);
+            self.live[p >> 6] |= 1u64 << (p & 63);
+        } else {
+            // No tombstone cheaper than the tail: plain insert. Any
+            // existing (left) tombstones survive, so gaps shrink as the
+            // list churns.
+            self.keys.insert(p, key);
+            self.vals.insert(p, val);
+            self.bitmap_insert(p);
+        }
+    }
+
+    /// First dead physical slot in `[p, len)`, if any.
+    fn next_dead(&self, p: usize) -> Option<usize> {
+        let len = self.keys.len();
+        if p >= len {
+            return None;
+        }
+        let mut wi = p >> 6;
+        let mut word = !self.live[wi] & (!0u64 << (p & 63));
+        loop {
+            if word != 0 {
+                let i = (wi << 6) + word.trailing_zeros() as usize;
+                // Bits at indices >= len read as dead; a hit there means
+                // every real slot in range is live.
+                return (i < len).then_some(i);
+            }
+            wi += 1;
+            if wi >= self.live.len() {
+                return None;
+            }
+            word = !self.live[wi];
+        }
+    }
+
+    /// Last dead physical slot in `[lo, p)`, if any (`lo` bounds the
+    /// scan: positions below it cannot yield a cheaper shift).
+    fn prev_dead(&self, p: usize, lo: usize) -> Option<usize> {
+        if p == 0 || lo >= p {
+            return None;
+        }
+        let lo_word = lo >> 6;
+        let mut wi = (p - 1) >> 6;
+        let mut word = !self.live[wi] & (!0u64 >> (63 - ((p - 1) & 63)));
+        loop {
+            if word != 0 {
+                let i = (wi << 6) + 63 - word.leading_zeros() as usize;
+                return (i >= lo).then_some(i);
+            }
+            if wi == lo_word {
+                return None;
+            }
+            wi -= 1;
+            word = !self.live[wi];
+        }
+    }
+
+    /// Shift bitmap bits `[p, r)` up one position into `[p+1, r]`. Bit
+    /// `r` must be dead (it absorbs the shift); bit `p` is left vacated
+    /// for the caller to set.
+    fn bitmap_shift_up(&mut self, p: usize, r: usize) {
+        debug_assert!(p <= r && !self.is_live(r));
+        let (wp, wr) = (p >> 6, r >> 6);
+        let bp = p & 63;
+        let br = r & 63;
+        let high_keep = if br == 63 { 0 } else { !0u64 << (br + 1) };
+        if wp == wr {
+            let keep = ((1u64 << bp) - 1) | high_keep;
+            let seg = self.live[wp] & !keep;
+            self.live[wp] = (self.live[wp] & keep) | ((seg << 1) & !keep);
+        } else {
+            // Top word first, then middles downward, so every carry reads
+            // its lower neighbor's pre-shift value.
+            let carry = self.live[wr - 1] >> 63;
+            self.live[wr] =
+                (self.live[wr] & high_keep) | (((self.live[wr] << 1) | carry) & !high_keep);
+            for wi in (wp + 1..wr).rev() {
+                let c = self.live[wi - 1] >> 63;
+                self.live[wi] = (self.live[wi] << 1) | c;
+            }
+            let low_keep = (1u64 << bp) - 1;
+            let w = self.live[wp];
+            self.live[wp] = (w & low_keep) | ((w & !low_keep) << 1);
+        }
+    }
+
+    /// Shift bitmap bits `(l, p)` down one position into `[l, p-1)`. Bit
+    /// `l` must be dead (it absorbs the shift); bit `p-1` is left vacated
+    /// for the caller to set.
+    fn bitmap_shift_down(&mut self, l: usize, p: usize) {
+        debug_assert!(l < p && !self.is_live(l));
+        let top = p - 1;
+        let (wl, wt) = (l >> 6, top >> 6);
+        let bl = l & 63;
+        let bt = top & 63;
+        let high_keep = if bt == 63 { 0 } else { !0u64 << (bt + 1) };
+        if wl == wt {
+            let keep = ((1u64 << bl) - 1) | high_keep;
+            let seg = self.live[wl] & !keep;
+            self.live[wl] = (self.live[wl] & keep) | ((seg >> 1) & !keep);
+        } else {
+            // Bottom word first, then middles upward, so every carry
+            // reads its upper neighbor's pre-shift value.
+            let low_keep = (1u64 << bl) - 1;
+            let carry = (self.live[wl + 1] & 1) << 63;
+            let w = self.live[wl];
+            self.live[wl] = (w & low_keep) | (((w >> 1) | carry) & !low_keep);
+            for wi in wl + 1..wt {
+                let c = (self.live[wi + 1] & 1) << 63;
+                self.live[wi] = (self.live[wi] >> 1) | c;
+            }
+            let w = self.live[wt];
+            self.live[wt] = (w & high_keep) | ((w & !high_keep) >> 1);
+        }
     }
 
     /// Remove the live entry with `key`; O(log n) binary search plus a
@@ -417,6 +573,87 @@ mod tests {
         assert_eq!(l.get(&2), Some(&21));
         assert_eq!(l.len(), 3);
         assert_eq!(l.rank_of(&2), Some(1));
+    }
+
+    /// Force every insert placement path — left-tombstone shift,
+    /// right-tombstone shift, tail fallback, resurrection — against a
+    /// BTreeMap oracle, checking full contents plus ranks after each op.
+    #[test]
+    fn tombstone_shift_paths_match_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xf1a7);
+        // Key domain 0..6000 over ~512 live entries: inserts land at
+        // arbitrary positions relative to the tombstones removals plant,
+        // exercising both shift directions and multi-word bitmap shifts.
+        let mut l: FlatList<u32, u32> = FlatList::from_entries((0..512u32).map(|k| (k * 11, k)));
+        let mut model: BTreeMap<u32, u32> = (0..512u32).map(|k| (k * 11, k)).collect();
+        for step in 0..4000 {
+            let k: u32 = rng.gen_range(0..6000);
+            if rng.gen_bool(0.5) {
+                let v = rng.gen::<u32>();
+                assert_eq!(l.insert(k, v), model.insert(k, v), "step {step} insert {k}");
+            } else {
+                assert_eq!(l.remove(&k), model.remove(&k), "step {step} remove {k}");
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        let got: Vec<(u32, u32)> = l.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u32, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+        for (rank, (k, v)) in model.iter().enumerate() {
+            assert_eq!(l.kth(rank), Some((*k, v)), "rank {rank}");
+            assert_eq!(l.rank_of(k), Some(rank));
+        }
+    }
+
+    /// Directed variants: a single far tombstone on each side must be
+    /// consumed by the shift (no length growth), and the tail fallback
+    /// must leave a cheaper-side tombstone intact.
+    #[test]
+    fn shift_consumes_nearest_tombstone() {
+        // Right tombstone: kill key 150, insert at the front region.
+        let mut l: FlatList<u32, ()> = FlatList::from_sorted((0..200u32).map(|k| (2 * k, ())));
+        let slots_before = l.keys.len();
+        l.remove(&300); // physical slot 150
+        assert_eq!(l.insert(21, ()), None); // lands at slot ~11
+        assert_eq!(
+            l.keys.len(),
+            slots_before,
+            "right shift must reuse the dead slot"
+        );
+        assert_eq!(l.len(), 200);
+        // Left tombstone closer than both the tail and any right
+        // tombstone: kill key 260 (slot ~130), insert at slot ~141.
+        let mut l: FlatList<u32, ()> = FlatList::from_sorted((0..200u32).map(|k| (2 * k, ())));
+        let slots_before = l.keys.len();
+        l.remove(&260);
+        assert_eq!(l.insert(281, ()), None);
+        assert_eq!(
+            l.keys.len(),
+            slots_before,
+            "left shift must reuse the dead slot"
+        );
+        assert_eq!(l.len(), 200);
+        let keys: Vec<u32> = l.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "live iteration stays key-sorted");
+        // Tail fallback: tombstone at the very front, insert at the very
+        // back — the tail is cheaper, the front tombstone survives.
+        let mut l: FlatList<u32, ()> = FlatList::from_sorted((0..200u32).map(|k| (2 * k, ())));
+        l.remove(&0);
+        let slots_before = l.keys.len();
+        assert_eq!(l.insert(1000, ()), None);
+        assert_eq!(
+            l.keys.len(),
+            slots_before + 1,
+            "tail insert keeps the far tombstone"
+        );
+        assert_eq!(l.len(), 200);
+        // The surviving tombstone is then consumed by a front insert.
+        assert_eq!(l.insert(1, ()), None);
+        assert_eq!(l.keys.len(), slots_before + 1);
+        assert_eq!(l.len(), 201);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct EsTree {
     outs: Vec<Vec<V>>,
     /// directed edge (u → v) -> its priority inside `ins[v]`.
     prio_of: EdgeTable,
+    /// Number of live *canonical* (undirected) edges: unordered pairs
+    /// {u, v} with at least one orientation live. Kept incrementally so
+    /// the trait view agrees with the undirected implementors.
+    canon_live: usize,
     /// scratch: epoch marker for per-phase deduplication
     mark: Vec<u32>,
     /// scratch: per-vertex slot index, valid while `mark[v] == epoch`
@@ -162,6 +166,17 @@ impl EsTree {
         // prio_of: zero-copy bulk build from the sorted distinct batch.
         let prio_of = EdgeTable::from_sorted_batch(&fwd);
 
+        // Canonical (undirected) edge count: each unordered pair {u, v}
+        // counts once — at its u < v orientation if present, else at the
+        // lone u > v orientation.
+        let canon_live = fwd
+            .iter()
+            .filter(|&&(k, _)| {
+                let (u, v) = unpack(k);
+                u < v || !prio_of.contains(v, u)
+            })
+            .count();
+
         // --- Adjacency, built per vertex in parallel. ---
         // `fwd` groups out-edges by u; a reversed copy, sorted by
         // (target, descending priority), groups in-edges by v with each
@@ -242,6 +257,7 @@ impl EsTree {
             ins,
             outs,
             prio_of,
+            canon_live,
             mark: vec![0; n],
             slot: vec![0; n],
             epoch: 0,
@@ -304,8 +320,17 @@ impl EsTree {
         self.prio_of.contains(u, v)
     }
 
+    /// Number of live *directed* edges (the native digraph view).
     pub fn num_edges(&self) -> usize {
         self.prio_of.len()
+    }
+
+    /// Number of live *canonical* (undirected) edges: unordered pairs
+    /// with at least one live orientation. This is what the
+    /// [`BatchDynamic`] trait view reports, so cross-structure harnesses
+    /// see the same count as the eight undirected implementors.
+    pub fn num_canonical_edges(&self) -> usize {
+        self.canon_live
     }
 
     /// Tree edges `(parent, child)` of the current shortest-path tree.
@@ -347,6 +372,14 @@ impl EsTree {
                 .prio_of
                 .remove(u, v)
                 .unwrap_or_else(|| panic!("delete of absent edge ({u},{v})"));
+            if u != v && !self.prio_of.contains(v, u) {
+                // Last live orientation of {u, v} gone. Self-loops are
+                // excluded on both sides of the count: the build filter
+                // never counts them (a loop is its own reverse, so the
+                // `contains` probe sees the edge itself), and canonical
+                // edges cannot represent them.
+                self.canon_live -= 1;
+            }
             if self.parent[v as usize] == u && self.parent_prio[v as usize] == p {
                 seeds.push((v, p, u));
             }
@@ -577,10 +610,12 @@ impl BatchDynamic for EsTree {
         self.n
     }
 
-    /// Counts *directed* edges; an undirected caller that inserted both
-    /// orientations sees twice its edge count.
+    /// Counts *canonical* (undirected) edges, like every other
+    /// implementor: an unordered pair with one or both orientations live
+    /// counts once. The directed count stays available through
+    /// [`EsTree::num_edges`].
     fn num_live_edges(&self) -> usize {
-        self.num_edges()
+        self.num_canonical_edges()
     }
 
     /// The maintained output set: the shortest-path tree edges, as
@@ -704,6 +739,54 @@ mod tests {
         t.delete_batch(&[(0, 1)]);
         t.validate();
         assert!(!t.has_edge(0, 1));
+    }
+
+    #[test]
+    fn canonical_edge_count_tracks_orientations() {
+        // 0<->1 (both orientations), 1->2 and 2->1 (both), 0->2 (one):
+        // 3 canonical edges, 5 directed ones.
+        let edges = vec![
+            (0u32, 1u32, 10u64),
+            (1, 0, 11),
+            (1, 2, 12),
+            (2, 1, 13),
+            (0, 2, 14),
+        ];
+        let mut t = EsTree::new(3, 0, 4, &edges);
+        assert_eq!(t.num_edges(), 5);
+        assert_eq!(t.num_canonical_edges(), 3);
+        assert_eq!(BatchDynamic::num_live_edges(&t), 3);
+        // Deleting one orientation of a symmetric pair keeps the
+        // canonical edge alive; deleting the second kills it.
+        t.delete_batch(&[(0, 1)]);
+        assert_eq!(t.num_canonical_edges(), 3);
+        t.delete_batch(&[(1, 0)]);
+        assert_eq!(t.num_canonical_edges(), 2);
+        // Deleting a lone orientation kills its canonical edge at once.
+        t.delete_batch(&[(0, 2)]);
+        assert_eq!(t.num_canonical_edges(), 1);
+        assert_eq!(t.num_edges(), 2);
+        t.delete_batch(&[(1, 2), (2, 1)]);
+        assert_eq!(t.num_canonical_edges(), 0);
+        assert_eq!(BatchDynamic::num_live_edges(&t), 0);
+    }
+
+    #[test]
+    fn canonical_edge_count_ignores_self_loops() {
+        // The raw directed constructor accepts self-loops; they are not
+        // representable as canonical edges, so they must contribute zero
+        // to the canonical count at build AND at delete (the delete used
+        // to underflow the counter).
+        let edges = vec![(0u32, 0u32, 1u64), (0, 1, 2), (1, 1, 3)];
+        let mut t = EsTree::new(2, 0, 4, &edges);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.num_canonical_edges(), 1);
+        t.delete_batch(&[(0, 0)]);
+        assert_eq!(t.num_canonical_edges(), 1);
+        t.delete_batch(&[(0, 1)]);
+        assert_eq!(t.num_canonical_edges(), 0);
+        t.delete_batch(&[(1, 1)]);
+        assert_eq!(t.num_canonical_edges(), 0);
     }
 
     #[test]

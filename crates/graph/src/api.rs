@@ -57,6 +57,9 @@ pub struct DeltaBuf {
     split: usize,
     weights: Vec<u64>,
     aux: Vec<Edge>,
+    /// Reusable index-permutation scratch for the weighted [`DeltaBuf::net`]
+    /// path (sorting parallel edge/weight lanes without allocating).
+    perm: Vec<u32>,
 }
 
 impl DeltaBuf {
@@ -71,6 +74,7 @@ impl DeltaBuf {
             split: 0,
             weights: Vec::new(),
             aux: Vec::new(),
+            perm: Vec::new(),
         }
     }
 
@@ -179,27 +183,71 @@ impl DeltaBuf {
 
     /// Net the two sections at set level: an edge appearing in both
     /// left H and re-entered it within one batch — a membership no-op —
-    /// and is dropped from both sections. In-place and allocation-free
-    /// (sorts the sections). Unweighted buffers only: a weighted edge in
-    /// both sections is a *reweighting* and must stay.
+    /// and is dropped from both sections. In-place and steady-state
+    /// allocation-free (sorts the sections; the weighted path reuses an
+    /// internal index scratch).
+    ///
+    /// Weight-lane safety: on a weighted buffer a pair cancels only when
+    /// the insertion and the deletion carry the *same* weight — both the
+    /// edge entries and their weight entries are dropped together, so the
+    /// lanes never desynchronize. A pair at different weights is a
+    /// reweighting and stays. This is the merge netting the sharded
+    /// dispatcher relies on.
     pub fn net(&mut self) {
-        debug_assert!(self.weights.is_empty(), "net() on a weighted buffer");
         const DEAD: Edge = Edge {
             u: V::MAX,
             v: V::MAX,
         };
-        let (ins, del) = self.edges.split_at_mut(self.split);
-        ins.sort_unstable();
-        del.sort_unstable();
+        if self.weights.is_empty() {
+            let (ins, del) = self.edges.split_at_mut(self.split);
+            ins.sort_unstable();
+            del.sort_unstable();
+            let (mut i, mut j) = (0, 0);
+            let mut killed = 0usize;
+            while i < ins.len() && j < del.len() {
+                match ins[i].cmp(&del[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        ins[i] = DEAD;
+                        del[j] = DEAD;
+                        killed += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            if killed > 0 {
+                self.split -= killed;
+                self.edges.retain(|&e| e != DEAD);
+            }
+            return;
+        }
+        // Weighted: sort index permutations of each section by
+        // (edge, weight bits) — the parallel lanes themselves stay put —
+        // and cancel exact matches via a merge scan.
+        debug_assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
+        self.perm.clear();
+        self.perm.extend(0..self.edges.len() as u32);
+        let (pi, pd) = self.perm.split_at_mut(self.split);
+        {
+            let edges = &self.edges;
+            let weights = &self.weights;
+            let by = |i: &u32| (edges[*i as usize], weights[*i as usize]);
+            pi.sort_unstable_by_key(by);
+            pd.sort_unstable_by_key(by);
+        }
         let (mut i, mut j) = (0, 0);
         let mut killed = 0usize;
-        while i < ins.len() && j < del.len() {
-            match ins[i].cmp(&del[j]) {
+        while i < pi.len() && j < pd.len() {
+            let a = (self.edges[pi[i] as usize], self.weights[pi[i] as usize]);
+            let b = (self.edges[pd[j] as usize], self.weights[pd[j] as usize]);
+            match a.cmp(&b) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    ins[i] = DEAD;
-                    del[j] = DEAD;
+                    self.edges[pi[i] as usize] = DEAD;
+                    self.edges[pd[j] as usize] = DEAD;
                     killed += 1;
                     i += 1;
                     j += 1;
@@ -207,9 +255,54 @@ impl DeltaBuf {
             }
         }
         if killed > 0 {
-            self.split -= killed;
-            self.edges.retain(|&e| e != DEAD);
+            // Compact both lanes in tandem, keeping them aligned.
+            let mut k = 0usize;
+            let mut new_split = self.split;
+            for idx in 0..self.edges.len() {
+                if self.edges[idx] == DEAD {
+                    if idx < self.split {
+                        new_split -= 1;
+                    }
+                    continue;
+                }
+                self.edges[k] = self.edges[idx];
+                self.weights[k] = self.weights[idx];
+                k += 1;
+            }
+            self.edges.truncate(k);
+            self.weights.truncate(k);
+            self.split = new_split;
         }
+    }
+
+    /// Append another delta's contents: its insertions join this
+    /// buffer's insertion section, its deletions the deletion section,
+    /// its aux lane the aux lane. If either buffer carries weights the
+    /// result is weighted (missing weights fill in as 1.0). This is the
+    /// shard-merge building block: allocation-free once the receiving
+    /// lanes have warmed up.
+    pub fn merge_from(&mut self, other: &DeltaBuf) {
+        let weighted = self.is_weighted() || other.is_weighted();
+        if weighted && self.weights.len() < self.edges.len() {
+            // Upgrade an unweighted prefix in place.
+            self.weights.resize(self.edges.len(), 1.0f64.to_bits());
+        }
+        if weighted {
+            for (e, w) in other.inserted_weighted() {
+                self.push_ins_w(e, w);
+            }
+            for (e, w) in other.deleted_weighted() {
+                self.push_del_w(e, w);
+            }
+        } else {
+            for &e in other.inserted() {
+                self.push_ins(e);
+            }
+            for &e in other.deleted() {
+                self.push_del(e);
+            }
+        }
+        self.aux.extend_from_slice(&other.aux);
     }
 
     /// Apply this delta to a materialized edge set, asserting exact
@@ -618,6 +711,87 @@ mod tests {
         assert_eq!(ins, vec![(Edge::new(1, 2), 16.0)]);
         let del: Vec<_> = b.deleted_weighted().collect();
         assert_eq!(del, vec![(Edge::new(0, 1), 4.0)]);
+    }
+
+    #[test]
+    fn weighted_net_cancels_with_weight_entries() {
+        // Regression: net() on a weighted buffer used to be forbidden
+        // (and in release silently desynchronized the weight lane). A
+        // same-weight ins/del pair must cancel *with* its weight
+        // entries; a different-weight pair is a reweighting and stays.
+        let mut b = DeltaBuf::new();
+        b.push_ins_w(Edge::new(0, 1), 2.0); // cancels
+        b.push_ins_w(Edge::new(1, 2), 3.0); // reweight: stays
+        b.push_ins_w(Edge::new(2, 3), 5.0); // untouched
+        b.push_del_w(Edge::new(0, 1), 2.0); // cancels
+        b.push_del_w(Edge::new(1, 2), 4.0); // reweight: stays
+        b.net();
+        let ins: Vec<_> = b.inserted_weighted().collect();
+        let del: Vec<_> = b.deleted_weighted().collect();
+        assert_eq!(
+            ins,
+            vec![(Edge::new(1, 2), 3.0), (Edge::new(2, 3), 5.0)],
+            "surviving insertions keep their own weights"
+        );
+        assert_eq!(del, vec![(Edge::new(1, 2), 4.0)]);
+        assert_eq!(b.recourse(), 3);
+        // The surviving buffer must still replay against a weighted map.
+        let mut map: FxHashMap<Edge, u64> =
+            [(Edge::new(1, 2), 4.0f64.to_bits())].into_iter().collect();
+        b.apply_weighted_to(&mut map);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&Edge::new(1, 2)), Some(&3.0f64.to_bits()));
+    }
+
+    #[test]
+    fn unweighted_net_still_cancels_pairs() {
+        let mut b = DeltaBuf::new();
+        b.push_ins(Edge::new(0, 1));
+        b.push_ins(Edge::new(1, 2));
+        b.push_del(Edge::new(0, 1));
+        b.net();
+        assert_eq!(b.inserted(), &[Edge::new(1, 2)]);
+        assert!(b.deleted().is_empty());
+    }
+
+    #[test]
+    fn merge_from_combines_sections_and_lanes() {
+        let mut a = DeltaBuf::new();
+        a.push_ins(Edge::new(0, 1));
+        a.push_del(Edge::new(1, 2));
+        let mut b = DeltaBuf::new();
+        b.push_ins(Edge::new(2, 3));
+        b.push_del(Edge::new(3, 4));
+        b.push_aux(Edge::new(9, 10));
+        a.merge_from(&b);
+        let mut ins = a.inserted().to_vec();
+        ins.sort_unstable();
+        assert_eq!(ins, vec![Edge::new(0, 1), Edge::new(2, 3)]);
+        let mut del = a.deleted().to_vec();
+        del.sort_unstable();
+        assert_eq!(del, vec![Edge::new(1, 2), Edge::new(3, 4)]);
+        assert_eq!(a.aux(), &[Edge::new(9, 10)]);
+        assert!(!a.is_weighted());
+
+        // Merging a weighted delta upgrades the unweighted prefix to
+        // weight 1.0 and keeps the lanes aligned.
+        let mut w = DeltaBuf::new();
+        w.push_ins_w(Edge::new(5, 6), 7.5);
+        w.push_del_w(Edge::new(6, 7), 0.5);
+        a.merge_from(&w);
+        assert!(a.is_weighted());
+        let ins: FxHashMap<Edge, u64> = a
+            .inserted_weighted()
+            .map(|(e, wt)| (e, wt.to_bits()))
+            .collect();
+        assert_eq!(ins.get(&Edge::new(0, 1)), Some(&1.0f64.to_bits()));
+        assert_eq!(ins.get(&Edge::new(5, 6)), Some(&7.5f64.to_bits()));
+        let del: FxHashMap<Edge, u64> = a
+            .deleted_weighted()
+            .map(|(e, wt)| (e, wt.to_bits()))
+            .collect();
+        assert_eq!(del.get(&Edge::new(6, 7)), Some(&0.5f64.to_bits()));
+        assert_eq!(a.recourse(), 6);
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod csr;
 pub mod cuts;
 pub mod dyngraph;
 pub mod gen;
+pub mod shard;
 pub mod stream;
 pub mod types;
 pub mod union_find;
@@ -18,5 +19,9 @@ pub use api::{
 };
 pub use csr::CsrGraph;
 pub use dyngraph::DynamicGraph;
+pub use shard::{
+    HashPartitioner, MirrorSpanner, Partitioner, ShardedEngine, ShardedEngineBuilder, ShardedView,
+    VertexRangePartitioner,
+};
 pub use types::{Edge, SpannerDelta, UpdateBatch, V};
 pub use union_find::UnionFind;

@@ -1,0 +1,692 @@
+//! Sharded serving: one [`FullyDynamic`] surface over N independent
+//! shard structures.
+//!
+//! The unified traits of [`crate::api`] take `&mut self` on a single
+//! structure. This module is the first scaling layer on top of that
+//! contract: a [`ShardedEngine`] owns N independently built shard
+//! structures, partitions every update batch by a deterministic
+//! edge→shard map (a [`Partitioner`]), fans the per-shard sub-batches
+//! out in parallel via `bds_par`, and merges the per-shard deltas back
+//! into the caller's single [`DeltaBuf`] — so to a caller the dispatcher
+//! *is* a [`FullyDynamic`] structure. This mirrors how parallel
+//! batch-dynamic connectivity structures scale by partitioning update
+//! batches and how batch-dynamic trees fan change propagation across
+//! independent pieces (Acar et al.).
+//!
+//! Invariants and contracts:
+//!
+//! * **Deterministic routing.** The partitioner is a pure function of
+//!   the (canonical) edge and the shard count, so an edge's insertions
+//!   and deletions always reach the same shard for the lifetime of the
+//!   engine. The default [`HashPartitioner`] hashes the packed canonical
+//!   key; [`VertexRangePartitioner`] routes by the lower endpoint's
+//!   range for locality-sensitive layouts.
+//! * **Disjoint outputs.** Shards own disjoint edge sets, so the merged
+//!   delta can never report the same edge from two shards; the merge
+//!   still runs the weight-lane-safe [`DeltaBuf::net`] defensively, so
+//!   an exact (edge, weight) bounce can never leak to a caller.
+//! * **Zero steady-state allocations.** Each shard scatters into its own
+//!   pre-allocated sub-batch and writes into its own per-shard
+//!   [`DeltaBuf`] scratch; the merge appends into the caller's warm
+//!   buffer. After warm-up the merged-delta path performs no heap
+//!   allocations (asserted by the counting-allocator test in
+//!   `tests/alloc.rs`).
+//! * **Read side.** [`ShardedView`] composes per-shard
+//!   [`SpannerView`] mirrors behind the one-epoch read API
+//!   (`contains` / `degree` / `weight` / `to_csr` over the union),
+//!   advanced in lockstep from the engine's last per-shard deltas.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bds_graph::api::{DeltaBuf, FullyDynamic};
+//! use bds_graph::shard::{MirrorSpanner, ShardedEngineBuilder, ShardedView};
+//! use bds_graph::types::{Edge, UpdateBatch};
+//!
+//! let n = 100;
+//! let edges: Vec<Edge> = (1..40).map(|i| Edge::new(0, i)).collect();
+//! // Four shards of any `FullyDynamic` structure; the factory builds
+//! // shard `i` over the slice of initial edges routed to it.
+//! let mut engine = ShardedEngineBuilder::new(n)
+//!     .shards(4)
+//!     .build_with(&edges, |_i, shard_edges| MirrorSpanner::build(n, shard_edges))
+//!     .unwrap();
+//! let mut view = ShardedView::of(&engine);
+//!
+//! let mut delta = DeltaBuf::new();
+//! let batch = UpdateBatch {
+//!     insertions: vec![Edge::new(40, 41)],
+//!     deletions: vec![edges[0], edges[1]],
+//! };
+//! engine.apply_into(&batch, &mut delta);
+//! assert_eq!(delta.recourse(), 3);
+//! view.apply(&engine);
+//! assert!(view.contains(Edge::new(40, 41)));
+//! assert_eq!(view.len(), 38);
+//! ```
+
+use crate::api::{
+    validate_edges, BatchDynamic, BatchStats, ConfigError, Decremental, DeltaBuf, FullyDynamic,
+    SpannerView,
+};
+use crate::csr::CsrGraph;
+use crate::types::{Edge, UpdateBatch, V};
+
+// ---------------------------------------------------------------------------
+// Partitioners
+// ---------------------------------------------------------------------------
+
+/// A deterministic edge→shard map.
+///
+/// The contract: `shard_of(e, k)` is a pure function of the canonical
+/// edge and `k`, with `shard_of(e, k) < k` — the same edge must route to
+/// the same shard every time it appears (insert, delete, query), for the
+/// lifetime of an engine.
+pub trait Partitioner: Clone + Send + Sync {
+    fn shard_of(&self, e: Edge, num_shards: usize) -> usize;
+}
+
+/// The default partitioner: the workspace's SplitMix64 avalanche
+/// ([`bds_dstruct::fx::mix64`]) over the packed canonical edge key.
+/// Balanced in expectation for any input distribution, at the cost of
+/// no endpoint locality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    #[inline]
+    fn shard_of(&self, e: Edge, num_shards: usize) -> usize {
+        (bds_dstruct::fx::mix64(e.key()) % num_shards as u64) as usize
+    }
+}
+
+/// Routes by the lower endpoint's position in `0..n`: shard `i` owns the
+/// edges whose canonical `u` falls in the i-th n/k-slice. Keeps a
+/// vertex's (lower-endpoint) adjacency on one shard — locality over
+/// balance; skewed graphs should prefer [`HashPartitioner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexRangePartitioner {
+    n: usize,
+}
+
+impl VertexRangePartitioner {
+    pub fn new(n: usize) -> Self {
+        Self { n: n.max(1) }
+    }
+}
+
+impl Partitioner for VertexRangePartitioner {
+    #[inline]
+    fn shard_of(&self, e: Edge, num_shards: usize) -> usize {
+        ((e.u as usize * num_shards) / self.n).min(num_shards - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine
+// ---------------------------------------------------------------------------
+
+/// One shard plus its reusable scratch: the sub-batch the scatter fills
+/// and the delta buffer the shard reports into. Keeping them adjacent
+/// means the parallel fan-out hands each worker one exclusive `&mut
+/// Lane` with everything it touches.
+struct Lane<S> {
+    shard: S,
+    sub: UpdateBatch,
+    delta: DeltaBuf,
+}
+
+/// Which trait entry point a fan-out round drives on every shard.
+#[derive(Clone, Copy)]
+enum Op {
+    Delete,
+    Insert,
+    Apply,
+}
+
+/// A dispatcher that owns N shard structures behind one [`FullyDynamic`]
+/// surface. See the [module docs](self) for the contract and a
+/// quickstart.
+pub struct ShardedEngine<S, P: Partitioner = HashPartitioner> {
+    n: usize,
+    lanes: Vec<Lane<S>>,
+    part: P,
+}
+
+/// Typed builder for [`ShardedEngine`]: shard count, partitioner, then
+/// a per-shard factory.
+#[derive(Debug, Clone)]
+pub struct ShardedEngineBuilder<P: Partitioner = HashPartitioner> {
+    n: usize,
+    shards: usize,
+    part: P,
+}
+
+impl<P: Partitioner> ShardedEngineBuilder<P> {
+    /// Number of shards (default 2).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replace the edge→shard map (default [`HashPartitioner`]).
+    pub fn partitioner<Q: Partitioner>(self, part: Q) -> ShardedEngineBuilder<Q> {
+        ShardedEngineBuilder {
+            n: self.n,
+            shards: self.shards,
+            part,
+        }
+    }
+
+    /// Build the engine: the initial edges are routed by the
+    /// partitioner, and `factory(i, shard_edges)` builds shard `i` over
+    /// exactly the edges routed to it (their order follows the input).
+    pub fn build_with<S: FullyDynamic, E>(
+        self,
+        edges: &[Edge],
+        mut factory: impl FnMut(usize, &[Edge]) -> Result<S, E>,
+    ) -> Result<ShardedEngine<S, P>, ConfigError>
+    where
+        ConfigError: From<E>,
+    {
+        if self.shards < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "shards",
+                reason: "at least one shard is required",
+            });
+        }
+        validate_edges(self.n, edges)?;
+        let mut routed: Vec<Vec<Edge>> = vec![Vec::new(); self.shards];
+        for &e in edges {
+            routed[self.part.shard_of(e, self.shards)].push(e);
+        }
+        let mut lanes = Vec::with_capacity(self.shards);
+        for (i, shard_edges) in routed.into_iter().enumerate() {
+            let shard = factory(i, &shard_edges)?;
+            lanes.push(Lane {
+                shard,
+                sub: UpdateBatch::default(),
+                delta: DeltaBuf::new(),
+            });
+        }
+        Ok(ShardedEngine {
+            n: self.n,
+            lanes,
+            part: self.part,
+        })
+    }
+}
+
+impl ShardedEngineBuilder<HashPartitioner> {
+    /// Typed builder: `ShardedEngineBuilder::new(n).shards(k)
+    /// .partitioner(p).build_with(&edges, factory)` — the shard type is
+    /// fixed by the factory passed to
+    /// [`ShardedEngineBuilder::build_with`].
+    pub fn new(n: usize) -> Self {
+        ShardedEngineBuilder {
+            n,
+            shards: 2,
+            part: HashPartitioner,
+        }
+    }
+}
+
+impl<S, P: Partitioner> ShardedEngine<S, P> {
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    pub fn partitioner(&self) -> &P {
+        &self.part
+    }
+
+    /// The shard structure at index `i` (read side; updates must go
+    /// through the engine so routing and deltas stay consistent).
+    pub fn shard(&self, i: usize) -> &S {
+        &self.lanes[i].shard
+    }
+
+    /// The per-shard deltas of the most recent batch, in shard order —
+    /// what [`ShardedView::apply`] consumes. Valid until the next batch.
+    pub fn last_shard_deltas(&self) -> impl Iterator<Item = &DeltaBuf> + '_ {
+        self.lanes.iter().map(|l| &l.delta)
+    }
+
+    /// Route `deletions`/`insertions` into the per-lane sub-batches
+    /// (cleared first; capacity is retained, so the steady state does
+    /// not allocate).
+    fn scatter(&mut self, insertions: &[Edge], deletions: &[Edge]) {
+        let k = self.lanes.len();
+        for lane in &mut self.lanes {
+            lane.sub.insertions.clear();
+            lane.sub.deletions.clear();
+        }
+        let part = &self.part;
+        let lanes = &mut self.lanes;
+        for &e in deletions {
+            lanes[part.shard_of(e, k)].sub.deletions.push(e);
+        }
+        for &e in insertions {
+            lanes[part.shard_of(e, k)].sub.insertions.push(e);
+        }
+    }
+}
+
+impl<S: FullyDynamic + Send, P: Partitioner> ShardedEngine<S, P> {
+    /// Fan one scattered batch out across all shards in parallel and
+    /// merge the per-shard deltas into `out`.
+    fn fan_out_merge(&mut self, op: Op, out: &mut DeltaBuf) {
+        bds_par::par_for_each_task(&mut self.lanes, |lane| {
+            // Structures treat an empty batch as a no-op with an empty
+            // delta, so idle shards stay cheap; calling through keeps
+            // that contract observable rather than assumed.
+            match op {
+                Op::Delete => lane.shard.delete_into(&lane.sub.deletions, &mut lane.delta),
+                Op::Insert => lane
+                    .shard
+                    .insert_into(&lane.sub.insertions, &mut lane.delta),
+                Op::Apply => lane.shard.apply_into(&lane.sub, &mut lane.delta),
+            }
+        });
+        out.clear();
+        for lane in &self.lanes {
+            out.merge_from(&lane.delta);
+        }
+        // Shards own disjoint edges, so cross-shard cancellation cannot
+        // occur — this is pure defense-in-depth, and it exercises the
+        // weight-lane-safe netting on every merged batch.
+        out.net();
+    }
+}
+
+impl<S: FullyDynamic + Send, P: Partitioner> BatchDynamic for ShardedEngine<S, P> {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        self.lanes.iter().map(|l| l.shard.num_live_edges()).sum()
+    }
+
+    /// Materializes the union of shard outputs. Unlike the batch path
+    /// this is a snapshot API: it allocates one temporary per-shard
+    /// scratch per call (the `&self` signature precludes reusing
+    /// engine-owned scratch) — steady-state readers should mirror
+    /// batches into a [`ShardedView`] instead.
+    fn output_into(&self, out: &mut DeltaBuf) {
+        out.clear();
+        let mut scratch = DeltaBuf::new();
+        for lane in &self.lanes {
+            lane.shard.output_into(&mut scratch);
+            out.merge_from(&scratch);
+        }
+    }
+
+    fn stats(&self) -> BatchStats {
+        let mut agg = BatchStats::default();
+        for lane in &self.lanes {
+            let s = lane.shard.stats();
+            agg.scan_steps += s.scan_steps;
+            agg.vertices_touched += s.vertices_touched;
+            agg.cluster_changes += s.cluster_changes;
+            agg.recourse += s.recourse;
+        }
+        agg
+    }
+}
+
+impl<S: FullyDynamic + Send, P: Partitioner> Decremental for ShardedEngine<S, P> {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        self.scatter(&[], deletions);
+        self.fan_out_merge(Op::Delete, out);
+    }
+}
+
+impl<S: FullyDynamic + Send, P: Partitioner> FullyDynamic for ShardedEngine<S, P> {
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+        self.scatter(insertions, &[]);
+        self.fan_out_merge(Op::Insert, out);
+    }
+
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        self.scatter(&batch.insertions, &batch.deletions);
+        self.fan_out_merge(Op::Apply, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedView
+// ---------------------------------------------------------------------------
+
+/// Per-shard [`SpannerView`] mirrors composed behind the one-epoch read
+/// API: point queries route through the engine's partitioner, aggregate
+/// queries union the shards. Advance it once per engine batch with
+/// [`ShardedView::apply`]; cloning pins an epoch, exactly like
+/// [`SpannerView`].
+#[derive(Debug, Clone)]
+pub struct ShardedView<P: Partitioner = HashPartitioner> {
+    n: usize,
+    views: Vec<SpannerView>,
+    part: P,
+    epoch: u64,
+}
+
+impl<P: Partitioner> ShardedView<P> {
+    /// A view mirroring `engine`'s current per-shard outputs, at epoch 0.
+    pub fn of<S: FullyDynamic + Send>(engine: &ShardedEngine<S, P>) -> Self {
+        let views = engine
+            .lanes
+            .iter()
+            .map(|lane| SpannerView::from_output(engine.n, &lane.shard))
+            .collect();
+        Self {
+            n: engine.n,
+            views,
+            part: engine.part.clone(),
+            epoch: 0,
+        }
+    }
+
+    /// Advance every per-shard mirror by the engine's most recent batch
+    /// deltas and bump the (single) epoch. Call exactly once per engine
+    /// batch.
+    pub fn apply<S>(&mut self, engine: &ShardedEngine<S, P>) {
+        assert_eq!(
+            self.views.len(),
+            engine.lanes.len(),
+            "view/engine shard count mismatch"
+        );
+        for (view, lane) in self.views.iter_mut().zip(&engine.lanes) {
+            view.apply(&lane.delta);
+        }
+        self.epoch += 1;
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of engine batches applied since construction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Total number of mirrored edges across all shards.
+    pub fn len(&self) -> usize {
+        self.views.iter().map(SpannerView::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.iter().all(SpannerView::is_empty)
+    }
+
+    /// O(1): routes to the owning shard's mirror.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.views[self.part.shard_of(e, self.views.len())].contains(e)
+    }
+
+    /// Weight of `e` in the union (1.0 for unweighted sets).
+    pub fn weight(&self, e: Edge) -> Option<f64> {
+        self.views[self.part.shard_of(e, self.views.len())].weight(e)
+    }
+
+    /// Degree of `v` in the union (a vertex's edges span shards).
+    pub fn degree(&self, v: V) -> u32 {
+        self.views.iter().map(|view| view.degree(v)).sum()
+    }
+
+    /// Iterate the union of mirrored edges (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Edge, f64)> + '_ {
+        self.views.iter().flat_map(SpannerView::iter)
+    }
+
+    /// The union of mirrored edges as a fresh vector.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.iter().map(|(e, _)| e).collect()
+    }
+
+    /// Materialize a CSR snapshot of the union at the current epoch
+    /// (allocates; independent of later `apply` calls).
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, &self.edges())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MirrorSpanner — the identity structure
+// ---------------------------------------------------------------------------
+
+/// The identity [`FullyDynamic`] structure: maintains H = G exactly
+/// (every live edge is in the output, every batch's delta is the batch
+/// itself). It exists for harnesses — dispatcher tests, allocation
+/// proofs, examples — that need a real trait implementor whose behavior
+/// is fully predictable; its steady-state churn path is allocation-free.
+#[derive(Debug, Default)]
+pub struct MirrorSpanner {
+    n: usize,
+    /// Canonical edge -> 1 (packed-key flat table).
+    live: bds_dstruct::EdgeTable,
+    recourse: u64,
+}
+
+impl MirrorSpanner {
+    /// Build over `n` vertices with `edges` initially live.
+    pub fn build(n: usize, edges: &[Edge]) -> Result<Self, ConfigError> {
+        validate_edges(n, edges)?;
+        let mut live = bds_dstruct::EdgeTable::new();
+        for e in edges {
+            live.insert(e.u, e.v, 1);
+        }
+        Ok(Self {
+            n,
+            live,
+            recourse: 0,
+        })
+    }
+
+    pub fn contains(&self, e: Edge) -> bool {
+        self.live.contains(e.u, e.v)
+    }
+}
+
+impl BatchDynamic for MirrorSpanner {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_live_edges(&self) -> usize {
+        self.live.len()
+    }
+
+    fn output_into(&self, out: &mut DeltaBuf) {
+        out.clear();
+        for (u, v, _) in self.live.iter() {
+            out.push_ins(Edge { u, v });
+        }
+    }
+
+    fn stats(&self) -> BatchStats {
+        BatchStats {
+            recourse: self.recourse,
+            ..BatchStats::default()
+        }
+    }
+}
+
+impl Decremental for MirrorSpanner {
+    fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+        out.clear();
+        for &e in deletions {
+            assert!(
+                self.live.remove(e.u, e.v).is_some(),
+                "delete of absent edge {e:?}"
+            );
+            out.push_del(e);
+        }
+        self.recourse += out.recourse() as u64;
+    }
+}
+
+impl FullyDynamic for MirrorSpanner {
+    fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+        out.clear();
+        for &e in insertions {
+            assert!(
+                self.live.insert(e.u, e.v, 1).is_none(),
+                "insert of present edge {e:?}"
+            );
+            out.push_ins(e);
+        }
+        self.recourse += out.recourse() as u64;
+    }
+
+    fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+        out.clear();
+        for &e in &batch.deletions {
+            assert!(
+                self.live.remove(e.u, e.v).is_some(),
+                "delete of absent edge {e:?}"
+            );
+            out.push_del(e);
+        }
+        for &e in &batch.insertions {
+            assert!(
+                self.live.insert(e.u, e.v, 1).is_none(),
+                "insert of present edge {e:?}"
+            );
+            out.push_ins(e);
+        }
+        self.recourse += out.recourse() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::stream::UpdateStream;
+    use bds_dstruct::FxHashMap;
+
+    type Shadow = FxHashMap<Edge, u64>;
+
+    fn shadow_of(s: &impl BatchDynamic) -> Shadow {
+        let mut buf = DeltaBuf::new();
+        s.output_into(&mut buf);
+        let mut m = Shadow::default();
+        buf.apply_weighted_to(&mut m);
+        m
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            ShardedEngineBuilder::new(10)
+                .shards(0)
+                .build_with(&[], |_, es| MirrorSpanner::build(10, es)),
+            Err(ConfigError::InvalidParam { name: "shards", .. })
+        ));
+        assert!(matches!(
+            ShardedEngineBuilder::new(3)
+                .shards(2)
+                .build_with(&[Edge::new(0, 9)], |_, es| MirrorSpanner::build(3, es)),
+            Err(ConfigError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn partitioners_are_deterministic_and_in_range() {
+        let edges = gen::gnm(64, 300, 5);
+        for k in [1usize, 2, 3, 7, 16] {
+            for &e in &edges {
+                let h = HashPartitioner.shard_of(e, k);
+                assert!(h < k);
+                assert_eq!(h, HashPartitioner.shard_of(e, k));
+                let r = VertexRangePartitioner::new(64).shard_of(e, k);
+                assert!(r < k);
+            }
+        }
+        // Vertex-range: canonical u decides the shard; a low-u edge and a
+        // high-u edge land on the first and last shard.
+        let p = VertexRangePartitioner::new(100);
+        assert_eq!(p.shard_of(Edge::new(0, 99), 4), 0);
+        assert_eq!(p.shard_of(Edge::new(98, 99), 4), 3);
+    }
+
+    #[test]
+    fn sharded_mirror_tracks_the_graph() {
+        let n = 80;
+        let init = gen::gnm_connected(n, 240, 11);
+        for shards in [1usize, 3, 5] {
+            let mut engine = ShardedEngineBuilder::new(n)
+                .shards(shards)
+                .build_with(&init, |_, es| MirrorSpanner::build(n, es))
+                .unwrap();
+            assert_eq!(engine.num_shards(), shards);
+            assert_eq!(engine.num_live_edges(), init.len());
+            let mut shadow = shadow_of(&engine);
+            let mut view = ShardedView::of(&engine);
+            let mut stream = UpdateStream::new(n, &init, 23);
+            let mut buf = DeltaBuf::new();
+            for round in 0..12 {
+                let batch = stream.next_batch(9, 7);
+                engine.apply_into(&batch, &mut buf);
+                buf.apply_weighted_to(&mut shadow);
+                view.apply(&engine);
+                assert_eq!(engine.num_live_edges(), stream.live_edges().len());
+                assert_eq!(
+                    shadow_of(&engine),
+                    shadow,
+                    "round {round}: output diverged from delta replay"
+                );
+                assert_eq!(view.len(), shadow.len());
+                assert_eq!(view.epoch(), round + 1);
+                for &e in stream.live_edges().iter().take(20) {
+                    assert!(view.contains(e));
+                }
+            }
+            // CSR union degree sums match the view's per-vertex degrees.
+            let csr = view.to_csr();
+            for v in 0..n as V {
+                assert_eq!(csr.degree(v), view.degree(v) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn split_entry_points_match_mixed_batches() {
+        let n = 40;
+        let init = gen::gnm(n, 120, 3);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(3)
+            .partitioner(VertexRangePartitioner::new(n))
+            .build_with(&init, |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let mut shadow = shadow_of(&engine);
+        let mut buf = DeltaBuf::new();
+        let dels: Vec<Edge> = init.iter().copied().take(10).collect();
+        engine.delete_into(&dels, &mut buf);
+        assert_eq!(buf.deleted().len(), 10);
+        buf.apply_weighted_to(&mut shadow);
+        engine.insert_into(&dels, &mut buf);
+        assert_eq!(buf.inserted().len(), 10);
+        buf.apply_weighted_to(&mut shadow);
+        assert_eq!(shadow_of(&engine), shadow);
+        assert_eq!(engine.stats().recourse, 20);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut engine = ShardedEngineBuilder::new(10)
+            .shards(2)
+            .build_with(&[Edge::new(0, 1)], |_, es| MirrorSpanner::build(10, es))
+            .unwrap();
+        let mut buf = DeltaBuf::new();
+        engine.apply_into(&UpdateBatch::default(), &mut buf);
+        assert_eq!(buf.recourse(), 0);
+        assert_eq!(engine.num_live_edges(), 1);
+    }
+}

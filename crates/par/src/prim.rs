@@ -62,6 +62,21 @@ pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync + Se
     }
 }
 
+/// Task-parallel for-each: like [`par_for_each_mut`] but *without* the
+/// [`GRAIN`] cutoff — every element is treated as a coarse task worth a
+/// worker of its own. This is the fan-out primitive for dispatchers that
+/// drive a handful of heavyweight structures (e.g. one batch-dynamic
+/// shard per element): the element count is tiny, the per-element work
+/// is not. Runs sequentially when the effective thread count is 1 or
+/// there is at most one task.
+pub fn par_for_each_task<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync + Send) {
+    if rayon::current_num_threads() <= 1 || items.len() <= 1 {
+        items.iter_mut().for_each(f);
+    } else {
+        items.par_iter_mut().for_each(f);
+    }
+}
+
 /// Exclusive (left) prefix sums; returns a vector of length `n + 1` whose
 /// last entry is the total. Work O(n), depth O(log n).
 pub fn prefix_sums(items: &[usize]) -> Vec<usize> {
@@ -229,6 +244,19 @@ mod tests {
         let i = par_max_by_key(&xs, |&x| x).unwrap();
         assert_eq!(xs[i], *xs.iter().max().unwrap());
         assert_eq!(par_max_by_key::<i64, i64>(&[], |&x| x), None);
+    }
+
+    #[test]
+    fn for_each_task_runs_below_grain() {
+        // A handful of coarse tasks must all execute even though the
+        // element count is far below GRAIN, at any thread count.
+        for threads in [1, 4] {
+            let mut slots = vec![0u64; 7];
+            crate::run_with_threads(threads, || {
+                par_for_each_task(&mut slots, |s| *s += 1);
+            });
+            assert!(slots.iter().all(|&s| s == 1), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -110,6 +110,10 @@ pub mod prelude {
         BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
         FullyDynamic, SpannerView,
     };
+    pub use bds_graph::shard::{
+        HashPartitioner, MirrorSpanner, Partitioner, ShardedEngine, ShardedEngineBuilder,
+        ShardedView, VertexRangePartitioner,
+    };
     pub use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
     pub use bds_graph::{CsrGraph, DynamicGraph};
     pub use bds_sparsify::{DecrementalSparsifier, FullyDynamicSparsifier};

@@ -142,4 +142,40 @@ fn delta_path_is_allocation_free_after_warmup() {
         buffered < legacy,
         "buffer path must allocate strictly less: {buffered} vs {legacy}"
     );
+
+    // --- 4. ShardedEngine: the merged delta path — scatter into
+    //        per-shard sub-batches, per-shard apply, merge_from + net
+    //        into the caller's buffer — is exactly zero once warm.
+    //        MirrorSpanner shards keep the per-shard apply itself
+    //        allocation-free, so the assertion isolates the dispatcher;
+    //        one pinned thread keeps the fan-out on this thread (scoped
+    //        worker spawns are scheduling, not the delta path).
+    bds_par::run_with_threads(1, || {
+        let n = 96;
+        let init = gen::gnm(n, 384, 17);
+        let (core, churn) = init.split_at(256);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(4)
+            .build_with(core, |_, shard_edges| MirrorSpanner::build(n, shard_edges))
+            .unwrap();
+        let mut buf = DeltaBuf::new();
+        let ins = UpdateBatch::insert_only(churn.to_vec());
+        let del = UpdateBatch::delete_only(churn.to_vec());
+        for _ in 0..2 {
+            engine.apply_into(&ins, &mut buf);
+            engine.apply_into(&del, &mut buf);
+        }
+        let before = allocs();
+        for _ in 0..10 {
+            engine.apply_into(&ins, &mut buf);
+            assert_eq!(buf.recourse(), churn.len());
+            engine.apply_into(&del, &mut buf);
+            assert_eq!(buf.recourse(), churn.len());
+        }
+        assert_eq!(
+            allocs() - before,
+            0,
+            "sharded merged-delta path allocated after warm-up"
+        );
+    });
 }

@@ -257,6 +257,188 @@ fn conformance_fully_dynamic_sparsifier() {
     conform_fully_dynamic(s, &edges, 6, "FullyDynamicSparsifier");
 }
 
+// --- the sharded dispatcher must satisfy the same contract as any
+//     single structure (the 9-way suite's generic drivers run unchanged
+//     over it, unweighted and weighted) ---
+
+#[test]
+fn conformance_sharded_engine() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 79);
+    for shards in [1usize, 2, 7] {
+        let s = ShardedEngineBuilder::new(n)
+            .shards(shards)
+            .build_with(&edges, |i, shard_edges| {
+                FullyDynamicSpanner::builder(n)
+                    .stretch(2)
+                    .seed(83 + i as u64)
+                    .build(shard_edges)
+            })
+            .unwrap();
+        conform_fully_dynamic(s, &edges, 6, &format!("ShardedEngine[{shards}]"));
+    }
+}
+
+#[test]
+fn conformance_sharded_sparsifier() {
+    // The weighted merge path: per-shard weight lanes must survive the
+    // merge + net intact.
+    let n = 50;
+    let edges = gen::gnm_connected(n, 200, 89);
+    let s = ShardedEngineBuilder::new(n)
+        .shards(3)
+        .build_with(&edges, |i, shard_edges| {
+            FullyDynamicSparsifier::builder(n)
+                .depth(1)
+                .seed(97 + i as u64)
+                .build(shard_edges)
+        })
+        .unwrap();
+    conform_fully_dynamic(s, &edges, 6, "ShardedEngine<Sparsifier>");
+}
+
+// --- cross-structure consistency: every implementor counts canonical
+//     (undirected) edges. EsTree used to report *directed* edges here —
+//     a 2× mismatch for any harness comparing or load-balancing across
+//     structures; this assertion keeps that bug dead. ---
+
+#[test]
+fn num_live_edges_agrees_across_structures() {
+    let n = 60;
+    let edges = gen::gnm_connected(n, 200, 101);
+    let mut structures: Vec<(&str, Box<dyn Decremental>)> = vec![
+        (
+            "EsTree",
+            Box::new(
+                EsTree::builder(n)
+                    .source(0)
+                    .max_depth(16)
+                    .build(&directed(&edges))
+                    .unwrap(),
+            ),
+        ),
+        (
+            "DecrementalSpanner",
+            Box::new(
+                DecrementalSpanner::builder(n)
+                    .stretch(2)
+                    .seed(3)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "MonotoneSpanner",
+            Box::new(
+                MonotoneSpanner::builder(n)
+                    .copies(4)
+                    .beta(0.3)
+                    .seed(5)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "BundleSpanner",
+            Box::new(
+                BundleSpanner::builder(n)
+                    .depth(2)
+                    .copies(4)
+                    .beta(0.3)
+                    .seed(7)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "DecrementalSparsifier",
+            Box::new(
+                DecrementalSparsifier::builder(n)
+                    .depth(1)
+                    .copies(4)
+                    .beta(0.3)
+                    .threshold(10)
+                    .seed(11)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "FullyDynamicSpanner",
+            Box::new(
+                FullyDynamicSpanner::builder(n)
+                    .stretch(2)
+                    .seed(13)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "SparseSpanner",
+            Box::new(
+                SparseSpanner::builder(n)
+                    .rates(&[3.0])
+                    .seed(17)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "UltraSparseSpanner",
+            Box::new(
+                UltraSparseSpanner::builder(n)
+                    .x(2)
+                    .seed(19)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "FullyDynamicSparsifier",
+            Box::new(
+                FullyDynamicSparsifier::builder(n)
+                    .depth(1)
+                    .seed(23)
+                    .build(&edges)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "ShardedEngine",
+            Box::new(
+                ShardedEngineBuilder::new(n)
+                    .shards(3)
+                    .build_with(&edges, |i, shard_edges| {
+                        FullyDynamicSpanner::builder(n)
+                            .stretch(2)
+                            .seed(29 + i as u64)
+                            .build(shard_edges)
+                    })
+                    .unwrap(),
+            ),
+        ),
+    ];
+    for (name, s) in &structures {
+        assert_eq!(
+            s.num_live_edges(),
+            edges.len(),
+            "{name}: initial live-edge count diverges"
+        );
+    }
+    // Drive the same canonical deletion batch through every structure;
+    // the counts must stay in lockstep.
+    let dels: Vec<Edge> = edges.iter().copied().take(40).collect();
+    let mut buf = DeltaBuf::new();
+    for (name, s) in &mut structures {
+        s.delete_into(&dels, &mut buf);
+        assert_eq!(
+            s.num_live_edges(),
+            edges.len() - dels.len(),
+            "{name}: live-edge count diverges after a deletion batch"
+        );
+    }
+}
+
 // --- builder validation is part of the contract ---
 
 #[test]

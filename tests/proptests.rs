@@ -315,6 +315,70 @@ proptest! {
         }
     }
 
+    /// Shard-vs-monolith equivalence: `ShardedEngine<FullyDynamicSpanner>`
+    /// at N ∈ {1, 2, 7} shards and a single unsharded instance driven
+    /// through *identical* random batch schedules materialize identical
+    /// edge sets via the `apply_weighted_to` oracle. Stretch 1 makes the
+    /// maintained output a deterministic function of the live graph (a
+    /// 1-spanner is the graph itself), so the union of shard outputs
+    /// must equal the monolith's output exactly — any routing, merge, or
+    /// netting bug in the dispatcher shows up as a divergence.
+    #[test]
+    fn sharded_engine_matches_monolith((n, edges, seed) in graph_strategy()) {
+        use bds_graph::stream::UpdateStream;
+        for shards in [1usize, 2, 7] {
+            let mut mono = FullyDynamicSpanner::builder(n)
+                .stretch(1)
+                .seed(seed ^ 0x51ed)
+                .build(&edges)
+                .unwrap();
+            let mut sharded = ShardedEngineBuilder::new(n)
+                .shards(shards)
+                .build_with(&edges, |i, shard_edges| {
+                    FullyDynamicSpanner::builder(n)
+                        .stretch(1)
+                        .seed(seed ^ 0xca11 ^ i as u64)
+                        .build(shard_edges)
+                })
+                .unwrap();
+            let mut buf = DeltaBuf::new();
+            let mut shadow_mono: FxHashMap<Edge, u64> = Default::default();
+            mono.output_into(&mut buf);
+            buf.apply_weighted_to(&mut shadow_mono);
+            let mut shadow_sharded: FxHashMap<Edge, u64> = Default::default();
+            sharded.output_into(&mut buf);
+            buf.apply_weighted_to(&mut shadow_sharded);
+            prop_assert_eq!(&shadow_mono, &shadow_sharded, "initial outputs diverge");
+
+            // Identical schedules: twin streams with one seed.
+            let mut stream_m = UpdateStream::new(n, &edges, seed ^ 0xbeef);
+            let mut stream_s = UpdateStream::new(n, &edges, seed ^ 0xbeef);
+            for round in 0..8 {
+                let bm = stream_m.next_batch(6, 5);
+                let bs = stream_s.next_batch(6, 5);
+                prop_assert_eq!(&bm.insertions, &bs.insertions);
+                prop_assert_eq!(&bm.deletions, &bs.deletions);
+                mono.apply_into(&bm, &mut buf);
+                buf.apply_weighted_to(&mut shadow_mono);
+                sharded.apply_into(&bs, &mut buf);
+                buf.apply_weighted_to(&mut shadow_sharded);
+                prop_assert_eq!(
+                    &shadow_mono,
+                    &shadow_sharded,
+                    "round {}: sharded[{}] output diverged from monolith",
+                    round,
+                    shards
+                );
+                prop_assert_eq!(
+                    BatchDynamic::num_live_edges(&sharded),
+                    mono.num_live_edges(),
+                    "round {}: live-edge counts diverge",
+                    round
+                );
+            }
+        }
+    }
+
     /// The fully-dynamic wrapper preserves the spanner property across
     /// arbitrary interleavings of insert and delete batches.
     #[test]

@@ -237,7 +237,7 @@ fn sharded_numbers(
     for rep in 0..reps {
         let mut sharded = ShardedEngineBuilder::new(n)
             .shards(shards)
-            .build_with(&init, |i, shard_edges| {
+            .build_with(&init, move |i, shard_edges| {
                 FullyDynamicSpanner::builder(n)
                     .stretch(2)
                     .seed(1000 + rep as u64 * 31 + i as u64)
@@ -270,7 +270,9 @@ fn merged_delta_allocs(rounds: usize) -> u64 {
         let (core, churn) = init.split_at(256);
         let mut engine = ShardedEngineBuilder::new(n)
             .shards(4)
-            .build_with(core, |_, shard_edges| MirrorSpanner::build(n, shard_edges))
+            .build_with(core, move |_, shard_edges| {
+                MirrorSpanner::build(n, shard_edges)
+            })
             .unwrap();
         let mut buf = DeltaBuf::new();
         let ins = UpdateBatch::insert_only(churn.to_vec());

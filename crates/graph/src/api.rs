@@ -60,6 +60,9 @@ pub struct DeltaBuf {
     /// Reusable index-permutation scratch for the weighted [`DeltaBuf::net`]
     /// path (sorting parallel edge/weight lanes without allocating).
     perm: Vec<u32>,
+    /// Batch sequence number stamped by the producing engine (0 =
+    /// unsequenced). See [`DeltaBuf::stamp_seq`].
+    seq: u64,
 }
 
 impl DeltaBuf {
@@ -75,15 +78,32 @@ impl DeltaBuf {
             weights: Vec::new(),
             aux: Vec::new(),
             perm: Vec::new(),
+            seq: 0,
         }
     }
 
-    /// Empty the buffer, retaining all allocations.
+    /// Empty the buffer, retaining all allocations. Resets the sequence
+    /// number to 0 (unsequenced).
     pub fn clear(&mut self) {
         self.edges.clear();
         self.weights.clear();
         self.aux.clear();
         self.split = 0;
+        self.seq = 0;
+    }
+
+    /// The batch sequence number stamped by the producing engine, or 0
+    /// for a buffer no engine has stamped (hand-built deltas, output
+    /// snapshots). Sequenced deltas let a mirror assert it applies each
+    /// engine batch exactly once, in order — see [`SpannerView::apply`].
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Stamp this delta as the engine's `seq`-th batch (1-based;
+    /// engines stamp monotonically, +1 per batch). 0 means unsequenced.
+    pub fn stamp_seq(&mut self, seq: u64) {
+        self.seq = seq;
     }
 
     /// Total recourse |δH_ins| + |δH_del|.
@@ -138,27 +158,39 @@ impl DeltaBuf {
     }
 
     /// Append an insertion. O(1): a deletion displaced from the split
-    /// point moves to the back.
+    /// point moves to the back. On a weighted buffer this upgrades to
+    /// weight 1.0 (the [`DeltaBuf::merge_from`] convention), so mixing
+    /// unweighted and weighted pushes can never desynchronize the lanes.
     #[inline]
     pub fn push_ins(&mut self, e: Edge) {
-        debug_assert!(self.weights.is_empty(), "weighted buffer needs push_ins_w");
+        if !self.weights.is_empty() {
+            self.push_ins_w(e, 1.0);
+            return;
+        }
         self.edges.push(e);
         let last = self.edges.len() - 1;
         self.edges.swap(self.split, last);
         self.split += 1;
     }
 
-    /// Append a deletion.
+    /// Append a deletion. On a weighted buffer this upgrades to weight
+    /// 1.0, keeping the lanes aligned.
     #[inline]
     pub fn push_del(&mut self, e: Edge) {
-        debug_assert!(self.weights.is_empty(), "weighted buffer needs push_del_w");
+        if !self.weights.is_empty() {
+            self.push_del_w(e, 1.0);
+            return;
+        }
         self.edges.push(e);
     }
 
-    /// Append a weighted insertion.
+    /// Append a weighted insertion. On a buffer with an unweighted
+    /// prefix, the prefix upgrades in place to weight 1.0 first.
     #[inline]
     pub fn push_ins_w(&mut self, e: Edge, w: f64) {
-        debug_assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
+        if self.weights.len() < self.edges.len() {
+            self.weights.resize(self.edges.len(), 1.0f64.to_bits());
+        }
         self.edges.push(e);
         self.weights.push(w.to_bits());
         let last = self.edges.len() - 1;
@@ -167,10 +199,13 @@ impl DeltaBuf {
         self.split += 1;
     }
 
-    /// Append a weighted deletion.
+    /// Append a weighted deletion. On a buffer with an unweighted
+    /// prefix, the prefix upgrades in place to weight 1.0 first.
     #[inline]
     pub fn push_del_w(&mut self, e: Edge, w: f64) {
-        debug_assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
+        if self.weights.len() < self.edges.len() {
+            self.weights.resize(self.edges.len(), 1.0f64.to_bits());
+        }
         self.edges.push(e);
         self.weights.push(w.to_bits());
     }
@@ -464,6 +499,15 @@ pub trait BatchDynamic {
     /// Cumulative work statistics since construction.
     fn stats(&self) -> BatchStats;
 
+    /// The structure's monotone batch sequence number, if it sequences
+    /// its deltas (0 = unsequenced; the default). Engines that stamp
+    /// [`DeltaBuf::seq`] override this so snapshot-seeded mirrors
+    /// ([`SpannerView::from_output`]) anchor their sequence check at
+    /// the right batch.
+    fn batch_seq(&self) -> u64 {
+        0
+    }
+
     /// Convenience: the maintained output set as a fresh vector.
     fn output_edges_vec(&self) -> Vec<Edge> {
         let mut buf = DeltaBuf::new();
@@ -530,6 +574,9 @@ pub struct SpannerView {
     /// Canonical edge -> weight bits (1.0 for unweighted sets).
     member: EdgeTable,
     degree: Vec<u32>,
+    /// Sequence number of the last *sequenced* delta applied (0 before
+    /// any). See [`SpannerView::apply`].
+    seq: u64,
 }
 
 impl SpannerView {
@@ -540,16 +587,20 @@ impl SpannerView {
             epoch: 0,
             member: EdgeTable::new(),
             degree: vec![0; n],
+            seq: 0,
         }
     }
 
-    /// A view seeded with a structure's current output set.
+    /// A view seeded with a structure's current output set, anchored at
+    /// the structure's batch sequence ([`BatchDynamic::batch_seq`]) so
+    /// the next sequenced delta it produces applies cleanly.
     pub fn from_output(n: usize, structure: &impl BatchDynamic) -> Self {
         let mut buf = DeltaBuf::new();
         structure.output_into(&mut buf);
         let mut view = Self::new(n);
         view.apply(&buf);
         view.epoch = 0;
+        view.seq = structure.batch_seq();
         view
     }
 
@@ -560,6 +611,20 @@ impl SpannerView {
     /// Number of delta batches applied since construction.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Sequence number of the last sequenced delta applied (0 if this
+    /// view has only seen unsequenced deltas).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Re-anchor the sequence check at `seq`: the next sequenced delta
+    /// this view accepts must carry `seq + 1`. Composing layers call
+    /// this after seeding a mirror from a snapshot of an engine that is
+    /// already `seq` batches in (e.g. [`crate::shard::ShardedView::of`]).
+    pub fn resync_seq(&mut self, seq: u64) {
+        self.seq = seq;
     }
 
     /// Number of edges in the mirrored set.
@@ -598,7 +663,25 @@ impl SpannerView {
 
     /// Advance the mirror by one batch delta and bump the epoch.
     /// Allocation-free apart from hash-table growth.
+    ///
+    /// **Sequence discipline.** A delta stamped by an engine
+    /// ([`DeltaBuf::seq`] ≠ 0) must advance this view's sequence by
+    /// exactly one; applying the same delta twice, skipping a batch, or
+    /// feeding a delta from a different engine stream panics here
+    /// instead of silently corrupting the mirror. Unsequenced deltas
+    /// (hand-built buffers, output snapshots) skip the check.
     pub fn apply(&mut self, delta: &DeltaBuf) {
+        if delta.seq() != 0 {
+            assert_eq!(
+                delta.seq(),
+                self.seq + 1,
+                "view drift: delta carries batch seq {} but the view expects {} \
+                 (double apply, skipped batch, or a delta from a different engine)",
+                delta.seq(),
+                self.seq + 1
+            );
+            self.seq = delta.seq();
+        }
         for (e, w) in delta.deleted_weighted() {
             let old = self.member.remove(e.u, e.v);
             debug_assert_eq!(old, Some(w.to_bits()), "view delta mismatch at {e:?}");
@@ -741,6 +824,95 @@ mod tests {
         b.apply_weighted_to(&mut map);
         assert_eq!(map.len(), 2);
         assert_eq!(map.get(&Edge::new(1, 2)), Some(&3.0f64.to_bits()));
+    }
+
+    #[test]
+    fn mixed_pushes_on_weighted_buffer_keep_lanes_aligned() {
+        // Regression: the unweighted pushes used to only debug_assert on
+        // a weighted buffer — in release builds the weight lane silently
+        // desynchronized from the edge lane. They now auto-upgrade with
+        // weight 1.0 (and the weighted pushes upgrade an unweighted
+        // prefix), in every build profile.
+        let mut b = DeltaBuf::new();
+        b.push_ins_w(Edge::new(0, 1), 2.0);
+        b.push_del(Edge::new(1, 2)); // unweighted push on a weighted buffer
+        b.push_ins(Edge::new(2, 3)); // ditto
+        b.push_del_w(Edge::new(3, 4), 0.5);
+        let ins: FxHashMap<Edge, u64> = b
+            .inserted_weighted()
+            .map(|(e, w)| (e, w.to_bits()))
+            .collect();
+        assert_eq!(ins.get(&Edge::new(0, 1)), Some(&2.0f64.to_bits()));
+        assert_eq!(ins.get(&Edge::new(2, 3)), Some(&1.0f64.to_bits()));
+        let del: FxHashMap<Edge, u64> = b
+            .deleted_weighted()
+            .map(|(e, w)| (e, w.to_bits()))
+            .collect();
+        assert_eq!(del.get(&Edge::new(1, 2)), Some(&1.0f64.to_bits()));
+        assert_eq!(del.get(&Edge::new(3, 4)), Some(&0.5f64.to_bits()));
+        assert_eq!(b.recourse(), 4);
+        // The lanes replay exactly — the corruption the old debug_assert
+        // missed in release would trip these weight assertions.
+        let mut map: FxHashMap<Edge, u64> = [
+            (Edge::new(1, 2), 1.0f64.to_bits()),
+            (Edge::new(3, 4), 0.5f64.to_bits()),
+        ]
+        .into_iter()
+        .collect();
+        b.apply_weighted_to(&mut map);
+        assert_eq!(map.len(), 2);
+
+        // The other direction: a weighted push on an unweighted prefix
+        // upgrades the prefix to 1.0 instead of desynchronizing.
+        let mut b = DeltaBuf::new();
+        b.push_ins(Edge::new(0, 1));
+        b.push_del(Edge::new(1, 2));
+        b.push_ins_w(Edge::new(2, 3), 7.0);
+        assert!(b.is_weighted());
+        let ins: FxHashMap<Edge, u64> = b
+            .inserted_weighted()
+            .map(|(e, w)| (e, w.to_bits()))
+            .collect();
+        assert_eq!(ins.get(&Edge::new(0, 1)), Some(&1.0f64.to_bits()));
+        assert_eq!(ins.get(&Edge::new(2, 3)), Some(&7.0f64.to_bits()));
+        let del: Vec<_> = b.deleted_weighted().collect();
+        assert_eq!(del, vec![(Edge::new(1, 2), 1.0)]);
+    }
+
+    #[test]
+    fn view_asserts_sequence_discipline() {
+        let mut v = SpannerView::new(4);
+        let mut b = DeltaBuf::new();
+        b.push_ins(Edge::new(0, 1));
+        b.stamp_seq(1);
+        v.apply(&b);
+        assert_eq!(v.seq(), 1);
+        // Unsequenced deltas skip the check and leave seq alone.
+        let mut raw = DeltaBuf::new();
+        raw.push_ins(Edge::new(1, 2));
+        v.apply(&raw);
+        assert_eq!(v.seq(), 1);
+        // Resync re-anchors a snapshot-seeded mirror.
+        v.resync_seq(6);
+        let mut c = DeltaBuf::new();
+        c.push_ins(Edge::new(2, 3));
+        c.stamp_seq(7);
+        v.apply(&c);
+        assert_eq!(v.seq(), 7);
+        // clear() drops the stamp.
+        c.clear();
+        assert_eq!(c.seq(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "view drift")]
+    fn view_rejects_double_apply_of_a_sequenced_delta() {
+        let mut v = SpannerView::new(4);
+        let mut b = DeltaBuf::new();
+        b.push_ins(Edge::new(0, 1));
+        b.stamp_seq(1);
+        v.apply(&b);
+        v.apply(&b); // same batch twice: must panic, not corrupt
     }
 
     #[test]

@@ -1,55 +1,87 @@
-//! Sharded serving: one [`FullyDynamic`] surface over N independent
-//! shard structures.
+//! Elastic sharded serving: one [`FullyDynamic`] surface over N
+//! independent — optionally replicated — shard structures.
 //!
 //! The unified traits of [`crate::api`] take `&mut self` on a single
-//! structure. This module is the first scaling layer on top of that
-//! contract: a [`ShardedEngine`] owns N independently built shard
-//! structures, partitions every update batch by a deterministic
-//! edge→shard map (a [`Partitioner`]), fans the per-shard sub-batches
-//! out in parallel via `bds_par`, and merges the per-shard deltas back
-//! into the caller's single [`DeltaBuf`] — so to a caller the dispatcher
-//! *is* a [`FullyDynamic`] structure. This mirrors how parallel
-//! batch-dynamic connectivity structures scale by partitioning update
-//! batches and how batch-dynamic trees fan change propagation across
-//! independent pieces (Acar et al.).
+//! structure. This module is the scaling layer on top of that contract:
+//! a [`ShardedEngine`] owns N lanes, each holding `r ≥ 1` independently
+//! built replicas of a shard structure, partitions every update batch by
+//! a deterministic edge→shard map (a [`Partitioner`]), fans the per-lane
+//! sub-batches out over lane × replica in parallel via `bds_par`, and
+//! merges the per-lane primary deltas back into the caller's single
+//! [`DeltaBuf`] — so to a caller the dispatcher *is* a [`FullyDynamic`]
+//! structure. This mirrors how parallel batch-dynamic connectivity
+//! structures scale by re-partitioning work as the graph changes and how
+//! batch-dynamic trees fan change propagation across independent pieces
+//! (Acar et al.).
 //!
 //! Invariants and contracts:
 //!
 //! * **Deterministic routing.** The partitioner is a pure function of
 //!   the (canonical) edge and the shard count, so an edge's insertions
-//!   and deletions always reach the same shard for the lifetime of the
-//!   engine. The default [`HashPartitioner`] hashes the packed canonical
-//!   key; [`VertexRangePartitioner`] routes by the lower endpoint's
-//!   range for locality-sensitive layouts.
-//! * **Disjoint outputs.** Shards own disjoint edge sets, so the merged
-//!   delta can never report the same edge from two shards; the merge
-//!   still runs the weight-lane-safe [`DeltaBuf::net`] defensively, so
-//!   an exact (edge, weight) bounce can never leak to a caller.
-//! * **Zero steady-state allocations.** Each shard scatters into its own
-//!   pre-allocated sub-batch and writes into its own per-shard
+//!   and deletions always reach the same lane *between layout changes*.
+//!   [`Partitioner::validate`] is checked at build and reshard time, so
+//!   a partitioner built for the wrong vertex or shard count is a typed
+//!   [`ConfigError`], not silent skew. Defaults: [`HashPartitioner`]
+//!   (balance, no locality), [`VertexRangePartitioner`] (locality, and
+//!   load-aware rebalancing via quantile cuts), [`JumpPartitioner`]
+//!   (consistent hashing — a k→k+1 reshard moves only ~1/(k+1) of the
+//!   edges instead of nearly all of them).
+//! * **Elastic layout.** [`ShardedEngine::reshard`] changes the shard
+//!   count in place: only the edges whose route changes move, as a
+//!   delete batch on their old lane and an insert batch (or a fresh
+//!   factory build, for brand-new lanes) on their new one — the engine
+//!   stores the shard factory for exactly this. The engine tracks the
+//!   live input edges per lane, so reshard cost is proportional to the
+//!   moved edges, not the graph. [`ShardedEngine::rebalance_if_skewed`]
+//!   watches [`ShardedEngine::lane_loads`] and asks the partitioner for
+//!   a load-evening equivalent of itself when the maximum lane exceeds
+//!   [`DEFAULT_SKEW_THRESHOLD`] × the mean.
+//! * **Replication.** `replicas(r)` on the builder keeps `r`
+//!   independently built structures per lane. Writes fan to every live
+//!   replica; reads (and the merged delta) follow the lane's designated
+//!   *primary*. [`ShardedEngine::drop_replica`] kills a replica (failing
+//!   over the primary designation if needed — dropping the last live
+//!   replica of a lane is refused); [`ShardedEngine::restore_replica`]
+//!   rebuilds it from the lane's live edges through the stored factory.
+//!   Replicas of a lane always maintain the same live *input* edges;
+//!   their *outputs* coincide when the structure's output is a
+//!   deterministic function of its input history (true for
+//!   [`MirrorSpanner`] and stretch-1 spanners, where the output is the
+//!   live graph itself). After a failover the new primary serves its
+//!   own — valid — output, and mirrors must re-seed (see below).
+//! * **Sequence discipline.** Every batch bumps the engine's monotone
+//!   sequence number, stamped into the caller's merged delta and every
+//!   per-lane primary delta ([`DeltaBuf::seq`]). [`ShardedView::apply`]
+//!   asserts the sequence advances by exactly one and that the view was
+//!   built from this engine at this layout — so applying a batch twice,
+//!   skipping one, mixing up two engines, or surviving a reshard /
+//!   failover all panic with a clear message instead of silently
+//!   corrupting the mirror.
+//! * **Zero steady-state allocations.** Each lane scatters into its own
+//!   pre-allocated sub-batch and each replica reports into its own
 //!   [`DeltaBuf`] scratch; the merge appends into the caller's warm
-//!   buffer. After warm-up the merged-delta path performs no heap
-//!   allocations (asserted by the counting-allocator test in
-//!   `tests/alloc.rs`).
-//! * **Read side.** [`ShardedView`] composes per-shard
-//!   [`SpannerView`] mirrors behind the one-epoch read API
-//!   (`contains` / `degree` / `weight` / `to_csr` over the union),
-//!   advanced in lockstep from the engine's last per-shard deltas.
+//!   buffer. After warm-up the batch path — including replicated
+//!   fan-out — performs no heap allocations (asserted by the
+//!   counting-allocator test in `tests/alloc.rs`). Reshard, rebalance,
+//!   and replica restore allocate; they are maintenance, not the batch
+//!   path.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use bds_graph::api::{DeltaBuf, FullyDynamic};
-//! use bds_graph::shard::{MirrorSpanner, ShardedEngineBuilder, ShardedView};
+//! use bds_graph::shard::{JumpPartitioner, MirrorSpanner, ShardedEngineBuilder, ShardedView};
 //! use bds_graph::types::{Edge, UpdateBatch};
 //!
 //! let n = 100;
 //! let edges: Vec<Edge> = (1..40).map(|i| Edge::new(0, i)).collect();
-//! // Four shards of any `FullyDynamic` structure; the factory builds
-//! // shard `i` over the slice of initial edges routed to it.
+//! // Four lanes of two replicas each; the factory builds every replica
+//! // of lane `i` over the edges routed to it.
 //! let mut engine = ShardedEngineBuilder::new(n)
 //!     .shards(4)
-//!     .build_with(&edges, |_i, shard_edges| MirrorSpanner::build(n, shard_edges))
+//!     .replicas(2)
+//!     .partitioner(JumpPartitioner::new())
+//!     .build_with(&edges, move |_i, shard_edges| MirrorSpanner::build(n, shard_edges))
 //!     .unwrap();
 //! let mut view = ShardedView::of(&engine);
 //!
@@ -63,6 +95,22 @@
 //! view.apply(&engine);
 //! assert!(view.contains(Edge::new(40, 41)));
 //! assert_eq!(view.len(), 38);
+//!
+//! // Elasticity: grow the fleet. The consistent-hash partitioner moves
+//! // only a fraction of the edges; the view re-seeds after any layout
+//! // change (applying the stale one would panic, not drift).
+//! let stats = engine.reshard(5).unwrap();
+//! assert_eq!(engine.num_shards(), 5);
+//! assert!(stats.moved_edges < stats.total_edges);
+//! let mut view = ShardedView::of(&engine);
+//!
+//! // Failover: drop lane 0's primary; reads continue from its replica.
+//! engine.drop_replica(0, 0).unwrap();
+//! assert_eq!(engine.primary_of(0), 1);
+//! engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(41, 42)]), &mut delta);
+//! view = ShardedView::of(&engine); // failover changed the layout epoch
+//! assert!(view.contains(Edge::new(41, 42)));
+//! engine.restore_replica(0, 0).unwrap();
 //! ```
 
 use crate::api::{
@@ -71,6 +119,8 @@ use crate::api::{
 };
 use crate::csr::CsrGraph;
 use crate::types::{Edge, UpdateBatch, V};
+use bds_dstruct::EdgeTable;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 // ---------------------------------------------------------------------------
 // Partitioners
@@ -80,16 +130,40 @@ use crate::types::{Edge, UpdateBatch, V};
 ///
 /// The contract: `shard_of(e, k)` is a pure function of the canonical
 /// edge and `k`, with `shard_of(e, k) < k` — the same edge must route to
-/// the same shard every time it appears (insert, delete, query), for the
-/// lifetime of an engine.
+/// the same shard every time it appears (insert, delete, query), for as
+/// long as the engine keeps one layout. Layout changes
+/// ([`ShardedEngine::reshard`] / [`ShardedEngine::rebalance_if_skewed`])
+/// re-route through the same contract at the new `k` (or the rebalanced
+/// partitioner) and physically move exactly the edges whose route
+/// changed.
 pub trait Partitioner: Clone + Send + Sync {
     fn shard_of(&self, e: Edge, num_shards: usize) -> usize;
+
+    /// Validate this partitioner against an engine configuration before
+    /// any edge is routed — checked at build and reshard time, so a
+    /// mismatched partitioner (wrong vertex count, bounds computed for a
+    /// different shard count) is a typed error instead of silent skew.
+    /// Default: always valid.
+    fn validate(&self, _n: usize, _num_shards: usize) -> Result<(), ConfigError> {
+        Ok(())
+    }
+
+    /// A partitioner of the same kind adjusted to even out the observed
+    /// per-lane loads (`lane_loads[i]` = live edges on lane `i`; its
+    /// length is the current shard count), or `None` if this partitioner
+    /// cannot rebalance. The result must validate for the same shard
+    /// count. Default: `None`.
+    fn rebalanced(&self, _lane_loads: &[usize]) -> Option<Self> {
+        None
+    }
 }
 
 /// The default partitioner: the workspace's SplitMix64 avalanche
 /// ([`bds_dstruct::fx::mix64`]) over the packed canonical edge key.
 /// Balanced in expectation for any input distribution, at the cost of
-/// no endpoint locality.
+/// no endpoint locality — and no reshard friendliness: changing `k`
+/// re-routes almost every edge (use [`JumpPartitioner`] for elastic
+/// deployments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HashPartitioner;
 
@@ -100,25 +174,175 @@ impl Partitioner for HashPartitioner {
     }
 }
 
-/// Routes by the lower endpoint's position in `0..n`: shard `i` owns the
-/// edges whose canonical `u` falls in the i-th n/k-slice. Keeps a
-/// vertex's (lower-endpoint) adjacency on one shard — locality over
-/// balance; skewed graphs should prefer [`HashPartitioner`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Jump consistent hashing (Lamping–Veach): `O(log k)` evaluation, no
+/// state, and the defining property that growing `k` by one re-routes
+/// only ~`1/(k+1)` of the keys — every other key keeps its bucket. Works
+/// for any `k` (powers of two included, where modulo partitioners are at
+/// their worst under doubling).
+fn jump_consistent(mut key: u64, buckets: usize) -> usize {
+    debug_assert!(buckets >= 1);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2862933555777941757).wrapping_add(1);
+        j = ((b.wrapping_add(1) as f64) * ((1u64 << 31) as f64 / ((key >> 33) as f64 + 1.0)))
+            as i64;
+    }
+    b as usize
+}
+
+/// Consistent-hash partitioner for elastic layouts: a `k → k+1` reshard
+/// moves only ~`1/(k+1)` of the edges (vs ~`k/(k+1)` for
+/// [`HashPartitioner`]), so [`ShardedEngine::reshard`] stays
+/// proportional to the *moved* edges. The salt perturbs the key stream;
+/// [`Partitioner::rebalanced`] bumps it, which redraws the (already
+/// balanced-in-expectation) assignment — a full reshuffle, the honest
+/// cost of re-salting a hash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JumpPartitioner {
+    salt: u64,
+}
+
+impl JumpPartitioner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_salt(salt: u64) -> Self {
+        Self { salt }
+    }
+
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+}
+
+impl Partitioner for JumpPartitioner {
+    #[inline]
+    fn shard_of(&self, e: Edge, num_shards: usize) -> usize {
+        let key = bds_dstruct::fx::mix64(e.key() ^ bds_dstruct::fx::mix64(self.salt));
+        jump_consistent(key, num_shards)
+    }
+
+    fn rebalanced(&self, _lane_loads: &[usize]) -> Option<Self> {
+        Some(Self {
+            salt: self.salt.wrapping_add(1),
+        })
+    }
+}
+
+/// Routes by the lower endpoint's position in `0..n`: locality over
+/// balance. Uniform ranges by default; after
+/// [`Partitioner::rebalanced`] the cut points are load-aware quantiles
+/// (treating each old range's observed load as uniformly spread inside
+/// it), so repeated rebalancing converges toward even lanes on skewed
+/// vertex distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VertexRangePartitioner {
     n: usize,
+    /// `k - 1` ascending cut points; lane `i` owns `u` in
+    /// `[bounds[i-1], bounds[i])`. `None` = uniform `n/k` slices.
+    bounds: Option<std::sync::Arc<[V]>>,
 }
 
 impl VertexRangePartitioner {
     pub fn new(n: usize) -> Self {
-        Self { n: n.max(1) }
+        Self {
+            n: n.max(1),
+            bounds: None,
+        }
+    }
+
+    /// The load-aware cut points, if this partitioner has been
+    /// rebalanced (`None` = uniform ranges).
+    pub fn bounds(&self) -> Option<&[V]> {
+        self.bounds.as_deref()
     }
 }
 
 impl Partitioner for VertexRangePartitioner {
     #[inline]
     fn shard_of(&self, e: Edge, num_shards: usize) -> usize {
-        ((e.u as usize * num_shards) / self.n).min(num_shards - 1)
+        match &self.bounds {
+            Some(b) => b.partition_point(|&cut| cut <= e.u).min(num_shards - 1),
+            // u64 arithmetic: `u * k` would overflow usize on 32-bit
+            // targets for high vertices, skewing them onto one shard.
+            None => ((e.u as u64 * num_shards as u64) / self.n as u64).min(num_shards as u64 - 1)
+                as usize,
+        }
+    }
+
+    fn validate(&self, n: usize, num_shards: usize) -> Result<(), ConfigError> {
+        if self.n != n {
+            return Err(ConfigError::InvalidParam {
+                name: "partitioner",
+                reason:
+                    "VertexRangePartitioner was built for a different vertex count than the engine",
+            });
+        }
+        if let Some(b) = &self.bounds {
+            if b.len() + 1 != num_shards {
+                return Err(ConfigError::InvalidParam {
+                    name: "partitioner",
+                    reason:
+                        "rebalanced VertexRangePartitioner bounds were computed for a different shard count",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn rebalanced(&self, lane_loads: &[usize]) -> Option<Self> {
+        let k = lane_loads.len();
+        if k < 2 {
+            return None;
+        }
+        let total: usize = lane_loads.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Fenceposts of the current ranges in vertex space (k + 1).
+        let fence: Vec<f64> = match &self.bounds {
+            Some(b) => {
+                if b.len() + 1 != k {
+                    return None;
+                }
+                std::iter::once(0.0)
+                    .chain(b.iter().map(|&x| x as f64))
+                    .chain(std::iter::once(self.n as f64))
+                    .collect()
+            }
+            None => (0..=k)
+                .map(|i| i as f64 * self.n as f64 / k as f64)
+                .collect(),
+        };
+        // Piecewise-uniform CDF: lane i spreads lane_loads[i] evenly
+        // over [fence[i], fence[i+1]); cut at equal-mass quantiles.
+        let step = total as f64 / k as f64;
+        let mut bounds: Vec<V> = Vec::with_capacity(k - 1);
+        let mut lane = 0usize;
+        let mut below = 0.0; // mass strictly before `lane`
+        for cut in 1..k {
+            let target = step * cut as f64;
+            while lane + 1 < k && below + lane_loads[lane] as f64 <= target {
+                below += lane_loads[lane] as f64;
+                lane += 1;
+            }
+            let mass = lane_loads[lane] as f64;
+            let frac = if mass > 0.0 {
+                ((target - below) / mass).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let x = fence[lane] + frac * (fence[lane + 1] - fence[lane]);
+            let prev = bounds.last().copied().unwrap_or(0) as u64;
+            bounds.push((x.round() as u64).clamp(prev, self.n as u64) as V);
+        }
+        Some(Self {
+            n: self.n,
+            bounds: Some(bounds.into()),
+        })
     }
 }
 
@@ -126,17 +350,45 @@ impl Partitioner for VertexRangePartitioner {
 // ShardedEngine
 // ---------------------------------------------------------------------------
 
-/// One shard plus its reusable scratch: the sub-batch the scatter fills
-/// and the delta buffer the shard reports into. Keeping them adjacent
-/// means the parallel fan-out hands each worker one exclusive `&mut
-/// Lane` with everything it touches.
-struct Lane<S> {
-    shard: S,
-    sub: UpdateBatch,
+/// One replica of a lane's shard structure plus its reusable delta
+/// scratch. `shard == None` marks a dropped replica awaiting
+/// [`ShardedEngine::restore_replica`].
+struct Replica<S> {
+    shard: Option<S>,
     delta: DeltaBuf,
 }
 
-/// Which trait entry point a fan-out round drives on every shard.
+/// One lane: its replicas, the designated primary index, the sub-batch
+/// the scatter fills, the engine-tracked live input edges routed here,
+/// and the cumulative recourse load counter. Keeping everything a worker
+/// touches adjacent means the parallel fan-out hands each worker one
+/// exclusive `&mut Lane`.
+struct Lane<S> {
+    replicas: Vec<Replica<S>>,
+    primary: usize,
+    sub: UpdateBatch,
+    live: EdgeTable,
+    recourse: u64,
+}
+
+impl<S> Lane<S> {
+    fn primary_shard(&self) -> &S {
+        self.replicas[self.primary]
+            .shard
+            .as_ref()
+            .expect("lane invariant: the designated primary replica is live")
+    }
+
+    fn primary_delta(&self) -> &DeltaBuf {
+        &self.replicas[self.primary].delta
+    }
+
+    fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.shard.is_some()).count()
+    }
+}
+
+/// Which trait entry point a fan-out round drives on every replica.
 #[derive(Clone, Copy)]
 enum Op {
     Delete,
@@ -144,21 +396,89 @@ enum Op {
     Apply,
 }
 
-/// A dispatcher that owns N shard structures behind one [`FullyDynamic`]
-/// surface. See the [module docs](self) for the contract and a
-/// quickstart.
+/// The stored per-shard factory: build shard `lane` over exactly
+/// `edges`. Kept boxed so [`ShardedEngine::reshard`] and
+/// [`ShardedEngine::restore_replica`] can construct shards long after
+/// build time.
+type Factory<S> = Box<dyn FnMut(usize, &[Edge]) -> Result<S, ConfigError> + Send>;
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-lane load statistics (see [`ShardedEngine::lane_loads`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneLoad {
+    /// Live input edges currently routed to this lane.
+    pub live_edges: usize,
+    /// Cumulative output recourse served through this lane's primary.
+    pub recourse: u64,
+    /// Replicas currently live (≥ 1 by the lane invariant).
+    pub live_replicas: usize,
+    /// Replica slots (the builder's `replicas(r)`).
+    pub total_replicas: usize,
+}
+
+/// What a reshard did (see [`ShardedEngine::reshard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardStats {
+    pub old_shards: usize,
+    pub new_shards: usize,
+    /// Edges whose lane changed (each one deleted from its old lane and
+    /// inserted into — or built into — its new one).
+    pub moved_edges: usize,
+    /// Live edges at reshard time.
+    pub total_edges: usize,
+}
+
+/// What [`ShardedEngine::rebalance_if_skewed`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceOutcome {
+    /// Skew under the threshold (or nothing to balance); nothing moved.
+    Balanced,
+    /// The partitioner produced a load-evening equivalent and the engine
+    /// re-routed through it.
+    Rebalanced { moved_edges: usize },
+    /// The partitioner cannot rebalance (`Partitioner::rebalanced`
+    /// returned `None`, e.g. [`HashPartitioner`]).
+    Unsupported,
+}
+
+/// Rebalance when the heaviest lane carries more than this multiple of
+/// the mean live-edge load (see
+/// [`ShardedEngine::rebalance_if_skewed`]): 2× is far outside the
+/// variation a balanced hash produces, yet early enough that one lane
+/// is not yet serving a majority of the traffic.
+pub const DEFAULT_SKEW_THRESHOLD: f64 = 2.0;
+
+/// How many candidate partitioners
+/// [`ShardedEngine::rebalance_if_skewed_with`] probes (read-only)
+/// before committing the best one with a single physical re-route.
+pub const REBALANCE_PROBE_ROUNDS: usize = 8;
+
+/// A dispatcher that owns N lanes of replicated shard structures behind
+/// one [`FullyDynamic`] surface. See the [module docs](self) for the
+/// contract and a quickstart.
 pub struct ShardedEngine<S, P: Partitioner = HashPartitioner> {
     n: usize,
     lanes: Vec<Lane<S>>,
     part: P,
+    factory: Factory<S>,
+    replicas: usize,
+    /// Monotone batch sequence number (stamped into every delta).
+    seq: u64,
+    /// Bumped on any layout change (reshard, rebalance, primary
+    /// failover); views bind to it.
+    layout: u64,
+    /// Process-unique identity; views bind to it.
+    id: u64,
 }
 
-/// Typed builder for [`ShardedEngine`]: shard count, partitioner, then
-/// a per-shard factory.
+/// Typed builder for [`ShardedEngine`]: shard count, replication
+/// factor, partitioner, then a per-shard factory.
 #[derive(Debug, Clone)]
 pub struct ShardedEngineBuilder<P: Partitioner = HashPartitioner> {
     n: usize,
     shards: usize,
+    replicas: usize,
     part: P,
 }
 
@@ -169,22 +489,37 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
         self
     }
 
+    /// Replicas per lane (default 1). Every replica is built by its own
+    /// factory call over the same lane edges; writes fan to all of
+    /// them, reads follow the designated primary.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
     /// Replace the edge→shard map (default [`HashPartitioner`]).
     pub fn partitioner<Q: Partitioner>(self, part: Q) -> ShardedEngineBuilder<Q> {
         ShardedEngineBuilder {
             n: self.n,
             shards: self.shards,
+            replicas: self.replicas,
             part,
         }
     }
 
     /// Build the engine: the initial edges are routed by the
-    /// partitioner, and `factory(i, shard_edges)` builds shard `i` over
-    /// exactly the edges routed to it (their order follows the input).
+    /// partitioner, and `factory(i, shard_edges)` builds each replica of
+    /// shard `i` over exactly the edges routed to it (their order
+    /// follows the input). The factory is stored in the engine — it is
+    /// called again by [`ShardedEngine::reshard`] (for brand-new lanes)
+    /// and [`ShardedEngine::restore_replica`], with whatever lane index
+    /// and live-edge slice apply then, so it must not assume the initial
+    /// shard count. For replica interchangeability it should be
+    /// deterministic in `(i, shard_edges)`.
     pub fn build_with<S: FullyDynamic, E>(
         self,
         edges: &[Edge],
-        mut factory: impl FnMut(usize, &[Edge]) -> Result<S, E>,
+        factory: impl FnMut(usize, &[Edge]) -> Result<S, E> + Send + 'static,
     ) -> Result<ShardedEngine<S, P>, ConfigError>
     where
         ConfigError: From<E>,
@@ -195,37 +530,66 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
                 reason: "at least one shard is required",
             });
         }
+        if self.replicas < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "replicas",
+                reason: "at least one replica per lane is required",
+            });
+        }
+        self.part.validate(self.n, self.shards)?;
         validate_edges(self.n, edges)?;
+        let mut factory: Factory<S> = {
+            let mut f = factory;
+            Box::new(move |i, es| f(i, es).map_err(ConfigError::from))
+        };
         let mut routed: Vec<Vec<Edge>> = vec![Vec::new(); self.shards];
         for &e in edges {
             routed[self.part.shard_of(e, self.shards)].push(e);
         }
         let mut lanes = Vec::with_capacity(self.shards);
         for (i, shard_edges) in routed.into_iter().enumerate() {
-            let shard = factory(i, &shard_edges)?;
+            let mut replicas = Vec::with_capacity(self.replicas);
+            for _ in 0..self.replicas {
+                replicas.push(Replica {
+                    shard: Some(factory(i, &shard_edges)?),
+                    delta: DeltaBuf::new(),
+                });
+            }
+            let mut live = EdgeTable::with_capacity(shard_edges.len());
+            for e in &shard_edges {
+                live.insert(e.u, e.v, 1);
+            }
             lanes.push(Lane {
-                shard,
+                replicas,
+                primary: 0,
                 sub: UpdateBatch::default(),
-                delta: DeltaBuf::new(),
+                live,
+                recourse: 0,
             });
         }
         Ok(ShardedEngine {
             n: self.n,
             lanes,
             part: self.part,
+            factory,
+            replicas: self.replicas,
+            seq: 0,
+            layout: 0,
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 }
 
 impl ShardedEngineBuilder<HashPartitioner> {
     /// Typed builder: `ShardedEngineBuilder::new(n).shards(k)
-    /// .partitioner(p).build_with(&edges, factory)` — the shard type is
-    /// fixed by the factory passed to
+    /// .replicas(r).partitioner(p).build_with(&edges, factory)` — the
+    /// shard type is fixed by the factory passed to
     /// [`ShardedEngineBuilder::build_with`].
     pub fn new(n: usize) -> Self {
         ShardedEngineBuilder {
             n,
             shards: 2,
+            replicas: 1,
             part: HashPartitioner,
         }
     }
@@ -236,25 +600,116 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
         self.lanes.len()
     }
 
+    /// Replica slots per lane (the builder's `replicas(r)`).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas
+    }
+
     pub fn partitioner(&self) -> &P {
         &self.part
     }
 
-    /// The shard structure at index `i` (read side; updates must go
-    /// through the engine so routing and deltas stay consistent).
-    pub fn shard(&self, i: usize) -> &S {
-        &self.lanes[i].shard
+    /// Monotone batch sequence number: the number of update batches this
+    /// engine has applied. Stamped into every produced delta.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
-    /// The per-shard deltas of the most recent batch, in shard order —
-    /// what [`ShardedView::apply`] consumes. Valid until the next batch.
+    /// Layout epoch: bumped by reshard, rebalance, and primary
+    /// failover. A [`ShardedView`] is bound to the epoch it was built
+    /// at and must be rebuilt after any layout change.
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout
+    }
+
+    /// The primary shard structure of lane `i` (read side; updates must
+    /// go through the engine so routing and deltas stay consistent).
+    pub fn shard(&self, i: usize) -> &S {
+        self.lanes[i].primary_shard()
+    }
+
+    /// Replica `r` of lane `i`, or `None` if it is currently dropped.
+    pub fn replica(&self, lane: usize, r: usize) -> Option<&S> {
+        self.lanes[lane].replicas[r].shard.as_ref()
+    }
+
+    /// The designated primary replica index of lane `i`.
+    pub fn primary_of(&self, lane: usize) -> usize {
+        self.lanes[lane].primary
+    }
+
+    /// Live replica count of lane `i` (≥ 1 by the lane invariant).
+    pub fn live_replicas(&self, lane: usize) -> usize {
+        self.lanes[lane].live_replicas()
+    }
+
+    /// Per-lane load statistics: live input edges, cumulative recourse,
+    /// and replica liveness. This is the signal
+    /// [`ShardedEngine::rebalance_if_skewed`] acts on. Allocates one
+    /// vector (diagnostics path, not the batch path).
+    pub fn lane_loads(&self) -> Vec<LaneLoad> {
+        self.lanes
+            .iter()
+            .map(|lane| LaneLoad {
+                live_edges: lane.live.len(),
+                recourse: lane.recourse,
+                live_replicas: lane.live_replicas(),
+                total_replicas: lane.replicas.len(),
+            })
+            .collect()
+    }
+
+    /// The per-lane primary deltas of the most recent batch, in lane
+    /// order — what [`ShardedView::apply`] consumes. Valid until the
+    /// next batch.
     pub fn last_shard_deltas(&self) -> impl Iterator<Item = &DeltaBuf> + '_ {
-        self.lanes.iter().map(|l| &l.delta)
+        self.lanes.iter().map(|l| l.primary_delta())
+    }
+
+    /// Drop replica `r` of lane `lane` (simulating a failed node, or
+    /// freeing its memory). If it was the designated primary, the
+    /// designation fails over to the next live replica and the layout
+    /// epoch bumps (mirrors must re-seed: the new primary serves its
+    /// own output stream). Refuses to drop the last live replica of a
+    /// lane.
+    pub fn drop_replica(&mut self, lane: usize, r: usize) -> Result<(), ConfigError> {
+        let l = self.lanes.get_mut(lane).ok_or(ConfigError::InvalidParam {
+            name: "lane",
+            reason: "lane index out of range",
+        })?;
+        let live = l.replicas.iter().filter(|rep| rep.shard.is_some()).count();
+        let rep = l.replicas.get_mut(r).ok_or(ConfigError::InvalidParam {
+            name: "replica",
+            reason: "replica index out of range",
+        })?;
+        if rep.shard.is_none() {
+            return Err(ConfigError::InvalidParam {
+                name: "replica",
+                reason: "replica is already dropped",
+            });
+        }
+        if live <= 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "replica",
+                reason: "cannot drop the last live replica of a lane",
+            });
+        }
+        rep.shard = None;
+        rep.delta.clear();
+        if l.primary == r {
+            l.primary = l
+                .replicas
+                .iter()
+                .position(|rep| rep.shard.is_some())
+                .expect("a live replica remains");
+            self.layout += 1;
+        }
+        Ok(())
     }
 
     /// Route `deletions`/`insertions` into the per-lane sub-batches
     /// (cleared first; capacity is retained, so the steady state does
-    /// not allocate).
+    /// not allocate) and keep the per-lane live-edge tables current.
     fn scatter(&mut self, insertions: &[Edge], deletions: &[Edge]) {
         let k = self.lanes.len();
         for lane in &mut self.lanes {
@@ -264,38 +719,297 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
         let part = &self.part;
         let lanes = &mut self.lanes;
         for &e in deletions {
-            lanes[part.shard_of(e, k)].sub.deletions.push(e);
+            let lane = &mut lanes[part.shard_of(e, k)];
+            lane.sub.deletions.push(e);
+            let old = lane.live.remove(e.u, e.v);
+            debug_assert!(old.is_some(), "deleting edge {e:?} not live on its lane");
         }
         for &e in insertions {
-            lanes[part.shard_of(e, k)].sub.insertions.push(e);
+            let lane = &mut lanes[part.shard_of(e, k)];
+            lane.sub.insertions.push(e);
+            let old = lane.live.insert(e.u, e.v, 1);
+            debug_assert!(
+                old.is_none(),
+                "inserting edge {e:?} already live on its lane"
+            );
         }
     }
 }
 
+impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
+    /// Rebuild a dropped replica from the lane's live edges through the
+    /// stored factory. The restored replica maintains the same live
+    /// input edges as its siblings; it does not change the primary
+    /// designation (so served outputs are undisturbed), but it is the
+    /// failover target if the current primary later drops.
+    pub fn restore_replica(&mut self, lane: usize, r: usize) -> Result<(), ConfigError> {
+        let l = self.lanes.get(lane).ok_or(ConfigError::InvalidParam {
+            name: "lane",
+            reason: "lane index out of range",
+        })?;
+        let rep = l.replicas.get(r).ok_or(ConfigError::InvalidParam {
+            name: "replica",
+            reason: "replica index out of range",
+        })?;
+        if rep.shard.is_some() {
+            return Err(ConfigError::InvalidParam {
+                name: "replica",
+                reason: "replica is already live",
+            });
+        }
+        let edges: Vec<Edge> = l.live.iter().map(|(u, v, _)| Edge { u, v }).collect();
+        let shard = (self.factory)(lane, &edges)?;
+        let rep = &mut self.lanes[lane].replicas[r];
+        rep.shard = Some(shard);
+        rep.delta.clear();
+        Ok(())
+    }
+
+    /// Change the shard count in place, keeping the maintained graph
+    /// identical: every live edge whose route changes under the new
+    /// count is deleted from its old lane and inserted into its new one
+    /// (brand-new lanes are built through the stored factory over
+    /// exactly their routed edges; with a merge, lanes beyond the new
+    /// count are dropped whole). Cost is proportional to the moved
+    /// edges — with a [`JumpPartitioner`], a `k → k+1` split moves only
+    /// ~`1/(k+1)` of them.
+    ///
+    /// Bumps the layout epoch: existing [`ShardedView`]s must be
+    /// rebuilt with [`ShardedView::of`] (applying a stale one panics).
+    /// A factory failure aborts before any existing shard is mutated.
+    pub fn reshard(&mut self, new_shards: usize) -> Result<ReshardStats, ConfigError> {
+        if new_shards < 1 {
+            return Err(ConfigError::InvalidParam {
+                name: "shards",
+                reason: "at least one shard is required",
+            });
+        }
+        self.part.validate(self.n, new_shards)?;
+        let old_shards = self.lanes.len();
+        let total_edges = self.lanes.iter().map(|l| l.live.len()).sum();
+        let moved_edges = self.reroute(new_shards, self.part.clone())?;
+        Ok(ReshardStats {
+            old_shards,
+            new_shards,
+            moved_edges,
+            total_edges,
+        })
+    }
+
+    /// Check [`ShardedEngine::lane_loads`] against
+    /// [`DEFAULT_SKEW_THRESHOLD`] and, if the heaviest lane exceeds
+    /// threshold × mean live edges, ask the partitioner for a
+    /// load-evening equivalent ([`Partitioner::rebalanced`]) and
+    /// re-route through it — same shard count, only the edges whose
+    /// route changed move. Bumps the layout epoch when it rebalances.
+    pub fn rebalance_if_skewed(&mut self) -> RebalanceOutcome {
+        self.rebalance_if_skewed_with(DEFAULT_SKEW_THRESHOLD)
+    }
+
+    /// [`ShardedEngine::rebalance_if_skewed`] with an explicit skew
+    /// threshold (max lane live edges > `threshold` × mean triggers).
+    ///
+    /// The engine *probes* before it moves: it iterates
+    /// [`Partitioner::rebalanced`] up to [`REBALANCE_PROBE_ROUNDS`]
+    /// times, evaluating each candidate's hypothetical lane loads
+    /// read-only against the live-edge tables (per-lane totals alone
+    /// cannot reveal the distribution *inside* a lane, so a single
+    /// quantile recut under-corrects on concentrated skew — iterating
+    /// the probe converges without paying a physical move per step).
+    /// The best candidate found is applied with one re-route; if no
+    /// candidate beats the current layout, nothing moves.
+    pub fn rebalance_if_skewed_with(&mut self, threshold: f64) -> RebalanceOutcome {
+        let k = self.lanes.len();
+        let loads: Vec<usize> = self.lanes.iter().map(|l| l.live.len()).collect();
+        let total: usize = loads.iter().sum();
+        if k < 2 || total == 0 {
+            return RebalanceOutcome::Balanced;
+        }
+        let max = *loads.iter().max().expect("k >= 2");
+        let mean = total as f64 / k as f64;
+        let target = threshold * mean;
+        if (max as f64) <= target {
+            return RebalanceOutcome::Balanced;
+        }
+        // Probe loop: hypothetical loads only, no shard is touched.
+        let mut best: Option<(P, usize)> = None;
+        let mut saw_candidate = false;
+        let mut invalid_candidate = false;
+        let mut cur_part = self.part.clone();
+        let mut cur_loads = loads;
+        for _ in 0..REBALANCE_PROBE_ROUNDS {
+            let Some(cand) = cur_part.rebalanced(&cur_loads) else {
+                break;
+            };
+            saw_candidate = true;
+            if cand.validate(self.n, k).is_err() {
+                invalid_candidate = true;
+                break;
+            }
+            let mut hyp = vec![0usize; k];
+            for lane in &self.lanes {
+                for (u, v, _) in lane.live.iter() {
+                    hyp[cand.shard_of(Edge { u, v }, k)] += 1;
+                }
+            }
+            let hyp_max = *hyp.iter().max().expect("k >= 2");
+            if hyp_max < best.as_ref().map_or(max, |&(_, m)| m) {
+                best = Some((cand.clone(), hyp_max));
+            }
+            let done = (hyp_max as f64) <= target;
+            cur_part = cand;
+            cur_loads = hyp;
+            if done {
+                break;
+            }
+        }
+        let Some((new_part, _)) = best else {
+            // A partitioner that never produced a candidate — or whose
+            // first improving candidate failed validation (a partitioner
+            // bug; the skew is NOT resolved) — is Unsupported; one whose
+            // valid candidates exist but cannot improve the layout is as
+            // balanced as it gets.
+            return if !saw_candidate || invalid_candidate {
+                RebalanceOutcome::Unsupported
+            } else {
+                RebalanceOutcome::Balanced
+            };
+        };
+        let moved_edges = self
+            .reroute(k, new_part)
+            .expect("rebalance keeps the shard count, so the factory is never called");
+        RebalanceOutcome::Rebalanced { moved_edges }
+    }
+
+    /// Shared re-routing engine of reshard and rebalance: move every
+    /// live edge whose lane changes under `(new_k, new_part)`, build
+    /// brand-new lanes through the stored factory, drop merged-away
+    /// lanes, and bump the layout epoch. Returns the moved-edge count.
+    fn reroute(&mut self, new_k: usize, new_part: P) -> Result<usize, ConfigError> {
+        let old_k = self.lanes.len();
+        let mut moved_out: Vec<Vec<Edge>> = vec![Vec::new(); old_k];
+        let mut moved_in: Vec<Vec<Edge>> = vec![Vec::new(); new_k];
+        for (i, lane) in self.lanes.iter().enumerate() {
+            for (u, v, _) in lane.live.iter() {
+                let e = Edge { u, v };
+                let j = new_part.shard_of(e, new_k);
+                if j != i {
+                    moved_out[i].push(e);
+                    moved_in[j].push(e);
+                }
+            }
+        }
+        let moved = moved_out.iter().map(Vec::len).sum();
+        // Build all brand-new lanes first: a factory failure must abort
+        // the reshard before any existing shard has been mutated.
+        let mut new_lanes: Vec<Lane<S>> = Vec::new();
+        for (j, ins) in moved_in.iter().enumerate().skip(old_k) {
+            let mut replicas = Vec::with_capacity(self.replicas);
+            for _ in 0..self.replicas {
+                replicas.push(Replica {
+                    shard: Some((self.factory)(j, ins)?),
+                    delta: DeltaBuf::new(),
+                });
+            }
+            let mut live = EdgeTable::with_capacity(ins.len());
+            for e in ins {
+                live.insert(e.u, e.v, 1);
+            }
+            new_lanes.push(Lane {
+                replicas,
+                primary: 0,
+                sub: UpdateBatch::default(),
+                live,
+                recourse: 0,
+            });
+        }
+        // Surviving lanes shed their moved-out edges (every replica).
+        let mut scratch = DeltaBuf::new();
+        for (i, outs) in moved_out.iter().enumerate().take(new_k.min(old_k)) {
+            if outs.is_empty() {
+                continue;
+            }
+            let lane = &mut self.lanes[i];
+            for e in outs {
+                let old = lane.live.remove(e.u, e.v);
+                debug_assert!(old.is_some());
+            }
+            for rep in &mut lane.replicas {
+                if let Some(shard) = rep.shard.as_mut() {
+                    shard.delete_into(outs, &mut scratch);
+                }
+            }
+        }
+        // Merged-away lanes are dropped whole (their edges are all in
+        // `moved_in` for the surviving lanes).
+        self.lanes.truncate(new_k);
+        // Surviving lanes absorb their moved-in edges (every replica).
+        for (j, ins) in moved_in.iter().enumerate().take(self.lanes.len()) {
+            if ins.is_empty() {
+                continue;
+            }
+            let lane = &mut self.lanes[j];
+            for e in ins {
+                let old = lane.live.insert(e.u, e.v, 1);
+                debug_assert!(old.is_none());
+            }
+            for rep in &mut lane.replicas {
+                if let Some(shard) = rep.shard.as_mut() {
+                    shard.insert_into(ins, &mut scratch);
+                }
+            }
+        }
+        self.lanes.extend(new_lanes);
+        // Reshard deltas are internal churn, not served output: clear
+        // every per-replica delta so a stale one can never reach a view
+        // (views are invalidated by the layout bump regardless).
+        for lane in &mut self.lanes {
+            for rep in &mut lane.replicas {
+                rep.delta.clear();
+            }
+        }
+        self.part = new_part;
+        self.layout += 1;
+        Ok(moved)
+    }
+}
+
 impl<S: FullyDynamic + Send, P: Partitioner> ShardedEngine<S, P> {
-    /// Fan one scattered batch out across all shards in parallel and
-    /// merge the per-shard deltas into `out`.
+    /// Fan one scattered batch out across every lane × live replica in
+    /// parallel and merge the per-lane primary deltas into `out`,
+    /// stamped with the new batch sequence number.
     fn fan_out_merge(&mut self, op: Op, out: &mut DeltaBuf) {
         bds_par::par_for_each_task(&mut self.lanes, |lane| {
-            // Structures treat an empty batch as a no-op with an empty
-            // delta, so idle shards stay cheap; calling through keeps
-            // that contract observable rather than assumed.
-            match op {
-                Op::Delete => lane.shard.delete_into(&lane.sub.deletions, &mut lane.delta),
-                Op::Insert => lane
-                    .shard
-                    .insert_into(&lane.sub.insertions, &mut lane.delta),
-                Op::Apply => lane.shard.apply_into(&lane.sub, &mut lane.delta),
-            }
+            let Lane { replicas, sub, .. } = lane;
+            bds_par::par_for_each_task(replicas, |rep| {
+                // Structures treat an empty batch as a no-op with an
+                // empty delta, so idle shards stay cheap; calling
+                // through keeps that contract observable.
+                let Some(shard) = rep.shard.as_mut() else {
+                    rep.delta.clear();
+                    return;
+                };
+                match op {
+                    Op::Delete => shard.delete_into(&sub.deletions, &mut rep.delta),
+                    Op::Insert => shard.insert_into(&sub.insertions, &mut rep.delta),
+                    Op::Apply => shard.apply_into(sub, &mut rep.delta),
+                }
+            });
         });
+        self.seq += 1;
         out.clear();
-        for lane in &self.lanes {
-            out.merge_from(&lane.delta);
+        for lane in &mut self.lanes {
+            let p = lane.primary;
+            let delta = &mut lane.replicas[p].delta;
+            delta.stamp_seq(self.seq);
+            lane.recourse += delta.recourse() as u64;
+            out.merge_from(delta);
         }
         // Shards own disjoint edges, so cross-shard cancellation cannot
         // occur — this is pure defense-in-depth, and it exercises the
         // weight-lane-safe netting on every merged batch.
         out.net();
+        out.stamp_seq(self.seq);
     }
 }
 
@@ -305,19 +1019,22 @@ impl<S: FullyDynamic + Send, P: Partitioner> BatchDynamic for ShardedEngine<S, P
     }
 
     fn num_live_edges(&self) -> usize {
-        self.lanes.iter().map(|l| l.shard.num_live_edges()).sum()
+        self.lanes
+            .iter()
+            .map(|l| l.primary_shard().num_live_edges())
+            .sum()
     }
 
-    /// Materializes the union of shard outputs. Unlike the batch path
-    /// this is a snapshot API: it allocates one temporary per-shard
-    /// scratch per call (the `&self` signature precludes reusing
-    /// engine-owned scratch) — steady-state readers should mirror
-    /// batches into a [`ShardedView`] instead.
+    /// Materializes the union of primary shard outputs. Unlike the
+    /// batch path this is a snapshot API: it allocates one temporary
+    /// per-shard scratch per call (the `&self` signature precludes
+    /// reusing engine-owned scratch) — steady-state readers should
+    /// mirror batches into a [`ShardedView`] instead.
     fn output_into(&self, out: &mut DeltaBuf) {
         out.clear();
         let mut scratch = DeltaBuf::new();
         for lane in &self.lanes {
-            lane.shard.output_into(&mut scratch);
+            lane.primary_shard().output_into(&mut scratch);
             out.merge_from(&scratch);
         }
     }
@@ -325,13 +1042,17 @@ impl<S: FullyDynamic + Send, P: Partitioner> BatchDynamic for ShardedEngine<S, P
     fn stats(&self) -> BatchStats {
         let mut agg = BatchStats::default();
         for lane in &self.lanes {
-            let s = lane.shard.stats();
+            let s = lane.primary_shard().stats();
             agg.scan_steps += s.scan_steps;
             agg.vertices_touched += s.vertices_touched;
             agg.cluster_changes += s.cluster_changes;
             agg.recourse += s.recourse;
         }
         agg
+    }
+
+    fn batch_seq(&self) -> u64 {
+        self.seq
     }
 }
 
@@ -359,46 +1080,93 @@ impl<S: FullyDynamic + Send, P: Partitioner> FullyDynamic for ShardedEngine<S, P
 // ---------------------------------------------------------------------------
 
 /// Per-shard [`SpannerView`] mirrors composed behind the one-epoch read
-/// API: point queries route through the engine's partitioner, aggregate
-/// queries union the shards. Advance it once per engine batch with
-/// [`ShardedView::apply`]; cloning pins an epoch, exactly like
+/// API: point queries route through the engine's partitioner to the
+/// owning lane's mirror (which tracks the lane *primary*), aggregate
+/// queries union the shards. Advance it exactly once per engine batch
+/// with [`ShardedView::apply`]; cloning pins an epoch, exactly like
 /// [`SpannerView`].
+///
+/// A view is bound to the engine it was built from (its identity and
+/// layout epoch) and to the batch sequence it last saw: applying a batch
+/// twice, skipping one, applying against a different engine, or applying
+/// across a reshard / rebalance / failover panics with a clear message
+/// instead of silently corrupting the mirror. After any layout change,
+/// rebuild with [`ShardedView::of`].
 #[derive(Debug, Clone)]
 pub struct ShardedView<P: Partitioner = HashPartitioner> {
     n: usize,
     views: Vec<SpannerView>,
     part: P,
     epoch: u64,
+    engine_id: u64,
+    layout: u64,
+    seq: u64,
 }
 
 impl<P: Partitioner> ShardedView<P> {
-    /// A view mirroring `engine`'s current per-shard outputs, at epoch 0.
+    /// A view mirroring `engine`'s current per-lane primary outputs, at
+    /// epoch 0, bound to the engine's identity, layout epoch, and batch
+    /// sequence.
     pub fn of<S: FullyDynamic + Send>(engine: &ShardedEngine<S, P>) -> Self {
         let views = engine
             .lanes
             .iter()
-            .map(|lane| SpannerView::from_output(engine.n, &lane.shard))
+            .map(|lane| {
+                let mut v = SpannerView::from_output(engine.n, lane.primary_shard());
+                v.resync_seq(engine.seq);
+                v
+            })
             .collect();
         Self {
             n: engine.n,
             views,
             part: engine.part.clone(),
             epoch: 0,
+            engine_id: engine.id,
+            layout: engine.layout,
+            seq: engine.seq,
         }
     }
 
-    /// Advance every per-shard mirror by the engine's most recent batch
+    /// Advance every per-lane mirror by the engine's most recent batch
     /// deltas and bump the (single) epoch. Call exactly once per engine
-    /// batch.
+    /// batch: the engine's sequence number must be exactly one ahead of
+    /// what this view last saw, from the same engine at the same
+    /// layout — anything else panics (the three silent drift modes:
+    /// double apply, skipped batch, wrong engine; plus stale layout).
     pub fn apply<S>(&mut self, engine: &ShardedEngine<S, P>) {
         assert_eq!(
-            self.views.len(),
-            engine.lanes.len(),
-            "view/engine shard count mismatch"
+            self.engine_id, engine.id,
+            "sharded view drift: this view mirrors a different engine \
+             (view was built from engine #{}, applied against engine #{})",
+            self.engine_id, engine.id
         );
-        for (view, lane) in self.views.iter_mut().zip(&engine.lanes) {
-            view.apply(&lane.delta);
+        assert_eq!(
+            self.layout, engine.layout,
+            "sharded view is stale: the engine resharded, rebalanced, or failed over a \
+             primary since this view was created; rebuild it with ShardedView::of"
+        );
+        match engine.seq {
+            s if s == self.seq + 1 => {}
+            s if s == self.seq => panic!(
+                "sharded view drift: engine batch #{s} was already applied to this view \
+                 (double apply)"
+            ),
+            s if s > self.seq => panic!(
+                "sharded view drift: the engine is at batch #{s} but this view last saw \
+                 #{}; {} batch(es) were skipped",
+                self.seq,
+                s - self.seq - 1
+            ),
+            s => panic!(
+                "sharded view drift: the engine is at batch #{s}, behind this view at #{}",
+                self.seq
+            ),
         }
+        for (view, lane) in self.views.iter_mut().zip(&engine.lanes) {
+            view.apply(lane.primary_delta());
+        }
+        self.seq = engine.seq;
         self.epoch += 1;
     }
 
@@ -409,6 +1177,11 @@ impl<P: Partitioner> ShardedView<P> {
     /// Number of engine batches applied since construction.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The engine batch sequence number this view last mirrored.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     pub fn num_shards(&self) -> usize {
@@ -586,13 +1359,22 @@ mod tests {
         assert!(matches!(
             ShardedEngineBuilder::new(10)
                 .shards(0)
-                .build_with(&[], |_, es| MirrorSpanner::build(10, es)),
+                .build_with(&[], move |_, es| MirrorSpanner::build(10, es)),
             Err(ConfigError::InvalidParam { name: "shards", .. })
+        ));
+        assert!(matches!(
+            ShardedEngineBuilder::new(10)
+                .replicas(0)
+                .build_with(&[], move |_, es| MirrorSpanner::build(10, es)),
+            Err(ConfigError::InvalidParam {
+                name: "replicas",
+                ..
+            })
         ));
         assert!(matches!(
             ShardedEngineBuilder::new(3)
                 .shards(2)
-                .build_with(&[Edge::new(0, 9)], |_, es| MirrorSpanner::build(3, es)),
+                .build_with(&[Edge::new(0, 9)], move |_, es| MirrorSpanner::build(3, es)),
             Err(ConfigError::VertexOutOfRange { .. })
         ));
     }
@@ -607,6 +1389,9 @@ mod tests {
                 assert_eq!(h, HashPartitioner.shard_of(e, k));
                 let r = VertexRangePartitioner::new(64).shard_of(e, k);
                 assert!(r < k);
+                let j = JumpPartitioner::new().shard_of(e, k);
+                assert!(j < k);
+                assert_eq!(j, JumpPartitioner::new().shard_of(e, k));
             }
         }
         // Vertex-range: canonical u decides the shard; a low-u edge and a
@@ -617,13 +1402,69 @@ mod tests {
     }
 
     #[test]
+    fn partitioner_validation_catches_engine_mismatch() {
+        // Regression: build_with never validated the partitioner — a
+        // VertexRangePartitioner over m != n silently skewed every high
+        // vertex onto the last shard.
+        let n = 64;
+        let err = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .partitioner(VertexRangePartitioner::new(32))
+            .build_with(&[], move |_, es| MirrorSpanner::build(n, es));
+        assert!(matches!(
+            err,
+            Err(ConfigError::InvalidParam {
+                name: "partitioner",
+                ..
+            })
+        ));
+        // Rebalanced bounds are pinned to their shard count: resharding
+        // under them must be rejected, not mis-route.
+        let p = VertexRangePartitioner::new(100)
+            .rebalanced(&[90, 5, 3, 2])
+            .unwrap();
+        assert!(p.validate(100, 4).is_ok());
+        assert!(p.validate(100, 5).is_err());
+        assert!(p.validate(99, 4).is_err());
+    }
+
+    #[test]
+    fn jump_partitioner_moves_a_small_fraction_on_split() {
+        let edges = gen::gnm(1000, 4000, 3);
+        for k in [2usize, 4, 8] {
+            let p = JumpPartitioner::new();
+            let moved = edges
+                .iter()
+                .filter(|&&e| p.shard_of(e, k) != p.shard_of(e, k + 1))
+                .count();
+            let frac = moved as f64 / edges.len() as f64;
+            assert!(
+                frac > 0.0 && frac < 2.0 / (k + 1) as f64,
+                "jump k={k}->{}: moved fraction {frac} (expect ~{})",
+                k + 1,
+                1.0 / (k + 1) as f64
+            );
+            // The modulo hash partitioner re-routes most edges on the
+            // same split — the contrast that motivates JumpPartitioner.
+            let moved_hash = edges
+                .iter()
+                .filter(|&&e| HashPartitioner.shard_of(e, k) != HashPartitioner.shard_of(e, k + 1))
+                .count();
+            assert!(
+                moved_hash > 2 * moved,
+                "hash moved {moved_hash} vs jump {moved} at k={k}"
+            );
+        }
+    }
+
+    #[test]
     fn sharded_mirror_tracks_the_graph() {
         let n = 80;
         let init = gen::gnm_connected(n, 240, 11);
         for shards in [1usize, 3, 5] {
             let mut engine = ShardedEngineBuilder::new(n)
                 .shards(shards)
-                .build_with(&init, |_, es| MirrorSpanner::build(n, es))
+                .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
                 .unwrap();
             assert_eq!(engine.num_shards(), shards);
             assert_eq!(engine.num_live_edges(), init.len());
@@ -644,6 +1485,7 @@ mod tests {
                 );
                 assert_eq!(view.len(), shadow.len());
                 assert_eq!(view.epoch(), round + 1);
+                assert_eq!(view.seq(), engine.seq());
                 for &e in stream.live_edges().iter().take(20) {
                     assert!(view.contains(e));
                 }
@@ -653,6 +1495,16 @@ mod tests {
             for v in 0..n as V {
                 assert_eq!(csr.degree(v), view.degree(v) as usize);
             }
+            // Lane loads account for every live edge exactly once.
+            let loads = engine.lane_loads();
+            assert_eq!(loads.len(), shards);
+            assert_eq!(
+                loads.iter().map(|l| l.live_edges).sum::<usize>(),
+                engine.num_live_edges()
+            );
+            assert!(loads
+                .iter()
+                .all(|l| l.live_replicas == 1 && l.total_replicas == 1));
         }
     }
 
@@ -663,16 +1515,18 @@ mod tests {
         let mut engine = ShardedEngineBuilder::new(n)
             .shards(3)
             .partitioner(VertexRangePartitioner::new(n))
-            .build_with(&init, |_, es| MirrorSpanner::build(n, es))
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
             .unwrap();
         let mut shadow = shadow_of(&engine);
         let mut buf = DeltaBuf::new();
         let dels: Vec<Edge> = init.iter().copied().take(10).collect();
         engine.delete_into(&dels, &mut buf);
         assert_eq!(buf.deleted().len(), 10);
+        assert_eq!(buf.seq(), 1);
         buf.apply_weighted_to(&mut shadow);
         engine.insert_into(&dels, &mut buf);
         assert_eq!(buf.inserted().len(), 10);
+        assert_eq!(buf.seq(), 2);
         buf.apply_weighted_to(&mut shadow);
         assert_eq!(shadow_of(&engine), shadow);
         assert_eq!(engine.stats().recourse, 20);
@@ -682,11 +1536,302 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let mut engine = ShardedEngineBuilder::new(10)
             .shards(2)
-            .build_with(&[Edge::new(0, 1)], |_, es| MirrorSpanner::build(10, es))
+            .build_with(&[Edge::new(0, 1)], move |_, es| {
+                MirrorSpanner::build(10, es)
+            })
             .unwrap();
         let mut buf = DeltaBuf::new();
         engine.apply_into(&UpdateBatch::default(), &mut buf);
         assert_eq!(buf.recourse(), 0);
         assert_eq!(engine.num_live_edges(), 1);
+        // Even an empty batch is a batch: the sequence advances and a
+        // view must see it exactly once.
+        assert_eq!(engine.seq(), 1);
+    }
+
+    #[test]
+    fn reshard_preserves_the_edge_set_and_moves_minimally() {
+        let n = 80;
+        let init = gen::gnm_connected(n, 240, 11);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(3)
+            .partitioner(JumpPartitioner::new())
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let mut shadow = shadow_of(&engine);
+        let mut stream = UpdateStream::new(n, &init, 29);
+        let mut buf = DeltaBuf::new();
+        for new_k in [4usize, 7, 2, 1, 3] {
+            let batch = stream.next_batch(8, 6);
+            engine.apply_into(&batch, &mut buf);
+            buf.apply_weighted_to(&mut shadow);
+            let total_before = engine.num_live_edges();
+            let stats = engine.reshard(new_k).unwrap();
+            assert_eq!(stats.new_shards, new_k);
+            assert_eq!(engine.num_shards(), new_k);
+            assert_eq!(stats.total_edges, total_before);
+            assert!(stats.moved_edges <= stats.total_edges);
+            // Membership is untouched by the layout change.
+            assert_eq!(engine.num_live_edges(), total_before);
+            assert_eq!(
+                shadow_of(&engine),
+                shadow,
+                "reshard to {new_k} changed the set"
+            );
+            // A fresh view serves the resharded layout.
+            let view = ShardedView::of(&engine);
+            assert_eq!(view.len(), shadow.len());
+            assert_eq!(view.num_shards(), new_k);
+            for &e in stream.live_edges().iter().take(20) {
+                assert!(view.contains(e));
+            }
+        }
+        // A k -> k+1 jump-partitioned split moves a minority of edges.
+        let k = engine.num_shards();
+        let stats = engine.reshard(k + 1).unwrap();
+        assert!(
+            stats.moved_edges * 2 < stats.total_edges,
+            "jump split moved {}/{}",
+            stats.moved_edges,
+            stats.total_edges
+        );
+    }
+
+    #[test]
+    fn replicas_fan_out_and_fail_over() {
+        let n = 60;
+        let init = gen::gnm_connected(n, 180, 7);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .replicas(3)
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        assert_eq!(engine.num_replicas(), 3);
+        let mut shadow = shadow_of(&engine);
+        let mut stream = UpdateStream::new(n, &init, 41);
+        let mut buf = DeltaBuf::new();
+        // Writes fan to every replica: all replicas of a lane agree.
+        let batch = stream.next_batch(10, 8);
+        engine.apply_into(&batch, &mut buf);
+        buf.apply_weighted_to(&mut shadow);
+        for lane in 0..2 {
+            let primary_m = engine.shard(lane).num_live_edges();
+            for r in 0..3 {
+                assert_eq!(engine.replica(lane, r).unwrap().num_live_edges(), primary_m);
+            }
+        }
+        // Failover: dropping the designated primary promotes the next
+        // live replica and bumps the layout epoch; reads continue.
+        let layout_before = engine.layout_epoch();
+        engine.drop_replica(0, 0).unwrap();
+        assert_eq!(engine.primary_of(0), 1);
+        assert_eq!(engine.live_replicas(0), 2);
+        assert_eq!(engine.layout_epoch(), layout_before + 1);
+        assert_eq!(shadow_of(&engine), shadow);
+        // Batches keep flowing through the surviving replicas.
+        let batch = stream.next_batch(6, 6);
+        engine.apply_into(&batch, &mut buf);
+        buf.apply_weighted_to(&mut shadow);
+        assert_eq!(shadow_of(&engine), shadow);
+        // Restore rebuilds from the lane's *current* live edges; the
+        // primary designation is undisturbed.
+        engine.restore_replica(0, 0).unwrap();
+        assert_eq!(engine.primary_of(0), 1);
+        assert_eq!(engine.live_replicas(0), 3);
+        assert_eq!(
+            engine.replica(0, 0).unwrap().num_live_edges(),
+            engine.shard(0).num_live_edges()
+        );
+        // The restored replica participates in subsequent batches and
+        // becomes primary if the current primary drops.
+        let batch = stream.next_batch(5, 5);
+        engine.apply_into(&batch, &mut buf);
+        buf.apply_weighted_to(&mut shadow);
+        engine.drop_replica(0, 1).unwrap();
+        assert_eq!(engine.primary_of(0), 0);
+        assert_eq!(shadow_of(&engine), shadow);
+        // Guard rails: the last live replica of a lane is untouchable,
+        // double drops and bad indices are typed errors.
+        engine.drop_replica(0, 2).unwrap();
+        assert!(engine.drop_replica(0, 0).is_err(), "last live replica");
+        assert!(engine.drop_replica(0, 1).is_err(), "already dropped");
+        assert!(engine.drop_replica(9, 0).is_err(), "lane out of range");
+        assert!(engine.restore_replica(0, 0).is_err(), "already live");
+        engine.restore_replica(0, 1).unwrap();
+        assert_eq!(shadow_of(&engine), shadow);
+    }
+
+    #[test]
+    fn rebalance_evens_vertex_range_skew() {
+        // Almost every edge has a low lower endpoint: the uniform
+        // vertex-range layout piles them all onto lane 0.
+        let n = 100;
+        let mut edges: Vec<Edge> = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..40 {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        edges.push(Edge::new(60, 61));
+        edges.push(Edge::new(80, 81));
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(4)
+            .partitioner(VertexRangePartitioner::new(n))
+            .build_with(&edges, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let shadow = shadow_of(&engine);
+        let before = engine.lane_loads();
+        let max_before = before.iter().map(|l| l.live_edges).max().unwrap();
+        let mean = edges.len() as f64 / 4.0;
+        assert!(
+            max_before as f64 > DEFAULT_SKEW_THRESHOLD * mean,
+            "test graph must be skewed"
+        );
+        let RebalanceOutcome::Rebalanced { moved_edges } = engine.rebalance_if_skewed() else {
+            panic!("skewed vertex-range engine must rebalance");
+        };
+        assert!(moved_edges > 0);
+        let after = engine.lane_loads();
+        let max_after = after.iter().map(|l| l.live_edges).max().unwrap();
+        assert!(
+            max_after < max_before,
+            "rebalance must shrink the heaviest lane: {max_before} -> {max_after}"
+        );
+        // Membership is untouched; the partitioner now carries bounds.
+        assert_eq!(shadow_of(&engine), shadow);
+        assert_eq!(engine.num_live_edges(), edges.len());
+        assert!(engine.partitioner().bounds().is_some());
+        // Reads still route correctly under the rebalanced layout.
+        let view = ShardedView::of(&engine);
+        for &e in edges.iter().take(30) {
+            assert!(view.contains(e));
+        }
+    }
+
+    #[test]
+    fn rebalance_outcomes_for_hash_and_jump() {
+        let n = 40;
+        let edges: Vec<Edge> = (1..6).map(|i| Edge::new(0, i)).collect();
+        // 5 edges over 4 hash lanes cannot be even: threshold 1.0
+        // triggers, but HashPartitioner cannot rebalance.
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(4)
+            .build_with(&edges, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        assert_eq!(
+            engine.rebalance_if_skewed_with(1.0),
+            RebalanceOutcome::Unsupported
+        );
+        // A threshold above the worst possible skew never triggers.
+        assert_eq!(
+            engine.rebalance_if_skewed_with(10.0),
+            RebalanceOutcome::Balanced
+        );
+        // JumpPartitioner re-salts (a reshuffle); membership survives.
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(4)
+            .partitioner(JumpPartitioner::new())
+            .build_with(&edges, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let shadow = shadow_of(&engine);
+        let before_max = engine
+            .lane_loads()
+            .iter()
+            .map(|l| l.live_edges)
+            .max()
+            .unwrap();
+        // 5 edges over 4 lanes: max ≥ 2 > mean = 1.25, so threshold 1.0
+        // always triggers; the jump partitioner probes re-salted
+        // candidates and commits one only if it actually improves.
+        match engine.rebalance_if_skewed_with(1.0) {
+            RebalanceOutcome::Rebalanced { moved_edges } => {
+                assert!(moved_edges > 0);
+                assert_ne!(engine.partitioner().salt(), 0);
+                let after_max = engine
+                    .lane_loads()
+                    .iter()
+                    .map(|l| l.live_edges)
+                    .max()
+                    .unwrap();
+                assert!(after_max < before_max);
+            }
+            RebalanceOutcome::Balanced => {
+                // No probed salt beat the current layout; nothing moved.
+                assert_eq!(engine.partitioner().salt(), 0);
+            }
+            RebalanceOutcome::Unsupported => panic!("jump partitioner must support rebalance"),
+        }
+        assert_eq!(shadow_of(&engine), shadow);
+    }
+
+    // --- the three silent view-drift modes are now immediate panics ---
+
+    fn drift_engine() -> (
+        ShardedEngine<MirrorSpanner, HashPartitioner>,
+        ShardedView<HashPartitioner>,
+        DeltaBuf,
+    ) {
+        let n = 30;
+        let init = gen::gnm(n, 60, 13);
+        let engine = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let view = ShardedView::of(&engine);
+        (engine, view, DeltaBuf::new())
+    }
+
+    #[test]
+    fn from_output_anchors_a_mirror_at_the_engine_seq() {
+        // A SpannerView seeded mid-stream from the engine's output must
+        // accept the very next merged delta (BatchDynamic::batch_seq
+        // anchors the sequence check) — not panic with a false drift.
+        let (mut engine, _view, mut buf) = drift_engine();
+        engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(0, 29)]), &mut buf);
+        let mut mirror = SpannerView::from_output(30, &engine);
+        assert_eq!(mirror.seq(), engine.seq());
+        engine.apply_into(&UpdateBatch::delete_only(vec![Edge::new(0, 29)]), &mut buf);
+        mirror.apply(&buf);
+        assert_eq!(mirror.seq(), 2);
+        assert!(!mirror.contains(Edge::new(0, 29)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double apply")]
+    fn view_double_apply_panics() {
+        let (mut engine, mut view, mut buf) = drift_engine();
+        engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(0, 29)]), &mut buf);
+        view.apply(&engine);
+        view.apply(&engine); // same batch twice
+    }
+
+    #[test]
+    #[should_panic(expected = "skipped")]
+    fn view_skipped_batch_panics() {
+        let (mut engine, mut view, mut buf) = drift_engine();
+        engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(0, 29)]), &mut buf);
+        engine.apply_into(&UpdateBatch::delete_only(vec![Edge::new(0, 29)]), &mut buf);
+        view.apply(&engine); // the first batch was never applied
+    }
+
+    #[test]
+    #[should_panic(expected = "different engine")]
+    fn view_cross_engine_apply_panics() {
+        let (mut engine, _view, mut buf) = drift_engine();
+        let (other_engine, mut other_view, _) = drift_engine();
+        engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(0, 29)]), &mut buf);
+        // Same shard count, same seq delta — only the identity check
+        // can catch this.
+        drop(other_engine);
+        other_view.apply(&engine);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn view_stale_after_reshard_panics() {
+        let (mut engine, mut view, mut buf) = drift_engine();
+        engine.reshard(3).unwrap();
+        engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(0, 29)]), &mut buf);
+        view.apply(&engine);
     }
 }

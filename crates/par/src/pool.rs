@@ -3,8 +3,16 @@
 //! Benchmarks need to compare the same batch under different processor
 //! counts (experiment E4). Rayon's global pool cannot be resized, so we
 //! build a scoped pool per invocation instead.
+//!
+//! The default worker count honors the `BDS_THREADS` environment
+//! variable (a positive integer pins it; anything else falls back to
+//! the hardware parallelism — the vendored rayon shim reads it when it
+//! sizes its default pool). CI uses `BDS_THREADS=4` to drive the
+//! parallel fan-out and scatter paths on single-vCPU runners, where
+//! they would otherwise always take the sequential branch.
 
-/// Number of worker threads rayon will use by default on this machine.
+/// Number of worker threads rayon will use by default on this machine
+/// (respects `BDS_THREADS`, see the module docs).
 pub fn threads_available() -> usize {
     rayon::current_num_threads()
 }

@@ -1,9 +1,12 @@
-//! Scenario: a serving tier. One process owns N spanner shards behind a
-//! single `FullyDynamic` surface: update batches are routed by a
-//! deterministic edge→shard hash, each shard absorbs its sub-batch
-//! independently (in parallel on multicore hosts), and the merged delta
-//! feeds a `ShardedView` read mirror that answers point queries for
-//! concurrent readers at a stable epoch.
+//! Scenario: an elastic serving tier. One process owns N spanner shards
+//! (with a hot standby replica per lane) behind a single `FullyDynamic`
+//! surface: update batches are routed by a consistent edge→shard hash,
+//! each lane × replica absorbs its sub-batch independently (in parallel
+//! on multicore hosts), and the merged delta feeds a `ShardedView` read
+//! mirror that answers point queries for concurrent readers at a stable
+//! epoch. Mid-run the tier is resharded 4 → 5 (only the re-routed edges
+//! move) and a lane's primary replica is failed over, without ever
+//! taking the engine offline.
 //!
 //! Run with: `cargo run --example sharded_serving --release`
 
@@ -16,36 +19,43 @@ fn main() {
     let shards = 4;
     let edges = gen::gnm_connected(n, 6 * n, 11);
     println!(
-        "serving tier: n = {n}, m = {}, {shards} spanner shards (threads: {})",
+        "serving tier: n = {n}, m = {}, {shards} spanner shards x 2 replicas (threads: {})",
         edges.len(),
         bds_par::threads_available()
     );
 
-    // Each shard is an independent Theorem 1.1 structure over the edges
-    // the partitioner routes to it; the factory seeds them differently.
+    // Each lane holds two independently built Theorem 1.1 structures
+    // over the edges the consistent-hash partitioner routes to it; the
+    // factory seeds deterministically per lane, so the replicas of a
+    // lane are interchangeable.
     let mut engine = ShardedEngineBuilder::new(n)
         .shards(shards)
-        .build_with(&edges, |i, shard_edges| {
+        .replicas(2)
+        .partitioner(JumpPartitioner::new())
+        .build_with(&edges, move |i, shard_edges| {
             FullyDynamicSpanner::builder(n)
                 .stretch(2)
                 .seed(100 + i as u64)
                 .build(shard_edges)
         })
         .expect("valid configuration");
-    for i in 0..engine.num_shards() {
+    for (i, load) in engine.lane_loads().iter().enumerate() {
         println!(
-            "  shard {i}: {} live edges, {} spanner edges",
-            engine.shard(i).num_live_edges(),
-            engine.shard(i).spanner_size()
+            "  lane {i}: {} live edges, {} spanner edges, {}/{} replicas",
+            load.live_edges,
+            engine.shard(i).spanner_size(),
+            load.live_replicas,
+            load.total_replicas
         );
     }
     assert_eq!(engine.num_live_edges(), edges.len());
 
-    // Read side: per-shard mirrors behind one epoch.
+    // Read side: per-lane mirrors behind one epoch, bound to the
+    // engine's batch sequence — a skipped or double-applied batch would
+    // panic instead of silently drifting.
     let mut view = ShardedView::of(&engine);
 
-    // The write loop: mixed batches in, one merged delta out. The view
-    // advances once per batch; a clone pins an epoch for readers.
+    // The write loop: mixed batches in, one merged delta out.
     let mut stream = UpdateStream::new(n, &edges, 7);
     let mut delta = DeltaBuf::new();
     let mut recourse = 0usize;
@@ -54,6 +64,7 @@ fn main() {
         let batch = stream.next_batch(40, 40);
         updates += batch.len();
         engine.apply_into(&batch, &mut delta);
+        assert_eq!(delta.seq(), engine.seq());
         recourse += delta.recourse();
         let pinned = view.clone();
         view.apply(&engine);
@@ -63,8 +74,7 @@ fn main() {
             .map(|i| engine.shard(i).spanner_size())
             .sum();
         assert_eq!(view.len(), spanner_total, "round {round}");
-        // Point reads route through the same partitioner the writes use:
-        // the view answers for exactly the shard that owns the edge.
+        // Point reads route through the same partitioner the writes use.
         for &e in batch.insertions.iter().take(5) {
             let shard = engine.partitioner().shard_of(e, engine.num_shards());
             assert_eq!(
@@ -79,6 +89,56 @@ fn main() {
          view at epoch {} with {} edges",
         view.epoch(),
         view.len()
+    );
+
+    // Elastic scale-out: add a fifth shard in place. The jump
+    // partitioner re-routes only ~1/5 of the edges; everything else
+    // stays on its lane, and the maintained graph is untouched.
+    let m_before = engine.num_live_edges();
+    let stats = engine.reshard(5).expect("valid reshard");
+    assert_eq!(engine.num_shards(), 5);
+    assert_eq!(engine.num_live_edges(), m_before);
+    println!(
+        "reshard 4 -> 5: moved {} of {} edges ({:.1}%)",
+        stats.moved_edges,
+        stats.total_edges,
+        100.0 * stats.moved_edges as f64 / stats.total_edges as f64
+    );
+    assert!(
+        stats.moved_edges * 2 < stats.total_edges,
+        "consistent hashing must move a minority of edges"
+    );
+    // The old view is bound to the old layout; rebuild and keep serving.
+    view = ShardedView::of(&engine);
+    let batch = stream.next_batch(40, 40);
+    engine.apply_into(&batch, &mut delta);
+    view.apply(&engine);
+    assert_eq!(view.num_shards(), 5);
+    // A hash layout over a G(n, m) graph is already even.
+    assert_eq!(engine.rebalance_if_skewed(), RebalanceOutcome::Balanced);
+
+    // Failover drill: drop lane 0's primary replica. Reads fail over to
+    // its standby, writes keep fanning to the survivors, and a restored
+    // replica is rebuilt from the lane's live edges.
+    engine.drop_replica(0, 0).expect("standby exists");
+    assert_eq!(engine.primary_of(0), 1);
+    view = ShardedView::of(&engine); // failover bumps the layout epoch
+    for _ in 0..5 {
+        let batch = stream.next_batch(40, 40);
+        engine.apply_into(&batch, &mut delta);
+        view.apply(&engine);
+    }
+    assert_eq!(engine.num_live_edges(), stream.live_edges().len());
+    engine.restore_replica(0, 0).expect("slot is free");
+    assert_eq!(engine.live_replicas(0), 2);
+    assert_eq!(
+        engine.replica(0, 0).unwrap().num_live_edges(),
+        engine.shard(0).num_live_edges()
+    );
+    println!(
+        "failover drill: primary of lane 0 -> replica {}, restored standby carries {} live edges",
+        engine.primary_of(0),
+        engine.shard(0).num_live_edges()
     );
 
     // A traversal snapshot of the union, independent of later batches.

@@ -111,8 +111,9 @@ pub mod prelude {
         FullyDynamic, SpannerView,
     };
     pub use bds_graph::shard::{
-        HashPartitioner, MirrorSpanner, Partitioner, ShardedEngine, ShardedEngineBuilder,
-        ShardedView, VertexRangePartitioner,
+        HashPartitioner, JumpPartitioner, LaneLoad, MirrorSpanner, Partitioner, RebalanceOutcome,
+        ReshardStats, ShardedEngine, ShardedEngineBuilder, ShardedView, VertexRangePartitioner,
+        DEFAULT_SKEW_THRESHOLD,
     };
     pub use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
     pub use bds_graph::{CsrGraph, DynamicGraph};

@@ -156,7 +156,9 @@ fn delta_path_is_allocation_free_after_warmup() {
         let (core, churn) = init.split_at(256);
         let mut engine = ShardedEngineBuilder::new(n)
             .shards(4)
-            .build_with(core, |_, shard_edges| MirrorSpanner::build(n, shard_edges))
+            .build_with(core, move |_, shard_edges| {
+                MirrorSpanner::build(n, shard_edges)
+            })
             .unwrap();
         let mut buf = DeltaBuf::new();
         let ins = UpdateBatch::insert_only(churn.to_vec());
@@ -176,6 +178,46 @@ fn delta_path_is_allocation_free_after_warmup() {
             allocs() - before,
             0,
             "sharded merged-delta path allocated after warm-up"
+        );
+    });
+
+    // --- 5. Replicated ShardedEngine: the steady-state lane × replica
+    //        fan-out (every write applied to every live replica, engine
+    //        live-edge tracking, sequence stamping, primary-delta merge)
+    //        is also exactly zero once warm — replication multiplies the
+    //        work, not the allocations. One replica is dropped so the
+    //        dead-replica skip path is exercised too.
+    bds_par::run_with_threads(1, || {
+        let n = 96;
+        let init = gen::gnm(n, 384, 19);
+        let (core, churn) = init.split_at(256);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .replicas(3)
+            .partitioner(JumpPartitioner::new())
+            .build_with(core, move |_, shard_edges| {
+                MirrorSpanner::build(n, shard_edges)
+            })
+            .unwrap();
+        engine.drop_replica(0, 2).unwrap();
+        let mut buf = DeltaBuf::new();
+        let ins = UpdateBatch::insert_only(churn.to_vec());
+        let del = UpdateBatch::delete_only(churn.to_vec());
+        for _ in 0..2 {
+            engine.apply_into(&ins, &mut buf);
+            engine.apply_into(&del, &mut buf);
+        }
+        let before = allocs();
+        for _ in 0..10 {
+            engine.apply_into(&ins, &mut buf);
+            assert_eq!(buf.recourse(), churn.len());
+            engine.apply_into(&del, &mut buf);
+            assert_eq!(buf.recourse(), churn.len());
+        }
+        assert_eq!(
+            allocs() - before,
+            0,
+            "replicated sharded fan-out allocated after warm-up"
         );
     });
 }

@@ -268,7 +268,7 @@ fn conformance_sharded_engine() {
     for shards in [1usize, 2, 7] {
         let s = ShardedEngineBuilder::new(n)
             .shards(shards)
-            .build_with(&edges, |i, shard_edges| {
+            .build_with(&edges, move |i, shard_edges| {
                 FullyDynamicSpanner::builder(n)
                     .stretch(2)
                     .seed(83 + i as u64)
@@ -280,6 +280,28 @@ fn conformance_sharded_engine() {
 }
 
 #[test]
+fn conformance_sharded_engine_replicated_jump() {
+    // The elastic configuration: consistent-hash routing and two
+    // replicas per lane must satisfy exactly the same contract as a
+    // single structure (writes fan to every replica, the served deltas
+    // follow the primaries).
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 103);
+    let s = ShardedEngineBuilder::new(n)
+        .shards(3)
+        .replicas(2)
+        .partitioner(JumpPartitioner::new())
+        .build_with(&edges, move |i, shard_edges| {
+            FullyDynamicSpanner::builder(n)
+                .stretch(2)
+                .seed(107 + i as u64)
+                .build(shard_edges)
+        })
+        .unwrap();
+    conform_fully_dynamic(s, &edges, 6, "ShardedEngine[3x2 jump]");
+}
+
+#[test]
 fn conformance_sharded_sparsifier() {
     // The weighted merge path: per-shard weight lanes must survive the
     // merge + net intact.
@@ -287,7 +309,7 @@ fn conformance_sharded_sparsifier() {
     let edges = gen::gnm_connected(n, 200, 89);
     let s = ShardedEngineBuilder::new(n)
         .shards(3)
-        .build_with(&edges, |i, shard_edges| {
+        .build_with(&edges, move |i, shard_edges| {
             FullyDynamicSparsifier::builder(n)
                 .depth(1)
                 .seed(97 + i as u64)
@@ -408,7 +430,7 @@ fn num_live_edges_agrees_across_structures() {
             Box::new(
                 ShardedEngineBuilder::new(n)
                     .shards(3)
-                    .build_with(&edges, |i, shard_edges| {
+                    .build_with(&edges, move |i, shard_edges| {
                         FullyDynamicSpanner::builder(n)
                             .stretch(2)
                             .seed(29 + i as u64)

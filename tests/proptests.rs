@@ -334,7 +334,7 @@ proptest! {
                 .unwrap();
             let mut sharded = ShardedEngineBuilder::new(n)
                 .shards(shards)
-                .build_with(&edges, |i, shard_edges| {
+                .build_with(&edges, move |i, shard_edges| {
                     FullyDynamicSpanner::builder(n)
                         .stretch(1)
                         .seed(seed ^ 0xca11 ^ i as u64)
@@ -375,6 +375,99 @@ proptest! {
                     "round {}: live-edge counts diverge",
                     round
                 );
+            }
+        }
+    }
+
+    /// Elastic equivalence: a sharded engine driven through a random
+    /// schedule with `reshard` transitions (k ∈ {1, 2, 3, 7}), a
+    /// rebalance attempt, and a replica drop / restore interleaved
+    /// mid-schedule materializes the same edge set as the monolith
+    /// oracle after every round (stretch 1 makes the output a
+    /// deterministic function of the live graph, so replicas and
+    /// resharded lanes must agree exactly). The read mirror is rebuilt
+    /// after every layout change — exactly what the sequence / layout
+    /// discipline enforces — and must track the oracle too.
+    #[test]
+    fn elastic_sharded_engine_matches_monolith((n, edges, seed) in graph_strategy()) {
+        use bds_graph::stream::UpdateStream;
+        let mut mono = FullyDynamicSpanner::builder(n)
+            .stretch(1)
+            .seed(seed ^ 0x51ed)
+            .build(&edges)
+            .unwrap();
+        let mut sharded = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .replicas(2)
+            .partitioner(JumpPartitioner::new())
+            .build_with(&edges, move |i, shard_edges| {
+                FullyDynamicSpanner::builder(n)
+                    .stretch(1)
+                    .seed(0xca11 ^ i as u64)
+                    .build(shard_edges)
+            })
+            .unwrap();
+        let mut buf = DeltaBuf::new();
+        let mut shadow_mono: FxHashMap<Edge, u64> = Default::default();
+        mono.output_into(&mut buf);
+        buf.apply_weighted_to(&mut shadow_mono);
+        let mut view = ShardedView::of(&sharded);
+        let mut view_layout = sharded.layout_epoch();
+
+        let mut stream_m = UpdateStream::new(n, &edges, seed ^ 0xe1a5);
+        let mut stream_s = UpdateStream::new(n, &edges, seed ^ 0xe1a5);
+        for round in 0..10 {
+            // Layout / replica events between batches, seed-steered.
+            match round {
+                2 => {
+                    let stats = sharded.reshard(3).unwrap();
+                    prop_assert!(stats.moved_edges <= stats.total_edges);
+                }
+                4 => {
+                    // Drop lane 0's primary: reads fail over to its twin.
+                    sharded.drop_replica(0, 0).unwrap();
+                    prop_assert_eq!(sharded.primary_of(0), 1);
+                }
+                5 => sharded.restore_replica(0, 0).unwrap(),
+                6 => { sharded.reshard(7).unwrap(); }
+                7 => { let _ = sharded.rebalance_if_skewed(); }
+                8 => { sharded.reshard(1).unwrap(); }
+                _ => {}
+            }
+            let bm = stream_m.next_batch(6, 5);
+            let bs = stream_s.next_batch(6, 5);
+            prop_assert_eq!(&bm.insertions, &bs.insertions);
+            prop_assert_eq!(&bm.deletions, &bs.deletions);
+            mono.apply_into(&bm, &mut buf);
+            buf.apply_weighted_to(&mut shadow_mono);
+            sharded.apply_into(&bs, &mut buf);
+            // Oracle: the union of shard outputs equals the monolith.
+            let mut shadow_sharded: FxHashMap<Edge, u64> = Default::default();
+            sharded.output_into(&mut buf);
+            buf.apply_weighted_to(&mut shadow_sharded);
+            prop_assert_eq!(
+                &shadow_mono,
+                &shadow_sharded,
+                "round {}: elastic sharded output diverged from monolith",
+                round
+            );
+            prop_assert_eq!(
+                BatchDynamic::num_live_edges(&sharded),
+                mono.num_live_edges(),
+                "round {}: live-edge counts diverge",
+                round
+            );
+            // Mirror maintenance: re-seed after layout changes, apply
+            // otherwise — and it must always match the oracle.
+            if sharded.layout_epoch() != view_layout {
+                view = ShardedView::of(&sharded);
+                view_layout = sharded.layout_epoch();
+            } else {
+                view.apply(&sharded);
+            }
+            prop_assert_eq!(view.len(), shadow_mono.len(), "round {}: view size", round);
+            for (&e, _) in shadow_mono.iter().take(20) {
+                prop_assert!(view.contains(e), "round {}: view missing {:?}", round, e);
             }
         }
     }

@@ -39,7 +39,16 @@ fn hardware_threads() -> usize {
     if cached != 0 {
         return cached;
     }
-    let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // `BDS_THREADS=k` pins the default worker count (explicit
+    // `ThreadPoolBuilder` pools still override it). This is how CI
+    // exercises the parallel paths on hosts whose hardware parallelism
+    // is 1 — without it, every shim primitive would silently run the
+    // sequential branch there.
+    let n = std::env::var("BDS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     DEFAULT_THREADS.store(n, Ordering::Relaxed);
     n
 }

@@ -1,0 +1,311 @@
+//! PR-6 perf snapshot: writes `BENCH_PR6.json` — the serving pipeline
+//! (`bds_graph::serve`) under concurrent read/write load, measured
+//! three ways:
+//!
+//! * **Sustained batch-query throughput vs write rate**: one reader
+//!   thread answers pinned `batch_contains` bursts while a producer
+//!   offers updates at 0 / low / mid / flood ops/s — the repo's first
+//!   read-path-under-write-load numbers.
+//! * **Batch-size knee curve**: the auto-tuner's warm-up sweep over
+//!   [`TUNE_CANDIDATES`](bds_graph::serve::TUNE_CANDIDATES) against a
+//!   real Theorem 1.1 spanner engine, plus the knee it picks.
+//! * **Reader interference on the writer**: mean/max `apply_into`
+//!   latency and total pin-wait with 0 vs 2 concurrent readers —
+//!   the "readers never block the writer" evidence. (On a single
+//!   hardware thread readers still *time-share* the core, so the
+//!   honest comparison keeps reader bursts short with sleeps between
+//!   them; `pin_wait_ms` isolates the protocol-level blocking.)
+//!
+//! Usage: `cargo run --release -p bds_bench --bin bench_pr6 [-- out.json] [--quick]`
+
+use bds_core::FullyDynamicSpanner;
+use bds_graph::gen;
+use bds_graph::serve::{BatchPolicy, IngestHandle, ServeLoopBuilder, ServeReport};
+use bds_graph::shard::{HashPartitioner, MirrorSpanner, ShardedEngineBuilder};
+use bds_graph::types::{Edge, V};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Offer path-churn updates (alternating insert/delete sweeps — never
+/// a semantic no-op after the first sweep) at `rate` ops/s until
+/// `window` elapses; `u64::MAX` means flood.
+fn produce(tx: &IngestHandle, n: usize, rate: u64, window: Duration) -> u64 {
+    if rate == 0 {
+        std::thread::sleep(window);
+        return 0;
+    }
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    let mut inserting = true;
+    let mut u: V = 0;
+    while t0.elapsed() < window {
+        for _ in 0..128 {
+            if inserting {
+                let _ = tx.insert(u, u + 1);
+            } else {
+                let _ = tx.delete(u, u + 1);
+            }
+            sent += 1;
+            u += 1;
+            if u as usize >= n - 1 {
+                u = 0;
+                inserting = !inserting;
+            }
+        }
+        if rate != u64::MAX {
+            // Pace: sleep off whatever the target rate says we owe.
+            let due = Duration::from_secs_f64(sent as f64 / rate as f64);
+            let elapsed = t0.elapsed();
+            if due > elapsed {
+                std::thread::sleep((due - elapsed).min(window));
+            }
+        }
+    }
+    sent
+}
+
+struct ReadStats {
+    queries_per_s: f64,
+    query_batches: u64,
+}
+
+/// One serving run: `readers` reader threads (bursts of `q` contains
+/// queries per pin, `pause` between bursts) against a producer at
+/// `rate` ops/s for `window`. Returns the writer's report plus reader
+/// throughput.
+fn serve_run(
+    n: usize,
+    init: &[Edge],
+    rate: u64,
+    readers: usize,
+    q: usize,
+    pause: Duration,
+    window: Duration,
+) -> (ServeReport, ReadStats, u64) {
+    let engine = ShardedEngineBuilder::new(n)
+        .shards(4)
+        .build_with(init, move |_, es| MirrorSpanner::build(n, es))
+        .unwrap();
+    let (serve, ingest) = ServeLoopBuilder::new(engine)
+        .queue_capacity(8_192)
+        .batch_policy(BatchPolicy::Fixed(256))
+        .build();
+    let reads = serve.read_handle();
+    let writer = serve.spawn();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let bursts = Arc::new(AtomicU64::new(0));
+    let read_ns = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let h = reads.clone();
+            let stop = Arc::clone(&stop);
+            let bursts = Arc::clone(&bursts);
+            let read_ns = Arc::clone(&read_ns);
+            let queries: Vec<Edge> = (0..q)
+                .map(|i| Edge::new(((i * 7 + r) % (n - 1)) as V, n as V - 1))
+                .collect();
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let t0 = Instant::now();
+                while !stop.load(Relaxed) {
+                    let g = h.pin();
+                    g.batch_contains(&queries, &mut out);
+                    drop(g);
+                    bursts.fetch_add(1, Relaxed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                read_ns.fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            })
+        })
+        .collect();
+
+    let offered = produce(&ingest, n, rate, window);
+    drop(ingest);
+    let report = writer.join().unwrap();
+    stop.store(true, Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let nb = bursts.load(Relaxed);
+    let total_read_s = read_ns.load(Relaxed) as f64 / 1e9;
+    let stats = ReadStats {
+        queries_per_s: if total_read_s > 0.0 {
+            (nb * q as u64) as f64 / (total_read_s / readers.max(1) as f64)
+        } else {
+            0.0
+        },
+        query_batches: nb,
+    };
+    (report, stats, offered)
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = a;
+        }
+    }
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"pr\": 6,");
+    let _ = writeln!(j, "  \"threads\": {},", bds_par::threads_available());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+
+    // --- Section 1: batch-query throughput at several write rates. ---
+    let (n, m, window) = if quick {
+        (4_000, 16_000, Duration::from_millis(250))
+    } else {
+        (20_000, 80_000, Duration::from_millis(1_500))
+    };
+    let init = gen::gnm_connected(n, m, 11);
+    let q = 512;
+    let pause = Duration::from_micros(200);
+    let _ = writeln!(j, "  \"read_throughput_vs_write_rate_n{}k\": {{", n / 1000);
+    let rates: [(&str, u64); 4] = [
+        ("idle", 0),
+        ("low_5k", 5_000),
+        ("mid_50k", 50_000),
+        ("flood", u64::MAX),
+    ];
+    for (i, &(name, rate)) in rates.iter().enumerate() {
+        let (report, stats, offered) = serve_run(n, &init, rate, 1, q, pause, window);
+        eprintln!(
+            "reads vs writes [{name}]: {:.0} queries/s over {} bursts; writer {} batches / {} raw updates (offered {offered})",
+            stats.queries_per_s, stats.query_batches, report.batches, report.raw_updates
+        );
+        let _ = write!(
+            j,
+            "    \"{name}\": {{ \"offered_updates\": {offered}, \"applied_raw_updates\": {}, \"writer_batches\": {}, \"batch_queries_per_s\": {:.0}, \"query_batches\": {}, \"writer_pin_wait_ms\": {:.3} }}",
+            report.raw_updates,
+            report.batches,
+            stats.queries_per_s,
+            stats.query_batches,
+            report.pin_wait_ns as f64 / 1e6
+        );
+        let _ = writeln!(j, "{}", if i + 1 < rates.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  }},");
+
+    // --- Section 2: the auto-tuner's knee curve on a real spanner. ---
+    let (sn, sm) = if quick {
+        (2_000, 8_000)
+    } else {
+        (8_000, 32_000)
+    };
+    let sinit = gen::gnm_connected(sn, sm, 13);
+    let engine = ShardedEngineBuilder::new(sn)
+        .shards(4)
+        .partitioner(HashPartitioner)
+        .build_with(&sinit, move |i, es| {
+            FullyDynamicSpanner::builder(sn)
+                .stretch(2)
+                .seed(900 + i as u64)
+                .build(es)
+        })
+        .unwrap();
+    let (serve, ingest) = ServeLoopBuilder::new(engine)
+        .queue_capacity(8_192)
+        .batch_policy(BatchPolicy::Auto)
+        .build();
+    let writer = serve.spawn();
+    // Enough churn to complete the warm-up sweep (and then some).
+    let need: u64 = bds_graph::serve::TUNE_CANDIDATES
+        .iter()
+        .map(|&c| (c * bds_graph::serve::TUNE_ROUNDS) as u64)
+        .sum::<u64>()
+        * 3;
+    let mut inserting = true;
+    let mut u: V = 0;
+    for _ in 0..need {
+        if inserting {
+            let _ = ingest.insert(u, u + 1);
+        } else {
+            let _ = ingest.delete(u, u + 1);
+        }
+        u += 1;
+        if u as usize >= sn - 1 {
+            u = 0;
+            inserting = !inserting;
+        }
+    }
+    drop(ingest);
+    let report = writer.join().unwrap();
+    let _ = writeln!(j, "  \"batch_size_knee_spanner_n{}k\": {{", sn / 1000);
+    let _ = writeln!(j, "    \"curve\": [");
+    for (i, p) in report.tune_curve.iter().enumerate() {
+        eprintln!(
+            "knee curve: batch {} -> {:.0} updates/s",
+            p.batch_size, p.updates_per_sec
+        );
+        let _ = write!(
+            j,
+            "      {{ \"batch_size\": {}, \"updates_per_s\": {:.0} }}",
+            p.batch_size, p.updates_per_sec
+        );
+        let _ = writeln!(
+            j,
+            "{}",
+            if i + 1 < report.tune_curve.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(j, "    ],");
+    eprintln!(
+        "knee: auto-tuner chose batch size {}",
+        report.chosen_batch_size
+    );
+    let _ = writeln!(j, "    \"chosen_batch_size\": {}", report.chosen_batch_size);
+    let _ = writeln!(j, "  }},");
+
+    // --- Section 3: writer latency with and without readers. ---
+    let _ = writeln!(j, "  \"writer_latency_vs_readers_n{}k\": {{", n / 1000);
+    let mut means = [0.0f64; 2];
+    for (i, readers) in [0usize, 2].into_iter().enumerate() {
+        let (report, _, _) = serve_run(n, &init, u64::MAX, readers, 256, pause, window);
+        let mean_ms = if report.batches > 0 {
+            report.apply_ns_total as f64 / report.batches as f64 / 1e6
+        } else {
+            0.0
+        };
+        means[i] = mean_ms;
+        eprintln!(
+            "writer latency [{readers} readers]: mean {:.3}ms / max {:.3}ms per batch, pin-wait {:.3}ms over {} batches",
+            mean_ms,
+            report.apply_ns_max as f64 / 1e6,
+            report.pin_wait_ns as f64 / 1e6,
+            report.batches
+        );
+        let _ = writeln!(
+            j,
+            "    \"readers_{readers}\": {{ \"apply_ms_mean\": {:.4}, \"apply_ms_max\": {:.4}, \"pin_wait_ms\": {:.4}, \"batches\": {} }},",
+            mean_ms,
+            report.apply_ns_max as f64 / 1e6,
+            report.pin_wait_ns as f64 / 1e6,
+            report.batches
+        );
+    }
+    let ratio = if means[0] > 0.0 {
+        means[1] / means[0]
+    } else {
+        0.0
+    };
+    eprintln!("reader interference: mean-latency ratio {ratio:.2}x");
+    let _ = writeln!(j, "    \"mean_latency_ratio_2r_over_0r\": {ratio:.3}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).expect("write BENCH_PR6.json");
+    println!("wrote {out_path}");
+}

@@ -20,6 +20,21 @@
 //! sorted (dead keys keep their slot until compaction, so binary search
 //! stays valid), and bitmap bits at physical indices `>= len` are zero
 //! (so word-granular popcounts never overcount).
+//!
+//! Rank navigation (`kth`, `rank_of`, `lower_bound_rank`) is backed by a
+//! *superblock count index*: a Fenwick tree over per-superblock (512
+//! slots = 8 bitmap words) live counts. A rank query is one O(log)
+//! Fenwick walk plus at most 8 word popcounts, instead of a Θ(len/64)
+//! scan of the whole bitmap — which keeps batch read paths over large
+//! lists cheap. Single-bit flips update the tree in O(log); range
+//! shifts recount only the superblocks the shift already touched.
+
+/// Bitmap words per superblock of the rank index (512 slots). Word
+/// popcounts inside one superblock are the constant-size tail of every
+/// rank query; everything coarser goes through the Fenwick tree.
+const SB_WORDS: usize = 8;
+/// Slots per superblock.
+const SB_SLOTS: usize = SB_WORDS * 64;
 
 /// Flat sorted list over copyable keys and values.
 ///
@@ -38,6 +53,12 @@ pub struct FlatList<K, V> {
     /// `keys.len()` are zero.
     live: Vec<u64>,
     n_live: usize,
+    /// Live count per [`SB_WORDS`]-word superblock, parallel to `fen`.
+    sb_counts: Vec<u32>,
+    /// Fenwick tree over `sb_counts`: prefix sums and rank descent in
+    /// O(log(len / 512)), so `select`/`live_before` touch at most
+    /// [`SB_WORDS`] bitmap words instead of Θ(len/64).
+    fen: Vec<u32>,
 }
 
 impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
@@ -47,6 +68,8 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
             vals: Vec::new(),
             live: Vec::new(),
             n_live: 0,
+            sb_counts: Vec::new(),
+            fen: Vec::new(),
         }
     }
 
@@ -67,12 +90,16 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
                 *last = (1u64 << (n % 64)) - 1;
             }
         }
-        Self {
+        let mut list = Self {
             keys,
             vals,
             live,
             n_live: n,
-        }
+            sb_counts: Vec::new(),
+            fen: Vec::new(),
+        };
+        list.sb_rebuild();
+        list
     }
 
     /// Bulk build from unsorted entries (sorts internally).
@@ -95,11 +122,83 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
         (self.live[i >> 6] >> (i & 63)) & 1 == 1
     }
 
-    /// Number of live entries at physical indices `< p`.
+    /// Rebuild the superblock counts and the Fenwick tree from the
+    /// bitmap. O(len/64) — used by the bulk paths (`from_sorted`,
+    /// `compact`, tail-growth insert) whose own cost already dominates.
+    fn sb_rebuild(&mut self) {
+        let nsb = self.live.len().div_ceil(SB_WORDS);
+        self.sb_counts.clear();
+        self.sb_counts.resize(nsb, 0);
+        for (wi, &w) in self.live.iter().enumerate() {
+            self.sb_counts[wi / SB_WORDS] += w.count_ones();
+        }
+        self.fen.clear();
+        self.fen.extend_from_slice(&self.sb_counts);
+        for i in 1..=nsb {
+            let j = i + (i & i.wrapping_neg());
+            if j <= nsb {
+                self.fen[j - 1] += self.fen[i - 1];
+            }
+        }
+    }
+
+    /// Point-update the Fenwick tree after superblock `sb`'s count
+    /// changed by `delta`.
+    fn fen_add(&mut self, sb: usize, delta: i32) {
+        let n = self.fen.len();
+        let mut i = sb + 1;
+        while i <= n {
+            self.fen[i - 1] = (self.fen[i - 1] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Total live count in superblocks `[0, sb)`.
+    fn fen_prefix(&self, sb: usize) -> usize {
+        let mut s = 0usize;
+        let mut i = sb;
+        while i > 0 {
+            s += self.fen[i - 1] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Record a single live-bit set (`delta = 1`) or clear (`-1`) at
+    /// physical slot `p`.
+    fn sb_add_bit(&mut self, p: usize, delta: i32) {
+        let sb = p / SB_SLOTS;
+        self.sb_counts[sb] = (self.sb_counts[sb] as i32 + delta) as u32;
+        self.fen_add(sb, delta);
+    }
+
+    /// Recount the superblocks covering bitmap words `[w_lo, w_hi]`
+    /// after an in-place range shift touched them. The shift itself
+    /// visited every word in the range, so this adds only a constant
+    /// factor.
+    fn sb_resync(&mut self, w_lo: usize, w_hi: usize) {
+        for sb in (w_lo / SB_WORDS)..=(w_hi / SB_WORDS) {
+            let start = sb * SB_WORDS;
+            let end = (start + SB_WORDS).min(self.live.len());
+            let mut c = 0u32;
+            for &w in &self.live[start..end] {
+                c += w.count_ones();
+            }
+            let old = self.sb_counts[sb];
+            if c != old {
+                self.sb_counts[sb] = c;
+                self.fen_add(sb, c as i32 - old as i32);
+            }
+        }
+    }
+
+    /// Number of live entries at physical indices `< p`: one Fenwick
+    /// prefix plus at most [`SB_WORDS`] word popcounts.
     fn live_before(&self, p: usize) -> usize {
         let w = p >> 6;
-        let mut c = 0usize;
-        for &word in &self.live[..w] {
+        let sb = w / SB_WORDS;
+        let mut c = self.fen_prefix(sb);
+        for &word in &self.live[sb * SB_WORDS..w] {
             c += word.count_ones() as usize;
         }
         if p & 63 != 0 {
@@ -109,21 +208,36 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
     }
 
     /// Physical index of the live entry at live rank `rank`
-    /// (`rank < n_live`).
-    fn select(&self, mut rank: usize) -> usize {
+    /// (`rank < n_live`): Fenwick descent to the superblock, then a scan
+    /// of at most [`SB_WORDS`] words.
+    fn select(&self, rank: usize) -> usize {
         debug_assert!(rank < self.n_live);
-        for (wi, &word) in self.live.iter().enumerate() {
+        let n = self.fen.len();
+        let mut pos = 0usize;
+        let mut rem = rank;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && (self.fen[next - 1] as usize) <= rem {
+                rem -= self.fen[next - 1] as usize;
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        let mut wi = pos * SB_WORDS;
+        loop {
+            let word = self.live[wi];
             let c = word.count_ones() as usize;
-            if rank < c {
+            if rem < c {
                 let mut w = word;
-                for _ in 0..rank {
+                for _ in 0..rem {
                     w &= w - 1;
                 }
                 return (wi << 6) + w.trailing_zeros() as usize;
             }
-            rank -= c;
+            rem -= c;
+            wi += 1;
         }
-        unreachable!("select past the last live entry")
     }
 
     /// Physical position of the first live-or-dead entry with key
@@ -184,6 +298,7 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
             // Dead slot(s) with this key: resurrect the first.
             self.vals[p] = val;
             self.live[p >> 6] |= 1u64 << (p & 63);
+            self.sb_add_bit(p, 1);
             self.n_live += 1;
             return None;
         }
@@ -218,6 +333,7 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
             self.vals[p - 1] = val;
             self.bitmap_shift_down(l, p);
             self.live[(p - 1) >> 6] |= 1u64 << ((p - 1) & 63);
+            self.sb_resync(l >> 6, (p - 1) >> 6);
         } else if let Some(r) = right {
             // Slide [p, r) up one slot into the dead entry at r.
             self.keys.copy_within(p..r, p + 1);
@@ -226,6 +342,7 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
             self.vals[p] = val;
             self.bitmap_shift_up(p, r);
             self.live[p >> 6] |= 1u64 << (p & 63);
+            self.sb_resync(p >> 6, r >> 6);
         } else {
             // No tombstone cheaper than the tail: plain insert. Any
             // existing (left) tombstones survive, so gaps shrink as the
@@ -233,6 +350,10 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
             self.keys.insert(p, key);
             self.vals.insert(p, val);
             self.bitmap_insert(p);
+            // The array grew: superblock membership of every slot >= p
+            // changed. The Vec::insert above already paid O(len), so a
+            // full O(len/64) index rebuild does not change the bound.
+            self.sb_rebuild();
         }
     }
 
@@ -347,6 +468,7 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
         let p = self.find_live(key)?;
         let out = self.vals[p];
         self.live[p >> 6] &= !(1u64 << (p & 63));
+        self.sb_add_bit(p, -1);
         self.n_live -= 1;
         if self.keys.len() >= 16 && self.keys.len() - self.n_live > self.n_live {
             self.compact();
@@ -448,6 +570,7 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
                 *last = (1u64 << (j % 64)) - 1;
             }
         }
+        self.sb_rebuild();
     }
 
     /// Shift bitmap bits `[p, old_len)` up one and set bit `p`, after
@@ -477,6 +600,24 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+
+    /// The superblock index must always agree with a direct recount of
+    /// the bitmap, and Fenwick prefixes with a naive prefix sum.
+    fn check_sb_index<K: Ord + Copy, V: Copy>(l: &FlatList<K, V>) {
+        let nsb = l.live.len().div_ceil(SB_WORDS);
+        assert_eq!(l.sb_counts.len(), nsb);
+        assert_eq!(l.fen.len(), nsb);
+        let mut prefix = 0usize;
+        for sb in 0..nsb {
+            let start = sb * SB_WORDS;
+            let end = (start + SB_WORDS).min(l.live.len());
+            let want: u32 = l.live[start..end].iter().map(|w| w.count_ones()).sum();
+            assert_eq!(l.sb_counts[sb], want, "superblock {sb} count");
+            assert_eq!(l.fen_prefix(sb), prefix, "fenwick prefix {sb}");
+            prefix += want as usize;
+        }
+        assert_eq!(prefix, l.n_live);
+    }
 
     #[test]
     fn insert_get_remove_roundtrip() {
@@ -654,6 +795,43 @@ mod tests {
         assert_eq!(l.insert(1, ()), None);
         assert_eq!(l.keys.len(), slots_before + 1);
         assert_eq!(l.len(), 201);
+    }
+
+    /// Multi-superblock lists: rank queries must stay exact while churn
+    /// drives every mutation path (bit flips, both shift directions,
+    /// tail growth, compaction) across superblock boundaries.
+    #[test]
+    fn superblock_index_survives_large_churn() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5b10c);
+        // ~4096 live entries = 8 superblocks; key domain 4x denser so
+        // inserts land between existing slots, not just at the tail.
+        let mut l: FlatList<u32, u32> = FlatList::from_entries((0..4096u32).map(|k| (k * 4, k)));
+        let mut model: BTreeMap<u32, u32> = (0..4096u32).map(|k| (k * 4, k)).collect();
+        check_sb_index(&l);
+        for step in 0..3000 {
+            let k: u32 = rng.gen_range(0..16384);
+            if rng.gen_bool(0.5) {
+                let v = rng.gen::<u32>();
+                assert_eq!(l.insert(k, v), model.insert(k, v), "step {step}");
+            } else {
+                assert_eq!(l.remove(&k), model.remove(&k), "step {step}");
+            }
+            if step % 251 == 0 {
+                check_sb_index(&l);
+                // Spot-check ranks at superblock boundaries and beyond.
+                for rank in [0usize, 511, 512, 513, 1024, l.len() - 1] {
+                    let want = model.iter().nth(rank).map(|(k, v)| (*k, v));
+                    assert_eq!(l.kth(rank), want, "step {step} rank {rank}");
+                }
+            }
+        }
+        check_sb_index(&l);
+        for (rank, (k, v)) in model.iter().enumerate() {
+            assert_eq!(l.kth(rank), Some((*k, v)));
+            assert_eq!(l.rank_of(k), Some(rank));
+            assert_eq!(l.lower_bound_rank(k), rank);
+        }
     }
 
     #[test]

@@ -604,6 +604,25 @@ impl SpannerView {
         view
     }
 
+    /// Re-seed this view in place from a structure's current output —
+    /// the allocation-reusing equivalent of [`SpannerView::from_output`]
+    /// for long-lived mirrors. The member table and degree vector keep
+    /// their capacity; `scratch` receives the output snapshot (and is
+    /// left holding it). The view re-anchors at the structure's batch
+    /// sequence and restarts its epoch at 0.
+    pub fn reseed_from_output(&mut self, structure: &impl BatchDynamic, scratch: &mut DeltaBuf) {
+        structure.output_into(scratch);
+        self.member.clear();
+        self.degree.fill(0);
+        for (e, w) in scratch.inserted_weighted() {
+            self.member.insert(e.u, e.v, w.to_bits());
+            self.degree[e.u as usize] += 1;
+            self.degree[e.v as usize] += 1;
+        }
+        self.epoch = 0;
+        self.seq = structure.batch_seq();
+    }
+
     pub fn n(&self) -> usize {
         self.n
     }

@@ -8,6 +8,7 @@ pub mod csr;
 pub mod cuts;
 pub mod dyngraph;
 pub mod gen;
+pub mod serve;
 pub mod shard;
 pub mod stream;
 pub mod types;
@@ -19,6 +20,10 @@ pub use api::{
 };
 pub use csr::CsrGraph;
 pub use dyngraph::DynamicGraph;
+pub use serve::{
+    BatchPolicy, IngestError, IngestHandle, ReadGuard, ReadHandle, ServeLoop, ServeLoopBuilder,
+    ServeReport, TunePoint, Update,
+};
 pub use shard::{
     HashPartitioner, MirrorSpanner, Partitioner, ShardedEngine, ShardedEngineBuilder, ShardedView,
     VertexRangePartitioner,

@@ -123,6 +123,79 @@ use bds_dstruct::EdgeTable;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 // ---------------------------------------------------------------------------
+// Endpoint histogram
+// ---------------------------------------------------------------------------
+
+/// Buckets in the engine-maintained lower-endpoint histogram. 256 is
+/// coarse enough that per-update maintenance is one array increment and
+/// a probe round is O(buckets + k), yet fine enough that bucket-aligned
+/// quantile cuts land within ~0.4% of the ideal mass split.
+pub const ENDPOINT_HIST_BUCKETS: usize = 256;
+
+/// Bucket of lower endpoint `u` in a graph over `n` vertices (u64
+/// arithmetic: `u * B` would overflow usize on 32-bit targets).
+#[inline]
+fn endpoint_bucket(u: V, n: usize) -> usize {
+    (u as u64 * ENDPOINT_HIST_BUCKETS as u64 / n.max(1) as u64) as usize
+}
+
+/// A histogram of the lower endpoints of every live input edge, summed
+/// over the engine's per-lane counters ([`ShardedEngine::endpoint_histogram`]).
+///
+/// This is what makes rebalance probing cheap: a partitioner whose
+/// routing depends only on the lower endpoint can evaluate a candidate
+/// layout's hypothetical lane loads from the histogram in O(buckets + k)
+/// ([`Partitioner::loads_from_histogram`]) instead of the engine
+/// re-routing every live edge in an O(m) scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointHistogram {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl EndpointHistogram {
+    /// The vertex count the bucket mapping was computed for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Live edges whose lower endpoint falls in each bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total live edges.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket containing lower endpoint `u`.
+    pub fn bucket_of(&self, u: V) -> usize {
+        endpoint_bucket(u, self.n)
+    }
+
+    /// First vertex of bucket `b` (for `b == num_buckets`, `n`): the
+    /// smallest `u` with `bucket_of(u) >= b`.
+    pub fn bucket_start(&self, b: usize) -> V {
+        if b >= self.counts.len() {
+            return self.n as V;
+        }
+        ((b as u64 * self.n as u64).div_ceil(ENDPOINT_HIST_BUCKETS as u64)) as V
+    }
+
+    /// Whether a cut at vertex `x` lies exactly on a bucket boundary —
+    /// the condition under which bucket counts split exactly across the
+    /// cut. Cuts at or past `n` are trivially aligned (nothing above).
+    pub fn cut_is_aligned(&self, x: V) -> bool {
+        x as usize >= self.n || self.bucket_start(self.bucket_of(x)) == x
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Partitioners
 // ---------------------------------------------------------------------------
 
@@ -154,6 +227,31 @@ pub trait Partitioner: Clone + Send + Sync {
     /// cannot rebalance. The result must validate for the same shard
     /// count. Default: `None`.
     fn rebalanced(&self, _lane_loads: &[usize]) -> Option<Self> {
+        None
+    }
+
+    /// Like [`Partitioner::rebalanced`], with the engine's live
+    /// lower-endpoint histogram available. Implementations that cut
+    /// vertex space should align their cuts to histogram buckets so
+    /// [`Partitioner::loads_from_histogram`] stays exact and the whole
+    /// probe round runs in O(buckets + k). Default: delegate to
+    /// [`Partitioner::rebalanced`].
+    fn rebalanced_with(&self, lane_loads: &[usize], _hist: &EndpointHistogram) -> Option<Self> {
+        self.rebalanced(lane_loads)
+    }
+
+    /// The *exact* hypothetical per-lane live-edge loads this
+    /// partitioner would produce, computed from the lower-endpoint
+    /// histogram alone — or `None` if its routing is not an exact
+    /// function of whole histogram buckets (hash-family partitioners,
+    /// or vertex cuts that split a bucket), in which case the engine
+    /// falls back to an O(m) re-route scan. Implementations must return
+    /// `Some` only when the result equals the scan's. Default: `None`.
+    fn loads_from_histogram(
+        &self,
+        _hist: &EndpointHistogram,
+        _num_shards: usize,
+    ) -> Option<Vec<usize>> {
         None
     }
 }
@@ -344,6 +442,81 @@ impl Partitioner for VertexRangePartitioner {
             bounds: Some(bounds.into()),
         })
     }
+
+    /// Equal-mass quantile cuts snapped to histogram bucket boundaries:
+    /// cut `c` lands at the start of the first bucket whose inclusion
+    /// would push the left mass past `c/k` of the total. Snapping keeps
+    /// every cut aligned, so [`Partitioner::loads_from_histogram`]
+    /// evaluates the candidate exactly and the whole probe round is
+    /// O(buckets + k) — no per-edge scan.
+    fn rebalanced_with(&self, lane_loads: &[usize], hist: &EndpointHistogram) -> Option<Self> {
+        let k = lane_loads.len();
+        if k < 2 {
+            return None;
+        }
+        if hist.n() != self.n {
+            return self.rebalanced(lane_loads);
+        }
+        let total = hist.total();
+        if total == 0 {
+            return None;
+        }
+        let counts = hist.counts();
+        let mut bounds: Vec<V> = Vec::with_capacity(k - 1);
+        let mut cum = 0u64;
+        let mut bk = 0usize;
+        for cut in 1..k {
+            let target = total * cut as u64 / k as u64;
+            while bk < counts.len() && cum + counts[bk] <= target {
+                cum += counts[bk];
+                bk += 1;
+            }
+            bounds.push(hist.bucket_start(bk));
+        }
+        Some(Self {
+            n: self.n,
+            bounds: Some(bounds.into()),
+        })
+    }
+
+    fn loads_from_histogram(
+        &self,
+        hist: &EndpointHistogram,
+        num_shards: usize,
+    ) -> Option<Vec<usize>> {
+        if hist.n() != self.n || num_shards == 0 {
+            return None;
+        }
+        // The effective lane cuts: explicit bounds, or the uniform
+        // slices' first vertices (`shard_of`'s floor(u·k/n) assigns `u`
+        // to lane i exactly when u >= ceil(i·n/k)).
+        let cuts: Vec<V> = match &self.bounds {
+            Some(b) => {
+                if b.len() + 1 != num_shards {
+                    return None;
+                }
+                b.to_vec()
+            }
+            None => (1..num_shards)
+                .map(|i| (i as u64 * self.n as u64).div_ceil(num_shards as u64) as V)
+                .collect(),
+        };
+        // Exactness requires every cut on a bucket boundary; a cut that
+        // splits a bucket falls back to the engine's scan.
+        if !cuts.iter().all(|&x| hist.cut_is_aligned(x)) {
+            return None;
+        }
+        let mut loads = vec![0usize; num_shards];
+        let mut lane = 0usize;
+        for (bk, &c) in hist.counts().iter().enumerate() {
+            let start = hist.bucket_start(bk);
+            while lane + 1 < num_shards && cuts[lane] <= start {
+                lane += 1;
+            }
+            loads[lane] += c as usize;
+        }
+        Some(loads)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -368,10 +541,25 @@ struct Lane<S> {
     primary: usize,
     sub: UpdateBatch,
     live: EdgeTable,
+    /// Lower-endpoint histogram of this lane's live edges
+    /// ([`ENDPOINT_HIST_BUCKETS`] buckets), maintained incrementally by
+    /// the scatter — the O(1)-per-update signal that lets rebalance
+    /// probing evaluate candidates in O(buckets + k) instead of O(m).
+    hist: Vec<u32>,
     recourse: u64,
 }
 
 impl<S> Lane<S> {
+    /// Recount `hist` from the live table (layout-change paths only;
+    /// the batch path maintains it incrementally).
+    fn rebuild_hist(&mut self, n: usize) {
+        self.hist.clear();
+        self.hist.resize(ENDPOINT_HIST_BUCKETS, 0);
+        for (u, _, _) in self.live.iter() {
+            self.hist[endpoint_bucket(u, n)] += 1;
+        }
+    }
+
     fn primary_shard(&self) -> &S {
         self.replicas[self.primary]
             .shard
@@ -559,13 +747,16 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
             for e in &shard_edges {
                 live.insert(e.u, e.v, 1);
             }
-            lanes.push(Lane {
+            let mut lane = Lane {
                 replicas,
                 primary: 0,
                 sub: UpdateBatch::default(),
                 live,
+                hist: Vec::new(),
                 recourse: 0,
-            });
+            };
+            lane.rebuild_hist(self.n);
+            lanes.push(lane);
         }
         Ok(ShardedEngine {
             n: self.n,
@@ -716,6 +907,7 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
             lane.sub.insertions.clear();
             lane.sub.deletions.clear();
         }
+        let n = self.n;
         let part = &self.part;
         let lanes = &mut self.lanes;
         for &e in deletions {
@@ -723,6 +915,7 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
             lane.sub.deletions.push(e);
             let old = lane.live.remove(e.u, e.v);
             debug_assert!(old.is_some(), "deleting edge {e:?} not live on its lane");
+            lane.hist[endpoint_bucket(e.u, n)] -= 1;
         }
         for &e in insertions {
             let lane = &mut lanes[part.shard_of(e, k)];
@@ -732,7 +925,30 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
                 old.is_none(),
                 "inserting edge {e:?} already live on its lane"
             );
+            lane.hist[endpoint_bucket(e.u, n)] += 1;
         }
+    }
+
+    /// The lower-endpoint histogram of all live input edges, summed over
+    /// the per-lane counters the scatter maintains. O(k × buckets);
+    /// allocates one vector (maintenance/diagnostics path).
+    pub fn endpoint_histogram(&self) -> EndpointHistogram {
+        let mut counts = vec![0u64; ENDPOINT_HIST_BUCKETS];
+        for lane in &self.lanes {
+            for (c, &h) in counts.iter_mut().zip(&lane.hist) {
+                *c += h as u64;
+            }
+        }
+        EndpointHistogram { n: self.n, counts }
+    }
+
+    /// Every live input edge currently routed across the lanes — the
+    /// engine-maintained membership of G, not the structures' outputs.
+    /// Arbitrary order.
+    pub fn live_input_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.live.iter().map(|(u, v, _)| Edge { u, v }))
     }
 }
 
@@ -810,14 +1026,19 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
     /// threshold (max lane live edges > `threshold` × mean triggers).
     ///
     /// The engine *probes* before it moves: it iterates
-    /// [`Partitioner::rebalanced`] up to [`REBALANCE_PROBE_ROUNDS`]
+    /// [`Partitioner::rebalanced_with`] up to [`REBALANCE_PROBE_ROUNDS`]
     /// times, evaluating each candidate's hypothetical lane loads
-    /// read-only against the live-edge tables (per-lane totals alone
-    /// cannot reveal the distribution *inside* a lane, so a single
-    /// quantile recut under-corrects on concentrated skew — iterating
-    /// the probe converges without paying a physical move per step).
-    /// The best candidate found is applied with one re-route; if no
-    /// candidate beats the current layout, nothing moves.
+    /// read-only (per-lane totals alone cannot reveal the distribution
+    /// *inside* a lane, so a single quantile recut under-corrects on
+    /// concentrated skew — iterating the probe converges without paying
+    /// a physical move per step). A candidate whose routing is an exact
+    /// function of the scatter-maintained endpoint histogram
+    /// ([`Partitioner::loads_from_histogram`], e.g. a bucket-aligned
+    /// [`VertexRangePartitioner`]) is evaluated in O(buckets + k);
+    /// anything else (hash families) falls back to an O(m) re-route
+    /// scan. The best candidate found is applied with one physical
+    /// re-route; if no candidate beats the current layout, nothing
+    /// moves.
     pub fn rebalance_if_skewed_with(&mut self, threshold: f64) -> RebalanceOutcome {
         let k = self.lanes.len();
         let loads: Vec<usize> = self.lanes.iter().map(|l| l.live.len()).collect();
@@ -832,13 +1053,14 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
             return RebalanceOutcome::Balanced;
         }
         // Probe loop: hypothetical loads only, no shard is touched.
+        let hist = self.endpoint_histogram();
         let mut best: Option<(P, usize)> = None;
         let mut saw_candidate = false;
         let mut invalid_candidate = false;
         let mut cur_part = self.part.clone();
         let mut cur_loads = loads;
         for _ in 0..REBALANCE_PROBE_ROUNDS {
-            let Some(cand) = cur_part.rebalanced(&cur_loads) else {
+            let Some(cand) = cur_part.rebalanced_with(&cur_loads, &hist) else {
                 break;
             };
             saw_candidate = true;
@@ -846,12 +1068,15 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 invalid_candidate = true;
                 break;
             }
-            let mut hyp = vec![0usize; k];
-            for lane in &self.lanes {
-                for (u, v, _) in lane.live.iter() {
-                    hyp[cand.shard_of(Edge { u, v }, k)] += 1;
+            let hyp = cand.loads_from_histogram(&hist, k).unwrap_or_else(|| {
+                let mut hyp = vec![0usize; k];
+                for lane in &self.lanes {
+                    for (u, v, _) in lane.live.iter() {
+                        hyp[cand.shard_of(Edge { u, v }, k)] += 1;
+                    }
                 }
-            }
+                hyp
+            });
             let hyp_max = *hyp.iter().max().expect("k >= 2");
             if hyp_max < best.as_ref().map_or(max, |&(_, m)| m) {
                 best = Some((cand.clone(), hyp_max));
@@ -920,6 +1145,7 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 primary: 0,
                 sub: UpdateBatch::default(),
                 live,
+                hist: Vec::new(),
                 recourse: 0,
             });
         }
@@ -962,11 +1188,15 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
         self.lanes.extend(new_lanes);
         // Reshard deltas are internal churn, not served output: clear
         // every per-replica delta so a stale one can never reach a view
-        // (views are invalidated by the layout bump regardless).
+        // (views are invalidated by the layout bump regardless). The
+        // endpoint histograms recount from the moved live tables — an
+        // O(m) pass the re-route scan above already paid for.
+        let n = self.n;
         for lane in &mut self.lanes {
             for rep in &mut lane.replicas {
                 rep.delta.clear();
             }
+            lane.rebuild_hist(n);
         }
         self.part = new_part;
         self.layout += 1;
@@ -1091,7 +1321,17 @@ impl<S: FullyDynamic + Send, P: Partitioner> FullyDynamic for ShardedEngine<S, P
 /// twice, skipping one, applying against a different engine, or applying
 /// across a reshard / rebalance / failover panics with a clear message
 /// instead of silently corrupting the mirror. After any layout change,
-/// rebuild with [`ShardedView::of`].
+/// rebuild with [`ShardedView::of`] — or re-seed a long-lived view in
+/// place with [`ShardedView::reseed`], which reuses its allocations.
+///
+/// **Clone semantics.** `clone()` is a deep, fully independent snapshot
+/// of the mirror at its current epoch: it shares no state with the
+/// original or the engine, never advances, and its drop order is
+/// irrelevant — a dropped (or leaked) clone can never block a writer.
+/// This is the safe-but-O(len) way to pin an epoch; the concurrent
+/// serving path ([`crate::serve`]) instead pins one of two long-lived
+/// buffers with an RAII epoch guard, which is O(1) per pin and is the
+/// thing that actually requires a release discipline.
 #[derive(Debug, Clone)]
 pub struct ShardedView<P: Partitioner = HashPartitioner> {
     n: usize,
@@ -1126,6 +1366,38 @@ impl<P: Partitioner> ShardedView<P> {
             layout: engine.layout,
             seq: engine.seq,
         }
+    }
+
+    /// Re-seed this view in place from `engine`'s current state: the
+    /// allocation-reusing equivalent of [`ShardedView::of`] for
+    /// long-lived mirrors, and the supported way to recover after a
+    /// layout change (reshard, rebalance, failover) without discarding
+    /// warm table capacity. Lane mirrors are rebuilt from the primary
+    /// outputs through `scratch`; the view re-binds to the engine's
+    /// identity, layout, and batch sequence, and the epoch restarts
+    /// at 0.
+    pub fn reseed<S: FullyDynamic + Send>(
+        &mut self,
+        engine: &ShardedEngine<S, P>,
+        scratch: &mut DeltaBuf,
+    ) {
+        self.views.truncate(engine.lanes.len());
+        let kept = self.views.len();
+        for (view, lane) in self.views.iter_mut().zip(&engine.lanes) {
+            view.reseed_from_output(lane.primary_shard(), scratch);
+            view.resync_seq(engine.seq);
+        }
+        for lane in engine.lanes.iter().skip(kept) {
+            let mut v = SpannerView::from_output(engine.n, lane.primary_shard());
+            v.resync_seq(engine.seq);
+            self.views.push(v);
+        }
+        self.n = engine.n;
+        self.part = engine.part.clone();
+        self.epoch = 0;
+        self.engine_id = engine.id;
+        self.layout = engine.layout;
+        self.seq = engine.seq;
     }
 
     /// Advance every per-lane mirror by the engine's most recent batch
@@ -1210,6 +1482,34 @@ impl<P: Partitioner> ShardedView<P> {
     /// Degree of `v` in the union (a vertex's edges span shards).
     pub fn degree(&self, v: V) -> u32 {
         self.views.iter().map(|view| view.degree(v)).sum()
+    }
+
+    /// Answer a batch of membership queries into `out` (cleared and
+    /// resized to `queries.len()`), fanned across threads via
+    /// [`bds_par::par_map_slice`] above the parallel grain. Zero
+    /// steady-state allocations once `out`'s capacity is warm — this is
+    /// the `BatchConnected`-shaped read path of the batch-dynamic
+    /// connectivity literature, answered against one consistent epoch.
+    pub fn batch_contains(&self, queries: &[Edge], out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(queries.len(), false);
+        bds_par::par_map_slice(queries, out, |&e| self.contains(e));
+    }
+
+    /// Batch [`ShardedView::degree`] (union degrees) into `out`; same
+    /// contract as [`ShardedView::batch_contains`].
+    pub fn batch_degree(&self, queries: &[V], out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(queries.len(), 0);
+        bds_par::par_map_slice(queries, out, |&v| self.degree(v));
+    }
+
+    /// Batch [`ShardedView::weight`] into `out`; same contract as
+    /// [`ShardedView::batch_contains`].
+    pub fn batch_weight(&self, queries: &[Edge], out: &mut Vec<Option<f64>>) {
+        out.clear();
+        out.resize(queries.len(), None);
+        bds_par::par_map_slice(queries, out, |&e| self.weight(e));
     }
 
     /// Iterate the union of mirrored edges (arbitrary order).
@@ -1833,5 +2133,198 @@ mod tests {
         engine.reshard(3).unwrap();
         engine.apply_into(&UpdateBatch::insert_only(vec![Edge::new(0, 29)]), &mut buf);
         view.apply(&engine);
+    }
+
+    // --- PR 6: endpoint histogram + O(buckets) rebalance probing ---
+
+    #[test]
+    fn endpoint_histogram_tracks_apply_and_reshard() {
+        // n > ENDPOINT_HIST_BUCKETS so buckets genuinely aggregate
+        // vertex ranges; the incrementally-maintained histogram must
+        // equal a from-scratch recount after every mutation path.
+        let n = 600;
+        let init = gen::gnm(n, 800, 21);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(3)
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        fn recount(engine: &ShardedEngine<MirrorSpanner, HashPartitioner>) {
+            let hist = engine.endpoint_histogram();
+            let mut want = vec![0u64; hist.counts().len()];
+            for e in engine.live_input_edges() {
+                want[hist.bucket_of(e.u)] += 1;
+            }
+            assert_eq!(hist.counts(), &want[..]);
+            assert_eq!(hist.total(), engine.num_live_edges() as u64);
+        }
+        recount(&engine);
+        let mut stream = UpdateStream::new(n, &init, 99);
+        let mut buf = DeltaBuf::new();
+        for _ in 0..6 {
+            let batch = stream.next_batch(40, 25);
+            engine.apply_into(&batch, &mut buf);
+            recount(&engine);
+        }
+        engine.reshard(5).unwrap();
+        recount(&engine);
+    }
+
+    #[test]
+    fn histogram_loads_match_edge_scan() {
+        let n = 512; // ENDPOINT_HIST_BUCKETS divides n: uniform cuts align
+        let edges = gen::gnm(n, 1500, 7);
+        let engine = ShardedEngineBuilder::new(n)
+            .shards(4)
+            .partitioner(VertexRangePartitioner::new(n))
+            .build_with(&edges, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let hist = engine.endpoint_histogram();
+        let part = engine.partitioner().clone();
+        // Uniform layout: histogram loads must exactly match a per-edge
+        // routing scan.
+        let loads = part
+            .loads_from_histogram(&hist, 4)
+            .expect("aligned uniform cuts must evaluate exactly");
+        let mut scan = vec![0usize; 4];
+        for e in engine.live_input_edges() {
+            scan[part.shard_of(e, 4)] += 1;
+        }
+        assert_eq!(loads, scan);
+        // A rebalanced candidate snaps its cuts to bucket boundaries, so
+        // it too must evaluate exactly — and agree with the scan.
+        let cand = part
+            .rebalanced_with(&scan, &hist)
+            .expect("vertex-range supports histogram rebalance");
+        let cand_loads = cand
+            .loads_from_histogram(&hist, 4)
+            .expect("snapped cuts must stay bucket-aligned");
+        let mut cand_scan = vec![0usize; 4];
+        for e in engine.live_input_edges() {
+            cand_scan[cand.shard_of(e, 4)] += 1;
+        }
+        assert_eq!(cand_loads, cand_scan);
+        // A cut that splits a bucket (n=512, B=256: odd cuts are
+        // mid-bucket) must refuse rather than approximate.
+        let split = VertexRangePartitioner::new(n)
+            .rebalanced(&[100, 1])
+            .unwrap();
+        if let Some(b) = split.bounds() {
+            if !b.iter().all(|&x| hist.cut_is_aligned(x)) {
+                assert_eq!(split.loads_from_histogram(&hist, 2), None);
+            }
+        }
+        // Foreign histogram (different n) never evaluates.
+        let other = ShardedEngineBuilder::new(100)
+            .shards(2)
+            .build_with(&[], move |_, es| MirrorSpanner::build(100, es))
+            .unwrap();
+        assert_eq!(
+            part.loads_from_histogram(&other.endpoint_histogram(), 4),
+            None
+        );
+    }
+
+    // --- PR 6: cheap view re-seeding + parallel batch queries ---
+
+    #[test]
+    fn view_reseed_resyncs_a_lapsed_mirror() {
+        let n = 80;
+        let init = gen::gnm(n, 160, 31);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(3)
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let mut view = ShardedView::of(&engine);
+        let mut stream = UpdateStream::new(n, &init, 55);
+        let mut buf = DeltaBuf::new();
+        // The view lapses: three batches land without view.apply.
+        for _ in 0..3 {
+            let batch = stream.next_batch(12, 9);
+            engine.apply_into(&batch, &mut buf);
+        }
+        let mut scratch = DeltaBuf::new();
+        view.reseed(&engine, &mut scratch);
+        assert_eq!(view.seq(), engine.seq());
+        let shadow = shadow_of(&engine);
+        assert_eq!(view.len(), shadow.len());
+        for &e in shadow.keys() {
+            assert!(view.contains(e));
+        }
+        // The reseeded view accepts the very next delta — no false drift.
+        let batch = stream.next_batch(10, 10);
+        engine.apply_into(&batch, &mut buf);
+        view.apply(&engine);
+        assert_eq!(shadow_of(&engine).len(), view.len());
+        // Reseed also survives a reshard (lane count change).
+        engine.reshard(5).unwrap();
+        let batch = stream.next_batch(8, 4);
+        engine.apply_into(&batch, &mut buf);
+        view.reseed(&engine, &mut scratch);
+        assert_eq!(view.num_shards(), 5);
+        assert_eq!(view.seq(), engine.seq());
+        let batch = stream.next_batch(5, 5);
+        engine.apply_into(&batch, &mut buf);
+        view.apply(&engine);
+        assert_eq!(shadow_of(&engine).len(), view.len());
+    }
+
+    #[test]
+    fn batch_queries_match_point_queries() {
+        let n = 200;
+        let init = gen::gnm(n, 500, 17);
+        let engine = ShardedEngineBuilder::new(n)
+            .shards(3)
+            .build_with(&init, move |_, es| MirrorSpanner::build(n, es))
+            .unwrap();
+        let view = ShardedView::of(&engine);
+        // Half live edges, half absent probes.
+        let mut queries: Vec<Edge> = init.iter().take(40).copied().collect();
+        queries.extend((0..40u32).map(|i| Edge::new(i, n as u32 - 1 - i)));
+        let mut got_c = Vec::new();
+        view.batch_contains(&queries, &mut got_c);
+        assert_eq!(got_c.len(), queries.len());
+        let mut got_w = Vec::new();
+        view.batch_weight(&queries, &mut got_w);
+        for (i, &e) in queries.iter().enumerate() {
+            assert_eq!(got_c[i], view.contains(e), "contains {e:?}");
+            assert_eq!(got_w[i], view.weight(e), "weight {e:?}");
+            assert_eq!(got_w[i].is_some(), got_c[i]);
+        }
+        let verts: Vec<V> = (0..n as V).collect();
+        let mut got_d = Vec::new();
+        view.batch_degree(&verts, &mut got_d);
+        assert_eq!(got_d.len(), n);
+        let total: u64 = got_d.iter().map(|&d| d as u64).sum();
+        assert_eq!(total, 2 * view.len() as u64);
+        for &v in &verts {
+            assert_eq!(got_d[v as usize], view.degree(v));
+        }
+        // Outputs are cleared and resized on reuse.
+        view.batch_contains(&queries[..5], &mut got_c);
+        assert_eq!(got_c.len(), 5);
+    }
+
+    #[test]
+    fn cloned_view_is_an_independent_snapshot() {
+        // Satellite bugfix audit: `ShardedView::clone` is a deep copy,
+        // not an epoch pin — there is no writer-side buffer a dropped
+        // clone could wedge. A clone freezes its snapshot while the
+        // original advances; the serve module's RAII guard is the O(1)
+        // pin path.
+        let (mut engine, view, mut buf) = drift_engine();
+        let snap = view.clone();
+        let e = Edge::new(0, 29);
+        assert!(!snap.contains(e));
+        engine.apply_into(&UpdateBatch::insert_only(vec![e]), &mut buf);
+        let mut live = view;
+        live.apply(&engine);
+        assert!(live.contains(e));
+        assert!(!snap.contains(e), "clone must not observe later batches");
+        assert_eq!(snap.seq(), 0);
+        assert_eq!(live.seq(), 1);
+        drop(snap); // dropping a clone wedges nothing
+        engine.apply_into(&UpdateBatch::delete_only(vec![e]), &mut buf);
+        live.apply(&engine);
+        assert!(!live.contains(e));
     }
 }

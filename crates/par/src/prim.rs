@@ -52,6 +52,33 @@ pub fn par_flat_map<T: Sync, R: Send>(
     }
 }
 
+/// Parallel map into a caller-owned output slice: `out[i] = f(&items[i])`.
+/// Sequential below [`GRAIN`]. Unlike [`par_map`] this allocates nothing,
+/// which makes it the fan-out primitive for steady-state batch query
+/// loops (the caller resizes `out` once and reuses it).
+///
+/// Panics if `items` and `out` differ in length.
+pub fn par_map_slice<T: Sync, R: Send>(
+    items: &[T],
+    out: &mut [R],
+    f: impl Fn(&T) -> R + Sync + Send,
+) {
+    assert_eq!(
+        items.len(),
+        out.len(),
+        "par_map_slice: input/output length mismatch"
+    );
+    if items.len() < GRAIN {
+        for (o, t) in out.iter_mut().zip(items) {
+            *o = f(t);
+        }
+    } else {
+        out.par_iter_mut()
+            .zip(items.par_iter())
+            .for_each(|(o, t)| *o = f(t));
+    }
+}
+
 /// Parallel for-each over mutable chunks of size 1 — i.e. a data-parallel
 /// loop with exclusive access to each element.
 pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync + Send) {
@@ -199,6 +226,24 @@ mod tests {
         );
         let large: Vec<u32> = (0..10_000).collect();
         assert_eq!(par_map(&large, |x| x + 1)[9_999], 10_000);
+    }
+
+    #[test]
+    fn map_slice_matches_map() {
+        for n in [0usize, 10, 5000] {
+            let xs: Vec<u32> = (0..n as u32).collect();
+            let mut out = vec![0u32; n];
+            par_map_slice(&xs, &mut out, |&x| x.wrapping_mul(3) ^ 7);
+            assert_eq!(out, par_map(&xs, |&x| x.wrapping_mul(3) ^ 7), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn map_slice_rejects_mismatched_lengths() {
+        let xs = [1u32, 2, 3];
+        let mut out = vec![0u32; 2];
+        par_map_slice(&xs, &mut out, |&x| x);
     }
 
     #[test]

@@ -86,6 +86,47 @@
 //! s.process_checked(&batch, &mut delta).expect("disjoint lists");
 //! assert!(!s.contains_edge(e));
 //! ```
+//!
+//! ## Serving concurrent traffic
+//!
+//! For sustained read/write load, wrap a [`ShardedEngine`] in a
+//! [`ServeLoop`]: producers push raw updates through cloneable
+//! [`IngestHandle`]s (bounded queue — backpressure, not buffering), a
+//! single writer thread coalesces them into batches (auto-tuning the
+//! batch size under [`BatchPolicy::Auto`]), and readers pin
+//! double-buffered [`ShardedView`]s through an RAII guard to answer
+//! *parallel batch queries* without ever blocking the writer. See
+//! [`graph::serve`] for the epoch discipline and safety argument.
+//!
+//! ```
+//! use batch_spanners::prelude::*;
+//!
+//! let n = 100;
+//! let engine = ShardedEngineBuilder::new(n)
+//!     .shards(2)
+//!     .build_with(&[], move |_, es| MirrorSpanner::build(n, es))
+//!     .unwrap();
+//! let (serve, ingest) = ServeLoopBuilder::new(engine)
+//!     .queue_capacity(256)
+//!     .batch_policy(BatchPolicy::Fixed(16))
+//!     .build();
+//! let reads = serve.read_handle();
+//! let writer = serve.spawn();
+//!
+//! for u in 0..99 {
+//!     ingest.insert(u, u + 1).unwrap(); // blocks only when the queue is full
+//! }
+//! drop(ingest); // hanging up every producer shuts the loop down
+//! let report = writer.join().unwrap();
+//!
+//! // Epoch-pinned batch reads: one consistent snapshot per guard.
+//! let view = reads.pin_at_least(report.final_seq);
+//! let queries: Vec<Edge> = (0..99).map(|u| Edge::new(u, u + 1)).collect();
+//! let mut hits = Vec::new();
+//! view.batch_contains(&queries, &mut hits);
+//! assert!(hits.iter().all(|&h| h));
+//! assert_eq!(report.raw_updates, 99);
+//! ```
 
 pub use bds_baseline as baseline;
 pub use bds_bundle as bundle;
@@ -109,6 +150,10 @@ pub mod prelude {
     pub use bds_graph::api::{
         BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
         FullyDynamic, SpannerView,
+    };
+    pub use bds_graph::serve::{
+        BatchPolicy, IngestError, IngestHandle, ReadGuard, ReadHandle, ServeLoop, ServeLoopBuilder,
+        ServeReport, TunePoint, Update,
     };
     pub use bds_graph::shard::{
         HashPartitioner, JumpPartitioner, LaneLoad, MirrorSpanner, Partitioner, RebalanceOutcome,

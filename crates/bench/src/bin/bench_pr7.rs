@@ -1,0 +1,250 @@
+//! PR-7 perf snapshot: writes `BENCH_PR7.json` — what durability costs
+//! and what recovery buys, measured three ways:
+//!
+//! * **WAL overhead per fsync policy**: writer throughput on a flood
+//!   workload with durability off vs `Manual` vs `EveryN(16)` vs
+//!   `EveryBatch`, plus the time spent inside WAL appends/syncs — the
+//!   price of each loss-window setting.
+//! * **Recovery time vs log length**: crash-recover (`wal::recover`)
+//!   from an initial snapshot plus logs of increasing batch counts —
+//!   the restart-latency curve.
+//! * **Follower lag**: a [`FollowerView`](bds_graph::wal::FollowerView)
+//!   tailing the live log while the writer floods; sampled lag in
+//!   batches behind the published view, and the drain time to full
+//!   convergence after the writer exits.
+//!
+//! Usage: `cargo run --release -p bds_bench --bin bench_pr7 [-- out.json] [--quick]`
+
+use bds_graph::gen;
+use bds_graph::serve::{BatchPolicy, ServeLoopBuilder, ServeReport};
+use bds_graph::shard::{MirrorSpanner, ShardedEngine, ShardedEngineBuilder};
+use bds_graph::types::{Edge, V};
+use bds_graph::wal::{self, FsyncPolicy, WalConfig};
+use bds_graph::HashPartitioner;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from("target/bench_pr7");
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir.join(name)
+}
+
+fn mirror_engine(n: usize, init: &[Edge]) -> ShardedEngine<MirrorSpanner, HashPartitioner> {
+    ShardedEngineBuilder::new(n)
+        .shards(4)
+        .build_with(init, move |_, es| MirrorSpanner::build(n, es))
+        .unwrap()
+}
+
+/// Drive exactly `count` path-churn updates (alternating insert/delete
+/// sweeps — never a semantic no-op after the first sweep) through a
+/// fresh serve loop with the given durability, and time the whole run.
+fn durable_run(
+    n: usize,
+    init: &[Edge],
+    count: u64,
+    durability: Option<WalConfig>,
+) -> (ServeReport, Duration) {
+    let mut b = ServeLoopBuilder::new(mirror_engine(n, init))
+        .queue_capacity(8_192)
+        .batch_policy(BatchPolicy::Fixed(256));
+    if let Some(cfg) = durability {
+        b = b.durability(cfg);
+    }
+    let (serve, ingest) = b.build();
+    let writer = serve.spawn();
+    let t0 = Instant::now();
+    let mut inserting = true;
+    let mut u: V = 0;
+    for _ in 0..count {
+        if inserting {
+            let _ = ingest.insert(u, u + 1);
+        } else {
+            let _ = ingest.delete(u, u + 1);
+        }
+        u += 1;
+        if u as usize >= n - 1 {
+            u = 0;
+            inserting = !inserting;
+        }
+    }
+    drop(ingest);
+    let report = writer.join().unwrap();
+    (report, t0.elapsed())
+}
+
+/// Artifacts with exactly `batches` logged batches (initial snapshot
+/// only, so recovery replays the whole log).
+fn build_log(n: usize, init: &[Edge], batches: u64, tag: &str) -> (PathBuf, PathBuf) {
+    let log = scratch(&format!("{tag}.wal"));
+    let snap = scratch(&format!("{tag}.snap"));
+    let (report, _) = durable_run(
+        n,
+        init,
+        batches * 256,
+        Some(
+            WalConfig::new(&log)
+                .fsync(FsyncPolicy::Manual)
+                .snapshot(&snap, 0),
+        ),
+    );
+    assert!(report.wal_batches > 0);
+    (snap, log)
+}
+
+fn recover_timed(n: usize, snap: &Path, log: &Path) -> (u64, usize, f64) {
+    let t0 = Instant::now();
+    let r = wal::recover(
+        snap,
+        log,
+        ShardedEngineBuilder::new(n).shards(4),
+        move |_, es| MirrorSpanner::build(n, es),
+    )
+    .expect("bench artifacts are intact");
+    (r.seq, r.replayed, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR7.json".to_string();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = a;
+        }
+    }
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"pr\": 7,");
+    let _ = writeln!(j, "  \"threads\": {},", bds_par::threads_available());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+
+    // --- Section 1: WAL overhead per fsync policy. -------------------
+    let (n, m, count) = if quick {
+        (4_000, 16_000, 20_000u64)
+    } else {
+        (20_000, 80_000, 200_000u64)
+    };
+    let init = gen::gnm_connected(n, m, 11);
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("off", None),
+        ("manual", Some(FsyncPolicy::Manual)),
+        ("every_16", Some(FsyncPolicy::EveryN(16))),
+        ("every_batch", Some(FsyncPolicy::EveryBatch)),
+    ];
+    let _ = writeln!(j, "  \"wal_overhead_n{}k\": {{", n / 1000);
+    let mut base_ups = 0.0f64;
+    for (i, &(name, policy)) in policies.iter().enumerate() {
+        let cfg = policy.map(|p| WalConfig::new(scratch(&format!("overhead_{name}.wal"))).fsync(p));
+        let (report, dt) = durable_run(n, &init, count, cfg);
+        let ups = report.raw_updates as f64 / dt.as_secs_f64();
+        if i == 0 {
+            base_ups = ups;
+        }
+        let slowdown = if ups > 0.0 { base_ups / ups } else { 0.0 };
+        eprintln!(
+            "wal overhead [{name}]: {:.0} updates/s ({slowdown:.2}x vs off), {} batches, {} syncs, wal {:.1} ms",
+            ups, report.batches, report.wal_syncs, report.wal_ns_total as f64 / 1e6
+        );
+        let _ = write!(
+            j,
+            "    \"{name}\": {{ \"updates_per_s\": {:.0}, \"slowdown_vs_off\": {slowdown:.3}, \"batches\": {}, \"wal_syncs\": {}, \"wal_ms_total\": {:.3} }}",
+            ups, report.batches, report.wal_syncs, report.wal_ns_total as f64 / 1e6
+        );
+        let _ = writeln!(j, "{}", if i + 1 < policies.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  }},");
+
+    // --- Section 2: recovery time vs log length. ---------------------
+    let lengths: &[u64] = if quick { &[16, 64] } else { &[32, 128, 512] };
+    let _ = writeln!(j, "  \"recovery_ms_vs_log_batches_n{}k\": [", n / 1000);
+    for (i, &batches) in lengths.iter().enumerate() {
+        let (snap, log) = build_log(n, &init, batches, &format!("recov_{batches}"));
+        let (seq, replayed, ms) = recover_timed(n, &snap, &log);
+        let log_kib = std::fs::metadata(&log)
+            .map(|md| md.len() / 1024)
+            .unwrap_or(0);
+        eprintln!(
+            "recovery [{batches} target batches]: replayed {replayed} (seq {seq}), log {log_kib} KiB, {ms:.1} ms"
+        );
+        let _ = write!(
+            j,
+            "    {{ \"log_batches\": {replayed}, \"log_kib\": {log_kib}, \"recover_ms\": {ms:.2} }}"
+        );
+        let _ = writeln!(j, "{}", if i + 1 < lengths.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ],");
+
+    // --- Section 3: follower lag while the writer floods. ------------
+    let log = scratch("follower.wal");
+    let (serve, ingest) = ServeLoopBuilder::new(mirror_engine(n, &init))
+        .queue_capacity(8_192)
+        .batch_policy(BatchPolicy::Fixed(256))
+        .durability(WalConfig::new(&log).fsync(FsyncPolicy::Manual))
+        .build();
+    let reads = serve.read_handle();
+    let writer = serve.spawn();
+    let done = Arc::new(AtomicBool::new(false));
+    let follower_done = Arc::clone(&done);
+    let follower_log = log.clone();
+    let follower = std::thread::spawn(move || {
+        let mut fv = wal::FollowerView::open(&follower_log).expect("header synced at build");
+        let mut lags: Vec<u64> = Vec::new();
+        loop {
+            let finished = follower_done.load(Relaxed);
+            fv.catch_up().expect("live log stays clean");
+            let published = reads.pin().seq();
+            lags.push(published.saturating_sub(fv.seq()));
+            if finished && fv.seq() >= published {
+                return (lags, fv.seq());
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    let t0 = Instant::now();
+    let mut inserting = true;
+    let mut u: V = 0;
+    for _ in 0..count {
+        if inserting {
+            let _ = ingest.insert(u, u + 1);
+        } else {
+            let _ = ingest.delete(u, u + 1);
+        }
+        u += 1;
+        if u as usize >= n - 1 {
+            u = 0;
+            inserting = !inserting;
+        }
+    }
+    drop(ingest);
+    let report = writer.join().unwrap();
+    let write_done = t0.elapsed();
+    done.store(true, Relaxed);
+    let (lags, follower_seq) = follower.join().unwrap();
+    let drain_ms = (t0.elapsed() - write_done).as_secs_f64() * 1e3;
+    let max_lag = lags.iter().copied().max().unwrap_or(0);
+    let mean_lag = lags.iter().sum::<u64>() as f64 / lags.len().max(1) as f64;
+    eprintln!(
+        "follower lag: mean {mean_lag:.1} / max {max_lag} batches behind over {} samples; converged to seq {follower_seq}/{} ({drain_ms:.1} ms drain)",
+        lags.len(),
+        report.final_seq
+    );
+    assert_eq!(follower_seq, report.final_seq, "follower must converge");
+    let _ = writeln!(j, "  \"follower_lag_n{}k\": {{", n / 1000);
+    let _ = writeln!(
+        j,
+        "    \"samples\": {}, \"mean_lag_batches\": {mean_lag:.2}, \"max_lag_batches\": {max_lag}, \"drain_ms\": {drain_ms:.2}, \"final_seq\": {}",
+        lags.len(),
+        report.final_seq
+    );
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).expect("write BENCH_PR7.json");
+    println!("wrote {out_path}");
+}

@@ -16,8 +16,8 @@
 use crate::monotone::MonotoneSpanner;
 use bds_dstruct::{FxHashMap, FxHashSet};
 use bds_graph::api::{
-    default_copies, validate_beta, validate_copies, validate_edges, BatchDynamic, BatchStats,
-    ConfigError, Decremental, DeltaBuf,
+    default_copies, validate_beta, validate_copies, validate_edges, AuxTag, BatchDynamic,
+    BatchStats, ConfigError, Decremental, DeltaBuf,
 };
 use bds_graph::types::Edge;
 
@@ -240,7 +240,7 @@ impl BundleSpanner {
         BundleDelta {
             inserted: buf.inserted().to_vec(),
             deleted: buf.deleted().to_vec(),
-            residual_deleted: buf.aux().to_vec(),
+            residual_deleted: buf.aux_edges(AuxTag::ResidualDeleted).collect(),
         }
     }
 
@@ -263,7 +263,7 @@ impl BundleSpanner {
                     self.levels[j as usize - 1].j.remove(&e);
                     out.push_del(e);
                 }
-                Home::Residual => out.push_aux(e),
+                Home::Residual => out.push_aux(AuxTag::ResidualDeleted, e),
             }
             for l in 1..=self.reach(h) {
                 pending[l as usize].push(e);
@@ -312,7 +312,7 @@ impl BundleSpanner {
                     }
                     Home::Residual => {
                         out.push_ins(e);
-                        out.push_aux(e);
+                        out.push_aux(AuxTag::ResidualDeleted, e);
                     }
                 }
                 let old_reach = self.reach(old);

@@ -38,14 +38,42 @@ use bds_dstruct::{EdgeTable, FxHashMap, FxHashSet};
 // DeltaBuf
 // ---------------------------------------------------------------------------
 
+/// The semantic of one auxiliary-lane entry ([`DeltaBuf::aux`]).
+///
+/// The aux lane used to be an untyped edge channel whose meaning was
+/// whatever the producing structure said it was; consumers (and the WAL
+/// serializer) had to guess. Every entry now carries its tag, so a
+/// delta round-trips through serialization without losing what the
+/// side-channel edges *mean*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AuxTag {
+    /// An edge that left the t-bundle's residual set R = G \ H — the
+    /// signal that drives the Lemma 6.6 sampling chain in the
+    /// decremental sparsifier.
+    ResidualDeleted = 0,
+}
+
+impl AuxTag {
+    /// Decode a serialized tag byte (see `bds_graph::wal`); `None` for
+    /// an unknown tag, which deserializers must treat as corruption.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(AuxTag::ResidualDeleted),
+            _ => None,
+        }
+    }
+}
+
 /// A reusable (δH_ins, δH_del) buffer.
 ///
 /// Layout: one flat edge vector; entries `[0..split)` are the edges that
 /// entered the maintained set H, entries `[split..len)` the edges that
 /// left it. Weighted structures fill the parallel `weights` lane
 /// (`f64::to_bits`); unweighted structures leave it empty. The `aux` lane
-/// is a second, structure-specific edge channel (the t-bundle reports its
-/// residual deletions there — what drives the Lemma 6.6 sampling chain).
+/// is a second, structure-specific edge channel of [`AuxTag`]-tagged
+/// entries (the t-bundle reports its residual deletions there — what
+/// drives the Lemma 6.6 sampling chain).
 ///
 /// The buffer is *caller-owned*: allocate one, pass `&mut` to every
 /// `*_into` call, and the steady-state batch loop performs no delta-path
@@ -56,7 +84,7 @@ pub struct DeltaBuf {
     edges: Vec<Edge>,
     split: usize,
     weights: Vec<u64>,
-    aux: Vec<Edge>,
+    aux: Vec<(AuxTag, Edge)>,
     /// Reusable index-permutation scratch for the weighted [`DeltaBuf::net`]
     /// path (sorting parallel edge/weight lanes without allocating).
     perm: Vec<u32>,
@@ -130,9 +158,19 @@ impl DeltaBuf {
         &self.edges[self.split..]
     }
 
-    /// The auxiliary edge lane (structure-specific; see the implementor).
-    pub fn aux(&self) -> &[Edge] {
+    /// The auxiliary edge lane: `(tag, edge)` entries whose semantics
+    /// the [`AuxTag`] names (see the producing structure's docs).
+    pub fn aux(&self) -> &[(AuxTag, Edge)] {
         &self.aux
+    }
+
+    /// The aux-lane edges carrying `tag` (the typed replacement for
+    /// consumers that used to read the whole untyped lane).
+    pub fn aux_edges(&self, tag: AuxTag) -> impl Iterator<Item = Edge> + '_ {
+        self.aux
+            .iter()
+            .filter(move |&&(t, _)| t == tag)
+            .map(|&(_, e)| e)
     }
 
     /// Weighted view of the inserted section. Unweighted buffers report
@@ -210,10 +248,10 @@ impl DeltaBuf {
         self.weights.push(w.to_bits());
     }
 
-    /// Append to the auxiliary lane.
+    /// Append a tagged entry to the auxiliary lane.
     #[inline]
-    pub fn push_aux(&mut self, e: Edge) {
-        self.aux.push(e);
+    pub fn push_aux(&mut self, tag: AuxTag, e: Edge) {
+        self.aux.push((tag, e));
     }
 
     /// Net the two sections at set level: an edge appearing in both
@@ -953,7 +991,7 @@ mod tests {
         let mut b = DeltaBuf::new();
         b.push_ins(Edge::new(2, 3));
         b.push_del(Edge::new(3, 4));
-        b.push_aux(Edge::new(9, 10));
+        b.push_aux(AuxTag::ResidualDeleted, Edge::new(9, 10));
         a.merge_from(&b);
         let mut ins = a.inserted().to_vec();
         ins.sort_unstable();
@@ -961,7 +999,11 @@ mod tests {
         let mut del = a.deleted().to_vec();
         del.sort_unstable();
         assert_eq!(del, vec![Edge::new(1, 2), Edge::new(3, 4)]);
-        assert_eq!(a.aux(), &[Edge::new(9, 10)]);
+        assert_eq!(a.aux(), &[(AuxTag::ResidualDeleted, Edge::new(9, 10))]);
+        assert_eq!(
+            a.aux_edges(AuxTag::ResidualDeleted).collect::<Vec<_>>(),
+            vec![Edge::new(9, 10)]
+        );
         assert!(!a.is_weighted());
 
         // Merging a weighted delta upgrades the unweighted prefix to

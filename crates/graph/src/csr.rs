@@ -56,6 +56,19 @@ impl CsrGraph {
         &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
     }
 
+    /// Iterate every edge exactly once, in canonical form (`u < v`,
+    /// ascending `u`). Each undirected edge is stored in both endpoint
+    /// rows; this walks the `u` rows and keeps only the `v > u` half —
+    /// the serialization order `bds_graph::wal` snapshots use.
+    pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n as V).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| v > u)
+                .map(move |&v| Edge { u, v })
+        })
+    }
+
     /// Sequential BFS distances from `src`, truncated at `max_dist`
     /// (vertices farther away stay [`UNREACHED`]).
     pub fn bfs(&self, src: V, max_dist: u32) -> Vec<u32> {
@@ -215,6 +228,20 @@ mod tests {
         for s in [0, 7, 100] {
             assert_eq!(g.bfs(s, 1_000_000), g.par_bfs(s, 1_000_000));
         }
+    }
+
+    #[test]
+    fn iter_edges_recovers_the_input_set() {
+        let mut edges = path(6);
+        edges.push(Edge::new(0, 5));
+        edges.push(Edge::new(1, 4));
+        let g = CsrGraph::from_edges(6, &edges);
+        let mut got: Vec<Edge> = g.iter_edges().collect();
+        got.sort_unstable();
+        let mut want = edges;
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(got.iter().all(|e| e.u < e.v));
     }
 
     #[test]

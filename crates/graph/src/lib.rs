@@ -13,9 +13,10 @@ pub mod shard;
 pub mod stream;
 pub mod types;
 pub mod union_find;
+pub mod wal;
 
 pub use api::{
-    BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
+    AuxTag, BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
     FullyDynamic, SpannerView,
 };
 pub use csr::CsrGraph;
@@ -30,3 +31,4 @@ pub use shard::{
 };
 pub use types::{Edge, SpannerDelta, UpdateBatch, V};
 pub use union_find::UnionFind;
+pub use wal::{FollowerView, FsyncPolicy, RecoverError, Recovered, Snapshot, WalConfig, WalWriter};

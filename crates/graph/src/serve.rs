@@ -70,10 +70,12 @@
 use crate::api::{BatchDynamic, DeltaBuf, FullyDynamic};
 use crate::shard::{Partitioner, ShardedEngine, ShardedView};
 use crate::types::{Edge, UpdateBatch, V};
+use crate::wal::{Snapshot, WalConfig, WalWriter};
 use bds_dstruct::{FxHashMap, FxHashSet};
 use std::cell::UnsafeCell;
+use std::io;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -119,8 +121,16 @@ pub enum IngestError {
     VertexOutOfRange { v: V, n: usize },
     /// Both endpoints are the same vertex (the graphs are simple).
     SelfLoop { v: V },
-    /// The serve loop has exited; no more updates will be applied.
+    /// The serve loop has exited cleanly; no more updates will be
+    /// applied.
     Closed,
+    /// The writer thread *died* (panicked — an engine invariant
+    /// violation or a WAL I/O failure) rather than shutting down. The
+    /// update was not applied and the final published views may trail
+    /// earlier acknowledged sends; with durability enabled, recover
+    /// from the log. Distinguished from [`IngestError::Closed`] so
+    /// producers can tell failover from quiescence.
+    WriterGone,
 }
 
 impl std::fmt::Display for IngestError {
@@ -131,6 +141,7 @@ impl std::fmt::Display for IngestError {
             }
             IngestError::SelfLoop { v } => write!(f, "self-loop ({v},{v}) rejected"),
             IngestError::Closed => write!(f, "serve loop has shut down"),
+            IngestError::WriterGone => write!(f, "serve writer thread died (panic)"),
         }
     }
 }
@@ -153,6 +164,11 @@ impl std::error::Error for IngestError {}
 pub struct IngestHandle {
     tx: SyncSender<Update>,
     n: usize,
+    /// Set by the writer's panic sentinel *before* the channel
+    /// disconnects (drop order: the sentinel is a `run` local, the
+    /// receiver lives in `self`), so a producer that observes a
+    /// disconnect can reliably tell a crash from a clean shutdown.
+    gone: Arc<AtomicBool>,
 }
 
 impl IngestHandle {
@@ -170,7 +186,7 @@ impl IngestHandle {
     pub fn send(&self, up: Update) -> Result<(), IngestError> {
         let e = up.edge();
         debug_assert!((e.v as usize) < self.n);
-        self.tx.send(up).map_err(|_| IngestError::Closed)
+        self.tx.send(up).map_err(|_| self.disconnect_error())
     }
 
     /// Non-blocking variant of [`IngestHandle::send`]: `Ok(false)` when
@@ -179,7 +195,18 @@ impl IngestHandle {
         match self.tx.try_send(up) {
             Ok(()) => Ok(true),
             Err(TrySendError::Full(_)) => Ok(false),
-            Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
+            Err(TrySendError::Disconnected(_)) => Err(self.disconnect_error()),
+        }
+    }
+
+    /// A disconnected queue means the receiver dropped: either the
+    /// loop ran to clean completion ([`IngestError::Closed`]) or the
+    /// writer thread panicked mid-run ([`IngestError::WriterGone`]).
+    fn disconnect_error(&self) -> IngestError {
+        if self.gone.load(SeqCst) {
+            IngestError::WriterGone
+        } else {
+            IngestError::Closed
         }
     }
 
@@ -441,6 +468,15 @@ pub struct ServeReport {
     pub pin_wait_ns: u64,
     /// Engine batch sequence number at exit.
     pub final_seq: u64,
+    /// Batch records appended to the WAL (0 without durability).
+    pub wal_batches: u64,
+    /// Fsyncs the WAL performed (policy-driven).
+    pub wal_syncs: u64,
+    /// Snapshots cut during the run (excluding the initial one).
+    pub wal_snapshots: u64,
+    /// Total wall time inside WAL appends + syncs + snapshots — the
+    /// durability overhead on the write path.
+    pub wal_ns_total: u64,
 }
 
 /// The single-writer serve loop. Build with [`ServeLoopBuilder`], hand
@@ -452,6 +488,19 @@ pub struct ServeLoop<S: FullyDynamic + Send, P: Partitioner> {
     pair: Arc<ViewPair<P>>,
     policy: BatchPolicy,
     coalescer: Coalescer,
+    gone: Arc<AtomicBool>,
+    wal: Option<WalState>,
+}
+
+/// Live durability state of a serving loop (see
+/// [`ServeLoopBuilder::durability`]).
+struct WalState {
+    writer: WalWriter,
+    snapshot_path: Option<std::path::PathBuf>,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    snapshots: u64,
+    ns_total: u64,
 }
 
 /// Configures and builds a [`ServeLoop`] around an existing engine.
@@ -459,6 +508,7 @@ pub struct ServeLoopBuilder<S: FullyDynamic + Send, P: Partitioner> {
     engine: ShardedEngine<S, P>,
     queue_capacity: usize,
     policy: BatchPolicy,
+    durability: Option<WalConfig>,
 }
 
 impl<S: FullyDynamic + Send, P: Partitioner> ServeLoopBuilder<S, P> {
@@ -468,6 +518,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoopBuilder<S, P> {
             engine,
             queue_capacity: 4096,
             policy: BatchPolicy::Auto,
+            durability: None,
         }
     }
 
@@ -485,26 +536,81 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoopBuilder<S, P> {
         self
     }
 
+    /// Write-ahead log every applied batch (and optionally cut periodic
+    /// snapshots) per `config`. The `Batch` record is appended — and
+    /// synced, per [`crate::wal::FsyncPolicy`] — *before* the batch's
+    /// view swap is published, so no reader ever observes a state the
+    /// log does not explain. A WAL I/O failure mid-run panics the
+    /// writer thread (never publish unlogged state); producers then see
+    /// [`IngestError::WriterGone`] and the log's valid prefix recovers
+    /// everything published. See [`crate::wal`] for the recovery path.
+    pub fn durability(mut self, config: WalConfig) -> Self {
+        self.durability = Some(config);
+        self
+    }
+
     /// Build the loop plus its first producer handle.
+    ///
+    /// With [`ServeLoopBuilder::durability`] configured this creates
+    /// the log (and initial snapshot) on disk — a failure there
+    /// panics; use [`ServeLoopBuilder::try_build`] to handle it.
     pub fn build(self) -> (ServeLoop<S, P>, IngestHandle) {
+        self.try_build().expect("failed to create WAL artifacts")
+    }
+
+    /// Fallible [`ServeLoopBuilder::build`]: surfaces WAL/snapshot
+    /// creation errors instead of panicking. Without durability this
+    /// never fails.
+    pub fn try_build(self) -> io::Result<(ServeLoop<S, P>, IngestHandle)> {
         let (tx, rx) = std::sync::mpsc::sync_channel(self.queue_capacity);
         let n = self.engine.num_vertices();
         let live: FxHashSet<Edge> = self.engine.live_input_edges().collect();
         let front = ShardedView::of(&self.engine);
+        let wal = match self.durability {
+            None => None,
+            Some(config) => {
+                // The initial snapshot anchors recovery at base_seq;
+                // the seed record anchors followers at the same point.
+                if let Some(path) = &config.snapshot_path {
+                    Snapshot::of(&self.engine).write_to(path)?;
+                }
+                let mut writer = WalWriter::create(
+                    &config.log_path,
+                    self.engine.engine_id(),
+                    self.engine.layout_epoch(),
+                    n as u64,
+                    self.engine.seq(),
+                    config.fsync,
+                )?;
+                writer.append_seed(self.engine.seq(), &front.edges())?;
+                writer.sync()?;
+                Some(WalState {
+                    writer,
+                    snapshot_path: config.snapshot_path,
+                    snapshot_every: config.snapshot_every,
+                    since_snapshot: 0,
+                    snapshots: 0,
+                    ns_total: 0,
+                })
+            }
+        };
         let back = front.clone();
         let pair = Arc::new(ViewPair {
             slots: [UnsafeCell::new(front), UnsafeCell::new(back)],
             pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
             front: AtomicUsize::new(0),
         });
+        let gone = Arc::new(AtomicBool::new(false));
         let serve = ServeLoop {
             engine: self.engine,
             rx,
             pair,
             policy: self.policy,
             coalescer: Coalescer::new(live),
+            gone: Arc::clone(&gone),
+            wal,
         };
-        (serve, IngestHandle { tx, n })
+        Ok((serve, IngestHandle { tx, n, gone }))
     }
 }
 
@@ -522,6 +628,14 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
     /// is dropped and the queue is drained; both view slots end at the
     /// final engine state.
     pub fn run(mut self) -> ServeReport {
+        // Declared before any fallible work: if anything below panics
+        // (engine invariant, WAL I/O), this local's Drop runs during
+        // unwind *before* `self` — and with it the channel receiver —
+        // is dropped, so every producer that wakes on the disconnect
+        // already sees the flag and gets `WriterGone`, not `Closed`.
+        let _sentinel = WriterGoneSentinel {
+            gone: Arc::clone(&self.gone),
+        };
         let mut report = ServeReport {
             chosen_batch_size: match self.policy {
                 BatchPolicy::Fixed(b) => b,
@@ -554,6 +668,18 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
             }
             let batch = self.coalescer.take();
             let raw = batch.len();
+            // Write-ahead: the batch record (and its policy-driven
+            // sync) precedes both the apply and the publish below. A
+            // WAL failure panics — publishing state the log cannot
+            // explain would break the recovery contract, and the
+            // sentinel turns the panic into `WriterGone` upstream.
+            if let Some(w) = self.wal.as_mut() {
+                let t0 = Instant::now();
+                w.writer
+                    .append_batch(self.engine.seq() + 1, &batch)
+                    .expect("WAL append failed; refusing to apply an unlogged batch");
+                w.ns_total += t0.elapsed().as_nanos() as u64;
+            }
             let t0 = Instant::now();
             self.engine.apply_into(&batch, &mut delta);
             let apply_ns = t0.elapsed().as_nanos() as u64;
@@ -566,6 +692,30 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
                     report.chosen_batch_size = knee(&report.tune_curve);
                     tuner = None;
                 }
+            }
+            // Output-plane record (for followers) and periodic
+            // snapshot, still ahead of the publish: everything a reader
+            // can observe is on disk first.
+            if let Some(w) = self.wal.as_mut() {
+                let t0 = Instant::now();
+                w.writer
+                    .append_delta(&delta)
+                    .expect("WAL delta append failed");
+                if w.snapshot_every > 0 {
+                    w.since_snapshot += 1;
+                    if w.since_snapshot >= w.snapshot_every {
+                        let path = w
+                            .snapshot_path
+                            .as_ref()
+                            .expect("snapshot_every > 0 requires a snapshot path");
+                        Snapshot::of(&self.engine)
+                            .write_to(path)
+                            .expect("snapshot write failed");
+                        w.since_snapshot = 0;
+                        w.snapshots += 1;
+                    }
+                }
+                w.ns_total += t0.elapsed().as_nanos() as u64;
             }
             // Publish: the back slot is caught up to seq-1, readers
             // cannot confirm new pins on it (front points away), so
@@ -586,6 +736,17 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
             }
         }
         report.final_seq = self.engine.seq();
+        if let Some(w) = self.wal.as_mut() {
+            // Final sync so a Manual/EveryN policy does not leave the
+            // tail of a *clean* shutdown in the page cache.
+            let t0 = Instant::now();
+            w.writer.sync().expect("final WAL sync failed");
+            w.ns_total += t0.elapsed().as_nanos() as u64;
+            report.wal_batches = w.writer.batches_appended();
+            report.wal_syncs = w.writer.syncs();
+            report.wal_snapshots = w.snapshots;
+            report.wal_ns_total = w.ns_total;
+        }
         report
     }
 
@@ -662,6 +823,24 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
             std::thread::yield_now();
         }
         report.pin_wait_ns += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Raises the shared `gone` flag if [`ServeLoop::run`] unwinds. The
+/// std mpsc receiver wakes blocked senders with a disconnect error when
+/// it drops during the unwind; because this sentinel is a local of
+/// `run` and the receiver is a field of the `self` parameter, Rust's
+/// drop order (locals before parameters) guarantees the flag is set
+/// before any sender can observe that disconnect.
+struct WriterGoneSentinel {
+    gone: Arc<AtomicBool>,
+}
+
+impl Drop for WriterGoneSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.gone.store(true, SeqCst);
+        }
     }
 }
 
@@ -1020,5 +1199,105 @@ mod tests {
             r.join().unwrap();
         }
         assert!(report.final_seq > 0);
+    }
+
+    /// A [`MirrorSpanner`] that panics on its k-th apply — the harness
+    /// for writer-death tests (an engine invariant violation mid-run).
+    struct Poisoned {
+        inner: MirrorSpanner,
+        applies_left: std::cell::Cell<u32>,
+    }
+
+    impl BatchDynamic for Poisoned {
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn num_live_edges(&self) -> usize {
+            self.inner.num_live_edges()
+        }
+        fn output_into(&self, out: &mut DeltaBuf) {
+            self.inner.output_into(out)
+        }
+        fn stats(&self) -> crate::api::BatchStats {
+            self.inner.stats()
+        }
+    }
+
+    impl crate::api::Decremental for Poisoned {
+        fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+            self.inner.delete_into(deletions, out);
+        }
+    }
+
+    impl FullyDynamic for Poisoned {
+        fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+            self.inner.insert_into(insertions, out);
+        }
+        fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+            let left = self.applies_left.get();
+            assert!(left > 0, "poisoned shard: injected fault");
+            self.applies_left.set(left - 1);
+            self.inner.apply_into(batch, out);
+        }
+    }
+
+    #[test]
+    fn writer_death_surfaces_as_writer_gone_not_closed() {
+        // Regression (PR 7): a producer observing the queue disconnect
+        // could not tell a writer crash from a clean shutdown — both
+        // came back `Closed`, so failover logic had nothing to act on.
+        let n = 64;
+        let engine = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .build_with(&[], move |_, es| {
+                Ok::<_, crate::api::ConfigError>(Poisoned {
+                    inner: MirrorSpanner::build(n, es)?,
+                    applies_left: std::cell::Cell::new(2),
+                })
+            })
+            .unwrap();
+        let (serve, ingest) = ServeLoopBuilder::new(engine)
+            .queue_capacity(4)
+            .batch_policy(BatchPolicy::Fixed(4))
+            .build();
+        let writer = serve.spawn();
+        // Flood until the third engine batch trips the poison; with a
+        // 4-deep queue the producer is exercising the blocked-send wakeup
+        // path, not just a late try_send.
+        let mut saw = None;
+        for i in 0..n as V - 1 {
+            if let Err(e) = ingest.insert(i, i + 1) {
+                saw = Some(e);
+                break;
+            }
+        }
+        let saw = saw.unwrap_or_else(|| {
+            // All sends may have been queued before the panic landed;
+            // the next send must observe the death.
+            ingest.insert(0, 63).unwrap_err()
+        });
+        assert_eq!(saw, IngestError::WriterGone);
+        assert!(writer.join().is_err(), "writer must have panicked");
+        // And once dead, it stays WriterGone (sticky flag).
+        assert_eq!(ingest.insert(1, 2), Err(IngestError::WriterGone));
+        assert_eq!(
+            ingest.try_send(Update::Insert(Edge::new(3, 4))),
+            Err(IngestError::WriterGone)
+        );
+    }
+
+    #[test]
+    fn clean_receiver_drop_still_reports_closed() {
+        // The gone flag is raised only by a *panicking* writer: a loop
+        // torn down without running (receiver dropped) is `Closed`.
+        let (serve, ingest) = ServeLoopBuilder::new(engine(16, &[], 2))
+            .batch_policy(BatchPolicy::Fixed(8))
+            .build();
+        drop(serve);
+        assert_eq!(ingest.insert(0, 1), Err(IngestError::Closed));
+        assert_eq!(
+            ingest.try_send(Update::Insert(Edge::new(2, 3))),
+            Err(IngestError::Closed)
+        );
     }
 }

@@ -547,6 +547,31 @@ struct Lane<S> {
     /// probing evaluate candidates in O(buckets + k) instead of O(m).
     hist: Vec<u32>,
     recourse: u64,
+    /// Opt-in input history ([`ShardedEngineBuilder::replica_log`]):
+    /// the base edge set the lane's replicas were built over plus every
+    /// op fanned to the lane since. [`ShardedEngine::restore_replica`]
+    /// replays it so a restored replica sees the *identical* input
+    /// history as its siblings — the delta-continuity randomized
+    /// structures need (a rebuild from the current live edges is a
+    /// different history, so a randomized structure's coin flips — and
+    /// therefore its output — need not match the primary's).
+    history: Option<LaneHistory>,
+}
+
+/// The snapshot + log pair behind [`ShardedEngineBuilder::replica_log`]:
+/// `base` is the lane's build-time edge snapshot, `ops` the in-order
+/// log of every sub-batch fanned to it since.
+struct LaneHistory {
+    base: Vec<Edge>,
+    ops: Vec<(Op, UpdateBatch)>,
+}
+
+impl LaneHistory {
+    fn record(&mut self, op: Op, sub: &UpdateBatch) {
+        if !sub.is_empty() {
+            self.ops.push((op, sub.clone()));
+        }
+    }
 }
 
 impl<S> Lane<S> {
@@ -658,6 +683,9 @@ pub struct ShardedEngine<S, P: Partitioner = HashPartitioner> {
     layout: u64,
     /// Process-unique identity; views bind to it.
     id: u64,
+    /// Whether lanes keep input histories for delta-continuous restore
+    /// (the builder's [`ShardedEngineBuilder::replica_log`]).
+    replica_log: bool,
 }
 
 /// Typed builder for [`ShardedEngine`]: shard count, replication
@@ -668,6 +696,7 @@ pub struct ShardedEngineBuilder<P: Partitioner = HashPartitioner> {
     shards: usize,
     replicas: usize,
     part: P,
+    replica_log: bool,
 }
 
 impl<P: Partitioner> ShardedEngineBuilder<P> {
@@ -692,7 +721,30 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
             shards: self.shards,
             replicas: self.replicas,
             part,
+            replica_log: self.replica_log,
         }
+    }
+
+    /// Keep a per-lane input history — the edge set each lane was built
+    /// over plus every sub-batch fanned to it since — so
+    /// [`ShardedEngine::restore_replica`] can replay a dropped replica
+    /// through the *identical* input history its siblings saw (default
+    /// off). Without it a restore rebuilds from the current live edges,
+    /// which is a different history: a randomized structure's coin
+    /// flips — and therefore its output — need not match the primary's,
+    /// so a later failover to the restored replica could change served
+    /// answers. With it, any factory deterministic in `(i, edges)`
+    /// produces a restored replica bit-identical to an undropped one.
+    ///
+    /// Costs one batch clone per non-empty lane sub-batch (the batch
+    /// path is otherwise allocation-free) and memory linear in the
+    /// update history. [`ShardedEngine::reshard`] and rebalance record
+    /// their edge movements into surviving lanes' histories and start
+    /// brand-new lanes with a fresh base, so replay stays exact across
+    /// layout changes.
+    pub fn replica_log(mut self, enabled: bool) -> Self {
+        self.replica_log = enabled;
+        self
     }
 
     /// Build the engine: the initial edges are routed by the
@@ -754,6 +806,10 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
                 live,
                 hist: Vec::new(),
                 recourse: 0,
+                history: self.replica_log.then(|| LaneHistory {
+                    base: shard_edges,
+                    ops: Vec::new(),
+                }),
             };
             lane.rebuild_hist(self.n);
             lanes.push(lane);
@@ -767,6 +823,7 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
             seq: 0,
             layout: 0,
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            replica_log: self.replica_log,
         })
     }
 }
@@ -782,6 +839,7 @@ impl ShardedEngineBuilder<HashPartitioner> {
             shards: 2,
             replicas: 1,
             part: HashPartitioner,
+            replica_log: false,
         }
     }
 }
@@ -811,6 +869,31 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
     /// at and must be rebuilt after any layout change.
     pub fn layout_epoch(&self) -> u64 {
         self.layout
+    }
+
+    /// Process-unique engine identity. Views bind to it, and
+    /// [`crate::wal`] stamps it into log and snapshot headers so a
+    /// recovery can reject artifacts from a different engine.
+    pub fn engine_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the builder's [`ShardedEngineBuilder::replica_log`] was
+    /// enabled (so [`ShardedEngine::restore_replica`] replays history
+    /// instead of rebuilding from current live edges).
+    pub fn replica_log_enabled(&self) -> bool {
+        self.replica_log
+    }
+
+    /// Adopt a logged identity after crash recovery: the recovered
+    /// engine *is* the logical engine the WAL described, so it must
+    /// answer with the logged id, layout epoch, and batch seq — not the
+    /// fresh ones its in-process rebuild produced. Crate-internal:
+    /// only [`crate::wal::recover`] may re-stamp identity.
+    pub(crate) fn restore_identity(&mut self, id: u64, layout: u64, seq: u64) {
+        self.id = id;
+        self.layout = layout;
+        self.seq = seq;
     }
 
     /// The primary shard structure of lane `i` (read side; updates must
@@ -953,11 +1036,21 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
 }
 
 impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
-    /// Rebuild a dropped replica from the lane's live edges through the
-    /// stored factory. The restored replica maintains the same live
-    /// input edges as its siblings; it does not change the primary
-    /// designation (so served outputs are undisturbed), but it is the
-    /// failover target if the current primary later drops.
+    /// Rebuild a dropped replica through the stored factory. The
+    /// restored replica maintains the same live input edges as its
+    /// siblings; it does not change the primary designation (so served
+    /// outputs are undisturbed), but it is the failover target if the
+    /// current primary later drops.
+    ///
+    /// With [`ShardedEngineBuilder::replica_log`] enabled the rebuild
+    /// replays the lane's recorded input history — base edges through
+    /// the factory, then every sub-batch in application order — so a
+    /// factory deterministic in `(i, edges)` yields a replica
+    /// bit-identical to one that was never dropped (a randomized
+    /// structure re-flips the same coins). Without it the factory sees
+    /// only the *current* live edges: the same graph, but a different
+    /// history, so a randomized structure's output may legitimately
+    /// differ from the primary's.
     pub fn restore_replica(&mut self, lane: usize, r: usize) -> Result<(), ConfigError> {
         let l = self.lanes.get(lane).ok_or(ConfigError::InvalidParam {
             name: "lane",
@@ -973,8 +1066,25 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 reason: "replica is already live",
             });
         }
-        let edges: Vec<Edge> = l.live.iter().map(|(u, v, _)| Edge { u, v }).collect();
-        let shard = (self.factory)(lane, &edges)?;
+        let shard = if let Some(h) = &self.lanes[lane].history {
+            let mut shard = (self.factory)(lane, &h.base)?;
+            let mut scratch = DeltaBuf::new();
+            for (op, batch) in &h.ops {
+                match op {
+                    Op::Delete => shard.delete_into(&batch.deletions, &mut scratch),
+                    Op::Insert => shard.insert_into(&batch.insertions, &mut scratch),
+                    Op::Apply => shard.apply_into(batch, &mut scratch),
+                }
+            }
+            shard
+        } else {
+            let edges: Vec<Edge> = self.lanes[lane]
+                .live
+                .iter()
+                .map(|(u, v, _)| Edge { u, v })
+                .collect();
+            (self.factory)(lane, &edges)?
+        };
         let rep = &mut self.lanes[lane].replicas[r];
         rep.shard = Some(shard);
         rep.delta.clear();
@@ -1147,6 +1257,10 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 live,
                 hist: Vec::new(),
                 recourse: 0,
+                history: self.replica_log.then(|| LaneHistory {
+                    base: ins.clone(),
+                    ops: Vec::new(),
+                }),
             });
         }
         // Surviving lanes shed their moved-out edges (every replica).
@@ -1164,6 +1278,10 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 if let Some(shard) = rep.shard.as_mut() {
                     shard.delete_into(outs, &mut scratch);
                 }
+            }
+            if let Some(h) = lane.history.as_mut() {
+                h.ops
+                    .push((Op::Delete, UpdateBatch::delete_only(outs.clone())));
             }
         }
         // Merged-away lanes are dropped whole (their edges are all in
@@ -1183,6 +1301,10 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 if let Some(shard) = rep.shard.as_mut() {
                     shard.insert_into(ins, &mut scratch);
                 }
+            }
+            if let Some(h) = lane.history.as_mut() {
+                h.ops
+                    .push((Op::Insert, UpdateBatch::insert_only(ins.clone())));
             }
         }
         self.lanes.extend(new_lanes);
@@ -1209,6 +1331,16 @@ impl<S: FullyDynamic + Send, P: Partitioner> ShardedEngine<S, P> {
     /// parallel and merge the per-lane primary deltas into `out`,
     /// stamped with the new batch sequence number.
     fn fan_out_merge(&mut self, op: Op, out: &mut DeltaBuf) {
+        if self.replica_log {
+            // Record before applying so history order is application
+            // order; empty subs are skipped (they are no-ops on replay
+            // too, so the histories stay minimal).
+            for lane in &mut self.lanes {
+                if let Some(h) = lane.history.as_mut() {
+                    h.record(op, &lane.sub);
+                }
+            }
+        }
         bds_par::par_for_each_task(&mut self.lanes, |lane| {
             let Lane { replicas, sub, .. } = lane;
             bds_par::par_for_each_task(replicas, |rep| {
@@ -2326,5 +2458,138 @@ mod tests {
         engine.apply_into(&UpdateBatch::delete_only(vec![e]), &mut buf);
         live.apply(&engine);
         assert!(!live.contains(e));
+    }
+
+    /// A [`MirrorSpanner`] wrapper recording every non-empty call it
+    /// receives — build edges, deletes, inserts, applies, in order — so
+    /// tests can check a replayed replica saw the *identical* input
+    /// history, not merely the same final edge set (the distinction
+    /// `replica_log` exists for: a randomized structure's coins depend
+    /// on the history, not the final set).
+    struct Recording {
+        inner: MirrorSpanner,
+        trace: Vec<(u8, Vec<Edge>, Vec<Edge>)>,
+    }
+
+    impl Recording {
+        fn build(n: usize, edges: &[Edge]) -> Result<Self, ConfigError> {
+            Ok(Self {
+                inner: MirrorSpanner::build(n, edges)?,
+                trace: vec![(0, edges.to_vec(), Vec::new())],
+            })
+        }
+    }
+
+    impl BatchDynamic for Recording {
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn num_live_edges(&self) -> usize {
+            self.inner.num_live_edges()
+        }
+        fn output_into(&self, out: &mut DeltaBuf) {
+            self.inner.output_into(out)
+        }
+        fn stats(&self) -> BatchStats {
+            self.inner.stats()
+        }
+    }
+
+    impl Decremental for Recording {
+        fn delete_into(&mut self, deletions: &[Edge], out: &mut DeltaBuf) {
+            if !deletions.is_empty() {
+                self.trace.push((1, Vec::new(), deletions.to_vec()));
+            }
+            self.inner.delete_into(deletions, out);
+        }
+    }
+
+    impl FullyDynamic for Recording {
+        fn insert_into(&mut self, insertions: &[Edge], out: &mut DeltaBuf) {
+            if !insertions.is_empty() {
+                self.trace.push((2, insertions.to_vec(), Vec::new()));
+            }
+            self.inner.insert_into(insertions, out);
+        }
+        fn apply_into(&mut self, batch: &UpdateBatch, out: &mut DeltaBuf) {
+            if !batch.is_empty() {
+                self.trace
+                    .push((3, batch.insertions.clone(), batch.deletions.clone()));
+            }
+            self.inner.apply_into(batch, out);
+        }
+    }
+
+    #[test]
+    fn replica_log_restore_replays_identical_history() {
+        let n = 48;
+        let init = gen::gnm(n, 90, 11);
+        let live: std::collections::HashSet<Edge> = init.iter().copied().collect();
+        let fresh: Vec<Edge> = gen::gnm(n, 220, 12)
+            .into_iter()
+            .filter(|e| !live.contains(e))
+            .collect();
+        assert!(fresh.len() >= 110);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(3)
+            .replicas(2)
+            .replica_log(true)
+            .build_with(&init, move |_, es| Recording::build(n, es))
+            .unwrap();
+        assert!(engine.replica_log_enabled());
+        let mut buf = DeltaBuf::new();
+        engine.apply_into(&UpdateBatch::insert_only(fresh[0..30].to_vec()), &mut buf);
+        engine.apply_into(
+            &UpdateBatch {
+                insertions: fresh[30..60].to_vec(),
+                deletions: init[0..20].to_vec(),
+            },
+            &mut buf,
+        );
+        // A reshard's shed/absorb churn must land in the histories too.
+        engine.reshard(4).unwrap();
+        engine.apply_into(&UpdateBatch::delete_only(init[20..40].to_vec()), &mut buf);
+        engine.drop_replica(0, 1).unwrap();
+        // Batches the dropped replica never sees — but the lane history does.
+        engine.apply_into(&UpdateBatch::insert_only(fresh[60..90].to_vec()), &mut buf);
+        engine.apply_into(
+            &UpdateBatch {
+                insertions: fresh[90..110].to_vec(),
+                deletions: fresh[0..10].to_vec(),
+            },
+            &mut buf,
+        );
+        engine.restore_replica(0, 1).unwrap();
+        let primary = engine.shard(0);
+        let restored = engine.replica(0, 1).unwrap();
+        assert_eq!(
+            restored.trace, primary.trace,
+            "replayed replica must see the bit-identical input history"
+        );
+        assert_eq!(shadow_of(restored), shadow_of(primary));
+    }
+
+    #[test]
+    fn restore_without_replica_log_matches_live_edges_only() {
+        // Default path (no history): the restored replica maintains the
+        // same live set, rebuilt from the *current* edges.
+        let n = 30;
+        let init = gen::gnm(n, 60, 5);
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(2)
+            .replicas(2)
+            .build_with(&init, move |_, es| Recording::build(n, es))
+            .unwrap();
+        assert!(!engine.replica_log_enabled());
+        let mut buf = DeltaBuf::new();
+        engine.drop_replica(1, 1).unwrap();
+        engine.apply_into(&UpdateBatch::delete_only(init[0..10].to_vec()), &mut buf);
+        engine.restore_replica(1, 1).unwrap();
+        let primary = engine.shard(1);
+        let restored = engine.replica(1, 1).unwrap();
+        // Same final edge set...
+        assert_eq!(shadow_of(restored), shadow_of(primary));
+        // ...but a one-shot build trace, not the primary's history.
+        assert_eq!(restored.trace.len(), 1);
     }
 }

@@ -20,8 +20,8 @@ use bds_bundle::BundleSpanner;
 use bds_dstruct::fx::mix64;
 use bds_dstruct::{EdgeTable, FxHashSet};
 use bds_graph::api::{
-    default_copies, validate_beta, validate_copies, validate_edges, BatchDynamic, BatchStats,
-    ConfigError, Decremental, DeltaBuf,
+    default_copies, validate_beta, validate_copies, validate_edges, AuxTag, BatchDynamic,
+    BatchStats, ConfigError, Decremental, DeltaBuf,
 };
 use bds_graph::types::Edge;
 
@@ -278,7 +278,7 @@ impl DecrementalSparsifier {
             }
             // Cascade: residual leavers that were sampled into G_{i+1}.
             xi.clear();
-            for &e in scratch.aux() {
+            for e in scratch.aux_edges(AuxTag::ResidualDeleted) {
                 if self.coin(i as u32 + 1, e) {
                     xi.push(e);
                 }

@@ -127,6 +127,77 @@
 //! assert!(hits.iter().all(|&h| h));
 //! assert_eq!(report.raw_updates, 99);
 //! ```
+//!
+//! ## Crash safety
+//!
+//! The serving pipeline is in-memory by default; add
+//! [`ServeLoopBuilder::durability`] to write-ahead log every applied
+//! batch and recover the engine after a crash with [`wal::recover`]
+//! (see [`graph::wal`] for the log format and recovery semantics). The
+//! key ordering guarantee: the batch record is appended — and synced,
+//! per [`FsyncPolicy`] — *before* the batch's view swap is published,
+//! so no reader ever observes a state the log cannot reproduce.
+//!
+//! Pick the fsync policy by what a machine crash may cost:
+//!
+//! | Policy | Loss window | Cost |
+//! |---|---|---|
+//! | [`FsyncPolicy::EveryBatch`] | nothing acknowledged is lost | one `fdatasync` per batch |
+//! | [`FsyncPolicy::EveryN`]`(k)` | up to k−1 acknowledged batches | amortized |
+//! | [`FsyncPolicy::Manual`] | the unsynced tail | none until [`wal::WalWriter::sync`] |
+//!
+//! A *process* crash (panic, kill) loses nothing under any policy —
+//! the appended bytes are in the OS page cache; the loss windows above
+//! apply to power loss and kernel crashes. Recovery itself never
+//! panics on bad bytes: torn tails (crash mid-append) stop the replay
+//! cleanly, checksum failures surface as typed
+//! [`RecoverError::Corrupt`] errors, and mismatched artifacts
+//! (snapshot and log from different engines or layout epochs) are
+//! rejected. A crashed writer is also *visible*: producers whose queue
+//! disconnects get [`IngestError::WriterGone`], distinguished from the
+//! clean-shutdown [`IngestError::Closed`].
+//!
+//! ```no_run
+//! use batch_spanners::prelude::*;
+//!
+//! let n = 100;
+//! let build = move |_: usize, es: &[Edge]| MirrorSpanner::build(n, es);
+//! let engine = ShardedEngineBuilder::new(n)
+//!     .shards(2)
+//!     .build_with(&[], build)
+//!     .unwrap();
+//! let (serve, ingest) = ServeLoopBuilder::new(engine)
+//!     .durability(
+//!         WalConfig::new("spanner.wal")
+//!             .fsync(FsyncPolicy::EveryBatch)
+//!             .snapshot("spanner.snap", 1024), // re-snapshot every 1024 batches
+//!     )
+//!     .build();
+//! let writer = serve.spawn();
+//! ingest.insert(0, 1).unwrap();
+//! drop(ingest);
+//! writer.join().unwrap();
+//!
+//! // ... crash, restart ...
+//!
+//! let recovered = batch_spanners::wal::recover(
+//!     "spanner.snap".as_ref(),
+//!     "spanner.wal".as_ref(),
+//!     ShardedEngineBuilder::new(n).shards(2),
+//!     build,
+//! )
+//! .unwrap();
+//! assert!(recovered.engine.seq() >= 1);
+//! ```
+//!
+//! Two related robustness levers live next to the WAL. A
+//! [`FollowerView`] tails the log file to keep a read-only mirror on
+//! another thread (or process) trailing the primary. And
+//! [`ShardedEngineBuilder::replica_log`] makes
+//! [`ShardedEngine::restore_replica`] replay a dropped replica's exact
+//! input history, so a restored replica of a *randomized* structure
+//! (e.g. [`FullyDynamicSpanner`]) answers identically to its primary —
+//! rebuilds from the current edge set cannot promise that.
 
 pub use bds_baseline as baseline;
 pub use bds_bundle as bundle;
@@ -140,6 +211,7 @@ pub use bds_sparsify as sparsify;
 pub use bds_ultra as ultra;
 
 pub use bds_graph::gen;
+pub use bds_graph::wal;
 
 /// The commonly used types and structures in one import.
 pub mod prelude {
@@ -148,8 +220,8 @@ pub mod prelude {
     pub use bds_core::{DecrementalSpanner, FullyDynamicSpanner, FullyDynamicSpannerBuilder};
     pub use bds_estree::{EsTree, EsTreeBuilder};
     pub use bds_graph::api::{
-        BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
-        FullyDynamic, SpannerView,
+        AuxTag, BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental,
+        DeltaBuf, FullyDynamic, SpannerView,
     };
     pub use bds_graph::serve::{
         BatchPolicy, IngestError, IngestHandle, ReadGuard, ReadHandle, ServeLoop, ServeLoopBuilder,
@@ -161,6 +233,9 @@ pub mod prelude {
         DEFAULT_SKEW_THRESHOLD,
     };
     pub use bds_graph::types::{Edge, SpannerDelta, UpdateBatch, V};
+    pub use bds_graph::wal::{
+        FollowerView, FsyncPolicy, RecoverError, Recovered, Snapshot, WalConfig, WalWriter,
+    };
     pub use bds_graph::{CsrGraph, DynamicGraph};
     pub use bds_sparsify::{DecrementalSparsifier, FullyDynamicSparsifier};
     pub use bds_ultra::{UltraParams, UltraSparseSpanner};

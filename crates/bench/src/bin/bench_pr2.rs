@@ -269,11 +269,11 @@ fn adj_churn_numbers(lists: usize, len: usize, ops: usize, rounds: usize) -> (f6
             acc
         });
         fm = fm.min(d);
-        let mut treap: Vec<bds_dstruct::Treap<K, ()>> = keysets
+        let mut treap: Vec<bds_bench::treap::Treap<K, ()>> = keysets
             .iter()
             .enumerate()
             .map(|(i, ks)| {
-                let mut t = bds_dstruct::Treap::new(i as u64 * 2 + 1);
+                let mut t = bds_bench::treap::Treap::new(i as u64 * 2 + 1);
                 for &k in ks {
                     t.insert(k, ());
                 }

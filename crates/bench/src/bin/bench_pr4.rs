@@ -100,7 +100,7 @@ fn hub_interleaved(len: usize, ops: usize, rounds: usize) -> (f64, f64, f64) {
         });
         pr2 = pr2.min(d);
 
-        let mut t: bds_dstruct::Treap<K, ()> = bds_dstruct::Treap::new(3);
+        let mut t: bds_bench::treap::Treap<K, ()> = bds_bench::treap::Treap::new(3);
         for &k in &keys {
             t.insert(k, ());
         }

@@ -1,0 +1,331 @@
+//! PR-8 perf snapshot: writes `BENCH_PR8.json` — what de-treaping the
+//! Euler tours bought and what the connectivity product serves:
+//!
+//! * **Flat vs treap**, three regimes on identical pre-validated
+//!   scripts against the frozen baseline ([`bds_bench::euler_treap`],
+//!   the structure exactly as it lived before the PR-8 rewrite):
+//!   mixed link/cut/probe, probe-only (the `&self` read path mirrors
+//!   share), and bulk build from a forest edge list.
+//! * **Connectivity serving**: `batch_connected` queries/s through a
+//!   [`ConnView`] flattened from pinned `ShardedView`s, measured under
+//!   a producer write flood and again idle, plus the writer's own
+//!   batch link/cut throughput.
+//!
+//! Usage: `cargo run --release -p bds_bench --bin bench_pr8 [-- out.json] [--quick]`
+
+use bds_bench::euler_treap;
+use bds_dstruct::euler::EulerForest;
+use bds_graph::conn::{BatchConnectivity, ConnView};
+use bds_graph::gen;
+use bds_graph::serve::{BatchPolicy, ServeLoopBuilder};
+use bds_graph::shard::ShardedEngineBuilder;
+use bds_graph::types::V;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// One validated forest operation: links never close a cycle, cuts
+/// always hit a live tree edge, probes are pure reads.
+#[derive(Clone, Copy)]
+enum Op {
+    Link(u32, u32),
+    Cut(u32, u32),
+    Probe(u32, u32),
+}
+
+/// Build a replayable script by simulating it once: both structures
+/// then replay the exact same operations against the exact same
+/// evolving forest, so the comparison times nothing but the structure.
+/// Also returns the forest edges live at the end of the script.
+fn make_script(n: u32, ops: usize, seed: u64) -> (Vec<Op>, Vec<(u32, u32)>) {
+    let mut f = EulerForest::new();
+    for v in 0..n {
+        f.ensure_vertex(v);
+    }
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut rng = seed | 1;
+    let mut script = Vec::with_capacity(2 * ops);
+    while script.len() < 2 * ops {
+        let a = (lcg(&mut rng) % n as u64) as u32;
+        let b = (lcg(&mut rng) % n as u64) as u32;
+        if a == b {
+            continue;
+        }
+        if !f.connected(a, b) {
+            f.link(a, b);
+            live.push((a, b));
+            script.push(Op::Link(a, b));
+        } else if !live.is_empty() {
+            let k = (lcg(&mut rng) % live.len() as u64) as usize;
+            let (u, v) = live.swap_remove(k);
+            f.cut(u, v);
+            script.push(Op::Cut(u, v));
+        } else {
+            continue;
+        }
+        script.push(Op::Probe(
+            (lcg(&mut rng) % n as u64) as u32,
+            (lcg(&mut rng) % n as u64) as u32,
+        ));
+    }
+    (script, live)
+}
+
+fn run_flat(n: u32, script: &[Op]) -> (Duration, EulerForest) {
+    let mut f = EulerForest::new();
+    for v in 0..n {
+        f.ensure_vertex(v);
+    }
+    let t0 = Instant::now();
+    for &op in script {
+        match op {
+            Op::Link(u, v) => f.link(u, v),
+            Op::Cut(u, v) => f.cut(u, v),
+            Op::Probe(u, v) => {
+                black_box(f.connected(u, v));
+            }
+        }
+    }
+    (t0.elapsed(), f)
+}
+
+fn run_treap(n: u32, script: &[Op]) -> (Duration, euler_treap::EulerForest) {
+    let mut f = euler_treap::EulerForest::new(0x5EED);
+    for v in 0..n {
+        f.ensure_vertex(v);
+    }
+    let t0 = Instant::now();
+    for &op in script {
+        match op {
+            Op::Link(u, v) => f.link(u, v),
+            Op::Cut(u, v) => f.cut(u, v),
+            Op::Probe(u, v) => {
+                black_box(f.connected(u, v));
+            }
+        }
+    }
+    (t0.elapsed(), f)
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = a;
+        }
+    }
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"pr\": 8,");
+    let _ = writeln!(j, "  \"threads\": {},", bds_par::threads_available());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+
+    // --- Section 1: flat sequence vs frozen treap baseline. ----------
+    // Full-mode sizes are picked so the whole bin finishes in minutes
+    // on the 1-vCPU CI container: flat link/cut is O(#blocks in tour),
+    // so the mixed-script cost grows with n * ops.
+    let (en, eops) = if quick {
+        (10_000u32, 40_000usize)
+    } else {
+        (30_000u32, 120_000usize)
+    };
+    let (script, final_forest) = make_script(en, eops, 0xE17E);
+    let links = script.iter().filter(|o| matches!(o, Op::Link(..))).count();
+    let (dt_flat, flat) = run_flat(en, &script);
+    let (dt_treap, mut treap) = run_treap(en, &script);
+    let flat_ops = script.len() as f64 / dt_flat.as_secs_f64();
+    let treap_ops = script.len() as f64 / dt_treap.as_secs_f64();
+    eprintln!(
+        "euler link/cut/probe [n={en}]: flat {:.0} ops/s vs treap {:.0} ops/s ({:.2}x), {} links / {} cuts / {} probes",
+        flat_ops,
+        treap_ops,
+        flat_ops / treap_ops,
+        links,
+        script.len() / 2 - links,
+        script.len() / 2
+    );
+
+    // Probe-only: the read path the mirrors share. Flat answers from
+    // two array loads (`&self`); the treap splays on every query.
+    let nprobes = script.len();
+    let mut rng = 0x4EAD5u64;
+    let probes: Vec<(u32, u32)> = (0..nprobes)
+        .map(|_| {
+            (
+                (lcg(&mut rng) % en as u64) as u32,
+                (lcg(&mut rng) % en as u64) as u32,
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    for &(u, v) in &probes {
+        black_box(flat.connected(u, v));
+    }
+    let flat_probe = nprobes as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for &(u, v) in &probes {
+        black_box(treap.connected(u, v));
+    }
+    let treap_probe = nprobes as f64 / t0.elapsed().as_secs_f64();
+    eprintln!(
+        "euler probe-only [n={en}]: flat {flat_probe:.0} q/s vs treap {treap_probe:.0} q/s ({:.2}x)",
+        flat_probe / treap_probe
+    );
+
+    // Bulk build: the flat sequence assembles tours in one pass; the
+    // treap can only link edge by edge.
+    let t0 = Instant::now();
+    let built = EulerForest::bulk_build(&final_forest);
+    let flat_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let anchor = final_forest.first().map_or(0, |&(u, _)| u);
+    assert_eq!(built.tree_size(anchor), flat.tree_size(anchor));
+    let t0 = Instant::now();
+    let mut tb = euler_treap::EulerForest::new(0x5EED);
+    for v in 0..en {
+        tb.ensure_vertex(v);
+    }
+    for &(u, v) in &final_forest {
+        tb.link(u, v);
+    }
+    let treap_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "euler bulk build [{} forest edges]: flat {flat_build_ms:.1} ms vs treap {treap_build_ms:.1} ms ({:.2}x)",
+        final_forest.len(),
+        treap_build_ms / flat_build_ms
+    );
+
+    let _ = writeln!(j, "  \"euler_flat_vs_treap_n{}k\": {{", en / 1000);
+    let _ = writeln!(
+        j,
+        "    \"link_cut_probe\": {{ \"ops\": {}, \"flat_ops_per_s\": {:.0}, \"treap_ops_per_s\": {:.0}, \"flat_over_treap\": {:.3} }},",
+        script.len(),
+        flat_ops,
+        treap_ops,
+        flat_ops / treap_ops
+    );
+    let _ = writeln!(
+        j,
+        "    \"probe_only\": {{ \"probes\": {nprobes}, \"flat_q_per_s\": {flat_probe:.0}, \"treap_q_per_s\": {treap_probe:.0}, \"flat_over_treap\": {:.3} }},",
+        flat_probe / treap_probe
+    );
+    let _ = writeln!(
+        j,
+        "    \"bulk_build\": {{ \"forest_edges\": {}, \"flat_ms\": {flat_build_ms:.2}, \"treap_ms\": {treap_build_ms:.2}, \"treap_over_flat\": {:.3} }}",
+        final_forest.len(),
+        treap_build_ms / flat_build_ms
+    );
+    let _ = writeln!(j, "  }},");
+
+    // --- Section 2: batch_connected serving, flooded and idle. -------
+    let (n, count) = if quick {
+        (5_000usize, 40_000u64)
+    } else {
+        (20_000usize, 150_000u64)
+    };
+    let init = gen::gnm(n, 2 * n, 13);
+    let engine = ShardedEngineBuilder::new(n)
+        .shards(4)
+        .build_with(&init, move |_, es| BatchConnectivity::builder(n).build(es))
+        .unwrap();
+    let (serve, ingest) = ServeLoopBuilder::new(engine)
+        .queue_capacity(8_192)
+        .batch_policy(BatchPolicy::Fixed(256))
+        .build();
+    let reads = serve.read_handle();
+    let writer = serve.spawn();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2u64)
+        .map(|r| {
+            let reads = reads.clone();
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let mut rng = 0xF100D ^ r;
+                let pairs: Vec<(V, V)> = (0..2048)
+                    .map(|_| {
+                        (
+                            (lcg(&mut rng) % n as u64) as V,
+                            (lcg(&mut rng) % n as u64) as V,
+                        )
+                    })
+                    .collect();
+                let mut hits = Vec::new();
+                while !stop.load(Relaxed) {
+                    // Rebuild once per pinned epoch, then answer batches.
+                    let g = reads.pin();
+                    let cv = ConnView::from_edges(n, &g.edges());
+                    for _ in 0..8 {
+                        cv.batch_connected(&pairs, &mut hits);
+                        answered.fetch_add(hits.len() as u64, Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Flood: a path-churn write storm, timed end to end.
+    let t0 = Instant::now();
+    let mut inserting = true;
+    let mut u: V = 0;
+    for _ in 0..count {
+        if inserting {
+            let _ = ingest.insert(u, u + 1);
+        } else {
+            let _ = ingest.delete(u, u + 1);
+        }
+        u += 1;
+        if u as usize >= n - 1 {
+            u = 0;
+            inserting = !inserting;
+        }
+    }
+    drop(ingest);
+    let report = writer.join().unwrap();
+    let flood_dt = t0.elapsed();
+    let flood_q = answered.swap(0, Relaxed);
+    let write_ups = report.raw_updates as f64 / flood_dt.as_secs_f64();
+    let flood_qps = flood_q as f64 / flood_dt.as_secs_f64();
+
+    // Idle: same readers keep answering against the final view.
+    let idle_window = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(500)
+    };
+    std::thread::sleep(idle_window);
+    stop.store(true, Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    let idle_qps = answered.load(Relaxed) as f64 / idle_window.as_secs_f64();
+    eprintln!(
+        "connectivity serving [n={n}]: writer {write_ups:.0} updates/s over {} batches; \
+         batch_connected {flood_qps:.0} q/s under flood, {idle_qps:.0} q/s idle",
+        report.batches
+    );
+    let _ = writeln!(j, "  \"connectivity_serving_n{}k\": {{", n / 1000);
+    let _ = writeln!(
+        j,
+        "    \"write_updates_per_s\": {write_ups:.0}, \"batches\": {}, \"queries_per_s_flood\": {flood_qps:.0}, \"queries_per_s_idle\": {idle_qps:.0}",
+        report.batches
+    );
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).expect("write BENCH_PR8.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,395 @@
+//! Frozen PR-8 baseline: the treap-backed Euler-tour forest exactly as it
+//! lived in `bds_dstruct::euler` before the flat-sequence rewrite (tests
+//! stripped). `bench_pr8` links/cuts against this to measure what
+//! de-treaping bought.
+//!
+//! Representation: every vertex present in the forest owns a *vertex node*
+//! (payload `(v, v)`), and every tree edge `(u, v)` owns two *arc nodes*
+//! (payloads `(u, v)` and `(v, u)`). The tour of a k-vertex tree holds
+//! k vertex nodes and 2(k-1) arc nodes.
+
+use bds_dstruct::FxHashMap;
+
+const NIL: u32 = u32::MAX;
+
+/// Flag bit: the vertex owning this node has non-tree edges (at the
+/// forest's level, in HDT usage).
+pub const FLAG_NONTREE: u8 = 1;
+/// Flag bit: this arc's edge has level exactly equal to this forest's
+/// level (HDT usage). Set on one arc per edge.
+pub const FLAG_TREE: u8 = 2;
+
+#[derive(Clone)]
+struct Node {
+    a: u32,
+    b: u32,
+    prio: u64,
+    left: u32,
+    right: u32,
+    parent: u32,
+    /// subtree node count (all nodes)
+    size: u32,
+    /// subtree vertex-node count
+    vcnt: u32,
+    flags: u8,
+    agg: u8,
+}
+
+/// A forest of Euler-tour trees over `u32` vertices.
+pub struct EulerForest {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// vertex -> its vertex node (lazily created)
+    vnode: FxHashMap<u32, u32>,
+    /// directed arc (u, v) -> its arc node
+    arc: FxHashMap<(u32, u32), u32>,
+    rng: u64,
+}
+
+impl EulerForest {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            vnode: FxHashMap::default(),
+            arc: FxHashMap::default(),
+            rng: seed | 1,
+        }
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn alloc(&mut self, a: u32, b: u32) -> u32 {
+        let prio = self.next_prio();
+        let vcnt = (a == b) as u32;
+        let node = Node {
+            a,
+            b,
+            prio,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            size: 1,
+            vcnt,
+            flags: 0,
+            agg: 0,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn size(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].size
+        }
+    }
+
+    #[inline]
+    fn vcnt(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].vcnt
+        }
+    }
+
+    #[inline]
+    fn agg(&self, t: u32) -> u8 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].agg
+        }
+    }
+
+    fn pull(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        let size = 1 + self.size(l) + self.size(r);
+        let self_v = (self.nodes[t as usize].a == self.nodes[t as usize].b) as u32;
+        let vcnt = self_v + self.vcnt(l) + self.vcnt(r);
+        let agg = self.nodes[t as usize].flags | self.agg(l) | self.agg(r);
+        let n = &mut self.nodes[t as usize];
+        n.size = size;
+        n.vcnt = vcnt;
+        n.agg = agg;
+    }
+
+    /// Recompute aggregates from `t` up to the root (after a flag change).
+    fn fix_to_root(&mut self, mut t: u32) {
+        while t != NIL {
+            self.pull(t);
+            t = self.nodes[t as usize].parent;
+        }
+    }
+
+    fn root_of(&self, mut t: u32) -> u32 {
+        while self.nodes[t as usize].parent != NIL {
+            t = self.nodes[t as usize].parent;
+        }
+        t
+    }
+
+    /// 0-based position of `t` within its tour sequence.
+    fn position(&self, t: u32) -> u32 {
+        let mut pos = self.size(self.nodes[t as usize].left);
+        let mut cur = t;
+        let mut p = self.nodes[t as usize].parent;
+        while p != NIL {
+            if self.nodes[p as usize].right == cur {
+                pos += self.size(self.nodes[p as usize].left) + 1;
+            }
+            cur = p;
+            p = self.nodes[p as usize].parent;
+        }
+        pos
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            if b != NIL {
+                self.nodes[b as usize].parent = NIL;
+            }
+            return b;
+        }
+        if b == NIL {
+            self.nodes[a as usize].parent = NIL;
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            if ar != NIL {
+                self.nodes[ar as usize].parent = NIL;
+            }
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.nodes[m as usize].parent = a;
+            self.pull(a);
+            self.nodes[a as usize].parent = NIL;
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            if bl != NIL {
+                self.nodes[bl as usize].parent = NIL;
+            }
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.nodes[m as usize].parent = b;
+            self.pull(b);
+            self.nodes[b as usize].parent = NIL;
+            b
+        }
+    }
+
+    /// Split off the first `k` nodes of the sequence rooted at `t`.
+    fn split_at(&mut self, t: u32, k: u32) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        let ls = self.size(self.nodes[t as usize].left);
+        if k <= ls {
+            let tl = self.nodes[t as usize].left;
+            if tl != NIL {
+                self.nodes[tl as usize].parent = NIL;
+            }
+            let (l, r) = self.split_at(tl, k);
+            self.nodes[t as usize].left = r;
+            if r != NIL {
+                self.nodes[r as usize].parent = t;
+            }
+            self.pull(t);
+            self.nodes[t as usize].parent = NIL;
+            if l != NIL {
+                self.nodes[l as usize].parent = NIL;
+            }
+            (l, t)
+        } else {
+            let tr = self.nodes[t as usize].right;
+            if tr != NIL {
+                self.nodes[tr as usize].parent = NIL;
+            }
+            let (l, r) = self.split_at(tr, k - ls - 1);
+            self.nodes[t as usize].right = l;
+            if l != NIL {
+                self.nodes[l as usize].parent = t;
+            }
+            self.pull(t);
+            self.nodes[t as usize].parent = NIL;
+            if r != NIL {
+                self.nodes[r as usize].parent = NIL;
+            }
+            (t, r)
+        }
+    }
+
+    /// Get (or lazily create) the vertex node for `v`.
+    pub fn ensure_vertex(&mut self, v: u32) -> u32 {
+        if let Some(&i) = self.vnode.get(&v) {
+            return i;
+        }
+        let i = self.alloc(v, v);
+        self.vnode.insert(v, i);
+        i
+    }
+
+    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        let nu = self.ensure_vertex(u);
+        let nv = self.ensure_vertex(v);
+        self.root_of(nu) == self.root_of(nv)
+    }
+
+    /// Number of vertices in `v`'s tree.
+    pub fn tree_size(&mut self, v: u32) -> u32 {
+        let nv = self.ensure_vertex(v);
+        let r = self.root_of(nv);
+        self.nodes[r as usize].vcnt
+    }
+
+    /// Rotate `v`'s tour so it starts at `v`'s vertex node; returns the
+    /// new tour root.
+    fn reroot(&mut self, v: u32) -> u32 {
+        let nv = self.ensure_vertex(v);
+        let pos = self.position(nv);
+        let root = self.root_of(nv);
+        if pos == 0 {
+            return root;
+        }
+        let (a, b) = self.split_at(root, pos);
+        self.merge(b, a)
+    }
+
+    /// Link the trees containing `u` and `v` with edge (u, v).
+    /// Panics if they are already connected.
+    pub fn link(&mut self, u: u32, v: u32) {
+        debug_assert!(!self.connected(u, v), "link({u},{v}) inside one tree");
+        let ru = self.reroot(u);
+        let rv = self.reroot(v);
+        let auv = self.alloc(u, v);
+        let avu = self.alloc(v, u);
+        self.arc.insert((u, v), auv);
+        self.arc.insert((v, u), avu);
+        let s = self.merge(ru, auv);
+        let s = self.merge(s, rv);
+        self.merge(s, avu);
+    }
+
+    /// Cut the tree edge (u, v). Panics if absent.
+    pub fn cut(&mut self, u: u32, v: u32) {
+        let auv = self.arc.remove(&(u, v)).expect("cut: missing arc");
+        let avu = self.arc.remove(&(v, u)).expect("cut: missing arc");
+        let root = self.root_of(auv);
+        let (p1, p2) = {
+            let q1 = self.position(auv);
+            let q2 = self.position(avu);
+            if q1 < q2 {
+                (q1, q2)
+            } else {
+                (q2, q1)
+            }
+        };
+        // tour = A x1 B x2 C where {x1,x2} = {auv, avu};
+        // resulting trees: B, and A ++ C.
+        let (a, rest) = self.split_at(root, p1);
+        let (x1, rest) = self.split_at(rest, 1);
+        let (b, rest) = self.split_at(rest, p2 - p1 - 1);
+        let (x2, c) = self.split_at(rest, 1);
+        debug_assert_eq!(self.size(x1), 1);
+        debug_assert_eq!(self.size(x2), 1);
+        self.free.push(x1);
+        self.free.push(x2);
+        self.merge(a, c);
+        let _ = b; // b stands alone as the split-off tree
+    }
+
+    /// Set/clear a flag bit on `v`'s vertex node.
+    pub fn set_vertex_flag(&mut self, v: u32, bit: u8, on: bool) {
+        let nv = self.ensure_vertex(v);
+        let f = &mut self.nodes[nv as usize].flags;
+        if on {
+            *f |= bit;
+        } else {
+            *f &= !bit;
+        }
+        self.fix_to_root(nv);
+    }
+
+    /// Set/clear a flag bit on the (u, v) arc node (the canonical arc of a
+    /// tree edge). Panics if the edge is not in the forest.
+    pub fn set_arc_flag(&mut self, u: u32, v: u32, bit: u8, on: bool) {
+        let a = *self.arc.get(&(u, v)).expect("set_arc_flag: missing arc");
+        let f = &mut self.nodes[a as usize].flags;
+        if on {
+            *f |= bit;
+        } else {
+            *f &= !bit;
+        }
+        self.fix_to_root(a);
+    }
+
+    /// Find any node in `v`'s tree carrying `bit`; returns its payload
+    /// `(a, b)` (a == b for vertex nodes).
+    pub fn find_flag(&mut self, v: u32, bit: u8) -> Option<(u32, u32)> {
+        let nv = self.ensure_vertex(v);
+        let mut t = self.root_of(nv);
+        if self.agg(t) & bit == 0 {
+            return None;
+        }
+        loop {
+            let n = &self.nodes[t as usize];
+            if self.agg(n.left) & bit != 0 {
+                t = n.left;
+            } else if n.flags & bit != 0 {
+                return Some((n.a, n.b));
+            } else {
+                debug_assert_ne!(self.agg(n.right) & bit, 0);
+                t = n.right;
+            }
+        }
+    }
+
+    /// All vertices in `v`'s tree (O(size) traversal; used by tests and
+    /// by small-component enumeration).
+    pub fn tree_vertices(&mut self, v: u32) -> Vec<u32> {
+        let nv = self.ensure_vertex(v);
+        let root = self.root_of(nv);
+        let mut out = Vec::with_capacity(self.nodes[root as usize].vcnt as usize);
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            if t == NIL {
+                continue;
+            }
+            let n = &self.nodes[t as usize];
+            if n.a == n.b {
+                out.push(n.a);
+            }
+            stack.push(n.left);
+            stack.push(n.right);
+        }
+        out
+    }
+
+    /// Whether the forest currently stores the tree edge (u, v).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.arc.contains_key(&(u, v))
+    }
+}

@@ -1,11 +1,17 @@
 //! Shared workload construction for the benches and the table generator,
 //! plus frozen "before" implementations (`seed_estree`, `pr1_estree`,
-//! `treap_list`, `pr2_flat_list`) that anchor the per-PR performance
-//! comparisons.
+//! `treap_list`, `pr2_flat_list`, `treap`, `euler_treap`) that anchor the
+//! per-PR performance comparisons. `treap` is the order-statistics treap
+//! quarantined out of `bds_dstruct` by PR 8 (nothing in the product
+//! depends on it anymore), and `euler_treap` is the treap-backed
+//! Euler-tour forest it used to power — both kept verbatim as the
+//! "before" side of `bench_pr8`.
 
+pub mod euler_treap;
 pub mod pr1_estree;
 pub mod pr2_flat_list;
 pub mod seed_estree;
+pub mod treap;
 pub mod treap_list;
 
 use bds_graph::gen;

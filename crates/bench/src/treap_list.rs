@@ -5,7 +5,7 @@
 //! data structure to measure against. Not part of the library surface.
 #![allow(dead_code)]
 
-use bds_dstruct::Treap;
+use crate::treap::Treap;
 
 /// Ordered list in descending priority order, backed by an
 /// order-statistics treap. Priorities must be distinct.

@@ -1,17 +1,38 @@
-//! Euler-tour trees: each tree of a forest is represented by the sequence
-//! of its Euler tour, stored in a treap with parent pointers. Supports
-//! link/cut/connected/tree-size in O(log n) plus OR-aggregated flag bits
-//! used by the HDT connectivity layer ([`crate::hdt`]) to locate tree
-//! edges of a given level and vertices carrying non-tree edges.
+//! Euler-tour trees on a *flat batched sequence*: each tree of the forest
+//! is its Euler tour, stored as an ordered list of small contiguous
+//! blocks of node ids (the [`crate::flat_list`] idiom applied to
+//! sequences) instead of the treap the seed carried. Supports
+//! link/cut/connected/tree-size plus OR-aggregated flag bits used by the
+//! HDT connectivity layer ([`crate::hdt`]) to locate tree edges of a
+//! given level and vertices carrying non-tree edges.
 //!
-//! Representation: every vertex present in the forest owns a *vertex node*
-//! (payload `(v, v)`), and every tree edge `(u, v)` owns two *arc nodes*
-//! (payloads `(u, v)` and `(v, u)`). The tour of a k-vertex tree holds
-//! k vertex nodes and 2(k-1) arc nodes.
+//! Representation: every vertex present in the forest owns a *vertex
+//! node* (payload `(v, v)`), and every tree edge `(u, v)` owns two *arc
+//! nodes* (payloads `(u, v)` and `(v, u)`). The tour of a k-vertex tree
+//! holds k vertex nodes and 2(k-1) arc nodes, chopped into blocks of at
+//! most `BLOCK_MAX` ids. A node records only which block holds it; a
+//! block records its tree and its index in the tree's block list. That
+//! makes the hot read queries — `connected`, `tree_size` — two array
+//! loads, `&self`, and shareable by read mirrors, where the treap had to
+//! chase parent pointers under `&mut self`.
+//!
+//! Splits and joins splice whole blocks between block lists (splitting
+//! at most one block and re-merging undersized boundary blocks), so a
+//! link or cut costs O(tour/BLOCK + BLOCK) sequential word moves instead
+//! of O(log n) dependent cache misses — the same trade the `FlatList`
+//! migration made for the ordered maps. Flag search scans per-block OR
+//! aggregates. Everything is deterministic: no priorities, no RNG.
 
-use crate::fx::FxHashMap;
+use crate::edge_table::EdgeTable;
 
 const NIL: u32 = u32::MAX;
+
+/// Hard cap on a block's length: appends open a fresh block past this.
+const BLOCK_MAX: usize = 128;
+/// Boundary blocks are merged when their combined length stays at or
+/// under this (= `BLOCK_MAX / 2`), so splices cannot shred the sequence
+/// into dust: every merge-surviving boundary pair averages > 32 ids.
+const BLOCK_MERGE: usize = 64;
 
 /// Flag bit: the vertex owning this node has non-tree edges (at the
 /// forest's level, in HDT usage).
@@ -24,65 +45,79 @@ pub const FLAG_TREE: u8 = 2;
 struct Node {
     a: u32,
     b: u32,
-    prio: u64,
-    left: u32,
-    right: u32,
-    parent: u32,
-    /// subtree node count (all nodes)
-    size: u32,
-    /// subtree vertex-node count
-    vcnt: u32,
     flags: u8,
-    agg: u8,
+    /// Block currently holding this node (NIL while free).
+    block: u32,
 }
 
-/// A forest of Euler-tour trees over `u32` vertices.
+#[derive(Clone, Default)]
+struct Block {
+    items: Vec<u32>,
+    /// Owning tree.
+    tree: u32,
+    /// Index of this block in the owning tree's block list.
+    idx: u32,
+    /// OR of item flags.
+    agg: u8,
+    /// Number of vertex nodes among items.
+    vcnt: u32,
+}
+
+#[derive(Clone, Default)]
+struct Tree {
+    blocks: Vec<u32>,
+    /// Total node count across blocks.
+    size: u32,
+    /// Total vertex-node count across blocks.
+    vcnt: u32,
+}
+
+/// A forest of Euler-tour trees over `u32` vertices, tours stored as
+/// flat block sequences. Deterministic; all read queries take `&self`.
 pub struct EulerForest {
     nodes: Vec<Node>,
-    free: Vec<u32>,
-    /// vertex -> its vertex node (lazily created)
-    vnode: FxHashMap<u32, u32>,
+    free_nodes: Vec<u32>,
+    blocks: Vec<Block>,
+    free_blocks: Vec<u32>,
+    trees: Vec<Tree>,
+    free_trees: Vec<u32>,
+    /// vertex -> its vertex node (NIL until first touched); grows on
+    /// demand so vertex ids need not be pre-declared.
+    vnode: Vec<u32>,
     /// directed arc (u, v) -> its arc node
-    arc: FxHashMap<(u32, u32), u32>,
-    rng: u64,
+    arc: EdgeTable,
+}
+
+impl Default for EulerForest {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EulerForest {
-    pub fn new(seed: u64) -> Self {
+    pub fn new() -> Self {
         Self {
             nodes: Vec::new(),
-            free: Vec::new(),
-            vnode: FxHashMap::default(),
-            arc: FxHashMap::default(),
-            rng: seed | 1,
+            free_nodes: Vec::new(),
+            blocks: Vec::new(),
+            free_blocks: Vec::new(),
+            trees: Vec::new(),
+            free_trees: Vec::new(),
+            vnode: Vec::new(),
+            arc: EdgeTable::new(),
         }
     }
 
-    fn next_prio(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
+    // ---- slab plumbing ----------------------------------------------
 
-    fn alloc(&mut self, a: u32, b: u32) -> u32 {
-        let prio = self.next_prio();
-        let vcnt = (a == b) as u32;
+    fn alloc_node(&mut self, a: u32, b: u32) -> u32 {
         let node = Node {
             a,
             b,
-            prio,
-            left: NIL,
-            right: NIL,
-            parent: NIL,
-            size: 1,
-            vcnt,
             flags: 0,
-            agg: 0,
+            block: NIL,
         };
-        if let Some(i) = self.free.pop() {
+        if let Some(i) = self.free_nodes.pop() {
             self.nodes[i as usize] = node;
             i
         } else {
@@ -91,235 +126,349 @@ impl EulerForest {
         }
     }
 
-    #[inline]
-    fn size(&self, t: u32) -> u32 {
-        if t == NIL {
-            0
+    fn alloc_block(&mut self) -> u32 {
+        if let Some(b) = self.free_blocks.pop() {
+            let bl = &mut self.blocks[b as usize];
+            bl.items.clear();
+            bl.agg = 0;
+            bl.vcnt = 0;
+            b
         } else {
-            self.nodes[t as usize].size
+            self.blocks.push(Block::default());
+            (self.blocks.len() - 1) as u32
+        }
+    }
+
+    fn alloc_tree(&mut self) -> u32 {
+        if let Some(t) = self.free_trees.pop() {
+            let tr = &mut self.trees[t as usize];
+            tr.blocks.clear();
+            tr.size = 0;
+            tr.vcnt = 0;
+            t
+        } else {
+            self.trees.push(Tree::default());
+            (self.trees.len() - 1) as u32
         }
     }
 
     #[inline]
-    fn vcnt(&self, t: u32) -> u32 {
-        if t == NIL {
-            0
-        } else {
-            self.nodes[t as usize].vcnt
+    fn tree_of_node(&self, x: u32) -> u32 {
+        self.blocks[self.nodes[x as usize].block as usize].tree
+    }
+
+    /// Recompute a block's OR-aggregate and vertex count from scratch.
+    fn recompute_block(&mut self, b: u32) {
+        let mut agg = 0u8;
+        let mut vcnt = 0u32;
+        let bl = &self.blocks[b as usize];
+        for &x in &bl.items {
+            let n = &self.nodes[x as usize];
+            agg |= n.flags;
+            vcnt += (n.a == n.b) as u32;
+        }
+        let bl = &mut self.blocks[b as usize];
+        bl.agg = agg;
+        bl.vcnt = vcnt;
+    }
+
+    /// Re-point `block` on every id in `items` (after a bulk move).
+    fn rehome(&mut self, items: &[u32], b: u32) {
+        for &x in items {
+            self.nodes[x as usize].block = b;
         }
     }
 
-    #[inline]
-    fn agg(&self, t: u32) -> u8 {
-        if t == NIL {
-            0
-        } else {
-            self.nodes[t as usize].agg
-        }
-    }
+    // ---- sequence primitives ----------------------------------------
 
-    fn pull(&mut self, t: u32) {
-        let (l, r) = {
-            let n = &self.nodes[t as usize];
-            (n.left, n.right)
-        };
-        let size = 1 + self.size(l) + self.size(r);
-        let self_v = (self.nodes[t as usize].a == self.nodes[t as usize].b) as u32;
-        let vcnt = self_v + self.vcnt(l) + self.vcnt(r);
-        let agg = self.nodes[t as usize].flags | self.agg(l) | self.agg(r);
-        let n = &mut self.nodes[t as usize];
-        n.size = size;
-        n.vcnt = vcnt;
-        n.agg = agg;
-    }
-
-    /// Recompute aggregates from `t` up to the root (after a flag change).
-    fn fix_to_root(&mut self, mut t: u32) {
-        while t != NIL {
-            self.pull(t);
-            t = self.nodes[t as usize].parent;
-        }
-    }
-
-    fn root_of(&self, mut t: u32) -> u32 {
-        while self.nodes[t as usize].parent != NIL {
-            t = self.nodes[t as usize].parent;
-        }
-        t
-    }
-
-    /// 0-based position of `t` within its tour sequence.
-    fn position(&self, t: u32) -> u32 {
-        let mut pos = self.size(self.nodes[t as usize].left);
-        let mut cur = t;
-        let mut p = self.nodes[t as usize].parent;
-        while p != NIL {
-            if self.nodes[p as usize].right == cur {
-                pos += self.size(self.nodes[p as usize].left) + 1;
-            }
-            cur = p;
-            p = self.nodes[p as usize].parent;
+    /// 0-based position of node `x` within its tour.
+    fn position(&self, x: u32) -> u32 {
+        let b = self.nodes[x as usize].block;
+        let bl = &self.blocks[b as usize];
+        let off = bl
+            .items
+            .iter()
+            .position(|&i| i == x)
+            .expect("node missing from its block") as u32;
+        let t = &self.trees[bl.tree as usize];
+        let mut pos = off;
+        for &pb in &t.blocks[..bl.idx as usize] {
+            pos += self.blocks[pb as usize].items.len() as u32;
         }
         pos
     }
 
-    fn merge(&mut self, a: u32, b: u32) -> u32 {
-        if a == NIL {
-            if b != NIL {
-                self.nodes[b as usize].parent = NIL;
-            }
-            return b;
-        }
-        if b == NIL {
-            self.nodes[a as usize].parent = NIL;
-            return a;
-        }
-        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
-            let ar = self.nodes[a as usize].right;
-            if ar != NIL {
-                self.nodes[ar as usize].parent = NIL;
-            }
-            let m = self.merge(ar, b);
-            self.nodes[a as usize].right = m;
-            self.nodes[m as usize].parent = a;
-            self.pull(a);
-            self.nodes[a as usize].parent = NIL;
-            a
-        } else {
-            let bl = self.nodes[b as usize].left;
-            if bl != NIL {
-                self.nodes[bl as usize].parent = NIL;
-            }
-            let m = self.merge(a, bl);
-            self.nodes[b as usize].left = m;
-            self.nodes[m as usize].parent = b;
-            self.pull(b);
-            self.nodes[b as usize].parent = NIL;
-            b
-        }
+    /// Split block `b` at offset `off` (0 < off < len); returns the new
+    /// block holding the tail. The caller must insert it into the tree's
+    /// block list and renumber.
+    fn split_block_tail(&mut self, b: u32, off: usize) -> u32 {
+        let nb = self.alloc_block();
+        let tail = self.blocks[b as usize].items.split_off(off);
+        self.rehome(&tail, nb);
+        let tree = self.blocks[b as usize].tree;
+        let bl = &mut self.blocks[nb as usize];
+        bl.items = tail;
+        bl.tree = tree;
+        self.recompute_block(b);
+        self.recompute_block(nb);
+        nb
     }
 
-    /// Split off the first `k` nodes of the sequence rooted at `t`.
-    fn split_at(&mut self, t: u32, k: u32) -> (u32, u32) {
-        if t == NIL {
-            return (NIL, NIL);
+    /// Detach the suffix of tree `t` starting at position `k`
+    /// (0 ≤ k ≤ size) into a fresh tree and return it. `k == 0` empties
+    /// `t`; `k == size` returns an empty tree.
+    fn split_tree(&mut self, t: u32, k: u32) -> u32 {
+        let nblocks = self.trees[t as usize].blocks.len();
+        let mut acc = 0u32;
+        let mut start = nblocks;
+        let mut split_at = None;
+        for i in 0..nblocks {
+            if acc == k {
+                start = i;
+                break;
+            }
+            let b = self.trees[t as usize].blocks[i];
+            let len = self.blocks[b as usize].items.len() as u32;
+            if k < acc + len {
+                split_at = Some((i, (k - acc) as usize));
+                break;
+            }
+            acc += len;
         }
-        let ls = self.size(self.nodes[t as usize].left);
-        if k <= ls {
-            let tl = self.nodes[t as usize].left;
-            if tl != NIL {
-                self.nodes[tl as usize].parent = NIL;
-            }
-            let (l, r) = self.split_at(tl, k);
-            self.nodes[t as usize].left = r;
-            if r != NIL {
-                self.nodes[r as usize].parent = t;
-            }
-            self.pull(t);
-            self.nodes[t as usize].parent = NIL;
-            if l != NIL {
-                self.nodes[l as usize].parent = NIL;
-            }
-            (l, t)
-        } else {
-            let tr = self.nodes[t as usize].right;
-            if tr != NIL {
-                self.nodes[tr as usize].parent = NIL;
-            }
-            let (l, r) = self.split_at(tr, k - ls - 1);
-            self.nodes[t as usize].right = l;
-            if l != NIL {
-                self.nodes[l as usize].parent = t;
-            }
-            self.pull(t);
-            self.nodes[t as usize].parent = NIL;
-            if r != NIL {
-                self.nodes[r as usize].parent = NIL;
-            }
-            (t, r)
+        if let Some((i, off)) = split_at {
+            let b = self.trees[t as usize].blocks[i];
+            let nb = self.split_block_tail(b, off);
+            self.trees[t as usize].blocks.insert(i + 1, nb);
+            start = i + 1;
         }
+        let suffix = self.trees[t as usize].blocks.split_off(start);
+        let nt = self.alloc_tree();
+        let mut size = 0u32;
+        let mut vcnt = 0u32;
+        for (i, &b) in suffix.iter().enumerate() {
+            let bl = &mut self.blocks[b as usize];
+            bl.tree = nt;
+            bl.idx = i as u32;
+            size += bl.items.len() as u32;
+            vcnt += bl.vcnt;
+        }
+        let tr = &mut self.trees[nt as usize];
+        tr.blocks = suffix;
+        tr.size = size;
+        tr.vcnt = vcnt;
+        let tr = &mut self.trees[t as usize];
+        tr.size -= size;
+        tr.vcnt -= vcnt;
+        nt
     }
 
-    /// Get (or lazily create) the vertex node for `v`.
+    /// Append tree `t2`'s tour to `t1`'s, merging the boundary blocks if
+    /// their combined length stays small. Frees `t2`. Either side may be
+    /// empty.
+    fn join_trees(&mut self, t1: u32, t2: u32) {
+        // Boundary merge keeps block counts proportional to tour length
+        // even under split-heavy (cut-storm) workloads.
+        if let (Some(&lb), Some(&fb)) = (
+            self.trees[t1 as usize].blocks.last(),
+            self.trees[t2 as usize].blocks.first(),
+        ) {
+            let ll = self.blocks[lb as usize].items.len();
+            let fl = self.blocks[fb as usize].items.len();
+            if ll + fl <= BLOCK_MERGE {
+                let moved = std::mem::take(&mut self.blocks[fb as usize].items);
+                self.rehome(&moved, lb);
+                self.blocks[lb as usize].items.extend_from_slice(&moved);
+                self.blocks[lb as usize].agg |= self.blocks[fb as usize].agg;
+                self.blocks[lb as usize].vcnt += self.blocks[fb as usize].vcnt;
+                self.trees[t2 as usize].blocks.remove(0);
+                // t2's remaining blocks get renumbered in the extend
+                // below; the moved sizes transfer with tr2.size.
+                self.free_blocks.push(fb);
+            }
+        }
+        let moved = std::mem::take(&mut self.trees[t2 as usize].blocks);
+        let base = self.trees[t1 as usize].blocks.len();
+        for (i, &b) in moved.iter().enumerate() {
+            let bl = &mut self.blocks[b as usize];
+            bl.tree = t1;
+            bl.idx = (base + i) as u32;
+        }
+        let (size2, vcnt2) = {
+            let tr2 = &self.trees[t2 as usize];
+            (tr2.size, tr2.vcnt)
+        };
+        let tr1 = &mut self.trees[t1 as usize];
+        tr1.blocks.extend(moved);
+        tr1.size += size2;
+        tr1.vcnt += vcnt2;
+        self.free_trees.push(t2);
+    }
+
+    /// Append a lone node to the end of tree `t`'s tour.
+    fn append_node(&mut self, t: u32, x: u32) {
+        let b = match self.trees[t as usize].blocks.last() {
+            Some(&lb) if self.blocks[lb as usize].items.len() < BLOCK_MAX => lb,
+            _ => {
+                let nb = self.alloc_block();
+                let idx = self.trees[t as usize].blocks.len() as u32;
+                let bl = &mut self.blocks[nb as usize];
+                bl.tree = t;
+                bl.idx = idx;
+                self.trees[t as usize].blocks.push(nb);
+                nb
+            }
+        };
+        let n = &self.nodes[x as usize];
+        let (flags, is_v) = (n.flags, n.a == n.b);
+        self.nodes[x as usize].block = b;
+        let bl = &mut self.blocks[b as usize];
+        bl.items.push(x);
+        bl.agg |= flags;
+        bl.vcnt += is_v as u32;
+        let tr = &mut self.trees[t as usize];
+        tr.size += 1;
+        tr.vcnt += is_v as u32;
+    }
+
+    /// Remove node `x` from its tour (freeing emptied blocks/trees) and
+    /// free it.
+    fn remove_node(&mut self, x: u32) {
+        let b = self.nodes[x as usize].block;
+        let t = self.blocks[b as usize].tree;
+        let off = self.blocks[b as usize]
+            .items
+            .iter()
+            .position(|&i| i == x)
+            .expect("node missing from its block");
+        self.blocks[b as usize].items.remove(off);
+        self.recompute_block(b);
+        let is_v = {
+            let n = &self.nodes[x as usize];
+            n.a == n.b
+        };
+        let tr = &mut self.trees[t as usize];
+        tr.size -= 1;
+        tr.vcnt -= is_v as u32;
+        if self.blocks[b as usize].items.is_empty() {
+            let idx = self.blocks[b as usize].idx as usize;
+            self.trees[t as usize].blocks.remove(idx);
+            for i in idx..self.trees[t as usize].blocks.len() {
+                let nb = self.trees[t as usize].blocks[i];
+                self.blocks[nb as usize].idx = i as u32;
+            }
+            self.free_blocks.push(b);
+        }
+        if self.trees[t as usize].blocks.is_empty() {
+            self.free_trees.push(t);
+        }
+        self.nodes[x as usize].block = NIL;
+        self.free_nodes.push(x);
+    }
+
+    // ---- public surface ---------------------------------------------
+
+    /// Get (or lazily create, as a singleton tour) the vertex node for
+    /// `v`.
     pub fn ensure_vertex(&mut self, v: u32) -> u32 {
-        if let Some(&i) = self.vnode.get(&v) {
-            return i;
+        if let Some(&i) = self.vnode.get(v as usize) {
+            if i != NIL {
+                return i;
+            }
         }
-        let i = self.alloc(v, v);
-        self.vnode.insert(v, i);
+        if self.vnode.len() <= v as usize {
+            self.vnode.resize(v as usize + 1, NIL);
+        }
+        let i = self.alloc_node(v, v);
+        let t = self.alloc_tree();
+        self.append_node(t, i);
+        self.vnode[v as usize] = i;
         i
     }
 
-    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+    #[inline]
+    fn vertex_node(&self, v: u32) -> Option<u32> {
+        match self.vnode.get(v as usize) {
+            Some(&i) if i != NIL => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Whether `u` and `v` share a tree. `&self`: two array loads per
+    /// endpoint, no restructuring — safe to call from shared mirrors.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
         if u == v {
             return true;
         }
-        let nu = self.ensure_vertex(u);
-        let nv = self.ensure_vertex(v);
-        self.root_of(nu) == self.root_of(nv)
+        match (self.vertex_node(u), self.vertex_node(v)) {
+            (Some(nu), Some(nv)) => self.tree_of_node(nu) == self.tree_of_node(nv),
+            // A never-touched vertex is its own singleton component.
+            _ => false,
+        }
     }
 
-    /// Number of vertices in `v`'s tree.
-    pub fn tree_size(&mut self, v: u32) -> u32 {
-        let nv = self.ensure_vertex(v);
-        let r = self.root_of(nv);
-        self.nodes[r as usize].vcnt
+    /// Number of vertices in `v`'s tree (1 for never-touched vertices).
+    pub fn tree_size(&self, v: u32) -> u32 {
+        match self.vertex_node(v) {
+            Some(nv) => self.trees[self.tree_of_node(nv) as usize].vcnt,
+            None => 1,
+        }
     }
 
     /// Rotate `v`'s tour so it starts at `v`'s vertex node; returns the
-    /// new tour root.
+    /// tree id holding the rotated tour.
     fn reroot(&mut self, v: u32) -> u32 {
         let nv = self.ensure_vertex(v);
+        let t = self.tree_of_node(nv);
         let pos = self.position(nv);
-        let root = self.root_of(nv);
         if pos == 0 {
-            return root;
+            return t;
         }
-        let (a, b) = self.split_at(root, pos);
-        self.merge(b, a)
+        let suffix = self.split_tree(t, pos);
+        self.join_trees(suffix, t);
+        suffix
     }
 
     /// Link the trees containing `u` and `v` with edge (u, v).
-    /// Panics if they are already connected.
+    /// Panics (debug) if they are already connected.
     pub fn link(&mut self, u: u32, v: u32) {
         debug_assert!(!self.connected(u, v), "link({u},{v}) inside one tree");
         let ru = self.reroot(u);
         let rv = self.reroot(v);
-        let auv = self.alloc(u, v);
-        let avu = self.alloc(v, u);
-        self.arc.insert((u, v), auv);
-        self.arc.insert((v, u), avu);
-        let s = self.merge(ru, auv);
-        let s = self.merge(s, rv);
-        self.merge(s, avu);
+        let auv = self.alloc_node(u, v);
+        let avu = self.alloc_node(v, u);
+        self.arc.insert(u, v, auv as u64);
+        self.arc.insert(v, u, avu as u64);
+        self.append_node(ru, auv);
+        self.join_trees(ru, rv);
+        self.append_node(ru, avu);
     }
 
     /// Cut the tree edge (u, v). Panics if absent.
     pub fn cut(&mut self, u: u32, v: u32) {
-        let auv = self.arc.remove(&(u, v)).expect("cut: missing arc");
-        let avu = self.arc.remove(&(v, u)).expect("cut: missing arc");
-        let root = self.root_of(auv);
-        let (p1, p2) = {
-            let q1 = self.position(auv);
-            let q2 = self.position(avu);
-            if q1 < q2 {
-                (q1, q2)
-            } else {
-                (q2, q1)
-            }
+        let auv = self.arc.remove(u, v).expect("cut: missing arc") as u32;
+        let avu = self.arc.remove(v, u).expect("cut: missing arc") as u32;
+        let t = self.tree_of_node(auv);
+        let (q1, q2) = (self.position(auv), self.position(avu));
+        let (p1, x1, p2, x2) = if q1 < q2 {
+            (q1, auv, q2, avu)
+        } else {
+            (q2, avu, q1, auv)
         };
-        // tour = A x1 B x2 C where {x1,x2} = {auv, avu};
-        // resulting trees: B, and A ++ C.
-        let (a, rest) = self.split_at(root, p1);
-        let (x1, rest) = self.split_at(rest, 1);
-        let (b, rest) = self.split_at(rest, p2 - p1 - 1);
-        let (x2, c) = self.split_at(rest, 1);
-        debug_assert_eq!(self.size(x1), 1);
-        debug_assert_eq!(self.size(x2), 1);
-        self.free.push(x1);
-        self.free.push(x2);
-        self.merge(a, c);
-        let _ = b; // b stands alone as the split-off tree
+        // tour = A x1 B x2 C; resulting trees: B, and A ++ C.
+        let s2 = self.split_tree(t, p2); // t = A x1 B, s2 = x2 C
+        self.remove_node(x2); // s2 = C (recycled by remove_node if empty)
+        let s2_gone = self.trees[s2 as usize].blocks.is_empty();
+        let s1 = self.split_tree(t, p1); // t = A, s1 = x1 B
+        self.remove_node(x1); // s1 = B (B is never empty: it holds v's vertex node)
+        debug_assert!(!self.trees[s1 as usize].blocks.is_empty());
+        // Reassemble A ++ C. Either side may be empty; an emptied `t`
+        // (p1 == 0) was left unreferenced by split_tree and is recycled
+        // here, while an emptied `s2` was already recycled above.
+        if self.trees[t as usize].blocks.is_empty() {
+            self.free_trees.push(t); // A empty: C stands alone as s2
+        } else if !s2_gone {
+            self.join_trees(t, s2);
+        }
     }
 
     /// Set/clear a flag bit on `v`'s vertex node.
@@ -331,67 +480,182 @@ impl EulerForest {
         } else {
             *f &= !bit;
         }
-        self.fix_to_root(nv);
+        let b = self.nodes[nv as usize].block;
+        if on {
+            self.blocks[b as usize].agg |= bit;
+        } else {
+            self.recompute_block(b);
+        }
     }
 
-    /// Set/clear a flag bit on the (u, v) arc node (the canonical arc of a
-    /// tree edge). Panics if the edge is not in the forest.
+    /// Set/clear a flag bit on the (u, v) arc node (the canonical arc of
+    /// a tree edge). Panics if the edge is not in the forest.
     pub fn set_arc_flag(&mut self, u: u32, v: u32, bit: u8, on: bool) {
-        let a = *self.arc.get(&(u, v)).expect("set_arc_flag: missing arc");
+        let a = self.arc.get(u, v).expect("set_arc_flag: missing arc") as u32;
         let f = &mut self.nodes[a as usize].flags;
         if on {
             *f |= bit;
         } else {
             *f &= !bit;
         }
-        self.fix_to_root(a);
+        let b = self.nodes[a as usize].block;
+        if on {
+            self.blocks[b as usize].agg |= bit;
+        } else {
+            self.recompute_block(b);
+        }
     }
 
     /// Find any node in `v`'s tree carrying `bit`; returns its payload
-    /// `(a, b)` (a == b for vertex nodes).
-    pub fn find_flag(&mut self, v: u32, bit: u8) -> Option<(u32, u32)> {
-        let nv = self.ensure_vertex(v);
-        let mut t = self.root_of(nv);
-        if self.agg(t) & bit == 0 {
-            return None;
-        }
-        loop {
-            let n = &self.nodes[t as usize];
-            if self.agg(n.left) & bit != 0 {
-                t = n.left;
-            } else if n.flags & bit != 0 {
-                return Some((n.a, n.b));
-            } else {
-                debug_assert_ne!(self.agg(n.right) & bit, 0);
-                t = n.right;
-            }
-        }
-    }
-
-    /// All vertices in `v`'s tree (O(size) traversal; used by tests and
-    /// by small-component enumeration).
-    pub fn tree_vertices(&mut self, v: u32) -> Vec<u32> {
-        let nv = self.ensure_vertex(v);
-        let root = self.root_of(nv);
-        let mut out = Vec::with_capacity(self.nodes[root as usize].vcnt as usize);
-        let mut stack = vec![root];
-        while let Some(t) = stack.pop() {
-            if t == NIL {
+    /// `(a, b)` (a == b for vertex nodes). Scans per-block aggregates,
+    /// then one block: O(tour/BLOCK + BLOCK), `&self`.
+    pub fn find_flag(&self, v: u32, bit: u8) -> Option<(u32, u32)> {
+        let nv = self.vertex_node(v)?;
+        let t = self.tree_of_node(nv);
+        for &b in &self.trees[t as usize].blocks {
+            let bl = &self.blocks[b as usize];
+            if bl.agg & bit == 0 {
                 continue;
             }
-            let n = &self.nodes[t as usize];
-            if n.a == n.b {
-                out.push(n.a);
+            for &x in &bl.items {
+                let n = &self.nodes[x as usize];
+                if n.flags & bit != 0 {
+                    return Some((n.a, n.b));
+                }
             }
-            stack.push(n.left);
-            stack.push(n.right);
+        }
+        None
+    }
+
+    /// All vertices in `v`'s tree, in tour order (O(size) scan; used by
+    /// tests and small-component enumeration).
+    pub fn tree_vertices(&self, v: u32) -> Vec<u32> {
+        let Some(nv) = self.vertex_node(v) else {
+            return vec![v];
+        };
+        let t = self.tree_of_node(nv);
+        let tr = &self.trees[t as usize];
+        let mut out = Vec::with_capacity(tr.vcnt as usize);
+        for &b in &tr.blocks {
+            for &x in &self.blocks[b as usize].items {
+                let n = &self.nodes[x as usize];
+                if n.a == n.b {
+                    out.push(n.a);
+                }
+            }
         }
         out
     }
 
     /// Whether the forest currently stores the tree edge (u, v).
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        self.arc.contains_key(&(u, v))
+        self.arc.contains(u, v)
+    }
+
+    /// Bulk-build the tours of a forest given its (acyclic) edge set:
+    /// per-component Euler tours are laid out by an iterative DFS and
+    /// chopped into near-full blocks, skipping the link-by-link splice
+    /// path entirely. Tour *construction* over the components runs
+    /// through [`bds_par`]-style parallel mapping at the caller's layer;
+    /// here the layout itself is a single linear pass per component.
+    pub fn bulk_build(forest_edges: &[(u32, u32)]) -> Self {
+        let mut f = Self::new();
+        if forest_edges.is_empty() {
+            return f;
+        }
+        // Adjacency over the touched vertices only.
+        let mut verts: Vec<u32> = forest_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        verts.sort_unstable();
+        verts.dedup();
+        let index = |v: u32| verts.binary_search(&v).unwrap();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
+        for &(u, v) in forest_edges {
+            adj[index(u)].push(v);
+            adj[index(v)].push(u);
+        }
+        let mut seen = vec![false; verts.len()];
+        for start in 0..verts.len() {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let t = f.alloc_tree();
+            // Iterative DFS emitting the Euler tour: vertex node on
+            // first entry, arc nodes around each child visit.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            let nv = f.alloc_node(verts[start], verts[start]);
+            f.vnode_set(verts[start], nv);
+            f.append_node(t, nv);
+            while let Some(&mut (x, ref mut ei)) = stack.last_mut() {
+                if *ei >= adj[x].len() {
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        let (pu, pv) = (verts[p], verts[x]);
+                        let back = f.alloc_node(pv, pu);
+                        f.arc.insert(pv, pu, back as u64);
+                        f.append_node(t, back);
+                    }
+                    continue;
+                }
+                let y = adj[x][*ei];
+                *ei += 1;
+                let yi = index(y);
+                if seen[yi] {
+                    continue;
+                }
+                seen[yi] = true;
+                let (xu, yv) = (verts[x], y);
+                let fwd = f.alloc_node(xu, yv);
+                f.arc.insert(xu, yv, fwd as u64);
+                f.append_node(t, fwd);
+                let nv = f.alloc_node(yv, yv);
+                f.vnode_set(yv, nv);
+                f.append_node(t, nv);
+                stack.push((yi, 0));
+            }
+        }
+        f
+    }
+
+    fn vnode_set(&mut self, v: u32, node: u32) {
+        if self.vnode.len() <= v as usize {
+            self.vnode.resize(v as usize + 1, NIL);
+        }
+        self.vnode[v as usize] = node;
+    }
+
+    /// Structural invariant check used by tests: block/tree back-links,
+    /// sizes, vertex counts, and per-block aggregates all agree with the
+    /// item arrays.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (ti, tr) in self.trees.iter().enumerate() {
+            if self.free_trees.contains(&(ti as u32)) {
+                continue;
+            }
+            let mut size = 0;
+            let mut vcnt = 0;
+            for (i, &b) in tr.blocks.iter().enumerate() {
+                let bl = &self.blocks[b as usize];
+                assert_eq!(bl.tree, ti as u32, "block tree back-link");
+                assert_eq!(bl.idx, i as u32, "block idx back-link");
+                assert!(!bl.items.is_empty(), "empty block retained");
+                let mut agg = 0u8;
+                let mut bv = 0u32;
+                for &x in &bl.items {
+                    let n = &self.nodes[x as usize];
+                    assert_eq!(n.block, b, "node block back-link");
+                    agg |= n.flags;
+                    bv += (n.a == n.b) as u32;
+                }
+                assert_eq!(bl.agg, agg, "block agg");
+                assert_eq!(bl.vcnt, bv, "block vcnt");
+                size += bl.items.len() as u32;
+                vcnt += bv;
+            }
+            assert_eq!(tr.size, size, "tree size");
+            assert_eq!(tr.vcnt, vcnt, "tree vcnt");
+        }
     }
 }
 
@@ -401,7 +665,7 @@ mod tests {
 
     #[test]
     fn link_cut_connected() {
-        let mut f = EulerForest::new(11);
+        let mut f = EulerForest::new();
         assert!(!f.connected(0, 1));
         f.link(0, 1);
         f.link(1, 2);
@@ -418,11 +682,12 @@ mod tests {
         assert!(!f.connected(0, 2));
         assert!(f.connected(2, 4));
         assert_eq!(f.tree_size(2), 3);
+        f.check_invariants();
     }
 
     #[test]
     fn flags_found_across_links() {
-        let mut f = EulerForest::new(5);
+        let mut f = EulerForest::new();
         f.link(0, 1);
         f.link(1, 2);
         f.set_vertex_flag(2, FLAG_NONTREE, true);
@@ -434,6 +699,20 @@ mod tests {
         // Flag survives a reroot-causing link.
         f.link(2, 7);
         assert_eq!(f.find_flag(7, FLAG_TREE), Some((0, 1)));
+        f.check_invariants();
+    }
+
+    #[test]
+    fn reads_are_shared_ref() {
+        // The PR-8 satellite: connected / tree_size / find_flag /
+        // tree_vertices compile against &EulerForest.
+        let mut f = EulerForest::new();
+        f.link(0, 1);
+        let r: &EulerForest = &f;
+        assert!(r.connected(0, 1));
+        assert_eq!(r.tree_size(0), 2);
+        assert_eq!(r.find_flag(0, FLAG_TREE), None);
+        assert_eq!(r.tree_vertices(9), vec![9]);
     }
 
     #[test]
@@ -441,9 +720,9 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let n = 60u32;
         let mut rng = StdRng::seed_from_u64(99);
-        let mut f = EulerForest::new(1);
+        let mut f = EulerForest::new();
         let mut edges: Vec<(u32, u32)> = Vec::new();
-        for _ in 0..600 {
+        for step in 0..600 {
             if !edges.is_empty() && rng.gen_bool(0.4) {
                 let i = rng.gen_range(0..edges.len());
                 let (u, v) = edges.swap_remove(i);
@@ -455,6 +734,9 @@ mod tests {
                     f.link(u, v);
                     edges.push((u, v));
                 }
+            }
+            if step % 97 == 0 {
+                f.check_invariants();
             }
             // Oracle: DSU over current edge set.
             let mut dsu: Vec<u32> = (0..n).collect();
@@ -484,24 +766,78 @@ mod tests {
             let u = rng.gen_range(0..n);
             let ru = find(&mut dsu, u);
             let comp = (0..n).filter(|&x| find(&mut dsu, x) == ru).count() as u32;
-            // Only vertices ever touched by the forest have vnodes; for an
-            // untouched vertex, tree_size() lazily creates a singleton.
             let ts = f.tree_size(u);
             assert!(
                 ts == comp || (ts == 1 && comp == 1),
                 "size mismatch {ts} vs {comp}"
             );
         }
+        f.check_invariants();
     }
 
     #[test]
     fn tree_vertices_enumerates_component() {
-        let mut f = EulerForest::new(2);
+        let mut f = EulerForest::new();
         f.link(5, 6);
         f.link(6, 7);
         f.link(7, 8);
         let mut vs = f.tree_vertices(7);
         vs.sort_unstable();
         assert_eq!(vs, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        // A path, a star, and a lone edge.
+        let edges: &[(u32, u32)] = &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (10, 11),
+            (10, 12),
+            (10, 13),
+            (20, 21),
+        ];
+        let f = EulerForest::bulk_build(edges);
+        let mut g = EulerForest::new();
+        for &(u, v) in edges {
+            g.link(u, v);
+        }
+        for &(u, v) in &[(0u32, 3u32), (1, 2), (10, 13), (20, 21)] {
+            assert!(f.connected(u, v));
+        }
+        assert!(!f.connected(0, 10));
+        assert!(!f.connected(13, 20));
+        for v in [0, 1, 10, 20, 21] {
+            assert_eq!(f.tree_size(v), g.tree_size(v), "size at {v}");
+        }
+        for &(u, v) in edges {
+            assert!(f.has_edge(u, v) || f.has_edge(v, u), "arc ({u},{v})");
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn deep_cut_storm_keeps_blocks_sane() {
+        // Long path, then cut every other edge: exercises block splits,
+        // boundary merges, and empty-tree recycling.
+        let mut f = EulerForest::new();
+        let n = 600u32;
+        for v in 0..n - 1 {
+            f.link(v, v + 1);
+        }
+        assert_eq!(f.tree_size(0), n);
+        for v in (1..n - 1).step_by(2) {
+            f.cut(v, v + 1);
+        }
+        f.check_invariants();
+        assert!(f.connected(0, 1));
+        assert!(!f.connected(1, 2));
+        // Relink a few to make sure the structure still splices.
+        for v in (1..101).step_by(2) {
+            f.link(v, v + 1);
+        }
+        assert!(f.connected(0, 101));
+        f.check_invariants();
     }
 }

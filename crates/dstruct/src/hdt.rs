@@ -12,9 +12,20 @@
 //! tree of F_i has at most n/2^i vertices. Deleting a tree edge searches
 //! for a replacement level by level, promoting the smaller side's tree
 //! edges and failed non-tree candidates; amortized O(log² n) per update.
+//!
+//! Since PR 8 the substrate is flat end to end: each level's Euler tour
+//! is a blocked flat sequence ([`crate::euler`], de-treaped), the edge →
+//! level map is a packed-key [`EdgeTable`] whose value word also carries
+//! the is-tree-edge bit, and the per-level non-tree adjacency is one
+//! [`FlatList`] per level keyed `(vertex << 32) | neighbor` — a rank
+//! query finds "any non-tree neighbor of v at level i" without hash-map
+//! chains. All read queries (`connected`, `component_size`,
+//! `contains_edge`, …) take `&self`, so epoch'd read mirrors can share
+//! the structure.
 
+use crate::edge_table::{pack, unpack, EdgeTable};
 use crate::euler::{EulerForest, FLAG_NONTREE, FLAG_TREE};
-use crate::fx::{FxHashMap, FxHashSet};
+use crate::flat_list::FlatList;
 
 #[inline]
 fn canon(u: u32, v: u32) -> (u32, u32) {
@@ -24,6 +35,9 @@ fn canon(u: u32, v: u32) -> (u32, u32) {
         (v, u)
     }
 }
+
+/// Is-tree-edge marker in the `edges` value word (low 16 bits: level).
+const TREE_BIT: u64 = 1 << 32;
 
 /// Tree edges added to / removed from the maintained spanning forest by
 /// one update.
@@ -38,75 +52,161 @@ pub struct DynamicForest {
     n: usize,
     lmax: usize,
     levels: Vec<EulerForest>,
-    /// canonical edge -> level
-    edge_level: FxHashMap<(u32, u32), u16>,
-    /// canonical edges currently in the spanning forest
-    tree: FxHashSet<(u32, u32)>,
-    /// (vertex, level) -> neighbors via non-tree edges of that level
-    nontree: FxHashMap<(u32, u16), FxHashSet<u32>>,
+    /// canonical edge -> level | TREE_BIT
+    edges: EdgeTable,
+    /// number of live tree edges (forest size)
+    n_tree: usize,
+    /// per-level non-tree incidence, keyed (x << 32) | y, both
+    /// directions stored
+    nontree: Vec<FlatList<u64, ()>>,
 }
 
 impl DynamicForest {
     pub fn new(n: usize) -> Self {
         let lmax = (usize::BITS - n.max(2).leading_zeros()) as usize; // ⌊log2 n⌋ + 1
-        let levels = (0..=lmax)
-            .map(|i| EulerForest::new(0x9e37 + i as u64))
-            .collect();
+        let levels = (0..=lmax).map(|_| EulerForest::new()).collect();
+        let nontree = (0..=lmax).map(|_| FlatList::new()).collect();
         Self {
             n,
             lmax,
             levels,
-            edge_level: FxHashMap::default(),
-            tree: FxHashSet::default(),
-            nontree: FxHashMap::default(),
+            edges: EdgeTable::new(),
+            n_tree: 0,
+            nontree,
         }
+    }
+
+    /// Bulk-build from an initial edge set: a DSU pass splits the edges
+    /// into one spanning forest (laid out tour-at-a-time by
+    /// [`EulerForest::bulk_build`]) and the non-tree remainder
+    /// (bulk-loaded into the level-0 incidence list), skipping the
+    /// per-edge link path entirely. Edges must be distinct non-loops
+    /// with endpoints < n.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut f = Self::new(n);
+        if edges.is_empty() {
+            return f;
+        }
+        let mut dsu: Vec<u32> = (0..n as u32).collect();
+        fn find(d: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while d[r as usize] != r {
+                r = d[r as usize];
+            }
+            let mut c = x;
+            while d[c as usize] != r {
+                let nx = d[c as usize];
+                d[c as usize] = r;
+                c = nx;
+            }
+            r
+        }
+        let mut forest: Vec<(u32, u32)> = Vec::new();
+        let mut loose: Vec<(u32, u32)> = Vec::new();
+        let mut entries: Vec<(u32, u32, u64)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            let (a, b) = canon(u, v);
+            let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+            if ra != rb {
+                dsu[ra as usize] = rb;
+                forest.push((a, b));
+                entries.push((a, b, TREE_BIT));
+            } else {
+                loose.push((a, b));
+                entries.push((a, b, 0));
+            }
+        }
+        f.edges = EdgeTable::from_batch(&entries);
+        f.n_tree = forest.len();
+        f.levels[0] = EulerForest::bulk_build(&forest);
+        for &(a, b) in &forest {
+            f.levels[0].set_arc_flag(a, b, FLAG_TREE, true);
+        }
+        // Non-tree incidence, both directions, bulk-loaded sorted.
+        let mut inc: Vec<(u64, ())> = Vec::with_capacity(loose.len() * 2);
+        for &(a, b) in &loose {
+            inc.push((pack(a, b), ()));
+            inc.push((pack(b, a), ()));
+        }
+        inc.sort_unstable_by_key(|&(k, ())| k);
+        f.nontree[0] = FlatList::from_sorted(inc);
+        let mut flagged: Vec<u32> = loose.iter().flat_map(|&(a, b)| [a, b]).collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        for x in flagged {
+            f.levels[0].set_vertex_flag(x, FLAG_NONTREE, true);
+        }
+        f
     }
 
     pub fn num_vertices(&self) -> usize {
         self.n
     }
 
-    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+    pub fn connected(&self, u: u32, v: u32) -> bool {
         self.levels[0].connected(u, v)
     }
 
-    pub fn component_size(&mut self, v: u32) -> u32 {
+    pub fn component_size(&self, v: u32) -> u32 {
         self.levels[0].tree_size(v)
     }
 
     pub fn contains_edge(&self, u: u32, v: u32) -> bool {
-        self.edge_level.contains_key(&canon(u, v))
+        let (a, b) = canon(u, v);
+        self.edges.contains(a, b)
     }
 
     pub fn is_tree_edge(&self, u: u32, v: u32) -> bool {
-        self.tree.contains(&canon(u, v))
+        let (a, b) = canon(u, v);
+        matches!(self.edges.get(a, b), Some(w) if w & TREE_BIT != 0)
     }
 
-    /// Current spanning-forest edges.
+    /// Current spanning-forest edges (O(edge-table capacity) scan).
     pub fn forest_edges(&self) -> Vec<(u32, u32)> {
-        self.tree.iter().copied().collect()
+        let mut out = Vec::with_capacity(self.n_tree);
+        for (a, b, w) in self.edges.iter() {
+            if w & TREE_BIT != 0 {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    /// Number of live spanning-forest edges.
+    pub fn num_forest_edges(&self) -> usize {
+        self.n_tree
     }
 
     pub fn num_edges(&self) -> usize {
-        self.edge_level.len()
+        self.edges.len()
+    }
+
+    /// Any non-tree neighbor of `x` at level `lvl`, via a rank probe of
+    /// the flat incidence list.
+    fn first_nontree(&self, x: u32, lvl: u16) -> Option<u32> {
+        let list = &self.nontree[lvl as usize];
+        let r = list.lower_bound_rank(&pack(x, 0));
+        match list.kth(r) {
+            Some((k, ())) if unpack(k).0 == x => Some(unpack(k).1),
+            _ => None,
+        }
     }
 
     fn add_nontree(&mut self, u: u32, v: u32, lvl: u16) {
         for (x, y) in [(u, v), (v, u)] {
-            let s = self.nontree.entry((x, lvl)).or_default();
-            if s.is_empty() {
+            if self.first_nontree(x, lvl).is_none() {
                 self.levels[lvl as usize].set_vertex_flag(x, FLAG_NONTREE, true);
             }
-            s.insert(y);
+            self.nontree[lvl as usize].insert(pack(x, y), ());
         }
     }
 
     fn remove_nontree(&mut self, u: u32, v: u32, lvl: u16) {
         for (x, y) in [(u, v), (v, u)] {
-            let s = self.nontree.get_mut(&(x, lvl)).expect("nontree set");
-            s.remove(&y);
-            if s.is_empty() {
-                self.nontree.remove(&(x, lvl));
+            self.nontree[lvl as usize]
+                .remove(&pack(x, y))
+                .expect("nontree entry");
+            if self.first_nontree(x, lvl).is_none() {
                 self.levels[lvl as usize].set_vertex_flag(x, FLAG_NONTREE, false);
             }
         }
@@ -117,15 +217,18 @@ impl DynamicForest {
     pub fn insert_edge(&mut self, u: u32, v: u32) -> ForestDelta {
         assert_ne!(u, v, "self-loops are not supported");
         let e = canon(u, v);
+        let mut delta = ForestDelta::default();
+        let linked = !self.levels[0].connected(u, v);
         assert!(
-            self.edge_level.insert(e, 0).is_none(),
+            self.edges
+                .insert(e.0, e.1, if linked { TREE_BIT } else { 0 })
+                .is_none(),
             "insert_edge: edge ({u},{v}) already present"
         );
-        let mut delta = ForestDelta::default();
-        if !self.levels[0].connected(u, v) {
+        if linked {
             self.levels[0].link(e.0, e.1);
             self.levels[0].set_arc_flag(e.0, e.1, FLAG_TREE, true);
-            self.tree.insert(e);
+            self.n_tree += 1;
             delta.added.push(e);
         } else {
             self.add_nontree(e.0, e.1, 0);
@@ -138,17 +241,18 @@ impl DynamicForest {
     /// forest.
     pub fn delete_edge(&mut self, u: u32, v: u32) -> ForestDelta {
         let e = canon(u, v);
-        let lvl = self
-            .edge_level
-            .remove(&e)
+        let word = self
+            .edges
+            .remove(e.0, e.1)
             .unwrap_or_else(|| panic!("delete_edge: edge ({u},{v}) not present"));
+        let lvl = (word & 0xffff) as u16;
         let mut delta = ForestDelta::default();
-        if !self.tree.contains(&e) {
+        if word & TREE_BIT == 0 {
             self.remove_nontree(e.0, e.1, lvl);
             return delta;
         }
         // Tree edge: remove from F_0..=F_lvl and search for a replacement.
-        self.tree.remove(&e);
+        self.n_tree -= 1;
         delta.removed.push(e);
         self.levels[lvl as usize].set_arc_flag(e.0, e.1, FLAG_TREE, false);
         for i in 0..=lvl {
@@ -180,8 +284,9 @@ impl DynamicForest {
         // 1. Promote all level-i tree edges inside the smaller tree.
         if can_promote {
             while let Some((a, b)) = self.levels[i as usize].find_flag(small, FLAG_TREE) {
-                debug_assert_eq!(self.edge_level[&canon(a, b)], i);
-                self.edge_level.insert(canon(a, b), i + 1);
+                let (ca, cb) = canon(a, b);
+                debug_assert_eq!(self.edges.get(ca, cb).map(|w| w & 0xffff), Some(i as u64));
+                self.edges.insert(ca, cb, (i as u64 + 1) | TREE_BIT);
                 self.levels[i as usize].set_arc_flag(a, b, FLAG_TREE, false);
                 self.levels[i as usize + 1].link(a, b);
                 self.levels[i as usize + 1].set_arc_flag(a, b, FLAG_TREE, true);
@@ -194,25 +299,26 @@ impl DynamicForest {
         let mut parked: Vec<(u32, u32)> = Vec::new();
         let mut found: Option<(u32, u32)> = None;
         while let Some((x, _)) = self.levels[i as usize].find_flag(small, FLAG_NONTREE) {
-            let Some(set) = self.nontree.get(&(x, i)) else {
+            let Some(y) = self.first_nontree(x, i) else {
                 // Stale flag (should not happen); clear defensively.
                 self.levels[i as usize].set_vertex_flag(x, FLAG_NONTREE, false);
                 continue;
             };
-            let y = *set.iter().next().expect("flagged vertex has candidates");
             self.remove_nontree(x, y, i);
             if self.levels[i as usize].connected(y, small) {
                 // Both endpoints inside the smaller tree: promote.
+                let (cx, cy) = canon(x, y);
                 if can_promote {
-                    self.add_nontree(x, y, i + 1);
-                    self.edge_level.insert(canon(x, y), i + 1);
+                    self.add_nontree(cx, cy, i + 1);
+                    self.edges.insert(cx, cy, i as u64 + 1);
                 } else {
-                    parked.push((x, y));
+                    parked.push((cx, cy));
                 }
             } else {
                 // Replacement found: becomes a tree edge at level i.
                 let ec = canon(x, y);
-                self.tree.insert(ec);
+                self.edges.insert(ec.0, ec.1, i as u64 | TREE_BIT);
+                self.n_tree += 1;
                 for j in 0..=i {
                     self.levels[j as usize].link(ec.0, ec.1);
                 }
@@ -231,6 +337,7 @@ impl DynamicForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fx::FxHashSet;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     /// DSU oracle over an explicit edge set.
@@ -262,6 +369,7 @@ mod tests {
         // The forest edges must be a subset of live edges, acyclic, and
         // realize exactly the oracle's connectivity.
         let fe = f.forest_edges();
+        assert_eq!(fe.len(), f.num_forest_edges());
         for &e in &fe {
             assert!(oracle.edges.contains(&e), "forest edge {e:?} not alive");
         }
@@ -307,6 +415,61 @@ mod tests {
         assert!(d.added.is_empty());
         assert!(!f.connected(0, 2));
         assert!(f.connected(1, 2));
+    }
+
+    #[test]
+    fn reads_are_shared_ref() {
+        // The PR-8 satellite: the whole query surface compiles against
+        // &DynamicForest so epoch'd mirrors can share it.
+        let mut f = DynamicForest::new(4);
+        f.insert_edge(0, 1);
+        let r: &DynamicForest = &f;
+        assert!(r.connected(0, 1));
+        assert_eq!(r.component_size(0), 2);
+        assert!(r.contains_edge(1, 0));
+        assert!(r.is_tree_edge(0, 1));
+        assert_eq!(r.forest_edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let n = 50u32;
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut seen = FxHashSet::default();
+        for _ in 0..160 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && seen.insert(canon(u, v)) {
+                edges.push(canon(u, v));
+            }
+        }
+        let bulk = DynamicForest::from_edges(n as usize, &edges);
+        let mut inc = DynamicForest::new(n as usize);
+        for &(u, v) in &edges {
+            inc.insert_edge(u, v);
+        }
+        assert_eq!(bulk.num_edges(), inc.num_edges());
+        assert_eq!(bulk.num_forest_edges(), inc.num_forest_edges());
+        for x in 0..n {
+            assert_eq!(bulk.component_size(x), inc.component_size(x), "size {x}");
+            for y in (x + 1)..n {
+                assert_eq!(bulk.connected(x, y), inc.connected(x, y), "({x},{y})");
+            }
+        }
+        // And the bulk-built structure must keep working dynamically.
+        let oracle = Oracle {
+            edges: edges.iter().copied().collect(),
+            n,
+        };
+        check_forest_matches(&bulk, &oracle);
+        let mut bulk = bulk;
+        let mut oracle = oracle;
+        for &(u, v) in edges.iter().take(60) {
+            bulk.delete_edge(u, v);
+            oracle.edges.remove(&canon(u, v));
+        }
+        check_forest_matches(&bulk, &oracle);
     }
 
     #[test]

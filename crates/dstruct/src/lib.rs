@@ -2,11 +2,6 @@
 //!
 //! * [`fx`] — an FxHash-style fast hasher plus `FxHashMap`/`FxHashSet`
 //!   aliases (the Rust Performance Book idiom, implemented locally).
-//! * [`treap`] — an order-statistics treap with rank queries and in-order
-//!   scanning; deterministic given a seed. Since PR 2 it only backs the
-//!   ordered-map roles that genuinely need a balanced tree
-//!   ([`euler`]/[`hdt`]); the scan-heavy priority lists moved to flat
-//!   arrays.
 //! * [`flat_list`] — a flat sorted-array ordered list with a tombstone
 //!   bitmap doubling as a popcount rank index: cache-resident linear
 //!   scans instead of pointer chases, O(log n) tombstone removals,
@@ -15,9 +10,13 @@
 //! * [`priority_list`] — the data structure of **Lemma 3.1**: an ordered
 //!   list indexed by distinct priorities with `Query`/`Find`/
 //!   `UpdatePriority`/`NextWith` operations, backed by [`flat_list`].
-//! * [`euler`] + [`hdt`] — Euler-tour trees and the Holm–de
-//!   Lichtenberg–Thorup dynamic spanning forest, our substitute for the
-//!   \[AABD19\] parallel batch-dynamic connectivity used by Theorem 1.4.
+//! * [`euler`] + [`hdt`] — Euler-tour trees on flat blocked sequences
+//!   and the Holm–de Lichtenberg–Thorup dynamic spanning forest, our
+//!   substitute for the \[AABD19\] parallel batch-dynamic connectivity
+//!   used by Theorem 1.4. De-treaped in PR 8: tours live in block lists
+//!   (the `flat_list` idiom applied to sequences), every read query is
+//!   `&self`, and the last treap left the workspace (the frozen copy
+//!   lives in `bds_bench` as a benchmark baseline).
 //! * [`edge_table`] — the flat batch-parallel edge table (\[GMV91\]-style)
 //!   behind every `(u, v) → u64` hot path: packed single-word keys,
 //!   power-of-two linear probing, O(1) tombstone removals purged by
@@ -32,11 +31,9 @@ pub mod flat_list;
 pub mod fx;
 pub mod hdt;
 pub mod priority_list;
-pub mod treap;
 
 pub use edge_table::EdgeTable;
 pub use flat_list::FlatList;
 pub use fx::{FxHashMap, FxHashSet};
 pub use hdt::{DynamicForest, ForestDelta};
 pub use priority_list::PriorityList;
-pub use treap::Treap;

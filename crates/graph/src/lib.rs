@@ -4,6 +4,7 @@
 //! quality (Laplacian quadratic forms and cut weights).
 
 pub mod api;
+pub mod conn;
 pub mod csr;
 pub mod cuts;
 pub mod dyngraph;
@@ -19,6 +20,7 @@ pub use api::{
     AuxTag, BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental, DeltaBuf,
     FullyDynamic, SpannerView,
 };
+pub use conn::{BatchConnectivity, BatchConnectivityBuilder, ConnView};
 pub use csr::CsrGraph;
 pub use dyngraph::DynamicGraph;
 pub use serve::{

@@ -110,6 +110,7 @@
 use crate::api::{AuxTag, BatchDynamic, ConfigError, DeltaBuf, FullyDynamic, SpannerView};
 use crate::shard::{Partitioner, ShardedEngine, ShardedEngineBuilder};
 use crate::types::{Edge, UpdateBatch};
+use bds_dstruct::FxHashSet;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -569,6 +570,7 @@ impl WalConfig {
 /// [`WalWriter::append_batch`] applies the [`FsyncPolicy`].
 pub struct WalWriter {
     file: File,
+    path: PathBuf,
     scratch: Vec<u8>,
     policy: FsyncPolicy,
     since_sync: u32,
@@ -604,6 +606,7 @@ impl WalWriter {
         file.write_all(&scratch)?;
         Ok(WalWriter {
             file,
+            path: path.to_path_buf(),
             scratch,
             policy,
             since_sync: 0,
@@ -691,6 +694,106 @@ impl WalWriter {
         self.since_sync = 0;
         self.syncs += 1;
         Ok(())
+    }
+
+    /// Drop every record `snap` already covers (seq ≤ `snap.seq`),
+    /// rewriting the log in place so it no longer grows without bound
+    /// across snapshot cuts.
+    ///
+    /// The rewrite is atomic: records are copied to a sibling temp
+    /// file, synced, and renamed over the log — a crash mid-compaction
+    /// leaves the original log intact. The new header's `base_seq` is
+    /// `snap.seq`, and the output-plane `Seed` (if the log had one) is
+    /// rolled forward through the dropped `Delta` records so a
+    /// [`FollowerView`] opening the compacted log still sees the full
+    /// output edge set before tailing. Retained records are untouched,
+    /// so `recover(snapshot, compacted log)` rebuilds the exact engine
+    /// `recover(snapshot, original log)` would have.
+    ///
+    /// `snap` must come from the logged engine (same `engine_id` and
+    /// `layout_epoch`) — mismatches fail without touching the log. A
+    /// snapshot at or before the log's `base_seq` covers nothing and
+    /// returns `Ok(0)`.
+    ///
+    /// Note: a [`FollowerView`] holding the *old* log open keeps
+    /// tailing the old inode until it reopens the path.
+    ///
+    /// Returns the number of records dropped.
+    pub fn compact(&mut self, snap: &Snapshot) -> Result<u64, RecoverError> {
+        self.sync()?;
+        let mut reader = WalReader::open(&self.path)?;
+        let header = *reader.header();
+        if header.engine_id != snap.engine_id {
+            return Err(RecoverError::EngineMismatch {
+                snapshot: snap.engine_id,
+                log: header.engine_id,
+            });
+        }
+        if header.layout_epoch != snap.layout_epoch {
+            return Err(RecoverError::LayoutMismatch {
+                snapshot: snap.layout_epoch,
+                log: header.layout_epoch,
+            });
+        }
+        if snap.seq <= header.base_seq {
+            return Ok(0);
+        }
+        let mut seed: Option<FxHashSet<Edge>> = None;
+        let mut dropped = 0u64;
+        let mut retained: Vec<WalRecord> = Vec::new();
+        while let Some(rec) = reader.next_record()? {
+            if rec.seq() > snap.seq {
+                retained.push(rec);
+                continue;
+            }
+            dropped += 1;
+            match rec {
+                WalRecord::Seed { edges, .. } => {
+                    seed = Some(edges.into_iter().collect());
+                }
+                WalRecord::Delta { delta } => {
+                    if let Some(set) = seed.as_mut() {
+                        for &e in delta.deleted() {
+                            set.remove(&e);
+                        }
+                        for &e in delta.inserted() {
+                            set.insert(e);
+                        }
+                    }
+                }
+                WalRecord::Batch { .. } => {}
+            }
+        }
+        let tmp = self.path.with_extension("compact-tmp");
+        let mut file = File::create(&tmp)?;
+        self.scratch.clear();
+        encode_header(
+            &mut self.scratch,
+            &LogHeader {
+                engine_id: header.engine_id,
+                layout_epoch: header.layout_epoch,
+                n: header.n,
+                base_seq: snap.seq,
+            },
+        );
+        file.write_all(&self.scratch)?;
+        if let Some(set) = seed {
+            let mut edges: Vec<Edge> = set.into_iter().collect();
+            edges.sort_unstable();
+            let rec = WalRecord::Seed {
+                seq: snap.seq,
+                edges,
+            };
+            append_record(&mut file, &mut self.scratch, &rec)?;
+        }
+        for rec in &retained {
+            append_record(&mut file, &mut self.scratch, rec)?;
+        }
+        file.sync_data()?;
+        fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.since_sync = 0;
+        Ok(dropped)
     }
 
     /// Batch records appended so far.

@@ -12,6 +12,7 @@
 //! ```
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counting allocator; register as `#[global_allocator]`.
@@ -19,24 +20,46 @@ pub struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
-/// Total allocation events since process start (monotone).
+// Const-initialized and `Drop`-free, so accessing it inside the
+// allocator can never itself allocate or recurse.
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total allocation events since process start (monotone), all threads.
 pub fn allocations() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+/// Allocation events performed by the *calling thread* (monotone).
+///
+/// Zero-alloc assertions should diff this counter, not
+/// [`allocations`]: the process-wide count picks up whatever other
+/// threads happen to allocate inside the measured window (the libtest
+/// harness thread is enough to trip an `== 0` assertion sporadically).
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+#[inline]
+fn count() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.realloc(ptr, layout, new_size)
     }
 

@@ -1,0 +1,176 @@
+//! Scenario: live connected-components serving for a social graph.
+//! Producer threads ingest friend/unfriend events (edge link/cut)
+//! through bounded `IngestHandle`s; one writer thread owns a sharded
+//! [`BatchConnectivity`] engine and publishes every applied batch
+//! through double-buffered `ShardedView`s; reader threads pin a view
+//! with an RAII guard, flatten its unioned shard forests into a
+//! [`ConnView`], and answer *batch* "are we in the same community?"
+//! queries while the writer keeps absorbing churn. The union of
+//! per-shard spanning forests preserves connectivity of the union
+//! graph, so the flattened view answers global connectivity exactly —
+//! the final state is checked against a union-find oracle.
+//!
+//! Run with: `cargo run --example social_components --release`
+
+use batch_spanners::prelude::*;
+use bds_dstruct::FxHashSet;
+use bds_graph::UnionFind;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+const OPS_PER_PRODUCER: u32 = 30_000;
+/// Friendships form inside 100-user villages, so the component
+/// structure stays interesting under churn instead of collapsing into
+/// one giant component.
+const VILLAGE: u64 = 100;
+
+/// Deterministic per-producer event script. Producer `p` only touches
+/// edges whose endpoint parity it owns, so the two scripts commute and
+/// the final friendship set is independent of thread interleaving.
+fn script(p: u64, n: usize, mut f: impl FnMut(bool, V, V)) {
+    let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(p + 1);
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut emitted = 0;
+    while emitted < OPS_PER_PRODUCER {
+        let a = step() % n as u64;
+        let b = a - (a % VILLAGE) + step() % VILLAGE;
+        if a == b || ((a ^ b) & 1) != p {
+            continue;
+        }
+        f(step() % 3 == 0, a as V, b as V);
+        emitted += 1;
+    }
+}
+
+fn main() {
+    let n = 2_000;
+    println!(
+        "social components: n = {n} users in {} villages, 4 connectivity shards (threads: {})",
+        n as u64 / VILLAGE,
+        bds_par::threads_available()
+    );
+
+    // Communities form live: the engine starts with no friendships.
+    let engine = ShardedEngineBuilder::new(n)
+        .shards(4)
+        .build_with(&[], move |_, es| BatchConnectivity::builder(n).build(es))
+        .expect("valid configuration");
+
+    let (serve, ingest) = ServeLoopBuilder::new(engine)
+        .queue_capacity(8_192)
+        .batch_policy(BatchPolicy::Fixed(128))
+        .build();
+    let reads = serve.read_handle();
+    let writer = serve.spawn();
+
+    // --- Producers: friend/unfriend churn on disjoint edge sets. ----
+    // Deleting an absent friendship or re-adding a live one is fine:
+    // the coalescer nets it out against its live-set mirror.
+    let producers: Vec<_> = (0..2u64)
+        .map(|p| {
+            let tx = ingest.clone();
+            std::thread::spawn(move || {
+                script(p, n, |unfriend, a, b| {
+                    if unfriend {
+                        tx.delete(a, b).unwrap();
+                    } else {
+                        tx.insert(a, b).unwrap();
+                    }
+                });
+            })
+        })
+        .collect();
+    drop(ingest); // writer exits once the producers hang up
+
+    // --- Readers: pin a view, flatten, answer community queries. ----
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2u32)
+        .map(|r| {
+            let reads = reads.clone();
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let pairs: Vec<(V, V)> = (0..512)
+                    .map(|i: u64| {
+                        let h = i.wrapping_mul(0x2545f4914f6cdd1d + r as u64);
+                        ((h % n as u64) as V, (h >> 32) as V % n as V)
+                    })
+                    .collect();
+                let mut hits = Vec::new();
+                while !stop.load(Relaxed) {
+                    let g = reads.pin(); // RAII: released at end of scope
+                    let cv = ConnView::from_edges(n, &g.edges());
+                    cv.batch_connected(&pairs, &mut hits);
+                    // Within one pin, answers are mutually consistent:
+                    // every mirrored forest edge connects its endpoints.
+                    for e in g.edges() {
+                        assert!(cv.connected(e.u, e.v), "torn read");
+                    }
+                    answered.fetch_add(hits.len() as u64, Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    let report = writer.join().unwrap();
+    stop.store(true, Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    println!(
+        "writer: {} raw events -> {} batches (dropped {} no-ops, cancelled {} pairs)",
+        report.raw_updates, report.batches, report.dropped_noops, report.cancelled_pairs
+    );
+    println!(
+        "readers answered {} community queries concurrently",
+        answered.load(Relaxed)
+    );
+
+    // --- Oracle: replay both scripts; interleaving cannot matter. ---
+    let mut live: FxHashSet<Edge> = FxHashSet::default();
+    for p in 0..2u64 {
+        script(p, n, |unfriend, a, b| {
+            let e = Edge::new(a, b);
+            if unfriend {
+                live.remove(&e);
+            } else {
+                live.insert(e);
+            }
+        });
+    }
+    let mut uf = UnionFind::new(n);
+    for e in &live {
+        uf.union(e.u, e.v);
+    }
+
+    let g = reads.pin_at_least(report.final_seq);
+    let cv = ConnView::from_edges(n, &g.edges());
+    assert_eq!(cv.num_components(), uf.components(), "component count");
+    for a in 0..n as V {
+        for b in [(a + 1) % n as V, (a * 7 + 3) % n as V] {
+            assert_eq!(cv.connected(a, b), uf.same(a, b), "pair ({a}, {b})");
+        }
+    }
+    let mut sizes: Vec<u32> = (0..n as V)
+        .filter(|&v| cv.component_id(v) == v)
+        .map(|v| cv.component_size(v))
+        .collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "final view: seq {} · {} live friendships · {} communities, largest {:?}",
+        g.seq(),
+        live.len(),
+        cv.num_components(),
+        &sizes[..sizes.len().min(5)]
+    );
+    println!("every answer matched the union-find oracle: done");
+}

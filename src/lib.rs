@@ -21,6 +21,7 @@
 //! | [`UltraSparseSpanner`] | Theorem 1.4 | `FullyDynamic` | spanner with n + O(n/x) edges |
 //! | [`BundleSpanner`] | Theorem 1.5 | `Decremental` | decremental t-bundle spanner |
 //! | [`FullyDynamicSparsifier`] | Theorem 1.6 | `FullyDynamic` | (1±ε) spectral sparsifier |
+//! | [`BatchConnectivity`] | extensions (\[AABD19\] substrate) | `FullyDynamic` | spanning forest + connectivity queries |
 //!
 //! (Plus the building blocks: [`DecrementalSpanner`] — Lemma 3.3,
 //! [`MonotoneSpanner`] — Lemma 6.4, [`DecrementalSparsifier`] —
@@ -86,6 +87,57 @@
 //! s.process_checked(&batch, &mut delta).expect("disjoint lists");
 //! assert!(!s.contains_edge(e));
 //! ```
+//!
+//! ## Connectivity quickstart
+//!
+//! Since PR 8 the engine substrate serves a second product besides
+//! spanners: [`BatchConnectivity`], fully-dynamic connectivity behind
+//! the same [`FullyDynamic`] contract (HDT spanning forest on flat,
+//! de-treaped Euler sequences). Its maintained output set is the
+//! spanning forest, so every contract layer — sharding, serving, WAL
+//! recovery, mirrors — works unchanged; on top it adds the query
+//! surface spanners don't have: [`BatchConnectivity::batch_connected`],
+//! [`BatchConnectivity::component_size`], and the epoch'd component
+//! mirror [`ConnView`]:
+//!
+//! ```
+//! use batch_spanners::prelude::*;
+//!
+//! let n = 300;
+//! let edges = batch_spanners::gen::gnm_connected(n, 600, 9);
+//! let mut conn = BatchConnectivity::builder(n)
+//!     .build(&edges)
+//!     .expect("valid configuration");
+//! assert_eq!(conn.num_components(), 1);
+//!
+//! // ConnView mirrors *components* the way SpannerView mirrors edges:
+//! // same delta feed, same sequence discipline, O(1) reads.
+//! let mut view = ConnView::from_output(n, &conn);
+//! let mut delta = DeltaBuf::new();
+//! let batch = UpdateBatch {
+//!     deletions: vec![edges[0], edges[1]],
+//!     insertions: vec![],
+//! };
+//! conn.apply_into(&batch, &mut delta);
+//! view.apply(&delta);
+//!
+//! // Batch queries answer in parallel off either side.
+//! let mut hits = Vec::new();
+//! view.batch_connected(&[(0, n as u32 - 1), (1, 2)], &mut hits);
+//! assert_eq!(hits.len(), 2);
+//! assert_eq!(view.num_components(), conn.num_components());
+//! assert_eq!(
+//!     view.component_size(0),
+//!     conn.component_size(0),
+//! );
+//! ```
+//!
+//! A sharded deployment works the same way: build a
+//! `ShardedEngine<BatchConnectivity>` and derive the global component
+//! mirror from the unioned shard outputs —
+//! `ConnView::from_edges(n, &view.edges())` — which is exact because a
+//! union of per-shard spanning forests preserves the connectivity of
+//! the union graph (see the `social_components` example).
 //!
 //! ## Serving concurrent traffic
 //!
@@ -223,6 +275,7 @@ pub mod prelude {
         AuxTag, BatchDynamic, BatchError, BatchReport, BatchStats, ConfigError, Decremental,
         DeltaBuf, FullyDynamic, SpannerView,
     };
+    pub use bds_graph::conn::{BatchConnectivity, BatchConnectivityBuilder, ConnView};
     pub use bds_graph::serve::{
         BatchPolicy, IngestError, IngestHandle, ReadGuard, ReadHandle, ServeLoop, ServeLoopBuilder,
         ServeReport, TunePoint, Update,

@@ -1,6 +1,7 @@
 //! Generic conformance suite for the unified batch-dynamic engine API:
-//! one set of properties, instantiated for all nine implementors of
-//! [`Decremental`] / [`FullyDynamic`].
+//! one set of properties, instantiated for all ten implementors of
+//! [`Decremental`] / [`FullyDynamic`] (the spanners, the sparsifiers,
+//! and the connectivity product riding the same substrate).
 //!
 //! Properties checked per structure:
 //! * **Delta-vs-materialized oracle** — replaying every batch's
@@ -246,6 +247,17 @@ fn conformance_ultra_sparse_spanner() {
 }
 
 #[test]
+fn conformance_batch_connectivity() {
+    // The connectivity product's output plane is its spanning forest;
+    // deletion chunks routinely cut tree edges, so the delta-replay
+    // oracle exercises the replacement-edge search every round.
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 109);
+    let s = BatchConnectivity::builder(n).build(&edges).unwrap();
+    conform_fully_dynamic(s, &edges, 6, "BatchConnectivity");
+}
+
+#[test]
 fn conformance_fully_dynamic_sparsifier() {
     let n = 50;
     let edges = gen::gnm_connected(n, 200, 71);
@@ -299,6 +311,23 @@ fn conformance_sharded_engine_replicated_jump() {
         })
         .unwrap();
     conform_fully_dynamic(s, &edges, 6, "ShardedEngine[3x2 jump]");
+}
+
+#[test]
+fn conformance_sharded_connectivity() {
+    // The connectivity engine behind the sharded dispatcher: per-shard
+    // forests merge through the same delta plane as the spanners.
+    let n = 60;
+    let edges = gen::gnm_connected(n, 220, 113);
+    for shards in [1usize, 3] {
+        let s = ShardedEngineBuilder::new(n)
+            .shards(shards)
+            .build_with(&edges, move |_, shard_edges| {
+                BatchConnectivity::builder(n).build(shard_edges)
+            })
+            .unwrap();
+        conform_fully_dynamic(s, &edges, 6, &format!("ShardedEngine<Conn>[{shards}]"));
+    }
 }
 
 #[test]
@@ -506,5 +535,17 @@ fn builders_reject_bad_input() {
     assert!(matches!(
         EsTree::builder(5).source(9).build(&[]),
         Err(ConfigError::VertexOutOfRange { .. })
+    ));
+    assert!(matches!(
+        BatchConnectivity::builder(0).build(&[]),
+        Err(ConfigError::TooFewVertices { .. })
+    ));
+    assert!(matches!(
+        BatchConnectivity::builder(4).build(&[Edge::new(0, 9)]),
+        Err(ConfigError::VertexOutOfRange { .. })
+    ));
+    assert!(matches!(
+        BatchConnectivity::builder(4).build(&[Edge::new(0, 1), Edge::new(1, 0)]),
+        Err(ConfigError::DuplicateEdge(_))
     ));
 }

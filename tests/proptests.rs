@@ -497,3 +497,108 @@ proptest! {
         s.validate();
     }
 }
+
+/// Tiny deterministic RNG for batch scripts (replayable per case).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Batch-dynamic connectivity vs a union-find oracle, monolith and
+    /// sharded in lockstep: random batch link/cut (including cut storms
+    /// that slash half the live edges at once, forcing replacement-edge
+    /// searches), with every `batch_connected` answer, component count,
+    /// and component size checked each round. The sharded engine is
+    /// answered through `ConnView` over the unioned shard forests —
+    /// the union of per-shard spanning forests preserves connectivity
+    /// of the union graph, and this test is the proof in motion.
+    #[test]
+    fn batch_connectivity_matches_union_find(
+        (n, edges, seed) in graph_strategy(),
+        shards in 2usize..5,
+    ) {
+        let mut mono = BatchConnectivity::builder(n).build(&[]).unwrap();
+        let mut engine = ShardedEngineBuilder::new(n)
+            .shards(shards)
+            .build_with(&[], move |_, es| BatchConnectivity::builder(n).build(es))
+            .unwrap();
+        let mut sview = ShardedView::of(&engine);
+        let mut cview = ConnView::from_output(n, &mono);
+
+        let mut live: FxHashSet<Edge> = FxHashSet::default();
+        let mut rng = seed | 1;
+        let mut delta = DeltaBuf::new();
+        let mut answers = Vec::new();
+        for round in 0..12 {
+            let mut batch = UpdateBatch::default();
+            let live_vec: Vec<Edge> = live.iter().copied().collect();
+            if round % 4 == 3 {
+                // Cut storm: delete every other live edge in one batch.
+                for e in live_vec.iter().step_by(2) {
+                    live.remove(e);
+                    batch.deletions.push(*e);
+                }
+            } else {
+                for _ in 0..3 {
+                    if live_vec.is_empty() {
+                        break;
+                    }
+                    let e = live_vec[(lcg(&mut rng) % live_vec.len() as u64) as usize];
+                    if live.remove(&e) {
+                        batch.deletions.push(e);
+                    }
+                }
+            }
+            let mut tries = 0;
+            while batch.insertions.len() < 6 && tries < 40 {
+                tries += 1;
+                let e = edges[(lcg(&mut rng) % edges.len() as u64) as usize];
+                if !batch.deletions.contains(&e) && live.insert(e) {
+                    batch.insertions.push(e);
+                }
+            }
+
+            mono.apply_into(&batch, &mut delta);
+            cview.apply(&delta);
+            engine.apply_into(&batch, &mut delta);
+            sview.apply(&engine);
+            let sconn = ConnView::from_edges(n, &sview.edges());
+
+            let mut uf = UnionFind::new(n);
+            for e in &live {
+                uf.union(e.u, e.v);
+            }
+
+            prop_assert_eq!(mono.num_components(), uf.components());
+            prop_assert_eq!(cview.num_components(), uf.components());
+            prop_assert_eq!(sconn.num_components(), uf.components());
+
+            let pairs: Vec<(V, V)> = (0..24)
+                .map(|_| {
+                    (
+                        (lcg(&mut rng) % n as u64) as V,
+                        (lcg(&mut rng) % n as u64) as V,
+                    )
+                })
+                .collect();
+            mono.batch_connected(&pairs, &mut answers);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                let want = uf.same(a, b);
+                prop_assert_eq!(answers[i], want, "monolith pair ({}, {})", a, b);
+                prop_assert_eq!(cview.connected(a, b), want, "view pair ({}, {})", a, b);
+                prop_assert_eq!(sconn.connected(a, b), want, "sharded pair ({}, {})", a, b);
+            }
+            for _ in 0..8 {
+                let v = (lcg(&mut rng) % n as u64) as V;
+                prop_assert_eq!(mono.component_size(v), uf.component_size(v));
+                prop_assert_eq!(cview.component_size(v), uf.component_size(v));
+                prop_assert_eq!(sconn.component_size(v), uf.component_size(v));
+            }
+        }
+    }
+}

@@ -698,3 +698,148 @@ fn restored_replica_of_randomized_structure_answers_identically() {
     assert_eq!(output_of(restored), output_of(engine.shard(0)));
     assert_eq!(restored.num_live_edges(), engine.shard(0).num_live_edges());
 }
+
+// ---------------------------------------------------------------------------
+// Compaction: dropping snapshot-covered records must not change what
+// recovery rebuilds, and the rolled-forward seed must keep followers
+// whole. Runs on the connectivity engine — the WAL is product-agnostic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn compacted_log_recovers_exactly_and_reseeds_followers() {
+    let n: usize = 48;
+    let log = tmp("compact.wal");
+    let log_orig = tmp("compact-orig.wal");
+    let snap_path = tmp("compact.snap");
+
+    let init: Vec<Edge> = (0..n as V - 1).map(|i| Edge::new(i, i + 1)).collect();
+    let mut engine = ShardedEngineBuilder::new(n)
+        .shards(3)
+        .build_with(&init, move |_, es| BatchConnectivity::builder(n).build(es))
+        .unwrap();
+    let mut writer = WalWriter::create(
+        &log,
+        engine.engine_id(),
+        engine.layout_epoch(),
+        n as u64,
+        engine.seq(),
+        FsyncPolicy::Manual,
+    )
+    .unwrap();
+    writer
+        .append_seed(engine.seq(), &ShardedView::of(&engine).edges())
+        .unwrap();
+
+    let mut live: FxHashSet<Edge> = init.iter().copied().collect();
+    let mut rng = 0xC0DEC_u64;
+    let mut delta = DeltaBuf::new();
+    let step = |engine: &mut ShardedEngine<BatchConnectivity, HashPartitioner>,
+                writer: &mut WalWriter,
+                live: &mut FxHashSet<Edge>,
+                rng: &mut u64,
+                delta: &mut DeltaBuf| {
+        let mut batch = UpdateBatch::default();
+        let snapshot: Vec<Edge> = live.iter().copied().collect();
+        for k in 0..7 {
+            if k % 2 == 0 && !snapshot.is_empty() {
+                let e = snapshot[lcg(rng) as usize % snapshot.len()];
+                if live.remove(&e) {
+                    batch.deletions.push(e);
+                }
+            } else {
+                let a = (lcg(rng) % n as u64) as V;
+                let b = (lcg(rng) % n as u64) as V;
+                let e = Edge::new(a, b);
+                if a != b && !batch.deletions.contains(&e) && live.insert(e) {
+                    batch.insertions.push(e);
+                }
+            }
+        }
+        writer.append_batch(engine.seq() + 1, &batch).unwrap();
+        engine.apply_into(&batch, delta);
+        writer.append_delta(delta).unwrap();
+    };
+
+    for _ in 0..8 {
+        step(&mut engine, &mut writer, &mut live, &mut rng, &mut delta);
+    }
+    writer.sync().unwrap();
+    fs::copy(&log, &log_orig).unwrap();
+    let live_at_snap = live.clone();
+    let snap = wal::Snapshot::of(&engine);
+    snap.write_to(&snap_path).unwrap();
+
+    // A snapshot from a different engine must be refused untouched.
+    let len_before = fs::metadata(&log).unwrap().len();
+    let mut bogus = snap.clone();
+    bogus.engine_id ^= 1;
+    assert!(matches!(
+        writer.compact(&bogus),
+        Err(RecoverError::EngineMismatch { .. })
+    ));
+    assert_eq!(fs::metadata(&log).unwrap().len(), len_before);
+
+    // Seed + 8 batches + 8 deltas are covered; the log must shrink and
+    // re-anchor at the snapshot.
+    let dropped = writer.compact(&snap).unwrap();
+    assert_eq!(dropped, 17);
+    assert!(fs::metadata(&log).unwrap().len() < len_before);
+    let rd = WalReader::open(&log).unwrap();
+    assert_eq!(rd.header().base_seq, snap.seq);
+    // Re-compacting against the same snapshot is a no-op.
+    assert_eq!(writer.compact(&snap).unwrap(), 0);
+
+    // The reopened handle keeps appending where the old one left off.
+    for _ in 0..4 {
+        step(&mut engine, &mut writer, &mut live, &mut rng, &mut delta);
+    }
+    writer.sync().unwrap();
+
+    let factory = move |_: usize, es: &[Edge]| BatchConnectivity::builder(n).build(es);
+    let from_orig = wal::recover(
+        &snap_path,
+        &log_orig,
+        ShardedEngineBuilder::new(n).shards(3),
+        factory,
+    )
+    .unwrap();
+    assert_eq!(from_orig.seq, snap.seq);
+    assert_eq!(engine_edges(&from_orig.engine), live_at_snap);
+
+    let from_compact = wal::recover(
+        &snap_path,
+        &log,
+        ShardedEngineBuilder::new(n).shards(3),
+        factory,
+    )
+    .unwrap();
+    assert_eq!(from_compact.seq, engine.seq());
+    assert_eq!(from_compact.replayed, 4);
+    assert!(!from_compact.torn_tail);
+    assert_eq!(engine_edges(&from_compact.engine), live);
+
+    // Connectivity parity: the recovered engine's unioned shard forests
+    // answer exactly like a union-find over the live input edges.
+    let view = ShardedView::of(&from_compact.engine);
+    let cv = ConnView::from_edges(n, &view.edges());
+    let mut uf = bds_graph::UnionFind::new(n);
+    for e in &live {
+        uf.union(e.u, e.v);
+    }
+    assert_eq!(cv.num_components(), uf.components());
+    for a in 0..n as V {
+        for b in (a + 1)..n as V {
+            assert_eq!(cv.connected(a, b), uf.same(a, b), "pair ({a},{b})");
+        }
+    }
+
+    // A follower opening the compacted log reseeds from the rolled-
+    // forward seed and tails the retained deltas to the live output.
+    let mut fv = wal::FollowerView::open(&log).unwrap();
+    fv.catch_up().unwrap();
+    assert!(fv.is_seeded());
+    assert_eq!(fv.seq(), engine.seq());
+    let follower_edges: FxHashSet<Edge> = fv.view().edges().into_iter().collect();
+    let primary_edges: FxHashSet<Edge> = ShardedView::of(&engine).edges().into_iter().collect();
+    assert_eq!(follower_edges, primary_edges);
+}

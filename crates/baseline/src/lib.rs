@@ -8,6 +8,8 @@
 //! * [`static_sparsifier`] — the Koutis-style static sparsifier \[Kou14\]:
 //!   iterate "compute a spanner, keep it, sample the rest at ¼ / weight 4".
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use bds_dstruct::{FxHashMap, FxHashSet};
 use bds_graph::types::{Edge, V};
 use rand::{rngs::StdRng, Rng, SeedableRng};

@@ -18,6 +18,8 @@
 //!
 //! Usage: `cargo run --release -p bds_bench --bin bench_pr6 [-- out.json] [--quick]`
 
+// bds:allow-file(atomic-ordering): bench harness; Relaxed stop-flags and
+// tallies only, thread::join is the synchronization edge for results.
 use bds_core::FullyDynamicSpanner;
 use bds_graph::gen;
 use bds_graph::serve::{BatchPolicy, IngestHandle, ServeLoopBuilder, ServeReport};

@@ -13,6 +13,8 @@
 //!
 //! Usage: `cargo run --release -p bds_bench --bin bench_pr8 [-- out.json] [--quick]`
 
+// bds:allow-file(atomic-ordering): bench harness; Relaxed stop-flags and
+// tallies only, thread::join is the synchronization edge for results.
 use bds_bench::euler_treap;
 use bds_dstruct::euler::EulerForest;
 use bds_graph::conn::{BatchConnectivity, ConnView};

@@ -7,6 +7,8 @@
 //! Euler-tour forest it used to power — both kept verbatim as the
 //! "before" side of `bench_pr8`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod euler_treap;
 pub mod pr1_estree;
 pub mod pr2_flat_list;

@@ -6,6 +6,8 @@
 //! comparison in `bench_pr2` — it isolates exactly the change under
 //! measurement, with the EdgeTable and parallel-init work of PR 1 on
 //! both sides. Not part of the library surface.
+// bds:allow-file(atomic-ordering): bench harness; Relaxed stop-flags and
+// tallies only, thread::join is the synchronization edge for results.
 #![allow(dead_code)]
 
 use crate::treap_list::TreapList;

@@ -293,6 +293,7 @@ impl BundleSpanner {
             // Spanner(D_i) gains a live edge -> it leaves G_{i+1}…: cascade
             // the deletion to every deeper level that holds it.
             for &e in scratch.inserted() {
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 let old = *self.home.get(&e).expect("promoted edge is live");
                 match old {
                     Home::Spanner(j) => {

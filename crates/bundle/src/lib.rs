@@ -9,6 +9,8 @@
 //!   B = H₁ ∪ … ∪ H_t with the J_i monotonicity lists and cascaded
 //!   deletions, the engine behind the spectral sparsifier.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bundle;
 pub mod monotone;
 

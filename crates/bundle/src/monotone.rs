@@ -248,6 +248,7 @@ impl MonotoneSpanner {
         let mut order: Vec<V> = (0..self.n as V).collect();
         order.sort_unstable_by_key(|&v| inst.es.dist(v));
         for v in order {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let p = inst.es.parent(v).expect("clustered");
             cluster[v as usize] = if inst.sg.is_p(p) {
                 v

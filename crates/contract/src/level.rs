@@ -200,16 +200,19 @@ impl ContractLevel {
         born: &mut FxHashSet<Edge>,
         died: &mut FxHashMap<Edge, Edge>,
     ) {
+        // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
         let b = self.buckets.get_mut(&key).expect("bucket exists");
         assert!(b.remove(&e), "support {e:?} missing from bucket {key:?}");
         if b.is_empty() {
             self.buckets.remove(&key);
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let old_rep = self.rep.remove(&key).expect("rep of live bucket");
             if !born.remove(&key) {
                 died.insert(key, old_rep);
             }
             // If it was born this batch, birth + death cancel entirely.
         } else if self.rep[&key] == e {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let new_rep = *self.buckets[&key].first().expect("nonempty");
             self.rep.insert(key, new_rep);
             // Buckets born in this batch emit no rep events: consumers
@@ -272,8 +275,10 @@ impl ContractLevel {
                 self.bucket_remove(k, e, out, &mut born, &mut died);
             }
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 let rnd = self.rand_of.remove(a, b).expect("entry");
                 let key = (!self.in_next[b as usize] as u8, rnd, b);
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 self.adj[a as usize].remove(&key).expect("adj entry");
             }
             touched.insert(e.u);
@@ -374,6 +379,7 @@ impl ContractLevel {
         assert_eq!(got, exp, "H set diverged");
         assert_eq!(self.buckets, want_buckets, "buckets diverged");
         for (k, b) in &self.buckets {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let rep = self.rep.get(k).expect("rep for live bucket");
             assert!(b.contains(rep), "rep {rep:?} not a support of {k:?}");
         }

@@ -9,6 +9,8 @@
 //!   Theorem 1.1 instance, with exact level-0 delta propagation through
 //!   the representative chains.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod level;
 pub mod schedule;
 pub mod sparse;

@@ -113,6 +113,7 @@ impl SparseSpanner {
             cur_edges = lvl.next_edges();
             levels.push(lvl);
         }
+        // bds:allow(no-unwrap): levels is nonempty by construction (the build loop always pushes).
         let top_n = levels.last().unwrap().next_vertex_count().max(2);
         let k_top = (top_n as f64).log2().ceil().max(1.0) as u32;
         let top = FullyDynamicSpanner::new(n, k_top, &cur_edges, seed ^ 0xf00d);
@@ -133,6 +134,7 @@ impl SparseSpanner {
             for e_up in upstairs {
                 let rep = levels[i]
                     .rep_of(e_up)
+                    // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                     .expect("active contracted edge has a rep");
                 active[i].add(rep);
                 counted_rep[i].insert(e_up, rep);
@@ -263,6 +265,7 @@ impl SparseSpanner {
                 self.active[i].remove(rep);
             }
             for e_up in up_delta.inserted {
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 let rep = self.levels[i].rep_of(e_up).expect("live contracted edge");
                 self.active[i].add(rep);
                 let dup = self.counted_rep[i].insert(e_up, rep);
@@ -316,6 +319,7 @@ impl SparseSpanner {
                 want_active[i].add(e);
             }
             for e_up in want_active[i + 1].edges() {
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 let rep = self.levels[i].rep_of(e_up).expect("rep");
                 want_active[i].add(rep);
                 // counted_rep must agree with the live reps.
@@ -341,6 +345,7 @@ impl SparseSpanner {
     fn top_live_edges(&self) -> Vec<Edge> {
         // The top instance doesn't expose live edges directly; reconstruct
         // from the last level's buckets (its graph by construction).
+        // bds:allow(no-unwrap): levels is nonempty by construction (the build loop always pushes).
         self.levels.last().unwrap().next_edges()
     }
 }

@@ -193,6 +193,7 @@ impl DecrementalSpanner {
                     }
                 }
             }
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let (key, par, center) = best.expect("every vertex has a parent in G'");
             parent[v as usize] = par;
             parent_prio[v as usize] = key;
@@ -407,6 +408,7 @@ impl DecrementalSpanner {
                 b.remove(&e.u);
             });
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 let p = self.prio_of.remove(a, b).expect("directed edge present");
                 if self.parent[b as usize] == a && self.parent_prio[b as usize] == p {
                     // b lost its parent edge: seed a rescan at its level.
@@ -417,6 +419,7 @@ impl DecrementalSpanner {
                     self.spanner.remove(Edge::new(a, b));
                     queues[self.dist[b as usize] as usize].push((b, p));
                 }
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 self.ins[b as usize].remove(p).expect("in-entry present");
             }
         }
@@ -592,6 +595,7 @@ impl DecrementalSpanner {
                 b.insert(v);
             });
             // Re-key the entry (v → w) in In(w).
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let old_p = self.prio_of.get(v, w).expect("directed edge present");
             let new_p = self.sg.cluster_priority(new_c, v);
             if old_p == new_p {
@@ -709,6 +713,7 @@ impl DecrementalSpanner {
                 |_, rec| self.dist[rec.src as usize] == self.dist[v as usize] - 1,
                 &mut w,
             );
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let (_, fp, frec) = first.expect("candidate must exist");
             assert_eq!(frec.src, p, "parent of {v} is not the first candidate");
             assert_eq!(fp, self.parent_prio[v as usize]);

@@ -299,6 +299,7 @@ impl FullyDynamicSpanner {
         for (slot, edges) in by_slot {
             if slot == 0 {
                 for e in edges {
+                    // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                     let pos = self.e0.iter().position(|&x| x == e).expect("E0 edge");
                     self.e0.swap_remove(pos);
                     self.spanner.remove(e);

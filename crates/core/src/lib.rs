@@ -9,6 +9,8 @@
 //! * [`fully_dynamic`] — **Theorem 1.1**: the Bentley–Saxe style
 //!   reduction from fully-dynamic to decremental (invariant B1).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod decremental;
 pub mod fully_dynamic;
 pub mod spanner_set;

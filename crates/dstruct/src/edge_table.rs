@@ -170,18 +170,23 @@ impl EdgeTable {
     #[inline(always)]
     fn slot_mut(&mut self, i: usize) -> &mut Slot {
         debug_assert!(i < self.slots.len());
+        // SAFETY: probe indices are `h & mask` with
+        // `mask == slots.len() - 1` (power-of-two table), so in bounds.
         unsafe { self.slots.get_unchecked_mut(i) }
     }
 
     #[inline(always)]
     fn tag(&self, i: usize) -> u8 {
         debug_assert!(i < self.tags.len());
+        // SAFETY: `tags` mirrors `slots` in length; same masked-index
+        // bound as `slot` above.
         unsafe { *self.tags.get_unchecked(i) }
     }
 
     #[inline(always)]
     fn set_tag(&mut self, i: usize, t: u8) {
         debug_assert!(i < self.tags.len());
+        // SAFETY: same masked-index bound as `tag`.
         unsafe { *self.tags.get_unchecked_mut(i) = t }
     }
 
@@ -191,6 +196,9 @@ impl EdgeTable {
     /// memory latency ("group prefetching").
     #[inline(always)]
     fn prefetch_slot(&self, i: usize) {
+        // SAFETY: prefetch is a hint with no memory effects; even a
+        // one-past-the-end address would be sound, and `i` is a masked
+        // in-bounds probe index anyway.
         #[cfg(target_arch = "x86_64")]
         unsafe {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
@@ -347,6 +355,10 @@ impl EdgeTable {
                     // Slot i's key word sits at index 2i (repr(C) pairs).
                     // Keys are authoritative during the scatter; tags are
                     // published after the claim and only read afterwards.
+                    // ordering: Relaxed CAS/stores — claiming a slot
+                    // only races with other builders for *distinct*
+                    // keys; readers start after the rayon join
+                    // barrier, which is the happens-before edge.
                     match words[2 * i].compare_exchange(
                         EMPTY,
                         key,
@@ -354,6 +366,8 @@ impl EdgeTable {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // ordering: Relaxed — same regime as the
+                            // claim CAS above; the slot is now ours.
                             words[2 * i + 1].store(val, Ordering::Relaxed);
                             tag_bytes[i].store(tag, Ordering::Relaxed);
                             break;

@@ -189,6 +189,7 @@ impl EulerForest {
             .items
             .iter()
             .position(|&i| i == x)
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             .expect("node missing from its block") as u32;
         let t = &self.trees[bl.tree as usize];
         let mut pos = off;
@@ -339,6 +340,7 @@ impl EulerForest {
             .items
             .iter()
             .position(|&i| i == x)
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             .expect("node missing from its block");
         self.blocks[b as usize].items.remove(off);
         self.recompute_block(b);
@@ -445,7 +447,9 @@ impl EulerForest {
 
     /// Cut the tree edge (u, v). Panics if absent.
     pub fn cut(&mut self, u: u32, v: u32) {
+        // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
         let auv = self.arc.remove(u, v).expect("cut: missing arc") as u32;
+        // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
         let avu = self.arc.remove(v, u).expect("cut: missing arc") as u32;
         let t = self.tree_of_node(auv);
         let (q1, q2) = (self.position(auv), self.position(avu));
@@ -491,6 +495,7 @@ impl EulerForest {
     /// Set/clear a flag bit on the (u, v) arc node (the canonical arc of
     /// a tree edge). Panics if the edge is not in the forest.
     pub fn set_arc_flag(&mut self, u: u32, v: u32, bit: u8, on: bool) {
+        // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
         let a = self.arc.get(u, v).expect("set_arc_flag: missing arc") as u32;
         let f = &mut self.nodes[a as usize].flags;
         if on {
@@ -567,6 +572,7 @@ impl EulerForest {
         let mut verts: Vec<u32> = forest_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         verts.sort_unstable();
         verts.dedup();
+        // bds:allow(no-unwrap): verts collects exactly the vertices this closure is called with.
         let index = |v: u32| verts.binary_search(&v).unwrap();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
         for &(u, v) in forest_edges {

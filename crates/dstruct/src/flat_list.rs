@@ -324,6 +324,7 @@ impl<K: Ord + Copy, V: Copy> FlatList<K, V> {
         let left = self.prev_dead(p, p.saturating_sub(cost_right));
         let cost_left = left.map_or(usize::MAX, |l| p - 1 - l);
         if cost_left < cost_right {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let l = left.expect("finite cost implies a left tombstone");
             // Slide (l, p) down one slot; the dead entry at l (whose key
             // sorts below its successor) is overwritten.

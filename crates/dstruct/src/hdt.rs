@@ -205,6 +205,7 @@ impl DynamicForest {
         for (x, y) in [(u, v), (v, u)] {
             self.nontree[lvl as usize]
                 .remove(&pack(x, y))
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 .expect("nontree entry");
             if self.first_nontree(x, lvl).is_none() {
                 self.levels[lvl as usize].set_vertex_flag(x, FLAG_NONTREE, false);

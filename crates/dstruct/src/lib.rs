@@ -25,6 +25,8 @@
 //!   seed used in `EsTree`, `DecrementalSpanner`, `SpannerSet`,
 //!   `ContractLevel`, `DynamicGraph`, and the sparsifier layers.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod edge_table;
 pub mod euler;
 pub mod flat_list;

@@ -151,6 +151,7 @@ impl<V: Copy> PriorityList<V> {
             rank,
             self.inner
                 .get(&enc(priority))
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 .expect("rank implies presence"),
         ))
     }

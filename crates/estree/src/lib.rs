@@ -10,6 +10,8 @@
 //! orientations of every original edge — reducing exponential-start-time
 //! clustering to a depth-t decremental BFS.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod shift;
 pub mod tree;
 

@@ -58,7 +58,7 @@ impl ShiftedGraph {
         idx.sort_by(|&a, &b| {
             let fa = deltas[a as usize].fract();
             let fb = deltas[b as usize].fract();
-            fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+            fa.total_cmp(&fb).then(a.cmp(&b))
         });
         let mut perm = vec![0u32; n];
         for (rank, &v) in idx.iter().enumerate() {

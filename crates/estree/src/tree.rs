@@ -230,6 +230,10 @@ impl EsTree {
                         let mut local = Vec::new();
                         for &w in &outs[u as usize] {
                             if adist[w as usize]
+                                // ordering: Relaxed — first-writer-wins
+                                // distance claim; levels are separated
+                                // by a rayon join barrier, so no data
+                                // is published through this cell.
                                 .compare_exchange(
                                     UNREACHED,
                                     d,
@@ -281,6 +285,7 @@ impl EsTree {
             })
             .collect();
         for (v, hit) in found {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let (_, p, src) = hit.expect("reachable vertex must have a parent");
             tree.parent[v as usize] = src;
             tree.parent_prio[v as usize] = p;
@@ -383,6 +388,7 @@ impl EsTree {
             if self.parent[v as usize] == u && self.parent_prio[v as usize] == p {
                 seeds.push((v, p, u));
             }
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             self.ins[v as usize].remove(p).expect("in-entry present");
         }
         for (v, old_prio, old_parent) in seeds {
@@ -591,6 +597,7 @@ impl EsTree {
             // parent entry in In(v).
             let rank = self.ins[v as usize]
                 .rank_of(self.parent_prio[v as usize])
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 .expect("parent entry present");
             let mut w = 0u64;
             let first = self.ins[v as usize]

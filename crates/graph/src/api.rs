@@ -299,7 +299,7 @@ impl DeltaBuf {
         // Weighted: sort index permutations of each section by
         // (edge, weight bits) — the parallel lanes themselves stay put —
         // and cancel exact matches via a merge scan.
-        debug_assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
+        assert_eq!(self.weights.len(), self.edges.len(), "mixed weight lane");
         self.perm.clear();
         self.perm.extend(0..self.edges.len() as u32);
         let (pi, pd) = self.perm.split_at_mut(self.split);
@@ -741,13 +741,13 @@ impl SpannerView {
         }
         for (e, w) in delta.deleted_weighted() {
             let old = self.member.remove(e.u, e.v);
-            debug_assert_eq!(old, Some(w.to_bits()), "view delta mismatch at {e:?}");
+            assert_eq!(old, Some(w.to_bits()), "view delta mismatch at {e:?}");
             self.degree[e.u as usize] -= 1;
             self.degree[e.v as usize] -= 1;
         }
         for (e, w) in delta.inserted_weighted() {
             let old = self.member.insert(e.u, e.v, w.to_bits());
-            debug_assert!(old.is_none(), "view delta duplicates {e:?}");
+            assert!(old.is_none(), "view delta duplicates {e:?}");
             self.degree[e.u as usize] += 1;
             self.degree[e.v as usize] += 1;
         }

@@ -177,7 +177,10 @@ impl FullyDynamic for BatchConnectivity {
         out.clear();
         for e in insertions {
             let d = self.forest.insert_edge(e.u, e.v);
-            debug_assert!(d.removed.is_empty());
+            assert!(
+                d.removed.is_empty(),
+                "tree-edge insert produced a removal delta"
+            );
             Self::push_forest_delta(out, d);
         }
         self.seq += 1;
@@ -393,6 +396,7 @@ impl ConnView {
                 let i = self
                     .edges
                     .iter()
+                    // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                     .position(|&e| e == d)
                     .expect("conn view delta removes unmirrored forest edge");
                 self.edges.swap_remove(i);

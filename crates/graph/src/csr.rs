@@ -98,6 +98,9 @@ impl CsrGraph {
     pub fn par_bfs(&self, src: V, max_dist: u32) -> Vec<u32> {
         use std::sync::atomic::{AtomicU32, Ordering};
         let dist: Vec<AtomicU32> = (0..self.n).map(|_| AtomicU32::new(UNREACHED)).collect();
+        // ordering: Relaxed throughout the BFS — the per-level rayon
+        // join barrier is the happens-before edge between frontier
+        // expansions; the atomics only arbitrate first-writer-wins.
         dist[src as usize].store(0, Ordering::Relaxed);
         let mut frontier = vec![src];
         let mut d = 0;
@@ -109,6 +112,7 @@ impl CsrGraph {
                     let mut local = Vec::new();
                     for &w in self.neighbors(u) {
                         if dist[w as usize]
+                            // ordering: Relaxed — see BFS note above.
                             .compare_exchange(UNREACHED, d, Ordering::Relaxed, Ordering::Relaxed)
                             .is_ok()
                         {

@@ -71,6 +71,7 @@ impl DynamicGraph {
             return false;
         }
         for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let i = self.pos.remove(a, b).expect("indexed edge") as usize;
             let list = &mut self.adj[a as usize];
             list.swap_remove(i);

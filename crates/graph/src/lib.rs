@@ -3,6 +3,8 @@
 //! verification oracles used to check spanner stretch and sparsifier
 //! quality (Laplacian quadratic forms and cut weights).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 pub mod conn;
 pub mod csr;

@@ -15,7 +15,11 @@
 //! # Writer/reader epoch discipline
 //!
 //! The shared state is two view slots plus two pin counters and a
-//! `front` index. The protocol:
+//! `front` index — `bds_par::sync::dbuf::DoubleBuf`, built on the
+//! model-checkable sync facade so the pin/publish code below is the
+//! same code the mini-loom tests exhaustively verify (run them with
+//! `RUSTFLAGS="--cfg bds_model" cargo test -p bds_par -p bds_graph
+//! --lib model_`). The protocol:
 //!
 //! * **Reader** (`ReadHandle::pin`): load `front = f`, increment
 //!   `pins[f]`, then re-check `front == f`. On mismatch the reader
@@ -72,10 +76,11 @@ use crate::shard::{Partitioner, ShardedEngine, ShardedView};
 use crate::types::{Edge, UpdateBatch, V};
 use crate::wal::{Snapshot, WalConfig, WalWriter};
 use bds_dstruct::{FxHashMap, FxHashSet};
-use std::cell::UnsafeCell;
+use bds_par::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use bds_par::sync::dbuf::{double_buf, BufWriter, DoubleBuf, PinGuard};
 use std::io;
+#[cfg(not(bds_model))]
 use std::ops::Deref;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,6 +88,11 @@ use std::time::{Duration, Instant};
 /// Candidate batch sizes (raw queued updates per batch) probed by
 /// [`BatchPolicy::Auto`] warm-up, in the order they are probed.
 pub const TUNE_CANDIDATES: [usize; 5] = [16, 64, 256, 1024, 4096];
+
+/// Largest tuning candidate — the fallback batch size when auto-tuning
+/// is cut short. Const-indexed so an empty candidate table is a
+/// compile-time error, not a runtime unwrap.
+const MAX_TUNE_BATCH: usize = TUNE_CANDIDATES[TUNE_CANDIDATES.len() - 1];
 
 /// Full batches timed per candidate size during auto-tune warm-up.
 pub const TUNE_ROUNDS: usize = 4;
@@ -203,6 +213,10 @@ impl IngestHandle {
     /// loop ran to clean completion ([`IngestError::Closed`]) or the
     /// writer thread panicked mid-run ([`IngestError::WriterGone`]).
     fn disconnect_error(&self) -> IngestError {
+        // ordering: SeqCst — pairs with the sentinel's SeqCst store in
+        // `WriterGoneSentinel::drop`, which runs before the channel
+        // disconnect becomes visible; model-checked by
+        // `model_writer_gone_not_closed_after_crash`.
         if self.gone.load(SeqCst) {
             IngestError::WriterGone
         } else {
@@ -226,45 +240,17 @@ impl IngestHandle {
 // ---------------------------------------------------------------------------
 // Double-buffered view pair
 // ---------------------------------------------------------------------------
-
-/// The shared reader/writer state: two view slots, two pin counters,
-/// and the index of the published (front) slot. See the module docs
-/// for the pin/publish protocol and its safety argument.
-struct ViewPair<P: Partitioner> {
-    slots: [UnsafeCell<ShardedView<P>>; 2],
-    pins: [AtomicUsize; 2],
-    front: AtomicUsize,
-}
-
-// SAFETY: the slots are only ever mutated by the single writer thread,
-// and only while the protocol above guarantees no reader holds a
-// confirmed pin on that slot (see `ServeLoop::wait_unpinned` and the
-// module docs). `ShardedView<P>` itself is `Send + Sync` plain data
-// (`P: Partitioner` requires `Send + Sync`).
-unsafe impl<P: Partitioner> Sync for ViewPair<P> {}
-
-impl<P: Partitioner> ViewPair<P> {
-    /// Pin the current front slot; returns its index with `pins[idx]`
-    /// incremented and the front confirmed.
-    fn pin_front(&self) -> usize {
-        loop {
-            let f = self.front.load(SeqCst);
-            self.pins[f].fetch_add(1, SeqCst);
-            if self.front.load(SeqCst) == f {
-                return f;
-            }
-            // The front moved between load and increment: this pin was
-            // never confirmed, so release it and retry. The slot is
-            // never dereferenced on this path.
-            self.pins[f].fetch_sub(1, SeqCst);
-        }
-    }
-}
+//
+// The pin/publish protocol itself lives in `bds_par::sync::dbuf` — on
+// the model-checkable sync facade, so the exact slot/pin/front code the
+// serving loop runs is what the mini-loom tests exhaustively verify
+// (tier 2 of the verification ladder; see `bds_par::sync`). This
+// module keeps only the domain-typed wrappers.
 
 /// A cloneable, `Send + Sync` handle for readers: pins the freshest
 /// published view for the lifetime of the returned guard.
 pub struct ReadHandle<P: Partitioner> {
-    pair: Arc<ViewPair<P>>,
+    pair: Arc<DoubleBuf<ShardedView<P>>>,
 }
 
 impl<P: Partitioner> Clone for ReadHandle<P> {
@@ -281,21 +267,19 @@ impl<P: Partitioner> ReadHandle<P> {
     /// lives. Hold guards briefly (a batch of queries, not a session):
     /// a pin older than one publish forces the writer to wait before
     /// it can reuse the slot.
-    pub fn pin(&self) -> ReadGuard<'_, P> {
-        let slot = self.pair.pin_front();
+    pub fn pin(&self) -> ReadGuard<P> {
         ReadGuard {
-            pair: &self.pair,
-            slot,
+            guard: self.pair.pin(),
         }
     }
 
     /// Spin until the published view has mirrored at least `seq`
     /// engine batches, then return the pin. Handy for tests and for
     /// read-your-writes handoffs.
-    pub fn pin_at_least(&self, seq: u64) -> ReadGuard<'_, P> {
+    pub fn pin_at_least(&self, seq: u64) -> ReadGuard<P> {
         loop {
             let g = self.pin();
-            if g.seq() >= seq {
+            if g.with(|v| v.seq()) >= seq {
                 return g;
             }
             drop(g);
@@ -310,24 +294,25 @@ impl<P: Partitioner> ReadHandle<P> {
 /// release-path gap in clone-based snapshots; `ShardedView::clone` is
 /// the orthogonal deep-copy escape hatch when a reader *wants* to hold
 /// state across publishes).
-pub struct ReadGuard<'a, P: Partitioner> {
-    pair: &'a ViewPair<P>,
-    slot: usize,
+pub struct ReadGuard<P: Partitioner> {
+    guard: PinGuard<ShardedView<P>>,
 }
 
-impl<P: Partitioner> Deref for ReadGuard<'_, P> {
-    type Target = ShardedView<P>;
-
-    fn deref(&self) -> &ShardedView<P> {
-        // SAFETY: this guard holds a confirmed pin on `slot`, so the
-        // writer will not mutate it until the pin is released (Drop).
-        unsafe { &*self.pair.slots[self.slot].get() }
+impl<P: Partitioner> ReadGuard<P> {
+    /// Closure-based access to the pinned view — the accessor that
+    /// exists in every build; under `--cfg bds_model` it is the *only*
+    /// one, so protocol code that must model-check goes through here.
+    pub fn with<R>(&self, f: impl FnOnce(&ShardedView<P>) -> R) -> R {
+        self.guard.with(f)
     }
 }
 
-impl<P: Partitioner> Drop for ReadGuard<'_, P> {
-    fn drop(&mut self) {
-        self.pair.pins[self.slot].fetch_sub(1, SeqCst);
+#[cfg(not(bds_model))]
+impl<P: Partitioner> Deref for ReadGuard<P> {
+    type Target = ShardedView<P>;
+
+    fn deref(&self) -> &ShardedView<P> {
+        &self.guard
     }
 }
 
@@ -365,6 +350,7 @@ impl Coalescer {
     /// Remove `e` from the pending lane `list` by swap-remove, fixing
     /// up the displaced edge's index in `map`.
     fn cancel(list: &mut Vec<Edge>, map: &mut FxHashMap<Edge, usize>, e: Edge) {
+        // bds:allow(no-unwrap): coalescer index invariant, model-checked by model_coalescer_swap_remove_fixup_under_interleaving.
         let i = map.remove(&e).expect("pending edge must be indexed");
         list.swap_remove(i);
         if let Some(&moved) = list.get(i) {
@@ -485,7 +471,7 @@ pub struct ServeReport {
 pub struct ServeLoop<S: FullyDynamic + Send, P: Partitioner> {
     engine: ShardedEngine<S, P>,
     rx: Receiver<Update>,
-    pair: Arc<ViewPair<P>>,
+    writer: BufWriter<ShardedView<P>>,
     policy: BatchPolicy,
     coalescer: Coalescer,
     gone: Arc<AtomicBool>,
@@ -555,6 +541,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoopBuilder<S, P> {
     /// the log (and initial snapshot) on disk — a failure there
     /// panics; use [`ServeLoopBuilder::try_build`] to handle it.
     pub fn build(self) -> (ServeLoop<S, P>, IngestHandle) {
+        // bds:allow(no-unwrap): panicking constructor by design; try_build is the fallible API.
         self.try_build().expect("failed to create WAL artifacts")
     }
 
@@ -595,16 +582,12 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoopBuilder<S, P> {
             }
         };
         let back = front.clone();
-        let pair = Arc::new(ViewPair {
-            slots: [UnsafeCell::new(front), UnsafeCell::new(back)],
-            pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
-            front: AtomicUsize::new(0),
-        });
+        let (_, writer) = double_buf(front, back);
         let gone = Arc::new(AtomicBool::new(false));
         let serve = ServeLoop {
             engine: self.engine,
             rx,
-            pair,
+            writer,
             policy: self.policy,
             coalescer: Coalescer::new(live),
             gone: Arc::clone(&gone),
@@ -620,7 +603,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
     /// final published state).
     pub fn read_handle(&self) -> ReadHandle<P> {
         ReadHandle {
-            pair: Arc::clone(&self.pair),
+            pair: self.writer.reader(),
         }
     }
 
@@ -639,12 +622,11 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
         let mut report = ServeReport {
             chosen_batch_size: match self.policy {
                 BatchPolicy::Fixed(b) => b,
-                BatchPolicy::Auto => *TUNE_CANDIDATES.last().unwrap(),
+                BatchPolicy::Auto => MAX_TUNE_BATCH,
             },
             ..ServeReport::default()
         };
         let mut delta = DeltaBuf::new();
-        let mut back = 1 - self.pair.front.load(SeqCst);
         let mut tuner = match self.policy {
             BatchPolicy::Auto => Some(Tuner::new()),
             BatchPolicy::Fixed(_) => None,
@@ -659,7 +641,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
             // interval for its readers to unpin. The engine still holds
             // this batch's stamped per-lane deltas, so `apply` replays
             // exactly the delta the slot is missing (seq-checked).
-            self.catch_up(back, &mut report);
+            self.catch_up(&mut report);
             if self.coalescer.pending_is_empty() {
                 if disconnected {
                     break;
@@ -677,6 +659,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
                 let t0 = Instant::now();
                 w.writer
                     .append_batch(self.engine.seq() + 1, &batch)
+                    // bds:allow(no-unwrap): durability contract: refuse to apply a batch that is not logged.
                     .expect("WAL append failed; refusing to apply an unlogged batch");
                 w.ns_total += t0.elapsed().as_nanos() as u64;
             }
@@ -700,6 +683,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
                 let t0 = Instant::now();
                 w.writer
                     .append_delta(&delta)
+                    // bds:allow(no-unwrap): durability contract: never publish an unlogged view delta.
                     .expect("WAL delta append failed");
                 if w.snapshot_every > 0 {
                     w.since_snapshot += 1;
@@ -707,9 +691,11 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
                         let path = w
                             .snapshot_path
                             .as_ref()
+                            // bds:allow(no-unwrap): configuration contradiction caught at first snapshot; crash beats silently skipping durability.
                             .expect("snapshot_every > 0 requires a snapshot path");
                         Snapshot::of(&self.engine)
                             .write_to(path)
+                            // bds:allow(no-unwrap): durability contract: a failed snapshot must not be mistaken for one.
                             .expect("snapshot write failed");
                         w.since_snapshot = 0;
                         w.snapshots += 1;
@@ -720,15 +706,14 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
             // Publish: the back slot is caught up to seq-1, readers
             // cannot confirm new pins on it (front points away), so
             // after the residual wait it is exclusively ours.
-            self.catch_up(back, &mut report);
-            self.pair.front.store(back, SeqCst);
-            back = 1 - back;
+            self.catch_up(&mut report);
+            self.writer.publish();
             if disconnected {
                 break;
             }
         }
         // Leave both slots at the final state for late readers.
-        self.catch_up(back, &mut report);
+        self.catch_up(&mut report);
         if let Some(t) = tuner {
             report.tune_curve = t.partial_curve();
             if !report.tune_curve.is_empty() {
@@ -740,6 +725,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
             // Final sync so a Manual/EveryN policy does not leave the
             // tail of a *clean* shutdown in the page cache.
             let t0 = Instant::now();
+            // bds:allow(no-unwrap): durability contract: the final sync backs the clean-shutdown promise.
             w.writer.sync().expect("final WAL sync failed");
             w.ns_total += t0.elapsed().as_nanos() as u64;
             report.wal_batches = w.writer.batches_appended();
@@ -759,6 +745,7 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
         std::thread::Builder::new()
             .name("bds-serve-writer".into())
             .spawn(move || self.run())
+            // bds:allow(no-unwrap): thread spawn failure at startup is unrecoverable.
             .expect("spawn serve writer")
     }
 
@@ -797,31 +784,29 @@ impl<S: FullyDynamic + Send, P: Partitioner> ServeLoop<S, P> {
         false
     }
 
-    /// Bring `slot` up to the engine's current seq (0, 1 or 2 stamped
-    /// batches behind), waiting out reader pins first.
-    fn catch_up(&self, slot: usize, report: &mut ServeReport) {
-        // SAFETY (read of seq): the writer thread is the only mutator;
-        // a relaxed peek at our own last write needs no pin.
-        let behind = unsafe { (*self.pair.slots[slot].get()).seq() } < self.engine.seq();
+    /// Bring the back slot up to the engine's current seq (0, 1 or 2
+    /// stamped batches behind), waiting out reader pins first.
+    fn catch_up(&mut self, report: &mut ServeReport) {
+        // `peek_back` needs no pin wait: the writer reads its own last
+        // write, and any straggler holds only shared access.
+        let behind = self.writer.peek_back(|v| v.seq()) < self.engine.seq();
         if !behind {
             return;
         }
-        self.wait_unpinned(slot, report);
-        // SAFETY: `front != slot` for the whole window (the caller
-        // publishes only after this returns) and pins are zero, so no
-        // reader can confirm a pin on `slot`; see module docs.
-        let view = unsafe { &mut *self.pair.slots[slot].get() };
-        view.apply(&self.engine);
+        self.wait_unpinned(report);
+        // `with_back` re-checks the pin count, but after the timed wait
+        // above that check is free; the slot is exclusively ours until
+        // the next publish (front points away, so no reader can confirm
+        // a new pin on it — see `bds_par::sync::dbuf`).
+        self.writer.with_back(|view| view.apply(&self.engine));
     }
 
-    fn wait_unpinned(&self, slot: usize, report: &mut ServeReport) {
-        if self.pair.pins[slot].load(SeqCst) == 0 {
+    fn wait_unpinned(&mut self, report: &mut ServeReport) {
+        if self.writer.back_unpinned() {
             return;
         }
         let t0 = Instant::now();
-        while self.pair.pins[slot].load(SeqCst) != 0 {
-            std::thread::yield_now();
-        }
+        self.writer.wait_back_unpinned();
         report.pin_wait_ns += t0.elapsed().as_nanos() as u64;
     }
 }
@@ -839,6 +824,9 @@ struct WriterGoneSentinel {
 impl Drop for WriterGoneSentinel {
     fn drop(&mut self) {
         if std::thread::panicking() {
+            // ordering: SeqCst — must be globally ordered before the
+            // mpsc disconnect (receiver drop) that producers observe;
+            // see `disconnect_error`.
             self.gone.store(true, SeqCst);
         }
     }
@@ -921,14 +909,15 @@ fn knee(curve: &[TunePoint]) -> usize {
     curve
         .iter()
         .find(|p| p.updates_per_sec >= KNEE_FRACTION * best)
-        .map_or(*TUNE_CANDIDATES.last().unwrap(), |p| p.batch_size)
+        .map_or(MAX_TUNE_BATCH, |p| p.batch_size)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(bds_model)))]
 mod tests {
     use super::*;
     use crate::gen;
     use crate::shard::{MirrorSpanner, ShardedEngineBuilder};
+    use std::sync::atomic::AtomicUsize;
 
     fn engine(
         n: usize,
@@ -1109,15 +1098,16 @@ mod tests {
             .batch_policy(BatchPolicy::Fixed(4))
             .build();
         let reads = serve.read_handle();
+        let pair = serve.writer.reader();
         {
             let g1 = reads.pin();
             let g2 = reads.pin();
-            assert_eq!(serve.pair.pins[g1.slot].load(SeqCst), 2);
+            assert_eq!(pair.pin_count(g1.guard.slot()), 2);
             drop(g2);
-            assert_eq!(serve.pair.pins[g1.slot].load(SeqCst), 1);
+            assert_eq!(pair.pin_count(g1.guard.slot()), 1);
         }
-        assert_eq!(serve.pair.pins[0].load(SeqCst), 0);
-        assert_eq!(serve.pair.pins[1].load(SeqCst), 0);
+        assert_eq!(pair.pin_count(0), 0);
+        assert_eq!(pair.pin_count(1), 0);
         // A panicking reader releases its pin during unwind.
         let r2 = reads.clone();
         let res = std::thread::spawn(move || {
@@ -1126,8 +1116,8 @@ mod tests {
         })
         .join();
         assert!(res.is_err());
-        assert_eq!(serve.pair.pins[0].load(SeqCst), 0);
-        assert_eq!(serve.pair.pins[1].load(SeqCst), 0);
+        assert_eq!(pair.pin_count(0), 0);
+        assert_eq!(pair.pin_count(1), 0);
         // The writer can still publish after the dead reader.
         let writer = serve.spawn();
         ingest.insert(0, 1).unwrap();
@@ -1299,5 +1289,168 @@ mod tests {
             ingest.try_send(Update::Insert(Edge::new(2, 3))),
             Err(IngestError::Closed)
         );
+    }
+}
+
+/// Mini-loom models of the serving front-end's crash and coalescing
+/// paths, run with `RUSTFLAGS="--cfg bds_model"`. The pin/publish
+/// protocol itself is proven in `bds_par::sync::dbuf`; these tests
+/// cover the parts that live in this module: the writer-gone
+/// classification and the coalescer under interleaved producers.
+#[cfg(all(test, bds_model))]
+mod model_tests {
+    use super::*;
+    use bds_par::sync::atomic::{AtomicUsize, Ordering};
+    use bds_par::sync::Mutex;
+
+    /// Bound-3 CHESS exploration; see `bds_par::sync::dbuf`'s model
+    /// tests for why 3 preemptions cover the relevant bug classes.
+    fn check_bounded(name: &str, f: impl Fn() + Send + Sync + 'static) -> u64 {
+        let mut b = loom::model::Builder::default();
+        b.preemption_bound = Some(3);
+        let n = b.check(f);
+        println!("{name}: explored {n} interleavings (preemption bound 3)");
+        n
+    }
+
+    /// Theorem 3: a producer that observes the queue disconnect after
+    /// a writer crash classifies it as `WriterGone`, never `Closed` —
+    /// in every interleaving and with the exact orderings the real
+    /// path uses. The writer thread performs the crash-unwind store
+    /// sequence (`run`'s drop order: the sentinel local raises `gone`
+    /// with a `SeqCst` store *before* `self`'s receiver drops, which
+    /// is what publishes the disconnect — std mpsc uses
+    /// release/acquire internally, modeled here explicitly). The
+    /// producer acquires the disconnect and then runs
+    /// `disconnect_error`'s classification load.
+    #[test]
+    fn model_writer_gone_not_closed_after_crash() {
+        let n = check_bounded("model_writer_gone_not_closed_after_crash", || {
+            let gone = Arc::new(AtomicBool::new(false));
+            let disconnected = Arc::new(AtomicBool::new(false));
+            let (g2, d2) = (Arc::clone(&gone), Arc::clone(&disconnected));
+            let writer = loom::thread::spawn(move || {
+                // Unwind of `ServeLoop::run`: sentinel drop first...
+                g2.store(true, SeqCst);
+                // ...then the receiver drop publishes the disconnect.
+                // ordering: Release — models std mpsc's internal
+                // disconnect store, the weakest edge the real channel
+                // guarantees a waking sender.
+                d2.store(true, Ordering::Release);
+            });
+            // ordering: Acquire — models the failed send observing the
+            // channel disconnect.
+            if disconnected.load(Ordering::Acquire) {
+                // `IngestHandle::disconnect_error`'s classification.
+                let err = if gone.load(SeqCst) {
+                    IngestError::WriterGone
+                } else {
+                    IngestError::Closed
+                };
+                assert_eq!(
+                    err,
+                    IngestError::WriterGone,
+                    "crash misread as clean shutdown"
+                );
+            }
+            writer.join().unwrap();
+        });
+        assert!(n >= 2, "state space collapsed to {n} interleavings");
+    }
+
+    /// Every pending-index map entry must point at its own edge — the
+    /// invariant the `swap_remove` displaced-index fixup maintains.
+    fn assert_pending_indexed(co: &Coalescer) {
+        assert_eq!(co.pend_ins.len(), co.batch.insertions.len());
+        assert_eq!(co.pend_del.len(), co.batch.deletions.len());
+        for (e, &i) in &co.pend_ins {
+            assert_eq!(
+                co.batch.insertions[i], *e,
+                "displaced insert index is stale"
+            );
+        }
+        for (e, &i) in &co.pend_del {
+            assert_eq!(co.batch.deletions[i], *e, "displaced delete index is stale");
+        }
+    }
+
+    /// Satellite regression, model-checked: the coalescer's
+    /// `swap_remove` displaced-index fixup holds under every
+    /// producer/writer interleaving. Two modeled producers feed a
+    /// shared queue in chunks the schedule decides; the writer drains
+    /// and coalesces whatever arrives. After every push the
+    /// pending-index maps must mirror the batch lanes exactly, and the
+    /// final live mirror must equal a sequential set-semantics replay
+    /// of the delivered order — for *every* delivery interleaving,
+    /// including the ones where a cancel hits a displaced entry.
+    #[test]
+    fn model_coalescer_swap_remove_fixup_under_interleaving() {
+        let n = check_bounded(
+            "model_coalescer_swap_remove_fixup_under_interleaving",
+            || {
+                let e67 = Edge::new(6, 7);
+                let queue: Arc<Mutex<Vec<Update>>> = Arc::new(Mutex::new(Vec::new()));
+                let done = Arc::new(AtomicUsize::new(0));
+                let producer = |ups: Vec<Update>| {
+                    let (q, d) = (Arc::clone(&queue), Arc::clone(&done));
+                    loom::thread::spawn(move || {
+                        for up in ups {
+                            q.lock().unwrap().push(up);
+                        }
+                        d.fetch_add(1, SeqCst);
+                    })
+                };
+                // P1 cancels the first of two pending insertions — the
+                // swap_remove displacement; P2 races a delete of the
+                // displaced edge and a delete of a live edge.
+                let p1 = producer(vec![
+                    Update::Insert(Edge::new(0, 1)),
+                    Update::Insert(Edge::new(2, 3)),
+                    Update::Delete(Edge::new(0, 1)),
+                ]);
+                let p2 = producer(vec![Update::Delete(e67), Update::Delete(Edge::new(2, 3))]);
+                // The writer drains on the main model thread.
+                let mut co = Coalescer::new([e67].into_iter().collect());
+                let mut delivered: Vec<Update> = Vec::new();
+                loop {
+                    let drained: Vec<Update> = std::mem::take(&mut *queue.lock().unwrap());
+                    for up in drained {
+                        co.push(up);
+                        assert_pending_indexed(&co);
+                        delivered.push(up);
+                    }
+                    if done.load(SeqCst) == 2 && queue.lock().unwrap().is_empty() {
+                        break;
+                    }
+                    loom::thread::yield_now();
+                }
+                p1.join().unwrap();
+                p2.join().unwrap();
+                let batch = co.take();
+                // Oracle: plain sequential set semantics over the delivery
+                // order this schedule produced.
+                let mut oracle: FxHashSet<Edge> = [e67].into_iter().collect();
+                for up in delivered {
+                    match up {
+                        Update::Insert(e) => {
+                            oracle.insert(e);
+                        }
+                        Update::Delete(e) => {
+                            oracle.remove(&e);
+                        }
+                    }
+                }
+                assert_eq!(co.live, oracle, "coalesced state diverged from the oracle");
+                // The emitted batch is the net change: every insertion is
+                // net-new live, every deletion is net-gone.
+                for e in &batch.insertions {
+                    assert!(oracle.contains(e), "inserted edge not live in oracle");
+                }
+                for e in &batch.deletions {
+                    assert!(!oracle.contains(e), "deleted edge still live in oracle");
+                }
+            },
+        );
+        assert!(n >= 10, "state space collapsed to {n} interleavings");
     }
 }

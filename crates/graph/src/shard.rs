@@ -589,6 +589,7 @@ impl<S> Lane<S> {
         self.replicas[self.primary]
             .shard
             .as_ref()
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             .expect("lane invariant: the designated primary replica is live")
     }
 
@@ -822,6 +823,8 @@ impl<P: Partitioner> ShardedEngineBuilder<P> {
             replicas: self.replicas,
             seq: 0,
             layout: 0,
+            // ordering: Relaxed — unique-ID allocation only; no other
+            // state is published through the counter.
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             replica_log: self.replica_log,
         })
@@ -975,6 +978,7 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
                 .replicas
                 .iter()
                 .position(|rep| rep.shard.is_some())
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 .expect("a live replica remains");
             self.layout += 1;
         }
@@ -997,14 +1001,14 @@ impl<S, P: Partitioner> ShardedEngine<S, P> {
             let lane = &mut lanes[part.shard_of(e, k)];
             lane.sub.deletions.push(e);
             let old = lane.live.remove(e.u, e.v);
-            debug_assert!(old.is_some(), "deleting edge {e:?} not live on its lane");
+            assert!(old.is_some(), "deleting edge {e:?} not live on its lane");
             lane.hist[endpoint_bucket(e.u, n)] -= 1;
         }
         for &e in insertions {
             let lane = &mut lanes[part.shard_of(e, k)];
             lane.sub.insertions.push(e);
             let old = lane.live.insert(e.u, e.v, 1);
-            debug_assert!(
+            assert!(
                 old.is_none(),
                 "inserting edge {e:?} already live on its lane"
             );
@@ -1156,6 +1160,7 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
         if k < 2 || total == 0 {
             return RebalanceOutcome::Balanced;
         }
+        // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
         let max = *loads.iter().max().expect("k >= 2");
         let mean = total as f64 / k as f64;
         let target = threshold * mean;
@@ -1187,6 +1192,7 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
                 }
                 hyp
             });
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let hyp_max = *hyp.iter().max().expect("k >= 2");
             if hyp_max < best.as_ref().map_or(max, |&(_, m)| m) {
                 best = Some((cand.clone(), hyp_max));
@@ -1212,6 +1218,7 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
         };
         let moved_edges = self
             .reroute(k, new_part)
+            // bds:allow(no-unwrap): documented contract of rebuild_with; the message states it.
             .expect("rebalance keeps the shard count, so the factory is never called");
         RebalanceOutcome::Rebalanced { moved_edges }
     }
@@ -1272,7 +1279,10 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
             let lane = &mut self.lanes[i];
             for e in outs {
                 let old = lane.live.remove(e.u, e.v);
-                debug_assert!(old.is_some());
+                assert!(
+                    old.is_some(),
+                    "rebalance moved an edge that was not live on its source lane"
+                );
             }
             for rep in &mut lane.replicas {
                 if let Some(shard) = rep.shard.as_mut() {
@@ -1295,7 +1305,10 @@ impl<S: FullyDynamic, P: Partitioner> ShardedEngine<S, P> {
             let lane = &mut self.lanes[j];
             for e in ins {
                 let old = lane.live.insert(e.u, e.v, 1);
-                debug_assert!(old.is_none());
+                assert!(
+                    old.is_none(),
+                    "rebalance moved an edge already live on its target lane"
+                );
             }
             for rep in &mut lane.replicas {
                 if let Some(shard) = rep.shard.as_mut() {

@@ -207,15 +207,15 @@ impl<'a> Rd<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        let s = self.b.get(self.i..self.i + 4)?;
+        let s: [u8; 4] = self.b.get(self.i..self.i + 4)?.try_into().ok()?;
         self.i += 4;
-        Some(u32::from_le_bytes(s.try_into().unwrap()))
+        Some(u32::from_le_bytes(s))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        let s = self.b.get(self.i..self.i + 8)?;
+        let s: [u8; 8] = self.b.get(self.i..self.i + 8)?.try_into().ok()?;
         self.i += 8;
-        Some(u64::from_le_bytes(s.try_into().unwrap()))
+        Some(u64::from_le_bytes(s))
     }
 
     /// A length field about to drive a `Vec` reservation: reject any
@@ -417,6 +417,7 @@ fn parse_record(data: &[u8], at: usize) -> Parsed {
     let Some(prefix) = data.get(at..at + PREFIX_LEN) else {
         return Parsed::Incomplete;
     };
+    // bds:allow(no-unwrap): fixed 4-byte subslices of the checked prefix.
     let len = u32::from_le_bytes(prefix[0..4].try_into().unwrap());
     let crc = u32::from_le_bytes(prefix[4..8].try_into().unwrap());
     if !(MIN_BODY..=MAX_BODY).contains(&len) {
@@ -489,13 +490,14 @@ fn parse_header(data: &[u8]) -> Result<LogHeader, RecoverError> {
         return Err(RecoverError::Corrupt { seq: 0, offset: 0 });
     }
     let mut r = Rd::new(&raw[8..]);
+    let trunc = || RecoverError::Corrupt { seq: 0, offset: 8 };
     let h = LogHeader {
-        engine_id: r.u64().unwrap(),
-        layout_epoch: r.u64().unwrap(),
-        n: r.u64().unwrap(),
-        base_seq: r.u64().unwrap(),
+        engine_id: r.u64().ok_or_else(trunc)?,
+        layout_epoch: r.u64().ok_or_else(trunc)?,
+        n: r.u64().ok_or_else(trunc)?,
+        base_seq: r.u64().ok_or_else(trunc)?,
     };
-    let crc = r.u32().unwrap();
+    let crc = r.u32().ok_or_else(trunc)?;
     if crc32(&raw[8..HEADER_LEN - 4]) != crc {
         return Err(RecoverError::Corrupt { seq: 0, offset: 8 });
     }
@@ -944,6 +946,8 @@ impl Snapshot {
             return Err(corrupt(0));
         }
         let body = &data[8..data.len() - 4];
+        // bds:allow(no-unwrap): exactly the last 4 bytes of a buffer
+        // already checked to hold magic + crc; infallible.
         let crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
         if crc32(body) != crc {
             return Err(corrupt(8));

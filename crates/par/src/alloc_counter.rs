@@ -28,6 +28,8 @@ thread_local! {
 
 /// Total allocation events since process start (monotone), all threads.
 pub fn allocations() -> u64 {
+    // ordering: monotone event counter read for diagnostics only; no
+    // other memory is published through it, so Relaxed suffices.
     ALLOCS.load(Ordering::Relaxed)
 }
 
@@ -43,27 +45,40 @@ pub fn thread_allocations() -> u64 {
 
 #[inline]
 fn count() {
+    // ordering: pure event count; nothing synchronizes-with it, and
+    // fetch_add keeps it exact under contention either way.
     ALLOCS.fetch_add(1, Ordering::Relaxed);
     THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: every method delegates verbatim to `System`, which upholds
+// the GlobalAlloc contract; the counter bump on the side touches no
+// allocator state.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count();
-        System.alloc(layout)
+        // SAFETY: caller obligations (non-zero-sized `layout`) are
+        // passed through unchanged to the system allocator.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count();
-        System.alloc_zeroed(layout)
+        // SAFETY: as `alloc`; delegated with the caller's layout.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout` pair comes from the caller, who must
+        // have obtained it from this allocator (same contract System
+        // requires).
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: delegated; the caller guarantees `ptr` was allocated
+        // here with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }

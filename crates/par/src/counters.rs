@@ -22,6 +22,8 @@ impl WorkCounter {
 
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — statistics tally; exactness comes from
+        // the RMW, and nothing synchronizes-with the counter.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -31,10 +33,12 @@ impl WorkCounter {
     }
 
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — diagnostic read; may lag concurrent adds.
         self.0.load(Ordering::Relaxed)
     }
 
     pub fn reset(&self) -> u64 {
+        // ordering: Relaxed — atomic take of the tally, same regime.
         self.0.swap(0, Ordering::Relaxed)
     }
 }

@@ -8,10 +8,13 @@
 //! amortized *work* bounds observable in benchmarks rather than being
 //! drowned by constant factors.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod alloc_counter;
 pub mod counters;
 pub mod pool;
 pub mod prim;
+pub mod sync;
 
 pub use alloc_counter::CountingAlloc;
 pub use counters::WorkCounter;

@@ -26,6 +26,7 @@ pub fn run_with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
+        // bds:allow(no-unwrap): pool construction happens once at startup; failure is unrecoverable.
         .expect("failed to build rayon pool");
     pool.install(f)
 }

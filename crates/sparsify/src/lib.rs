@@ -9,6 +9,8 @@
 //!   sparsifiers (Lemma 6.7: a union of (1±ε)-sparsifiers of an edge
 //!   partition is a (1±ε)-sparsifier of the union).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod decremental;
 pub mod fully_dynamic;
 pub mod weighted_set;

@@ -16,6 +16,8 @@
 //! Theorem 1.3 sparse spanner run on the contracted multigraph with the
 //! *squared* compression schedule (the paper's white-box modification).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod ultra;
 
 pub use ultra::{UltraParams, UltraSparseSpanner, UltraSparseSpannerBuilder};

@@ -341,6 +341,7 @@ impl UltraSparseSpanner {
             }
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
                 let key = (!self.in_d[b as usize] as u8, self.rand_v[b as usize], b);
+                // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
                 self.adj[a as usize].remove(&key).expect("adj entry");
             }
             touched.insert(e.u);
@@ -462,6 +463,7 @@ impl UltraSparseSpanner {
             }
         }
         for &e_up in scratch.deleted() {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let rep = self.counted_rep.remove(&e_up).expect("counted rep");
             self.final_set.remove(rep);
         }
@@ -590,15 +592,18 @@ impl UltraSparseSpanner {
         born: &mut FxHashSet<Edge>,
         died: &mut FxHashMap<Edge, Edge>,
     ) {
+        // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
         let b = self.buckets.get_mut(&key).expect("bucket exists");
         assert!(b.remove(&e), "support {e:?} missing from {key:?}");
         if b.is_empty() {
             self.buckets.remove(&key);
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let old_rep = self.rep.remove(&key).expect("rep");
             if !born.remove(&key) {
                 died.insert(key, old_rep);
             }
         } else if self.rep[&key] == e {
+            // bds:allow(no-unwrap): structure invariant named in the message; corrupt state must fail fast, not propagate.
             let new_rep = *self.buckets[&key].first().expect("nonempty");
             self.rep.insert(key, new_rep);
             rep_events.push((key, e, new_rep));

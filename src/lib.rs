@@ -251,6 +251,8 @@
 //! (e.g. [`FullyDynamicSpanner`]) answers identically to its primary —
 //! rebuilds from the current edge set cannot promise that.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use bds_baseline as baseline;
 pub use bds_bundle as bundle;
 pub use bds_contract as contract;

@@ -13,6 +13,8 @@
 //! Filters: `cargo bench -- <substring>` runs only benchmark ids
 //! containing the substring, like real criterion.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,928 @@
+//! The model-checking runtime: a cooperative scheduler over real OS
+//! threads, a DFS explorer that systematically enumerates every
+//! scheduling (and weak-memory read) choice, and a vector-clock memory
+//! model that detects data races on instrumented [`crate::cell::UnsafeCell`]s
+//! and lets non-SeqCst atomic loads observe stale-but-legal values.
+//!
+//! # Execution model
+//!
+//! Exactly one model thread is *active* at a time; every instrumented
+//! operation (atomic access, cell access, mutex op, spawn/join/yield)
+//! is a scheduling point. The explorer records each point where more
+//! than one thread could run next (or a weak load could read more than
+//! one store) as a [`Choice`], and after every complete execution
+//! backtracks depth-first to the last unexhausted choice. The run is
+//! over when the whole choice tree is exhausted.
+//!
+//! # Memory model (simplified C11)
+//!
+//! Per atomic location we keep the full modification order (the list of
+//! stores in execution order), each stamped with its writer's vector
+//! clock. A load may read any store not yet superseded for this thread:
+//! the candidate floor is the newest store that happens-before the
+//! loading thread (write-read coherence) or that the thread has already
+//! read (read-read coherence). `SeqCst` loads are strengthened to read
+//! the newest store (exact for programs whose accesses to a location
+//! are all `SeqCst`; conservative otherwise); `Acquire`/`Relaxed` loads
+//! *branch* over every legal candidate. Acquire loads of a release
+//! store join clocks (synchronizes-with). RMWs always read the newest
+//! store (C11 atomicity). Release sequences and fences are not
+//! modeled — document protocols accordingly.
+//!
+//! # Bounds
+//!
+//! [`crate::model::Builder::preemption_bound`] caps the number of
+//! *involuntary* context switches per execution (switching away from a
+//! runnable, non-yielding thread), the classic CHESS-style bound that
+//! keeps exploration tractable while catching most protocol bugs at
+//! bound 2–3. `yield_now` deprioritizes the yielding thread until every
+//! other runnable thread has had a chance to step, so spin-wait loops
+//! terminate under exploration instead of unrolling forever.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when the execution is
+/// being torn down (failure elsewhere, or exploration aborted).
+pub(crate) struct Abort;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn grow(&mut self, tid: Tid) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    pub(crate) fn tick(&mut self, tid: Tid) {
+        self.grow(tid);
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(&other.0) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// `self ≤ other` pointwise (missing entries are zero).
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    fn set(&mut self, tid: Tid, v: u64) {
+        self.grow(tid);
+        self.0[tid] = v;
+    }
+
+    fn get(&self, tid: Tid) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Choice {
+    index: usize,
+    num: usize,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Explorer {
+    path: Vec<Choice>,
+    pos: usize,
+    pub(crate) iterations: u64,
+}
+
+impl Explorer {
+    /// Pick an alternative in `0..num`, replaying the recorded prefix
+    /// and extending it (first alternative) past the frontier.
+    pub(crate) fn choose(&mut self, num: usize) -> Result<usize, String> {
+        debug_assert!(num >= 1);
+        if num == 1 {
+            // Forced moves are not recorded: they can never backtrack
+            // and would only bloat the path.
+            return Ok(0);
+        }
+        if self.pos < self.path.len() {
+            let c = &self.path[self.pos];
+            if c.num != num {
+                return Err(format!(
+                    "schedule divergence on replay at choice {} (recorded {} alternatives, now {}): \
+                     the model closure must be deterministic",
+                    self.pos, c.num, num
+                ));
+            }
+            self.pos += 1;
+            Ok(self.path[self.pos - 1].index)
+        } else {
+            self.path.push(Choice { index: 0, num });
+            self.pos += 1;
+            Ok(0)
+        }
+    }
+
+    /// Advance to the next unexplored schedule; `false` when the tree
+    /// is exhausted.
+    fn backtrack(&mut self) -> bool {
+        while let Some(last) = self.path.last_mut() {
+            if last.index + 1 < last.num {
+                last.index += 1;
+                self.pos = 0;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+
+    fn describe(&self) -> String {
+        let picks: Vec<String> = self.path[..self.pos.min(self.path.len())]
+            .iter()
+            .map(|c| format!("{}/{}", c.index, c.num))
+            .collect();
+        format!("[{}]", picks.join(" "))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Blocked {
+    No,
+    OnMutex(usize),
+    OnJoin(Tid),
+}
+
+struct ThreadState {
+    finished: bool,
+    blocked: Blocked,
+    yielded: bool,
+    clock: VClock,
+}
+
+struct StoreEvt {
+    val: u64,
+    clock: VClock,
+    release: bool,
+}
+
+struct LocState {
+    stores: Vec<StoreEvt>,
+    /// Per-thread read-coherence floor: index of the newest store this
+    /// thread has read (it may never again read anything older).
+    last_read: Vec<usize>,
+}
+
+struct CellState {
+    write_clock: VClock,
+    /// `read_clock[t]` = `t`'s own clock component at its last read.
+    read_clock: VClock,
+}
+
+struct MutexState {
+    locked_by: Option<Tid>,
+    /// Release clock of the last unlock (or creation).
+    clock: VClock,
+}
+
+pub(crate) struct Sched {
+    threads: Vec<ThreadState>,
+    active: Tid,
+    locs: Vec<LocState>,
+    cells: Vec<CellState>,
+    mutexes: Vec<MutexState>,
+    preemptions: usize,
+    steps: u64,
+    failure: Option<String>,
+    live_real_threads: usize,
+}
+
+impl Sched {
+    fn new() -> Self {
+        Sched {
+            threads: vec![ThreadState {
+                finished: false,
+                blocked: Blocked::No,
+                yielded: false,
+                clock: {
+                    let mut c = VClock::default();
+                    c.tick(0);
+                    c
+                },
+            }],
+            active: 0,
+            locs: Vec::new(),
+            cells: Vec::new(),
+            mutexes: Vec::new(),
+            preemptions: 0,
+            steps: 0,
+            failure: None,
+            live_real_threads: 0,
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime handle
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Rt {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    explorer: Mutex<Explorer>,
+    preemption_bound: Option<usize>,
+    max_steps: u64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, Tid)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> (Arc<Rt>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom model types may only be used inside loom::model")
+    })
+}
+
+fn set_current(rt: Arc<Rt>, tid: Tid) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+impl Rt {
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_explorer(&self) -> MutexGuard<'_, Explorer> {
+        self.explorer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until this thread is the active one; unwind if the
+    /// execution failed meanwhile.
+    fn wait_turn(&self, me: Tid) {
+        let mut s = self.lock();
+        while s.failure.is_none() && s.active != me {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.failure.is_some() {
+            drop(s);
+            resume_unwind(Box::new(Abort));
+        }
+    }
+
+    fn fail(&self, s: &mut Sched, msg: String) -> ! {
+        let trace = self.lock_explorer().describe();
+        if s.failure.is_none() {
+            s.failure = Some(format!("{msg}\n  schedule: {trace}"));
+        }
+        self.cv.notify_all();
+        resume_unwind(Box::new(Abort));
+    }
+
+    /// Pick which thread performs the next operation. Returns an error
+    /// message on deadlock.
+    fn schedule_next(&self, s: &mut Sched, ex: &mut Explorer, me: Tid) -> Result<(), String> {
+        let runnable: Vec<Tid> = (0..s.threads.len())
+            .filter(|&t| !s.threads[t].finished && s.threads[t].blocked == Blocked::No)
+            .collect();
+        if runnable.is_empty() {
+            if s.all_finished() {
+                return Ok(()); // execution complete
+            }
+            let stuck: Vec<String> = (0..s.threads.len())
+                .filter(|&t| !s.threads[t].finished)
+                .map(|t| format!("thread {t} {:?}", s.threads[t].blocked))
+                .collect();
+            return Err(format!(
+                "deadlock: no runnable thread ({})",
+                stuck.join(", ")
+            ));
+        }
+        // Deprioritize voluntarily yielded threads so spin loops make
+        // progress; once only yielded threads remain, clear the flags.
+        let mut cands: Vec<Tid> = runnable
+            .iter()
+            .copied()
+            .filter(|&t| !s.threads[t].yielded)
+            .collect();
+        if cands.is_empty() {
+            for &t in &runnable {
+                s.threads[t].yielded = false;
+            }
+            cands = runnable;
+        }
+        let me_contends = cands.contains(&me);
+        // Preemption bound: once spent, a runnable current thread must
+        // keep running (switching away from blocked/finished/yielding
+        // threads stays free).
+        if me_contends {
+            // Order the current thread first so the DFS's first path is
+            // the mostly-sequential one.
+            cands.sort_by_key(|&t| (t != me, t));
+            if self.preemption_bound.is_some_and(|b| s.preemptions >= b) {
+                cands.truncate(1);
+            }
+        }
+        let idx = ex.choose(cands.len())?;
+        let next = cands[idx];
+        if me_contends && next != me {
+            s.preemptions += 1;
+        }
+        s.threads[next].yielded = false;
+        s.active = next;
+        Ok(())
+    }
+}
+
+/// True while this thread is unwinding out of a *failed* execution —
+/// destructors running during the abort (mutex guards, read guards)
+/// still call into the runtime, and those calls must become no-ops
+/// instead of blocking or double-panicking.
+pub(crate) fn in_teardown() -> bool {
+    if !std::thread::panicking() {
+        return false;
+    }
+    let (rt, _) = current();
+    let failed = rt.lock().failure.is_some();
+    failed
+}
+
+/// First half of an instrumented operation: wait for our turn and
+/// apply `f` to the shared state. The calling thread stays *active*
+/// (no other model thread runs) until it calls [`exit_op`] — which is
+/// what lets `UnsafeCell` shims perform the real data access strictly
+/// inside the scheduling point.
+pub(crate) fn enter_op<R>(
+    f: impl FnOnce(&Rt, &mut Sched, &mut Explorer, Tid) -> Result<R, String>,
+) -> R {
+    let (rt, me) = current();
+    rt.wait_turn(me);
+    let mut s = rt.lock();
+    let mut ex = rt.lock_explorer();
+    s.steps += 1;
+    if s.steps > rt.max_steps {
+        let msg = format!(
+            "livelock: execution exceeded {} scheduling steps",
+            rt.max_steps
+        );
+        drop(ex);
+        rt.fail(&mut s, msg);
+    }
+    match f(&rt, &mut s, &mut ex, me) {
+        Ok(v) => v,
+        Err(msg) => {
+            drop(ex);
+            rt.fail(&mut s, msg);
+        }
+    }
+}
+
+/// Second half of an instrumented operation: hand the schedule to the
+/// explorer's next pick and wake whoever it chose.
+pub(crate) fn exit_op() {
+    if in_teardown() {
+        return;
+    }
+    let (rt, me) = current();
+    let mut s = rt.lock();
+    let mut ex = rt.lock_explorer();
+    if let Err(msg) = rt.schedule_next(&mut s, &mut ex, me) {
+        drop(ex);
+        rt.fail(&mut s, msg);
+    }
+    drop(ex);
+    drop(s);
+    rt.cv.notify_all();
+}
+
+/// Run one complete instrumented operation (effect + handoff).
+pub(crate) fn op<R>(f: impl FnOnce(&Rt, &mut Sched, &mut Explorer, Tid) -> Result<R, String>) -> R {
+    let out = enter_op(f);
+    exit_op();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Operations used by the sync / thread shims
+// ---------------------------------------------------------------------------
+
+fn acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn register_loc(initial: u64) -> usize {
+    let (rt, me) = current();
+    let mut s = rt.lock();
+    let clock = s.threads[me].clock.clone();
+    s.locs.push(LocState {
+        stores: vec![StoreEvt {
+            val: initial,
+            clock,
+            release: true,
+        }],
+        last_read: Vec::new(),
+    });
+    s.locs.len() - 1
+}
+
+fn read_floor(l: &LocState, clock: &VClock, tid: Tid) -> usize {
+    let mut floor = l.last_read.get(tid).copied().unwrap_or(0);
+    for (i, st) in l.stores.iter().enumerate().skip(floor) {
+        if st.clock.leq(clock) {
+            floor = i;
+        }
+    }
+    floor
+}
+
+pub(crate) fn atomic_load(loc: usize, ordering: Ordering) -> u64 {
+    if in_teardown() {
+        return 0;
+    }
+    op(|_rt, s, ex, me| {
+        s.threads[me].clock.tick(me);
+        let clock = s.threads[me].clock.clone();
+        let l = &mut s.locs[loc];
+        let newest = l.stores.len() - 1;
+        let chosen = if ordering == Ordering::SeqCst {
+            // Strengthened: SeqCst loads read the newest store. Exact
+            // for all-SeqCst locations under interleaving exploration.
+            newest
+        } else {
+            let floor = read_floor(l, &clock, me);
+            // Branch over every coherent candidate, newest first.
+            floor + ex.choose(newest - floor + 1)?
+        };
+        if l.last_read.len() <= me {
+            l.last_read.resize(me + 1, 0);
+        }
+        l.last_read[me] = l.last_read[me].max(chosen);
+        let (val, sync) = {
+            let st = &l.stores[chosen];
+            (
+                st.val,
+                (acquires(ordering) && st.release).then(|| st.clock.clone()),
+            )
+        };
+        if let Some(c) = sync {
+            s.threads[me].clock.join(&c);
+        }
+        Ok(val)
+    })
+}
+
+pub(crate) fn atomic_store(loc: usize, val: u64, ordering: Ordering) {
+    if in_teardown() {
+        return;
+    }
+    op(|_rt, s, _ex, me| {
+        s.threads[me].clock.tick(me);
+        let clock = s.threads[me].clock.clone();
+        let l = &mut s.locs[loc];
+        l.stores.push(StoreEvt {
+            val,
+            clock,
+            release: releases(ordering),
+        });
+        if l.last_read.len() <= me {
+            l.last_read.resize(me + 1, 0);
+        }
+        // A thread never reads behind its own store.
+        l.last_read[me] = l.stores.len() - 1;
+        Ok(())
+    })
+}
+
+/// Read-modify-write: always reads the newest store (C11 atomicity).
+pub(crate) fn atomic_rmw(loc: usize, ordering: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    if in_teardown() {
+        return 0;
+    }
+    op(|_rt, s, _ex, me| {
+        s.threads[me].clock.tick(me);
+        let sync = {
+            let l = &s.locs[loc];
+            let st = l.stores.last().expect("location always has a store");
+            (acquires(ordering) && st.release).then(|| st.clock.clone())
+        };
+        if let Some(c) = sync {
+            s.threads[me].clock.join(&c);
+        }
+        let clock = s.threads[me].clock.clone();
+        let l = &mut s.locs[loc];
+        let old = l.stores.last().expect("location always has a store").val;
+        l.stores.push(StoreEvt {
+            val: f(old),
+            clock,
+            release: releases(ordering),
+        });
+        if l.last_read.len() <= me {
+            l.last_read.resize(me + 1, 0);
+        }
+        l.last_read[me] = l.stores.len() - 1;
+        Ok(old)
+    })
+}
+
+pub(crate) fn atomic_cas(
+    loc: usize,
+    expected: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    if in_teardown() {
+        return Ok(0);
+    }
+    let mut out = Ok(0);
+    op(|_rt, s, _ex, me| {
+        s.threads[me].clock.tick(me);
+        let (old, release) = {
+            let l = &s.locs[loc];
+            let st = l.stores.last().expect("location always has a store");
+            (st.val, st.release)
+        };
+        let ord = if old == expected { success } else { failure };
+        let sync = (acquires(ord) && release).then(|| {
+            s.locs[loc]
+                .stores
+                .last()
+                .expect("location always has a store")
+                .clock
+                .clone()
+        });
+        if let Some(c) = sync {
+            s.threads[me].clock.join(&c);
+        }
+        if old == expected {
+            let clock = s.threads[me].clock.clone();
+            let l = &mut s.locs[loc];
+            l.stores.push(StoreEvt {
+                val: new,
+                clock,
+                release: releases(success),
+            });
+            if l.last_read.len() <= me {
+                l.last_read.resize(me + 1, 0);
+            }
+            l.last_read[me] = l.stores.len() - 1;
+            out = Ok(old);
+        } else {
+            let l = &mut s.locs[loc];
+            if l.last_read.len() <= me {
+                l.last_read.resize(me + 1, 0);
+            }
+            l.last_read[me] = l.stores.len() - 1;
+            out = Err(old);
+        }
+        Ok(())
+    });
+    out
+}
+
+pub(crate) fn register_cell() -> usize {
+    let (rt, me) = current();
+    let mut s = rt.lock();
+    let clock = s.threads[me].clock.clone();
+    s.cells.push(CellState {
+        write_clock: clock,
+        read_clock: VClock::default(),
+    });
+    s.cells.len() - 1
+}
+
+/// Race-check + begin an immutable cell access. The caller must pair
+/// this with [`exit_op`] *after* the real data read, so the access
+/// cannot overlap another thread's.
+pub(crate) fn cell_read_enter(cell: usize) {
+    if in_teardown() {
+        return;
+    }
+    enter_op(|_rt, s, _ex, me| {
+        s.threads[me].clock.tick(me);
+        let clock = s.threads[me].clock.clone();
+        let c = &mut s.cells[cell];
+        if !c.write_clock.leq(&clock) {
+            return Err(format!(
+                "data race: unsynchronized read of an UnsafeCell (cell {cell}, thread {me}); \
+                 the last write does not happen-before this read"
+            ));
+        }
+        let own = clock.get(me);
+        c.read_clock.set(me, own);
+        Ok(())
+    })
+}
+
+/// Race-check + begin a mutable cell access; pair with [`exit_op`]
+/// after the real data write.
+pub(crate) fn cell_write_enter(cell: usize) {
+    if in_teardown() {
+        return;
+    }
+    enter_op(|_rt, s, _ex, me| {
+        s.threads[me].clock.tick(me);
+        let clock = s.threads[me].clock.clone();
+        let c = &mut s.cells[cell];
+        if !c.write_clock.leq(&clock) {
+            return Err(format!(
+                "data race: unsynchronized write of an UnsafeCell (cell {cell}, thread {me}); \
+                 a concurrent write does not happen-before it"
+            ));
+        }
+        if !c.read_clock.leq(&clock) {
+            return Err(format!(
+                "data race: write of an UnsafeCell concurrent with a read (cell {cell}, thread {me})"
+            ));
+        }
+        c.write_clock = clock;
+        Ok(())
+    })
+}
+
+pub(crate) fn register_mutex() -> usize {
+    let (rt, me) = current();
+    let mut s = rt.lock();
+    let clock = s.threads[me].clock.clone();
+    s.mutexes.push(MutexState {
+        locked_by: None,
+        clock,
+    });
+    s.mutexes.len() - 1
+}
+
+pub(crate) fn mutex_lock(id: usize) {
+    if in_teardown() {
+        return;
+    }
+    loop {
+        let acquired = op(|_rt, s, _ex, me| {
+            if s.mutexes[id].locked_by.is_none() {
+                s.threads[me].clock.tick(me);
+                let mclock = s.mutexes[id].clock.clone();
+                s.threads[me].clock.join(&mclock);
+                s.mutexes[id].locked_by = Some(me);
+                Ok(true)
+            } else {
+                s.threads[me].blocked = Blocked::OnMutex(id);
+                Ok(false)
+            }
+        });
+        if acquired {
+            return;
+        }
+        // We were parked; the next op() blocks until the unlocker
+        // marks us runnable and the scheduler picks us, then we retry.
+    }
+}
+
+pub(crate) fn mutex_unlock(id: usize) {
+    if in_teardown() {
+        return;
+    }
+    op(|_rt, s, _ex, me| {
+        debug_assert_eq!(s.mutexes[id].locked_by, Some(me));
+        s.threads[me].clock.tick(me);
+        s.mutexes[id].clock = s.threads[me].clock.clone();
+        s.mutexes[id].locked_by = None;
+        for t in s.threads.iter_mut() {
+            if t.blocked == Blocked::OnMutex(id) {
+                t.blocked = Blocked::No;
+            }
+        }
+        Ok(())
+    })
+}
+
+pub(crate) fn yield_now() {
+    if in_teardown() {
+        return;
+    }
+    op(|_rt, s, _ex, me| {
+        s.threads[me].yielded = true;
+        Ok(())
+    })
+}
+
+/// Register a child thread and spawn its backing OS thread.
+pub(crate) fn spawn_thread(body: impl FnOnce() + Send + 'static) -> Tid {
+    let (rt, _me) = current();
+    let child = op(|_rt, s, _ex, me| {
+        s.threads[me].clock.tick(me);
+        let mut clock = s.threads[me].clock.clone();
+        let child = s.threads.len();
+        clock.tick(child);
+        s.threads.push(ThreadState {
+            finished: false,
+            blocked: Blocked::No,
+            yielded: false,
+            clock,
+        });
+        s.live_real_threads += 1;
+        Ok(child)
+    });
+    let rt2 = Arc::clone(&rt);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-model-{child}"))
+        .spawn(move || run_model_thread(rt2, child, body))
+        .expect("spawn model thread");
+    rt.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+    child
+}
+
+/// Blocks until `tid` has finished, establishing the join HB edge.
+pub(crate) fn join_thread(tid: Tid) {
+    if in_teardown() {
+        return;
+    }
+    loop {
+        let done = op(|_rt, s, _ex, me| {
+            if s.threads[tid].finished {
+                s.threads[me].clock.tick(me);
+                let child_clock = s.threads[tid].clock.clone();
+                s.threads[me].clock.join(&child_clock);
+                Ok(true)
+            } else {
+                s.threads[me].blocked = Blocked::OnJoin(tid);
+                Ok(false)
+            }
+        });
+        if done {
+            return;
+        }
+    }
+}
+
+/// Whether `tid` has finished (no blocking, no HB edge) — used by the
+/// model JoinHandle's `is_finished`.
+pub(crate) fn thread_is_finished(tid: Tid) -> bool {
+    if in_teardown() {
+        return true;
+    }
+    op(|_rt, s, _ex, _me| Ok(s.threads[tid].finished))
+}
+
+// ---------------------------------------------------------------------------
+// Model thread bodies and the exploration driver
+// ---------------------------------------------------------------------------
+
+fn run_model_thread(rt: Arc<Rt>, tid: Tid, body: impl FnOnce()) {
+    set_current(Arc::clone(&rt), tid);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.wait_turn(tid);
+        body();
+        // Finishing is itself a scheduling point: mark done, wake
+        // joiners, pass the baton.
+        op(|_rt, s, _ex, me| {
+            s.threads[me].finished = true;
+            for t in s.threads.iter_mut() {
+                if t.blocked == Blocked::OnJoin(me) {
+                    t.blocked = Blocked::No;
+                }
+            }
+            Ok(())
+        });
+    }));
+    let mut s = rt.lock();
+    if let Err(payload) = result {
+        if !payload.is::<Abort>() && s.failure.is_none() {
+            let msg = if let Some(m) = payload.downcast_ref::<&str>() {
+                (*m).to_string()
+            } else if let Some(m) = payload.downcast_ref::<String>() {
+                m.clone()
+            } else {
+                "<non-string panic>".to_string()
+            };
+            let trace = rt.lock_explorer().describe();
+            s.failure = Some(format!(
+                "model thread {tid} panicked: {msg}\n  schedule: {trace}"
+            ));
+        }
+        s.threads[tid].finished = true;
+    }
+    s.live_real_threads -= 1;
+    drop(s);
+    rt.cv.notify_all();
+}
+
+/// Run one complete execution of `f` under the schedule recorded in
+/// `explorer`; returns the failure message, if any.
+fn run_one(
+    f: Arc<dyn Fn() + Send + Sync>,
+    explorer: Explorer,
+    rt_cfg: (Option<usize>, u64),
+) -> (Explorer, Option<String>) {
+    let rt = Arc::new(Rt {
+        sched: Mutex::new(Sched::new()),
+        cv: Condvar::new(),
+        explorer: Mutex::new(explorer),
+        preemption_bound: rt_cfg.0,
+        max_steps: rt_cfg.1,
+        handles: Mutex::new(Vec::new()),
+    });
+    {
+        let mut s = rt.lock();
+        s.live_real_threads = 1;
+    }
+    let rt0 = Arc::clone(&rt);
+    let main = std::thread::Builder::new()
+        .name("loom-model-0".into())
+        .spawn(move || run_model_thread(rt0, 0, move || f()))
+        .expect("spawn model main thread");
+    // Wait for every real thread (main + spawned) to exit; on failure
+    // the notify in `fail` unwinds the parked ones.
+    {
+        let mut s = rt.lock();
+        while s.live_real_threads > 0 {
+            s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    main.join().expect("model main thread must not die unwound");
+    for h in rt
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        h.join().expect("model thread must not die unwound");
+    }
+    let mut s = rt.lock();
+    let failure = if s.failure.is_none() && !s.all_finished() {
+        // Threads leaked past the closure without being joined — every
+        // model thread must be joined (or finish) for the state space
+        // to be well-defined.
+        Some("model closure returned with unfinished, unjoined threads".into())
+    } else {
+        s.failure.take()
+    };
+    let explorer = std::mem::take(&mut *rt.lock_explorer());
+    (explorer, failure)
+}
+
+/// Exploration driver used by [`crate::model::Builder::check`].
+pub(crate) fn explore(
+    f: Arc<dyn Fn() + Send + Sync>,
+    preemption_bound: Option<usize>,
+    max_steps: u64,
+    max_iterations: u64,
+) -> u64 {
+    let mut explorer = Explorer::default();
+    loop {
+        explorer.iterations += 1;
+        explorer.pos = 0;
+        let iterations = explorer.iterations;
+        let (ex, failure) = run_one(Arc::clone(&f), explorer, (preemption_bound, max_steps));
+        explorer = ex;
+        if let Some(msg) = failure {
+            panic!(
+                "loom-mini: counterexample after {} interleaving(s):\n{}",
+                iterations, msg
+            );
+        }
+        if iterations >= max_iterations {
+            panic!(
+                "loom-mini: exceeded max_iterations ({max_iterations}) without exhausting the \
+                 state space; raise the limit or tighten the preemption bound"
+            );
+        }
+        if !explorer.backtrack() {
+            return iterations;
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Instrumented replacements for `std::sync` primitives. Each object
+//! registers a location with the current model execution at
+//! construction, so they may only be created (and used) inside a
+//! [`crate::model()`] closure.
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! atomic_int {
+        ($name:ident, $ty:ty) => {
+            /// Instrumented atomic; every access is a scheduling point
+            /// and non-`SeqCst` loads may observe any coherent store.
+            #[derive(Debug)]
+            pub struct $name {
+                loc: usize,
+            }
+
+            impl $name {
+                #[allow(clippy::new_without_default)]
+                pub fn new(v: $ty) -> Self {
+                    Self {
+                        loc: rt::register_loc(v as u64),
+                    }
+                }
+
+                pub fn load(&self, ordering: Ordering) -> $ty {
+                    rt::atomic_load(self.loc, ordering) as $ty
+                }
+
+                pub fn store(&self, val: $ty, ordering: Ordering) {
+                    rt::atomic_store(self.loc, val as u64, ordering)
+                }
+
+                pub fn swap(&self, val: $ty, ordering: Ordering) -> $ty {
+                    rt::atomic_rmw(self.loc, ordering, |_| val as u64) as $ty
+                }
+
+                pub fn fetch_add(&self, val: $ty, ordering: Ordering) -> $ty {
+                    rt::atomic_rmw(self.loc, ordering, |old| {
+                        (old as $ty).wrapping_add(val) as u64
+                    }) as $ty
+                }
+
+                pub fn fetch_sub(&self, val: $ty, ordering: Ordering) -> $ty {
+                    rt::atomic_rmw(self.loc, ordering, |old| {
+                        (old as $ty).wrapping_sub(val) as u64
+                    }) as $ty
+                }
+
+                pub fn fetch_or(&self, val: $ty, ordering: Ordering) -> $ty {
+                    rt::atomic_rmw(self.loc, ordering, |old| ((old as $ty) | val) as u64) as $ty
+                }
+
+                pub fn fetch_and(&self, val: $ty, ordering: Ordering) -> $ty {
+                    rt::atomic_rmw(self.loc, ordering, |old| ((old as $ty) & val) as u64) as $ty
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::atomic_cas(self.loc, current as u64, new as u64, success, failure)
+                        .map(|v| v as $ty)
+                        .map_err(|v| v as $ty)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    // The model never fails spuriously.
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicUsize, usize);
+    atomic_int!(AtomicU64, u64);
+    atomic_int!(AtomicU32, u32);
+
+    /// Instrumented `AtomicBool` (stored as 0/1 in a modeled location).
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        loc: usize,
+    }
+
+    impl AtomicBool {
+        #[allow(clippy::new_without_default)]
+        pub fn new(v: bool) -> Self {
+            Self {
+                loc: rt::register_loc(v as u64),
+            }
+        }
+
+        pub fn load(&self, ordering: Ordering) -> bool {
+            rt::atomic_load(self.loc, ordering) != 0
+        }
+
+        pub fn store(&self, val: bool, ordering: Ordering) {
+            rt::atomic_store(self.loc, val as u64, ordering)
+        }
+
+        pub fn swap(&self, val: bool, ordering: Ordering) -> bool {
+            rt::atomic_rmw(self.loc, ordering, |_| val as u64) != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::atomic_cas(self.loc, current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+    }
+}
+
+/// Instrumented mutex. Locking is a blocking scheduling point; the
+/// unlock→lock edge carries release/acquire synchronization.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model runtime enforces mutual exclusion (a thread only
+// receives a guard while `locked_by` is itself), so the inner data is
+// never aliased mutably; `T: Send` makes cross-thread handoff sound.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only yields `&mut T` under the lock.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: rt::register_mutex(),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Lock, blocking (in model time) until available. Mirrors
+    /// `std::sync::Mutex::lock`'s `LockResult` signature; the model
+    /// never poisons.
+    #[allow(clippy::result_unit_err)]
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, ()> {
+        rt::mutex_lock(self.id);
+        Ok(MutexGuard { lock: self })
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the runtime granted this thread the lock; no other
+        // thread can access `data` until unlock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive lock held, see `Deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::mutex_unlock(self.lock.id);
+    }
+}

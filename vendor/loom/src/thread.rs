@@ -1,0 +1,53 @@
+//! Instrumented threads: spawn/join are scheduling points with the
+//! expected happens-before edges, and `yield_now` deprioritizes the
+//! caller so spin loops stay finite under exploration.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+pub struct JoinHandle<T> {
+    tid: rt::Tid,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a model thread. The child inherits the parent's causal
+/// history (spawn edge); [`JoinHandle::join`] adds the join edge.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn_thread(move || {
+        let out = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+    });
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time) for the thread to finish and take its
+    /// result. A panicking child fails the whole model run, so this
+    /// only ever returns `Ok` — the `Result` mirrors std's signature.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_thread(self.tid);
+        let out = self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined model thread must have stored its result");
+        Ok(out)
+    }
+
+    pub fn is_finished(&self) -> bool {
+        rt::thread_is_finished(self.tid)
+    }
+}
+
+/// Voluntarily deschedule: the caller is not run again until every
+/// other runnable thread has had a chance to step (or none remain).
+pub fn yield_now() {
+    rt::yield_now();
+}

@@ -8,6 +8,8 @@
 //! a failing case panics with the case index so it can be replayed by
 //! reading the seed (cases are numbered deterministically).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod test_runner {
     use rand::{rngs::StdRng, SeedableRng};
 

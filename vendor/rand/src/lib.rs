@@ -8,6 +8,8 @@
 //! across runs for a fixed seed — the only property the algorithms and
 //! tests rely on — but are NOT the same streams as upstream `rand`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 /// Core trait: a source of uniformly distributed 64-bit words.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;

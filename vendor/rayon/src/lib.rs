@@ -15,6 +15,8 @@
 //! of the real rayon hold. Below [`MIN_PAR`] items, or when the effective
 //! thread count is 1, everything runs sequentially on the caller.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -880,7 +882,9 @@ fn merge_in_place<T>(items: &mut [T], mid: usize, cmp: &impl Fn(&T, &T) -> std::
     }
     impl<T> Drop for NoDrop<T> {
         fn drop(&mut self) {
-            // Forget the bitwise copies; the slice owns the originals.
+            // SAFETY: shrinking to 0 forgets the bitwise copies
+            // without dropping them; the source slice still owns the
+            // originals (len 0 <= capacity always holds).
             unsafe { self.buf.set_len(0) }
         }
     }
@@ -891,6 +895,10 @@ fn merge_in_place<T>(items: &mut [T], mid: usize, cmp: &impl Fn(&T, &T) -> std::
     let mut merged = NoDrop {
         buf: Vec::with_capacity(items.len()),
     };
+    // SAFETY: `i` stays < mid and `j` < items.len(), so every
+    // `ptr.add` is in bounds; each element is `ptr::read` exactly once
+    // into `merged`, and `NoDrop` prevents a double drop if `cmp`
+    // panics mid-merge.
     unsafe {
         let (mut i, mut j) = (0usize, mid);
         let ptr = items.as_ptr();

@@ -96,7 +96,9 @@ impl CsrGraph {
     /// expands the frontier with a parallel flat-map + atomic claim. Work
     /// O(m), depth O(diameter · log n).
     pub fn par_bfs(&self, src: V, max_dist: u32) -> Vec<u32> {
-        use std::sync::atomic::{AtomicU32, Ordering};
+        // Through the facade so the claim protocol stays visible to
+        // the model-check tier (facade-bypass lint enforces this).
+        use bds_par::sync::atomic::{AtomicU32, Ordering};
         let dist: Vec<AtomicU32> = (0..self.n).map(|_| AtomicU32::new(UNREACHED)).collect();
         // ordering: Relaxed throughout the BFS — the per-level rayon
         // join barrier is the happens-before edge between frontier

@@ -78,11 +78,14 @@ use crate::wal::{Snapshot, WalConfig, WalWriter};
 use bds_dstruct::{FxHashMap, FxHashSet};
 use bds_par::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use bds_par::sync::dbuf::{double_buf, BufWriter, DoubleBuf, PinGuard};
+use bds_par::sync::Arc;
 use std::io;
 #[cfg(not(bds_model))]
 use std::ops::Deref;
+// The channel stays `std`: mpsc has no instrumented counterpart, and
+// the crash-classification edge it carries is modeled explicitly in
+// `model_writer_gone_not_closed_after_crash` below.
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Candidate batch sizes (raw queued updates per batch) probed by
@@ -1300,7 +1303,7 @@ mod tests {
 #[cfg(all(test, bds_model))]
 mod model_tests {
     use super::*;
-    use bds_par::sync::atomic::{AtomicUsize, Ordering};
+    use bds_par::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use bds_par::sync::Mutex;
 
     /// Bound-3 CHESS exploration; see `bds_par::sync::dbuf`'s model
@@ -1356,6 +1359,67 @@ mod model_tests {
             writer.join().unwrap();
         });
         assert!(n >= 2, "state space collapsed to {n} interleavings");
+    }
+
+    /// The engine-identity / layout-epoch drift check now runs
+    /// entirely on facade state: the id allocator is a facade-typed
+    /// atomic RMW (`shard::NEXT_ENGINE_ID` uses the `sync::global`
+    /// escape of the same type modeled here) and the identity triple
+    /// `(engine_id, layout_epoch, seq)` a reader validates rides the
+    /// same `dbuf` publish protocol as the views. Two properties, in
+    /// every interleaving: (1) concurrent allocation hands out
+    /// distinct ids even with the `Relaxed` RMW the allocator uses —
+    /// the argument is the RMW's atomicity, not its ordering; (2) a
+    /// reader pinning across publishes never observes a torn triple
+    /// (identity drift or a backwards epoch/seq step), which is
+    /// exactly the precondition `ShardedView::apply`'s assertions
+    /// rely on.
+    #[test]
+    fn model_engine_identity_epoch_stable_under_publish() {
+        let n = check_bounded("model_engine_identity_epoch_stable_under_publish", || {
+            // (1) Identity allocation: shard.rs's protocol verbatim.
+            let ctr = Arc::new(AtomicU64::new(1));
+            let other = {
+                let ctr = Arc::clone(&ctr);
+                // ordering: Relaxed — unique-id allocation; atomicity
+                // of the RMW alone guarantees distinctness.
+                loom::thread::spawn(move || ctr.fetch_add(1, Ordering::Relaxed))
+            };
+            // ordering: Relaxed — as above, the racing allocator.
+            let id = ctr.fetch_add(1, Ordering::Relaxed);
+            let id_other = other.join().unwrap();
+            assert_ne!(id, id_other, "engine identity collision");
+
+            // (2) Publish (id, layout_epoch, seq) through the real
+            // double-buffer while a reader pins twice.
+            let (buf, mut w) = double_buf((id, 0u64, 0u64), (id, 0u64, 0u64));
+            let reader = {
+                let buf: Arc<DoubleBuf<(u64, u64, u64)>> = Arc::clone(&buf);
+                loom::thread::spawn(move || {
+                    let first = buf.pin().with(|&t| t);
+                    let second = buf.pin().with(|&t| t);
+                    for t in [first, second] {
+                        assert_eq!(t.0, id, "engine identity drifted");
+                        assert!(
+                            [(0, 0), (0, 1), (1, 2)].contains(&(t.1, t.2)),
+                            "torn identity triple: {t:?}"
+                        );
+                    }
+                    assert!(
+                        (second.1, second.2) >= (first.1, first.2),
+                        "epoch/seq went backwards across pins: {first:?} -> {second:?}"
+                    );
+                })
+            };
+            // Batch 1 at layout 0, then a re-seed bumps the layout
+            // epoch — the writer-side sequence `ServeLoop` performs.
+            w.with_back(|t| *t = (id, 0, 1));
+            w.publish();
+            w.with_back(|t| *t = (id, 1, 2));
+            w.publish();
+            reader.join().unwrap();
+        });
+        assert!(n >= 10, "state space collapsed to {n} interleavings");
     }
 
     /// Every pending-index map entry must point at its own edge — the

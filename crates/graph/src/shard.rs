@@ -120,7 +120,12 @@ use crate::api::{
 use crate::csr::CsrGraph;
 use crate::types::{Edge, UpdateBatch, V};
 use bds_dstruct::EdgeTable;
-use std::sync::atomic::{AtomicU64, Ordering};
+// Engine-id allocation is a process-global static, so it lives on the
+// facade's `global` escape (a loom location cannot sit in a `static`);
+// the uniqueness argument is a single atomic RMW, model-checked over
+// the facade type by `serve`'s `model_engine_identity_*` test.
+use bds_par::sync::global::{AtomicU64, Ordering};
+use bds_par::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Endpoint histogram
@@ -341,7 +346,7 @@ pub struct VertexRangePartitioner {
     n: usize,
     /// `k - 1` ascending cut points; lane `i` owns `u` in
     /// `[bounds[i-1], bounds[i])`. `None` = uniform `n/k` slices.
-    bounds: Option<std::sync::Arc<[V]>>,
+    bounds: Option<Arc<[V]>>,
 }
 
 impl VertexRangePartitioner {

@@ -123,6 +123,7 @@ const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // INVARIANT: `i < 256` by the loop bound; the cast drops no bits.
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -133,6 +134,7 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
+        // INVARIANT: `i < 256` by the loop bound, in range for the table.
         table[i] = c;
         i += 1;
     }
@@ -146,6 +148,8 @@ static CRC32_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in data {
+        // INVARIANT: the index is masked to `& 0xFF`, always < 256;
+        // `b as u32` widens from u8.
         c = (c >> 8) ^ CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize];
     }
     !c
@@ -320,6 +324,7 @@ fn encode_body(out: &mut Vec<u8>, rec: &WalRecord) {
         WalRecord::Delta { delta } => {
             out.push(KIND_DELTA);
             put_u64(out, delta.seq());
+            // INVARIANT: `bool as u8` is exactly 0 or 1.
             out.push(delta.is_weighted() as u8);
             put_edges(out, delta.inserted());
             put_edges(out, delta.deleted());
@@ -333,6 +338,8 @@ fn encode_body(out: &mut Vec<u8>, rec: &WalRecord) {
             }
             put_u64(out, delta.aux().len() as u64);
             for &(tag, e) in delta.aux() {
+                // INVARIANT: `AuxTag` is a fieldless `repr(u8)` enum; the
+                // discriminant fits a u8 by construction.
                 out.push(tag as u8);
                 put_u32(out, e.u);
                 put_u32(out, e.v);
@@ -417,6 +424,7 @@ fn parse_record(data: &[u8], at: usize) -> Parsed {
     let Some(prefix) = data.get(at..at + PREFIX_LEN) else {
         return Parsed::Incomplete;
     };
+    // INVARIANT: `prefix` is exactly 8 bytes (`get` above); in range.
     // bds:allow(no-unwrap): fixed 4-byte subslices of the checked prefix.
     let len = u32::from_le_bytes(prefix[0..4].try_into().unwrap());
     let crc = u32::from_le_bytes(prefix[4..8].try_into().unwrap());
@@ -443,8 +451,11 @@ fn append_record(file: &mut File, scratch: &mut Vec<u8>, rec: &WalRecord) -> io:
     scratch.clear();
     scratch.extend_from_slice(&[0u8; PREFIX_LEN]);
     encode_body(scratch, rec);
+    // INVARIANT: the 8-byte prefix was just reserved, and bodies stay
+    // under `MAX_BODY`, so the subtraction is safe and fits u32.
     let body_len = (scratch.len() - PREFIX_LEN) as u32;
     let crc = crc32(&scratch[PREFIX_LEN..]);
+    // INVARIANT: both subslices lie inside the reserved 8-byte prefix.
     scratch[0..4].copy_from_slice(&body_len.to_le_bytes());
     scratch[4..8].copy_from_slice(&crc.to_le_bytes());
     file.write_all(scratch)
@@ -475,6 +486,8 @@ fn encode_header(buf: &mut Vec<u8>, h: &LogHeader) {
     put_u64(buf, h.layout_epoch);
     put_u64(buf, h.n);
     put_u64(buf, h.base_seq);
+    // INVARIANT: `fields_at` marks where the fields started being
+    // appended above, so it is within `buf`.
     let crc = crc32(&buf[fields_at..]);
     put_u32(buf, crc);
 }
@@ -486,9 +499,12 @@ fn parse_header(data: &[u8]) -> Result<LogHeader, RecoverError> {
             "log file ends before its header",
         )));
     };
+    // INVARIANT: `raw` is exactly `HEADER_LEN == 44` bytes (the `get`
+    // above), covering the magic, the fields, and the trailing crc.
     if &raw[..8] != LOG_MAGIC {
         return Err(RecoverError::Corrupt { seq: 0, offset: 0 });
     }
+    // INVARIANT: `raw.len() == HEADER_LEN > 8`, so the skip is in range.
     let mut r = Rd::new(&raw[8..]);
     let trunc = || RecoverError::Corrupt { seq: 0, offset: 8 };
     let h = LogHeader {
@@ -498,6 +514,8 @@ fn parse_header(data: &[u8]) -> Result<LogHeader, RecoverError> {
         base_seq: r.u64().ok_or_else(trunc)?,
     };
     let crc = r.u32().ok_or_else(trunc)?;
+    // INVARIANT: `raw.len() == HEADER_LEN` (checked above), so the
+    // fields subslice is in range.
     if crc32(&raw[8..HEADER_LEN - 4]) != crc {
         return Err(RecoverError::Corrupt { seq: 0, offset: 8 });
     }
@@ -639,8 +657,11 @@ impl WalWriter {
         put_u64(&mut self.scratch, seq);
         put_edges(&mut self.scratch, &batch.insertions);
         put_edges(&mut self.scratch, &batch.deletions);
+        // INVARIANT: the 8-byte prefix was just reserved, and a batch
+        // body stays under `MAX_BODY`, so the length fits u32.
         let body_len = (self.scratch.len() - PREFIX_LEN) as u32;
         let crc = crc32(&self.scratch[PREFIX_LEN..]);
+        // INVARIANT: both subslices lie inside the reserved prefix.
         self.scratch[0..4].copy_from_slice(&body_len.to_le_bytes());
         self.scratch[4..8].copy_from_slice(&crc.to_le_bytes());
         self.file.write_all(&self.scratch)?;
@@ -666,6 +687,7 @@ impl WalWriter {
         self.scratch.extend_from_slice(&[0u8; PREFIX_LEN]);
         self.scratch.push(KIND_DELTA);
         put_u64(&mut self.scratch, delta.seq());
+        // INVARIANT: `bool as u8` is exactly 0 or 1.
         self.scratch.push(delta.is_weighted() as u8);
         put_edges(&mut self.scratch, delta.inserted());
         put_edges(&mut self.scratch, delta.deleted());
@@ -679,12 +701,17 @@ impl WalWriter {
         }
         put_u64(&mut self.scratch, delta.aux().len() as u64);
         for &(tag, e) in delta.aux() {
+            // INVARIANT: `AuxTag` is a fieldless `repr(u8)` enum; the
+            // discriminant fits a u8 by construction.
             self.scratch.push(tag as u8);
             put_u32(&mut self.scratch, e.u);
             put_u32(&mut self.scratch, e.v);
         }
+        // INVARIANT: the 8-byte prefix was just reserved, and a merged
+        // delta stays under `MAX_BODY`, so the length fits u32.
         let body_len = (self.scratch.len() - PREFIX_LEN) as u32;
         let crc = crc32(&self.scratch[PREFIX_LEN..]);
+        // INVARIANT: both subslices lie inside the reserved prefix.
         self.scratch[0..4].copy_from_slice(&body_len.to_le_bytes());
         self.scratch[4..8].copy_from_slice(&crc.to_le_bytes());
         self.file.write_all(&self.scratch)
@@ -717,8 +744,10 @@ impl WalWriter {
     /// snapshot at or before the log's `base_seq` covers nothing and
     /// returns `Ok(0)`.
     ///
-    /// Note: a [`FollowerView`] holding the *old* log open keeps
-    /// tailing the old inode until it reopens the path.
+    /// A [`FollowerView`] holding the *old* log open notices the
+    /// rename on its next idle poll (the new header's raised
+    /// `base_seq` marks the generation change) and re-opens the path
+    /// itself — see [`FollowerView::catch_up`].
     ///
     /// Returns the number of records dropped.
     pub fn compact(&mut self, snap: &Snapshot) -> Result<u64, RecoverError> {
@@ -925,6 +954,7 @@ impl Snapshot {
         put_u64(&mut buf, self.seq);
         put_u64(&mut buf, self.n);
         put_edges(&mut buf, &self.edges);
+        // INVARIANT: `buf` starts with the 8-byte magic appended above.
         let crc = crc32(&buf[8..]);
         put_u32(&mut buf, crc);
         let tmp = path.with_extension("tmp");
@@ -942,10 +972,16 @@ impl Snapshot {
             seq: 0,
             offset: offset as u64,
         };
+        // INVARIANT: the length check short-circuits before the magic
+        // read, so every slice below has `data.len() >= 12` behind it.
         if data.len() < 8 + 4 || &data[..8] != SNAP_MAGIC {
             return Err(corrupt(0));
         }
+        // INVARIANT: `data.len() >= 12` (checked above), so the body
+        // subslice is in range.
         let body = &data[8..data.len() - 4];
+        // INVARIANT: `data.len() >= 12`, so the last-4-bytes slice is
+        // in range too.
         // bds:allow(no-unwrap): exactly the last 4 bytes of a buffer
         // already checked to hold magic + crc; infallible.
         let crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
@@ -1215,6 +1251,10 @@ where
 /// writes the header and seed record at build time.
 pub struct FollowerView {
     file: File,
+    /// The log path, kept so an idle poll can detect that
+    /// [`WalWriter::compact`] renamed a new generation over it (the
+    /// open `file` handle pins the *old* inode forever otherwise).
+    path: PathBuf,
     header: LogHeader,
     /// Unconsumed bytes (a partial record tail between catch-ups).
     buf: Vec<u8>,
@@ -1237,6 +1277,7 @@ impl FollowerView {
         let n = header.n as usize;
         Ok(FollowerView {
             file,
+            path: path.to_path_buf(),
             header,
             buf,
             pos: HEADER_LEN,
@@ -1270,8 +1311,19 @@ impl FollowerView {
     /// advance the view. Returns the number of deltas applied. Stops
     /// cleanly at a partial record (retried next call); a complete
     /// record with a bad checksum is [`RecoverError::Corrupt`].
+    ///
+    /// When the open handle yields no new bytes, the poll also checks
+    /// whether [`WalWriter::compact`] renamed a new log generation
+    /// over the path; if so the follower re-opens it and — if its view
+    /// predates the new `base_seq` — re-seeds from the rolled-forward
+    /// `Seed` record, all within this same call.
     pub fn catch_up(&mut self) -> Result<usize, RecoverError> {
-        self.file.read_to_end(&mut self.buf)?;
+        if self.file.read_to_end(&mut self.buf)? == 0 {
+            // The old inode is idle: cheap moment to look for a
+            // compaction rewrite of the path (a writer that is
+            // actively appending can't be mid-compact).
+            self.check_rewrite()?;
+        }
         let mut applied = 0usize;
         loop {
             match parse_record(&self.buf, self.pos) {
@@ -1323,6 +1375,68 @@ impl FollowerView {
             self.pos = 0;
         }
         Ok(applied)
+    }
+
+    /// Detect that the path now names a different log *generation*
+    /// than the inode this follower holds open, and switch to it.
+    ///
+    /// [`WalWriter::compact`] publishes the rewritten log with an
+    /// atomic rename, so the two generations are distinguished purely
+    /// by header content: same `engine_id` and `layout_epoch`, and a
+    /// strictly larger `base_seq` (a compaction that would not raise
+    /// `base_seq` never rewrites). A header identical in `base_seq` is
+    /// therefore the same generation — nothing to do. Transient states
+    /// (path briefly missing mid-rename, header not yet fully written)
+    /// are silently retried on the next poll; the old inode stays
+    /// valid throughout. A header naming a different engine or layout
+    /// is a real foul-up and surfaces as the matching mismatch error.
+    ///
+    /// On switch, unconsumed bytes from the old inode are discarded:
+    /// every record they contained is either covered by the new
+    /// generation's rolled-forward `Seed` (seq ≤ `base_seq`, and the
+    /// view below re-seeds) or retained verbatim in the new log
+    /// (seq > `base_seq`, replayed by the normal tail loop).
+    fn check_rewrite(&mut self) -> Result<(), RecoverError> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // mid-rename; retry next poll
+        };
+        let mut head = [0u8; HEADER_LEN];
+        if file.read_exact(&mut head).is_err() {
+            return Ok(()); // header not fully written yet
+        }
+        let Ok(header) = parse_header(&head) else {
+            return Ok(()); // partial/garbled new file; retry
+        };
+        if header.engine_id != self.header.engine_id {
+            return Err(RecoverError::EngineMismatch {
+                snapshot: self.header.engine_id,
+                log: header.engine_id,
+            });
+        }
+        if header.layout_epoch != self.header.layout_epoch {
+            return Err(RecoverError::LayoutMismatch {
+                snapshot: self.header.layout_epoch,
+                log: header.layout_epoch,
+            });
+        }
+        if header.base_seq == self.header.base_seq {
+            return Ok(()); // same generation
+        }
+        let mut buf = head.to_vec();
+        file.read_to_end(&mut buf)?;
+        self.file = file;
+        self.buf = buf;
+        self.pos = HEADER_LEN;
+        self.base = 0;
+        if self.view.seq() < header.base_seq {
+            // This view predates records compaction dropped; start
+            // over from the rolled-forward Seed in the new log.
+            self.view = SpannerView::new(header.n as usize);
+            self.seeded = false;
+        }
+        self.header = header;
+        Ok(())
     }
 }
 

@@ -1,0 +1,30 @@
+//! Lint fixture: `facade-bypass`. Scanned by `tests/fixtures.rs`
+//! under a fake `crates/graph/src/` path — line numbers matter, the
+//! golden file `facade_bypass.expected` pins rule:line pairs.
+//! Never compiled.
+
+// Positive: a direct atomic import bypasses the facade.
+use std::sync::atomic::{AtomicU64, Ordering};
+// Positive: a brace import smuggling a Mutex past the facade.
+use std::sync::{Arc, Mutex};
+// Negative: Arc alone is facade-exempt (the facade re-exports it).
+use std::sync::Arc;
+// Negative: channels have no facade counterpart; modeled explicitly.
+use std::sync::mpsc;
+// Negative: the facade itself is the blessed path.
+use bds_par::sync::atomic::AtomicUsize;
+
+// Pragma'd: justified direct use stays quiet.
+// bds:allow(facade-bypass): const-init static inside the allocator.
+static BYPASS_OK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+// Positive: a fully-qualified mention in code, not just imports.
+fn qualified() {
+    let _m = std::sync::Mutex::new(0u32);
+}
+
+#[cfg(test)]
+mod tests {
+    // Negative: test regions may reach for std::sync directly.
+    use std::sync::{Condvar, Mutex};
+}

@@ -1,0 +1,55 @@
+//! Lint fixture: `panic-path`. Scanned by `tests/fixtures.rs` under a
+//! fake `crates/graph/src/` path — line numbers matter, the golden
+//! file `panic_path.expected` pins rule:line pairs. Never compiled.
+
+// Positive: unguarded index.
+pub fn first(v: &[u32]) -> u32 {
+    v[0]
+}
+
+// Negative: an INVARIANT argument directly above.
+pub fn second(v: &[u32]) -> u32 {
+    // INVARIANT: callers pass slices of length >= 2.
+    v[1]
+}
+
+// Positive: division by a non-literal.
+pub fn avg(sum: u64, n: u64) -> u64 {
+    sum / n
+}
+
+// Negative: a literal divisor is visibly nonzero.
+pub fn half(x: u64) -> u64 {
+    x / 2
+}
+
+// Positive: a narrowing cast can drop bits.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+// Negative: widening casts are exempt.
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+// Negative: slice types and for-loop arrays are not index expressions.
+pub fn shapes(v: &mut [u32]) {
+    for _x in [1, 2] {
+        let _ = v.len();
+    }
+}
+
+// Pragma'd: measured hot path, waved through explicitly.
+pub fn hot(v: &[u32], i: usize) -> u32 {
+    // bds:allow(panic-path): bounds pre-checked one frame up.
+    v[i]
+}
+
+#[cfg(test)]
+mod tests {
+    // Negative: tests may index freely.
+    fn t(v: &[u32]) -> u32 {
+        v[0]
+    }
+}

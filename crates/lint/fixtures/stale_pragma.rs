@@ -1,0 +1,20 @@
+//! Lint fixture: `stale-pragma`. Scanned by `tests/fixtures.rs` under
+//! a fake `crates/graph/src/` path — line numbers matter, the golden
+//! file `stale_pragma.expected` pins rule:line pairs. Never compiled.
+
+// Positive: the hazard this excused is gone; the pragma lingers.
+// bds:allow(no-unwrap): this unwrap was removed two PRs ago.
+pub fn tidy() {}
+
+// Negative: this pragma earns its keep.
+pub fn crash() {
+    // bds:allow(no-unwrap): deliberate crash semantics, WAL contract.
+    std::fs::read("x").unwrap();
+}
+
+// Positive (x2): reason-less AND suppressing nothing.
+// bds:allow(panic-path)
+pub fn bare() {}
+
+// Positive: a file-level pragma for a rule the file never trips.
+// bds:allow-file(atomic-ordering): no atomics left in this module.

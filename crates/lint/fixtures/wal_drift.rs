@@ -1,0 +1,59 @@
+//! Lint fixture: `wal-drift`. Scanned by `tests/fixtures.rs` under
+//! the fake path `crates/graph/src/wal.rs` (the pass only runs on the
+//! WAL file) — line numbers matter, the golden file
+//! `wal_drift.expected` pins rule:line pairs. Never compiled.
+
+const HEADER_LEN: usize = 8 + 16 + 4;
+const PREFIX_LEN: usize = 8;
+const MIN_BODY: u32 = 9;
+const KIND_SEED: u8 = 0;
+const KIND_BATCH: u8 = 1;
+// Positive (x2): declared but never encoded and never decoded.
+const KIND_GHOST: u8 = 2;
+
+struct LogHeader {
+    engine_id: u64,
+    n: u64,
+}
+
+// Negative: encode and decode name the fields in the same order.
+fn encode_header(buf: &mut Vec<u8>, h: &LogHeader) {
+    put_u64(buf, h.engine_id);
+    put_u64(buf, h.n);
+}
+
+fn parse_header(r: &mut Rd) -> LogHeader {
+    LogHeader {
+        engine_id: r.u64(),
+        n: r.u64(),
+    }
+}
+
+fn encode_body(out: &mut Vec<u8>) {
+    out.push(KIND_SEED);
+    out.push(KIND_BATCH);
+}
+
+fn decode_body(kind: u8) {
+    match kind {
+        KIND_SEED => {}
+        KIND_BATCH => {}
+        _ => {}
+    }
+}
+
+// Negative: the inline encoder stamps its own tag.
+fn append_batch(scratch: &mut Vec<u8>) {
+    scratch.push(KIND_BATCH);
+}
+
+// Positive: the inline encoder stamps another record's tag.
+fn append_seed(scratch: &mut Vec<u8>) {
+    scratch.push(KIND_BATCH);
+}
+
+// Pragma'd: a transitional encoder, waved through explicitly.
+fn append_ghost(scratch: &mut Vec<u8>) {
+    // bds:allow(wal-drift): transitional encoder, removed next PR.
+    scratch.push(KIND_SEED);
+}

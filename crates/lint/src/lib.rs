@@ -1,0 +1,1846 @@
+//! `bds_lint` — tier 1 of the workspace's verification ladder (see
+//! `bds_par::sync`): a multi-pass semantic analyzer for the
+//! concurrency and robustness conventions the serving stack depends on
+//! but `rustc` cannot enforce. No crates.io dependencies; the lexer
+//! below strips comments and string literals (keeping comment text,
+//! which is where the justifications live) and the passes work on the
+//! residue.
+//!
+//! # Rules
+//!
+//! * `safety-comment` — every `unsafe` token (block, `impl`, `fn`)
+//!   must carry a `// SAFETY:` comment (or a `# Safety` doc section)
+//!   within the surrounding lines. Applies everywhere, vendor shims
+//!   included: an unargued `unsafe` is a review debt wherever it is.
+//! * `atomic-ordering` — every atomic-`Ordering` token in product
+//!   code (`SeqCst`, `Relaxed`, `Acquire`, `Release`, `AcqRel`) must
+//!   carry a nearby `// ordering:` justification. The serving stack's
+//!   safety argument is a total-order argument; an ordering without a
+//!   stated reason is where that argument silently rots.
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in product-crate
+//!   non-test code. Deliberate crash semantics (the WAL's
+//!   never-publish-unlogged-state contract) get an explicit
+//!   `bds:allow` pragma instead of an unexamined default.
+//! * `no-debug-assert-invariant` — `debug_assert!` must not guard
+//!   cross-lane / sequence-number invariants in `bds_graph`: those
+//!   checks are the corruption firewall between the engine and served
+//!   views and must fire in release builds too.
+//! * `deny-unsafe-op` — every crate root declares
+//!   `#![deny(unsafe_op_in_unsafe_fn)]`, so `unsafe fn` bodies must
+//!   scope their unsafe operations explicitly.
+//! * `facade-bypass` — concurrency primitives in `bds_graph` /
+//!   `bds_par` product code must come from the `bds_par::sync` facade,
+//!   never `std::sync` directly (`Arc` and `mpsc` excepted: they have
+//!   no model-instrumented counterpart and are modeled explicitly
+//!   where they matter). Code that bypasses the facade is invisible to
+//!   the tier-2 model checker — exactly the code most likely to need
+//!   it. `sync::global` is part of the facade (its documented escape
+//!   for process-global statics), as is the facade's own
+//!   implementation.
+//! * `panic-path` — unguarded slice indexing, integer `/` / `%` with a
+//!   non-literal divisor, and narrowing `as` casts (`u8`/`u16`/`u32`/
+//!   `i8`/`i16`/`i32`/`V`) on product paths in `bds_graph` / `bds_par`
+//!   each need a nearby `// INVARIANT:` justification or a `bds:allow`
+//!   pragma. The WAL decode path especially: it feeds on bytes from
+//!   disk and must degrade to typed errors, not panics. Pre-existing
+//!   sites are pinned by the ratchet (below); new code starts clean.
+//! * `wal-drift` — cross-site agreement checks between the WAL's
+//!   encode and decode halves (`crates/graph/src/wal.rs`): a record
+//!   tag pushed by `append_<x>` must be `KIND_<X>`; every declared
+//!   `KIND_*` constant must have a distinct value, an encode push site
+//!   and a decode match arm; `encode_header` and `parse_header` must
+//!   name the header fields in the same order; and the length
+//!   constants (`HEADER_LEN`, `PREFIX_LEN`, `MIN_BODY`) must agree
+//!   with the field layout those functions actually write. These two
+//!   halves are edited together or the log silently rots — the lint
+//!   makes "together" mechanical.
+//! * `stale-pragma` — a `bds:allow` / `bds:allow-file` pragma that
+//!   suppressed nothing during the scan is itself a finding: either
+//!   the hazard it excused is gone (delete the pragma) or the pragma
+//!   is misplaced and excusing nothing (move it).
+//! * `pragma-reason` — a pragma without a `: reason` tail is reported.
+//!
+//! # Pragmas
+//!
+//! A finding is suppressed by a comment on the same line or up to two
+//! lines above: `// bds:allow(rule-name): reason`. A whole file opts
+//! out with `// bds:allow-file(rule-name): reason` anywhere in the
+//! file. `panic-path` findings are also suppressed by an
+//! `// INVARIANT:` comment within the three lines above the site —
+//! that is the preferred form, because it states *why* the index /
+//! divisor / cast cannot go wrong rather than merely waving it
+//! through.
+//!
+//! # Ratchet
+//!
+//! `crates/lint/ratchet.json` pins the accepted per-file, per-rule
+//! finding counts. A scan against the ratchet fails when any count
+//! *rises* (a regression: new unjustified sites) **or** falls (the
+//! baseline is stale; re-run with `--write-ratchet` to tighten it and
+//! commit the result). Counts only ever decrease over time — the
+//! ratchet never loosens. Without a ratchet file, any finding at all
+//! fails the scan.
+//!
+//! # JSON findings schema
+//!
+//! `--json <path>` writes a machine-readable report (CI uploads it as
+//! the `lint-findings` artifact):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "files_scanned": 123,
+//!   "findings": [
+//!     { "file": "crates/graph/src/wal.rs", "line": 410,
+//!       "rule": "panic-path", "msg": "..." }
+//!   ],
+//!   "counts": { "crates/graph/src/wal.rs": { "panic-path": 3 } }
+//! }
+//! ```
+//!
+//! `findings` is sorted by (file, line, rule); `counts` is the same
+//! data aggregated into exactly the shape `ratchet.json` stores, so
+//! `diff`-ing a report against the baseline is structural.
+//!
+//! Exit status of the CLI: 0 when clean (every finding ratcheted),
+//! 1 when any unratcheted finding or ratchet drift survives, 2 on
+//! usage/IO errors.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Lexer: split each line into code text and comment text
+// ---------------------------------------------------------------------------
+
+/// One physical source line after lexing: `code` has comments and
+/// string/char-literal contents blanked out, `comment` holds the text
+/// of any comment (line or block) present on the line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Code,
+    /// Inside `/* ... */`, which nests in Rust; the depth rides along.
+    Block(u32),
+    Str,
+    /// Inside `r##"..."##`; the payload is the hash count.
+    RawStr(u32),
+}
+
+/// Lex `src` into per-line code/comment split. Handles line and
+/// (nested) block comments, string / byte-string / raw-string
+/// literals, and the char-literal vs. lifetime ambiguity.
+pub fn lex(src: &str) -> Vec<Line> {
+    let b: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut st = LexState::Code;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            LexState::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    // Line comment: capture to end of line.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != '\n' {
+                        cur.comment.push(b[j]);
+                        j += 1;
+                    }
+                    i = j;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = LexState::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = LexState::Str;
+                    i += 1;
+                } else if c == 'r' && !prev_is_ident(&b, i) && raw_str_hashes(&b, i + 1).is_some() {
+                    let h = raw_str_hashes(&b, i + 1).unwrap();
+                    cur.code.push('"');
+                    st = LexState::RawStr(h);
+                    i += 2 + h as usize; // r, hashes, opening quote
+                } else if c == 'b' && !prev_is_ident(&b, i) && b.get(i + 1) == Some(&'"') {
+                    cur.code.push('"');
+                    st = LexState::Str;
+                    i += 2;
+                } else if c == 'b'
+                    && !prev_is_ident(&b, i)
+                    && b.get(i + 1) == Some(&'r')
+                    && raw_str_hashes(&b, i + 2).is_some()
+                {
+                    let h = raw_str_hashes(&b, i + 2).unwrap();
+                    cur.code.push('"');
+                    st = LexState::RawStr(h);
+                    i += 3 + h as usize;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' or '\..' is a
+                    // literal; anything else ('a in generics) is a
+                    // lifetime and stays code.
+                    if b.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        if j < b.len() {
+                            j += 1; // the escaped char
+                        }
+                        while j < b.len() && b[j] != '\'' && b[j] != '\n' {
+                            j += 1;
+                        }
+                        cur.code.push_str("' '");
+                        i = (j + 1).min(b.len());
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        cur.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            LexState::Block(d) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    st = if d == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::Block(d - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = LexState::Block(d + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (incl. \" and \\)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = LexState::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::RawStr(h) => {
+                if c == '"' && hashes_after(&b, i + 1) >= h {
+                    cur.code.push('"');
+                    st = LexState::Code;
+                    i += 1 + h as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// If `b[from..]` is `#*"` (zero or more hashes then a quote), the
+/// hash count — i.e. position `from` starts a raw-string delimiter.
+fn raw_str_hashes(b: &[char], from: usize) -> Option<u32> {
+    let mut h = 0u32;
+    let mut j = from;
+    while b.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+fn hashes_after(b: &[char], from: usize) -> u32 {
+    let mut h = 0u32;
+    let mut j = from;
+    while b.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Per-line flag: is this line inside a `#[cfg(test…)]` / `#[test]`
+/// item? Brace-tracked, so whole `mod tests { … }` bodies are covered.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // When inside a test item: the depth to pop back to.
+    let mut until: Option<i64> = None;
+    let mut pending_attr = false;
+    for (i, l) in lines.iter().enumerate() {
+        let start_depth = depth;
+        for c in l.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(u) = until {
+            in_test[i] = true;
+            if depth <= u {
+                until = None;
+            }
+            continue;
+        }
+        let t = l.code.trim();
+        if t.starts_with("#[") && attr_is_test(t) {
+            pending_attr = true;
+            in_test[i] = true;
+        } else if pending_attr && !t.is_empty() {
+            if t.starts_with("#[") {
+                in_test[i] = true; // stacked attribute
+            } else {
+                in_test[i] = true;
+                pending_attr = false;
+                if depth > start_depth {
+                    until = Some(start_depth);
+                }
+            }
+        }
+    }
+    in_test
+}
+
+/// Does this attribute gate the item on `test` compilation?
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
+/// `#[cfg(not(test))]`.
+fn attr_is_test(attr: &str) -> bool {
+    if attr.starts_with("#[test") {
+        return true;
+    }
+    if !attr.starts_with("#[cfg") {
+        return false;
+    }
+    let depositivized = attr.replace("not(test)", "");
+    depositivized.contains("test")
+}
+
+// ---------------------------------------------------------------------------
+// Findings + pragmas
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: PathBuf,
+    pub line: usize, // 1-based
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// One `bds:allow(...)` / `bds:allow-file(...)` pragma, with a use bit
+/// the passes flip when the pragma actually suppresses a finding — the
+/// input to the `stale-pragma` rule.
+struct Pragma {
+    line: usize, // 0-based line the comment sits on
+    rule: String,
+    file_level: bool,
+    used: Cell<bool>,
+}
+
+/// All pragmas of one file, plus the suppression queries the passes
+/// use. Suppression and use-tracking are one operation so the
+/// `stale-pragma` pass at the end of the scan sees exactly which
+/// pragmas earned their keep.
+struct Pragmas {
+    entries: Vec<Pragma>,
+}
+
+impl Pragmas {
+    /// Collect every pragma in `lines`; reason-less ones are reported
+    /// into `out` immediately (`pragma-reason`).
+    fn collect(lines: &[Line], file: &Path, out: &mut Vec<Finding>) -> Self {
+        let mut entries = Vec::new();
+        for (i, l) in lines.iter().enumerate() {
+            // Doc comments (`///…`, `//!…`) lex to comment text
+            // starting with `/` or `!`; pragma syntax quoted in docs
+            // is documentation, not a directive.
+            if l.comment.starts_with('/') || l.comment.starts_with('!') {
+                continue;
+            }
+            for key in ["bds:allow(", "bds:allow-file("] {
+                if let Some(p) = l.comment.find(key) {
+                    let rest = &l.comment[p + key.len()..];
+                    let Some(close) = rest.find(')') else {
+                        continue;
+                    };
+                    let rule = &rest[..close];
+                    let reason = rest[close + 1..].trim_start_matches([':', ' ']);
+                    if reason.trim().is_empty() {
+                        out.push(Finding {
+                            file: file.to_path_buf(),
+                            line: i + 1,
+                            rule: "pragma-reason",
+                            msg: format!("pragma for `{rule}` gives no reason"),
+                        });
+                    }
+                    // A file-level pragma's key embeds the line-level
+                    // key as a suffix match; keep only the file-level
+                    // entry for such a comment.
+                    if key == "bds:allow(" && l.comment.contains("bds:allow-file(") {
+                        continue;
+                    }
+                    entries.push(Pragma {
+                        line: i,
+                        rule: rule.to_string(),
+                        file_level: key == "bds:allow-file(",
+                        used: Cell::new(false),
+                    });
+                }
+            }
+        }
+        Pragmas { entries }
+    }
+
+    /// Is `rule` suppressed at line `idx` (same-line or ≤2-lines-above
+    /// `bds:allow(rule)`, or a file-level `bds:allow-file(rule)`)?
+    /// Marks every pragma that matches as used.
+    fn allows(&self, idx: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for p in &self.entries {
+            if p.rule != rule {
+                continue;
+            }
+            if p.file_level || (p.line <= idx && idx - p.line <= 2) {
+                p.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// The `stale-pragma` pass: every pragma that suppressed nothing.
+    fn stale(&self, file: &Path, out: &mut Vec<Finding>) {
+        for p in &self.entries {
+            if !p.used.get() {
+                out.push(Finding {
+                    file: file.to_path_buf(),
+                    line: p.line + 1,
+                    rule: "stale-pragma",
+                    msg: format!(
+                        "`bds:allow{}({})` suppresses nothing — delete it or move it to the hazard it excuses",
+                        if p.file_level { "-file" } else { "" },
+                        p.rule
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+const ORDERING_TOKENS: [&str; 5] = ["SeqCst", "Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// Token `tok` present in `code` with non-identifier characters on
+/// both sides (so `Release` doesn't match `prerelease_check`).
+pub fn has_token(code: &str, tok: &str) -> bool {
+    token_at(code, tok, 0).is_some()
+}
+
+/// First token-boundary occurrence of `tok` in `code[from..]`
+/// (byte offset into `code`), or None.
+fn token_at(code: &str, tok: &str, mut from: usize) -> Option<usize> {
+    while let Some(p) = code[from..].find(tok) {
+        let at = from + p;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + tok.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + tok.len();
+    }
+    None
+}
+
+/// Does any comment in `lines[lo..=hi]` contain `needle`?
+fn comment_window_contains(lines: &[Line], lo: usize, hi: usize, needle: &str) -> bool {
+    let hi = hi.min(lines.len().saturating_sub(1));
+    lines[lo..=hi].iter().any(|l| l.comment.contains(needle))
+}
+
+// ---------------------------------------------------------------------------
+// Scope: what the scanner should check for one file
+// ---------------------------------------------------------------------------
+
+struct Scope {
+    safety: bool,
+    ordering: bool,
+    unwrap: bool,
+    debug_assert: bool,
+    crate_root: bool,
+    /// `facade-bypass`: concurrency-product code that must route its
+    /// primitives through `bds_par::sync`.
+    facade: bool,
+    /// `panic-path`: product code whose panics would take down the
+    /// serving pipeline.
+    panic: bool,
+    /// `wal-drift`: this file *is* the WAL implementation.
+    wal: bool,
+}
+
+fn scope_for(rel: &Path) -> Option<Scope> {
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return None;
+    }
+    let p = rel.to_string_lossy().replace('\\', "/");
+    // Lint fixtures are deliberately-dirty inputs for the lint's own
+    // golden tests, never product code.
+    if p.starts_with("crates/lint/fixtures/") {
+        return None;
+    }
+    let in_vendor = p.starts_with("vendor/");
+    let in_test_dir = p
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples");
+    let product = !in_vendor
+        && !in_test_dir
+        && !p.starts_with("crates/bench/")
+        && !p.starts_with("crates/lint/");
+    let file = p.rsplit('/').next().unwrap_or("");
+    let under_src = p.contains("/src/") || p.starts_with("src/");
+    let concurrency_product =
+        product && (p.starts_with("crates/graph/src/") || p.starts_with("crates/par/src/"));
+    // The facade itself is where the primitives are *allowed* to live.
+    let is_facade = p == "crates/par/src/sync.rs" || p.starts_with("crates/par/src/sync/");
+    Some(Scope {
+        safety: true,
+        ordering: !in_vendor && !in_test_dir,
+        unwrap: product,
+        debug_assert: p.starts_with("crates/graph/src/"),
+        crate_root: under_src && (file == "lib.rs" || file == "main.rs") && {
+            // Only the root: `src/lib.rs`, not `src/foo/lib.rs`.
+            let after = p
+                .rsplit("/src/")
+                .next()
+                .and_then(|s| {
+                    if s == p {
+                        p.strip_prefix("src/")
+                    } else {
+                        Some(s)
+                    }
+                })
+                .unwrap_or("");
+            after == file
+        },
+        facade: concurrency_product && !is_facade,
+        panic: concurrency_product,
+        wal: p == "crates/graph/src/wal.rs",
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass: facade-bypass
+// ---------------------------------------------------------------------------
+
+/// `std::sync` paths that have a facade counterpart and therefore must
+/// not be named directly in concurrency-product code. `Arc` and `mpsc`
+/// are deliberately absent: the facade re-exports std's `Arc`
+/// unchanged, and channels are modeled explicitly where their behavior
+/// matters (`serve`'s `model_writer_gone_*`).
+const FACADE_BYPASS_PATHS: [&str; 6] = [
+    "std::sync::atomic",
+    "core::sync::atomic",
+    "std::sync::Mutex",
+    "std::sync::RwLock",
+    "std::sync::Condvar",
+    "std::sync::Barrier",
+];
+
+/// Primitive names that betray a brace import `use std::sync::{..}`.
+const FACADE_BYPASS_BRACED: [&str; 5] = ["atomic", "Mutex", "RwLock", "Condvar", "Barrier"];
+
+fn facade_bypass_hit(code: &str) -> Option<&'static str> {
+    for pat in FACADE_BYPASS_PATHS {
+        if code.contains(pat) {
+            return Some(pat);
+        }
+    }
+    // Brace imports: `use std::sync::{Mutex, ...}`.
+    if let Some(p) = code.find("std::sync::{") {
+        let rest = &code[p + "std::sync::{".len()..];
+        let inner = rest.split('}').next().unwrap_or(rest);
+        for name in FACADE_BYPASS_BRACED {
+            if token_at(inner, name, 0).is_some() {
+                return Some("std::sync::{..}");
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Pass: panic-path
+// ---------------------------------------------------------------------------
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (slice types, `for _ in [..]`, …).
+const NON_INDEX_WORDS: [&str; 8] = ["mut", "dyn", "in", "return", "else", "match", "box", "ref"];
+
+/// Does `code` contain `expr[...]`-style indexing (a `[` whose
+/// preceding token is an identifier, `)`, or `]`)?
+fn has_unguarded_index(code: &str) -> bool {
+    let b: Vec<char> = code.chars().collect();
+    for (i, &c) in b.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Find the last non-space char before the bracket.
+        let mut j = i;
+        while j > 0 && b[j - 1] == ' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let p = b[j - 1];
+        if p == ')' || p == ']' {
+            return true;
+        }
+        if p.is_alphanumeric() || p == '_' {
+            // Back over the identifier to rule out keywords.
+            let mut k = j - 1;
+            while k > 0 && (b[k - 1].is_alphanumeric() || b[k - 1] == '_') {
+                k -= 1;
+            }
+            // `&'a [u8]`: a lifetime before a slice *type*, not an index.
+            if k > 0 && b[k - 1] == '\'' {
+                continue;
+            }
+            let word: String = b[k..j].iter().collect();
+            if !NON_INDEX_WORDS.contains(&word.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Does `code` divide (`/`, `%`, `/=`, `%=`) by something other than a
+/// numeric literal? A literal divisor cannot be zero without being
+/// visibly zero in review; anything else needs an argument.
+fn has_nonliteral_division(code: &str) -> bool {
+    let b: Vec<char> = code.chars().collect();
+    for (i, &c) in b.iter().enumerate() {
+        if c != '/' && c != '%' {
+            continue;
+        }
+        let mut j = i + 1;
+        if b.get(j) == Some(&'=') {
+            j += 1; // compound assignment divides too
+        }
+        while j < b.len() && b[j] == ' ' {
+            j += 1;
+        }
+        match b.get(j) {
+            Some(d) if d.is_ascii_digit() => continue,
+            // Divisor continues on the next line: flag conservatively.
+            _ => return true,
+        }
+    }
+    false
+}
+
+/// Cast targets that can drop bits on supported 64-bit targets.
+/// `usize`/`u64`/`i64`/floats are widening from everything this
+/// workspace casts and are exempt; `V` is the `u32` vertex alias.
+const NARROW_CAST_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "V"];
+
+fn narrowing_cast(code: &str) -> Option<&'static str> {
+    let mut from = 0;
+    while let Some(at) = token_at(code, "as", from) {
+        from = at + 2;
+        let rest = code[from..].trim_start();
+        for t in NARROW_CAST_TARGETS {
+            if let Some(tail) = rest.strip_prefix(t) {
+                let after = tail.chars().next();
+                if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    return Some(t);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Is a `panic-path` finding at line `idx` justified by a nearby
+/// `// INVARIANT:` comment? "Nearby" is the same line, the 3 lines
+/// above, or anywhere in a contiguous comment block sitting directly
+/// above the statement (so a long argument isn't pushed out of range
+/// by its own length).
+fn invariant_nearby(lines: &[Line], idx: usize) -> bool {
+    if comment_window_contains(lines, idx.saturating_sub(3), idx, "INVARIANT:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 && lines[j - 1].code.trim().is_empty() && !lines[j - 1].comment.is_empty() {
+        if lines[j - 1].comment.contains("INVARIANT:") {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Pass: wal-drift
+// ---------------------------------------------------------------------------
+
+/// Lines of the body of the first `fn <name>` in `lines`, as
+/// (line index, code) pairs — brace-tracked from the signature line.
+fn fn_body(lines: &[Line], name: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut in_fn = false;
+    let mut opened = false;
+    for (i, l) in lines.iter().enumerate() {
+        if !in_fn {
+            let Some(at) = token_at(&l.code, "fn", 0) else {
+                continue;
+            };
+            if token_at(&l.code[at..], name, 0).is_none() {
+                continue;
+            }
+            in_fn = true;
+        }
+        out.push((i, l.code.clone()));
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Every identifier starting with `prefix` in `code`, token-bounded.
+fn idents_with_prefix(code: &str, prefix: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(prefix) {
+        let at = from + p;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let tail: String = code[at..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        from = at + tail.len().max(prefix.len());
+        if before_ok && tail.len() >= prefix.len() {
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Parse `const <name>: <ty> = <int-sum>;` into the term list, e.g.
+/// `8 + 32 + 4` → `[8, 32, 4]`. None if the line isn't that shape.
+fn const_terms(code: &str, name: &str) -> Option<Vec<u64>> {
+    let at = token_at(code, name, 0)?;
+    let rhs = code[at..].split('=').nth(1)?;
+    let rhs = rhs.split(';').next()?.trim();
+    let mut terms = Vec::new();
+    for t in rhs.split('+') {
+        let t = t.trim();
+        // `1 << 30`-style shift terms: evaluate the shift.
+        if let Some((l, r)) = t.split_once("<<") {
+            let l: u64 = l.trim().parse().ok()?;
+            let r: u32 = r.trim().parse().ok()?;
+            terms.push(l.checked_shl(r)?);
+        } else {
+            terms.push(t.parse().ok()?);
+        }
+    }
+    Some(terms)
+}
+
+/// The cross-site encode/decode agreement checks for the WAL file.
+/// Findings anchor on the *decode* (or constant) side — the side that
+/// silently accepts drift.
+fn wal_drift(rel: &Path, lines: &[Line], pragmas: &Pragmas) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut find = |idx: usize, msg: String| {
+        if !pragmas.allows(idx, "wal-drift") {
+            out.push(Finding {
+                file: rel.to_path_buf(),
+                line: idx + 1,
+                rule: "wal-drift",
+                msg,
+            });
+        }
+    };
+
+    // 1. `append_<x>` may only push `KIND_<X>`. An inline encoder that
+    //    stamps the wrong tag writes records the decoder will
+    //    misinterpret forever after.
+    for (i, l) in lines.iter().enumerate() {
+        let Some(fnat) = token_at(&l.code, "fn", 0) else {
+            continue;
+        };
+        let after = &l.code[fnat + 2..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let Some(kind_suffix) = name.strip_prefix("append_") else {
+            continue;
+        };
+        let want = format!("KIND_{}", kind_suffix.to_uppercase());
+        for (j, code) in fn_body(&lines[i..], &name)
+            .into_iter()
+            .map(|(j, c)| (i + j, c))
+        {
+            for k in idents_with_prefix(&code, "KIND_") {
+                if k != want {
+                    find(
+                        j,
+                        format!(
+                            "`{name}` stamps `{k}` but its records decode as `{want}` — encode/decode tag drift"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // 2. Every declared `KIND_*` needs a distinct value, an encode
+    //    push site, and a decode match arm.
+    let mut decls: Vec<(usize, String, Option<u64>)> = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if !l.code.trim_start().starts_with("const KIND_") {
+            continue;
+        }
+        let name = idents_with_prefix(&l.code, "KIND_")
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        let val =
+            const_terms(&l.code, &name).and_then(|t| if t.len() == 1 { Some(t[0]) } else { None });
+        decls.push((i, name, val));
+    }
+    for (i, name, val) in &decls {
+        let pushed = lines
+            .iter()
+            .any(|l| l.code.contains(&format!("push({name})")));
+        let decoded = lines.iter().any(|l| {
+            token_at(&l.code, name, 0)
+                .is_some_and(|at| l.code[at + name.len()..].trim_start().starts_with("=>"))
+        });
+        if !pushed {
+            find(*i, format!("`{name}` has no encode site (`push({name})`)"));
+        }
+        if !decoded {
+            find(
+                *i,
+                format!("`{name}` has no decode match arm (`{name} =>`)"),
+            );
+        }
+        if let Some(v) = val {
+            if decls
+                .iter()
+                .any(|(j, n, w)| j != i && n != name && *w == Some(*v))
+            {
+                find(
+                    *i,
+                    format!("`{name}` shares tag value {v} with another KIND_"),
+                );
+            }
+        }
+    }
+
+    // 3. `encode_header` and `parse_header` must agree on header field
+    //    order — the header has no per-field tags, only position.
+    let enc_fields: Vec<String> = fn_body(lines, "encode_header")
+        .iter()
+        .filter(|(_, c)| c.contains("put_u64"))
+        .filter_map(|(_, c)| {
+            let at = c.find("h.")?;
+            Some(
+                c[at + 2..]
+                    .chars()
+                    .take_while(|ch| ch.is_alphanumeric() || *ch == '_')
+                    .collect(),
+            )
+        })
+        .collect();
+    let parse_body = fn_body(lines, "parse_header");
+    let dec_fields: Vec<(usize, String)> = parse_body
+        .iter()
+        .filter(|(_, c)| c.contains(": r.u64()"))
+        .map(|(i, c)| {
+            let name = c.split(':').next().unwrap_or("").trim().to_string();
+            (*i, name)
+        })
+        .collect();
+    if !enc_fields.is_empty() || !dec_fields.is_empty() {
+        let dec_names: Vec<&str> = dec_fields.iter().map(|(_, n)| n.as_str()).collect();
+        let enc_names: Vec<&str> = enc_fields.iter().map(|s| s.as_str()).collect();
+        if enc_names != dec_names {
+            let at = dec_fields
+                .first()
+                .map(|(i, _)| *i)
+                .or_else(|| parse_body.first().map(|(i, _)| *i))
+                .unwrap_or(0);
+            find(
+                at,
+                format!(
+                    "header field order drift: encode writes [{}], decode reads [{}]",
+                    enc_names.join(", "),
+                    dec_names.join(", ")
+                ),
+            );
+        }
+        // 4. Length arithmetic: HEADER_LEN = magic(8) + 8·fields +
+        //    crc(4); PREFIX_LEN = len u32 + crc u32; MIN_BODY = kind
+        //    u8 + seq u64.
+        for (i, l) in lines.iter().enumerate() {
+            if l.code.trim_start().starts_with("const HEADER_LEN") {
+                match const_terms(&l.code, "HEADER_LEN") {
+                    Some(t) if t.len() == 3 && t[0] == 8 && t[2] == 4 => {
+                        let want = 8 * enc_fields.len() as u64;
+                        if t[1] != want {
+                            find(
+                                i,
+                                format!(
+                                    "HEADER_LEN field term is {} but encode_header writes {} u64 fields ({} bytes)",
+                                    t[1],
+                                    enc_fields.len(),
+                                    want
+                                ),
+                            );
+                        }
+                    }
+                    _ => find(
+                        i,
+                        "HEADER_LEN must be the canonical `8 + <8·fields> + 4` sum".into(),
+                    ),
+                }
+            }
+            if l.code.trim_start().starts_with("const PREFIX_LEN")
+                && const_terms(&l.code, "PREFIX_LEN") != Some(vec![8])
+            {
+                find(i, "PREFIX_LEN must be 8 (len u32 + crc u32)".into());
+            }
+            if l.code.trim_start().starts_with("const MIN_BODY")
+                && const_terms(&l.code, "MIN_BODY") != Some(vec![9])
+            {
+                find(i, "MIN_BODY must be 9 (kind u8 + seq u64)".into());
+            }
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The per-file scan: every applicable pass over one lexed file
+// ---------------------------------------------------------------------------
+
+pub fn scan(rel: &Path, src: &str) -> Vec<Finding> {
+    let Some(scope) = scope_for(rel) else {
+        return Vec::new();
+    };
+    let lines = lex(src);
+    let raw: Vec<&str> = src.lines().collect();
+    let in_test = test_regions(&lines);
+    let mut out = Vec::new();
+    let pragmas = Pragmas::collect(&lines, rel, &mut out);
+    let find = |line: usize, rule: &'static str, msg: String| Finding {
+        file: rel.to_path_buf(),
+        line: line + 1,
+        rule,
+        msg,
+    };
+
+    for (i, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+        let trimmed = code.trim();
+
+        // safety-comment: `unsafe` needs a SAFETY argument nearby
+        // (≤6 lines above, same line, or 2 lines into the block).
+        if scope.safety && has_token(code, "unsafe") && !trimmed.starts_with("#![") {
+            let lo = i.saturating_sub(6);
+            let has = comment_window_contains(&lines, lo, i + 2, "SAFETY")
+                || comment_window_contains(&lines, lo, i + 2, "# Safety");
+            // Pragma check last: `allows` marks the pragma used, and a
+            // pragma on a line that needed no suppression is stale.
+            if !has && !pragmas.allows(i, "safety-comment") {
+                out.push(find(
+                    i,
+                    "safety-comment",
+                    "`unsafe` without a `// SAFETY:` argument".into(),
+                ));
+            }
+        }
+
+        // atomic-ordering: an Ordering token in product code needs an
+        // `// ordering:` justification (imports exempt).
+        if scope.ordering
+            && !in_test[i]
+            && !trimmed.starts_with("use ")
+            && !trimmed.starts_with("pub use ")
+            && ORDERING_TOKENS.iter().any(|t| has_token(code, t))
+        {
+            // A 10-line window: ordering arguments are often a full
+            // paragraph ending several lines above the atomic op.
+            let lo = i.saturating_sub(10);
+            if !comment_window_contains(&lines, lo, i, "ordering:")
+                && !pragmas.allows(i, "atomic-ordering")
+            {
+                out.push(find(
+                    i,
+                    "atomic-ordering",
+                    "atomic `Ordering` without an `// ordering:` justification".into(),
+                ));
+            }
+        }
+
+        // no-unwrap: product paths return errors or state crash
+        // semantics explicitly via pragma.
+        if scope.unwrap && !in_test[i] {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) && !pragmas.allows(i, "no-unwrap") {
+                    out.push(find(
+                        i,
+                        "no-unwrap",
+                        format!("`{pat}` on a product path (return an error, or pragma a deliberate crash)"),
+                    ));
+                }
+            }
+        }
+
+        // no-debug-assert-invariant: lane/seq/epoch invariants must
+        // hold in release builds.
+        if scope.debug_assert && !in_test[i] && code.contains("debug_assert") {
+            // Search raw text: the invariant is usually named in the
+            // assert's message string, which the lexer blanks out.
+            let window_hi = (i + 2).min(raw.len().saturating_sub(1));
+            let text: String = raw[i..=window_hi].join(" ");
+            for marker in ["lane", "seq", "epoch", "delta"] {
+                if text.contains(marker) && !pragmas.allows(i, "no-debug-assert-invariant") {
+                    out.push(find(
+                        i,
+                        "no-debug-assert-invariant",
+                        format!(
+                            "`debug_assert!` guards a cross-lane/seq invariant (mentions `{marker}`); use `assert!`"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // facade-bypass: concurrency primitives must come from
+        // `bds_par::sync` so the model checker sees them.
+        if scope.facade && !in_test[i] {
+            if let Some(pat) = facade_bypass_hit(code) {
+                if !pragmas.allows(i, "facade-bypass") {
+                    out.push(find(
+                        i,
+                        "facade-bypass",
+                        format!(
+                            "`{pat}` bypasses the `bds_par::sync` facade — invisible to the model checker; use the facade (or `sync::global` for process-global statics)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // panic-path: indexing / division / narrowing casts need an
+        // INVARIANT argument on product paths.
+        if scope.panic && !in_test[i] {
+            let mut hit = |what: String| {
+                if !invariant_nearby(&lines, i) && !pragmas.allows(i, "panic-path") {
+                    out.push(find(i, "panic-path", what));
+                }
+            };
+            if has_unguarded_index(code) {
+                hit(
+                    "unguarded slice/array index — argue it with `// INVARIANT:` or use `.get()`"
+                        .into(),
+                );
+            }
+            if has_nonliteral_division(code) {
+                hit(
+                    "`/` or `%` by a non-literal divisor — argue nonzero with `// INVARIANT:`"
+                        .into(),
+                );
+            }
+            if let Some(t) = narrowing_cast(code) {
+                hit(format!(
+                    "`as {t}` can truncate — argue the range with `// INVARIANT:` or use `try_into`"
+                ));
+            }
+        }
+    }
+
+    // deny-unsafe-op: crate roots must carry the lint gate.
+    if scope.crate_root
+        && !lines
+            .iter()
+            .any(|l| l.code.contains("deny(unsafe_op_in_unsafe_fn)"))
+        && !pragmas.allows(0, "deny-unsafe-op")
+    {
+        out.push(find(
+            0,
+            "deny-unsafe-op",
+            "crate root lacks `#![deny(unsafe_op_in_unsafe_fn)]`".into(),
+        ));
+    }
+
+    // wal-drift: cross-site encode/decode agreement.
+    if scope.wal {
+        out.extend(wal_drift(rel, &lines, &pragmas));
+    }
+
+    // stale-pragma: must run after every pass that can mark a pragma
+    // used.
+    pragmas.stale(rel, &mut out);
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace driver
+// ---------------------------------------------------------------------------
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(
+                path.strip_prefix(root)
+                    .unwrap_or(path.as_path())
+                    .to_path_buf(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A whole-workspace scan result.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Aggregate findings into the ratchet shape:
+    /// `{file: {rule: count}}`.
+    pub fn counts(&self) -> BTreeMap<String, BTreeMap<String, u64>> {
+        let mut out: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in &self.findings {
+            *out.entry(f.file.to_string_lossy().replace('\\', "/"))
+                .or_default()
+                .entry(f.rule.to_string())
+                .or_default() += 1;
+        }
+        out
+    }
+}
+
+/// Scan every `.rs` file under `root` (skipping `target/` and
+/// dot-directories) with all applicable passes.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for rel in &files {
+        if scope_for(rel).is_none() {
+            continue;
+        }
+        let Ok(src) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        files_scanned += 1;
+        findings.extend(scan(rel, &src));
+    }
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Ratchet: committed per-file, per-rule counts that only decrease
+// ---------------------------------------------------------------------------
+
+pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// The outcome of holding a report against the committed baseline.
+pub struct RatchetDiff {
+    /// (file, rule, baseline, current) where current > baseline.
+    pub regressions: Vec<(String, String, u64, u64)>,
+    /// (file, rule, baseline, current) where current < baseline —
+    /// good news, but the baseline must be tightened to match.
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+impl RatchetDiff {
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty() && self.improvements.is_empty()
+    }
+}
+
+/// Compare current counts against the baseline, in both directions.
+pub fn ratchet_diff(baseline: &Counts, current: &Counts) -> RatchetDiff {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (f, rules) in baseline {
+        for r in rules.keys() {
+            keys.push((f.clone(), r.clone()));
+        }
+    }
+    for (f, rules) in current {
+        for r in rules.keys() {
+            if !keys.contains(&(f.clone(), r.clone())) {
+                keys.push((f.clone(), r.clone()));
+            }
+        }
+    }
+    keys.sort();
+    for (f, r) in keys {
+        let base = baseline
+            .get(&f)
+            .and_then(|m| m.get(&r))
+            .copied()
+            .unwrap_or(0);
+        let cur = current
+            .get(&f)
+            .and_then(|m| m.get(&r))
+            .copied()
+            .unwrap_or(0);
+        if cur > base {
+            regressions.push((f.clone(), r.clone(), base, cur));
+        } else if cur < base {
+            improvements.push((f.clone(), r.clone(), base, cur));
+        }
+    }
+    RatchetDiff {
+        regressions,
+        improvements,
+    }
+}
+
+/// Render counts as the committed `ratchet.json` (stable order,
+/// 2-space indent, trailing newline).
+pub fn render_counts(counts: &Counts) -> String {
+    let mut s = String::from("{\n");
+    let nf = counts.len();
+    for (fi, (file, rules)) in counts.iter().enumerate() {
+        s.push_str(&format!("  {}: {{\n", json_string(file)));
+        let nr = rules.len();
+        for (ri, (rule, count)) in rules.iter().enumerate() {
+            s.push_str(&format!(
+                "    {}: {}{}\n",
+                json_string(rule),
+                count,
+                if ri + 1 < nr { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("  }}{}\n", if fi + 1 < nf { "," } else { "" }));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parse the `{file: {rule: count}}` ratchet JSON. A restricted
+/// hand-rolled parser (the workspace is offline; no serde): objects,
+/// string keys, unsigned integers, arbitrary whitespace.
+pub fn parse_counts(s: &str) -> Result<Counts, String> {
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    let counts = parse_obj(&b, &mut i, |b, i| parse_obj(b, i, parse_uint))?;
+    skip_ws(&b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at offset {i}"));
+    }
+    Ok(counts)
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while b.get(*i).is_some_and(|c| c.is_whitespace()) {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[char], i: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(b, i);
+    if b.get(*i) == Some(&c) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {i}", i = *i))
+    }
+}
+
+fn parse_json_str(b: &[char], i: &mut usize) -> Result<String, String> {
+    expect(b, i, '"')?;
+    let mut s = String::new();
+    loop {
+        match b.get(*i) {
+            Some('"') => {
+                *i += 1;
+                return Ok(s);
+            }
+            Some('\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(&c @ ('"' | '\\' | '/')) => s.push(c),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *i += 1;
+            }
+            Some(&c) => {
+                s.push(c);
+                *i += 1;
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_uint(b: &[char], i: &mut usize) -> Result<u64, String> {
+    skip_ws(b, i);
+    let start = *i;
+    while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        *i += 1;
+    }
+    if *i == start {
+        return Err(format!("expected a number at offset {start}"));
+    }
+    b[start..*i]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .map_err(|e| format!("bad number: {e}"))
+}
+
+fn parse_obj<T>(
+    b: &[char],
+    i: &mut usize,
+    mut val: impl FnMut(&[char], &mut usize) -> Result<T, String>,
+) -> Result<BTreeMap<String, T>, String> {
+    expect(b, i, '{')?;
+    let mut out = BTreeMap::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&'}') {
+        *i += 1;
+        return Ok(out);
+    }
+    loop {
+        let key = parse_json_str(b, i)?;
+        expect(b, i, ':')?;
+        let v = val(b, i)?;
+        out.insert(key, v);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(',') => {
+                *i += 1;
+                skip_ws(b, i);
+            }
+            Some('}') => {
+                *i += 1;
+                return Ok(out);
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The machine-readable findings report (see the module docs for the
+/// schema).
+pub fn findings_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n");
+    s.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"findings\": [\n",
+        report.files_scanned
+    ));
+    let mut sorted: Vec<&Finding> = report.findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let n = sorted.len();
+    for (i, f) in sorted.into_iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"msg\": {} }}{}\n",
+            json_string(&f.file.to_string_lossy().replace('\\', "/")),
+            f.line,
+            json_string(f.rule),
+            json_string(&f.msg),
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"counts\": ");
+    let counts = render_counts(&report.counts());
+    // Indent the nested object to sit inside the report object.
+    let indented: String = counts
+        .trim_end()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("  {l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    s.push_str(&indented);
+    s.push_str("\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(path: &str, src: &str) -> Vec<String> {
+        scan(Path::new(path), src)
+            .into_iter()
+            .map(|f| format!("{}:{}", f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn lexer_strips_comments_and_strings() {
+        let src = r#"let a = "// not a comment"; // real comment
+let b = 1; /* block
+still block */ let c = 2;
+let d = '"'; let lt: &'static str = "x";"#;
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("not a comment"));
+        assert_eq!(lines[0].comment.trim(), "real comment");
+        assert!(lines[1].comment.contains("block"));
+        assert!(lines[2].code.contains("let c"));
+        assert!(!lines[3].code.contains('"') || !lines[3].code.contains("x"));
+        assert!(lines[3].code.contains("'static"));
+    }
+
+    #[test]
+    fn lexer_handles_nested_block_and_raw_strings() {
+        let src = "/* a /* b */ still */ code\nlet r = r#\"raw \"quote\" //x\"#; tail();";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("code"));
+        assert!(lines[0].comment.contains("a"));
+        assert!(!lines[1].code.contains("raw"));
+        assert!(lines[1].code.contains("tail()"));
+        assert!(lines[1].comment.is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged_and_comment_accepts() {
+        let bad = "fn f() {\n    unsafe { g() }\n}\n";
+        let hits = scan_str("crates/x/src/a.rs", bad);
+        assert!(
+            hits.iter().any(|h| h.starts_with("safety-comment")),
+            "{hits:?}"
+        );
+        let good = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}\n";
+        assert!(scan_str("crates/x/src/a.rs", good).is_empty());
+        let doc = "/// # Safety\n/// Caller must own the slot.\nunsafe fn f() {}\n";
+        assert!(scan_str("crates/x/src/a.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn ordering_needs_justification_but_imports_do_not() {
+        let bad = "fn f(a: &AtomicUsize) {\n    a.store(1, Ordering::SeqCst);\n}\n";
+        let hits = scan_str("crates/x/src/a.rs", bad);
+        assert!(
+            hits.iter().any(|h| h.starts_with("atomic-ordering")),
+            "{hits:?}"
+        );
+        let good = "fn f(a: &AtomicUsize) {\n    // ordering: publish under the pin total order.\n    a.store(1, Ordering::SeqCst);\n}\n";
+        assert!(scan_str("crates/x/src/a.rs", good).is_empty());
+        let import = "use std::sync::atomic::Ordering::SeqCst;\n";
+        assert!(scan_str("crates/x/src/a.rs", import).is_empty());
+        // Identifier containing a token substring is not a hit.
+        let ident = "fn f() { let release_notes = 1; }\n";
+        assert!(scan_str("crates/x/src/a.rs", ident).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_on_product_paths_only() {
+        let src = "fn f() { x().unwrap(); }\n";
+        assert!(!scan_str("crates/graph/src/a.rs", src).is_empty());
+        assert!(scan_str("crates/bench/src/a.rs", src).is_empty());
+        assert!(scan_str("crates/graph/tests/a.rs", src).is_empty());
+        assert!(scan_str("vendor/loom/src/a.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { x().unwrap(); }\n}\n";
+        assert!(scan_str("crates/graph/src/a.rs", in_test).is_empty());
+        let not_test = "#[cfg(not(test))]\nmod m {\n    fn f() { x().unwrap(); }\n}\n";
+        assert!(!scan_str("crates/graph/src/a.rs", not_test).is_empty());
+    }
+
+    #[test]
+    fn pragmas_suppress_with_reason_and_report_without() {
+        let good = "fn f() {\n    // bds:allow(no-unwrap): deliberate crash, WAL contract.\n    x().unwrap();\n}\n";
+        assert!(scan_str("crates/graph/src/a.rs", good).is_empty());
+        let bare = "fn f() {\n    // bds:allow(no-unwrap)\n    x().unwrap();\n}\n";
+        let hits = scan_str("crates/graph/src/a.rs", bare);
+        assert!(
+            hits.iter().any(|h| h.starts_with("pragma-reason")),
+            "{hits:?}"
+        );
+        let file_level =
+            "// bds:allow-file(no-unwrap): generated table, infallible by construction.\nfn f() { x().unwrap(); }\n";
+        assert!(scan_str("crates/graph/src/a.rs", file_level).is_empty());
+    }
+
+    #[test]
+    fn debug_assert_on_lane_invariants_flagged_in_graph_only() {
+        let src = "fn f() {\n    debug_assert!(old.is_some(), \"edge not live on its lane\");\n}\n";
+        let hits = scan_str("crates/graph/src/a.rs", src);
+        assert!(
+            hits.iter()
+                .any(|h| h.starts_with("no-debug-assert-invariant")),
+            "{hits:?}"
+        );
+        assert!(scan_str("crates/estree/src/a.rs", src).is_empty());
+        let benign = "fn f() {\n    debug_assert!(i < len);\n}\n";
+        assert!(scan_str("crates/graph/src/a.rs", benign).is_empty());
+    }
+
+    #[test]
+    fn crate_root_must_deny_unsafe_op() {
+        let bare = "pub fn f() {}\n";
+        let hits = scan_str("crates/x/src/lib.rs", bare);
+        assert!(
+            hits.iter().any(|h| h.starts_with("deny-unsafe-op")),
+            "{hits:?}"
+        );
+        let good = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
+        assert!(scan_str("crates/x/src/lib.rs", good).is_empty());
+        // Non-root modules are exempt.
+        assert!(scan_str("crates/x/src/m/other.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn test_region_tracking_covers_nested_braces() {
+        let src = "#[cfg(all(test, not(bds_model)))]\nmod tests {\n    fn g() {\n        h().unwrap();\n    }\n}\nfn prod() { p().unwrap(); }\n";
+        let hits = scan_str("crates/graph/src/a.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].starts_with("no-unwrap:7"), "{hits:?}");
+    }
+
+    #[test]
+    fn facade_bypass_flags_std_sync_in_concurrency_product_only() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        assert!(scan_str("crates/graph/src/a.rs", src)
+            .iter()
+            .any(|h| h.starts_with("facade-bypass")));
+        // The facade itself, other crates, and tests are exempt.
+        assert!(scan_str("crates/par/src/sync/dbuf.rs", src).is_empty());
+        assert!(scan_str("crates/par/src/sync.rs", src).is_empty());
+        assert!(scan_str("crates/estree/src/a.rs", src).is_empty());
+        assert!(scan_str("crates/graph/tests/a.rs", src).is_empty());
+        // Arc is fine; brace imports of primitives are not.
+        assert!(scan_str("crates/graph/src/a.rs", "use std::sync::Arc;\n").is_empty());
+        assert!(!scan_str("crates/graph/src/a.rs", "use std::sync::{Arc, Mutex};\n").is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_and_invariant_suppresses() {
+        let idx = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+        assert!(scan_str("crates/graph/src/a.rs", idx)
+            .iter()
+            .any(|h| h.starts_with("panic-path")));
+        let ok = "fn f(v: &[u32], i: usize) -> u32 {\n    // INVARIANT: i < v.len(), checked by the caller's loop bound.\n    v[i]\n}\n";
+        assert!(scan_str("crates/graph/src/a.rs", ok).is_empty());
+        // Literal divisors and widening casts are exempt.
+        assert!(scan_str("crates/graph/src/a.rs", "fn f(x: u64) -> u64 { x / 2 }\n").is_empty());
+        assert!(scan_str(
+            "crates/graph/src/a.rs",
+            "fn f(x: u32) -> u64 { x as u64 }\n"
+        )
+        .is_empty());
+        assert!(!scan_str(
+            "crates/graph/src/a.rs",
+            "fn f(x: u64, y: u64) -> u64 { x % y }\n"
+        )
+        .is_empty());
+        assert!(!scan_str(
+            "crates/graph/src/a.rs",
+            "fn f(x: u64) -> u32 { x as u32 }\n"
+        )
+        .is_empty());
+        // Slice types and for-loops are not indexing.
+        assert!(scan_str("crates/graph/src/a.rs", "fn f(v: &mut [u32]) {}\n").is_empty());
+        assert!(scan_str("crates/graph/src/a.rs", "struct R<'a> { b: &'a [u8] }\n").is_empty());
+        assert!(scan_str("crates/graph/src/a.rs", "fn f() { for _x in [1, 2] {} }\n").is_empty());
+        // Other crates are out of scope for this pass.
+        assert!(scan_str("crates/estree/src/a.rs", idx).is_empty());
+    }
+
+    #[test]
+    fn stale_pragma_flagged_used_pragma_not() {
+        let stale =
+            "fn f() {\n    // bds:allow(no-unwrap): nothing here unwraps anymore.\n    g();\n}\n";
+        let hits = scan_str("crates/graph/src/a.rs", stale);
+        assert!(
+            hits.iter().any(|h| h.starts_with("stale-pragma")),
+            "{hits:?}"
+        );
+        let used =
+            "fn f() {\n    // bds:allow(no-unwrap): deliberate crash.\n    g().unwrap();\n}\n";
+        assert!(scan_str("crates/graph/src/a.rs", used).is_empty());
+        let stale_file = "// bds:allow-file(atomic-ordering): none left.\nfn f() {}\n";
+        assert!(scan_str("crates/graph/src/a.rs", stale_file)
+            .iter()
+            .any(|h| h.starts_with("stale-pragma")));
+    }
+
+    #[test]
+    fn doc_comment_pragma_examples_are_not_pragmas() {
+        // Module docs quoting the pragma syntax must not register as
+        // (stale) pragmas.
+        let src = "//! Suppress with `bds:allow(no-unwrap): reason`.\n/// Or `bds:allow-file(panic-path): reason`.\nfn f() {}\n";
+        assert!(scan_str("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ratchet_json_roundtrips_and_diffs() {
+        let mut counts: Counts = BTreeMap::new();
+        counts
+            .entry("crates/graph/src/wal.rs".into())
+            .or_default()
+            .insert("panic-path".into(), 3);
+        counts
+            .entry("crates/par/src/lib.rs".into())
+            .or_default()
+            .insert("panic-path".into(), 1);
+        let rendered = render_counts(&counts);
+        let parsed = parse_counts(&rendered).unwrap();
+        assert_eq!(parsed, counts);
+
+        let mut cur = counts.clone();
+        cur.get_mut("crates/graph/src/wal.rs")
+            .unwrap()
+            .insert("panic-path".into(), 4);
+        let d = ratchet_diff(&counts, &cur);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.improvements.is_empty());
+        cur.get_mut("crates/graph/src/wal.rs")
+            .unwrap()
+            .insert("panic-path".into(), 1);
+        let d = ratchet_diff(&counts, &cur);
+        assert_eq!(d.improvements.len(), 1);
+        assert!(d.regressions.is_empty());
+        // A rule disappearing entirely is an improvement to record.
+        cur.remove("crates/par/src/lib.rs");
+        let d = ratchet_diff(&counts, &cur);
+        assert_eq!(d.improvements.len(), 2);
+    }
+
+    #[test]
+    fn findings_json_is_parseable_shape() {
+        let report = Report {
+            findings: vec![Finding {
+                file: PathBuf::from("crates/graph/src/a.rs"),
+                line: 3,
+                rule: "panic-path",
+                msg: "a \"quoted\" msg".into(),
+            }],
+            files_scanned: 1,
+        };
+        let j = findings_json(&report);
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\\\"quoted\\\""));
+        // The embedded counts object parses back to the aggregate.
+        let at = j.find("\"counts\": ").unwrap() + "\"counts\": ".len();
+        let counts = parse_counts(j[at..].trim_end().trim_end_matches('}').trim_end()).unwrap();
+        assert_eq!(counts, report.counts());
+    }
+
+    mod wal_drift_checks {
+        use super::*;
+
+        const WAL_OK: &str = "\
+const HEADER_LEN: usize = 8 + 16 + 4;
+const PREFIX_LEN: usize = 8;
+const MIN_BODY: u32 = 9;
+const KIND_SEED: u8 = 0;
+const KIND_BATCH: u8 = 1;
+fn encode_header(buf: &mut Vec<u8>, h: &LogHeader) {
+    put_u64(buf, h.engine_id);
+    put_u64(buf, h.n);
+}
+fn parse_header(data: &[u8]) -> LogHeader {
+    LogHeader {
+        engine_id: r.u64().unwrap_or(0),
+        n: r.u64().unwrap_or(0),
+    }
+}
+fn encode_body(buf: &mut Vec<u8>) {
+    buf.push(KIND_SEED);
+    buf.push(KIND_BATCH);
+}
+fn decode_body(kind: u8) {
+    match kind {
+        KIND_SEED => {}
+        KIND_BATCH => {}
+        _ => {}
+    }
+}
+fn append_batch(&mut self) {
+    self.scratch.push(KIND_BATCH);
+}
+";
+
+        fn drift_hits(src: &str) -> Vec<String> {
+            scan(Path::new("crates/graph/src/wal.rs"), src)
+                .into_iter()
+                .filter(|f| f.rule == "wal-drift")
+                .map(|f| f.msg)
+                .collect()
+        }
+
+        #[test]
+        fn canonical_shape_is_clean() {
+            assert_eq!(drift_hits(WAL_OK), Vec::<String>::new());
+        }
+
+        #[test]
+        fn wrong_tag_in_append_fn() {
+            let bad = WAL_OK.replace(
+                "self.scratch.push(KIND_BATCH);",
+                "self.scratch.push(KIND_SEED);",
+            );
+            let hits = drift_hits(&bad);
+            assert!(hits.iter().any(|m| m.contains("tag drift")), "{hits:?}");
+        }
+
+        #[test]
+        fn missing_decode_arm() {
+            let bad = WAL_OK.replace("        KIND_SEED => {}\n", "");
+            let hits = drift_hits(&bad);
+            assert!(
+                hits.iter().any(|m| m.contains("no decode match arm")),
+                "{hits:?}"
+            );
+        }
+
+        #[test]
+        fn header_field_order_drift() {
+            let bad = WAL_OK.replace(
+                "        engine_id: r.u64().unwrap_or(0),\n        n: r.u64().unwrap_or(0),",
+                "        n: r.u64().unwrap_or(0),\n        engine_id: r.u64().unwrap_or(0),",
+            );
+            let hits = drift_hits(&bad);
+            assert!(
+                hits.iter().any(|m| m.contains("field order drift")),
+                "{hits:?}"
+            );
+        }
+
+        #[test]
+        fn header_len_arithmetic_drift() {
+            let bad = WAL_OK.replace("8 + 16 + 4", "8 + 24 + 4");
+            let hits = drift_hits(&bad);
+            assert!(hits.iter().any(|m| m.contains("HEADER_LEN")), "{hits:?}");
+            let dup = WAL_OK.replace("const KIND_BATCH: u8 = 1;", "const KIND_BATCH: u8 = 0;");
+            let hits = drift_hits(&dup);
+            assert!(
+                hits.iter().any(|m| m.contains("shares tag value")),
+                "{hits:?}"
+            );
+        }
+    }
+}

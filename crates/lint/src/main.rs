@@ -1,738 +1,166 @@
-//! `bds_lint` — tier 1 of the workspace's verification ladder (see
-//! `bds_par::sync`): a token-level scanner for the concurrency and
-//! robustness conventions the serving stack depends on but `rustc`
-//! cannot enforce. No crates.io dependencies; the lexer below strips
-//! comments and string literals (keeping comment text, which is where
-//! the justifications live) and the rules work on the residue.
+//! CLI front-end for the `bds_lint` analyzer — see the library docs
+//! (`crates/lint/src/lib.rs`) for the rules, the pragma forms, the
+//! ratchet semantics, and the JSON findings schema.
 //!
-//! # Rules
+//! ```text
+//! bds_lint [ROOT] [--json PATH] [--ratchet PATH] [--write-ratchet]
+//! ```
 //!
-//! * `safety-comment` — every `unsafe` token (block, `impl`, `fn`)
-//!   must carry a `// SAFETY:` comment (or a `# Safety` doc section)
-//!   within the surrounding lines. Applies everywhere, vendor shims
-//!   included: an unargued `unsafe` is a review debt wherever it is.
-//! * `atomic-ordering` — every atomic-`Ordering` token in product
-//!   code (`SeqCst`, `Relaxed`, `Acquire`, `Release`, `AcqRel`) must
-//!   carry a nearby `// ordering:` justification. The serving stack's
-//!   safety argument is a total-order argument; an ordering without a
-//!   stated reason is where that argument silently rots.
-//! * `no-unwrap` — no `.unwrap()` / `.expect(` in product-crate
-//!   non-test code. Deliberate crash semantics (the WAL's
-//!   never-publish-unlogged-state contract) get an explicit
-//!   `bds:allow` pragma instead of an unexamined default.
-//! * `no-debug-assert-invariant` — `debug_assert!` must not guard
-//!   cross-lane / sequence-number invariants in `bds_graph`: those
-//!   checks are the corruption firewall between the engine and served
-//!   views and must fire in release builds too.
-//! * `deny-unsafe-op` — every crate root declares
-//!   `#![deny(unsafe_op_in_unsafe_fn)]`, so `unsafe fn` bodies must
-//!   scope their unsafe operations explicitly.
+//! * `ROOT` — workspace root to scan (default `.`).
+//! * `--json PATH` — also write the machine-readable findings report.
+//! * `--ratchet PATH` — baseline to hold the scan against (default
+//!   `ROOT/crates/lint/ratchet.json`; if the file does not exist the
+//!   scan runs un-ratcheted and any finding fails).
+//! * `--write-ratchet` — overwrite the baseline with the current
+//!   counts (for committing a tightened ratchet) instead of diffing.
 //!
-//! # Pragmas
-//!
-//! A finding is suppressed by a comment on the same line or up to two
-//! lines above: `// bds:allow(rule-name): reason`. A whole file opts
-//! out with `// bds:allow-file(rule-name): reason` anywhere in the
-//! file. A pragma without a reason is itself reported.
-//!
-//! Exit status: 0 when clean, 1 when any finding survives.
+//! Exit status: 0 clean, 1 findings / ratchet drift, 2 usage or IO
+//! error.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use std::fmt;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-// ---------------------------------------------------------------------------
-// Lexer: split each line into code text and comment text
-// ---------------------------------------------------------------------------
+use bds_lint::{findings_json, parse_counts, ratchet_diff, render_counts, run};
 
-/// One physical source line after lexing: `code` has comments and
-/// string/char-literal contents blanked out, `comment` holds the text
-/// of any comment (line or block) present on the line.
-#[derive(Debug, Default, Clone)]
-struct Line {
-    code: String,
-    comment: String,
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    ratchet: Option<PathBuf>,
+    write_ratchet: bool,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum LexState {
-    Code,
-    /// Inside `/* ... */`, which nests in Rust; the depth rides along.
-    Block(u32),
-    Str,
-    /// Inside `r##"..."##`; the payload is the hash count.
-    RawStr(u32),
-}
-
-/// Lex `src` into per-line code/comment split. Handles line and
-/// (nested) block comments, string / byte-string / raw-string
-/// literals, and the char-literal vs. lifetime ambiguity.
-fn lex(src: &str) -> Vec<Line> {
-    let b: Vec<char> = src.chars().collect();
-    let mut lines = Vec::new();
-    let mut cur = Line::default();
-    let mut st = LexState::Code;
-    let mut i = 0usize;
-    while i < b.len() {
-        let c = b[i];
-        if c == '\n' {
-            lines.push(std::mem::take(&mut cur));
-            i += 1;
-            continue;
-        }
-        match st {
-            LexState::Code => {
-                if c == '/' && b.get(i + 1) == Some(&'/') {
-                    // Line comment: capture to end of line.
-                    let mut j = i + 2;
-                    while j < b.len() && b[j] != '\n' {
-                        cur.comment.push(b[j]);
-                        j += 1;
-                    }
-                    i = j;
-                } else if c == '/' && b.get(i + 1) == Some(&'*') {
-                    st = LexState::Block(1);
-                    i += 2;
-                } else if c == '"' {
-                    cur.code.push('"');
-                    st = LexState::Str;
-                    i += 1;
-                } else if c == 'r' && !prev_is_ident(&b, i) && raw_str_hashes(&b, i + 1).is_some() {
-                    let h = raw_str_hashes(&b, i + 1).unwrap();
-                    cur.code.push('"');
-                    st = LexState::RawStr(h);
-                    i += 2 + h as usize; // r, hashes, opening quote
-                } else if c == 'b' && !prev_is_ident(&b, i) && b.get(i + 1) == Some(&'"') {
-                    cur.code.push('"');
-                    st = LexState::Str;
-                    i += 2;
-                } else if c == 'b'
-                    && !prev_is_ident(&b, i)
-                    && b.get(i + 1) == Some(&'r')
-                    && raw_str_hashes(&b, i + 2).is_some()
-                {
-                    let h = raw_str_hashes(&b, i + 2).unwrap();
-                    cur.code.push('"');
-                    st = LexState::RawStr(h);
-                    i += 3 + h as usize;
-                } else if c == '\'' {
-                    // Char literal vs lifetime: 'x' or '\..' is a
-                    // literal; anything else ('a in generics) is a
-                    // lifetime and stays code.
-                    if b.get(i + 1) == Some(&'\\') {
-                        let mut j = i + 2;
-                        if j < b.len() {
-                            j += 1; // the escaped char
-                        }
-                        while j < b.len() && b[j] != '\'' && b[j] != '\n' {
-                            j += 1;
-                        }
-                        cur.code.push_str("' '");
-                        i = (j + 1).min(b.len());
-                    } else if b.get(i + 2) == Some(&'\'') {
-                        cur.code.push_str("' '");
-                        i += 3;
-                    } else {
-                        cur.code.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    cur.code.push(c);
-                    i += 1;
-                }
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut json = None;
+    let mut ratchet = None;
+    let mut write_ratchet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a path argument")?,
+                ))
             }
-            LexState::Block(d) => {
-                if c == '*' && b.get(i + 1) == Some(&'/') {
-                    st = if d == 1 {
-                        LexState::Code
-                    } else {
-                        LexState::Block(d - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && b.get(i + 1) == Some(&'*') {
-                    st = LexState::Block(d + 1);
-                    i += 2;
-                } else {
-                    cur.comment.push(c);
-                    i += 1;
-                }
+            "--ratchet" => {
+                ratchet = Some(PathBuf::from(
+                    it.next().ok_or("--ratchet needs a path argument")?,
+                ))
             }
-            LexState::Str => {
-                if c == '\\' {
-                    i += 2; // skip the escaped char (incl. \" and \\)
-                } else if c == '"' {
-                    cur.code.push('"');
-                    st = LexState::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            LexState::RawStr(h) => {
-                if c == '"' && hashes_after(&b, i + 1) >= h {
-                    cur.code.push('"');
-                    st = LexState::Code;
-                    i += 1 + h as usize;
-                } else {
-                    i += 1;
-                }
-            }
+            "--write-ratchet" => write_ratchet = true,
+            _ if a.starts_with("--") => return Err(format!("unknown flag `{a}`")),
+            _ if root.is_none() => root = Some(PathBuf::from(a)),
+            _ => return Err(format!("unexpected argument `{a}`")),
         }
     }
-    lines.push(cur);
-    lines
-}
-
-fn prev_is_ident(b: &[char], i: usize) -> bool {
-    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
-}
-
-/// If `b[from..]` is `#*"` (zero or more hashes then a quote), the
-/// hash count — i.e. position `from` starts a raw-string delimiter.
-fn raw_str_hashes(b: &[char], from: usize) -> Option<u32> {
-    let mut h = 0u32;
-    let mut j = from;
-    while b.get(j) == Some(&'#') {
-        h += 1;
-        j += 1;
-    }
-    if b.get(j) == Some(&'"') {
-        Some(h)
-    } else {
-        None
-    }
-}
-
-fn hashes_after(b: &[char], from: usize) -> u32 {
-    let mut h = 0u32;
-    let mut j = from;
-    while b.get(j) == Some(&'#') {
-        h += 1;
-        j += 1;
-    }
-    h
-}
-
-// ---------------------------------------------------------------------------
-// Test-region detection
-// ---------------------------------------------------------------------------
-
-/// Per-line flag: is this line inside a `#[cfg(test…)]` / `#[test]`
-/// item? Brace-tracked, so whole `mod tests { … }` bodies are covered.
-fn test_regions(lines: &[Line]) -> Vec<bool> {
-    let mut in_test = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    // When inside a test item: the depth to pop back to.
-    let mut until: Option<i64> = None;
-    let mut pending_attr = false;
-    for (i, l) in lines.iter().enumerate() {
-        let start_depth = depth;
-        for c in l.code.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if let Some(u) = until {
-            in_test[i] = true;
-            if depth <= u {
-                until = None;
-            }
-            continue;
-        }
-        let t = l.code.trim();
-        if t.starts_with("#[") && attr_is_test(t) {
-            pending_attr = true;
-            in_test[i] = true;
-        } else if pending_attr && !t.is_empty() {
-            if t.starts_with("#[") {
-                in_test[i] = true; // stacked attribute
-            } else {
-                in_test[i] = true;
-                pending_attr = false;
-                if depth > start_depth {
-                    until = Some(start_depth);
-                }
-            }
-        }
-    }
-    in_test
-}
-
-/// Does this attribute gate the item on `test` compilation?
-/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
-/// `#[cfg(not(test))]`.
-fn attr_is_test(attr: &str) -> bool {
-    if attr.starts_with("#[test") {
-        return true;
-    }
-    if !attr.starts_with("#[cfg") {
-        return false;
-    }
-    let depositivized = attr.replace("not(test)", "");
-    depositivized.contains("test")
-}
-
-// ---------------------------------------------------------------------------
-// Findings + pragmas
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct Finding {
-    file: PathBuf,
-    line: usize, // 1-based
-    rule: &'static str,
-    msg: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{} [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.msg
-        )
-    }
-}
-
-/// Is `rule` suppressed at line `idx` — same-line or ≤2-lines-above
-/// `bds:allow(rule)`, or a file-level `bds:allow-file(rule)`?
-fn allowed(lines: &[Line], idx: usize, rule: &str, file_allows: &[String]) -> bool {
-    if file_allows.iter().any(|r| r == rule) {
-        return true;
-    }
-    let needle = format!("bds:allow({rule})");
-    lines[idx.saturating_sub(2)..=idx]
-        .iter()
-        .any(|l| l.comment.contains(&needle))
-}
-
-/// Collect file-level pragmas and flag reason-less ones.
-fn file_pragmas(lines: &[Line], file: &Path, out: &mut Vec<Finding>) -> Vec<String> {
-    let mut allows = Vec::new();
-    for (i, l) in lines.iter().enumerate() {
-        for key in ["bds:allow(", "bds:allow-file("] {
-            if let Some(p) = l.comment.find(key) {
-                let rest = &l.comment[p + key.len()..];
-                let Some(close) = rest.find(')') else {
-                    continue;
-                };
-                let rule = &rest[..close];
-                let reason = rest[close + 1..].trim_start_matches([':', ' ']);
-                if reason.trim().is_empty() {
-                    out.push(Finding {
-                        file: file.to_path_buf(),
-                        line: i + 1,
-                        rule: "pragma-reason",
-                        msg: format!("pragma for `{rule}` gives no reason"),
-                    });
-                }
-                if key == "bds:allow-file(" {
-                    allows.push(rule.to_string());
-                }
-            }
-        }
-    }
-    allows
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-const ORDERING_TOKENS: [&str; 5] = ["SeqCst", "Relaxed", "Acquire", "Release", "AcqRel"];
-
-/// Token `tok` present in `code` with non-identifier characters on
-/// both sides (so `Release` doesn't match `prerelease_check`).
-fn has_token(code: &str, tok: &str) -> bool {
-    let mut from = 0;
-    while let Some(p) = code[from..].find(tok) {
-        let at = from + p;
-        let before_ok = at == 0
-            || !code[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = code[at + tok.len()..].chars().next();
-        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        from = at + tok.len();
-    }
-    false
-}
-
-/// Does any comment in `lines[lo..=hi]` contain `needle`?
-fn comment_window_contains(lines: &[Line], lo: usize, hi: usize, needle: &str) -> bool {
-    let hi = hi.min(lines.len().saturating_sub(1));
-    lines[lo..=hi].iter().any(|l| l.comment.contains(needle))
-}
-
-/// What the scanner should check for one file, derived from its path.
-struct Scope {
-    safety: bool,
-    ordering: bool,
-    unwrap: bool,
-    debug_assert: bool,
-    crate_root: bool,
-}
-
-fn scope_for(rel: &Path) -> Option<Scope> {
-    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
-        return None;
-    }
-    let p = rel.to_string_lossy().replace('\\', "/");
-    let in_vendor = p.starts_with("vendor/");
-    let in_test_dir = p
-        .split('/')
-        .any(|c| c == "tests" || c == "benches" || c == "examples");
-    let product = !in_vendor
-        && !in_test_dir
-        && !p.starts_with("crates/bench/")
-        && !p.starts_with("crates/lint/");
-    let file = p.rsplit('/').next().unwrap_or("");
-    let under_src = p.contains("/src/") || p.starts_with("src/");
-    Some(Scope {
-        safety: true,
-        ordering: !in_vendor && !in_test_dir,
-        unwrap: product,
-        debug_assert: p.starts_with("crates/graph/src/"),
-        crate_root: under_src && (file == "lib.rs" || file == "main.rs") && {
-            // Only the root: `src/lib.rs`, not `src/foo/lib.rs`.
-            let after = p
-                .rsplit("/src/")
-                .next()
-                .and_then(|s| {
-                    if s == p {
-                        p.strip_prefix("src/")
-                    } else {
-                        Some(s)
-                    }
-                })
-                .unwrap_or("");
-            after == file
-        },
+    Ok(Args {
+        root: root.unwrap_or_else(|| PathBuf::from(".")),
+        json,
+        ratchet,
+        write_ratchet,
     })
 }
 
-/// Run every applicable rule over one lexed file.
-fn scan(rel: &Path, src: &str) -> Vec<Finding> {
-    let Some(scope) = scope_for(rel) else {
-        return Vec::new();
-    };
-    let lines = lex(src);
-    let raw: Vec<&str> = src.lines().collect();
-    let in_test = test_regions(&lines);
-    let mut out = Vec::new();
-    let file_allows = file_pragmas(&lines, rel, &mut out);
-    let find = |line: usize, rule: &'static str, msg: String| Finding {
-        file: rel.to_path_buf(),
-        line: line + 1,
-        rule,
-        msg,
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bds_lint: {e}");
+            eprintln!("usage: bds_lint [ROOT] [--json PATH] [--ratchet PATH] [--write-ratchet]");
+            return ExitCode::from(2);
+        }
     };
 
-    for (i, l) in lines.iter().enumerate() {
-        let code = l.code.as_str();
-        let trimmed = code.trim();
-
-        // safety-comment: `unsafe` needs a SAFETY argument nearby
-        // (≤6 lines above, same line, or 2 lines into the block).
-        if scope.safety
-            && has_token(code, "unsafe")
-            && !trimmed.starts_with("#![")
-            && !allowed(&lines, i, "safety-comment", &file_allows)
-        {
-            let lo = i.saturating_sub(6);
-            let has = comment_window_contains(&lines, lo, i + 2, "SAFETY")
-                || comment_window_contains(&lines, lo, i + 2, "# Safety");
-            if !has {
-                out.push(find(
-                    i,
-                    "safety-comment",
-                    "`unsafe` without a `// SAFETY:` argument".into(),
-                ));
-            }
+    let report = match run(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bds_lint: scan failed: {e}");
+            return ExitCode::from(2);
         }
+    };
+    let counts = report.counts();
 
-        // atomic-ordering: an Ordering token in product code needs an
-        // `// ordering:` justification (imports exempt).
-        if scope.ordering
-            && !in_test[i]
-            && !trimmed.starts_with("use ")
-            && !trimmed.starts_with("pub use ")
-            && ORDERING_TOKENS.iter().any(|t| has_token(code, t))
-            && !allowed(&lines, i, "atomic-ordering", &file_allows)
-        {
-            // A 10-line window: ordering arguments are often a full
-            // paragraph ending several lines above the atomic op.
-            let lo = i.saturating_sub(10);
-            if !comment_window_contains(&lines, lo, i, "ordering:") {
-                out.push(find(
-                    i,
-                    "atomic-ordering",
-                    "atomic `Ordering` without an `// ordering:` justification".into(),
-                ));
-            }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, findings_json(&report)) {
+            eprintln!("bds_lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
         }
+    }
 
-        // no-unwrap: product paths return errors or state crash
-        // semantics explicitly via pragma.
-        if scope.unwrap && !in_test[i] && !allowed(&lines, i, "no-unwrap", &file_allows) {
-            for pat in [".unwrap()", ".expect("] {
-                if code.contains(pat) {
-                    out.push(find(
-                        i,
-                        "no-unwrap",
-                        format!("`{pat}` on a product path (return an error, or pragma a deliberate crash)"),
-                    ));
+    let ratchet_path = args
+        .ratchet
+        .clone()
+        .unwrap_or_else(|| args.root.join("crates/lint/ratchet.json"));
+
+    if args.write_ratchet {
+        if let Err(e) = std::fs::write(&ratchet_path, render_counts(&counts)) {
+            eprintln!("bds_lint: writing {}: {e}", ratchet_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "bds_lint: wrote ratchet ({} findings across {} files) to {}",
+            report.findings.len(),
+            counts.len(),
+            ratchet_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match std::fs::read_to_string(&ratchet_path) {
+        Ok(baseline_src) => {
+            let baseline = match parse_counts(&baseline_src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bds_lint: bad ratchet {}: {e}", ratchet_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let diff = ratchet_diff(&baseline, &counts);
+            for (file, rule, base, cur) in &diff.regressions {
+                println!("REGRESSION {file} [{rule}]: {base} -> {cur} findings");
+                for f in &report.findings {
+                    let fp = f.file.to_string_lossy().replace('\\', "/");
+                    if &fp == file && f.rule == rule.as_str() {
+                        println!("  {f}");
+                    }
                 }
             }
-        }
-
-        // no-debug-assert-invariant: lane/seq/epoch invariants must
-        // hold in release builds.
-        if scope.debug_assert
-            && !in_test[i]
-            && code.contains("debug_assert")
-            && !allowed(&lines, i, "no-debug-assert-invariant", &file_allows)
-        {
-            // Search raw text: the invariant is usually named in the
-            // assert's message string, which the lexer blanks out.
-            let window_hi = (i + 2).min(raw.len().saturating_sub(1));
-            let text: String = raw[i..=window_hi].join(" ");
-            for marker in ["lane", "seq", "epoch", "delta"] {
-                if text.contains(marker) {
-                    out.push(find(
-                        i,
-                        "no-debug-assert-invariant",
-                        format!(
-                            "`debug_assert!` guards a cross-lane/seq invariant (mentions `{marker}`); use `assert!`"
-                        ),
-                    ));
-                    break;
-                }
+            for (file, rule, base, cur) in &diff.improvements {
+                println!(
+                    "TIGHTEN {file} [{rule}]: {base} -> {cur} findings; \
+                     re-run with --write-ratchet and commit the new baseline"
+                );
+            }
+            if diff.clean() {
+                println!(
+                    "bds_lint: clean ({} files, {} ratcheted findings)",
+                    report.files_scanned,
+                    report.findings.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bds_lint: ratchet drift ({} regressions, {} improvements)",
+                    diff.regressions.len(),
+                    diff.improvements.len()
+                );
+                ExitCode::FAILURE
             }
         }
-    }
-
-    // deny-unsafe-op: crate roots must carry the lint gate.
-    if scope.crate_root
-        && !lines
-            .iter()
-            .any(|l| l.code.contains("deny(unsafe_op_in_unsafe_fn)"))
-        && !file_allows.iter().any(|r| r == "deny-unsafe-op")
-    {
-        out.push(find(
-            0,
-            "deny-unsafe-op",
-            "crate root lacks `#![deny(unsafe_op_in_unsafe_fn)]`".into(),
-        ));
-    }
-
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
+        Err(_) => {
+            // No baseline: plain mode, any finding fails.
+            for f in &report.findings {
+                println!("{f}");
             }
-            walk(&path, root, out)?;
-        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
-            out.push(
-                path.strip_prefix(root)
-                    .unwrap_or(path.as_path())
-                    .to_path_buf(),
-            );
+            if report.findings.is_empty() {
+                println!("bds_lint: clean ({} files)", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                println!("bds_lint: {} findings", report.findings.len());
+                ExitCode::FAILURE
+            }
         }
-    }
-    Ok(())
-}
-
-fn main() {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    let mut files = Vec::new();
-    if let Err(e) = walk(&root, &root, &mut files) {
-        eprintln!("bds_lint: cannot walk {}: {e}", root.display());
-        std::process::exit(2);
-    }
-    files.sort();
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
-    for rel in &files {
-        if scope_for(rel).is_none() {
-            continue;
-        }
-        let Ok(src) = fs::read_to_string(root.join(rel)) else {
-            continue;
-        };
-        scanned += 1;
-        findings.extend(scan(rel, &src));
-    }
-    for f in &findings {
-        println!("{f}");
-    }
-    if findings.is_empty() {
-        println!("bds_lint: clean ({scanned} files)");
-    } else {
-        println!("bds_lint: {} finding(s) in {scanned} files", findings.len());
-        std::process::exit(1);
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tests
-// ---------------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scan_str(path: &str, src: &str) -> Vec<String> {
-        scan(Path::new(path), src)
-            .into_iter()
-            .map(|f| format!("{}:{}", f.rule, f.line))
-            .collect()
-    }
-
-    #[test]
-    fn lexer_strips_comments_and_strings() {
-        let src = r#"let a = "// not a comment"; // real comment
-let b = 1; /* block
-still block */ let c = 2;
-let d = '"'; let lt: &'static str = "x";"#;
-        let lines = lex(src);
-        assert!(!lines[0].code.contains("not a comment"));
-        assert_eq!(lines[0].comment.trim(), "real comment");
-        assert!(lines[1].comment.contains("block"));
-        assert!(lines[2].code.contains("let c"));
-        assert!(!lines[3].code.contains('"') || !lines[3].code.contains("x"));
-        assert!(lines[3].code.contains("'static"));
-    }
-
-    #[test]
-    fn lexer_handles_nested_block_and_raw_strings() {
-        let src = "/* a /* b */ still */ code\nlet r = r#\"raw \"quote\" //x\"#; tail();";
-        let lines = lex(src);
-        assert!(lines[0].code.contains("code"));
-        assert!(lines[0].comment.contains("a"));
-        assert!(!lines[1].code.contains("raw"));
-        assert!(lines[1].code.contains("tail()"));
-        assert!(lines[1].comment.is_empty());
-    }
-
-    #[test]
-    fn unsafe_without_safety_is_flagged_and_comment_accepts() {
-        let bad = "fn f() {\n    unsafe { g() }\n}\n";
-        let hits = scan_str("crates/x/src/a.rs", bad);
-        assert!(
-            hits.iter().any(|h| h.starts_with("safety-comment")),
-            "{hits:?}"
-        );
-        let good = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}\n";
-        assert!(scan_str("crates/x/src/a.rs", good).is_empty());
-        let doc = "/// # Safety\n/// Caller must own the slot.\nunsafe fn f() {}\n";
-        assert!(scan_str("crates/x/src/a.rs", doc).is_empty());
-    }
-
-    #[test]
-    fn ordering_needs_justification_but_imports_do_not() {
-        let bad = "fn f(a: &AtomicUsize) {\n    a.store(1, Ordering::SeqCst);\n}\n";
-        let hits = scan_str("crates/x/src/a.rs", bad);
-        assert!(
-            hits.iter().any(|h| h.starts_with("atomic-ordering")),
-            "{hits:?}"
-        );
-        let good = "fn f(a: &AtomicUsize) {\n    // ordering: publish under the pin total order.\n    a.store(1, Ordering::SeqCst);\n}\n";
-        assert!(scan_str("crates/x/src/a.rs", good).is_empty());
-        let import = "use std::sync::atomic::Ordering::SeqCst;\n";
-        assert!(scan_str("crates/x/src/a.rs", import).is_empty());
-        // Identifier containing a token substring is not a hit.
-        let ident = "fn f() { let release_notes = 1; }\n";
-        assert!(scan_str("crates/x/src/a.rs", ident).is_empty());
-    }
-
-    #[test]
-    fn unwrap_flagged_on_product_paths_only() {
-        let src = "fn f() { x().unwrap(); }\n";
-        assert!(!scan_str("crates/graph/src/a.rs", src).is_empty());
-        assert!(scan_str("crates/bench/src/a.rs", src).is_empty());
-        assert!(scan_str("crates/graph/tests/a.rs", src).is_empty());
-        assert!(scan_str("vendor/loom/src/a.rs", src).is_empty());
-        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { x().unwrap(); }\n}\n";
-        assert!(scan_str("crates/graph/src/a.rs", in_test).is_empty());
-        let not_test = "#[cfg(not(test))]\nmod m {\n    fn f() { x().unwrap(); }\n}\n";
-        assert!(!scan_str("crates/graph/src/a.rs", not_test).is_empty());
-    }
-
-    #[test]
-    fn pragmas_suppress_with_reason_and_report_without() {
-        let good = "fn f() {\n    // bds:allow(no-unwrap): deliberate crash, WAL contract.\n    x().unwrap();\n}\n";
-        assert!(scan_str("crates/graph/src/a.rs", good).is_empty());
-        let bare = "fn f() {\n    // bds:allow(no-unwrap)\n    x().unwrap();\n}\n";
-        let hits = scan_str("crates/graph/src/a.rs", bare);
-        assert!(
-            hits.iter().any(|h| h.starts_with("pragma-reason")),
-            "{hits:?}"
-        );
-        let file_level =
-            "// bds:allow-file(no-unwrap): generated table, infallible by construction.\nfn f() { x().unwrap(); }\n";
-        assert!(scan_str("crates/graph/src/a.rs", file_level).is_empty());
-    }
-
-    #[test]
-    fn debug_assert_on_lane_invariants_flagged_in_graph_only() {
-        let src = "fn f() {\n    debug_assert!(old.is_some(), \"edge not live on its lane\");\n}\n";
-        let hits = scan_str("crates/graph/src/a.rs", src);
-        assert!(
-            hits.iter()
-                .any(|h| h.starts_with("no-debug-assert-invariant")),
-            "{hits:?}"
-        );
-        assert!(scan_str("crates/estree/src/a.rs", src).is_empty());
-        let benign = "fn f() {\n    debug_assert!(i < len);\n}\n";
-        assert!(scan_str("crates/graph/src/a.rs", benign).is_empty());
-    }
-
-    #[test]
-    fn crate_root_must_deny_unsafe_op() {
-        let bare = "pub fn f() {}\n";
-        let hits = scan_str("crates/x/src/lib.rs", bare);
-        assert!(
-            hits.iter().any(|h| h.starts_with("deny-unsafe-op")),
-            "{hits:?}"
-        );
-        let good = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
-        assert!(scan_str("crates/x/src/lib.rs", good).is_empty());
-        // Non-root modules are exempt.
-        assert!(scan_str("crates/x/src/m/other.rs", bare).is_empty());
-    }
-
-    #[test]
-    fn test_region_tracking_covers_nested_braces() {
-        let src = "#[cfg(all(test, not(bds_model)))]\nmod tests {\n    fn g() {\n        h().unwrap();\n    }\n}\nfn prod() { p().unwrap(); }\n";
-        let hits = scan_str("crates/graph/src/a.rs", src);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert!(hits[0].starts_with("no-unwrap:7"), "{hits:?}");
     }
 }

@@ -1,0 +1,72 @@
+//! Golden-file tests: each semantic pass over a deliberately-dirty
+//! fixture in `fixtures/`, compared against its committed `.expected`
+//! file (lines of `rule:line`, `#` comments ignored). Fixtures are
+//! scanned under *fake* product paths — the real `fixtures/` path is
+//! excluded from scanning entirely, so the dirt never leaks into the
+//! workspace ratchet.
+
+use std::path::Path;
+
+fn check(fake_path: &str, fixture: &str, expected: &str) {
+    let got: Vec<String> = bds_lint::scan(Path::new(fake_path), fixture)
+        .into_iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect();
+    let want: Vec<String> = expected
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert_eq!(
+        got, want,
+        "fixture scanned as {fake_path} drifted from its golden file"
+    );
+}
+
+#[test]
+fn facade_bypass_fixture() {
+    check(
+        "crates/graph/src/fixture.rs",
+        include_str!("../fixtures/facade_bypass.rs"),
+        include_str!("../fixtures/facade_bypass.expected"),
+    );
+}
+
+#[test]
+fn panic_path_fixture() {
+    check(
+        "crates/graph/src/fixture.rs",
+        include_str!("../fixtures/panic_path.rs"),
+        include_str!("../fixtures/panic_path.expected"),
+    );
+}
+
+#[test]
+fn wal_drift_fixture() {
+    // The wal-drift pass keys on the one real WAL path.
+    check(
+        "crates/graph/src/wal.rs",
+        include_str!("../fixtures/wal_drift.rs"),
+        include_str!("../fixtures/wal_drift.expected"),
+    );
+}
+
+#[test]
+fn stale_pragma_fixture() {
+    check(
+        "crates/graph/src/fixture.rs",
+        include_str!("../fixtures/stale_pragma.rs"),
+        include_str!("../fixtures/stale_pragma.expected"),
+    );
+}
+
+#[test]
+fn fixtures_dir_is_out_of_scope() {
+    // Under its real path the same dirty fixture produces nothing:
+    // the scanner skips `crates/lint/fixtures/` entirely.
+    let findings = bds_lint::scan(
+        Path::new("crates/lint/fixtures/panic_path.rs"),
+        include_str!("../fixtures/panic_path.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}

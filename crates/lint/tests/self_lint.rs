@@ -1,0 +1,27 @@
+//! Self-lint: the workspace must match the committed ratchet exactly.
+//!
+//! A count above the baseline is a regression (a new unjustified
+//! site); a count below it means the baseline is stale — tighten it
+//! with `cargo run -p bds_lint -- . --write-ratchet` and commit the
+//! result. Either direction fails here, so `cargo test` alone catches
+//! ratchet drift without the CI analysis job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_matches_committed_ratchet() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = bds_lint::run(&root).expect("workspace scan");
+    let counts = report.counts();
+    let baseline_src = std::fs::read_to_string(root.join("crates/lint/ratchet.json"))
+        .expect("read crates/lint/ratchet.json");
+    let baseline = bds_lint::parse_counts(&baseline_src).expect("parse ratchet.json");
+    let diff = bds_lint::ratchet_diff(&baseline, &counts);
+    assert!(
+        diff.clean(),
+        "ratchet drift — regressions (file, rule, baseline, now): {:?}; \
+         improvements needing --write-ratchet: {:?}",
+        diff.regressions,
+        diff.improvements,
+    );
+}

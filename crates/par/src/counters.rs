@@ -7,16 +7,32 @@
 //! counters and the benchmark harness reports operations per update —
 //! directly comparable against the claimed bounds.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A relaxed atomic counter. Cheap enough to leave enabled in release
 /// builds; all accesses use `Ordering::Relaxed` because counters are only
 /// read after the parallel region joins.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WorkCounter(AtomicU64);
 
+impl Default for WorkCounter {
+    fn default() -> Self {
+        Self(AtomicU64::new(0))
+    }
+}
+
 impl WorkCounter {
+    // The facade's model-build atomic registers a location with the
+    // live exploration, so its constructor cannot be `const`; counters
+    // embedded in structures built inside a model still work, while
+    // std builds keep the const constructor.
+    #[cfg(not(bds_model))]
     pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    #[cfg(bds_model)]
+    pub fn new() -> Self {
         Self(AtomicU64::new(0))
     }
 

@@ -10,10 +10,23 @@
 //! strongest-per-state to widest coverage; each tier has a local
 //! command and a CI job:
 //!
-//! 1. **Custom lint** (`cargo run -p bds_lint`): every `unsafe` block
-//!    must carry a `// SAFETY:` argument, every atomic `Ordering` an
-//!    `// ordering:` justification, no `unwrap`/`expect` on product
-//!    paths, no `debug_assert!` guarding cross-lane/seq invariants.
+//! 1. **Custom lint** (`cargo run -p bds_lint`): the token rules of
+//!    PR 9 (every `unsafe` block must carry a `// SAFETY:` argument,
+//!    every atomic `Ordering` an `// ordering:` justification, no
+//!    `unwrap`/`expect` on product paths, no `debug_assert!` guarding
+//!    cross-lane/seq invariants) plus four semantic passes:
+//!    *facade-bypass* (any `std::sync` atomic/`Mutex`/`Condvar`/
+//!    `RwLock` in `bds_graph`/`bds_par` product code outside this
+//!    facade silently escapes tier 2 and is a finding — process-global
+//!    statics go through [`global`]), *panic-path* (unguarded
+//!    indexing, integer `/`/`%`, truncating `as` casts on serving/
+//!    durability paths need an `// INVARIANT:` argument), *wal-drift*
+//!    (record tags, header field order, and length arithmetic must
+//!    agree between the WAL's encode and decode sites), and
+//!    *stale-pragma* (a `bds:allow` that suppresses nothing is itself
+//!    a finding). Findings are ratcheted: `crates/lint/ratchet.json`
+//!    pins the per-file residue, counts may only decrease, and the
+//!    default run fails on any drift in either direction.
 //! 2. **Model check** (`RUSTFLAGS="--cfg bds_model" cargo test -p
 //!    bds_par -p bds_graph --lib model_`): the pin/publish,
 //!    buffer-swap, and writer-crash protocols run under the vendored
@@ -34,6 +47,13 @@
 //! front-end's double-buffered view pair lives here so the *same*
 //! pin/recheck/publish code the product runs is what the model checker
 //! proves torn-read-free.
+//!
+//! Tier teeth are themselves verified: CI's mutation corpus
+//! (`scripts/mutation_corpus.sh`) applies a set of seeded protocol
+//! weakenings — ordering downgrades in [`dbuf`], a dropped WAL
+//! `stamp_seq`, a skipped `EveryBatch` fsync, a swapped record tag, an
+//! off-by-one in the coalescer's index fixup — each in a scratch tree,
+//! and requires some tier to fail on every one of them.
 
 pub mod dbuf;
 
@@ -50,6 +70,20 @@ pub mod atomic {
 pub use loom::sync::{Arc, Mutex};
 #[cfg(not(bds_model))]
 pub use std::sync::{Arc, Mutex};
+
+/// Process-global atomics — the facade's one deliberate escape from
+/// model instrumentation, for `static` counters that exist outside any
+/// single model execution (a loom location is registered against the
+/// *current* exploration and its constructor is not `const`, so an
+/// instrumented atomic cannot live in a `static`). Always `std`, in
+/// every build. Use this only for identity/statistics counters whose
+/// correctness argument is a single atomic RMW (e.g. the engine-id
+/// allocator); anything with a multi-access protocol belongs on
+/// [`atomic`] so tier 2 can see it. The facade-bypass lint treats
+/// `sync::global` as part of the facade.
+pub mod global {
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+}
 
 /// Thread helpers with a model-aware `yield_now` (under the model,
 /// yielding deprioritizes the caller so spin-wait loops stay finite

@@ -91,6 +91,8 @@ impl<T> DoubleBuf<T> {
             // ordering: SeqCst — this increment must be globally
             // visible before the recheck load so the writer's
             // `pins[f] == 0` wait cannot miss it.
+            // INVARIANT: `f` was loaded from `front`, which only ever
+            // stores 0 or 1 — in range for the 2-slot arrays.
             self.pins[f].fetch_add(1, Ordering::SeqCst);
             // ordering: SeqCst — recheck; see module docs.
             if self.front.load(Ordering::SeqCst) == f {
@@ -103,6 +105,7 @@ impl<T> DoubleBuf<T> {
             // and the writer may be waiting on it. Undo and retry.
             // ordering: SeqCst — the undo must be visible to the
             // writer's pin wait promptly (progress, not safety).
+            // INVARIANT: `f` is 0 or 1, as above.
             self.pins[f].fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -112,6 +115,8 @@ impl<T> DoubleBuf<T> {
     pub fn pin_count(&self, slot: usize) -> usize {
         // ordering: SeqCst — uniform with the protocol's counter
         // accesses; diagnostic only.
+        // INVARIANT: callers pass a slot from `front_idx`/`back_idx`,
+        // which only return 0 or 1.
         self.pins[slot].load(Ordering::SeqCst)
     }
 
@@ -141,6 +146,8 @@ impl<T> PinGuard<T> {
     /// Read the pinned value. This is the model-checkable access path;
     /// in std builds [`Deref`](std::ops::Deref) is also available.
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        // INVARIANT: `self.slot` came from `front` in `pin`, so it is
+        // 0 or 1 — in range for the 2-slot array.
         self.buf.slots[self.slot].with(|p| {
             // SAFETY: this guard holds a pin on `slot`, so the writer
             // is excluded from mutating it (it waits for the pin count
@@ -160,6 +167,7 @@ impl<T> std::ops::Deref for PinGuard<T> {
         // SAFETY: as in `with` — the pin excludes the writer for the
         // guard's lifetime, so a shared borrow tied to `&self` cannot
         // observe a mutation.
+        // INVARIANT: `self.slot` is 0 or 1, as in `with`.
         unsafe { &*self.buf.slots[self.slot].get() }
     }
 }
@@ -170,6 +178,7 @@ impl<T> Drop for PinGuard<T> {
         // read through this guard and visible to the writer's pin
         // wait; a weaker unpin could let the writer's `with_back`
         // mutation overlap our final read.
+        // INVARIANT: `self.slot` is 0 or 1, as in `with`.
         self.buf.pins[self.slot].fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -200,6 +209,7 @@ impl<T> BufWriter<T> {
         // ordering: SeqCst — must be in the total order after any
         // reader's pin increment whose recheck will succeed on this
         // slot; see module docs.
+        // INVARIANT: the writer's `back` field is only ever 0 or 1.
         self.buf.pins[self.back].load(Ordering::SeqCst) == 0
     }
 
@@ -217,6 +227,7 @@ impl<T> BufWriter<T> {
     /// the writer because stragglers only *read* the slot and the
     /// writer is the only mutator: shared reads may overlap.
     pub fn peek_back<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        // INVARIANT: the writer's `back` field is only ever 0 or 1.
         self.buf.slots[self.back].with(|p| {
             // SAFETY: `&self` on the unique writer means no `with_back`
             // mutation can be in progress; any pinned straggler holds
@@ -229,6 +240,7 @@ impl<T> BufWriter<T> {
     /// first.
     pub fn with_back<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
         self.wait_back_unpinned();
+        // INVARIANT: the writer's `back` field is only ever 0 or 1.
         self.buf.slots[self.back].with_mut(|p| {
             // SAFETY: the pin wait above observed `pins[back] == 0`
             // after `front` was already pointing at the other slot, so

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Mutation corpus — proof that every verification tier has teeth.
+#
+# Each mutant weakens exactly one load-bearing line of product code in
+# a scratch copy of the working tree, then runs the one catcher
+# (repo lint, mini-loom model check, or a tier-3/4 test suite) that is
+# supposed to own that failure mode. The catcher MUST fail on the
+# mutated tree; if it passes, the tier it represents has gone vacuous
+# and this script exits nonzero.
+#
+# Usage:
+#   scripts/mutation_corpus.sh            # run every mutant
+#   scripts/mutation_corpus.sh a d        # run a subset (CI matrix)
+#   scripts/mutation_corpus.sh --list     # enumerate the corpus
+#
+# Mutants:
+#   a  dbuf publish store SeqCst -> Relaxed      caught by: model check (bds_par)
+#   b  dbuf pin increment SeqCst -> Relaxed      caught by: model check (bds_par)
+#   c  WAL decode drops the seq stamp            caught by: wal unit tests (tier 3)
+#   d  FsyncPolicy::EveryBatch stops syncing     caught by: recovery suite (tier 4)
+#   e  WAL append_batch stamps the delta tag     caught by: bds_lint wal-drift (tier 1)
+#   f  coalescer swap-remove index off by one    caught by: model check (bds_graph)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+scratch=""
+trap '[ -z "$scratch" ] || rm -rf "$scratch"' EXIT
+
+describe() {
+  case "$1" in
+    a) echo "dbuf publish store SeqCst -> Relaxed (torn publish becomes possible)" ;;
+    b) echo "dbuf pin increment SeqCst -> Relaxed (writer can miss a reader's pin)" ;;
+    c) echo "WAL decode_body drops the delta seq stamp (followers lose ordering)" ;;
+    d) echo "FsyncPolicy::EveryBatch silently stops syncing (durability contract broken)" ;;
+    e) echo "WAL append_batch stamps KIND_DELTA (encode/decode tag drift)" ;;
+    f) echo "coalescer cancel swap-remove reindexes off by one (pending map corrupt)" ;;
+    *) echo "unknown mutant '$1'" >&2; exit 2 ;;
+  esac
+}
+
+# Per-mutant definition: target file, unique needle locating the line,
+# substring swap to apply, and the catcher command that must fail.
+plan() {
+  case "$1" in
+    a)
+      file="crates/par/src/sync/dbuf.rs"
+      needle='self.buf.front.store(self.back, Ordering::SeqCst);'
+      from='Ordering::SeqCst'
+      to='Ordering::Relaxed'
+      catcher='RUSTFLAGS="--cfg bds_model" cargo test -q -p bds_par --lib model_'
+      ;;
+    b)
+      file="crates/par/src/sync/dbuf.rs"
+      needle='self.pins[f].fetch_add(1, Ordering::SeqCst);'
+      from='Ordering::SeqCst'
+      to='Ordering::Relaxed'
+      catcher='RUSTFLAGS="--cfg bds_model" cargo test -q -p bds_par --lib model_'
+      ;;
+    c)
+      file="crates/graph/src/wal.rs"
+      needle='delta.stamp_seq(seq);'
+      from='delta.stamp_seq(seq);'
+      to=''
+      catcher='cargo test -q -p bds_graph --lib wal'
+      ;;
+    d)
+      file="crates/graph/src/wal.rs"
+      needle='FsyncPolicy::EveryBatch => self.sync()?,'
+      from='self.sync()?'
+      to='{}'
+      catcher='cargo test -q --test recovery follower_tails'
+      ;;
+    e)
+      file="crates/graph/src/wal.rs"
+      needle='self.scratch.push(KIND_BATCH);'
+      from='KIND_BATCH'
+      to='KIND_DELTA'
+      catcher='cargo run -q -p bds_lint'
+      ;;
+    f)
+      file="crates/graph/src/serve.rs"
+      needle='map.insert(moved, i);'
+      from='map.insert(moved, i);'
+      to='map.insert(moved, i + 1);'
+      catcher='RUSTFLAGS="--cfg bds_model" cargo test -q -p bds_graph --lib model_'
+      ;;
+    *) echo "unknown mutant '$1'" >&2; exit 2 ;;
+  esac
+}
+
+run_mutant() {
+  local id="$1"
+  local file needle from to catcher
+  plan "$id"
+  echo "=== mutant $id: $(describe "$id")"
+
+  scratch="$(mktemp -d)"
+  # Copy the *working tree* (not HEAD) so the corpus also runs against
+  # uncommitted changes; target/ and .git/ are dead weight.
+  tar -C "$repo" --exclude=./target --exclude=./.git -cf - . | tar -xf - -C "$scratch"
+
+  local target="$scratch/$file"
+  local hits
+  hits="$(grep -cF "$needle" "$target" || true)"
+  if [ "$hits" != 1 ]; then
+    echo "::error::mutant $id: needle matched $hits lines in $file (need exactly 1)"
+    exit 2
+  fi
+  local ln orig mutated
+  ln="$(grep -nF "$needle" "$target" | head -1 | cut -d: -f1)"
+  orig="$(sed -n "${ln}p" "$target")"
+  mutated="${orig/"$from"/"$to"}"
+  if [ "$mutated" = "$orig" ]; then
+    echo "::error::mutant $id: substitution produced no change"
+    exit 2
+  fi
+  # Whole-line replacement via a temp file keeps sed escaping out of it.
+  { sed -n "1,$((ln - 1))p" "$target"; printf '%s\n' "$mutated"; sed -n "$((ln + 1)),\$p" "$target"; } \
+    > "$target.mut" && mv "$target.mut" "$target"
+  echo "--- mutated $file:$ln"
+  echo "---   was: $orig"
+  echo "---   now: $mutated"
+
+  if (cd "$scratch" && eval "$catcher"); then
+    echo "::error::mutant $id survived — catcher [$catcher] passed on the mutated tree"
+    exit 1
+  fi
+  echo "=== mutant $id caught: catcher failed as required"
+  rm -rf "$scratch"
+  scratch=""
+}
+
+main() {
+  local all=(a b c d e f)
+  if [ "${1:-}" = "--list" ]; then
+    for id in "${all[@]}"; do
+      echo "$id  $(describe "$id")"
+    done
+    exit 0
+  fi
+  local ids=("$@")
+  [ ${#ids[@]} -gt 0 ] || ids=("${all[@]}")
+  for id in "${ids[@]}"; do
+    run_mutant "$id"
+  done
+  echo "mutation corpus: all ${#ids[@]} mutant(s) caught"
+}
+
+main "$@"

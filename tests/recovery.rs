@@ -843,3 +843,149 @@ fn compacted_log_recovers_exactly_and_reseeds_followers() {
     let primary_edges: FxHashSet<Edge> = ShardedView::of(&engine).edges().into_iter().collect();
     assert_eq!(follower_edges, primary_edges);
 }
+
+/// Satellite regression (PR 10, ROADMAP open item): an *already open*
+/// `FollowerView` must survive `WalWriter::compact` renaming a new log
+/// generation over the path it tails — previously it kept reading the
+/// dead inode forever. Three escalating scenarios against one follower:
+///
+/// 1. Follower caught up past the compaction point: the rewrite is
+///    detected on the next idle poll, the view is kept (no re-seed),
+///    the retained deltas it already holds are skipped, and tailing
+///    continues on the new inode.
+/// 2. Follower behind a *double* compaction (the deltas it missed
+///    lived only in the intermediate generation): it must re-seed from
+///    the rolled-forward `Seed` and converge to the primary exactly.
+/// 3. A different engine's log appearing at the path is a hard
+///    `EngineMismatch`, not silent divergence.
+#[test]
+fn open_follower_survives_compaction_rewrite() {
+    let n: usize = 40;
+    let log = tmp("compact-rewrite.wal");
+
+    let init: Vec<Edge> = (0..n as V - 1).map(|i| Edge::new(i, i + 1)).collect();
+    let mut engine = ShardedEngineBuilder::new(n)
+        .shards(2)
+        .build_with(&init, move |_, es| BatchConnectivity::builder(n).build(es))
+        .unwrap();
+    let mut writer = WalWriter::create(
+        &log,
+        engine.engine_id(),
+        engine.layout_epoch(),
+        n as u64,
+        engine.seq(),
+        FsyncPolicy::Manual,
+    )
+    .unwrap();
+    writer
+        .append_seed(engine.seq(), &ShardedView::of(&engine).edges())
+        .unwrap();
+
+    let mut live: FxHashSet<Edge> = init.iter().copied().collect();
+    let mut rng = 0xF0110_u64;
+    let mut delta = DeltaBuf::new();
+    let mut step = |engine: &mut ShardedEngine<BatchConnectivity, HashPartitioner>,
+                    writer: &mut WalWriter| {
+        let mut batch = UpdateBatch::default();
+        let snapshot: Vec<Edge> = live.iter().copied().collect();
+        for k in 0..6 {
+            if k % 2 == 0 && !snapshot.is_empty() {
+                let e = snapshot[lcg(&mut rng) as usize % snapshot.len()];
+                if live.remove(&e) {
+                    batch.deletions.push(e);
+                }
+            } else {
+                let a = (lcg(&mut rng) % n as u64) as V;
+                let b = (lcg(&mut rng) % n as u64) as V;
+                if a == b {
+                    continue;
+                }
+                let e = Edge::new(a, b);
+                if !batch.deletions.contains(&e) && live.insert(e) {
+                    batch.insertions.push(e);
+                }
+            }
+        }
+        writer.append_batch(engine.seq() + 1, &batch).unwrap();
+        engine.apply_into(&batch, &mut delta);
+        writer.append_delta(&delta).unwrap();
+    };
+    let assert_mirrors = |fv: &wal::FollowerView, engine: &ShardedEngine<_, _>| {
+        assert_eq!(fv.seq(), engine.seq());
+        let f: FxHashSet<Edge> = fv.view().edges().into_iter().collect();
+        let p: FxHashSet<Edge> = ShardedView::of(engine).edges().into_iter().collect();
+        assert_eq!(f, p, "follower diverged from primary");
+    };
+
+    // Scenario 1: follower fully caught up (seq 8), then compact at a
+    // snapshot cut taken at seq 5 — the follower is *ahead* of the new
+    // base_seq, so the rewrite must keep its view.
+    for _ in 0..5 {
+        step(&mut engine, &mut writer);
+    }
+    let snap5 = wal::Snapshot::of(&engine);
+    for _ in 0..3 {
+        step(&mut engine, &mut writer);
+    }
+    writer.sync().unwrap();
+    let mut fv = wal::FollowerView::open(&log).unwrap();
+    fv.catch_up().unwrap();
+    assert_eq!(fv.seq(), 8);
+    assert!(writer.compact(&snap5).unwrap() > 0);
+    // First idle poll lands on the new generation; the rolled-forward
+    // seed and the retained deltas 6..=8 are all ≤ its seq, so nothing
+    // is re-applied.
+    assert_eq!(fv.catch_up().unwrap(), 0);
+    assert!(fv.is_seeded());
+    assert_mirrors(&fv, &engine);
+    // ...and tailing continues on the new inode.
+    step(&mut engine, &mut writer);
+    writer.sync().unwrap();
+    assert_eq!(fv.catch_up().unwrap(), 1);
+    assert_mirrors(&fv, &engine);
+
+    // Scenario 2: double compaction while the follower never polls.
+    // The deltas between the two cuts exist only in the intermediate
+    // generation the follower never opened, so catching up through the
+    // old inode is impossible — it must re-seed from the rolled-forward
+    // Seed of the final generation.
+    let behind_seq = fv.seq();
+    let snap_a = wal::Snapshot::of(&engine);
+    writer.compact(&snap_a).unwrap();
+    for _ in 0..4 {
+        step(&mut engine, &mut writer);
+    }
+    let snap_b = wal::Snapshot::of(&engine);
+    assert!(writer.compact(&snap_b).unwrap() > 0);
+    for _ in 0..2 {
+        step(&mut engine, &mut writer);
+    }
+    writer.sync().unwrap();
+    assert!(behind_seq < snap_b.seq);
+    // Re-seed (edge set at snap_b) + the two live deltas after it.
+    let applied = fv.catch_up().unwrap();
+    assert_eq!(applied, 2);
+    assert!(fv.is_seeded());
+    assert_eq!(fv.header().base_seq, snap_b.seq);
+    assert_mirrors(&fv, &engine);
+
+    // Scenario 3: a different engine's log at the same path is refused
+    // loudly.
+    let other = ShardedEngineBuilder::new(n)
+        .shards(2)
+        .build_with(&init, move |_, es| BatchConnectivity::builder(n).build(es))
+        .unwrap();
+    let _writer2 = WalWriter::create(
+        &log,
+        other.engine_id(),
+        other.layout_epoch(),
+        n as u64,
+        other.seq(),
+        FsyncPolicy::Manual,
+    )
+    .unwrap();
+    assert!(matches!(
+        fv.catch_up(),
+        Err(RecoverError::EngineMismatch { .. })
+    ));
+}

@@ -29,6 +29,14 @@ pub mod atomic {
                     }
                 }
 
+                /// Consume the atomic and return its final value.
+                /// Mirrors `std`'s `into_inner`: the caller owns the
+                /// atomic, so this is the last access — modeled as a
+                /// `SeqCst` load of the location.
+                pub fn into_inner(self) -> $ty {
+                    rt::atomic_load(self.loc, Ordering::SeqCst) as $ty
+                }
+
                 pub fn load(&self, ordering: Ordering) -> $ty {
                     rt::atomic_load(self.loc, ordering) as $ty
                 }
